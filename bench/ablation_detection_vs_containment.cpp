@@ -1,0 +1,122 @@
+// Ablation A8: detection-based early warning vs budget-based containment —
+// quantifying the paper's §II/§III-C comparison: "existing worm detection
+// systems ... provide detection when approximately 0.03% (Code Red) ...
+// of the susceptible hosts are infected.  With our scheme, the infection
+// will not be allowed to spread that widely."
+//
+// Setup: an *uncontained* Code Red outbreak (hit-level engine — exact timing,
+// cheap at scale); a monitor sees a fraction φ of worm activity and buckets
+// it per 10 minutes.  The Kalman trend detector and the EWMA level detector
+// each raise an alarm at some time; we record how many hosts were already
+// infected.  Containment's counterpart number is the Borel–Tanner tail of
+// the *entire* outbreak under M = 10000.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "core/borel_tanner.hpp"
+#include "detection/trend_detector.hpp"
+#include "stats/samplers.hpp"
+#include "worm/hit_level_sim.hpp"
+#include "worm/observer.hpp"
+
+namespace {
+
+using namespace worms;
+
+/// New infections per fixed interval — the early-phase monitor signal
+/// (darknet scan counts are proportional to it).
+class IntervalCounter final : public worm::OutbreakObserver {
+ public:
+  explicit IntervalCounter(double interval) : interval_(interval) {}
+
+  void on_infection(sim::SimTime now, net::HostId, net::HostId, std::uint32_t) override {
+    const auto bucket = static_cast<std::size_t>(now / interval_);
+    if (bucket >= counts_.size()) counts_.resize(bucket + 1, 0.0);
+    counts_[bucket] += 1.0;
+  }
+
+  [[nodiscard]] const std::vector<double>& counts() const noexcept { return counts_; }
+
+ private:
+  double interval_;
+  std::vector<double> counts_;
+};
+
+}  // namespace
+
+int main() {
+  worm::WormConfig cfg = worm::WormConfig::code_red();
+  cfg.stop_at_total_infected = 20'000;  // run well past every detection point
+
+  worm::HitLevelSimulation sim(cfg, std::nullopt, /*seed=*/0xA8);
+  IntervalCounter buckets(10.0 * sim::kMinute);
+  sim.add_observer(&buckets);
+  (void)sim.run();
+
+  std::printf("== Ablation A8: when detection fires vs what containment guarantees ==\n");
+  std::printf("uncontained Code Red (V=360k, 6 scans/s, I0=10); 10-minute monitor buckets; "
+              "early-phase growth factor per bucket = e^(beta*V*600s) = 1.35\n\n");
+
+  const auto& series = buckets.counts();
+
+  analysis::Table t({"monitor coverage", "detector", "alarm at (min)",
+                     "hosts infected by alarm", "fraction of V"});
+  support::Rng thinning_rng(77);
+  for (const double coverage : {1.0, 0.25, 0.05}) {
+    // The monitor sees each event independently with prob = coverage
+    // (binomial thinning of the count series).
+    std::vector<double> seen;
+    seen.reserve(series.size());
+    for (double c : series) {
+      seen.push_back(coverage >= 1.0
+                         ? c
+                         : static_cast<double>(stats::sample_binomial(
+                               thinning_rng, static_cast<std::uint64_t>(c), coverage)));
+    }
+
+    detection::KalmanTrendDetector kalman({});
+    detection::EwmaThresholdDetector ewma({});
+    // Short baseline window: the whole observable series is ~30 buckets, and
+    // the CUSUM learns its baseline for one window before accumulating.
+    detection::CusumDetector cusum({.baseline_window = 8.0});
+    for (double y : seen) {
+      (void)kalman.observe(y);
+      (void)ewma.observe(y);
+      (void)cusum.observe(y);
+    }
+
+    const auto infected_by = [&](std::int64_t alarm_idx) -> std::uint64_t {
+      if (alarm_idx < 0) return 0;
+      std::uint64_t total = cfg.initial_infected;
+      for (std::int64_t i = 0; i <= alarm_idx && i < static_cast<std::int64_t>(series.size());
+           ++i) {
+        total += static_cast<std::uint64_t>(series[i]);
+      }
+      return total;
+    };
+
+    for (const auto& [name, idx] :
+         {std::pair<const char*, std::int64_t>{"kalman-trend", kalman.alarm_index()},
+          std::pair<const char*, std::int64_t>{"cusum", cusum.alarm_index()},
+          std::pair<const char*, std::int64_t>{"ewma-level", ewma.alarm_index()}}) {
+      const auto infected = infected_by(idx);
+      t.add_row({analysis::Table::fmt_percent(coverage, 0), name,
+                 idx < 0 ? "never" : analysis::Table::fmt((idx + 1) * 10.0, 0),
+                 idx < 0 ? "-" : analysis::Table::fmt(infected),
+                 idx < 0 ? "-"
+                         : analysis::Table::fmt_percent(
+                               static_cast<double>(infected) / 360'000.0, 3)});
+    }
+  }
+  t.print();
+
+  const core::BorelTanner law(10'000.0 * cfg.density(), cfg.initial_infected);
+  std::printf("\ncontainment (no detection needed): with M=10000 the WHOLE outbreak stays "
+              "below %llu hosts w.p. 0.95 and below %llu w.p. 0.99 — on par with what has "
+              "already spread before a trend detector fires (paper: detection systems "
+              "trigger around 0.03%% = ~108 hosts), and no router deployment is needed.\n",
+              static_cast<unsigned long long>(law.quantile(0.95)),
+              static_cast<unsigned long long>(law.quantile(0.99)));
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation A7: multi-type extension of Proposition 1 (the paper's §VI future
+// work, built out).  Scenario: a two-tier internet —
+//   type 0 "enterprise" hosts: clustered, a local-preference worm finds them
+//            at per-scan rate p_ee when scanning locally;
+//   type 1 "home" hosts: spread thin, found only by global scans.
+// A worm on an enterprise host spends fraction q of its budget locally.
+// The per-scan mean matrix R and the cycle budget M give the offspring mean
+// matrix M·R; extinction is governed by ρ(M·R), not by any single density.
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "core/multitype.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace worms;
+
+  // Per-scan success rates.
+  const double p_ee = 5e-3;   // enterprise → enterprise (local scans, dense)
+  const double p_eg = 2e-5;   // enterprise → home (global scans)
+  const double p_ge = 4e-5;   // home → enterprise (global scans hit clusters)
+  const double p_gg = 2e-5;   // home → home
+  const double q = 0.8;       // local share of an enterprise host's budget
+
+  // Enterprise hosts: q of the budget scans locally (finds enterprise hosts
+  // at p_ee), the rest scans globally (finds enterprise clusters at p_ge,
+  // home hosts at p_eg).  Home hosts always scan globally.
+  const std::vector<std::vector<double>> per_scan = {
+      {q * p_ee + (1 - q) * p_ge, (1 - q) * p_eg},
+      {p_ge, p_gg},
+  };
+
+  std::printf("== Ablation A7: multi-type Proposition 1 (two-tier internet) ==\n");
+  std::printf("per-scan rates: ee(local)=%.0e eg=%.0e ge=%.0e gg=%.0e, local share q=%.1f\n\n",
+              p_ee, p_eg, p_ge, p_gg, q);
+
+  const auto threshold = core::MultiTypeBranching::extinction_scan_threshold(per_scan);
+  std::printf("multi-type extinction threshold: M* = %llu scans/cycle\n",
+              static_cast<unsigned long long>(threshold));
+  std::printf("(naive single-type bound from the global density alone: 1/p_gg = %.0f — "
+              "off by ~%.0fx because it ignores the dense tier)\n\n",
+              1.0 / p_gg, (1.0 / p_gg) / static_cast<double>(threshold));
+
+  analysis::Table t({"M", "rho(M*R)", "pi(enterprise)", "pi(home)", "E[total|ent. seed]",
+                     "sim extinct freq"});
+  support::Rng rng(0xA7);
+  const std::uint64_t budgets[] = {100, 200, threshold, threshold + 60, 2 * threshold};
+  for (const std::uint64_t m : budgets) {
+    std::vector<std::vector<double>> mm(2, std::vector<double>(2));
+    for (int i = 0; i < 2; ++i) {
+      for (int j = 0; j < 2; ++j) {
+        mm[i][j] = static_cast<double>(m) * per_scan[i][j];
+      }
+    }
+    const core::MultiTypeBranching mt(mm);
+    const auto pi = mt.extinction_probabilities();
+
+    std::string progeny = "-";
+    if (mt.criticality() < 1.0) {
+      const auto n = mt.expected_total_progeny(0);
+      progeny = analysis::Table::fmt(n[0] + n[1], 1);
+    }
+    int extinct = 0;
+    const int runs = 500;
+    for (int k = 0; k < runs; ++k) {
+      if (mt.simulate({1, 0}, rng, {.total_cap = 20'000}).extinct) ++extinct;
+    }
+    t.add_row({analysis::Table::fmt(m), analysis::Table::fmt(mt.criticality(), 3),
+               analysis::Table::fmt(pi[0], 3), analysis::Table::fmt(pi[1], 3), progeny,
+               analysis::Table::fmt(extinct / static_cast<double>(runs), 3)});
+  }
+  t.print();
+
+  std::printf("\nshape check: pi = 1 exactly up to M*, then falls; simulated extinction "
+              "frequency tracks pi(enterprise); home-seeded infections are always the "
+              "safer case (pi(home) >= pi(enterprise)).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation A4: how much does the paper's Poisson(λ = Mp) approximation of
+// the exact Binomial(M, p) offspring distribution cost?  Compares pmfs,
+// per-generation extinction probabilities, and ultimate extinction across
+// scales — including small universes where the approximation visibly bends.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "core/galton_watson.hpp"
+
+int main() {
+  using namespace worms;
+
+  std::printf("== Ablation A4: Binomial(M,p) vs Poisson(Mp) offspring ==\n\n");
+
+  // Offspring pmf total-variation distance at three vulnerability densities.
+  struct Scenario {
+    const char* name;
+    std::uint64_t m;
+    double p;
+  };
+  const Scenario scenarios[] = {
+      {"Code Red (p=8.4e-5, M=10000)", 10'000, 360'000.0 / 4294967296.0},
+      {"Slammer  (p=2.8e-5, M=10000)", 10'000, 120'000.0 / 4294967296.0},
+      {"dense lab net (p=0.03, M=25)", 25, 0.03},
+      {"very dense    (p=0.3, M=3)", 3, 0.3},
+  };
+
+  analysis::Table t({"scenario", "TV distance", "pi binomial", "pi poisson", "P_5 bin",
+                     "P_5 poi"});
+  for (const auto& s : scenarios) {
+    const auto bin = core::OffspringDistribution::binomial(s.m, s.p);
+    const auto poi = core::OffspringDistribution::poisson(static_cast<double>(s.m) * s.p);
+    double tv = 0.0;
+    for (std::uint64_t k = 0; k <= s.m && k <= 60; ++k) {
+      tv += std::fabs(bin.pmf(k) - poi.pmf(k));
+    }
+    tv /= 2.0;
+    const auto pn_bin = core::extinction_probability_by_generation(bin, 1, 5);
+    const auto pn_poi = core::extinction_probability_by_generation(poi, 1, 5);
+    t.add_row({s.name, analysis::Table::fmt(tv, 6),
+               analysis::Table::fmt(core::ultimate_extinction_probability(bin), 5),
+               analysis::Table::fmt(core::ultimate_extinction_probability(poi), 5),
+               analysis::Table::fmt(pn_bin[5], 5), analysis::Table::fmt(pn_poi[5], 5)});
+  }
+  t.print();
+
+  std::printf("\nconclusion: at Internet scale (p ~ 1e-5) the approximation is exact to "
+              "~1e-5 total variation — the paper's Eq. (4) is safe; in dense scaled-down "
+              "universes (p > 0.01, as in our unit tests) the binomial form matters, "
+              "which is why the library keeps both.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation A2: the paper's qualitative §II/§IV comparison made quantitative.
+// Fast, slow, and stealth worms against four defenses — none, rate-limit,
+// Williamson virus throttle, Zou dynamic quarantine, and the paper's
+// scan-count limit — on a scaled-down universe (per-packet policies need the
+// exact engine).  Defense "holds" if the worm never reaches half the
+// vulnerable population within the horizon.
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "analysis/table.hpp"
+#include "containment/dynamic_quarantine.hpp"
+#include "containment/rate_limit.hpp"
+#include "containment/virus_throttle.hpp"
+#include "core/scan_limit_policy.hpp"
+#include "worm/scan_level_sim.hpp"
+
+namespace {
+
+using namespace worms;
+using PolicyFactory = std::function<std::unique_ptr<core::ContainmentPolicy>()>;
+
+worm::WormConfig make_worm(const char* label, double rate, sim::SimTime on, sim::SimTime off) {
+  worm::WormConfig c;
+  c.label = label;
+  c.vulnerable_hosts = 3'000;
+  c.address_bits = 20;  // p ≈ 0.00286, extinction threshold ≈ 349 scans
+  c.initial_infected = 5;
+  c.scan_rate = rate;
+  c.stealth.on_time = on;
+  c.stealth.off_time = off;
+  c.stop_at_total_infected = 1'500;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  const double horizon = 2.0 * sim::kDay;
+  const std::uint64_t m = 250;  // λ ≈ 0.72: subcritical by design
+
+  // Rates chosen to straddle the rate-based defenses' 1/s design point:
+  // the fast worm scans well above it; the slow worm below it; the stealth
+  // worm scans just *under* it while on (so no rate detector fires) and
+  // sleeps 50 of every 60 minutes to blend into diurnal traffic.
+  const worm::WormConfig worms_under_test[] = {
+      make_worm("fast (5/s)", 5.0, 0.0, 0.0),
+      make_worm("slow (0.5/s)", 0.5, 0.0, 0.0),
+      make_worm("stealth (0.9/s, 10m/50m)", 0.9, 600.0, 3'000.0),
+  };
+
+  const std::pair<const char*, PolicyFactory> policies[] = {
+      {"none", [] { return std::unique_ptr<core::ContainmentPolicy>(); }},
+      {"rate-limit 1/s",
+       [] { return std::make_unique<containment::RateLimitPolicy>(1.0); }},
+      {"virus-throttle",
+       [] {
+         return std::make_unique<containment::VirusThrottlePolicy>(
+             containment::VirusThrottlePolicy::Config{});
+       }},
+      {"dyn-quarantine",
+       [] {
+         return std::make_unique<containment::DynamicQuarantinePolicy>(
+             containment::DynamicQuarantinePolicy::Config{.alarm_probability = 5e-4,
+                                                          .quarantine_time = 60.0});
+       }},
+      {"scan-limit M=250",
+       [m = m] {
+         return std::make_unique<core::ScanCountLimitPolicy>(
+             core::ScanCountLimitPolicy::Config{.scan_limit = m});
+       }},
+  };
+
+  std::printf("== Ablation A2: worm x policy outcome matrix ==\n");
+  std::printf("3000 vulnerable / 2^20 addresses, I0=5, horizon %.0f days, "
+              "failure = 1500 hosts (50%%)\n\n",
+              horizon / sim::kDay);
+
+  worms::analysis::Table t(
+      {"worm", "policy", "total infected", "removed", "defense held"});
+  for (const auto& wcfg : worms_under_test) {
+    for (const auto& [pname, factory] : policies) {
+      worm::ScanLevelSimulation sim(wcfg, factory(), /*seed=*/4242);
+      const auto r = sim.run(horizon);
+      t.add_row({wcfg.label, pname, worms::analysis::Table::fmt(r.total_infected),
+                 worms::analysis::Table::fmt(r.total_removed),
+                 r.hit_infection_cap ? "NO" : "yes"});
+    }
+  }
+  t.print();
+
+  std::printf("\nexpected shape (paper §II/§IV): rate-limit and throttle stop only the "
+              "fast worm; dynamic quarantine slows but does not contain; the scan "
+              "budget contains all three variants.\n");
+  return 0;
+}

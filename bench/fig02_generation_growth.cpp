@@ -1,0 +1,56 @@
+// Figure 2: "Growth of the infected hosts in generations" — Code Red's early
+// phase with infected hosts classified into generations.
+//
+// Paper setup: Code Red (V = 360,000 over 2^32), 6 scans/s, no containment,
+// shown until ~200 infections over ~250 minutes.  We run the exact scan-level
+// simulator from one initial host and print both the growth curve and the
+// per-generation first-infection times / sizes.
+#include <cstdio>
+
+#include "analysis/series.hpp"
+#include "analysis/table.hpp"
+#include "worm/observer.hpp"
+#include "worm/scan_level_sim.hpp"
+
+int main() {
+  using namespace worms;
+
+  worm::WormConfig cfg = worm::WormConfig::code_red();
+  cfg.initial_infected = 1;  // the figure starts from a single host "O"
+  cfg.stop_at_total_infected = 200;
+
+  worm::ScanLevelSimulation sim(cfg, nullptr, /*seed=*/20'05);
+  worm::GenerationRecorder gens;
+  sim.add_observer(&gens);
+  const auto r = sim.run();
+
+  std::printf("== Fig. 2: Code Red early-phase growth by generation ==\n");
+  std::printf("V=%u, scan rate %.0f/s, I0=1, no containment, run to %llu infections\n\n",
+              cfg.vulnerable_hosts, cfg.scan_rate,
+              static_cast<unsigned long long>(r.total_infected));
+
+  analysis::Table growth({"time (min)", "cumulative infected", "generation of newest host"});
+  const auto& infections = gens.infections();
+  for (const auto i : analysis::downsample_indices(infections.size(), 25)) {
+    growth.add_row({analysis::Table::fmt(infections[i].time / 60.0, 1),
+                    analysis::Table::fmt(static_cast<std::uint64_t>(i + 1)),
+                    analysis::Table::fmt(static_cast<std::uint64_t>(infections[i].generation))});
+  }
+  growth.print();
+
+  std::printf("\nper-generation summary (paper: first 6 generations shown):\n");
+  analysis::Table per_gen({"generation", "hosts", "first infection (min)"});
+  for (std::size_t g = 0; g < gens.generation_sizes().size(); ++g) {
+    per_gen.add_row(
+        {analysis::Table::fmt(static_cast<std::uint64_t>(g)),
+         analysis::Table::fmt(gens.generation_sizes()[g]),
+         gens.first_infection_times()[g] < 0.0
+             ? "-"
+             : analysis::Table::fmt(gens.first_infection_times()[g] / 60.0, 1)});
+  }
+  per_gen.print();
+  std::printf("\nshape check vs paper: ~200 infections accumulate within a few hundred "
+              "minutes and generations overlap in time (a generation-2 host can precede "
+              "a generation-1 host).\n");
+  return 0;
+}

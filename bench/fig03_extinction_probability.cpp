@@ -1,0 +1,62 @@
+// Figure 3: extinction probability P_n at each generation for the Code Red
+// worm, M ∈ {5000, 7500, 10000}, V = 360,000, one initial infected host.
+//
+// Paper reading of the curves: all three budgets are below the 11,930
+// threshold so P_n → 1; smaller M converges in fewer generations, and by
+// generation ~20 all three are near 1 (M = 10000 close to 0.95+).
+#include <cstdio>
+
+#include "analysis/ascii_chart.hpp"
+#include "analysis/table.hpp"
+#include "core/galton_watson.hpp"
+
+int main() {
+  using namespace worms;
+
+  const double p = 360'000.0 / 4294967296.0;
+  const std::uint64_t budgets[] = {5'000, 7'500, 10'000};
+  const std::size_t max_gen = 20;
+
+  std::printf("== Fig. 3: P_n = P{worm extinct by generation n}, Code Red, I0=1 ==\n");
+  std::printf("p = %.4g, extinction threshold 1/p = %llu\n\n", p,
+              static_cast<unsigned long long>(core::extinction_scan_threshold(p)));
+
+  std::vector<std::vector<double>> curves;
+  for (const auto m : budgets) {
+    curves.push_back(core::extinction_probability_by_generation(
+        core::OffspringDistribution::binomial(m, p), 1, max_gen));
+  }
+
+  analysis::Table t({"generation", "M=5000", "M=7500", "M=10000"});
+  for (std::size_t n = 0; n <= max_gen; ++n) {
+    t.add_row({analysis::Table::fmt(static_cast<std::uint64_t>(n)),
+               analysis::Table::fmt(curves[0][n], 4), analysis::Table::fmt(curves[1][n], 4),
+               analysis::Table::fmt(curves[2][n], 4)});
+  }
+  t.print();
+
+  std::printf("\n");
+  analysis::AsciiChart chart(60, 14);
+  const char markers[] = {'5', '7', 'T'};  // M=5000, 7500, 10000 ("T"en k)
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::vector<std::pair<double, double>> pts;
+    for (std::size_t n = 0; n <= max_gen; ++n) {
+      pts.push_back({static_cast<double>(n), curves[i][n]});
+    }
+    chart.add_series(markers[i], std::move(pts));
+  }
+  chart.set_labels("generation n", "P_n  (5 = M5000, 7 = M7500, T = M10000)");
+  chart.render();
+
+  std::printf("\nultimate extinction probabilities (all exactly 1 — Proposition 1):\n");
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::printf("  M=%llu: pi = %.6f (lambda = %.3f)\n",
+                static_cast<unsigned long long>(budgets[i]),
+                core::ultimate_extinction_probability(
+                    core::OffspringDistribution::binomial(budgets[i], p)),
+                static_cast<double>(budgets[i]) * p);
+  }
+  std::printf("\nshape check vs paper: P_n non-decreasing, smaller M rises faster, "
+              "all curves approach 1 by generation 20.\n");
+  return 0;
+}

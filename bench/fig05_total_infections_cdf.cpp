@@ -1,0 +1,39 @@
+// Figure 5: cumulative distribution P{I <= k} of total infections for Code
+// Red, I0 = 10, M ∈ {5000, 7500, 10000}.
+//
+// Paper headline readings reproduced at the bottom: with probability ~0.99
+// the outbreak stays below 360 hosts at M = 10000; at M = 5000 it stays
+// below ~27 hosts with probability 0.97.
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "core/borel_tanner.hpp"
+
+int main() {
+  using namespace worms;
+
+  const double p = 360'000.0 / 4294967296.0;
+  const std::uint64_t i0 = 10;
+  const core::BorelTanner m5000(5'000.0 * p, i0);
+  const core::BorelTanner m7500(7'500.0 * p, i0);
+  const core::BorelTanner m10000(10'000.0 * p, i0);
+
+  std::printf("== Fig. 5: P{I <= k}, Code Red, I0 = 10 ==\n\n");
+  analysis::Table t({"k", "M=5000", "M=7500", "M=10000"});
+  for (std::uint64_t k = 10; k <= 300; k += (k < 60 ? 5 : 20)) {
+    t.add_row({analysis::Table::fmt(k), analysis::Table::fmt(m5000.cdf(k), 4),
+               analysis::Table::fmt(m7500.cdf(k), 4), analysis::Table::fmt(m10000.cdf(k), 4)});
+  }
+  t.print();
+
+  std::printf("\npaper checkpoints:\n");
+  std::printf("  M=10000: P{I <= 150} = %.4f   (paper: ~0.95)\n", m10000.cdf(150));
+  std::printf("  M=10000: P{I <  360} = %.4f   (paper: 0.99)\n", m10000.cdf(359));
+  std::printf("  M=7500 : P{I <=  50} = %.4f   (paper: ~0.95-0.97 band)\n", m7500.cdf(50));
+  std::printf("  M=5000 : P{I <=  27} = %.4f   (paper: 0.97)\n", m5000.cdf(27));
+  std::printf("  quantiles q95: M=5000 -> %llu, M=7500 -> %llu, M=10000 -> %llu\n",
+              static_cast<unsigned long long>(m5000.quantile(0.95)),
+              static_cast<unsigned long long>(m7500.quantile(0.95)),
+              static_cast<unsigned long long>(m10000.quantile(0.95)));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 9: a Code Red sample path under containment in which the worm gets
+// relatively far (~300 total infections) before the removal process catches
+// the infection process.  Prints accumulated infected / accumulated removed /
+// active infected vs time in minutes — the three curves of the figure.
+//
+// Paper setup: V = 360,000, I0 = 10, M = 10,000, 6 scans/s.  The paper shows
+// one stochastic realization; we search seeds for a right-tail path with a
+// total in the figure's ~300 range and print that realization.  The hit-level
+// engine is used: its event timing is exact (Erlang-distributed scan times),
+// so the three curves are the same process the scan-level engine would give.
+#include <cstdio>
+#include <optional>
+
+#include "analysis/ascii_chart.hpp"
+#include "analysis/series.hpp"
+#include "analysis/table.hpp"
+#include "worm/hit_level_sim.hpp"
+#include "worm/observer.hpp"
+
+int main() {
+  using namespace worms;
+
+  const worm::WormConfig cfg = worm::WormConfig::code_red();
+  const std::uint64_t m = 10'000;
+
+  // Find a realization with ≈300 total infections (the figure's regime —
+  // roughly the 97th percentile of the Borel–Tanner law).
+  std::uint64_t best_seed = 1;
+  std::uint64_t best_total = 0;
+  for (std::uint64_t seed = 1; seed <= 2'000; ++seed) {
+    worm::HitLevelSimulation probe(cfg, m, seed);
+    const auto total = probe.run().total_infected;
+    if (total >= 260 && total <= 360) {
+      best_seed = seed;
+      best_total = total;
+      break;
+    }
+    if (total > best_total && total <= 360) {
+      best_total = total;
+      best_seed = seed;
+    }
+  }
+
+  worm::HitLevelSimulation sim(cfg, m, best_seed);
+  worm::SamplePathRecorder path;
+  sim.add_observer(&path);
+  const auto r = sim.run();
+
+  std::printf("== Fig. 9: Code Red sample path (large realization), M=10000 ==\n");
+  std::printf("seed %llu: total infected %llu, peak active %llu, contained at %.0f min\n\n",
+              static_cast<unsigned long long>(best_seed),
+              static_cast<unsigned long long>(r.total_infected),
+              static_cast<unsigned long long>(r.peak_active), r.end_time / 60.0);
+
+  analysis::Table t({"time (min)", "accumulated infected", "accumulated removed", "active"});
+  for (const auto i : analysis::downsample_indices(path.points().size(), 30)) {
+    const auto& pt = path.points()[i];
+    t.add_row({analysis::Table::fmt(pt.time / 60.0, 1),
+               analysis::Table::fmt(pt.cumulative_infected),
+               analysis::Table::fmt(pt.cumulative_removed),
+               analysis::Table::fmt(pt.active_infected)});
+  }
+  t.print();
+
+  std::printf("\n");
+  analysis::AsciiChart chart(64, 16);
+  std::vector<std::pair<double, double>> infected;
+  std::vector<std::pair<double, double>> removed;
+  std::vector<std::pair<double, double>> active;
+  for (const auto& pt : path.points()) {
+    infected.push_back({pt.time / 60.0, static_cast<double>(pt.cumulative_infected)});
+    removed.push_back({pt.time / 60.0, static_cast<double>(pt.cumulative_removed)});
+    active.push_back({pt.time / 60.0, static_cast<double>(pt.active_infected)});
+  }
+  chart.add_series('a', std::move(active));
+  chart.add_series('r', std::move(removed));
+  chart.add_series('i', std::move(infected));
+  chart.set_labels("minutes", "hosts (i = infected, r = removed, a = active)");
+  chart.render();
+
+  std::printf("\nshape check vs paper: removal curve chases the infection curve and "
+              "meets it; active infections stay bounded and collapse to zero.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// google-benchmark microbenchmarks of the hot substrates: RNG, samplers,
+// address table, event queue, Borel–Tanner evaluation, and one end-to-end
+// contained outbreak per engine.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/borel_tanner.hpp"
+#include "core/scan_limit_policy.hpp"
+#include "net/address_table.hpp"
+#include "sim/event_queue.hpp"
+#include "stats/samplers.hpp"
+#include "support/rng.hpp"
+#include "worm/hit_level_sim.hpp"
+#include "worm/scan_level_sim.hpp"
+
+namespace {
+
+using namespace worms;
+
+void BM_RngU64(benchmark::State& state) {
+  support::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.u64());
+  }
+}
+BENCHMARK(BM_RngU64);
+
+void BM_RngBelow(benchmark::State& state) {
+  support::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.below(360'000));
+  }
+}
+BENCHMARK(BM_RngBelow);
+
+void BM_GeometricTrials(benchmark::State& state) {
+  support::Rng rng(1);
+  const double p = 8.38e-5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::sample_geometric_trials(rng, p));
+  }
+}
+BENCHMARK(BM_GeometricTrials);
+
+void BM_BinomialSampler(benchmark::State& state) {
+  support::Rng rng(1);
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const double p = state.range(1) / 1000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::sample_binomial(rng, n, p));
+  }
+}
+BENCHMARK(BM_BinomialSampler)->Args({10'000, 0})->Args({10'000, 300})->Args({100, 300});
+
+void BM_PoissonSampler(benchmark::State& state) {
+  support::Rng rng(1);
+  const double lambda = state.range(0) / 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::sample_poisson(rng, lambda));
+  }
+}
+BENCHMARK(BM_PoissonSampler)->Arg(83)->Arg(8'000);
+
+void BM_AddressTableLookup(benchmark::State& state) {
+  support::Rng setup(2);
+  net::AddressTable table(360'000);
+  for (std::uint32_t i = 0; i < 360'000; ++i) {
+    while (!table.insert(net::Ipv4Address(setup.u32()), i)) {
+    }
+  }
+  support::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(net::Ipv4Address(rng.u32())));
+  }
+}
+BENCHMARK(BM_AddressTableLookup);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue<std::uint64_t> q;
+  support::Rng rng(4);
+  // Steady-state heap of 10k pending events.
+  for (int i = 0; i < 10'000; ++i) q.push(rng.uniform() * 1000.0, i);
+  double now = 0.0;
+  for (auto _ : state) {
+    const auto e = q.pop();
+    now = e.time;
+    q.push(now + rng.uniform() * 10.0, e.payload);
+  }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_BorelTannerPmf(benchmark::State& state) {
+  const core::BorelTanner law(0.838, 10);
+  std::uint64_t k = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(law.pmf(k));
+    if (++k > 500) k = 10;
+  }
+}
+BENCHMARK(BM_BorelTannerPmf);
+
+void BM_HitLevelCodeRedRun(benchmark::State& state) {
+  const worm::WormConfig cfg = worm::WormConfig::code_red();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    worm::HitLevelSimulation sim(cfg, 10'000, seed++);
+    benchmark::DoNotOptimize(sim.run().total_infected);
+  }
+}
+BENCHMARK(BM_HitLevelCodeRedRun)->Unit(benchmark::kMillisecond);
+
+void BM_ScanLevelSmallWorldRun(benchmark::State& state) {
+  worm::WormConfig cfg;
+  cfg.vulnerable_hosts = 2'000;
+  cfg.address_bits = 16;
+  cfg.initial_infected = 4;
+  cfg.scan_rate = 10.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto policy = std::make_unique<core::ScanCountLimitPolicy>(
+        core::ScanCountLimitPolicy::Config{.scan_limit = 16});
+    worm::ScanLevelSimulation sim(cfg, std::move(policy), seed++);
+    benchmark::DoNotOptimize(sim.run().total_infected);
+  }
+}
+BENCHMARK(BM_ScanLevelSmallWorldRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,58 @@
+// Enterprise deployment audit (the paper's §IV / Fig. 6 workflow):
+// synthesize an LBL-CONN-7-like month of clean traffic, look at how many
+// distinct destinations normal hosts actually contact, and replay the trace
+// through the containment policy to measure how intrusive each budget M
+// would be.  This is the analysis an operator would run before turning the
+// system on.
+//
+//   $ ./enterprise_trace_audit
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/synth.hpp"
+
+int main() {
+  using namespace worms;
+
+  const trace::LblSynthConfig cfg;  // 1645 hosts, 30 days, paper-calibrated
+  std::printf("synthesizing %u hosts x 30 days of clean enterprise traffic...\n", cfg.hosts);
+  const trace::SynthTrace synth = trace::synthesize_lbl_trace(cfg);
+  std::printf("%zu connection records\n\n", synth.records.size());
+
+  trace::TraceAnalyzer analyzer(synth.records);
+
+  // --- The paper's population statistics ---
+  std::printf("fraction of active hosts under 100 distinct destinations: %.1f%%\n",
+              analyzer.fraction_below(100) * 100.0);
+  std::printf("hosts above 1000 distinct destinations: %u\n", analyzer.hosts_above(1000));
+
+  const auto ranking = analyzer.activity_ranking();
+  analysis::Table top({"rank", "host", "distinct dests", "connections"});
+  for (std::size_t i = 0; i < 6; ++i) {
+    top.add_row({analysis::Table::fmt(static_cast<std::uint64_t>(i + 1)),
+                 analysis::Table::fmt(static_cast<std::uint64_t>(ranking[i].host)),
+                 analysis::Table::fmt(static_cast<std::uint64_t>(ranking[i].distinct_destinations)),
+                 analysis::Table::fmt(ranking[i].total_connections)});
+  }
+  std::printf("\nsix most active hosts (the curves of the paper's Fig. 6):\n");
+  top.print();
+
+  // --- Intrusiveness audit across candidate budgets ---
+  std::printf("\nreplaying the clean trace through the containment policy "
+              "(30-day cycle, exact distinct counting):\n");
+  analysis::Table audit({"M", "hosts removed", "removal rate", "hosts flagged @ f=0.8"});
+  for (const std::uint64_t m : {100ULL, 500ULL, 1'000ULL, 2'000ULL, 5'000ULL, 10'000ULL}) {
+    const auto rep = analyzer.audit_policy({.scan_limit = m,
+                                            .cycle_length = 30.0 * sim::kDay,
+                                            .check_fraction = 0.8});
+    audit.add_row({analysis::Table::fmt(m),
+                   analysis::Table::fmt(static_cast<std::uint64_t>(rep.hosts_removed)),
+                   analysis::Table::fmt_percent(rep.removal_fraction),
+                   analysis::Table::fmt(static_cast<std::uint64_t>(rep.hosts_flagged))});
+  }
+  audit.print();
+  std::printf("\nat the paper's M=5000 the system touches nobody — non-intrusive — "
+              "while still capping any worm at ~27 total infections (Fig. 5).\n");
+  return 0;
+}

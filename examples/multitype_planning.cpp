@@ -1,0 +1,49 @@
+// Planning containment for a preference-scanning worm (the paper's §VI
+// future work, using the library's multi-type branching machinery).
+//
+// Scenario: your organization's address blocks are dense with vulnerable
+// hosts compared to the Internet at large, and you worry about a worm that
+// preferentially scans nearby addresses.  The single-type Proposition 1
+// bound (M <= 1/p_global) is then unsafe; the correct bound comes from the
+// spectral radius of the two-type mean matrix.
+//
+//   $ ./multitype_planning
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "core/multitype.hpp"
+
+int main() {
+  using namespace worms;
+
+  // Per-scan infection rates (see bench/ablation_multitype_criticality for
+  // the derivation): enterprise-local scans are 250x more likely to land on
+  // a vulnerable host than global ones.
+  const double p_local = 5e-3;
+  const double p_global = 2e-5;
+
+  std::printf("== planning M under local-preference scanning ==\n");
+  std::printf("local density %.0e vs global %.0e (%.0fx)\n\n", p_local, p_global,
+              p_local / p_global);
+
+  analysis::Table t({"local share q", "multi-type threshold M*", "naive 1/p_global",
+                     "overshoot if naive"});
+  for (const double q : {0.0, 0.2, 0.5, 0.8, 0.95}) {
+    const std::vector<std::vector<double>> per_scan = {
+        {q * p_local + (1 - q) * 2.0 * p_global, (1 - q) * p_global},
+        {2.0 * p_global, p_global},
+    };
+    const auto threshold = core::MultiTypeBranching::extinction_scan_threshold(per_scan);
+    const double naive = 1.0 / p_global;
+    t.add_row({analysis::Table::fmt(q, 2), analysis::Table::fmt(threshold),
+               analysis::Table::fmt(naive, 0),
+               analysis::Table::fmt(naive / static_cast<double>(threshold), 1) + "x"});
+  }
+  t.print();
+
+  std::printf("\ntakeaway: even 20%% local preference shrinks the safe budget by an order "
+              "of magnitude; deployments facing preference-scanning worms must size M "
+              "from the *local* vulnerability density (spectral radius), not the global "
+              "one.\n");
+  return 0;
+}

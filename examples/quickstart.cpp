@@ -1,0 +1,57 @@
+// Quickstart: model a worm, pick a scan budget with the planner, and verify
+// the containment by simulation.
+//
+//   $ ./quickstart
+//
+// Walks through the library's three layers in ~60 lines:
+//   1. analytics  — extinction threshold and Borel–Tanner outbreak law;
+//   2. planning   — choose the largest safe M for a target outbreak bound;
+//   3. simulation — run the contained outbreak and compare to the theory.
+#include <cstdio>
+
+#include "core/borel_tanner.hpp"
+#include "core/galton_watson.hpp"
+#include "core/planner.hpp"
+#include "worm/hit_level_sim.hpp"
+
+int main() {
+  using namespace worms;
+
+  // A Code Red-like worm: 360k vulnerable hosts scanning the full IPv4 space.
+  const worm::WormConfig cfg = worm::WormConfig::code_red();
+  const double p = cfg.density();
+  std::printf("== worms quickstart ==\n");
+  std::printf("worm: %s, V=%u vulnerable hosts, density p=%.3g\n", cfg.label.c_str(),
+              cfg.vulnerable_hosts, p);
+
+  // 1. Analytics: Proposition 1 — any scan budget at or below 1/p guarantees
+  //    the worm dies out.
+  const std::uint64_t threshold = core::extinction_scan_threshold(p);
+  std::printf("extinction threshold 1/p = %llu scans per containment cycle\n",
+              static_cast<unsigned long long>(threshold));
+
+  // 2. Planning: largest M keeping the total outbreak under 360 hosts with
+  //    99%% confidence, assuming up to 10 initial infections.
+  const core::Plan plan = core::plan_containment({.vulnerable_hosts = cfg.vulnerable_hosts,
+                                                  .address_bits = cfg.address_bits,
+                                                  .initial_infected = cfg.initial_infected,
+                                                  .max_total_infected = 360,
+                                                  .confidence = 0.99});
+  std::printf("planned scan budget M=%llu (lambda=%.3f, E[total infected]=%.1f)\n",
+              static_cast<unsigned long long>(plan.scan_limit), plan.lambda,
+              plan.expected_total_infected);
+
+  const core::BorelTanner law(plan.lambda, cfg.initial_infected);
+  std::printf("theory: P{I <= 360} = %.4f, 99th percentile of I = %llu\n", law.cdf(360),
+              static_cast<unsigned long long>(law.quantile(0.99)));
+
+  // 3. Simulation: one contained outbreak under that budget.
+  worm::HitLevelSimulation sim(cfg, plan.scan_limit, /*seed=*/2026);
+  const worm::OutbreakResult r = sim.run();
+  std::printf("simulated outbreak: %llu hosts ever infected, peak %llu active, "
+              "contained=%s after %.1f hours\n",
+              static_cast<unsigned long long>(r.total_infected),
+              static_cast<unsigned long long>(r.peak_active), r.contained ? "yes" : "no",
+              r.end_time / 3600.0);
+  return r.contained ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// SQL Slammer case study: a bandwidth-limited worm scanning at ~4000/s.
+// Contrasts the paper's scan-budget containment with the two rate-based
+// baselines (Williamson virus throttle and plain rate limiting) on the same
+// worm — run on a scaled-down universe so the per-packet policies stay fast.
+//
+//   $ ./slammer_fast_worm
+#include <cstdio>
+#include <memory>
+
+#include "analysis/table.hpp"
+#include "containment/rate_limit.hpp"
+#include "containment/virus_throttle.hpp"
+#include "core/borel_tanner.hpp"
+#include "core/scan_limit_policy.hpp"
+#include "worm/hit_level_sim.hpp"
+#include "worm/scan_level_sim.hpp"
+
+namespace {
+
+worms::worm::OutbreakResult run_with(const worms::worm::WormConfig& cfg,
+                                     std::unique_ptr<worms::core::ContainmentPolicy> policy,
+                                     std::uint64_t seed, double horizon) {
+  worms::worm::ScanLevelSimulation sim(cfg, std::move(policy), seed);
+  return sim.run(horizon);
+}
+
+}  // namespace
+
+int main() {
+  using namespace worms;
+
+  // --- Full-scale Slammer under the paper's scheme (hit-level engine) ---
+  const worm::WormConfig slammer = worm::WormConfig::slammer();
+  const std::uint64_t m = 10'000;
+  const core::BorelTanner law(static_cast<double>(m) * slammer.density(),
+                              slammer.initial_infected);
+  std::printf("== SQL Slammer, scan budget M=%llu ==\n",
+              static_cast<unsigned long long>(m));
+  std::printf("theory: E[I]=%.1f, P{I<=20}=%.3f\n", law.mean(), law.cdf(20));
+
+  worm::HitLevelSimulation sim(slammer, m, /*seed=*/41);
+  const auto r = sim.run();
+  std::printf("one full-scale run: %llu infected, contained in %.1f seconds "
+              "(fast worm dies fast: it burns its budget at 4000 scans/s)\n\n",
+              static_cast<unsigned long long>(r.total_infected), r.end_time);
+
+  // --- Policy face-off on a scaled-down fast worm ---
+  // 2^20-address universe, 4000 vulnerable, same scan rate; per-packet
+  // policies (throttle) are exercised scan by scan.
+  worm::WormConfig fast;
+  fast.label = "fast-scaled";
+  fast.vulnerable_hosts = 4'000;
+  fast.address_bits = 20;
+  fast.initial_infected = 5;
+  fast.scan_rate = 200.0;
+  fast.stop_at_total_infected = 2'000;  // "half the population lost" = failure
+  const double horizon = 600.0;         // 10 minutes of simulated time
+
+  const std::uint64_t m_scaled = 150;  // λ ≈ 0.57 for the scaled universe
+
+  analysis::Table t({"policy", "total infected", "contained", "end time (s)"});
+  {
+    const auto res = run_with(fast, nullptr, 9001, horizon);
+    t.add_row({"none", analysis::Table::fmt(res.total_infected),
+               res.contained ? "yes" : "no", analysis::Table::fmt(res.end_time, 1)});
+  }
+  {
+    auto policy = std::make_unique<core::ScanCountLimitPolicy>(
+        core::ScanCountLimitPolicy::Config{.scan_limit = m_scaled});
+    const auto res = run_with(fast, std::move(policy), 9001, horizon);
+    t.add_row({"scan-limit", analysis::Table::fmt(res.total_infected),
+               res.contained ? "yes" : "no", analysis::Table::fmt(res.end_time, 1)});
+  }
+  {
+    auto policy = std::make_unique<containment::VirusThrottlePolicy>(
+        containment::VirusThrottlePolicy::Config{});
+    const auto res = run_with(fast, std::move(policy), 9001, horizon);
+    t.add_row({"virus-throttle", analysis::Table::fmt(res.total_infected),
+               res.contained ? "yes" : "no", analysis::Table::fmt(res.end_time, 1)});
+  }
+  {
+    auto policy = std::make_unique<containment::RateLimitPolicy>(1.0);
+    const auto res = run_with(fast, std::move(policy), 9001, horizon);
+    t.add_row({"rate-limit 1/s", analysis::Table::fmt(res.total_infected),
+               res.contained ? "yes" : "no", analysis::Table::fmt(res.end_time, 1)});
+  }
+  std::printf("fast worm (%g scans/s) under each policy, horizon %.0fs:\n", fast.scan_rate,
+              horizon);
+  t.print();
+  std::printf("\nthe throttle also detects fast worms; scan-limit both detects *and* "
+              "bounds the final outbreak size.\n");
+  return 0;
+}

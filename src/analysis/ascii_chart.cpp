@@ -1,0 +1,102 @@
+#include "analysis/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <limits>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace worms::analysis {
+namespace {
+
+std::string short_number(double v) {
+  std::ostringstream os;
+  if (v == 0.0) {
+    os << "0";
+  } else if (std::fabs(v) >= 10'000.0 || std::fabs(v) < 0.01) {
+    os << std::scientific << std::setprecision(1) << v;
+  } else {
+    os << std::fixed << std::setprecision(std::fabs(v) < 10.0 ? 2 : 0) << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+AsciiChart::AsciiChart(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  WORMS_EXPECTS(width >= 8 && height >= 3);
+}
+
+void AsciiChart::add_series(char marker, std::vector<std::pair<double, double>> points) {
+  WORMS_EXPECTS(marker > ' ');
+  series_.emplace_back(marker, std::move(points));
+}
+
+void AsciiChart::set_labels(std::string x_label, std::string y_label) {
+  x_label_ = std::move(x_label);
+  y_label_ = std::move(y_label);
+}
+
+void AsciiChart::render(std::ostream& out) const {
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = x_min;
+  double y_max = -x_min;
+  bool any = false;
+  for (const auto& [marker, pts] : series_) {
+    for (const auto& [x, y] : pts) {
+      any = true;
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (!any) {
+    out << "(empty chart)\n";
+    return;
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (const auto& [marker, pts] : series_) {
+    for (const auto& [x, y] : pts) {
+      const auto col = static_cast<std::size_t>(std::lround(
+          (x - x_min) / (x_max - x_min) * static_cast<double>(width_ - 1)));
+      const auto row = static_cast<std::size_t>(std::lround(
+          (y - y_min) / (y_max - y_min) * static_cast<double>(height_ - 1)));
+      grid[height_ - 1 - row][col] = marker;  // row 0 is the top line
+    }
+  }
+
+  const std::string top = short_number(y_max);
+  const std::string bottom = short_number(y_min);
+  const std::size_t label_width = std::max(top.size(), bottom.size());
+  for (std::size_t r = 0; r < height_; ++r) {
+    std::string label(label_width, ' ');
+    if (r == 0) label = std::string(label_width - top.size(), ' ') + top;
+    if (r == height_ - 1) label = std::string(label_width - bottom.size(), ' ') + bottom;
+    out << label << " |" << grid[r] << "\n";
+  }
+  out << std::string(label_width, ' ') << " +" << std::string(width_, '-') << "\n";
+  const std::string lo = short_number(x_min);
+  const std::string hi = short_number(x_max);
+  out << std::string(label_width + 2, ' ') << lo;
+  const std::size_t pad = width_ > lo.size() + hi.size()
+                              ? width_ - lo.size() - hi.size()
+                              : 1;
+  out << std::string(pad, ' ') << hi << "\n";
+  if (!x_label_.empty() || !y_label_.empty()) {
+    out << std::string(label_width + 2, ' ') << "x: " << x_label_ << "   y: " << y_label_
+        << "\n";
+  }
+}
+
+void AsciiChart::render() const { render(std::cout); }
+
+}  // namespace worms::analysis

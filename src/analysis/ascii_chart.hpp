@@ -1,0 +1,40 @@
+// Terminal line charts for the figure benches: the paper's figures rendered
+// as text, so `bench/fig*` output is visually comparable to the originals
+// without any plotting dependency.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace worms::analysis {
+
+class AsciiChart {
+ public:
+  /// Plot area of `width` x `height` characters (axes and labels extra).
+  AsciiChart(std::size_t width, std::size_t height);
+
+  /// Adds a series drawn with `marker`.  Later series overdraw earlier ones
+  /// where they collide.  Points need not be sorted.
+  void add_series(char marker, std::vector<std::pair<double, double>> points);
+
+  /// Optional axis titles shown in the footer.
+  void set_labels(std::string x_label, std::string y_label);
+
+  /// Renders the grid with y-range labels on the left and the x-range plus
+  /// axis titles underneath.
+  void render(std::ostream& out) const;
+
+  /// Convenience: render to std::cout.
+  void render() const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<std::pair<char, std::vector<std::pair<double, double>>>> series_;
+};
+
+}  // namespace worms::analysis

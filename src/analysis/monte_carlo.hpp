@@ -1,0 +1,40 @@
+// Monte Carlo harness: runs a per-seed experiment `runs` times and aggregates
+// the integer outcome (here: total infections I) into a frequency table and
+// summary.  Run k always uses stream seed derive_seed(base_seed, k), so a
+// sweep is reproducible and insensitive to execution order.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/empirical.hpp"
+#include "stats/summary.hpp"
+#include "support/rng.hpp"
+
+namespace worms::analysis {
+
+struct MonteCarloOutcome {
+  stats::FrequencyTable totals;  ///< distribution of the integer outcome
+  stats::Summary summary;        ///< mean / variance / extrema
+  std::uint64_t runs = 0;
+
+  /// Empirical P{X <= k} (the measured counterpart of Borel–Tanner's cdf).
+  [[nodiscard]] double empirical_cdf(std::uint64_t k) const {
+    return totals.cumulative_frequency(k);
+  }
+};
+
+/// `experiment(seed, run_index)` returns the run's integer outcome.
+template <typename Experiment>
+[[nodiscard]] MonteCarloOutcome run_monte_carlo(std::uint64_t runs, std::uint64_t base_seed,
+                                                Experiment&& experiment) {
+  MonteCarloOutcome out;
+  out.runs = runs;
+  for (std::uint64_t k = 0; k < runs; ++k) {
+    const std::uint64_t value = experiment(support::derive_seed(base_seed, k), k);
+    out.totals.add(value);
+    out.summary.add(static_cast<double>(value));
+  }
+  return out;
+}
+
+}  // namespace worms::analysis

@@ -1,0 +1,23 @@
+#include "analysis/series.hpp"
+
+#include "support/check.hpp"
+
+namespace worms::analysis {
+
+std::vector<std::size_t> downsample_indices(std::size_t n, std::size_t max_points) {
+  WORMS_EXPECTS(max_points >= 2);
+  std::vector<std::size_t> idx;
+  if (n == 0) return idx;
+  if (n <= max_points) {
+    idx.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) idx.push_back(i);
+    return idx;
+  }
+  idx.reserve(max_points);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    idx.push_back(i * (n - 1) / (max_points - 1));
+  }
+  return idx;
+}
+
+}  // namespace worms::analysis

@@ -1,0 +1,14 @@
+// Small helpers for printing figure data as (x, y) series.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace worms::analysis {
+
+/// Picks at most `max_points` indices evenly across [0, n), always including
+/// the first and last.  Figure benches use this so a 10^5-point sample path
+/// prints as a readable ~40-row series.
+[[nodiscard]] std::vector<std::size_t> downsample_indices(std::size_t n, std::size_t max_points);
+
+}  // namespace worms::analysis

@@ -1,0 +1,67 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace worms::analysis {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  WORMS_EXPECTS(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  WORMS_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << std::fixed << value;
+  return os.str();
+}
+
+std::string Table::fmt(std::uint64_t value) { return std::to_string(value); }
+
+std::string Table::fmt_percent(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << std::fixed << fraction * 100.0 << '%';
+  return os.str();
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::setw(static_cast<int>(widths[c])) << row[c];
+      out << (c + 1 < row.size() ? "  " : "\n");
+    }
+  };
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c], '-') << (c + 1 < headers_.size() ? "  " : "\n");
+  }
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print() const { print(std::cout); }
+
+void Table::print_csv(std::ostream& out) const {
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << (c + 1 < row.size() ? "," : "\n");
+    }
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace worms::analysis

@@ -1,0 +1,41 @@
+// Aligned-column table printing for the bench harness output ("the same rows
+// the paper reports").  Cells are formatted up front; the printer only
+// handles layout.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace worms::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  [[nodiscard]] static std::string fmt(double value, int precision = 4);
+  [[nodiscard]] static std::string fmt(std::uint64_t value);
+  [[nodiscard]] static std::string fmt_percent(double fraction, int precision = 2);
+
+  /// Monospace-aligned rendering with a header underline.
+  void print(std::ostream& out) const;
+
+  /// Convenience: print to std::cout.
+  void print() const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace worms::analysis

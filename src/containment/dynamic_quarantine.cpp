@@ -1,0 +1,46 @@
+#include "containment/dynamic_quarantine.hpp"
+
+#include "support/check.hpp"
+
+namespace worms::containment {
+
+DynamicQuarantinePolicy::DynamicQuarantinePolicy(const Config& config)
+    : config_(config), rng_(config.seed) {
+  WORMS_EXPECTS(config.alarm_probability >= 0.0 && config.alarm_probability <= 1.0);
+  WORMS_EXPECTS(config.quarantine_time > 0.0);
+}
+
+core::ScanDecision DynamicQuarantinePolicy::on_scan(net::HostId host, sim::SimTime now,
+                                                    net::Ipv4Address) {
+  if (host >= quarantined_until_.size()) {
+    quarantined_until_.resize(static_cast<std::size_t>(host) + 1, -1.0);
+  }
+  sim::SimTime& until = quarantined_until_[host];
+  if (now < until) return core::ScanDecision::drop();
+
+  if (rng_.bernoulli(config_.alarm_probability)) {
+    ++alarms_;
+    until = now + config_.quarantine_time;
+    return core::ScanDecision::drop();
+  }
+  return core::ScanDecision::allow();
+}
+
+void DynamicQuarantinePolicy::on_host_restored(net::HostId host, sim::SimTime) {
+  if (host < quarantined_until_.size()) quarantined_until_[host] = -1.0;
+}
+
+std::string DynamicQuarantinePolicy::name() const {
+  return "dynamic-quarantine(p=" + std::to_string(config_.alarm_probability) +
+         ",T=" + std::to_string(config_.quarantine_time) + "s)";
+}
+
+std::unique_ptr<core::ContainmentPolicy> DynamicQuarantinePolicy::clone() const {
+  return std::make_unique<DynamicQuarantinePolicy>(config_);
+}
+
+bool DynamicQuarantinePolicy::is_quarantined(net::HostId host, sim::SimTime now) const {
+  return host < quarantined_until_.size() && now < quarantined_until_[host];
+}
+
+}  // namespace worms::containment

@@ -1,0 +1,47 @@
+// Zou et al.'s dynamic quarantine ("Worm Propagation Modeling and Analysis
+// under Dynamic Quarantine Defense", WORM'03), discussed in the paper's §II.
+//
+// Philosophy: "assume guilty before proven innocent" — any host whose traffic
+// looks anomalous is quarantined for a short time and then released, tolerating
+// a high false-alarm rate.  We model the underlying (imperfect) anomaly
+// detector as a per-scan alarm probability; a quarantined host's traffic is
+// dropped until the quarantine expires.  The scheme slows worms down but —
+// as both Zou's analysis and the paper note — cannot guarantee containment;
+// ablation A2 reproduces that contrast against the scan-limit scheme.
+#pragma once
+
+#include <vector>
+
+#include "core/containment_policy.hpp"
+#include "support/rng.hpp"
+
+namespace worms::containment {
+
+class DynamicQuarantinePolicy final : public core::ContainmentPolicy {
+ public:
+  struct Config {
+    double alarm_probability = 1e-3;      ///< per-scan detection probability
+    sim::SimTime quarantine_time = 10.0;  ///< seconds a quarantined host is muted
+    std::uint64_t seed = 0x51ab5eed;      ///< detector noise stream
+  };
+
+  explicit DynamicQuarantinePolicy(const Config& config);
+
+  [[nodiscard]] core::ScanDecision on_scan(net::HostId host, sim::SimTime now,
+                                           net::Ipv4Address destination) override;
+  void on_host_restored(net::HostId host, sim::SimTime now) override;
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<core::ContainmentPolicy> clone() const override;
+
+  [[nodiscard]] bool is_quarantined(net::HostId host, sim::SimTime now) const;
+  [[nodiscard]] std::uint64_t total_alarms() const noexcept { return alarms_; }
+
+ private:
+  Config config_;
+  support::Rng rng_;
+  std::vector<sim::SimTime> quarantined_until_;
+  std::uint64_t alarms_ = 0;
+};
+
+}  // namespace worms::containment

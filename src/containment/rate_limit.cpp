@@ -1,0 +1,37 @@
+#include "containment/rate_limit.hpp"
+
+#include "support/check.hpp"
+
+namespace worms::containment {
+
+RateLimitPolicy::RateLimitPolicy(double max_rate) {
+  WORMS_EXPECTS(max_rate > 0.0);
+  interval_ = 1.0 / max_rate;
+}
+
+core::ScanDecision RateLimitPolicy::on_scan(net::HostId host, sim::SimTime now,
+                                            net::Ipv4Address) {
+  if (host >= next_free_.size()) next_free_.resize(static_cast<std::size_t>(host) + 1, 0.0);
+  sim::SimTime& next_free = next_free_[host];
+  if (next_free <= now) {
+    next_free = now + interval_;
+    return core::ScanDecision::allow();
+  }
+  const sim::SimTime delay = next_free - now;
+  next_free += interval_;
+  return core::ScanDecision::delayed(delay);
+}
+
+void RateLimitPolicy::on_host_restored(net::HostId host, sim::SimTime) {
+  if (host < next_free_.size()) next_free_[host] = 0.0;
+}
+
+std::string RateLimitPolicy::name() const {
+  return "rate-limit(" + std::to_string(1.0 / interval_) + "/s)";
+}
+
+std::unique_ptr<core::ContainmentPolicy> RateLimitPolicy::clone() const {
+  return std::make_unique<RateLimitPolicy>(1.0 / interval_);
+}
+
+}  // namespace worms::containment

@@ -1,0 +1,30 @@
+// Classic rate limiting (paper §II "Rate-control based countermeasures"):
+// a per-host leaky bucket that serializes new connections at a fixed rate.
+// Effective against fast scanners, powerless against worms that scan slower
+// than the configured rate — exactly the weakness the paper's scheme fixes.
+#pragma once
+
+#include <vector>
+
+#include "core/containment_policy.hpp"
+
+namespace worms::containment {
+
+class RateLimitPolicy final : public core::ContainmentPolicy {
+ public:
+  /// `max_rate` in connections/second (Williamson's canonical setting: 1/s).
+  explicit RateLimitPolicy(double max_rate);
+
+  [[nodiscard]] core::ScanDecision on_scan(net::HostId host, sim::SimTime now,
+                                           net::Ipv4Address destination) override;
+  void on_host_restored(net::HostId host, sim::SimTime now) override;
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<core::ContainmentPolicy> clone() const override;
+
+ private:
+  double interval_;  // 1 / max_rate
+  std::vector<sim::SimTime> next_free_;
+};
+
+}  // namespace worms::containment

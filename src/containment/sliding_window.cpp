@@ -1,0 +1,47 @@
+#include "containment/sliding_window.hpp"
+
+#include "support/check.hpp"
+
+namespace worms::containment {
+
+SlidingWindowScanPolicy::SlidingWindowScanPolicy(const Config& config) : config_(config) {
+  WORMS_EXPECTS(config.scan_limit >= 1);
+  WORMS_EXPECTS(config.window > 0.0);
+}
+
+core::ScanDecision SlidingWindowScanPolicy::on_scan(net::HostId host, sim::SimTime now,
+                                                    net::Ipv4Address) {
+  if (host >= history_.size()) history_.resize(static_cast<std::size_t>(host) + 1);
+  auto& hist = history_[host];
+  while (!hist.empty() && hist.front() <= now - config_.window) hist.pop_front();
+  hist.push_back(now);
+  if (hist.size() >= config_.scan_limit) {
+    // Same semantics as the tumbling policy: the M-th scan goes out, then
+    // the host is pulled for checking.
+    return core::ScanDecision::allow_and_remove();
+  }
+  return core::ScanDecision::allow();
+}
+
+void SlidingWindowScanPolicy::on_host_restored(net::HostId host, sim::SimTime) {
+  if (host < history_.size()) history_[host].clear();
+}
+
+std::string SlidingWindowScanPolicy::name() const {
+  return "sliding-window(M=" + std::to_string(config_.scan_limit) + ")";
+}
+
+std::unique_ptr<core::ContainmentPolicy> SlidingWindowScanPolicy::clone() const {
+  return std::make_unique<SlidingWindowScanPolicy>(config_);
+}
+
+std::uint64_t SlidingWindowScanPolicy::count_in_window(net::HostId host,
+                                                       sim::SimTime now) const {
+  if (host >= history_.size()) return 0;
+  const auto& hist = history_[host];
+  std::uint64_t count = 0;
+  for (auto it = hist.rbegin(); it != hist.rend() && *it > now - config_.window; ++it) ++count;
+  return count;
+}
+
+}  // namespace worms::containment

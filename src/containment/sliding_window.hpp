@@ -1,0 +1,49 @@
+// Sliding-window variant of the paper's scan-budget containment.
+//
+// The paper's scheme counts unique destinations per *tumbling* containment
+// cycle and resets the counter at each boundary (core::ScanCountLimitPolicy).
+// That semantics has a boundary exploit the paper does not discuss: a worm
+// aware of the cycle schedule can emit M−1 scans just before a boundary and
+// another M−1 right after — ~2M scans in an arbitrarily short span — doubling
+// the offspring mean during the straddle.  This policy enforces the budget
+// over a *sliding* window of the same length: at any instant, no host may
+// have contacted more than M destinations within the past `window` seconds.
+// Sliding enforcement dominates tumbling (any sliding-compliant history is
+// tumbling-compliant) at the cost of per-host timestamp state.
+// bench/ablation_window_semantics quantifies the difference.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/containment_policy.hpp"
+
+namespace worms::containment {
+
+class SlidingWindowScanPolicy final : public core::ContainmentPolicy {
+ public:
+  struct Config {
+    std::uint64_t scan_limit = 10'000;           ///< M
+    sim::SimTime window = 30.0 * sim::kDay;      ///< enforcement window
+  };
+
+  explicit SlidingWindowScanPolicy(const Config& config);
+
+  [[nodiscard]] core::ScanDecision on_scan(net::HostId host, sim::SimTime now,
+                                           net::Ipv4Address destination) override;
+  void on_host_restored(net::HostId host, sim::SimTime now) override;
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<core::ContainmentPolicy> clone() const override;
+
+  /// Scans currently inside the window for a host.
+  [[nodiscard]] std::uint64_t count_in_window(net::HostId host, sim::SimTime now) const;
+
+ private:
+  Config config_;
+  // Per-host timestamps of in-window scans, oldest first.
+  std::vector<std::deque<sim::SimTime>> history_;
+};
+
+}  // namespace worms::containment

@@ -1,0 +1,74 @@
+#include "containment/virus_throttle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace worms::containment {
+
+VirusThrottlePolicy::VirusThrottlePolicy(const Config& config) : config_(config) {
+  WORMS_EXPECTS(config.working_set_size >= 1);
+  WORMS_EXPECTS(config.tick > 0.0);
+  WORMS_EXPECTS(config.detect_queue_length >= 1);
+}
+
+bool VirusThrottlePolicy::in_working_set(const HostThrottle& t, std::uint32_t addr) const {
+  return std::find(t.working_set.begin(), t.working_set.end(), addr) != t.working_set.end();
+}
+
+void VirusThrottlePolicy::touch_working_set(HostThrottle& t, std::uint32_t addr) {
+  const auto it = std::find(t.working_set.begin(), t.working_set.end(), addr);
+  if (it != t.working_set.end()) t.working_set.erase(it);
+  t.working_set.push_front(addr);
+  if (t.working_set.size() > config_.working_set_size) t.working_set.pop_back();
+}
+
+core::ScanDecision VirusThrottlePolicy::on_scan(net::HostId host, sim::SimTime now,
+                                                net::Ipv4Address destination) {
+  if (host >= hosts_.size()) hosts_.resize(static_cast<std::size_t>(host) + 1);
+  HostThrottle& t = hosts_[host];
+
+  if (in_working_set(t, destination.value())) {
+    touch_working_set(t, destination.value());  // refresh LRU position
+    return core::ScanDecision::allow();
+  }
+
+  // New destination: it joins the virtual delay queue, released one per tick.
+  // Once released it becomes the host's "recent" traffic, so the working set
+  // is updated now with the would-be-released destination.
+  touch_working_set(t, destination.value());
+
+  if (t.next_release <= now) {
+    t.next_release = now + config_.tick;
+    return core::ScanDecision::allow();
+  }
+  const sim::SimTime delay = t.next_release - now;
+  t.next_release += config_.tick;
+
+  const auto queued = static_cast<std::size_t>(std::ceil(delay / config_.tick));
+  if (queued >= config_.detect_queue_length) return core::ScanDecision::remove();
+  return core::ScanDecision::delayed(delay);
+}
+
+void VirusThrottlePolicy::on_host_restored(net::HostId host, sim::SimTime) {
+  if (host < hosts_.size()) hosts_[host] = HostThrottle{};
+}
+
+std::string VirusThrottlePolicy::name() const {
+  return "virus-throttle(ws=" + std::to_string(config_.working_set_size) +
+         ",tick=" + std::to_string(config_.tick) + "s)";
+}
+
+std::unique_ptr<core::ContainmentPolicy> VirusThrottlePolicy::clone() const {
+  return std::make_unique<VirusThrottlePolicy>(config_);
+}
+
+std::size_t VirusThrottlePolicy::queue_length(net::HostId host, sim::SimTime now) const {
+  if (host >= hosts_.size()) return 0;
+  const HostThrottle& t = hosts_[host];
+  if (t.next_release <= now) return 0;
+  return static_cast<std::size_t>(std::ceil((t.next_release - now) / config_.tick));
+}
+
+}  // namespace worms::containment

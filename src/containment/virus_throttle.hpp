@@ -1,0 +1,57 @@
+// Williamson's virus throttle ("Throttling Viruses", ACSAC 2002), the
+// benchmark rate-control defense discussed in the paper's §II and §IV.
+//
+// Per host:
+//   * a small LRU working set of recently contacted destinations — traffic to
+//     those passes freely (normal traffic is strongly repetitive);
+//   * connections to *new* destinations drain from a delay queue at one per
+//     `tick` (canonically 1 s);
+//   * a queue longer than `detect_queue_length` signals an epidemic and the
+//     host is taken offline.
+// Fast scanners are slowed and detected within seconds; worms scanning below
+// 1 new destination/s sail through — the paper's argument for budget-based
+// (total-scan) rather than rate-based control.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/containment_policy.hpp"
+
+namespace worms::containment {
+
+class VirusThrottlePolicy final : public core::ContainmentPolicy {
+ public:
+  struct Config {
+    std::size_t working_set_size = 5;
+    sim::SimTime tick = 1.0;                ///< one new destination per tick
+    std::size_t detect_queue_length = 100;  ///< queue length that triggers removal
+  };
+
+  explicit VirusThrottlePolicy(const Config& config);
+
+  [[nodiscard]] core::ScanDecision on_scan(net::HostId host, sim::SimTime now,
+                                           net::Ipv4Address destination) override;
+  void on_host_restored(net::HostId host, sim::SimTime now) override;
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<core::ContainmentPolicy> clone() const override;
+
+  /// Instantaneous queue length for a host (for tests / ablation output).
+  [[nodiscard]] std::size_t queue_length(net::HostId host, sim::SimTime now) const;
+
+ private:
+  struct HostThrottle {
+    std::deque<std::uint32_t> working_set;  // front = most recent
+    sim::SimTime next_release = 0.0;
+  };
+
+  [[nodiscard]] bool in_working_set(const HostThrottle& t, std::uint32_t addr) const;
+  void touch_working_set(HostThrottle& t, std::uint32_t addr);
+
+  Config config_;
+  std::vector<HostThrottle> hosts_;
+};
+
+}  // namespace worms::containment

@@ -1,0 +1,92 @@
+#include "core/borel_tanner.hpp"
+
+#include <cmath>
+
+#include "math/kahan.hpp"
+#include "math/specfun.hpp"
+#include "support/check.hpp"
+
+namespace worms::core {
+
+BorelTanner::BorelTanner(double lambda, std::uint64_t initial) : lambda_(lambda), i0_(initial) {
+  WORMS_EXPECTS(lambda >= 0.0 && lambda < 1.0);
+  WORMS_EXPECTS(initial >= 1);
+}
+
+double BorelTanner::log_pmf(std::uint64_t k) const {
+  if (k < i0_) return -HUGE_VAL;
+  const double kd = static_cast<double>(k);
+  const double i0d = static_cast<double>(i0_);
+  if (lambda_ == 0.0) return k == i0_ ? 0.0 : -HUGE_VAL;
+  // ln(I0/k) − kλ + (k−I0)·ln(kλ) − ln((k−I0)!)
+  return std::log(i0d / kd) - kd * lambda_ + (kd - i0d) * std::log(kd * lambda_) -
+         math::log_factorial(k - i0_);
+}
+
+double BorelTanner::pmf(std::uint64_t k) const { return std::exp(log_pmf(k)); }
+
+void BorelTanner::extend_cdf_cache(std::uint64_t k) const {
+  if (k < i0_) return;
+  const std::size_t need = static_cast<std::size_t>(k - i0_) + 1;
+  if (cdf_cache_.size() >= need) return;
+  const double base = cdf_cache_.empty() ? 0.0 : cdf_cache_.back();
+  const std::uint64_t start = i0_ + cdf_cache_.size();
+  math::KahanSum acc(base);
+  cdf_cache_.reserve(need);
+  for (std::uint64_t j = start; j <= k; ++j) {
+    acc.add(pmf(j));
+    cdf_cache_.push_back(std::min(1.0, acc.value()));
+  }
+}
+
+double BorelTanner::cdf(std::uint64_t k) const {
+  if (k < i0_) return 0.0;
+  extend_cdf_cache(k);
+  return cdf_cache_[static_cast<std::size_t>(k - i0_)];
+}
+
+std::uint64_t BorelTanner::quantile(double q) const {
+  WORMS_EXPECTS(q >= 0.0 && q < 1.0);
+  std::uint64_t k = i0_;
+  // cdf(k) → 1 as k → ∞ in the subcritical regime; grow geometrically then
+  // binary-search the crossing.
+  std::uint64_t hi = i0_ + 1;
+  while (cdf(hi) < q) {
+    WORMS_ENSURES(hi < (std::uint64_t{1} << 40));  // subcritical ⇒ must terminate
+    hi *= 2;
+  }
+  std::uint64_t lo = k;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (cdf(mid) >= q) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+double BorelTanner::mean() const noexcept {
+  return static_cast<double>(i0_) / (1.0 - lambda_);
+}
+
+double BorelTanner::variance() const noexcept {
+  const double one_minus = 1.0 - lambda_;
+  return static_cast<double>(i0_) * lambda_ / (one_minus * one_minus * one_minus);
+}
+
+double BorelTanner::paper_variance() const noexcept {
+  const double one_minus = 1.0 - lambda_;
+  return static_cast<double>(i0_) / (one_minus * one_minus * one_minus);
+}
+
+std::vector<double> BorelTanner::pmf_range(std::uint64_t k_max) const {
+  WORMS_EXPECTS(k_max >= i0_);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(k_max - i0_) + 1);
+  for (std::uint64_t k = i0_; k <= k_max; ++k) out.push_back(pmf(k));
+  return out;
+}
+
+}  // namespace worms::core

@@ -1,0 +1,62 @@
+// Borel–Tanner distribution of the branching process's total progeny
+// (paper §III-C, Eq. (4)).
+//
+// With Poisson(λ) offspring (λ < 1) and I0 initial infected hosts, the total
+// number of ever-infected hosts I = Σ_n I_n satisfies
+//
+//   P{I = k} = (I0 / k) · e^{−kλ} · (kλ)^{k−I0} / (k − I0)!,   k >= I0,
+//
+// with E[I] = I0 / (1 − λ).  The paper prints VAR(I) = I0/(1−λ)^3; the
+// standard Borel–Tanner variance is I0·λ/(1−λ)^3 — both are exposed and the
+// discrepancy is resolved empirically in bench/ablation_variance_formula.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace worms::core {
+
+class BorelTanner {
+ public:
+  /// Requires 0 <= lambda < 1 (subcritical: the paper's containment regime)
+  /// and initial >= 1.
+  BorelTanner(double lambda, std::uint64_t initial);
+
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+  [[nodiscard]] std::uint64_t initial() const noexcept { return i0_; }
+
+  /// ln P{I = k}; −inf for k < I0.
+  [[nodiscard]] double log_pmf(std::uint64_t k) const;
+  [[nodiscard]] double pmf(std::uint64_t k) const;
+
+  /// P{I <= k} by stable cumulative summation (cached internally).
+  [[nodiscard]] double cdf(std::uint64_t k) const;
+
+  /// P{I > k}.
+  [[nodiscard]] double tail(std::uint64_t k) const { return 1.0 - cdf(k); }
+
+  /// Smallest k with P{I <= k} >= q.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+  /// E[I] = I0 / (1 − λ).
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Standard Borel–Tanner variance I0·λ/(1−λ)^3.
+  [[nodiscard]] double variance() const noexcept;
+
+  /// The variance expression printed in the paper, I0/(1−λ)^3 (kept for
+  /// side-by-side comparison; see DESIGN.md §1).
+  [[nodiscard]] double paper_variance() const noexcept;
+
+  /// pmf values for k = I0 .. k_max (convenience for the figure benches).
+  [[nodiscard]] std::vector<double> pmf_range(std::uint64_t k_max) const;
+
+ private:
+  void extend_cdf_cache(std::uint64_t k) const;
+
+  double lambda_;
+  std::uint64_t i0_;
+  mutable std::vector<double> cdf_cache_;  // cdf_cache_[j] = P{I <= I0 + j}
+};
+
+}  // namespace worms::core

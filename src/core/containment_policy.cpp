@@ -1,0 +1,7 @@
+#include "core/containment_policy.hpp"
+
+namespace worms::core {
+
+void ContainmentPolicy::on_host_restored(net::HostId, sim::SimTime) {}
+
+}  // namespace worms::core

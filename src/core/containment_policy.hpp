@@ -1,0 +1,77 @@
+// The containment-policy interface every scheme implements (the paper's
+// scan-count limit in this module; rate-limit, virus-throttle, and dynamic-
+// quarantine baselines in worms::containment).
+//
+// A policy observes every outbound *new-connection attempt* (a scan, from the
+// defender's point of view — the policy cannot tell worm traffic from normal
+// traffic) and decides what the enforcement point does with it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/host_registry.hpp"
+#include "net/ipv4.hpp"
+#include "sim/time.hpp"
+
+namespace worms::core {
+
+enum class ScanAction {
+  Allow,           ///< forward the packet
+  Drop,            ///< silently discard this packet, host stays up
+  Delay,           ///< queue the packet; it is released after `delay` seconds
+  Remove,          ///< discard the packet and take the host offline
+  AllowAndRemove,  ///< forward this last packet, then take the host offline
+                   ///< (the paper's semantics: "a host is removed if it has
+                   ///< sent M scans" — the M-th scan does go out, which is
+                   ///< what makes the offspring count exactly Binomial(M, p))
+};
+
+struct ScanDecision {
+  ScanAction action = ScanAction::Allow;
+  sim::SimTime delay = 0.0;  ///< meaningful only for ScanAction::Delay
+
+  [[nodiscard]] static ScanDecision allow() noexcept { return {ScanAction::Allow, 0.0}; }
+  [[nodiscard]] static ScanDecision drop() noexcept { return {ScanAction::Drop, 0.0}; }
+  [[nodiscard]] static ScanDecision delayed(sim::SimTime d) noexcept {
+    return {ScanAction::Delay, d};
+  }
+  [[nodiscard]] static ScanDecision remove() noexcept { return {ScanAction::Remove, 0.0}; }
+  [[nodiscard]] static ScanDecision allow_and_remove() noexcept {
+    return {ScanAction::AllowAndRemove, 0.0};
+  }
+};
+
+class ContainmentPolicy {
+ public:
+  virtual ~ContainmentPolicy() = default;
+
+  /// Called for every outbound connection attempt `host → destination` at
+  /// simulated time `now`.
+  [[nodiscard]] virtual ScanDecision on_scan(net::HostId host, sim::SimTime now,
+                                             net::Ipv4Address destination) = 0;
+
+  /// Called when a removed host has been checked, cleaned, and put back
+  /// (its counters must reset — paper step 4).
+  virtual void on_host_restored(net::HostId host, sim::SimTime now);
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Fresh instance with identical configuration and cleared state;
+  /// Monte Carlo sweeps clone one prototype per run.
+  [[nodiscard]] virtual std::unique_ptr<ContainmentPolicy> clone() const = 0;
+};
+
+/// No containment at all — the paper's "do nothing" comparison point.
+class NullPolicy final : public ContainmentPolicy {
+ public:
+  [[nodiscard]] ScanDecision on_scan(net::HostId, sim::SimTime, net::Ipv4Address) override {
+    return ScanDecision::allow();
+  }
+  [[nodiscard]] std::string name() const override { return "none"; }
+  [[nodiscard]] std::unique_ptr<ContainmentPolicy> clone() const override {
+    return std::make_unique<NullPolicy>();
+  }
+};
+
+}  // namespace worms::core

@@ -1,0 +1,43 @@
+#include "core/cycle_controller.hpp"
+
+#include <algorithm>
+
+#include "core/planner.hpp"
+#include "support/check.hpp"
+
+namespace worms::core {
+
+AdaptiveCycleController::AdaptiveCycleController(const Config& config,
+                                                 sim::SimTime initial_cycle)
+    : config_(config), cycle_(initial_cycle) {
+  WORMS_EXPECTS(config.scan_limit >= 1);
+  WORMS_EXPECTS(config.safety_fraction > 0.0 && config.safety_fraction <= 1.0);
+  WORMS_EXPECTS(config.smoothing > 0.0 && config.smoothing <= 1.0);
+  WORMS_EXPECTS(config.min_cycle > 0.0);
+  WORMS_EXPECTS(config.max_cycle >= config.min_cycle);
+  WORMS_EXPECTS(initial_cycle >= config.min_cycle && initial_cycle <= config.max_cycle);
+}
+
+sim::SimTime AdaptiveCycleController::on_cycle_complete(double max_observed_distinct) {
+  WORMS_EXPECTS(max_observed_distinct >= 0.0);
+  ++cycles_;
+
+  // Normalize the observation to a per-day rate before smoothing so cycles
+  // of different lengths average coherently.
+  const double rate_per_day = max_observed_distinct / (cycle_ / sim::kDay);
+  smoothed_peak_ = cycles_ == 1
+                       ? rate_per_day
+                       : (1.0 - config_.smoothing) * smoothed_peak_ +
+                             config_.smoothing * rate_per_day;
+
+  if (smoothed_peak_ <= 0.0) {
+    cycle_ = config_.max_cycle;  // silence: nothing constrains the cycle
+    return cycle_;
+  }
+  const sim::SimTime recommended = plan_cycle_length(
+      sim::kDay, smoothed_peak_, config_.scan_limit, config_.safety_fraction);
+  cycle_ = std::clamp(recommended, config_.min_cycle, config_.max_cycle);
+  return cycle_;
+}
+
+}  // namespace worms::core

@@ -1,0 +1,47 @@
+// Adaptive containment-cycle control — paper §IV step 5: "We can then
+// increase (reduce) the duration of the containment cycle depending on the
+// observed activity of scans by correctly operating hosts."
+//
+// The controller consumes, once per completed cycle, the busiest clean
+// host's distinct-destination count, smooths it (EWMA, so one bursty month
+// doesn't whipsaw the deployment), and recommends the next cycle length via
+// the same extrapolation as plan_cycle_length, clamped to operational
+// bounds.  Longer cycles are better for containment (the budget M covers
+// more wall-clock time); the constraint is that no clean host should
+// approach the budget within a cycle.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace worms::core {
+
+class AdaptiveCycleController {
+ public:
+  struct Config {
+    std::uint64_t scan_limit = 10'000;          ///< M
+    double safety_fraction = 0.5;               ///< keep max activity under f·M
+    double smoothing = 0.3;                     ///< EWMA weight of the newest cycle
+    sim::SimTime min_cycle = 7.0 * sim::kDay;   ///< operational floor
+    sim::SimTime max_cycle = 90.0 * sim::kDay;  ///< staleness ceiling
+  };
+
+  AdaptiveCycleController(const Config& config, sim::SimTime initial_cycle);
+
+  /// Reports one completed cycle's busiest clean-host distinct count and
+  /// returns the recommended length of the next cycle.
+  sim::SimTime on_cycle_complete(double max_observed_distinct);
+
+  [[nodiscard]] sim::SimTime current_cycle_length() const noexcept { return cycle_; }
+  [[nodiscard]] double smoothed_peak_activity() const noexcept { return smoothed_peak_; }
+  [[nodiscard]] std::uint64_t cycles_completed() const noexcept { return cycles_; }
+
+ private:
+  Config config_;
+  sim::SimTime cycle_;
+  double smoothed_peak_ = 0.0;  // per-current-cycle units
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace worms::core

@@ -1,0 +1,86 @@
+#include "core/galton_watson.hpp"
+
+#include <cmath>
+
+#include "math/brent.hpp"
+#include "support/check.hpp"
+
+namespace worms::core {
+
+std::uint64_t extinction_scan_threshold(double density) {
+  WORMS_EXPECTS(density > 0.0 && density <= 1.0);
+  return static_cast<std::uint64_t>(std::floor(1.0 / density));
+}
+
+double ultimate_extinction_probability(const OffspringDistribution& offspring,
+                                       std::uint64_t initial) {
+  WORMS_EXPECTS(initial >= 1);
+  if (offspring.mean() <= 1.0) return 1.0;
+
+  // Subcritical root: φ(s) − s has exactly one zero in [0, 1) when the mean
+  // exceeds 1 (φ is convex, φ(1) = 1, φ'(1) = mean > 1).  Fixed-point
+  // iteration from 0 converges to it monotonically; Brent then polishes.
+  double s = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double next = offspring.pgf(s);
+    if (std::fabs(next - s) < 1e-14) {
+      s = next;
+      break;
+    }
+    s = next;
+  }
+  // Polish with a bracketed root find around the fixed-point estimate.
+  const auto f = [&offspring](double x) { return offspring.pgf(x) - x; };
+  const double lo = std::max(0.0, s - 1e-6);
+  const double hi = std::min(1.0 - 1e-12, s + 1e-6);
+  if (lo < hi && std::signbit(f(lo)) != std::signbit(f(hi))) {
+    s = math::brent_find_root(f, lo, hi, 1e-15).root;
+  }
+  return std::pow(s, static_cast<double>(initial));
+}
+
+std::vector<double> extinction_probability_by_generation(const OffspringDistribution& offspring,
+                                                         std::uint64_t initial,
+                                                         std::size_t max_generation) {
+  WORMS_EXPECTS(initial >= 1);
+  std::vector<double> out;
+  out.reserve(max_generation + 1);
+  double s = 0.0;  // P{single-root process extinct by generation 0} = 0
+  out.push_back(std::pow(s, static_cast<double>(initial)));
+  for (std::size_t n = 1; n <= max_generation; ++n) {
+    s = offspring.pgf(s);
+    out.push_back(std::pow(s, static_cast<double>(initial)));
+  }
+  return out;
+}
+
+GwRealization simulate_galton_watson(const OffspringDistribution& offspring,
+                                     const GwSimOptions& options, support::Rng& rng) {
+  WORMS_EXPECTS(options.initial >= 1);
+  GwRealization out;
+  out.generation_sizes.push_back(options.initial);
+  out.total_progeny = options.initial;
+
+  std::uint64_t current = options.initial;
+  std::size_t generation = 0;
+  while (current > 0) {
+    if (out.total_progeny > options.total_cap || generation >= options.generation_cap) {
+      out.extinct = false;
+      out.generations = generation;
+      return out;
+    }
+    std::uint64_t next = 0;
+    for (std::uint64_t k = 0; k < current; ++k) next += offspring.sample(rng);
+    ++generation;
+    out.generation_sizes.push_back(next);
+    out.total_progeny += next;
+    current = next;
+  }
+  out.extinct = true;
+  // generation_sizes holds I_0..I_g with the final entry 0; the last
+  // *populated* generation is generation − 1.
+  out.generations = generation == 0 ? 0 : generation - 1;
+  return out;
+}
+
+}  // namespace worms::core

@@ -1,0 +1,49 @@
+// Galton–Watson branching-process analytics — the heart of the paper's
+// model (§III-A/B) and Proposition 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/offspring.hpp"
+#include "support/rng.hpp"
+
+namespace worms::core {
+
+/// Proposition 1: the worm dies out with probability 1 iff M <= 1/p.
+/// This returns the largest integer scan budget satisfying that bound
+/// (⌊1/p⌋; e.g. 11,930 for Code Red, 35,791 for Slammer).
+[[nodiscard]] std::uint64_t extinction_scan_threshold(double density);
+
+/// Ultimate extinction probability π = P{I_n = 0 for some n} for a process
+/// with `initial` independent roots: the smallest root of φ(s) = s in [0, 1],
+/// raised to `initial`.  Returns exactly 1.0 when the offspring mean <= 1.
+[[nodiscard]] double ultimate_extinction_probability(const OffspringDistribution& offspring,
+                                                     std::uint64_t initial = 1);
+
+/// Per-generation extinction probabilities P_n = P{I_n = 0}, n = 0..max_gen
+/// inclusive (Fig. 3): s_{n+1} = φ(s_n), s_0 = 0, P_n = s_n^{I0}.
+[[nodiscard]] std::vector<double> extinction_probability_by_generation(
+    const OffspringDistribution& offspring, std::uint64_t initial, std::size_t max_generation);
+
+/// One generation-level Monte Carlo realization of the branching process.
+struct GwRealization {
+  bool extinct = false;                          ///< process died before the cap
+  std::uint64_t total_progeny = 0;               ///< Σ_n I_n (includes the roots)
+  std::uint64_t generations = 0;                 ///< last generation with I_n > 0
+  std::vector<std::uint64_t> generation_sizes;   ///< I_0, I_1, ...
+};
+
+struct GwSimOptions {
+  std::uint64_t initial = 1;
+  std::uint64_t total_cap = 1'000'000;  ///< stop (non-extinct) beyond this progeny
+  std::size_t generation_cap = 10'000;
+};
+
+/// Simulates the process generation by generation.  Supercritical
+/// realizations are truncated at the caps and reported as non-extinct.
+[[nodiscard]] GwRealization simulate_galton_watson(const OffspringDistribution& offspring,
+                                                   const GwSimOptions& options,
+                                                   support::Rng& rng);
+
+}  // namespace worms::core

@@ -1,0 +1,134 @@
+#include "core/multitype.hpp"
+
+#include <cmath>
+
+#include "stats/samplers.hpp"
+#include "support/check.hpp"
+
+namespace worms::core {
+
+MultiTypeBranching::MultiTypeBranching(const std::vector<std::vector<double>>& mean_matrix)
+    : mean_(math::Matrix::from_rows(mean_matrix)) {
+  WORMS_EXPECTS(mean_.rows() == mean_.cols());
+  for (std::size_t i = 0; i < mean_.rows(); ++i) {
+    for (std::size_t j = 0; j < mean_.cols(); ++j) {
+      WORMS_EXPECTS(mean_.at(i, j) >= 0.0);
+    }
+  }
+}
+
+double MultiTypeBranching::criticality() const { return math::spectral_radius(mean_); }
+
+std::uint64_t MultiTypeBranching::extinction_scan_threshold(
+    const std::vector<std::vector<double>>& per_scan_rates) {
+  const MultiTypeBranching unit(per_scan_rates);
+  const double rho = unit.criticality();
+  WORMS_EXPECTS(rho > 0.0);
+  return static_cast<std::uint64_t>(std::floor(1.0 / rho));
+}
+
+std::vector<double> MultiTypeBranching::pgf(const std::vector<double>& s) const {
+  const std::size_t k = types();
+  std::vector<double> out(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    double exponent = 0.0;
+    for (std::size_t j = 0; j < k; ++j) exponent += mean_.at(i, j) * (s[j] - 1.0);
+    out[i] = std::exp(exponent);
+  }
+  return out;
+}
+
+std::vector<double> MultiTypeBranching::extinction_probabilities(int max_iter, double tol) const {
+  // Monotone iteration from 0 converges to the minimal fixed point
+  // (Harris 1963, Thm II.7.1); near criticality convergence is slow, hence
+  // the generous default iteration cap.
+  std::vector<double> s(types(), 0.0);
+  for (int iter = 0; iter < max_iter; ++iter) {
+    std::vector<double> next = pgf(s);
+    double delta = 0.0;
+    for (std::size_t i = 0; i < s.size(); ++i) delta = std::max(delta, next[i] - s[i]);
+    s = std::move(next);
+    if (delta < tol) break;
+  }
+  return s;
+}
+
+std::vector<std::vector<double>> MultiTypeBranching::extinction_by_generation(
+    std::size_t max_generation) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(max_generation + 1);
+  std::vector<double> s(types(), 0.0);
+  out.push_back(s);
+  for (std::size_t n = 1; n <= max_generation; ++n) {
+    s = pgf(s);
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<double> MultiTypeBranching::expected_total_progeny(std::size_t start) const {
+  WORMS_EXPECTS(start < types());
+  WORMS_EXPECTS(criticality() < 1.0 && "total progeny diverges at or above criticality");
+  // N = (I − M)^{-1}; row `start` solves (I − M)^T x = e_start when read as
+  // x_j = N[start][j].  Solve with the transpose to avoid forming an inverse.
+  const std::size_t k = types();
+  math::Matrix a(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      a.at(i, j) = (i == j ? 1.0 : 0.0) - mean_.at(j, i);  // (I − M)^T
+    }
+  }
+  std::vector<double> e(k, 0.0);
+  e[start] = 1.0;
+  return math::solve_linear(std::move(a), std::move(e));
+}
+
+MultiTypeBranching::Realization MultiTypeBranching::simulate(
+    const std::vector<std::uint64_t>& initial_by_type, support::Rng& rng,
+    const SimOptions& options) const {
+  WORMS_EXPECTS(initial_by_type.size() == types());
+  const std::size_t k = types();
+
+  Realization out;
+  out.totals_by_type = initial_by_type;
+
+  std::vector<std::uint64_t> current = initial_by_type;
+  std::uint64_t total = 0;
+  for (const auto c : current) total += c;
+  WORMS_EXPECTS(total >= 1);
+
+  std::size_t generation = 0;
+  while (true) {
+    std::uint64_t alive = 0;
+    for (const auto c : current) alive += c;
+    if (alive == 0) {
+      out.extinct = true;
+      out.generations = generation == 0 ? 0 : generation - 1;
+      return out;
+    }
+    if (total > options.total_cap || generation >= options.generation_cap) {
+      out.extinct = false;
+      out.generations = generation;
+      return out;
+    }
+    std::vector<std::uint64_t> next(k, 0);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (current[i] == 0) continue;
+      for (std::size_t j = 0; j < k; ++j) {
+        const double mean_ij = mean_.at(i, j);
+        if (mean_ij == 0.0) continue;
+        // Sum of `current[i]` iid Poisson(m_ij) variables is
+        // Poisson(current[i] · m_ij).
+        next[j] += stats::sample_poisson(rng, static_cast<double>(current[i]) * mean_ij);
+      }
+    }
+    ++generation;
+    for (std::size_t j = 0; j < k; ++j) {
+      out.totals_by_type[j] += next[j];
+      total += next[j];
+    }
+    current = std::move(next);
+  }
+}
+
+}  // namespace worms::core

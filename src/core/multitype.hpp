@@ -1,0 +1,92 @@
+// Multi-type Galton–Watson branching process — the machinery for the paper's
+// stated future work (§VI): extending the containment analysis to
+// *preference-scanning* worms.
+//
+// When scanning is not uniform (local preference, or structurally different
+// host populations like "enterprise" vs "home"), a single offspring mean no
+// longer determines extinction.  Model K host types; an infected host of
+// type i infects a Poisson(m_ij)-distributed number of type-j hosts per
+// containment cycle, with m_ij = M · (scan budget allocated from i to j) ·
+// (vulnerability density of j as seen from i).  Classical multi-type theory
+// then gives:
+//   * extinction is certain iff the Perron root (spectral radius) of the
+//     mean matrix M = [m_ij] is <= 1 — the multi-type Proposition 1;
+//   * the extinction-probability vector solves s = φ(s),
+//     φ_i(s) = exp(Σ_j m_ij (s_j − 1));
+//   * for subcritical processes the expected total progeny started from one
+//     type-i individual is row i of (I − M)^{-1}.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/linalg.hpp"
+#include "support/rng.hpp"
+
+namespace worms::core {
+
+class MultiTypeBranching {
+ public:
+  /// `mean_matrix[i][j]` = expected type-j offspring of a type-i individual.
+  /// All entries must be non-negative; Poisson offspring throughout (the
+  /// small-density regime of the paper's Eq. (2) approximation).
+  explicit MultiTypeBranching(const std::vector<std::vector<double>>& mean_matrix);
+
+  [[nodiscard]] std::size_t types() const noexcept { return mean_.rows(); }
+  [[nodiscard]] const math::Matrix& mean_matrix() const noexcept { return mean_; }
+
+  /// Perron root ρ(M).  The worm dies out with probability 1 iff ρ <= 1.
+  [[nodiscard]] double criticality() const;
+
+  /// Multi-type Proposition 1: the largest uniform scan budget M such that
+  /// the process with mean matrix M·R stays (sub)critical, where R is this
+  /// object's matrix interpreted as *per-scan* infection rates.
+  /// (Equivalently ⌊1/ρ(R)⌋.)
+  [[nodiscard]] static std::uint64_t extinction_scan_threshold(
+      const std::vector<std::vector<double>>& per_scan_rates);
+
+  /// Extinction probability per starting type: the componentwise-smallest
+  /// fixed point of s = φ(s), found by monotone iteration from 0.
+  [[nodiscard]] std::vector<double> extinction_probabilities(int max_iter = 200'000,
+                                                             double tol = 1e-14) const;
+
+  /// P{process extinct by generation n} for one initial individual of each
+  /// type: out[n][i], n = 0..max_generation (the multi-type Fig. 3 curves).
+  [[nodiscard]] std::vector<std::vector<double>> extinction_by_generation(
+      std::size_t max_generation) const;
+
+  /// Expected total progeny (including the root) by type, starting from one
+  /// type-`start` individual.  Requires subcriticality (ρ < 1).
+  [[nodiscard]] std::vector<double> expected_total_progeny(std::size_t start) const;
+
+  struct Realization {
+    bool extinct = false;
+    std::vector<std::uint64_t> totals_by_type;  ///< progeny incl. roots
+    std::size_t generations = 0;
+  };
+
+  struct SimOptions {
+    std::uint64_t total_cap = 1'000'000;
+    std::size_t generation_cap = 100'000;
+  };
+
+  /// Generation-level Monte Carlo with Poisson offspring.
+  [[nodiscard]] Realization simulate(const std::vector<std::uint64_t>& initial_by_type,
+                                     support::Rng& rng, const SimOptions& options) const;
+
+  /// Same with default caps.  (An overload rather than a default argument:
+  /// nested-class default member initializers cannot appear in a default
+  /// argument while the enclosing class is incomplete.)
+  [[nodiscard]] Realization simulate(const std::vector<std::uint64_t>& initial_by_type,
+                                     support::Rng& rng) const {
+    return simulate(initial_by_type, rng, SimOptions{});
+  }
+
+ private:
+  /// φ(s) componentwise.
+  [[nodiscard]] std::vector<double> pgf(const std::vector<double>& s) const;
+
+  math::Matrix mean_;
+};
+
+}  // namespace worms::core

@@ -1,0 +1,76 @@
+#include "core/offspring.hpp"
+
+#include <cmath>
+
+#include "stats/pmf.hpp"
+#include "stats/samplers.hpp"
+#include "support/check.hpp"
+
+namespace worms::core {
+
+OffspringDistribution OffspringDistribution::binomial(std::uint64_t scan_limit, double density) {
+  WORMS_EXPECTS(density >= 0.0 && density <= 1.0);
+  return OffspringDistribution(Kind::Binomial, scan_limit, density,
+                               static_cast<double>(scan_limit) * density);
+}
+
+OffspringDistribution OffspringDistribution::poisson(double lambda) {
+  WORMS_EXPECTS(lambda >= 0.0);
+  return OffspringDistribution(Kind::Poisson, 0, 0.0, lambda);
+}
+
+double OffspringDistribution::mean() const noexcept { return lambda_; }
+
+double OffspringDistribution::variance() const noexcept {
+  if (kind_ == Kind::Binomial) return static_cast<double>(m_) * p_ * (1.0 - p_);
+  return lambda_;
+}
+
+double OffspringDistribution::pgf(double s) const {
+  WORMS_EXPECTS(s >= 0.0 && s <= 1.0);
+  if (kind_ == Kind::Binomial) {
+    if (m_ == 0) return 1.0;
+    return std::exp(static_cast<double>(m_) * std::log1p(p_ * (s - 1.0)));
+  }
+  return std::exp(lambda_ * (s - 1.0));
+}
+
+double OffspringDistribution::pgf_derivative(double s) const {
+  WORMS_EXPECTS(s >= 0.0 && s <= 1.0);
+  if (kind_ == Kind::Binomial) {
+    if (m_ == 0) return 0.0;
+    const double md = static_cast<double>(m_);
+    // M p (1 − p + ps)^{M−1}
+    return md * p_ * std::exp((md - 1.0) * std::log1p(p_ * (s - 1.0)));
+  }
+  return lambda_ * std::exp(lambda_ * (s - 1.0));
+}
+
+double OffspringDistribution::pmf(std::uint64_t k) const {
+  if (kind_ == Kind::Binomial) return stats::BinomialPmf(m_, p_).pmf(k);
+  return stats::PoissonPmf(lambda_).pmf(k);
+}
+
+std::uint64_t OffspringDistribution::sample(support::Rng& rng) const {
+  if (kind_ == Kind::Binomial) return stats::sample_binomial(rng, m_, p_);
+  return stats::sample_poisson(rng, lambda_);
+}
+
+std::string OffspringDistribution::describe() const {
+  if (kind_ == Kind::Binomial) {
+    return "Binomial(M=" + std::to_string(m_) + ", p=" + std::to_string(p_) + ")";
+  }
+  return "Poisson(lambda=" + std::to_string(lambda_) + ")";
+}
+
+std::uint64_t OffspringDistribution::scan_limit() const {
+  WORMS_EXPECTS(kind_ == Kind::Binomial);
+  return m_;
+}
+
+double OffspringDistribution::density() const {
+  WORMS_EXPECTS(kind_ == Kind::Binomial);
+  return p_;
+}
+
+}  // namespace worms::core

@@ -1,0 +1,60 @@
+// Offspring distribution of the worm branching process (paper §III).
+//
+// An infected host allowed M scans into a universe of density p infects
+// ξ ~ Binomial(M, p) hosts; for the small p of real outbreaks the paper
+// approximates ξ ~ Poisson(λ = Mp).  Both are supported everywhere so the
+// approximation error itself can be measured (bench A4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/rng.hpp"
+
+namespace worms::core {
+
+class OffspringDistribution {
+ public:
+  enum class Kind { Binomial, Poisson };
+
+  /// ξ ~ Binomial(scan_limit, density).
+  [[nodiscard]] static OffspringDistribution binomial(std::uint64_t scan_limit, double density);
+
+  /// ξ ~ Poisson(lambda); the paper uses λ = M·p.
+  [[nodiscard]] static OffspringDistribution poisson(double lambda);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Probability generating function φ(s) = E[s^ξ], s in [0, 1].
+  /// Binomial: (1 − p + ps)^M computed as exp(M·log1p(p(s−1))) — stable for
+  /// M up to 10^9 at p near 0.  Poisson: exp(λ(s−1)).
+  [[nodiscard]] double pgf(double s) const;
+
+  /// φ'(s); used by Newton refinement of the extinction fixed point.
+  [[nodiscard]] double pgf_derivative(double s) const;
+
+  /// P{ξ = k}.
+  [[nodiscard]] double pmf(std::uint64_t k) const;
+
+  /// Draws one offspring count.
+  [[nodiscard]] std::uint64_t sample(support::Rng& rng) const;
+
+  [[nodiscard]] std::string describe() const;
+
+  // Binomial accessors (valid only when kind() == Binomial).
+  [[nodiscard]] std::uint64_t scan_limit() const;
+  [[nodiscard]] double density() const;
+
+ private:
+  OffspringDistribution(Kind kind, std::uint64_t m, double p, double lambda)
+      : kind_(kind), m_(m), p_(p), lambda_(lambda) {}
+
+  Kind kind_;
+  std::uint64_t m_;   // Binomial scan budget M
+  double p_;          // Binomial success probability (vulnerability density)
+  double lambda_;     // Poisson mean (= M·p for the paper's approximation)
+};
+
+}  // namespace worms::core

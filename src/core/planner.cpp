@@ -1,0 +1,68 @@
+#include "core/planner.hpp"
+
+#include "core/galton_watson.hpp"
+#include "net/address_space.hpp"
+#include "support/check.hpp"
+
+namespace worms::core {
+namespace {
+
+double confidence_at(std::uint64_t m, double p, const PlannerInput& in) {
+  const BorelTanner bt(static_cast<double>(m) * p, in.initial_infected);
+  return bt.cdf(in.max_total_infected);
+}
+
+}  // namespace
+
+Plan plan_containment(const PlannerInput& input) {
+  WORMS_EXPECTS(input.vulnerable_hosts >= 1);
+  WORMS_EXPECTS(input.initial_infected >= 1);
+  WORMS_EXPECTS(input.confidence > 0.0 && input.confidence < 1.0);
+  WORMS_EXPECTS(input.max_total_infected >= input.initial_infected);
+
+  const net::AddressSpace space(input.address_bits);
+  const double p = space.density(input.vulnerable_hosts);
+  WORMS_EXPECTS(p > 0.0 && p < 1.0);
+
+  Plan plan;
+  plan.density = p;
+  plan.extinction_threshold = extinction_scan_threshold(p);
+
+  // P{I <= k*} is monotone decreasing in M (larger budget ⇒ larger λ ⇒
+  // stochastically larger I), so binary-search the largest feasible M.
+  // The search stays strictly below 1/p so λ < 1 and Borel–Tanner applies.
+  std::uint64_t lo = 1;
+  std::uint64_t hi = plan.extinction_threshold > 1 ? plan.extinction_threshold - 1 : 1;
+  WORMS_EXPECTS(confidence_at(lo, p, input) >= input.confidence);
+
+  if (confidence_at(hi, p, input) >= input.confidence) {
+    lo = hi;
+  } else {
+    while (lo + 1 < hi) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      if (confidence_at(mid, p, input) >= input.confidence) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+
+  plan.scan_limit = lo;
+  plan.lambda = static_cast<double>(lo) * p;
+  plan.achieved_confidence = confidence_at(lo, p, input);
+  plan.expected_total_infected = static_cast<double>(input.initial_infected) / (1.0 - plan.lambda);
+  return plan;
+}
+
+sim::SimTime plan_cycle_length(sim::SimTime reference_window, double max_observed_distinct,
+                               std::uint64_t scan_limit, double safety_fraction) {
+  WORMS_EXPECTS(reference_window > 0.0);
+  WORMS_EXPECTS(max_observed_distinct > 0.0);
+  WORMS_EXPECTS(scan_limit >= 1);
+  WORMS_EXPECTS(safety_fraction > 0.0 && safety_fraction <= 1.0);
+  const double budget = safety_fraction * static_cast<double>(scan_limit);
+  return reference_window * (budget / max_observed_distinct);
+}
+
+}  // namespace worms::core

@@ -1,0 +1,48 @@
+// Containment planner: turns the paper's analytics into deployment numbers
+// (§IV step 3: "Choose M based on the probability that the total number of
+// infected hosts ... is less than some acceptable value").
+#pragma once
+
+#include <cstdint>
+
+#include "core/borel_tanner.hpp"
+#include "sim/time.hpp"
+
+namespace worms::core {
+
+struct PlannerInput {
+  std::uint64_t vulnerable_hosts = 0;     ///< V (worst-case assumption)
+  int address_bits = 32;                  ///< scanned universe width
+  std::uint64_t initial_infected = 10;    ///< I0 budgeted for
+  std::uint64_t max_total_infected = 360; ///< acceptable outbreak size k*
+  double confidence = 0.99;               ///< require P{I <= k*} >= confidence
+};
+
+struct Plan {
+  std::uint64_t scan_limit = 0;            ///< recommended M
+  std::uint64_t extinction_threshold = 0;  ///< ⌊1/p⌋ (Proposition 1 bound)
+  double density = 0.0;                    ///< p = V / 2^bits
+  double lambda = 0.0;                     ///< Mp at the recommended M
+  double achieved_confidence = 0.0;        ///< P{I <= k*} at the recommended M
+  double expected_total_infected = 0.0;    ///< E[I] = I0/(1−λ)
+};
+
+/// Largest M that (a) guarantees extinction (M <= 1/p) and (b) keeps the
+/// total outbreak below `max_total_infected` with at least `confidence`
+/// probability under the Borel–Tanner law.  Throws support::PreconditionError
+/// if even M = 1 cannot meet the bound (e.g. max_total_infected < I0).
+[[nodiscard]] Plan plan_containment(const PlannerInput& input);
+
+/// Paper §IV steps 1/5: pick the containment-cycle length from observed
+/// clean-host behaviour.  Given that the busiest clean host contacted
+/// `max_observed_distinct` unique destinations during a `reference_window`,
+/// return the longest cycle such that the linearly extrapolated count stays
+/// below `safety_fraction · scan_limit` (so no clean host comes near the
+/// budget within one cycle).  E.g. the LBL numbers — max 4000 distinct in 30
+/// days, M = 10000, safety 1/2 — give a 37.5-day cycle.
+[[nodiscard]] sim::SimTime plan_cycle_length(sim::SimTime reference_window,
+                                             double max_observed_distinct,
+                                             std::uint64_t scan_limit,
+                                             double safety_fraction = 0.5);
+
+}  // namespace worms::core

@@ -1,0 +1,182 @@
+#include "detection/trend_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace worms::detection {
+
+ScalarKalman::ScalarKalman(double initial_state, double initial_variance, double process_noise)
+    : x_(initial_state), p_(initial_variance), q_(process_noise) {
+  WORMS_EXPECTS(initial_variance > 0.0);
+  WORMS_EXPECTS(process_noise >= 0.0);
+}
+
+void ScalarKalman::step(double observation, double h, double observation_variance) {
+  WORMS_EXPECTS(observation_variance > 0.0);
+  // Predict: random walk leaves x, inflates variance.
+  p_ += q_;
+  // Update.
+  const double innovation = observation - h * x_;
+  const double s = h * p_ * h + observation_variance;
+  const double gain = p_ * h / s;
+  x_ += gain * innovation;
+  p_ *= (1.0 - gain * h);
+  if (p_ < 1e-18) p_ = 1e-18;  // keep the filter responsive
+}
+
+KalmanTrendDetector::KalmanTrendDetector(const Config& config)
+    : config_(config), filter_(1.0, 1.0, config.process_noise) {
+  WORMS_EXPECTS(config.consecutive_required >= 1);
+  WORMS_EXPECTS(config.confidence_z >= 0.0);
+  WORMS_EXPECTS(config.min_signal >= 0.0);
+}
+
+double KalmanTrendDetector::growth_stddev() const { return std::sqrt(filter_.variance()); }
+
+bool KalmanTrendDetector::observe(double count) {
+  WORMS_EXPECTS(count >= 0.0);
+  const std::int64_t index = observations_++;
+  const double prev = previous_count_;
+  previous_count_ = count;
+  if (alarmed_ || prev < config_.min_signal) {
+    // Not enough signal to say anything about a ratio yet.
+    consecutive_ = 0;
+    return false;
+  }
+
+  // Observation model: count = a · prev + noise.  Counting noise is
+  // Poisson-like, so Var ≈ max(prev, 1) works as the observation variance.
+  filter_.step(count, prev, std::max(prev, 1.0));
+
+  const double lower = filter_.state() - config_.confidence_z * growth_stddev();
+  if (lower > config_.alarm_growth) {
+    if (++consecutive_ >= config_.consecutive_required) {
+      alarmed_ = true;
+      alarm_index_ = index;
+      return true;
+    }
+  } else {
+    consecutive_ = 0;
+  }
+  return false;
+}
+
+void KalmanTrendDetector::reset() {
+  filter_ = ScalarKalman(1.0, 1.0, config_.process_noise);
+  previous_count_ = -1.0;
+  consecutive_ = 0;
+  alarmed_ = false;
+  alarm_index_ = -1;
+  observations_ = 0;
+}
+
+CusumDetector::CusumDetector(const Config& config) : config_(config) {
+  WORMS_EXPECTS(config.drift >= 0.0);
+  WORMS_EXPECTS(config.threshold > 0.0);
+  WORMS_EXPECTS(config.baseline_window >= 1.0);
+  WORMS_EXPECTS(config.baseline_freeze > 0.0);
+}
+
+bool CusumDetector::observe(double count) {
+  WORMS_EXPECTS(count >= 0.0);
+  const std::int64_t index = observations_++;
+  if (alarmed_) return false;
+
+  const double log_count = std::log1p(count);
+  if (!primed_) {
+    log_mean_ = log_count;
+    log_var_ = 0.04;  // prior: σ = 0.2, roughly Poisson counting noise
+    primed_ = true;
+    return false;
+  }
+  // Warm-up: spend one window just learning the baseline.  Accumulating from
+  // a one-sample mean estimate ratchets straight to a false alarm whenever
+  // the first draw was low.
+  if (observations_ <= static_cast<std::int64_t>(config_.baseline_window)) {
+    const double a = 1.0 / config_.baseline_window;
+    const double d = log_count - log_mean_;
+    log_var_ = (1.0 - a) * log_var_ + a * d * d;
+    log_mean_ += a * d;
+    return false;
+  }
+
+  // One-sided CUSUM on the standardized residual with drift allowance k.
+  // σ is floored at the Poisson-implied log-noise 1/sqrt(mean): an EWMA
+  // variance estimate that dips below counting noise is a fluke, and trusting
+  // it inflates z and false-alarms.
+  constexpr double kSigmaFloor = 0.05;  // keeps constant series well-defined
+  const double poisson_sigma = 1.0 / std::sqrt(std::exp(log_mean_) + 1.0);
+  const double sigma =
+      std::max({std::sqrt(log_var_), poisson_sigma, kSigmaFloor});
+  const double z = (log_count - log_mean_) / sigma;
+  cusum_ = std::max(0.0, cusum_ + z - config_.drift);
+  if (cusum_ > config_.threshold) {
+    alarmed_ = true;
+    alarm_index_ = index;
+    return true;
+  }
+  // The baseline learns at full speed only while the statistic is low; once
+  // evidence of a shift accumulates, learning slows 8x (not a hard freeze —
+  // a hard freeze ratchets on stationary noise when the freeze happens to
+  // catch a low mean estimate).  A worm's geometric ramp still outruns the
+  // slowed learning by orders of magnitude.
+  const double alpha = (cusum_ < config_.baseline_freeze ? 1.0 : 0.125) /
+                       config_.baseline_window;
+  const double delta = log_count - log_mean_;
+  log_var_ = (1.0 - alpha) * log_var_ + alpha * delta * delta;
+  log_mean_ += alpha * delta;
+  return false;
+}
+
+void CusumDetector::reset() {
+  log_mean_ = 0.0;
+  log_var_ = 0.0;
+  primed_ = false;
+  cusum_ = 0.0;
+  alarmed_ = false;
+  alarm_index_ = -1;
+  observations_ = 0;
+}
+
+EwmaThresholdDetector::EwmaThresholdDetector(const Config& config) : config_(config) {
+  WORMS_EXPECTS(config.smoothing > 0.0 && config.smoothing <= 1.0);
+  WORMS_EXPECTS(config.threshold_factor > 1.0);
+  WORMS_EXPECTS(config.consecutive_required >= 1);
+}
+
+bool EwmaThresholdDetector::observe(double count) {
+  WORMS_EXPECTS(count >= 0.0);
+  const std::int64_t index = observations_++;
+  if (alarmed_) return false;
+
+  const double baseline = std::max(ewma_, config_.min_baseline);
+  const bool exceeds = primed_ && count > config_.threshold_factor * baseline;
+
+  if (exceeds) {
+    // An exceedance is *not* absorbed into the baseline — otherwise a slowly
+    // ramping worm would teach the detector to ignore it.
+    if (++consecutive_ >= config_.consecutive_required) {
+      alarmed_ = true;
+      alarm_index_ = index;
+      return true;
+    }
+  } else {
+    consecutive_ = 0;
+    ewma_ = primed_ ? (1.0 - config_.smoothing) * ewma_ + config_.smoothing * count : count;
+    primed_ = true;
+  }
+  return false;
+}
+
+void EwmaThresholdDetector::reset() {
+  ewma_ = 0.0;
+  primed_ = false;
+  consecutive_ = 0;
+  alarmed_ = false;
+  alarm_index_ = -1;
+  observations_ = 0;
+}
+
+}  // namespace worms::detection

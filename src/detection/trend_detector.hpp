@@ -1,0 +1,146 @@
+// Early-warning worm detection — the systems the paper compares against in
+// §II (Zou et al.'s Kalman-filter trend detection, and threshold schemes like
+// DIB:S/TRAFEN).  The paper's argument is that its *containment* bounds the
+// outbreak without any detection; these detectors let the benches quantify
+// the comparison: how many hosts are already infected by the time a monitor
+// raises a credible alarm?
+//
+// Both detectors consume a time series of per-interval anomaly counts (e.g.
+// scans observed at a darknet/monitor, or new infections per interval —
+// anything proportional to worm activity):
+//
+//   * KalmanTrendDetector — Zou's idea: early worm growth is exponential,
+//     y_t ≈ a·y_{t−1} with a > 1.  Track the growth factor a with a scalar
+//     Kalman filter (random-walk state, measurement matrix H_t = y_{t−1});
+//     alarm when the estimate is credibly above 1 for several consecutive
+//     intervals.  Detects the *trend*, not the level, so it is robust to the
+//     monitor's coverage fraction.
+//   * EwmaThresholdDetector — the classic level-based scheme: alarm when the
+//     count exceeds κ × its long-run EWMA baseline repeatedly.
+#pragma once
+
+#include <cstdint>
+
+namespace worms::detection {
+
+/// Minimal scalar Kalman filter: state x with random-walk dynamics
+/// x_t = x_{t−1} + w (w ~ N(0, q)), observations z_t = h_t·x_t + v
+/// (v ~ N(0, r_t)).
+class ScalarKalman {
+ public:
+  ScalarKalman(double initial_state, double initial_variance, double process_noise);
+
+  /// One predict+update step with measurement matrix h and obs. variance r.
+  void step(double observation, double h, double observation_variance);
+
+  [[nodiscard]] double state() const noexcept { return x_; }
+  [[nodiscard]] double variance() const noexcept { return p_; }
+
+ private:
+  double x_;
+  double p_;
+  double q_;
+};
+
+class KalmanTrendDetector {
+ public:
+  struct Config {
+    double process_noise = 1e-4;     ///< drift allowed in the growth factor
+    double alarm_growth = 1.0;       ///< alarm when a is credibly above this
+    double confidence_z = 2.0;       ///< "credibly" = a − z·σ > alarm_growth
+    int consecutive_required = 3;    ///< intervals the condition must hold
+    double min_signal = 5.0;         ///< ignore intervals with count below this
+  };
+
+  explicit KalmanTrendDetector(const Config& config);
+
+  /// Feeds one interval's anomaly count.  Returns true if this observation
+  /// raised the alarm (the alarm then stays latched).
+  bool observe(double count);
+
+  [[nodiscard]] bool alarmed() const noexcept { return alarmed_; }
+  /// Index of the observation that raised the alarm (−1 if none yet).
+  [[nodiscard]] std::int64_t alarm_index() const noexcept { return alarm_index_; }
+  [[nodiscard]] double growth_estimate() const noexcept { return filter_.state(); }
+  [[nodiscard]] double growth_stddev() const;
+  [[nodiscard]] std::int64_t observations() const noexcept { return observations_; }
+
+  void reset();
+
+ private:
+  Config config_;
+  ScalarKalman filter_;
+  double previous_count_ = -1.0;
+  int consecutive_ = 0;
+  bool alarmed_ = false;
+  std::int64_t alarm_index_ = -1;
+  std::int64_t observations_ = 0;
+};
+
+/// Page's CUSUM on log-counts: accumulates evidence that the per-interval
+/// count's log-mean has shifted up by at least `drift`, alarming when the
+/// cumulative sum crosses `threshold`.  The classical optimal change-point
+/// detector; sits between the trend and level schemes — it catches sustained
+/// moderate growth that the EWMA misses, with a tunable false-alarm horizon.
+class CusumDetector {
+ public:
+  struct Config {
+    double drift = 0.75;      ///< allowance per step, in baseline-σ units (k)
+    double threshold = 12.0;  ///< alarm when the CUSUM statistic exceeds this (h)
+                              ///< (k, h) chosen for a false-alarm horizon of
+                              ///< >> 10^4 intervals on Poisson-noise baselines
+    double baseline_window = 50.0;  ///< EWMA horizon for the log-mean/variance
+    double baseline_freeze = 2.0;   ///< stop learning once the statistic is here
+  };
+
+  explicit CusumDetector(const Config& config);
+
+  bool observe(double count);
+
+  [[nodiscard]] bool alarmed() const noexcept { return alarmed_; }
+  [[nodiscard]] std::int64_t alarm_index() const noexcept { return alarm_index_; }
+  [[nodiscard]] double statistic() const noexcept { return cusum_; }
+
+  void reset();
+
+ private:
+  Config config_;
+  double log_mean_ = 0.0;
+  double log_var_ = 0.0;
+  bool primed_ = false;
+  double cusum_ = 0.0;
+  bool alarmed_ = false;
+  std::int64_t alarm_index_ = -1;
+  std::int64_t observations_ = 0;
+};
+
+class EwmaThresholdDetector {
+ public:
+  struct Config {
+    double smoothing = 0.05;       ///< EWMA weight of the newest observation
+    double threshold_factor = 4.0; ///< alarm when count > factor · baseline
+    double min_baseline = 1.0;     ///< floor so an all-quiet monitor can alarm
+    int consecutive_required = 3;
+  };
+
+  explicit EwmaThresholdDetector(const Config& config);
+
+  bool observe(double count);
+
+  [[nodiscard]] bool alarmed() const noexcept { return alarmed_; }
+  [[nodiscard]] std::int64_t alarm_index() const noexcept { return alarm_index_; }
+  [[nodiscard]] double baseline() const noexcept { return ewma_; }
+
+  void reset();
+
+ private:
+  Config config_;
+  double ewma_ = 0.0;
+  bool primed_ = false;
+  int consecutive_ = 0;
+  bool alarmed_ = false;
+  std::int64_t alarm_index_ = -1;
+  std::int64_t observations_ = 0;
+};
+
+}  // namespace worms::detection

@@ -1,0 +1,50 @@
+#include "epidemic/aawp.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace worms::epidemic {
+
+AawpModel::AawpModel(const Params& params) : params_(params) {
+  WORMS_EXPECTS(params.vulnerable_hosts >= 1);
+  WORMS_EXPECTS(params.address_bits >= 1 && params.address_bits <= 32);
+  WORMS_EXPECTS(params.scans_per_tick > 0.0);
+  WORMS_EXPECTS(params.death_rate >= 0.0 && params.death_rate < 1.0);
+  // ln(1 − 2^{−b}) via log1p for accuracy at b = 32.
+  per_scan_miss_log_ = std::log1p(-std::ldexp(1.0, -params.address_bits));
+}
+
+double AawpModel::step(double infected) const {
+  const double v = static_cast<double>(params_.vulnerable_hosts);
+  const double uninfected = v - infected;
+  if (uninfected <= 0.0) return v * (1.0 - params_.death_rate);
+  // P{a given address is hit by at least one of s·n scans}.
+  const double hit_prob = -std::expm1(params_.scans_per_tick * infected * per_scan_miss_log_);
+  double next = infected + uninfected * hit_prob - params_.death_rate * infected;
+  if (next > v) next = v;
+  if (next < 0.0) next = 0.0;
+  return next;
+}
+
+std::vector<double> AawpModel::run(double initial, std::size_t ticks) const {
+  WORMS_EXPECTS(initial >= 0.0 &&
+                initial <= static_cast<double>(params_.vulnerable_hosts));
+  std::vector<double> out;
+  out.reserve(ticks + 1);
+  out.push_back(initial);
+  double n = initial;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    n = step(n);
+    out.push_back(n);
+  }
+  return out;
+}
+
+double AawpModel::early_growth_factor() const noexcept {
+  const double v = static_cast<double>(params_.vulnerable_hosts);
+  return 1.0 + params_.scans_per_tick * v * std::ldexp(1.0, -params_.address_bits) -
+         params_.death_rate;
+}
+
+}  // namespace worms::epidemic

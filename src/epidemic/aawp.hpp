@@ -1,0 +1,51 @@
+// AAWP — the discrete-time "Analytical Active Worm Propagation" model
+// (Chen, Gao, Kwiat, "Modeling the Spread of Active Worms", INFOCOM 2003 —
+// reference [3]-family of the paper's related work).
+//
+// Time advances in ticks of one scan round; with n_t infected hosts, each
+// scanning s addresses per tick over a 2^bits space holding V vulnerable
+// (m_t of them still uninfected = V − n_t), and per-tick patching/death:
+//
+//   n_{t+1} = n_t + (V − n_t) · [1 − (1 − 1/2^bits)^{s·n_t}] − d·n_t
+//
+// Unlike the continuous RCS model it accounts for scan overlap within a tick
+// (the bracketed hit probability saturates), which matters for fast worms
+// like Slammer.  Deterministic like the rest of worms::epidemic — it shares
+// the early-phase blindness the paper's branching model fixes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace worms::epidemic {
+
+class AawpModel {
+ public:
+  struct Params {
+    std::uint64_t vulnerable_hosts = 0;  ///< V
+    int address_bits = 32;
+    double scans_per_tick = 1.0;         ///< s
+    double death_rate = 0.0;             ///< d: removed/patched fraction per tick
+  };
+
+  explicit AawpModel(const Params& params);
+
+  /// Iterates `ticks` steps from n_0 = initial; returns n_0..n_ticks
+  /// (ticks + 1 values).
+  [[nodiscard]] std::vector<double> run(double initial, std::size_t ticks) const;
+
+  /// One step of the recurrence.
+  [[nodiscard]] double step(double infected) const;
+
+  /// Early-phase per-tick growth factor: 1 + s·V/2^bits − d (the linearized
+  /// recurrence around n = 0).
+  [[nodiscard]] double early_growth_factor() const noexcept;
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+  double per_scan_miss_log_;  // ln(1 − 2^{−bits})
+};
+
+}  // namespace worms::epidemic

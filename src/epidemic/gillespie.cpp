@@ -1,0 +1,63 @@
+#include "epidemic/gillespie.hpp"
+
+#include <cmath>
+
+#include "stats/samplers.hpp"
+#include "support/check.hpp"
+
+namespace worms::epidemic {
+
+GillespieSir::GillespieSir(const GillespieParams& params) : params_(params) {
+  WORMS_EXPECTS(params.beta > 0.0);
+  WORMS_EXPECTS(params.delta >= 0.0);
+  WORMS_EXPECTS(params.total_hosts >= 1);
+  WORMS_EXPECTS(params.initial_infected >= 1);
+  WORMS_EXPECTS(params.initial_infected <= params.total_hosts);
+}
+
+GillespieResult GillespieSir::run(support::Rng& rng, bool record_trajectory) const {
+  std::uint64_t susceptible = params_.total_hosts - params_.initial_infected;
+  std::uint64_t infected = params_.initial_infected;
+
+  GillespieResult out;
+  out.total_infected = params_.initial_infected;
+  out.peak_infected = infected;
+
+  double t = 0.0;
+  for (std::uint64_t events = 0; events < params_.max_events; ++events) {
+    const double rate_infect =
+        params_.beta * static_cast<double>(susceptible) * static_cast<double>(infected);
+    const double rate_remove = params_.delta * static_cast<double>(infected);
+    const double total_rate = rate_infect + rate_remove;
+    if (infected == 0 || total_rate <= 0.0) break;
+
+    t += stats::sample_exponential(rng, total_rate);
+    if (rng.uniform() * total_rate < rate_infect) {
+      WORMS_ENSURES(susceptible > 0);
+      --susceptible;
+      ++infected;
+      ++out.total_infected;
+    } else {
+      --infected;
+    }
+    if (infected > out.peak_infected) out.peak_infected = infected;
+    if (record_trajectory) {
+      out.event_times.push_back(t);
+      out.infected.push_back(infected);
+    }
+  }
+  out.extinct = (infected == 0);
+  out.end_time = t;
+  return out;
+}
+
+double GillespieSir::branching_extinction_probability() const {
+  if (params_.delta == 0.0) return 0.0;  // immortal lineages never die out
+  const double offspring_mean =
+      params_.beta * static_cast<double>(params_.total_hosts) / params_.delta;
+  if (offspring_mean <= 1.0) return 1.0;
+  const double per_lineage = 1.0 / offspring_mean;  // for linear birth-death chains
+  return std::pow(per_lineage, static_cast<double>(params_.initial_infected));
+}
+
+}  // namespace worms::epidemic

@@ -1,0 +1,54 @@
+// Exact stochastic simulation (Gillespie / SSA) of the general stochastic
+// epidemic — the "general stochastic epidemic model" the paper's related work
+// (Liljenstam et al.) uses for the early phase.
+//
+// CTMC on (S, I):
+//   infection: rate β·S·I,  (S, I) → (S−1, I+1)
+//   removal:   rate δ·I,    (S, I) → (S,   I−1)
+// In the early phase (S ≈ V) each infected host behaves like a branching
+// individual with offspring mean βV/δ, so the extinction probability tends to
+// min(1, (δ/(βV)))^I0 — a cross-model validation test ties this to the
+// worms::core branching results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace worms::epidemic {
+
+struct GillespieParams {
+  double beta = 0.0;          ///< pairwise infection rate
+  double delta = 0.0;         ///< per-host removal rate
+  std::uint64_t total_hosts = 0;  ///< V
+  std::uint64_t initial_infected = 1;
+  std::uint64_t max_events = 50'000'000;  ///< hard safety cap
+};
+
+struct GillespieResult {
+  bool extinct = false;            ///< I reached 0
+  std::uint64_t total_infected = 0;  ///< cumulative infections incl. initial
+  std::uint64_t peak_infected = 0;
+  double end_time = 0.0;
+  std::vector<double> event_times;     ///< optional trajectory (may be empty)
+  std::vector<std::uint64_t> infected; ///< I after each recorded event
+};
+
+class GillespieSir {
+ public:
+  explicit GillespieSir(const GillespieParams& params);
+
+  /// Runs one trajectory to extinction, susceptible exhaustion, or the event
+  /// cap.  `record_trajectory` controls whether the time series is kept.
+  [[nodiscard]] GillespieResult run(support::Rng& rng, bool record_trajectory = false) const;
+
+  /// Branching-process prediction for the early-phase extinction probability:
+  /// min(1, (δ / (β·V))^I0).
+  [[nodiscard]] double branching_extinction_probability() const;
+
+ private:
+  GillespieParams params_;
+};
+
+}  // namespace worms::epidemic

@@ -1,0 +1,108 @@
+#include "epidemic/models.hpp"
+
+#include <cmath>
+
+#include "math/brent.hpp"
+#include "support/check.hpp"
+
+namespace worms::epidemic {
+
+RcsModel::RcsModel(double beta, double total_hosts) : beta_(beta), v_(total_hosts) {
+  WORMS_EXPECTS(beta > 0.0);
+  WORMS_EXPECTS(total_hosts > 0.0);
+}
+
+double RcsModel::closed_form(double t, double i0) const {
+  WORMS_EXPECTS(i0 > 0.0 && i0 <= v_);
+  // Logistic: I(t) = V / (1 + (V/I0 − 1) e^{−βVt}).
+  return v_ / (1.0 + (v_ / i0 - 1.0) * std::exp(-beta_ * v_ * t));
+}
+
+math::OdeSolution RcsModel::integrate(double i0, const std::vector<double>& times) const {
+  const auto rhs = [this](double, const std::vector<double>& y, std::vector<double>& dy) {
+    dy[0] = beta_ * y[0] * (v_ - y[0]);
+  };
+  return math::dopri45_integrate(rhs, 0.0, {i0}, times);
+}
+
+TwoFactorModel::TwoFactorModel(const Params& params) : params_(params) {
+  WORMS_EXPECTS(params.beta0 > 0.0);
+  WORMS_EXPECTS(params.total_hosts > 0.0);
+  WORMS_EXPECTS(params.eta >= 0.0);
+  WORMS_EXPECTS(params.gamma >= 0.0);
+  WORMS_EXPECTS(params.mu >= 0.0);
+}
+
+math::OdeSolution TwoFactorModel::integrate(double i0, const std::vector<double>& times) const {
+  const Params& prm = params_;
+  const auto rhs = [prm](double, const std::vector<double>& y, std::vector<double>& dy) {
+    const double infected = y[0];
+    const double removed = y[1];
+    const double quarantined = y[2];
+    const double susceptible =
+        std::max(0.0, prm.total_hosts - infected - removed - quarantined);
+    const double frac = std::max(0.0, 1.0 - infected / prm.total_hosts);
+    const double beta_t = prm.beta0 * std::pow(frac, prm.eta);
+    const double removal_flow = prm.gamma * infected;
+    dy[0] = beta_t * susceptible * infected - removal_flow;
+    dy[1] = removal_flow;
+    dy[2] = prm.mu * susceptible * infected;
+  };
+  return math::dopri45_integrate(rhs, 0.0, {i0, 0.0, 0.0}, times);
+}
+
+SirModel::SirModel(double beta, double gamma, double total_hosts)
+    : beta_(beta), gamma_(gamma), v_(total_hosts) {
+  WORMS_EXPECTS(beta > 0.0);
+  WORMS_EXPECTS(gamma >= 0.0);
+  WORMS_EXPECTS(total_hosts > 0.0);
+}
+
+math::OdeSolution SirModel::integrate(double i0, const std::vector<double>& times) const {
+  const double beta = beta_;
+  const double gamma = gamma_;
+  const auto rhs = [beta, gamma](double, const std::vector<double>& y, std::vector<double>& dy) {
+    const double flow = beta * y[0] * y[1];
+    dy[0] = -flow;
+    dy[1] = flow - gamma * y[1];
+    dy[2] = gamma * y[1];
+  };
+  return math::dopri45_integrate(rhs, 0.0, {v_ - i0, i0, 0.0}, times);
+}
+
+double SirModel::r0() const noexcept { return gamma_ == 0.0 ? HUGE_VAL : beta_ * v_ / gamma_; }
+
+double SirModel::final_size_fraction() const {
+  WORMS_EXPECTS(gamma_ > 0.0);
+  const double r0 = this->r0();
+  if (r0 <= 1.0) return 0.0;
+  // z − 1 + e^{−R0 z} has its nonzero root in (0, 1]; f(ε) < 0 for small ε
+  // when R0 > 1 and f(1) = e^{−R0} > 0 bracket it.
+  const auto f = [r0](double z) { return z - 1.0 + std::exp(-r0 * z); };
+  return math::brent_find_root(f, 1e-9, 1.0, 1e-13).root;
+}
+
+SisModel::SisModel(double beta, double gamma, double total_hosts)
+    : beta_(beta), gamma_(gamma), v_(total_hosts) {
+  WORMS_EXPECTS(beta > 0.0);
+  WORMS_EXPECTS(gamma >= 0.0);
+  WORMS_EXPECTS(total_hosts > 0.0);
+}
+
+math::OdeSolution SisModel::integrate(double i0, const std::vector<double>& times) const {
+  const double beta = beta_;
+  const double gamma = gamma_;
+  const auto rhs = [beta, gamma](double, const std::vector<double>& y, std::vector<double>& dy) {
+    const double flow = beta * y[0] * y[1];
+    dy[0] = -flow + gamma * y[1];
+    dy[1] = flow - gamma * y[1];
+  };
+  return math::dopri45_integrate(rhs, 0.0, {v_ - i0, i0}, times);
+}
+
+double SisModel::endemic_equilibrium() const noexcept {
+  const double eq = v_ - gamma_ / beta_;
+  return eq > 0.0 ? eq : 0.0;
+}
+
+}  // namespace worms::epidemic

@@ -1,0 +1,109 @@
+// Deterministic epidemic models used as baselines (paper §II, Related Work).
+//
+// These are the models the paper argues are inadequate for the *early phase*:
+// they track means and miss extinction/variability.  We implement them to
+// reproduce that comparison (bench/ablation_deterministic_vs_stochastic):
+//   * RcsModel       — random constant spread (Staniford et al.),
+//                      dI/dt = β I (V − I), with closed-form logistic solution;
+//   * TwoFactorModel — Zou et al.'s two-factor worm model with dynamic
+//                      infection rate and human countermeasures (Eq. (1) of
+//                      the paper);
+//   * SirModel / SisModel — classical compartment models.
+#pragma once
+
+#include <vector>
+
+#include "math/ode.hpp"
+
+namespace worms::epidemic {
+
+/// Random constant spread: dI/dt = β I (V − I).
+class RcsModel {
+ public:
+  /// `beta` is the pairwise infection rate (per host-pair per second);
+  /// a worm scanning `r` addresses/s over a 2^32 space has β = r / 2^32.
+  RcsModel(double beta, double total_hosts);
+
+  /// Exact logistic solution I(t) given I(0) = i0.
+  [[nodiscard]] double closed_form(double t, double i0) const;
+
+  /// Integrates numerically, sampling at `times`; state vector is {I}.
+  [[nodiscard]] math::OdeSolution integrate(double i0, const std::vector<double>& times) const;
+
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+  [[nodiscard]] double total_hosts() const noexcept { return v_; }
+
+ private:
+  double beta_;
+  double v_;
+};
+
+/// Two-factor model (Zou, Gong, Towsley 2002), as quoted in the paper:
+///   dI/dt = β(t) · [V − R − I − Q] · I − dR/dt
+///   dR/dt = γ I                     (removal/patching of infectious hosts)
+///   dQ/dt = μ [V − R − I − Q] I     (quarantine of susceptible hosts)
+///   β(t)  = β0 (1 − I/V)^η          (congestion slows scanning)
+/// With γ = μ = 0 and η = 0 this reduces exactly to the RCS model — the
+/// reduction is a unit test.
+class TwoFactorModel {
+ public:
+  struct Params {
+    double beta0 = 0.0;       ///< baseline pairwise infection rate
+    double eta = 0.0;         ///< congestion exponent
+    double gamma = 0.0;       ///< removal rate of infectious hosts
+    double mu = 0.0;          ///< quarantine rate of susceptible hosts
+    double total_hosts = 0.0; ///< V
+  };
+
+  explicit TwoFactorModel(const Params& params);
+
+  /// State vector {I, R, Q}; susceptibles are V − I − R − Q.
+  [[nodiscard]] math::OdeSolution integrate(double i0, const std::vector<double>& times) const;
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+/// Kermack–McKendrick SIR: dS = −βSI, dI = βSI − γI, dR = γI.
+class SirModel {
+ public:
+  SirModel(double beta, double gamma, double total_hosts);
+
+  /// State vector {S, I, R}.
+  [[nodiscard]] math::OdeSolution integrate(double i0, const std::vector<double>& times) const;
+
+  /// Basic reproduction number R0 = β V / γ.
+  [[nodiscard]] double r0() const noexcept;
+
+  /// Final-size relation: the fraction z of the population ever infected
+  /// solves z = 1 − e^{−R0·z}.  Returns the nonzero root for R0 > 1 and 0
+  /// otherwise (γ must be positive).  Checked against full integration in
+  /// tests/epidemic_models_test.cpp.
+  [[nodiscard]] double final_size_fraction() const;
+
+ private:
+  double beta_;
+  double gamma_;
+  double v_;
+};
+
+/// SIS: infected hosts return to susceptible (no immunity).
+class SisModel {
+ public:
+  SisModel(double beta, double gamma, double total_hosts);
+
+  /// State vector {S, I}.
+  [[nodiscard]] math::OdeSolution integrate(double i0, const std::vector<double>& times) const;
+
+  /// Endemic equilibrium I* = V − γ/β (0 if R0 <= 1).
+  [[nodiscard]] double endemic_equilibrium() const noexcept;
+
+ private:
+  double beta_;
+  double gamma_;
+  double v_;
+};
+
+}  // namespace worms::epidemic

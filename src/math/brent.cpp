@@ -1,0 +1,87 @@
+#include "math/brent.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace worms::math {
+
+BrentResult brent_find_root(const std::function<double(double)>& f, double lo, double hi,
+                            double tol, int max_iter) {
+  WORMS_EXPECTS(lo <= hi);
+  WORMS_EXPECTS(tol > 0.0);
+  double a = lo;
+  double b = hi;
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return {a, 0, true};
+  if (fb == 0.0) return {b, 0, true};
+  WORMS_EXPECTS(std::signbit(fa) != std::signbit(fb));
+
+  double c = a;
+  double fc = fa;
+  double d = b - a;
+  double e = d;
+
+  for (int iter = 1; iter <= max_iter; ++iter) {
+    if (std::fabs(fc) < std::fabs(fb)) {
+      a = b;
+      b = c;
+      c = a;
+      fa = fb;
+      fb = fc;
+      fc = fa;
+    }
+    const double tol1 = 2.0 * 1e-16 * std::fabs(b) + 0.5 * tol;
+    const double xm = 0.5 * (c - b);
+    if (std::fabs(xm) <= tol1 || fb == 0.0) return {b, iter, true};
+
+    if (std::fabs(e) >= tol1 && std::fabs(fa) > std::fabs(fb)) {
+      // Attempt inverse quadratic interpolation (secant if only two points).
+      const double s = fb / fa;
+      double p;
+      double q;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::fabs(p);
+      const double min1 = 3.0 * xm * q - std::fabs(tol1 * q);
+      const double min2 = std::fabs(e * q);
+      if (2.0 * p < (min1 < min2 ? min1 : min2)) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    if (std::fabs(d) > tol1) {
+      b += d;
+    } else {
+      b += std::copysign(tol1, xm);
+    }
+    fb = f(b);
+    if (std::signbit(fb) == std::signbit(fc)) {
+      c = a;
+      fc = fa;
+      e = b - a;
+      d = e;
+    }
+  }
+  return {b, max_iter, false};
+}
+
+}  // namespace worms::math

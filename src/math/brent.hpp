@@ -1,0 +1,22 @@
+// Brent's method for one-dimensional root finding.  Used to solve the
+// extinction fixed point φ(s) = s and to invert distribution functions in the
+// containment planner.
+#pragma once
+
+#include <functional>
+
+namespace worms::math {
+
+struct BrentResult {
+  double root = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Finds x in [lo, hi] with f(x) = 0.  Requires f(lo) and f(hi) to bracket a
+/// root (opposite signs, or one of them exactly zero).  `tol` is the absolute
+/// x-tolerance.  Throws support::PreconditionError if the bracket is invalid.
+[[nodiscard]] BrentResult brent_find_root(const std::function<double(double)>& f, double lo,
+                                          double hi, double tol = 1e-12, int max_iter = 200);
+
+}  // namespace worms::math

@@ -1,0 +1,37 @@
+// Compensated summation.  Monte Carlo aggregation adds ~10^6 small terms to
+// large accumulators; Neumaier's variant keeps the error O(1) ulp.
+#pragma once
+
+#include <cmath>
+
+namespace worms::math {
+
+/// Neumaier (improved Kahan) compensated accumulator.
+class KahanSum {
+ public:
+  constexpr KahanSum() noexcept = default;
+  explicit constexpr KahanSum(double initial) noexcept : sum_(initial) {}
+
+  constexpr void add(double x) noexcept {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  constexpr KahanSum& operator+=(double x) noexcept {
+    add(x);
+    return *this;
+  }
+
+  [[nodiscard]] constexpr double value() const noexcept { return sum_ + comp_; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+}  // namespace worms::math

@@ -1,0 +1,133 @@
+#include "math/linalg.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace worms::math {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  WORMS_EXPECTS(rows >= 1 && cols >= 1);
+}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  WORMS_EXPECTS(!rows.empty());
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    WORMS_EXPECTS(rows[r].size() == m.cols_);
+    for (std::size_t c = 0; c < m.cols_; ++c) m.at(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  WORMS_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  WORMS_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  WORMS_EXPECTS(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) += a * other.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double>& v) const {
+  WORMS_EXPECTS(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += at(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::vector<double> solve_linear(Matrix a, std::vector<double> b) {
+  WORMS_EXPECTS(a.rows() == a.cols());
+  WORMS_EXPECTS(b.size() == a.rows());
+  const std::size_t n = a.rows();
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a.at(r, col)) > std::fabs(a.at(pivot, col))) pivot = r;
+    }
+    WORMS_EXPECTS(std::fabs(a.at(pivot, col)) > 1e-300 && "singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(col, c), a.at(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) / a.at(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a.at(r, c) -= factor * a.at(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a.at(i, c) * x[c];
+    x[i] = acc / a.at(i, i);
+  }
+  return x;
+}
+
+double spectral_radius(const Matrix& a, int max_iter, double tol) {
+  WORMS_EXPECTS(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  // Power-iterate the shifted matrix B = A + I: for non-negative A the Perron
+  // root satisfies ρ(B) = ρ(A) + 1, and the shift makes periodic (cyclic)
+  // matrices primitive so the iteration converges instead of oscillating.
+  Matrix b = a;
+  for (std::size_t i = 0; i < n; ++i) b.at(i, i) += 1.0;
+
+  std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  double lambda = 0.0;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    std::vector<double> w = b.multiply(v);
+    double norm = 0.0;
+    for (double x : w) norm += std::fabs(x);
+    if (norm == 0.0) return 0.0;
+    for (double& x : w) x /= norm;
+    const double delta = std::fabs(norm - lambda);
+    lambda = norm;
+    v = std::move(w);
+    if (iter > 2 && delta < tol * std::max(1.0, lambda)) break;
+  }
+  return lambda - 1.0;
+}
+
+}  // namespace worms::math

@@ -1,0 +1,49 @@
+// Small dense linear algebra for the multi-type branching analytics:
+// K x K systems with K ~ 2..16 (types of hosts), so simple Gaussian
+// elimination with partial pivoting and power iteration are exactly right.
+#pragma once
+
+#include <vector>
+
+namespace worms::math {
+
+/// Dense row-major matrix, minimal on purpose.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds from nested initializer data; all rows must have equal length.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] Matrix transpose() const;
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+  [[nodiscard]] std::vector<double> multiply(const std::vector<double>& v) const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Throws support::PreconditionError on dimension mismatch or a (numerically)
+/// singular matrix.
+[[nodiscard]] std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+/// Largest-magnitude eigenvalue of a non-negative matrix by power iteration
+/// (the Perron root; convergence is guaranteed for the primitive mean
+/// matrices of irreducible branching processes).
+[[nodiscard]] double spectral_radius(const Matrix& a, int max_iter = 10'000,
+                                     double tol = 1e-13);
+
+}  // namespace worms::math

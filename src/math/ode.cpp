@@ -1,0 +1,152 @@
+#include "math/ode.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace worms::math {
+namespace {
+
+void axpy(std::vector<double>& out, const std::vector<double>& y, double a,
+          const std::vector<double>& k) {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = y[i] + a * k[i];
+}
+
+}  // namespace
+
+OdeSolution rk4_integrate(const OdeRhs& f, double t0, std::vector<double> y0, double t1, double dt,
+                          std::size_t sample_every) {
+  WORMS_EXPECTS(dt > 0.0);
+  WORMS_EXPECTS(t1 >= t0);
+  WORMS_EXPECTS(sample_every >= 1);
+
+  const std::size_t dim = y0.size();
+  std::vector<double> k1(dim), k2(dim), k3(dim), k4(dim), tmp(dim);
+
+  OdeSolution sol;
+  sol.times.push_back(t0);
+  sol.states.push_back(y0);
+
+  double t = t0;
+  std::vector<double> y = std::move(y0);
+  std::size_t step = 0;
+  while (t < t1 - 1e-15 * std::max(1.0, std::fabs(t1))) {
+    const double h = std::min(dt, t1 - t);
+    f(t, y, k1);
+    axpy(tmp, y, h / 2.0, k1);
+    f(t + h / 2.0, tmp, k2);
+    axpy(tmp, y, h / 2.0, k2);
+    f(t + h / 2.0, tmp, k3);
+    axpy(tmp, y, h, k3);
+    f(t + h, tmp, k4);
+    for (std::size_t i = 0; i < dim; ++i) {
+      y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+    t += h;
+    ++step;
+    if (step % sample_every == 0 || t >= t1 - 1e-15 * std::max(1.0, std::fabs(t1))) {
+      sol.times.push_back(t);
+      sol.states.push_back(y);
+    }
+  }
+  return sol;
+}
+
+OdeSolution dopri45_integrate(const OdeRhs& f, double t0, std::vector<double> y0,
+                              const std::vector<double>& sample_times, const Dopri45Options& opt) {
+  WORMS_EXPECTS(!sample_times.empty());
+  WORMS_EXPECTS(std::is_sorted(sample_times.begin(), sample_times.end()));
+  WORMS_EXPECTS(sample_times.front() >= t0);
+  WORMS_EXPECTS(opt.abs_tol > 0.0 && opt.rel_tol > 0.0);
+
+  // Dormand–Prince coefficients (RK5(4)7M).
+  constexpr double c2 = 1.0 / 5, c3 = 3.0 / 10, c4 = 4.0 / 5, c5 = 8.0 / 9;
+  constexpr double a21 = 1.0 / 5;
+  constexpr double a31 = 3.0 / 40, a32 = 9.0 / 40;
+  constexpr double a41 = 44.0 / 45, a42 = -56.0 / 15, a43 = 32.0 / 9;
+  constexpr double a51 = 19372.0 / 6561, a52 = -25360.0 / 2187, a53 = 64448.0 / 6561,
+                   a54 = -212.0 / 729;
+  constexpr double a61 = 9017.0 / 3168, a62 = -355.0 / 33, a63 = 46732.0 / 5247, a64 = 49.0 / 176,
+                   a65 = -5103.0 / 18656;
+  constexpr double b1 = 35.0 / 384, b3 = 500.0 / 1113, b4 = 125.0 / 192, b5 = -2187.0 / 6784,
+                   b6 = 11.0 / 84;
+  // Embedded 4th-order weights.
+  constexpr double e1 = 5179.0 / 57600, e3 = 7571.0 / 16695, e4 = 393.0 / 640,
+                   e5 = -92097.0 / 339200, e6 = 187.0 / 2100, e7 = 1.0 / 40;
+
+  const std::size_t dim = y0.size();
+  std::vector<double> k1(dim), k2(dim), k3(dim), k4(dim), k5(dim), k6(dim), k7(dim), tmp(dim),
+      y5(dim);
+
+  OdeSolution sol;
+  sol.times.reserve(sample_times.size());
+  sol.states.reserve(sample_times.size());
+
+  double t = t0;
+  std::vector<double> y = std::move(y0);
+  double h = opt.initial_step;
+  std::size_t next_sample = 0;
+  std::size_t steps = 0;
+
+  // Emit samples that coincide with t0.
+  while (next_sample < sample_times.size() && sample_times[next_sample] <= t + 1e-15) {
+    sol.times.push_back(sample_times[next_sample]);
+    sol.states.push_back(y);
+    ++next_sample;
+  }
+
+  f(t, y, k1);
+  while (next_sample < sample_times.size()) {
+    WORMS_ENSURES(++steps <= opt.max_steps);
+    const double target = sample_times[next_sample];
+    h = std::min({h, opt.max_step, target - t});
+    if (h <= 0.0) h = 1e-15;
+
+    for (std::size_t i = 0; i < dim; ++i) tmp[i] = y[i] + h * a21 * k1[i];
+    f(t + c2 * h, tmp, k2);
+    for (std::size_t i = 0; i < dim; ++i) tmp[i] = y[i] + h * (a31 * k1[i] + a32 * k2[i]);
+    f(t + c3 * h, tmp, k3);
+    for (std::size_t i = 0; i < dim; ++i)
+      tmp[i] = y[i] + h * (a41 * k1[i] + a42 * k2[i] + a43 * k3[i]);
+    f(t + c4 * h, tmp, k4);
+    for (std::size_t i = 0; i < dim; ++i)
+      tmp[i] = y[i] + h * (a51 * k1[i] + a52 * k2[i] + a53 * k3[i] + a54 * k4[i]);
+    f(t + c5 * h, tmp, k5);
+    for (std::size_t i = 0; i < dim; ++i)
+      tmp[i] = y[i] + h * (a61 * k1[i] + a62 * k2[i] + a63 * k3[i] + a64 * k4[i] + a65 * k5[i]);
+    f(t + h, tmp, k6);
+    for (std::size_t i = 0; i < dim; ++i)
+      y5[i] = y[i] + h * (b1 * k1[i] + b3 * k3[i] + b4 * k4[i] + b5 * k5[i] + b6 * k6[i]);
+    f(t + h, y5, k7);
+
+    // Error estimate: difference between 5th- and embedded 4th-order results.
+    double err = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double y4 =
+          y[i] + h * (e1 * k1[i] + e3 * k3[i] + e4 * k4[i] + e5 * k5[i] + e6 * k6[i] + e7 * k7[i]);
+      const double scale =
+          opt.abs_tol + opt.rel_tol * std::max(std::fabs(y[i]), std::fabs(y5[i]));
+      const double d = (y5[i] - y4) / scale;
+      err += d * d;
+    }
+    err = std::sqrt(err / static_cast<double>(dim));
+
+    if (err <= 1.0) {
+      t += h;
+      y = y5;
+      k1 = k7;  // FSAL: last stage of accepted step is first of the next.
+      while (next_sample < sample_times.size() && sample_times[next_sample] <= t + 1e-12) {
+        sol.times.push_back(sample_times[next_sample]);
+        sol.states.push_back(y);
+        ++next_sample;
+      }
+    }
+    const double factor =
+        err <= 1e-30 ? 5.0 : std::clamp(0.9 * std::pow(err, -0.2), 0.2, 5.0);
+    h = std::min(h * factor, opt.max_step);
+  }
+  return sol;
+}
+
+}  // namespace worms::math

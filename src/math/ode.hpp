@@ -1,0 +1,49 @@
+// ODE integrators for the deterministic epidemic models (worms::epidemic).
+//
+// Two solvers:
+//   * rk4_integrate          — classical fixed-step RK4;
+//   * dopri45_integrate      — Dormand–Prince 5(4) with adaptive step and
+//                              PI step-size control.
+// State vectors are std::vector<double>; the derivative is a callable
+// f(t, y, dydt).  Both solvers sample the trajectory at caller-chosen times.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace worms::math {
+
+/// dy/dt = f(t, y) writes the derivative into its third argument (sized like y).
+using OdeRhs =
+    std::function<void(double t, const std::vector<double>& y, std::vector<double>& dydt)>;
+
+/// A sampled trajectory: times[i] ↦ states[i].
+struct OdeSolution {
+  std::vector<double> times;
+  std::vector<std::vector<double>> states;
+
+  [[nodiscard]] std::size_t size() const noexcept { return times.size(); }
+};
+
+/// Integrates from (t0, y0) to t1 with fixed step `dt`, recording the state
+/// at every `sample_every`-th step (plus the first and last).
+[[nodiscard]] OdeSolution rk4_integrate(const OdeRhs& f, double t0, std::vector<double> y0,
+                                        double t1, double dt, std::size_t sample_every = 1);
+
+struct Dopri45Options {
+  double abs_tol = 1e-8;
+  double rel_tol = 1e-8;
+  double initial_step = 1e-3;
+  double max_step = 1e9;
+  std::size_t max_steps = 10'000'000;
+};
+
+/// Adaptive Dormand–Prince 5(4).  Records the state exactly at each time in
+/// `sample_times` (must be increasing, all >= t0) using dense re-stepping:
+/// the solver shortens steps to land on sample points, which is simple and
+/// plenty fast for the small epidemic systems here.
+[[nodiscard]] OdeSolution dopri45_integrate(const OdeRhs& f, double t0, std::vector<double> y0,
+                                            const std::vector<double>& sample_times,
+                                            const Dopri45Options& opt = {});
+
+}  // namespace worms::math

@@ -1,0 +1,160 @@
+#include "math/specfun.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace worms::math {
+namespace {
+
+constexpr std::size_t kFactorialTableSize = 1024;
+
+const std::array<double, kFactorialTableSize>& log_factorial_table() {
+  static const auto table = [] {
+    std::array<double, kFactorialTableSize> t{};
+    t[0] = 0.0;
+    long double acc = 0.0L;
+    for (std::size_t n = 1; n < kFactorialTableSize; ++n) {
+      acc += std::log(static_cast<long double>(n));
+      t[n] = static_cast<double>(acc);
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Lower incomplete gamma by power series; valid (fast-converging) for
+/// x < a + 1.
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int n = 0; n < 10000; ++n) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-16) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+/// Upper incomplete gamma by Lentz continued fraction; valid for x >= a + 1.
+double gamma_q_cf(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 10000; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-16) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+}  // namespace
+
+double log_gamma(double x) {
+  WORMS_EXPECTS(x > 0.0);
+  return std::lgamma(x);
+}
+
+double log_factorial(std::uint64_t n) {
+  if (n < kFactorialTableSize) return log_factorial_table()[n];
+  return log_gamma(static_cast<double>(n) + 1.0);
+}
+
+double log_choose(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double regularized_gamma_p(double a, double x) {
+  WORMS_EXPECTS(a > 0.0);
+  WORMS_EXPECTS(x >= 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_cf(a, x);
+}
+
+double regularized_gamma_q(double a, double x) {
+  WORMS_EXPECTS(a > 0.0);
+  WORMS_EXPECTS(x >= 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_cf(a, x);
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double normal_quantile(double p) {
+  WORMS_EXPECTS(p > 0.0 && p < 1.0);
+  // Acklam's piecewise rational approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step against the true CDF.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double log_add_exp(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double hi = a > b ? a : b;
+  const double lo = a > b ? b : a;
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double kolmogorov_q(double t) {
+  WORMS_EXPECTS(t >= 0.0);
+  if (t < 1e-8) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * t * t);
+    sum += sign * term;
+    if (term < 1e-16) break;
+    sign = -sign;
+  }
+  const double q = 2.0 * sum;
+  return q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+}
+
+}  // namespace worms::math

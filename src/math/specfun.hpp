@@ -1,0 +1,45 @@
+// Special functions used by the statistical and branching-process modules.
+//
+// Everything here is pure and deterministic.  Accuracy targets are stated on
+// each function and enforced by tests/math_specfun_test.cpp.
+#pragma once
+
+#include <cstdint>
+
+namespace worms::math {
+
+/// ln Γ(x) for x > 0.  Thin wrapper over std::lgamma with the sign bit
+/// ignored (we never evaluate at negative arguments).
+[[nodiscard]] double log_gamma(double x);
+
+/// ln(n!) with an exact cached table for n < 1024 and log_gamma beyond.
+/// Absolute error < 1e-12 over the supported range.
+[[nodiscard]] double log_factorial(std::uint64_t n);
+
+/// ln C(n, k).  Returns -inf when k > n.
+[[nodiscard]] double log_choose(std::uint64_t n, std::uint64_t k);
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x)/Γ(a), a > 0, x >= 0.
+/// Series expansion for x < a + 1, continued fraction otherwise.
+/// Relative error < 1e-10 for a in [1e-3, 1e6].
+[[nodiscard]] double regularized_gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 − P(a, x).
+[[nodiscard]] double regularized_gamma_q(double a, double x);
+
+/// Standard normal CDF Φ(x), accurate to ~1e-15 via erfc.
+[[nodiscard]] double normal_cdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation refined by
+/// one Halley step; absolute error < 1e-9 on (0, 1)).
+[[nodiscard]] double normal_quantile(double p);
+
+/// log(sum(exp(a), exp(b))) without overflow.
+[[nodiscard]] double log_add_exp(double a, double b);
+
+/// Survival function of the Kolmogorov distribution:
+/// Q_KS(t) = 2 Σ_{j>=1} (−1)^{j−1} exp(−2 j² t²).  Used for asymptotic
+/// Kolmogorov–Smirnov p-values.
+[[nodiscard]] double kolmogorov_q(double t);
+
+}  // namespace worms::math

@@ -1,0 +1,50 @@
+// The scanned address universe.
+//
+// The paper's worms scan the full 2^32 IPv4 space; unit tests and some
+// ablations shrink the universe (e.g. 2^20 addresses) to raise the hit
+// probability without changing any code path.  Width w means addresses are
+// the w low bits — i.e. the universe is the prefix 0.0.0.0/(32−w).
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace worms::net {
+
+class AddressSpace {
+ public:
+  /// `bits` in [1, 32]; the universe is {0, ..., 2^bits − 1}.
+  explicit constexpr AddressSpace(int bits = 32) : bits_(bits) {
+    WORMS_EXPECTS(bits >= 1 && bits <= 32);
+  }
+
+  [[nodiscard]] constexpr int bits() const noexcept { return bits_; }
+
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept { return 1ULL << bits_; }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Address a) const noexcept {
+    return bits_ == 32 || (a.value() >> bits_) == 0;
+  }
+
+  /// Uniform random address in the universe.
+  [[nodiscard]] Ipv4Address sample(support::Rng& rng) const noexcept {
+    const std::uint32_t raw = rng.u32();
+    return Ipv4Address(bits_ == 32 ? raw : raw & ((std::uint32_t{1} << bits_) - 1));
+  }
+
+  /// Density of a population of `count` hosts in this universe — the paper's
+  /// vulnerability density p = V / 2^32.
+  [[nodiscard]] constexpr double density(std::uint64_t count) const noexcept {
+    return static_cast<double>(count) / static_cast<double>(size());
+  }
+
+  friend constexpr bool operator==(AddressSpace, AddressSpace) = default;
+
+ private:
+  int bits_;
+};
+
+}  // namespace worms::net

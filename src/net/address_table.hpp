@@ -1,0 +1,61 @@
+// Open-addressing hash table mapping Ipv4Address → host id.
+//
+// This sits on the innermost loop of the scan-level simulator (hundreds of
+// millions of lookups per experiment), so it is a purpose-built robin-hood
+// table rather than std::unordered_map: flat storage, power-of-two capacity,
+// bounded probe lengths, no per-node allocation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "support/check.hpp"
+
+namespace worms::net {
+
+class AddressTable {
+ public:
+  static constexpr std::uint32_t kNotFound = ~std::uint32_t{0};
+
+  /// `expected_entries` sizes the table once; inserts beyond ~85% load grow it.
+  explicit AddressTable(std::size_t expected_entries = 16);
+
+  /// Inserts addr → id.  Returns false (and leaves the table unchanged) if
+  /// the address is already present.  `id` must not equal kNotFound.
+  bool insert(Ipv4Address addr, std::uint32_t id);
+
+  /// Host id for addr, or kNotFound.
+  [[nodiscard]] std::uint32_t find(Ipv4Address addr) const noexcept;
+
+  [[nodiscard]] bool contains(Ipv4Address addr) const noexcept {
+    return find(addr) != kNotFound;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::uint32_t addr = 0;
+    std::uint32_t id = kNotFound;  // kNotFound marks an empty slot
+  };
+
+  [[nodiscard]] std::size_t index_of(std::uint32_t addr) const noexcept {
+    // Fibonacci hashing spreads sequential addresses well.
+    const std::uint64_t h = static_cast<std::uint64_t>(addr) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(h >> shift_) & (slots_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t probe_distance(std::size_t slot, std::uint32_t addr) const noexcept {
+    return (slot + slots_.size() - index_of(addr)) & (slots_.size() - 1);
+  }
+
+  void grow();
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  unsigned shift_ = 0;
+};
+
+}  // namespace worms::net

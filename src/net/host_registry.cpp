@@ -1,0 +1,59 @@
+#include "net/host_registry.hpp"
+
+#include "support/check.hpp"
+
+namespace worms::net {
+
+HostRegistry::HostRegistry(AddressSpace space, std::uint32_t count, support::Rng& rng,
+                           std::optional<ClusterSpec> clusters)
+    : space_(space), table_(count) {
+  addresses_.reserve(count);
+
+  if (!clusters) {
+    WORMS_EXPECTS(static_cast<std::uint64_t>(count) <= space.size());
+    // Rejection sampling keeps the address distribution exactly uniform over
+    // distinct tuples.  Populations are sparse (p << 1), so retries are rare.
+    while (addresses_.size() < count) {
+      const Ipv4Address candidate = space_.sample(rng);
+      if (table_.insert(candidate, static_cast<std::uint32_t>(addresses_.size()))) {
+        addresses_.push_back(candidate);
+      }
+    }
+    return;
+  }
+
+  WORMS_EXPECTS(clusters->cluster_count >= 1);
+  WORMS_EXPECTS(clusters->prefix_length >= 32 - space.bits() &&
+                clusters->prefix_length <= 32);
+  const std::uint64_t block_size = 1ULL << (32 - clusters->prefix_length);
+  WORMS_EXPECTS(static_cast<std::uint64_t>(clusters->cluster_count) * block_size <=
+                space.size());
+  WORMS_EXPECTS(count <= clusters->cluster_count * block_size);
+
+  // Pick distinct cluster bases by rejection.
+  const std::uint32_t block_mask =
+      clusters->prefix_length == 0 ? 0u
+                                   : ~std::uint32_t{0} << (32 - clusters->prefix_length);
+  AddressTable bases(clusters->cluster_count);
+  std::vector<std::uint32_t> cluster_bases;
+  cluster_bases.reserve(clusters->cluster_count);
+  while (cluster_bases.size() < clusters->cluster_count) {
+    const std::uint32_t base = space_.sample(rng).value() & block_mask;
+    if (bases.insert(Ipv4Address(base), static_cast<std::uint32_t>(cluster_bases.size()))) {
+      cluster_bases.push_back(base);
+    }
+  }
+
+  // Hosts: uniform cluster choice, uniform offset within the block.
+  while (addresses_.size() < count) {
+    const std::uint32_t base =
+        cluster_bases[static_cast<std::size_t>(rng.below(cluster_bases.size()))];
+    const auto offset = static_cast<std::uint32_t>(rng.below(block_size));
+    const Ipv4Address candidate(base | offset);
+    if (table_.insert(candidate, static_cast<std::uint32_t>(addresses_.size()))) {
+      addresses_.push_back(candidate);
+    }
+  }
+}
+
+}  // namespace worms::net

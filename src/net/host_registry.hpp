@@ -1,0 +1,58 @@
+// The vulnerable-host population: V hosts with unique random addresses in an
+// AddressSpace, plus O(1) reverse lookup (address → host id) for the scan
+// loop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/address_space.hpp"
+#include "net/address_table.hpp"
+#include "net/ipv4.hpp"
+#include "support/rng.hpp"
+
+namespace worms::net {
+
+using HostId = std::uint32_t;
+inline constexpr HostId kNoHost = AddressTable::kNotFound;
+
+/// Optional clustering of the vulnerable population: hosts are placed
+/// uniformly inside `cluster_count` randomly chosen prefixes of the given
+/// length instead of uniformly over the whole universe.  This models dense
+/// sites in a sparse internet — the topology that makes local-preference
+/// scanning dangerous (ablation A5).
+struct ClusterSpec {
+  int prefix_length = 24;          ///< width of each cluster block
+  std::uint32_t cluster_count = 1; ///< number of blocks
+};
+
+class HostRegistry {
+ public:
+  /// Assigns `count` distinct addresses in `space`: uniform over the universe
+  /// by default, or uniform within random cluster blocks when `clusters` is
+  /// given.  Requires count <= the candidate address pool (and in practice
+  /// count << pool; assignment is by rejection, O(count) when sparse).
+  HostRegistry(AddressSpace space, std::uint32_t count, support::Rng& rng,
+               std::optional<ClusterSpec> clusters = std::nullopt);
+
+  [[nodiscard]] std::uint32_t count() const noexcept {
+    return static_cast<std::uint32_t>(addresses_.size());
+  }
+  [[nodiscard]] AddressSpace space() const noexcept { return space_; }
+
+  [[nodiscard]] Ipv4Address address_of(HostId id) const { return addresses_.at(id); }
+
+  /// Host id owning `addr`, or kNoHost.
+  [[nodiscard]] HostId lookup(Ipv4Address addr) const noexcept { return table_.find(addr); }
+
+  /// Vulnerability density p = count / |space|.
+  [[nodiscard]] double density() const noexcept { return space_.density(count()); }
+
+ private:
+  AddressSpace space_;
+  std::vector<Ipv4Address> addresses_;
+  AddressTable table_;
+};
+
+}  // namespace worms::net

@@ -1,0 +1,50 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+
+#include "support/check.hpp"
+
+namespace worms::net {
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((value_ >> shift) & 0xFFu);
+    if (shift != 0) out += '.';
+  }
+  return out;
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* ptr = text.data();
+  const char* const end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned int part = 0;
+    const auto [next, ec] = std::from_chars(ptr, end, part);
+    if (ec != std::errc() || part > 255 || next == ptr) return std::nullopt;
+    // Reject leading zeros like "01" (ambiguous octal notation).
+    if (next - ptr > 1 && *ptr == '0') return std::nullopt;
+    value = (value << 8) | part;
+    ptr = next;
+    if (octet < 3) {
+      if (ptr == end || *ptr != '.') return std::nullopt;
+      ++ptr;
+    }
+  }
+  if (ptr != end) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+Prefix::Prefix(Ipv4Address base, int length) : length_(length) {
+  WORMS_EXPECTS(length >= 0 && length <= 32);
+  mask_ = length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  base_ = Ipv4Address(base.value() & mask_);
+}
+
+std::string Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace worms::net

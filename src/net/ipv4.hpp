@@ -1,0 +1,70 @@
+// IPv4 address and CIDR prefix value types.
+//
+// The simulators work over a configurable-width address space (see
+// address_space.hpp) so tests can shrink the universe; `Ipv4Address` is the
+// strong type used everywhere an address crosses an interface boundary.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace worms::net {
+
+/// A 32-bit IPv4 address.  Strongly typed so host ids, counters, and
+/// addresses cannot be mixed up silently.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() noexcept = default;
+  explicit constexpr Ipv4Address(std::uint32_t value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+
+  /// Dotted-quad representation, e.g. "192.168.0.1".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses dotted-quad text; returns nullopt on any syntax error.
+  [[nodiscard]] static std::optional<Ipv4Address> parse(std::string_view text);
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix, e.g. 10.0.0.0/8.
+class Prefix {
+ public:
+  /// `length` in [0, 32].  The base address is masked down to the prefix, so
+  /// Prefix(1.2.3.4/16) normalizes to 1.2.0.0/16.
+  Prefix(Ipv4Address base, int length);
+
+  [[nodiscard]] Ipv4Address base() const noexcept { return base_; }
+  [[nodiscard]] int length() const noexcept { return length_; }
+
+  /// Number of addresses covered (2^(32−length)).
+  [[nodiscard]] std::uint64_t size() const noexcept { return 1ULL << (32 - length_); }
+
+  [[nodiscard]] bool contains(Ipv4Address addr) const noexcept {
+    return (addr.value() & mask_) == base_.value();
+  }
+
+  /// The enclosing prefix of the given length around an address (e.g. the /16
+  /// of a scanning host, for local-preference scanning).
+  [[nodiscard]] static Prefix enclosing(Ipv4Address addr, int length) {
+    return Prefix(addr, length);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Prefix&, const Prefix&) = default;
+
+ private:
+  Ipv4Address base_;
+  int length_;
+  std::uint32_t mask_;
+};
+
+}  // namespace worms::net

@@ -1,0 +1,99 @@
+// Discrete-event simulation engine.
+//
+// Two flavours share the event queue:
+//   * Engine<Payload>    — POD payloads dispatched to a handler callable;
+//                          zero allocation per event, used by the worm
+//                          simulators (millions of events).
+//   * CallbackEngine     — std::function payloads; convenient for examples,
+//                          tests, and low-event-rate models.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+#include "support/check.hpp"
+
+namespace worms::sim {
+
+/// Core engine: a clock plus an event queue of `Payload`s.  The handler is
+/// supplied per run() call: `handler(SimTime now, const Payload&)`.
+template <typename Payload>
+class Engine {
+ public:
+  /// Schedules a payload at absolute time `at` (must not be in the past).
+  void schedule_at(SimTime at, Payload payload) {
+    WORMS_EXPECTS(at >= now_);
+    queue_.push(at, std::move(payload));
+  }
+
+  /// Schedules a payload `delay` seconds from now.
+  void schedule_in(SimTime delay, Payload payload) {
+    WORMS_EXPECTS(delay >= 0.0);
+    queue_.push(now_ + delay, std::move(payload));
+  }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+
+  /// Requests that run() return after the current event completes.
+  void stop() noexcept { stopped_ = true; }
+
+  /// Runs until the queue drains, `horizon` is reached, or stop() is called.
+  /// Events scheduled beyond the horizon stay in the queue (the clock never
+  /// passes the horizon).  A stop() issued *before* run() makes it return
+  /// immediately; the stop request is consumed when run() returns.
+  template <typename Handler>
+  void run(Handler&& handler, SimTime horizon = 1e300) {
+    while (!stopped_ && !queue_.empty()) {
+      if (queue_.top().time > horizon) {
+        now_ = horizon;
+        return;
+      }
+      auto entry = queue_.pop();
+      WORMS_ENSURES(entry.time >= now_);
+      now_ = entry.time;
+      ++processed_;
+      handler(now_, entry.payload);
+    }
+    stopped_ = false;
+  }
+
+  /// Drops all pending events (the clock is preserved).
+  void clear_pending() noexcept { queue_.clear(); }
+
+ private:
+  EventQueue<Payload> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+/// Convenience engine whose payloads are callbacks.
+class CallbackEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  void schedule_at(SimTime at, Callback cb) { engine_.schedule_at(at, std::move(cb)); }
+  void schedule_in(SimTime delay, Callback cb) { engine_.schedule_in(delay, std::move(cb)); }
+
+  [[nodiscard]] SimTime now() const noexcept { return engine_.now(); }
+  [[nodiscard]] bool empty() const noexcept { return engine_.empty(); }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return engine_.events_processed();
+  }
+
+  void stop() noexcept { engine_.stop(); }
+
+  void run(SimTime horizon = 1e300) {
+    engine_.run([](SimTime, const Callback& cb) { cb(); }, horizon);
+  }
+
+ private:
+  Engine<Callback> engine_;
+};
+
+}  // namespace worms::sim

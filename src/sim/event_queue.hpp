@@ -1,0 +1,91 @@
+// Priority queue of timed events with deterministic tie-breaking.
+//
+// A 4-ary implicit heap over (time, seq, payload).  Equal-time events pop in
+// insertion order (seq), which makes whole simulations bit-reproducible under
+// a fixed seed — a property the cross-engine validation tests rely on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "support/check.hpp"
+
+namespace worms::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Payload payload;
+  };
+
+  void push(SimTime time, Payload payload) {
+    heap_.push_back(Entry{time, next_seq_++, std::move(payload)});
+    sift_up(heap_.size() - 1);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  [[nodiscard]] const Entry& top() const {
+    WORMS_EXPECTS(!heap_.empty());
+    return heap_.front();
+  }
+
+  Entry pop() {
+    WORMS_EXPECTS(!heap_.empty());
+    Entry out = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return out;
+  }
+
+  void clear() noexcept {
+    heap_.clear();
+    // next_seq_ is deliberately not reset: sequence numbers stay unique for
+    // the lifetime of the queue.
+  }
+
+ private:
+  static constexpr std::size_t kArity = 4;
+
+  [[nodiscard]] static bool before(const Entry& a, const Entry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    while (true) {
+      const std::size_t first_child = i * kArity + 1;
+      if (first_child >= heap_.size()) break;
+      std::size_t best = first_child;
+      const std::size_t last_child = std::min(first_child + kArity, heap_.size());
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], heap_[i])) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace worms::sim

@@ -1,0 +1,18 @@
+// Simulation time.  One unit = one second; helpers convert the paper's
+// minute/hour/day axes.  Wall-clock timing is worms::support::Stopwatch.
+#pragma once
+
+namespace worms::sim {
+
+using SimTime = double;  ///< seconds of simulated time
+
+inline constexpr SimTime kSecond = 1.0;
+inline constexpr SimTime kMinute = 60.0;
+inline constexpr SimTime kHour = 3600.0;
+inline constexpr SimTime kDay = 86400.0;
+
+[[nodiscard]] constexpr double to_minutes(SimTime t) noexcept { return t / kMinute; }
+[[nodiscard]] constexpr double to_hours(SimTime t) noexcept { return t / kHour; }
+[[nodiscard]] constexpr double to_days(SimTime t) noexcept { return t / kDay; }
+
+}  // namespace worms::sim

@@ -1,0 +1,64 @@
+#include "stats/confidence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/specfun.hpp"
+#include "support/check.hpp"
+
+namespace worms::stats {
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials, double confidence) {
+  WORMS_EXPECTS(trials >= 1);
+  WORMS_EXPECTS(successes <= trials);
+  WORMS_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  const double z = math::normal_quantile(0.5 + confidence / 2.0);
+  const double n = static_cast<double>(trials);
+  const double p_hat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p_hat + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+Interval mean_interval(double mean, double stddev, std::uint64_t n, double confidence) {
+  WORMS_EXPECTS(n >= 2);
+  WORMS_EXPECTS(stddev >= 0.0);
+  WORMS_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  const double z = math::normal_quantile(0.5 + confidence / 2.0);
+  const double half = z * stddev / std::sqrt(static_cast<double>(n));
+  return {mean - half, mean + half};
+}
+
+Interval bootstrap_interval(const std::vector<double>& sample,
+                            const std::function<double(const std::vector<double>&)>& statistic,
+                            std::uint64_t resamples, double confidence, std::uint64_t seed) {
+  WORMS_EXPECTS(!sample.empty());
+  WORMS_EXPECTS(resamples >= 10);
+  WORMS_EXPECTS(confidence > 0.0 && confidence < 1.0);
+
+  support::Rng rng(seed);
+  std::vector<double> stats_out;
+  stats_out.reserve(resamples);
+  std::vector<double> resample(sample.size());
+  for (std::uint64_t b = 0; b < resamples; ++b) {
+    for (auto& x : resample) {
+      x = sample[static_cast<std::size_t>(rng.below(sample.size()))];
+    }
+    stats_out.push_back(statistic(resample));
+  }
+  std::sort(stats_out.begin(), stats_out.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto at = [&](double q) {
+    const double h = q * static_cast<double>(stats_out.size() - 1);
+    const auto lo = static_cast<std::size_t>(h);
+    const auto hi = std::min(lo + 1, stats_out.size() - 1);
+    const double frac = h - static_cast<double>(lo);
+    return stats_out[lo] + frac * (stats_out[hi] - stats_out[lo]);
+  };
+  return {at(alpha), at(1.0 - alpha)};
+}
+
+}  // namespace worms::stats

@@ -1,0 +1,39 @@
+// Confidence intervals for Monte Carlo estimates.  The figure benches report
+// simulated probabilities and means; these utilities put honest error bars
+// on them (EXPERIMENTS.md quotes paper-vs-measured with these CIs).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace worms::stats {
+
+struct Interval {
+  double lower = 0.0;
+  double upper = 0.0;
+
+  [[nodiscard]] bool contains(double x) const noexcept { return x >= lower && x <= upper; }
+  [[nodiscard]] double width() const noexcept { return upper - lower; }
+};
+
+/// Wilson score interval for a binomial proportion — well-behaved even when
+/// successes is 0 or n (unlike the Wald interval the naive ±1.96·SE gives).
+[[nodiscard]] Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                                       double confidence = 0.95);
+
+/// Normal-theory interval for a mean (t-quantile approximated by the normal,
+/// fine for the n >= 100 runs the benches use).
+[[nodiscard]] Interval mean_interval(double mean, double stddev, std::uint64_t n,
+                                     double confidence = 0.95);
+
+/// Percentile bootstrap CI for an arbitrary statistic of an iid sample.
+/// `statistic` maps a resampled vector to a scalar.  Deterministic in `seed`.
+[[nodiscard]] Interval bootstrap_interval(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    std::uint64_t resamples = 1'000, double confidence = 0.95, std::uint64_t seed = 0xB007);
+
+}  // namespace worms::stats

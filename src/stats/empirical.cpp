@@ -1,0 +1,130 @@
+#include "stats/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/kahan.hpp"
+#include "support/check.hpp"
+
+namespace worms::stats {
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  WORMS_EXPECTS(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDistribution::quantile(double q) const {
+  WORMS_EXPECTS(q >= 0.0 && q <= 1.0);
+  const double n = static_cast<double>(sorted_.size());
+  if (sorted_.size() == 1) return sorted_.front();
+  const double h = (n - 1.0) * q;
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = h - std::floor(h);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+double EmpiricalDistribution::mean() const {
+  math::KahanSum acc;
+  for (double x : sorted_) acc.add(x);
+  return acc.value() / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDistribution::variance() const {
+  WORMS_EXPECTS(sorted_.size() >= 2);
+  const double mu = mean();
+  math::KahanSum acc;
+  for (double x : sorted_) acc.add((x - mu) * (x - mu));
+  return acc.value() / static_cast<double>(sorted_.size() - 1);
+}
+
+std::uint64_t FrequencyTable::count(std::uint64_t value) const {
+  const auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double FrequencyTable::relative_frequency(std::uint64_t value) const {
+  WORMS_EXPECTS(total_ > 0);
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+double FrequencyTable::cumulative_frequency(std::uint64_t value) const {
+  WORMS_EXPECTS(total_ > 0);
+  std::uint64_t acc = 0;
+  for (const auto& [v, c] : counts_) {
+    if (v > value) break;
+    acc += c;
+  }
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::uint64_t FrequencyTable::min_value() const {
+  WORMS_EXPECTS(total_ > 0);
+  return counts_.begin()->first;
+}
+
+std::uint64_t FrequencyTable::max_value() const {
+  WORMS_EXPECTS(total_ > 0);
+  return counts_.rbegin()->first;
+}
+
+double FrequencyTable::mean() const {
+  WORMS_EXPECTS(total_ > 0);
+  math::KahanSum acc;
+  for (const auto& [v, c] : counts_) {
+    acc.add(static_cast<double>(v) * static_cast<double>(c));
+  }
+  return acc.value() / static_cast<double>(total_);
+}
+
+double FrequencyTable::variance() const {
+  WORMS_EXPECTS(total_ >= 2);
+  const double mu = mean();
+  math::KahanSum acc;
+  for (const auto& [v, c] : counts_) {
+    const double d = static_cast<double>(v) - mu;
+    acc.add(d * d * static_cast<double>(c));
+  }
+  return acc.value() / static_cast<double>(total_ - 1);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  WORMS_EXPECTS(hi > lo);
+  WORMS_EXPECTS(bins >= 1);
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  const double idx = std::floor((x - lo_) / width_);
+  std::size_t i;
+  if (idx < 0.0) {
+    i = 0;
+  } else if (idx >= static_cast<double>(counts_.size())) {
+    i = counts_.size() - 1;
+  } else {
+    i = static_cast<std::size_t>(idx);
+  }
+  ++counts_[i];
+  ++total_;
+}
+
+double Histogram::bin_left(std::size_t i) const {
+  WORMS_EXPECTS(i < counts_.size());
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::bin_center(std::size_t i) const { return bin_left(i) + width_ / 2.0; }
+
+double Histogram::density(std::size_t i) const {
+  WORMS_EXPECTS(total_ > 0);
+  return static_cast<double>(bin_count(i)) / (static_cast<double>(total_) * width_);
+}
+
+}  // namespace worms::stats

@@ -1,0 +1,82 @@
+// Empirical distributions: continuous (sorted-sample ECDF/quantiles) and
+// integer-valued frequency tables.  The figure benches compare these against
+// the closed-form Borel–Tanner curves.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace worms::stats {
+
+/// Empirical distribution of real-valued samples.
+class EmpiricalDistribution {
+ public:
+  explicit EmpiricalDistribution(std::vector<double> samples);
+
+  /// Right-continuous ECDF: fraction of samples <= x.
+  [[nodiscard]] double cdf(double x) const;
+
+  /// q-quantile with linear interpolation (type-7, the R default), q in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted_samples() const noexcept { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Frequency table over non-negative integers (e.g. total infections I).
+class FrequencyTable {
+ public:
+  FrequencyTable() = default;
+
+  void add(std::uint64_t value) { ++counts_[value]; ++total_; }
+
+  [[nodiscard]] std::uint64_t count(std::uint64_t value) const;
+  [[nodiscard]] double relative_frequency(std::uint64_t value) const;
+  /// Fraction of observations <= value.
+  [[nodiscard]] double cumulative_frequency(std::uint64_t value) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t min_value() const;
+  [[nodiscard]] std::uint64_t max_value() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); values outside are clamped into
+/// the end bins so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bin_left(std::size_t i) const;
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Normalized density of bin i (integrates to ~1 over the range).
+  [[nodiscard]] double density(std::size_t i) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace worms::stats

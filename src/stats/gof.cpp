@@ -1,0 +1,100 @@
+#include "stats/gof.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/specfun.hpp"
+#include "support/check.hpp"
+
+namespace worms::stats {
+
+GofResult chi_square_test(const std::vector<double>& observed, const std::vector<double>& expected,
+                          int extra_constraints, double min_expected) {
+  WORMS_EXPECTS(observed.size() == expected.size());
+  WORMS_EXPECTS(!observed.empty());
+
+  // Pool adjacent cells until each pooled cell's expectation clears the
+  // threshold.  Pooling preserves totals, so the statistic stays valid.
+  std::vector<double> obs_pooled;
+  std::vector<double> exp_pooled;
+  double o_acc = 0.0;
+  double e_acc = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    WORMS_EXPECTS(expected[i] >= 0.0);
+    o_acc += observed[i];
+    e_acc += expected[i];
+    if (e_acc >= min_expected) {
+      obs_pooled.push_back(o_acc);
+      exp_pooled.push_back(e_acc);
+      o_acc = 0.0;
+      e_acc = 0.0;
+    }
+  }
+  if (e_acc > 0.0 || o_acc > 0.0) {
+    if (exp_pooled.empty()) {
+      obs_pooled.push_back(o_acc);
+      exp_pooled.push_back(e_acc);
+    } else {
+      obs_pooled.back() += o_acc;
+      exp_pooled.back() += e_acc;
+    }
+  }
+
+  double stat = 0.0;
+  for (std::size_t i = 0; i < obs_pooled.size(); ++i) {
+    if (exp_pooled[i] <= 0.0) continue;
+    const double d = obs_pooled[i] - exp_pooled[i];
+    stat += d * d / exp_pooled[i];
+  }
+  const double df =
+      std::max(1.0, static_cast<double>(obs_pooled.size()) - 1.0 - extra_constraints);
+  const double p = math::regularized_gamma_q(df / 2.0, stat / 2.0);
+  return {stat, p, df};
+}
+
+namespace {
+
+double ks_p_value(double d, double n_effective) {
+  // Stephens' correction gives usable p-values down to n ≈ 10.
+  const double sqrt_n = std::sqrt(n_effective);
+  const double t = d * (sqrt_n + 0.12 + 0.11 / sqrt_n);
+  return math::kolmogorov_q(t);
+}
+
+}  // namespace
+
+GofResult ks_test_one_sample(std::vector<double> samples,
+                             const std::function<double(double)>& cdf) {
+  WORMS_EXPECTS(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double f = cdf(samples[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::fabs(f - lo), std::fabs(hi - f)});
+  }
+  return {d, ks_p_value(d, n), 0.0};
+}
+
+GofResult ks_test_two_sample(std::vector<double> a, std::vector<double> b) {
+  WORMS_EXPECTS(!a.empty() && !b.empty());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  double d = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::fabs(static_cast<double>(i) / na - static_cast<double>(j) / nb));
+  }
+  const double n_eff = na * nb / (na + nb);
+  return {d, ks_p_value(d, n_eff), 0.0};
+}
+
+}  // namespace worms::stats

@@ -1,0 +1,35 @@
+// Goodness-of-fit tests.  Used (a) in the test suite to validate samplers
+// against closed forms, and (b) in the figure benches to quantify how close
+// the simulated total-infection distribution is to Borel–Tanner.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace worms::stats {
+
+struct GofResult {
+  double statistic = 0.0;  ///< chi-square statistic or KS distance D
+  double p_value = 1.0;
+  double df = 0.0;  ///< degrees of freedom (chi-square only)
+};
+
+/// Pearson chi-square test of observed counts against expected counts.
+/// Cells with expected < `min_expected` are pooled into their neighbor to
+/// keep the asymptotic distribution valid.  `extra_constraints` is the number
+/// of parameters estimated from the data (df = cells − 1 − extra_constraints).
+[[nodiscard]] GofResult chi_square_test(const std::vector<double>& observed,
+                                        const std::vector<double>& expected,
+                                        int extra_constraints = 0, double min_expected = 5.0);
+
+/// One-sample Kolmogorov–Smirnov test of `samples` against a continuous CDF.
+/// The p-value uses the asymptotic Kolmogorov distribution with the
+/// Stephens small-sample correction.
+[[nodiscard]] GofResult ks_test_one_sample(std::vector<double> samples,
+                                           const std::function<double(double)>& cdf);
+
+/// Two-sample Kolmogorov–Smirnov test.
+[[nodiscard]] GofResult ks_test_two_sample(std::vector<double> a, std::vector<double> b);
+
+}  // namespace worms::stats

@@ -1,0 +1,77 @@
+#include "stats/pmf.hpp"
+
+#include <cmath>
+
+#include "math/kahan.hpp"
+#include "math/specfun.hpp"
+#include "support/check.hpp"
+
+namespace worms::stats {
+
+BinomialPmf::BinomialPmf(std::uint64_t n, double p) : n_(n), p_(p) {
+  WORMS_EXPECTS(p >= 0.0 && p <= 1.0);
+}
+
+double BinomialPmf::log_pmf(std::uint64_t k) const {
+  if (k > n_) return -HUGE_VAL;
+  if (p_ == 0.0) return k == 0 ? 0.0 : -HUGE_VAL;
+  if (p_ == 1.0) return k == n_ ? 0.0 : -HUGE_VAL;
+  const double kd = static_cast<double>(k);
+  const double nd = static_cast<double>(n_);
+  return math::log_choose(n_, k) + kd * std::log(p_) + (nd - kd) * std::log1p(-p_);
+}
+
+double BinomialPmf::pmf(std::uint64_t k) const { return std::exp(log_pmf(k)); }
+
+double BinomialPmf::cdf(std::uint64_t k) const {
+  if (k >= n_) return 1.0;
+  // Sum the smaller tail in increasing-magnitude order for accuracy.
+  const double mu = mean();
+  math::KahanSum acc;
+  if (static_cast<double>(k) <= mu) {
+    for (std::uint64_t i = 0; i <= k; ++i) acc.add(pmf(i));
+    const double v = acc.value();
+    return v > 1.0 ? 1.0 : v;
+  }
+  for (std::uint64_t i = n_; i > k; --i) acc.add(pmf(i));
+  const double v = 1.0 - acc.value();
+  return v < 0.0 ? 0.0 : v;
+}
+
+double BinomialPmf::mean() const noexcept { return static_cast<double>(n_) * p_; }
+
+double BinomialPmf::variance() const noexcept {
+  return static_cast<double>(n_) * p_ * (1.0 - p_);
+}
+
+PoissonPmf::PoissonPmf(double lambda) : lambda_(lambda) { WORMS_EXPECTS(lambda >= 0.0); }
+
+double PoissonPmf::log_pmf(std::uint64_t k) const {
+  if (lambda_ == 0.0) return k == 0 ? 0.0 : -HUGE_VAL;
+  const double kd = static_cast<double>(k);
+  return kd * std::log(lambda_) - lambda_ - math::log_factorial(k);
+}
+
+double PoissonPmf::pmf(std::uint64_t k) const { return std::exp(log_pmf(k)); }
+
+double PoissonPmf::cdf(std::uint64_t k) const {
+  if (lambda_ == 0.0) return 1.0;
+  return math::regularized_gamma_q(static_cast<double>(k) + 1.0, lambda_);
+}
+
+GeometricTrialsPmf::GeometricTrialsPmf(double p) : p_(p) { WORMS_EXPECTS(p > 0.0 && p <= 1.0); }
+
+double GeometricTrialsPmf::pmf(std::uint64_t k) const {
+  if (k == 0) return 0.0;
+  if (p_ == 1.0) return k == 1 ? 1.0 : 0.0;
+  const double kd = static_cast<double>(k);
+  return std::exp((kd - 1.0) * std::log1p(-p_)) * p_;
+}
+
+double GeometricTrialsPmf::cdf(std::uint64_t k) const {
+  if (k == 0) return 0.0;
+  if (p_ == 1.0) return 1.0;
+  return -std::expm1(static_cast<double>(k) * std::log1p(-p_));
+}
+
+}  // namespace worms::stats

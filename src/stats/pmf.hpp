@@ -1,0 +1,62 @@
+// Closed-form probability mass functions for the discrete distributions the
+// model layer reasons about.  These complement the samplers: samplers draw,
+// pmf objects evaluate — and the test suite checks each pair against the
+// other.
+#pragma once
+
+#include <cstdint>
+
+namespace worms::stats {
+
+/// Binomial(n, p) pmf/cdf/moments, evaluated in log space for stability at
+/// n up to 10^7.
+class BinomialPmf {
+ public:
+  BinomialPmf(std::uint64_t n, double p);
+
+  [[nodiscard]] double pmf(std::uint64_t k) const;
+  [[nodiscard]] double log_pmf(std::uint64_t k) const;
+  /// P{X <= k} by direct stable summation from the mode outward.
+  [[nodiscard]] double cdf(std::uint64_t k) const;
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] std::uint64_t trials() const noexcept { return n_; }
+  [[nodiscard]] double success_probability() const noexcept { return p_; }
+
+ private:
+  std::uint64_t n_;
+  double p_;
+};
+
+/// Poisson(lambda) pmf/cdf/moments.  The cdf uses the regularized upper
+/// incomplete gamma, P{X <= k} = Q(k+1, lambda).
+class PoissonPmf {
+ public:
+  explicit PoissonPmf(double lambda);
+
+  [[nodiscard]] double pmf(std::uint64_t k) const;
+  [[nodiscard]] double log_pmf(std::uint64_t k) const;
+  [[nodiscard]] double cdf(std::uint64_t k) const;
+  [[nodiscard]] double mean() const noexcept { return lambda_; }
+  [[nodiscard]] double variance() const noexcept { return lambda_; }
+
+ private:
+  double lambda_;
+};
+
+/// Geometric distribution on {1, 2, ...}: number of Bernoulli(p) trials up to
+/// and including the first success.
+class GeometricTrialsPmf {
+ public:
+  explicit GeometricTrialsPmf(double p);
+
+  [[nodiscard]] double pmf(std::uint64_t k) const;
+  [[nodiscard]] double cdf(std::uint64_t k) const;
+  [[nodiscard]] double mean() const noexcept { return 1.0 / p_; }
+  [[nodiscard]] double variance() const noexcept { return (1.0 - p_) / (p_ * p_); }
+
+ private:
+  double p_;
+};
+
+}  // namespace worms::stats

@@ -1,0 +1,249 @@
+#include "stats/samplers.hpp"
+
+#include <cmath>
+
+#include "math/specfun.hpp"
+#include "support/check.hpp"
+
+namespace worms::stats {
+namespace {
+
+/// Stirling series tail f_c(k) = ln k! − [k ln k − k + ½ ln(2πk)].
+/// Exact table for k < 10, two-term asymptotic beyond (error < 4e-9).
+double stirling_tail(double k) {
+  static const double table[] = {0.08106146679532726, 0.04134069595540929, 0.02767792568499834,
+                                 0.02079067210376509, 0.01664469118982119, 0.01387612882307075,
+                                 0.01189670994589177, 0.01041126526197209, 0.009255462182712733,
+                                 0.008330563433362871};
+  if (k < 10.0) return table[static_cast<int>(k)];
+  const double kp1sq = (k + 1.0) * (k + 1.0);
+  return (1.0 / 12.0 - (1.0 / 360.0 - 1.0 / 1260.0 / kp1sq) / kp1sq) / (k + 1.0);
+}
+
+/// BINV: sequential inversion.  Expected work O(n·p); used when n·p is small.
+std::uint64_t binomial_binv(support::Rng& rng, std::uint64_t n, double p) {
+  const double q = 1.0 - p;
+  const double s = p / q;
+  const double a = static_cast<double>(n + 1) * s;
+  double r = std::pow(q, static_cast<double>(n));
+  double u = rng.uniform();
+  std::uint64_t x = 0;
+  // The loop terminates because r eventually underflows slower than u shrinks;
+  // the x > n guard restarts on the (measure-zero) numerical corner.
+  while (true) {
+    if (u <= r) return x;
+    u -= r;
+    ++x;
+    if (x > n) {  // numerical fallback: restart with a fresh uniform
+      r = std::pow(q, static_cast<double>(n));
+      u = rng.uniform();
+      x = 0;
+      continue;
+    }
+    r *= a / static_cast<double>(x) - s;
+  }
+}
+
+/// BTRS (Hörmann 1993): transformed rejection.  Requires p <= 0.5, n·p >= 10.
+std::uint64_t binomial_btrs(support::Rng& rng, std::uint64_t n, double p) {
+  const double nd = static_cast<double>(n);
+  const double q = 1.0 - p;
+  const double spq = std::sqrt(nd * p * q);
+  const double b = 1.15 + 2.53 * spq;
+  const double a = -0.0873 + 0.0248 * b + 0.01 * p;
+  const double c = nd * p + 0.5;
+  const double v_r = 0.92 - 4.2 / b;
+  const double r = p / q;
+  const double alpha = (2.83 + 5.1 / b) * spq;
+  const double m = std::floor((nd + 1.0) * p);
+
+  while (true) {
+    const double u = rng.uniform() - 0.5;
+    double v = rng.uniform();
+    const double us = 0.5 - std::fabs(u);
+    const double kd = std::floor((2.0 * a / us + b) * u + c);
+    if (kd < 0.0 || kd > nd) continue;
+    if (us >= 0.07 && v <= v_r) return static_cast<std::uint64_t>(kd);
+    v = std::log(v * alpha / (a / (us * us) + b));
+    const double upper =
+        (m + 0.5) * std::log((m + 1.0) / (r * (nd - m + 1.0))) +
+        (nd + 1.0) * std::log((nd - m + 1.0) / (nd - kd + 1.0)) +
+        (kd + 0.5) * std::log(r * (nd - kd + 1.0) / (kd + 1.0)) + stirling_tail(m) +
+        stirling_tail(nd - m) - stirling_tail(kd) - stirling_tail(nd - kd);
+    if (v <= upper) return static_cast<std::uint64_t>(kd);
+  }
+}
+
+/// Knuth's multiplicative Poisson; O(λ) expected.
+std::uint64_t poisson_knuth(support::Rng& rng, double lambda) {
+  const double limit = std::exp(-lambda);
+  double prod = rng.uniform_pos();
+  std::uint64_t k = 0;
+  while (prod > limit) {
+    prod *= rng.uniform_pos();
+    ++k;
+  }
+  return k;
+}
+
+/// PTRS (Hörmann 1993): transformed rejection for Poisson, λ >= 10.
+std::uint64_t poisson_ptrs(support::Rng& rng, double lambda) {
+  const double b = 0.931 + 2.53 * std::sqrt(lambda);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+  const double log_lambda = std::log(lambda);
+
+  while (true) {
+    const double u = rng.uniform() - 0.5;
+    const double v = rng.uniform();
+    const double us = 0.5 - std::fabs(u);
+    const double kd = std::floor((2.0 * a / us + b) * u + lambda + 0.43);
+    if (us >= 0.07 && v <= v_r) return static_cast<std::uint64_t>(kd);
+    if (kd < 0.0 || (us < 0.013 && v > us)) continue;
+    if (std::log(v * inv_alpha / (a / (us * us) + b)) <=
+        kd * log_lambda - lambda - math::log_gamma(kd + 1.0)) {
+      return static_cast<std::uint64_t>(kd);
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t sample_binomial(support::Rng& rng, std::uint64_t n, double p) {
+  WORMS_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  if (p > 0.5) return n - sample_binomial(rng, n, 1.0 - p);
+  const double np = static_cast<double>(n) * p;
+  if (np < 10.0) return binomial_binv(rng, n, p);
+  return binomial_btrs(rng, n, p);
+}
+
+std::uint64_t sample_poisson(support::Rng& rng, double lambda) {
+  WORMS_EXPECTS(lambda >= 0.0);
+  if (lambda == 0.0) return 0;
+  if (lambda < 10.0) return poisson_knuth(rng, lambda);
+  return poisson_ptrs(rng, lambda);
+}
+
+std::uint64_t sample_geometric_trials(support::Rng& rng, double p) {
+  WORMS_EXPECTS(p > 0.0 && p <= 1.0);
+  if (p == 1.0) return 1;
+  // T = 1 + floor(ln U / ln(1-p)); the +1 makes the support start at one trial.
+  const double u = rng.uniform_pos();
+  const double failures = std::floor(std::log(u) / std::log1p(-p));
+  return 1 + static_cast<std::uint64_t>(failures);
+}
+
+double sample_exponential(support::Rng& rng, double rate) {
+  WORMS_EXPECTS(rate > 0.0);
+  return -std::log(rng.uniform_pos()) / rate;
+}
+
+double sample_normal(support::Rng& rng) {
+  // Marsaglia polar method; the spare variate is intentionally discarded to
+  // keep the sampler stateless.
+  while (true) {
+    const double x = 2.0 * rng.uniform() - 1.0;
+    const double y = 2.0 * rng.uniform() - 1.0;
+    const double s = x * x + y * y;
+    if (s > 0.0 && s < 1.0) {
+      return x * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double sample_lognormal(support::Rng& rng, double mu, double sigma) {
+  WORMS_EXPECTS(sigma >= 0.0);
+  return std::exp(mu + sigma * sample_normal(rng));
+}
+
+double sample_pareto(support::Rng& rng, double x_min, double alpha) {
+  WORMS_EXPECTS(x_min > 0.0);
+  WORMS_EXPECTS(alpha > 0.0);
+  return x_min / std::pow(rng.uniform_pos(), 1.0 / alpha);
+}
+
+double sample_gamma(support::Rng& rng, double shape) {
+  WORMS_EXPECTS(shape > 0.0);
+  if (shape < 1.0) {
+    // Boost: X_{a} = X_{a+1} · U^{1/a}.
+    const double u = rng.uniform_pos();
+    return sample_gamma(rng, shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia–Tsang (2000).
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x;
+    double v;
+    do {
+      x = sample_normal(rng);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.uniform_pos();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+double sample_erlang(support::Rng& rng, std::uint64_t n, double rate) {
+  WORMS_EXPECTS(n >= 1);
+  WORMS_EXPECTS(rate > 0.0);
+  if (n <= 16) {
+    // Product-of-uniforms form of summing n exponentials.
+    double prod = 1.0;
+    for (std::uint64_t i = 0; i < n; ++i) prod *= rng.uniform_pos();
+    return -std::log(prod) / rate;
+  }
+  return sample_gamma(rng, static_cast<double>(n)) / rate;
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  WORMS_EXPECTS(!weights.empty());
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    WORMS_EXPECTS(w >= 0.0);
+    total += w;
+  }
+  WORMS_EXPECTS(total > 0.0);
+
+  normalized_.resize(n);
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    normalized_[i] = weights[i] / total;
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t AliasTable::sample(support::Rng& rng) const {
+  const std::size_t i = static_cast<std::size_t>(rng.below(prob_.size()));
+  return rng.uniform() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace worms::stats

@@ -1,0 +1,69 @@
+// Streaming summary statistics (Welford's online algorithm).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace worms::stats {
+
+/// Numerically stable online mean/variance/min/max accumulator.
+class Summary {
+ public:
+  constexpr Summary() noexcept = default;
+
+  constexpr void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Merges another summary (parallel reduction); Chan et al. update.
+  constexpr void merge(const Summary& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] constexpr double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance; requires at least two observations.
+  [[nodiscard]] double variance() const {
+    WORMS_EXPECTS(count_ >= 2);
+    return m2_ / static_cast<double>(count_ - 1);
+  }
+
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  /// Standard error of the mean.
+  [[nodiscard]] double std_error() const { return stddev() / std::sqrt(static_cast<double>(count_)); }
+
+  [[nodiscard]] constexpr double min() const noexcept { return min_; }
+  [[nodiscard]] constexpr double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace worms::stats

@@ -1,0 +1,47 @@
+// Contract-check helpers in the spirit of the C++ Core Guidelines' GSL
+// `Expects` / `Ensures`.  Violations throw rather than abort so that tests can
+// assert on them and long-running experiment harnesses can fail one run
+// without killing the whole sweep.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace worms::support {
+
+/// Thrown when a precondition (`WORMS_EXPECTS`) is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a postcondition or invariant (`WORMS_ENSURES`) is violated.
+class PostconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void precondition_failure(const char* cond, const char* file, int line) {
+  throw PreconditionError(std::string("precondition failed: ") + cond + " at " + file + ":" +
+                          std::to_string(line));
+}
+
+[[noreturn]] inline void postcondition_failure(const char* cond, const char* file, int line) {
+  throw PostconditionError(std::string("postcondition failed: ") + cond + " at " + file + ":" +
+                           std::to_string(line));
+}
+
+}  // namespace worms::support
+
+/// Precondition check: evaluates in all build types (the experiments are
+/// stochastic; silent corruption is far worse than the branch cost).
+#define WORMS_EXPECTS(cond)                                                \
+  do {                                                                     \
+    if (!(cond)) ::worms::support::precondition_failure(#cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Postcondition / invariant check.
+#define WORMS_ENSURES(cond)                                                 \
+  do {                                                                      \
+    if (!(cond)) ::worms::support::postcondition_failure(#cond, __FILE__, __LINE__); \
+  } while (false)

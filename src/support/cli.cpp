@@ -1,0 +1,96 @@
+#include "support/cli.hpp"
+
+#include <charconv>
+
+#include "support/check.hpp"
+
+namespace worms::support {
+
+CliArgs CliArgs::parse(int argc, const char* const* argv) {
+  CliArgs out;
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') {
+    out.command_ = argv[i];
+    ++i;
+  }
+  while (i < argc) {
+    std::string token = argv[i];
+    WORMS_EXPECTS(token.size() > 2 && token[0] == '-' && token[1] == '-');
+    token = token.substr(2);
+
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      out.flags_[token.substr(0, eq)] = token.substr(eq + 1);
+      ++i;
+      continue;
+    }
+    // `--flag value` unless the next token is another flag (boolean form).
+    if (i + 1 < argc && !(argv[i + 1][0] == '-' && argv[i + 1][1] == '-')) {
+      out.flags_[token] = argv[i + 1];
+      i += 2;
+    } else {
+      out.flags_[token] = "true";
+      ++i;
+    }
+  }
+  return out;
+}
+
+bool CliArgs::has(const std::string& name) const {
+  const bool present = flags_.count(name) != 0;
+  if (present) consumed_[name] = true;
+  return present;
+}
+
+std::string CliArgs::get_string(const std::string& name, const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::uint64_t CliArgs::get_u64(const std::string& name, std::uint64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  consumed_[name] = true;
+  std::uint64_t value = 0;
+  const auto& s = it->second;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  WORMS_EXPECTS(ec == std::errc() && ptr == s.data() + s.size());
+  return value;
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  consumed_[name] = true;
+  std::size_t used = 0;
+  double value = 0.0;
+  bool ok = true;
+  try {
+    value = std::stod(it->second, &used);
+  } catch (const std::exception&) {
+    ok = false;
+  }
+  WORMS_EXPECTS(ok && used == it->second.size() && "flag is not a number");
+  return value;
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  consumed_[name] = true;
+  WORMS_EXPECTS(it->second == "true" || it->second == "false" || it->second == "1" ||
+                it->second == "0");
+  return it->second == "true" || it->second == "1";
+}
+
+std::vector<std::string> CliArgs::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : flags_) {
+    if (!consumed_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace worms::support

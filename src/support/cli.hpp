@@ -1,0 +1,42 @@
+// Minimal command-line parsing for the wormctl tool: a subcommand followed by
+// --flag value / --flag=value options.  No external dependencies, strict by
+// default (unknown flags are errors), typed accessors with defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace worms::support {
+
+class CliArgs {
+ public:
+  /// Parses argv[1..): the first non-flag token is the subcommand, the rest
+  /// must be `--name value` or `--name=value` pairs (a flag followed by
+  /// another flag or end-of-line is treated as boolean true).
+  /// Throws PreconditionError on malformed input.
+  static CliArgs parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& command() const noexcept { return command_; }
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Typed accessors; throw PreconditionError when the flag is present but
+  /// unparseable.  The `fallback` is returned when the flag is absent.
+  [[nodiscard]] std::string get_string(const std::string& name, const std::string& fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Flags that were provided but never read — lets the tool reject typos.
+  [[nodiscard]] std::vector<std::string> unconsumed() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace worms::support

@@ -1,0 +1,23 @@
+#include "support/rng.hpp"
+
+#include "support/check.hpp"
+
+namespace worms::support {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless method.  For bound == 0 we define the result
+  // as a full-range draw reduced to 0 (callers guard this; noexcept path).
+  if (bound == 0) return 0;
+  while (true) {
+    const std::uint64_t x = gen_();
+    const unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= bound) return static_cast<std::uint64_t>(m >> 64);
+    // Rejection zone: only entered when low < bound, i.e. with probability
+    // (2^64 mod bound) / 2^64 — negligible for the bounds we use.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    if (low >= threshold) return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+}  // namespace worms::support

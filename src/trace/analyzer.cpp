@@ -1,0 +1,110 @@
+#include "trace/analyzer.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace worms::trace {
+
+TraceAnalyzer::TraceAnalyzer(std::vector<ConnRecord> records) : records_(std::move(records)) {
+  std::sort(records_.begin(), records_.end(),
+            [](const ConnRecord& a, const ConnRecord& b) { return a.timestamp < b.timestamp; });
+  for (const ConnRecord& r : records_) {
+    if (r.source_host >= host_count_) host_count_ = r.source_host + 1;
+  }
+}
+
+std::vector<HostActivity> TraceAnalyzer::activity_ranking() const {
+  std::vector<std::unordered_set<std::uint32_t>> seen(host_count_);
+  std::vector<HostActivity> activity(host_count_);
+  for (std::uint32_t h = 0; h < host_count_; ++h) activity[h].host = h;
+  for (const ConnRecord& r : records_) {
+    seen[r.source_host].insert(r.destination.value());
+    ++activity[r.source_host].total_connections;
+  }
+  for (std::uint32_t h = 0; h < host_count_; ++h) {
+    activity[h].distinct_destinations = static_cast<std::uint32_t>(seen[h].size());
+  }
+  std::sort(activity.begin(), activity.end(), [](const HostActivity& a, const HostActivity& b) {
+    return a.distinct_destinations > b.distinct_destinations;
+  });
+  return activity;
+}
+
+double TraceAnalyzer::fraction_below(std::uint32_t threshold) const {
+  const auto ranking = activity_ranking();
+  std::uint32_t active = 0;
+  std::uint32_t below = 0;
+  for (const HostActivity& a : ranking) {
+    if (a.total_connections == 0) continue;  // silent hosts aren't in the denominator
+    ++active;
+    if (a.distinct_destinations < threshold) ++below;
+  }
+  WORMS_EXPECTS(active > 0);
+  return static_cast<double>(below) / static_cast<double>(active);
+}
+
+std::uint32_t TraceAnalyzer::hosts_above(std::uint32_t threshold) const {
+  std::uint32_t count = 0;
+  for (const HostActivity& a : activity_ranking()) {
+    if (a.distinct_destinations > threshold) ++count;
+  }
+  return count;
+}
+
+std::vector<GrowthCurve> TraceAnalyzer::top_growth_curves(std::size_t top_k) const {
+  const auto ranking = activity_ranking();
+  const std::size_t k = std::min(top_k, ranking.size());
+
+  std::vector<GrowthCurve> curves(k);
+  std::vector<std::int32_t> slot_of(host_count_, -1);
+  for (std::size_t i = 0; i < k; ++i) {
+    curves[i].host = ranking[i].host;
+    slot_of[ranking[i].host] = static_cast<std::int32_t>(i);
+  }
+
+  std::vector<std::unordered_set<std::uint32_t>> seen(k);
+  for (const ConnRecord& r : records_) {
+    const std::int32_t slot = slot_of[r.source_host];
+    if (slot < 0) continue;
+    if (seen[slot].insert(r.destination.value()).second) {
+      curves[slot].increment_times.push_back(r.timestamp);
+    }
+  }
+  return curves;
+}
+
+FalsePositiveReport TraceAnalyzer::audit_policy(
+    const core::ScanCountLimitPolicy::Config& config) const {
+  core::ScanCountLimitPolicy::Config cfg = config;
+  cfg.counting = core::ScanCountLimitPolicy::CountingMode::ExactDistinct;
+  core::ScanCountLimitPolicy policy(cfg);
+
+  std::vector<bool> removed(host_count_, false);
+  for (const ConnRecord& r : records_) {
+    if (removed[r.source_host]) continue;  // host is offline being checked
+    const core::ScanDecision d = policy.on_scan(r.source_host, r.timestamp, r.destination);
+    if (d.action == core::ScanAction::Remove ||
+        d.action == core::ScanAction::AllowAndRemove) {
+      removed[r.source_host] = true;
+    }
+  }
+
+  FalsePositiveReport report;
+  report.scan_limit = config.scan_limit;
+  report.hosts_total = host_count_;
+  for (std::uint32_t h = 0; h < host_count_; ++h) {
+    if (removed[h]) ++report.hosts_removed;
+  }
+  std::unordered_set<net::HostId> flagged(policy.flagged_hosts().begin(),
+                                          policy.flagged_hosts().end());
+  report.hosts_flagged = static_cast<std::uint32_t>(flagged.size());
+  report.removal_fraction = host_count_ == 0
+                                ? 0.0
+                                : static_cast<double>(report.hosts_removed) /
+                                      static_cast<double>(host_count_);
+  return report;
+}
+
+}  // namespace worms::trace

@@ -1,0 +1,68 @@
+// Trace analysis: the computations the paper performs on LBL-CONN-7 (§IV)
+// plus the non-intrusiveness audit of the containment scheme — replaying a
+// clean trace through the actual ScanCountLimitPolicy and counting hosts the
+// policy would have flagged or removed (false positives, since the trace
+// contains no worm traffic).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scan_limit_policy.hpp"
+#include "trace/record.hpp"
+
+namespace worms::trace {
+
+struct HostActivity {
+  std::uint32_t host = 0;
+  std::uint32_t distinct_destinations = 0;
+  std::uint64_t total_connections = 0;
+};
+
+/// One host's distinct-destination growth curve: the instants at which its
+/// unique-destination counter incremented (Fig. 6 plots these for the top 6).
+struct GrowthCurve {
+  std::uint32_t host = 0;
+  std::vector<sim::SimTime> increment_times;
+};
+
+struct FalsePositiveReport {
+  std::uint64_t scan_limit = 0;   ///< the M audited
+  std::uint32_t hosts_total = 0;
+  std::uint32_t hosts_removed = 0;  ///< hit M within a cycle → false removal
+  std::uint32_t hosts_flagged = 0;  ///< crossed f·M → sent to early checking
+  double removal_fraction = 0.0;
+};
+
+class TraceAnalyzer {
+ public:
+  /// `records` need not be sorted; the analyzer sorts a copy by time.
+  explicit TraceAnalyzer(std::vector<ConnRecord> records);
+
+  /// Exact per-host activity, sorted by descending distinct count.
+  [[nodiscard]] std::vector<HostActivity> activity_ranking() const;
+
+  /// Fraction of active hosts with fewer than `threshold` distinct
+  /// destinations (the paper: 97% below 100).
+  [[nodiscard]] double fraction_below(std::uint32_t threshold) const;
+
+  /// Number of hosts with strictly more than `threshold` distinct
+  /// destinations (the paper: six above 1000).
+  [[nodiscard]] std::uint32_t hosts_above(std::uint32_t threshold) const;
+
+  /// Growth curves of the `top_k` most active hosts (Fig. 6).
+  [[nodiscard]] std::vector<GrowthCurve> top_growth_curves(std::size_t top_k) const;
+
+  /// Replays the trace through a ScanCountLimitPolicy in exact-distinct mode
+  /// and reports which clean hosts would have been disturbed.
+  [[nodiscard]] FalsePositiveReport audit_policy(
+      const core::ScanCountLimitPolicy::Config& config) const;
+
+  [[nodiscard]] const std::vector<ConnRecord>& records() const noexcept { return records_; }
+
+ private:
+  std::vector<ConnRecord> records_;  // sorted by timestamp
+  std::uint32_t host_count_ = 0;     // max host index + 1
+};
+
+}  // namespace worms::trace

@@ -1,0 +1,72 @@
+#include "trace/hyperloglog.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace worms::trace {
+namespace {
+
+std::uint64_t hash64(std::uint64_t x) noexcept {
+  // SplitMix64 finalizer: a strong 64-bit mixer.
+  std::uint64_t s = x;
+  return support::splitmix64(s);
+}
+
+double alpha_for(std::size_t m) noexcept {
+  switch (m) {
+    case 16: return 0.673;
+    case 32: return 0.697;
+    case 64: return 0.709;
+    default: return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+
+}  // namespace
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  WORMS_EXPECTS(precision >= 4 && precision <= 16);
+  registers_.assign(std::size_t{1} << precision, 0);
+}
+
+void HyperLogLog::add(std::uint64_t value) noexcept {
+  const std::uint64_t h = hash64(value);
+  const std::size_t idx = static_cast<std::size_t>(h >> (64 - precision_));
+  const std::uint64_t rest = h << precision_;
+  // Rank: position of the leftmost 1-bit in the remaining 64−b bits, 1-based;
+  // an all-zero remainder gets the maximum rank.
+  const int rank =
+      rest == 0 ? (64 - precision_ + 1) : (std::countl_zero(rest) + 1);
+  if (static_cast<std::uint8_t>(rank) > registers_[idx]) {
+    registers_[idx] = static_cast<std::uint8_t>(rank);
+  }
+}
+
+double HyperLogLog::estimate() const noexcept {
+  const double m = static_cast<double>(registers_.size());
+  double sum = 0.0;
+  std::size_t zeros = 0;
+  for (std::uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  const double raw = alpha_for(registers_.size()) * m * m / sum;
+  if (raw <= 2.5 * m && zeros != 0) {
+    // Small-range correction: linear counting.
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  // With a 64-bit hash the classical large-range correction is unnecessary
+  // for any cardinality we could feed it.
+  return raw;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  WORMS_EXPECTS(precision_ == other.precision_);
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    if (other.registers_[i] > registers_[i]) registers_[i] = other.registers_[i];
+  }
+}
+
+}  // namespace worms::trace

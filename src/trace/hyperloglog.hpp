@@ -1,0 +1,54 @@
+// HyperLogLog cardinality estimator (Flajolet et al. 2007).
+//
+// The containment system keeps a distinct-destination counter per protected
+// host over a weeks-long cycle; an exact hash set costs O(distinct) memory
+// per host, while an HLL register array is a fixed few hundred bytes with
+// ~2% error at precision 12 — the deployable implementation of the paper's
+// "counter of unique IP addresses".  Accuracy is verified in
+// tests/trace_hyperloglog_test.cpp and both options are exposed via
+// DistinctCounter below.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace worms::trace {
+
+class HyperLogLog {
+ public:
+  /// `precision` b in [4, 16]: 2^b one-byte registers; relative error
+  /// ≈ 1.04 / sqrt(2^b).
+  explicit HyperLogLog(int precision = 12);
+
+  /// Adds a value (hashed internally with a 64-bit finalizer).
+  void add(std::uint64_t value) noexcept;
+
+  /// Estimated number of distinct values added, with the standard small-range
+  /// (linear counting) correction.
+  [[nodiscard]] double estimate() const noexcept;
+
+  /// Merges another sketch of the same precision (register-wise max).
+  void merge(const HyperLogLog& other);
+
+  [[nodiscard]] int precision() const noexcept { return precision_; }
+  [[nodiscard]] std::size_t register_count() const noexcept { return registers_.size(); }
+
+ private:
+  int precision_;
+  std::vector<std::uint8_t> registers_;
+};
+
+/// Exact distinct counter with the same interface shape; the scan-limit
+/// policy and trace analyzer can use either.
+class ExactDistinctCounter {
+ public:
+  void add(std::uint64_t value) { values_.insert(value); }
+  [[nodiscard]] double estimate() const noexcept { return static_cast<double>(values_.size()); }
+  [[nodiscard]] std::size_t exact() const noexcept { return values_.size(); }
+
+ private:
+  std::unordered_set<std::uint64_t> values_;
+};
+
+}  // namespace worms::trace

@@ -1,0 +1,20 @@
+// Connection-trace records — the shape of LBL-CONN-7 after the paper's
+// preprocessing (it only uses source host, destination address, and time).
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.hpp"
+#include "sim/time.hpp"
+
+namespace worms::trace {
+
+struct ConnRecord {
+  sim::SimTime timestamp = 0.0;  ///< seconds since trace start
+  std::uint32_t source_host = 0; ///< anonymized local host index (LBL style)
+  net::Ipv4Address destination;  ///< remote address
+
+  friend bool operator==(const ConnRecord&, const ConnRecord&) = default;
+};
+
+}  // namespace worms::trace

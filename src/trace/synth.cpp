@@ -1,0 +1,115 @@
+#include "trace/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "stats/samplers.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace worms::trace {
+namespace {
+
+/// Diurnal modulation: office-hours traffic peaks mid-day.  Returns a weight
+/// in (0, 1] for a timestamp; used to thin revisit times.
+double diurnal_weight(sim::SimTime t) {
+  const double hour_of_day = std::fmod(t, sim::kDay) / sim::kHour;
+  // Peak around 14:00, trough around 02:00; never fully silent.
+  return 0.55 + 0.45 * std::cos((hour_of_day - 14.0) / 24.0 * 2.0 * M_PI);
+}
+
+/// Draws a timestamp with the diurnal profile by rejection.
+sim::SimTime diurnal_time(support::Rng& rng, sim::SimTime duration) {
+  while (true) {
+    const sim::SimTime t = rng.uniform() * duration;
+    if (rng.uniform() < diurnal_weight(t)) return t;
+  }
+}
+
+/// First-contact instants for `count` distinct destinations: a uniform
+/// background plus a few tight bursts, sorted.
+std::vector<sim::SimTime> first_contact_times(support::Rng& rng, std::uint32_t count,
+                                              sim::SimTime duration) {
+  std::vector<sim::SimTime> times;
+  times.reserve(count);
+  // ~25% of new destinations arrive in bursts (software updates, crawls,
+  // address-book syncs) — this is what gives Fig. 6 its step-like segments.
+  const std::uint32_t burst_total = count / 4;
+  std::uint32_t assigned = 0;
+  while (assigned < burst_total) {
+    const std::uint32_t burst =
+        std::min<std::uint32_t>(burst_total - assigned,
+                                1 + static_cast<std::uint32_t>(rng.below(40)));
+    const sim::SimTime center = diurnal_time(rng, duration);
+    for (std::uint32_t i = 0; i < burst; ++i) {
+      // Bursts span a few minutes.
+      const sim::SimTime jitter = (rng.uniform() - 0.5) * 10.0 * sim::kMinute;
+      times.push_back(std::clamp(center + jitter, 0.0, duration));
+    }
+    assigned += burst;
+  }
+  while (times.size() < count) times.push_back(diurnal_time(rng, duration));
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+}  // namespace
+
+SynthTrace synthesize_lbl_trace(const LblSynthConfig& config) {
+  WORMS_EXPECTS(config.hosts >= config.heavy_host_targets.size());
+  WORMS_EXPECTS(config.duration > 0.0);
+  WORMS_EXPECTS(config.mean_revisits >= 0.0);
+
+  support::Rng rng(config.seed);
+  SynthTrace out;
+  out.distinct_per_host.resize(config.hosts);
+
+  // --- Assign distinct-destination targets ---
+  for (std::uint32_t h = 0; h < config.hosts; ++h) {
+    if (h < config.heavy_host_targets.size()) {
+      out.distinct_per_host[h] = config.heavy_host_targets[h];
+      continue;
+    }
+    // Log-normal body, resampled to stay below the heavy-hitter floor so the
+    // trace has *exactly* the configured number of >1000 hosts.
+    double d;
+    do {
+      d = stats::sample_lognormal(rng, config.body_log_mean, config.body_log_sigma);
+    } while (d >= 1000.0);
+    out.distinct_per_host[h] = static_cast<std::uint32_t>(std::max(1.0, std::floor(d)));
+  }
+
+  // --- Emit connections ---
+  for (std::uint32_t h = 0; h < config.hosts; ++h) {
+    const std::uint32_t distinct = out.distinct_per_host[h];
+    const auto times = first_contact_times(rng, distinct, config.duration);
+
+    std::unordered_set<std::uint32_t> used;
+    used.reserve(distinct * 2);
+    for (std::uint32_t d = 0; d < distinct; ++d) {
+      // Fresh public destination address, unique within this host's history.
+      std::uint32_t addr;
+      do {
+        addr = rng.u32();
+      } while (!used.insert(addr).second);
+
+      out.records.push_back(ConnRecord{times[d], h, net::Ipv4Address(addr)});
+
+      // Revisits: geometric count, diurnal times after first contact.
+      const auto revisits = static_cast<std::uint32_t>(
+          stats::sample_geometric_trials(rng, 1.0 / (1.0 + config.mean_revisits)) - 1);
+      for (std::uint32_t r = 0; r < revisits; ++r) {
+        const sim::SimTime t =
+            times[d] + rng.uniform() * (config.duration - times[d]);
+        out.records.push_back(ConnRecord{t, h, net::Ipv4Address(addr)});
+      }
+    }
+  }
+
+  std::sort(out.records.begin(), out.records.end(),
+            [](const ConnRecord& a, const ConnRecord& b) { return a.timestamp < b.timestamp; });
+  return out;
+}
+
+}  // namespace worms::trace

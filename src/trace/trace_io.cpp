@@ -1,0 +1,72 @@
+#include "trace/trace_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace worms::trace {
+
+namespace {
+constexpr const char* kHeader = "timestamp,source_host,destination";
+}
+
+void write_csv(std::ostream& out, const std::vector<ConnRecord>& records) {
+  out << kHeader << '\n';
+  for (const ConnRecord& r : records) {
+    out << r.timestamp << ',' << r.source_host << ',' << r.destination.to_string() << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const std::vector<ConnRecord>& records) {
+  std::ofstream out(path);
+  WORMS_EXPECTS(out.good());
+  write_csv(out, records);
+  WORMS_ENSURES(out.good());
+}
+
+std::vector<ConnRecord> read_csv(std::istream& in) {
+  std::vector<ConnRecord> records;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {
+      WORMS_EXPECTS(line == kHeader);
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    const std::size_t c1 = line.find(',');
+    const std::size_t c2 = line.find(',', c1 == std::string::npos ? 0 : c1 + 1);
+    WORMS_EXPECTS(c1 != std::string::npos && c2 != std::string::npos);
+
+    ConnRecord rec;
+    // timestamp (double)
+    try {
+      rec.timestamp = std::stod(line.substr(0, c1));
+    } catch (const std::exception&) {
+      WORMS_EXPECTS(false && "bad timestamp field");
+    }
+    // source host (unsigned)
+    const char* sb = line.data() + c1 + 1;
+    const char* se = line.data() + c2;
+    const auto [ptr, ec] = std::from_chars(sb, se, rec.source_host);
+    WORMS_EXPECTS(ec == std::errc() && ptr == se);
+    // destination address
+    const auto addr = net::Ipv4Address::parse(std::string_view(line).substr(c2 + 1));
+    WORMS_EXPECTS(addr.has_value());
+    rec.destination = *addr;
+    records.push_back(rec);
+  }
+  return records;
+}
+
+std::vector<ConnRecord> read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  WORMS_EXPECTS(in.good());
+  return read_csv(in);
+}
+
+}  // namespace worms::trace

@@ -1,0 +1,22 @@
+// CSV serialization for connection traces.
+// Format: one record per line, `timestamp,source_host,destination`, with a
+// single header line.  Destinations are dotted-quad for interoperability.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace worms::trace {
+
+/// Writes the header plus all records.
+void write_csv(std::ostream& out, const std::vector<ConnRecord>& records);
+void write_csv_file(const std::string& path, const std::vector<ConnRecord>& records);
+
+/// Parses a full trace; throws support::PreconditionError on malformed input.
+[[nodiscard]] std::vector<ConnRecord> read_csv(std::istream& in);
+[[nodiscard]] std::vector<ConnRecord> read_csv_file(const std::string& path);
+
+}  // namespace worms::trace

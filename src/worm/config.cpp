@@ -1,0 +1,65 @@
+#include "worm/config.hpp"
+
+#include <cmath>
+
+namespace worms::worm {
+
+sim::SimTime advance_active_time(const StealthSchedule& schedule, sim::SimTime infection_time,
+                                 sim::SimTime now, double active_dt) {
+  if (!schedule.enabled()) return now + active_dt;
+  const sim::SimTime anchor =
+      schedule.global_anchor ? schedule.anchor_offset : infection_time;
+  const double period = schedule.period();
+  // rel may be negative under a global anchor; floor() keeps pos in
+  // [0, period) either way.
+  const double rel = now - anchor;
+  double k = std::floor(rel / period);
+  double pos = rel - k * period;
+  while (true) {
+    if (pos < schedule.on_time) {  // inside an on-window: consume what's left
+      const double available = schedule.on_time - pos;
+      if (active_dt < available) return anchor + k * period + pos + active_dt;
+      active_dt -= available;
+    }
+    // off-window (or window exhausted): jump to the next window start
+    k += 1.0;
+    pos = 0.0;
+  }
+}
+
+WormConfig WormConfig::code_red() {
+  WormConfig c;
+  c.label = "code-red";
+  c.vulnerable_hosts = 360'000;
+  c.address_bits = 32;
+  c.initial_infected = 10;
+  c.scan_rate = 6.0;
+  return c;
+}
+
+WormConfig WormConfig::slammer() {
+  WormConfig c;
+  c.label = "slammer";
+  c.vulnerable_hosts = 120'000;
+  c.address_bits = 32;
+  c.initial_infected = 10;
+  c.scan_rate = 4000.0;
+  return c;
+}
+
+WormConfig WormConfig::slow_scanner() {
+  WormConfig c = code_red();
+  c.label = "slow-scanner";
+  c.scan_rate = 0.5;
+  return c;
+}
+
+WormConfig WormConfig::stealth_worm() {
+  WormConfig c = code_red();
+  c.label = "stealth";
+  c.stealth.on_time = 10.0 * sim::kMinute;
+  c.stealth.off_time = 50.0 * sim::kMinute;
+  return c;
+}
+
+}  // namespace worms::worm

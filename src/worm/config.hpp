@@ -1,0 +1,139 @@
+// Worm scenario configuration and the paper's named presets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace worms::worm {
+
+/// How an infected host picks scan targets.
+enum class ScanStrategy {
+  Uniform,          ///< uniformly random over the whole universe (paper's focus)
+  LocalPreference,  ///< with probability q, scan inside the host's own prefix
+                    ///< (the paper's future-work extension; ablation A5)
+  Permutation,      ///< coordinated permutation scanning (Staniford et al.'s
+                    ///< "Warhol worm", cited in the paper's §II): all hosts
+                    ///< walk one shared pseudorandom permutation of the
+                    ///< address space and jump to a fresh position when they
+                    ///< hit an already-infected host, eliminating duplicate
+                    ///< work across the worm population
+};
+
+/// Clean background hosts mixed into the simulation.  They never infect
+/// anything; they exist so the containment policy's *false positives* can be
+/// measured live, during an outbreak (complementing the offline trace audit
+/// in worms::trace).  Each benign host emits connections as a Poisson
+/// process, revisiting a small working set of destinations and occasionally
+/// contacting somewhere new — the repetitive structure real traffic has.
+struct BenignTrafficModel {
+  std::uint32_t host_count = 0;             ///< 0 disables benign traffic
+  double connection_rate = 0.01;            ///< connections/s per benign host
+  double new_destination_probability = 0.2; ///< chance a connection is to a new place
+  std::size_t working_set_size = 8;
+
+  [[nodiscard]] constexpr bool enabled() const noexcept { return host_count > 0; }
+};
+
+/// Stealth worms "turn themselves off at times" (paper §III).  The worm scans
+/// during `on_time`, sleeps for `off_time`, repeating; phase is anchored at
+/// each host's infection instant.  off_time == 0 disables stealth.
+struct StealthSchedule {
+  sim::SimTime on_time = 0.0;
+  sim::SimTime off_time = 0.0;
+
+  /// Phase anchoring.  Default: each host's schedule starts at its own
+  /// infection instant (uncoordinated stealth).  With `global_anchor`, every
+  /// host scans during [anchor_offset + k·period, … + on_time) of the global
+  /// clock — a coordinated worm, e.g. one timing its bursts to straddle the
+  /// defender's containment-cycle boundaries (ablation A10).
+  bool global_anchor = false;
+  sim::SimTime anchor_offset = 0.0;
+
+  [[nodiscard]] constexpr bool enabled() const noexcept { return off_time > 0.0; }
+  [[nodiscard]] constexpr sim::SimTime period() const noexcept { return on_time + off_time; }
+};
+
+/// Wall-clock instant reached after spending `active_dt` seconds of *scanning*
+/// time starting from `now`, under the stealth schedule (anchored at the
+/// host's `infection_time`, or at the schedule's global offset when
+/// `global_anchor` is set).  With stealth disabled this is now + active_dt.
+/// Shared by both simulators so their stealth timing is identical.
+[[nodiscard]] sim::SimTime advance_active_time(const StealthSchedule& schedule,
+                                               sim::SimTime infection_time, sim::SimTime now,
+                                               double active_dt);
+
+struct WormConfig {
+  std::string label = "worm";
+  std::uint32_t vulnerable_hosts = 0;  ///< V
+  int address_bits = 32;               ///< scanned universe = 2^bits addresses
+  std::uint32_t initial_infected = 1;  ///< I0
+  double scan_rate = 1.0;              ///< scans per second per infected host
+
+  ScanStrategy strategy = ScanStrategy::Uniform;
+  double local_preference_probability = 0.0;  ///< q (LocalPreference only)
+  int local_prefix_length = 16;               ///< the "local" prefix width
+
+  StealthSchedule stealth;
+
+  /// Vulnerable-population placement: 0 = uniform over the universe (the
+  /// paper's assumption); otherwise hosts cluster into `cluster_count`
+  /// random prefixes of this length (enables the local-preference ablation).
+  int cluster_prefix_length = 0;
+  std::uint32_t cluster_count = 0;
+
+  /// Congestion exponent η from the two-factor model (paper Eq. (1)):
+  /// aggressive scanning saturates links, so each emitted scan is *delivered*
+  /// only with probability (1 − I/V)^η, I = hosts infected so far.  0 (the
+  /// default) disables congestion; scan-level engine only.
+  double congestion_eta = 0.0;
+
+  /// Stop the simulation once this many hosts are infected (0 = no cap).
+  /// Required for uncontained runs, which otherwise never terminate.
+  std::uint64_t stop_at_total_infected = 0;
+
+  /// Background clean traffic (scan-level engine only).
+  BenignTrafficModel benign;
+
+  /// Checking time for a host the policy pulled offline (paper §IV step 4).
+  /// A *benign* host is found clean and restored (counters reset) after this
+  /// long; 0 means false-removed hosts stay offline.  Infected hosts are
+  /// always cleaned and permanently removed, as the paper assumes.
+  sim::SimTime check_duration = 0.0;
+
+  /// Paper §IV step 2: "Hosts are thoroughly checked for infection at the
+  /// end of a containment cycle".  When > 0, every infected host still alive
+  /// at each multiple of this interval is found and cleaned (removed).  This
+  /// is the mechanism that also kills worms scanning *below* the budget —
+  /// a worm emitting fewer than M scans per cycle never trips the counter,
+  /// but it cannot survive the sweep.  0 disables sweeps.
+  sim::SimTime cycle_sweep_interval = 0.0;
+
+  [[nodiscard]] bool clustered() const noexcept { return cluster_prefix_length > 0; }
+
+  /// Vulnerability density p = V / 2^bits.
+  [[nodiscard]] double density() const noexcept {
+    return static_cast<double>(vulnerable_hosts) /
+           static_cast<double>(1ULL << address_bits);
+  }
+
+  // ---- The paper's evaluation presets (§V) ----
+
+  /// Code Red v2: V = 360,000 (CAIDA count), 6 scans/s (the rate the paper
+  /// uses "for the purpose of illustrating worm propagation"), I0 = 10.
+  [[nodiscard]] static WormConfig code_red();
+
+  /// SQL Slammer: V = 120,000, I0 = 10.  Slammer was bandwidth-limited at
+  /// ~4,000 scans/s per host.
+  [[nodiscard]] static WormConfig slammer();
+
+  /// A slow scanner (0.5 scans/s) that defeats rate-based defenses (§IV).
+  [[nodiscard]] static WormConfig slow_scanner();
+
+  /// A stealth worm: Code Red parameters but scanning only 10 minutes out of
+  /// every hour.
+  [[nodiscard]] static WormConfig stealth_worm();
+};
+
+}  // namespace worms::worm

@@ -1,0 +1,142 @@
+#include "worm/hit_level_sim.hpp"
+
+#include "stats/samplers.hpp"
+#include "support/check.hpp"
+
+namespace worms::worm {
+
+HitLevelSimulation::HitLevelSimulation(const WormConfig& config,
+                                       std::optional<std::uint64_t> scan_limit,
+                                       std::uint64_t seed)
+    : config_(config), scan_limit_(scan_limit), rng_(seed) {
+  WORMS_EXPECTS(config.vulnerable_hosts >= 1);
+  WORMS_EXPECTS(config.initial_infected >= 1);
+  WORMS_EXPECTS(config.initial_infected <= config.vulnerable_hosts);
+  WORMS_EXPECTS(config.scan_rate > 0.0);
+  WORMS_EXPECTS(config.strategy == ScanStrategy::Uniform);
+  WORMS_EXPECTS(!config.clustered() &&
+                "hit-level engine assumes a uniform vulnerable population");
+  WORMS_EXPECTS(!config.benign.enabled() &&
+                "benign background traffic needs the scan-level engine");
+  WORMS_EXPECTS(config.congestion_eta == 0.0 &&
+                "congestion thinning needs the scan-level engine");
+  if (scan_limit_) WORMS_EXPECTS(*scan_limit_ >= 1);
+
+  hit_probability_ = config.density();
+  state_.assign(config.vulnerable_hosts, State::Susceptible);
+  generation_.assign(config.vulnerable_hosts, 0);
+  infected_at_.assign(config.vulnerable_hosts, 0.0);
+  scans_used_.assign(config.vulnerable_hosts, 0);
+}
+
+void HitLevelSimulation::add_observer(OutbreakObserver* observer) {
+  WORMS_EXPECTS(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void HitLevelSimulation::schedule_next_hit(net::HostId id, sim::SimTime now) {
+  const std::uint64_t scans_to_hit = stats::sample_geometric_trials(rng_, hit_probability_);
+
+  if (scan_limit_) {
+    const std::uint64_t budget_left = *scan_limit_ - scans_used_[id];
+    if (scans_to_hit > budget_left) {
+      // The budget runs dry before the next hit: the host sends its remaining
+      // scans (all misses) and is removed at the instant of the M-th scan.
+      scans_used_[id] = *scan_limit_;
+      const double active_dt =
+          stats::sample_erlang(rng_, budget_left, config_.scan_rate);
+      engine_.schedule_at(advance_active_time(config_.stealth, infected_at_[id], now, active_dt),
+                          Event{Event::Kind::Removal, id});
+      return;
+    }
+  }
+  scans_used_[id] += scans_to_hit;
+
+  const double active_dt = stats::sample_erlang(rng_, scans_to_hit, config_.scan_rate);
+  engine_.schedule_at(advance_active_time(config_.stealth, infected_at_[id], now, active_dt),
+                      Event{Event::Kind::Hit, id});
+}
+
+void HitLevelSimulation::infect(net::HostId id, net::HostId parent, std::uint32_t generation,
+                                sim::SimTime now) {
+  WORMS_EXPECTS(state_[id] == State::Susceptible);
+  state_[id] = State::Infected;
+  generation_[id] = generation;
+  infected_at_[id] = now;
+  ++active_infected_;
+  ++result_.total_infected;
+  if (active_infected_ > result_.peak_active) result_.peak_active = active_infected_;
+  if (generation >= result_.generation_sizes.size()) {
+    result_.generation_sizes.resize(generation + 1, 0);
+  }
+  ++result_.generation_sizes[generation];
+  for (auto* obs : observers_) obs->on_infection(now, id, parent, generation);
+
+  if (config_.stop_at_total_infected != 0 &&
+      result_.total_infected >= config_.stop_at_total_infected) {
+    result_.hit_infection_cap = true;
+    engine_.stop();
+    return;
+  }
+  schedule_next_hit(id, now);
+}
+
+void HitLevelSimulation::handle(sim::SimTime now, const Event& ev) {
+  switch (ev.kind) {
+    case Event::Kind::Hit: {
+      WORMS_ENSURES(state_[ev.host] == State::Infected);
+      // The hit lands on a uniformly random vulnerable host (scanning is
+      // uniform over addresses and host addresses are uniform, so conditional
+      // on hitting *some* vulnerable address, the victim is uniform).
+      const auto victim = static_cast<net::HostId>(
+          rng_.below(config_.vulnerable_hosts));
+      if (state_[victim] == State::Susceptible) {
+        infect(victim, ev.host, generation_[ev.host] + 1, now);
+      }
+      if (state_[ev.host] == State::Infected) {
+        // Removal exactly at the budget boundary: the hit consumed the last
+        // allowed scan.
+        if (scan_limit_ && scans_used_[ev.host] >= *scan_limit_) {
+          state_[ev.host] = State::Removed;
+          --active_infected_;
+          ++result_.total_removed;
+          for (auto* obs : observers_) obs->on_removal(now, ev.host);
+        } else {
+          schedule_next_hit(ev.host, now);
+        }
+      }
+      break;
+    }
+    case Event::Kind::Removal: {
+      WORMS_ENSURES(state_[ev.host] == State::Infected);
+      state_[ev.host] = State::Removed;
+      --active_infected_;
+      ++result_.total_removed;
+      for (auto* obs : observers_) obs->on_removal(now, ev.host);
+      break;
+    }
+  }
+}
+
+OutbreakResult HitLevelSimulation::run(sim::SimTime horizon) {
+  WORMS_EXPECTS(!ran_);
+  ran_ = true;
+
+  for (std::uint32_t i = 0; i < config_.initial_infected; ++i) {
+    infect(i, kNoParent, 0, 0.0);
+  }
+
+  engine_.run([this](sim::SimTime now, const Event& ev) { handle(now, ev); }, horizon);
+
+  // Scans delivered: per-host budget use when contained; with no budget this
+  // counter only reflects scans up to each host's last hit.
+  for (std::uint32_t h = 0; h < config_.vulnerable_hosts; ++h) {
+    result_.total_scans += scans_used_[h];
+  }
+  result_.end_time = engine_.now();
+  result_.contained = (active_infected_ == 0) && !result_.hit_infection_cap;
+  for (auto* obs : observers_) obs->on_finished(result_.end_time);
+  return result_;
+}
+
+}  // namespace worms::worm

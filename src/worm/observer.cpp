@@ -1,0 +1,33 @@
+#include "worm/observer.hpp"
+
+namespace worms::worm {
+
+void OutbreakObserver::on_infection(sim::SimTime, net::HostId, net::HostId, std::uint32_t) {}
+void OutbreakObserver::on_removal(sim::SimTime, net::HostId) {}
+void OutbreakObserver::on_finished(sim::SimTime) {}
+
+void SamplePathRecorder::on_infection(sim::SimTime now, net::HostId, net::HostId,
+                                      std::uint32_t) {
+  ++infected_;
+  const std::uint64_t active = infected_ - removed_;
+  if (active > peak_active_) peak_active_ = active;
+  points_.push_back(Point{now, infected_, removed_, active});
+}
+
+void SamplePathRecorder::on_removal(sim::SimTime now, net::HostId) {
+  ++removed_;
+  points_.push_back(Point{now, infected_, removed_, infected_ - removed_});
+}
+
+void GenerationRecorder::on_infection(sim::SimTime now, net::HostId, net::HostId,
+                                      std::uint32_t generation) {
+  infections_.push_back(Infection{now, generation});
+  if (generation >= sizes_.size()) {
+    sizes_.resize(generation + 1, 0);
+    first_times_.resize(generation + 1, -1.0);
+  }
+  if (sizes_[generation] == 0) first_times_[generation] = now;
+  ++sizes_[generation];
+}
+
+}  // namespace worms::worm

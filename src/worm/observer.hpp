@@ -1,0 +1,83 @@
+// Observer hooks shared by both worm simulators, plus the two recorders the
+// figure benches use (sample paths for Figs. 9/10, generations for Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/host_registry.hpp"
+#include "sim/time.hpp"
+
+namespace worms::worm {
+
+inline constexpr net::HostId kNoParent = net::kNoHost;
+
+class OutbreakObserver {
+ public:
+  virtual ~OutbreakObserver() = default;
+
+  /// `parent` is kNoParent for initial (generation-0) infections.
+  virtual void on_infection(sim::SimTime now, net::HostId host, net::HostId parent,
+                            std::uint32_t generation);
+
+  /// The host hit its scan budget (or a baseline policy pulled it) and is
+  /// offline for checking.
+  virtual void on_removal(sim::SimTime now, net::HostId host);
+
+  virtual void on_finished(sim::SimTime end_time);
+};
+
+/// Time series of (cumulative infected, cumulative removed, active infected),
+/// appended at every state-changing event — the exact quantities plotted in
+/// the paper's Figures 9 and 10.
+class SamplePathRecorder final : public OutbreakObserver {
+ public:
+  struct Point {
+    sim::SimTime time;
+    std::uint64_t cumulative_infected;
+    std::uint64_t cumulative_removed;
+    std::uint64_t active_infected;
+  };
+
+  void on_infection(sim::SimTime now, net::HostId host, net::HostId parent,
+                    std::uint32_t generation) override;
+  void on_removal(sim::SimTime now, net::HostId host) override;
+
+  [[nodiscard]] const std::vector<Point>& points() const noexcept { return points_; }
+  [[nodiscard]] std::uint64_t peak_active() const noexcept { return peak_active_; }
+
+ private:
+  std::vector<Point> points_;
+  std::uint64_t infected_ = 0;
+  std::uint64_t removed_ = 0;
+  std::uint64_t peak_active_ = 0;
+};
+
+/// Per-generation bookkeeping: sizes and infection instants (Fig. 2 plots the
+/// growth curve with hosts labelled by generation).
+class GenerationRecorder final : public OutbreakObserver {
+ public:
+  struct Infection {
+    sim::SimTime time;
+    std::uint32_t generation;
+  };
+
+  void on_infection(sim::SimTime now, net::HostId host, net::HostId parent,
+                    std::uint32_t generation) override;
+
+  [[nodiscard]] const std::vector<Infection>& infections() const noexcept { return infections_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& generation_sizes() const noexcept {
+    return sizes_;
+  }
+  /// First infection instant of each generation (index = generation).
+  [[nodiscard]] const std::vector<sim::SimTime>& first_infection_times() const noexcept {
+    return first_times_;
+  }
+
+ private:
+  std::vector<Infection> infections_;
+  std::vector<std::uint64_t> sizes_;
+  std::vector<sim::SimTime> first_times_;
+};
+
+}  // namespace worms::worm

@@ -1,0 +1,34 @@
+// Outcome summary shared by both worm simulators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace worms::worm {
+
+struct OutbreakResult {
+  std::uint64_t total_infected = 0;  ///< I: every host ever infected (incl. initial)
+  std::uint64_t total_removed = 0;   ///< hosts taken offline by containment
+  std::uint64_t peak_active = 0;     ///< max simultaneous infectious hosts
+  std::uint64_t total_scans = 0;     ///< scan packets that reached the network
+  sim::SimTime end_time = 0.0;
+
+  /// True when the outbreak ended with no active infectious host left —
+  /// i.e. the worm was contained (every infected host removed) or died out.
+  bool contained = false;
+
+  /// True when the run stopped because it hit stop_at_total_infected.
+  bool hit_infection_cap = false;
+
+  /// I_n per generation n (index 0 = the initial hosts).
+  std::vector<std::uint64_t> generation_sizes;
+
+  // ---- benign-traffic metrics (scan-level engine with BenignTrafficModel) ----
+  std::uint64_t benign_connections = 0;    ///< clean connections that went out
+  std::uint64_t benign_false_removals = 0; ///< clean hosts the policy pulled
+  std::uint64_t benign_restored = 0;       ///< of those, restored after checking
+};
+
+}  // namespace worms::worm

@@ -1,0 +1,273 @@
+#include "worm/scan_level_sim.hpp"
+
+#include <cmath>
+
+#include "stats/samplers.hpp"
+#include "support/check.hpp"
+
+namespace worms::worm {
+
+ScanLevelSimulation::ScanLevelSimulation(const WormConfig& config,
+                                         std::unique_ptr<core::ContainmentPolicy> policy,
+                                         std::uint64_t seed)
+    : config_(config),
+      policy_(policy ? std::move(policy) : std::make_unique<core::NullPolicy>()),
+      rng_(seed),
+      registry_(net::AddressSpace(config.address_bits), config.vulnerable_hosts, rng_,
+                config.clustered()
+                    ? std::optional(net::ClusterSpec{config.cluster_prefix_length,
+                                                     config.cluster_count})
+                    : std::nullopt) {
+  WORMS_EXPECTS(config.vulnerable_hosts >= 1);
+  WORMS_EXPECTS(config.initial_infected >= 1);
+  WORMS_EXPECTS(config.initial_infected <= config.vulnerable_hosts);
+  WORMS_EXPECTS(config.scan_rate > 0.0);
+  if (config.strategy == ScanStrategy::LocalPreference) {
+    WORMS_EXPECTS(config.local_preference_probability >= 0.0 &&
+                  config.local_preference_probability <= 1.0);
+    WORMS_EXPECTS(config.local_prefix_length >= 32 - config.address_bits &&
+                  config.local_prefix_length <= 32);
+  }
+
+  state_.assign(config.vulnerable_hosts, HostState::Susceptible);
+  generation_.assign(config.vulnerable_hosts, 0);
+  infected_at_.assign(config.vulnerable_hosts, 0.0);
+
+  if (config_.strategy == ScanStrategy::Permutation) {
+    // Random affine permutation x ↦ a·x + c of the universe (a odd ⇒
+    // bijective mod 2^bits); each host starts its walk at a random position.
+    perm_multiplier_ = rng_.u32() | 1u;
+    perm_offset_ = rng_.u32();
+    perm_pos_.resize(config_.vulnerable_hosts);
+    for (auto& pos : perm_pos_) pos = rng_.u32();
+  }
+  if (config_.benign.enabled()) {
+    WORMS_EXPECTS(config_.benign.connection_rate > 0.0);
+    WORMS_EXPECTS(config_.benign.new_destination_probability >= 0.0 &&
+                  config_.benign.new_destination_probability <= 1.0);
+    WORMS_EXPECTS(config_.benign.working_set_size >= 1);
+    benign_offline_.assign(config_.benign.host_count, false);
+    benign_working_set_.resize(config_.benign.host_count);
+  }
+}
+
+void ScanLevelSimulation::add_observer(OutbreakObserver* observer) {
+  WORMS_EXPECTS(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void ScanLevelSimulation::schedule_next_scan(net::HostId id, sim::SimTime now) {
+  const double gap = stats::sample_exponential(rng_, config_.scan_rate);
+  engine_.schedule_at(advance_active_time(config_.stealth, infected_at_[id], now, gap),
+                      Event{Event::Kind::Scan, id, 0});
+}
+
+net::Ipv4Address ScanLevelSimulation::pick_target(net::HostId source) {
+  if (config_.strategy == ScanStrategy::Permutation) {
+    const std::uint32_t idx = perm_pos_[source]++;
+    const std::uint32_t raw = perm_multiplier_ * idx + perm_offset_;
+    const int bits = config_.address_bits;
+    return net::Ipv4Address(bits == 32 ? raw : raw & ((std::uint32_t{1} << bits) - 1));
+  }
+  if (config_.strategy == ScanStrategy::LocalPreference &&
+      rng_.bernoulli(config_.local_preference_probability)) {
+    const std::uint32_t addr = registry_.address_of(source).value();
+    const std::uint32_t block_mask =
+        config_.local_prefix_length == 0
+            ? 0u
+            : ~std::uint32_t{0} << (32 - config_.local_prefix_length);
+    return net::Ipv4Address((addr & block_mask) | (rng_.u32() & ~block_mask));
+  }
+  return registry_.space().sample(rng_);
+}
+
+void ScanLevelSimulation::infect(net::HostId id, net::HostId parent, std::uint32_t generation,
+                                 sim::SimTime now) {
+  WORMS_EXPECTS(state_[id] == HostState::Susceptible);
+  state_[id] = HostState::Infected;
+  generation_[id] = generation;
+  infected_at_[id] = now;
+  ++active_infected_;
+  ++result_.total_infected;
+  if (active_infected_ > result_.peak_active) result_.peak_active = active_infected_;
+  if (generation >= result_.generation_sizes.size()) {
+    result_.generation_sizes.resize(generation + 1, 0);
+  }
+  ++result_.generation_sizes[generation];
+  for (auto* obs : observers_) obs->on_infection(now, id, parent, generation);
+
+  if (config_.stop_at_total_infected != 0 &&
+      result_.total_infected >= config_.stop_at_total_infected) {
+    result_.hit_infection_cap = true;
+    engine_.stop();
+    return;
+  }
+  schedule_next_scan(id, now);
+}
+
+void ScanLevelSimulation::remove(net::HostId id, sim::SimTime now) {
+  WORMS_EXPECTS(state_[id] == HostState::Infected);
+  state_[id] = HostState::Removed;
+  WORMS_ENSURES(active_infected_ > 0);
+  --active_infected_;
+  ++result_.total_removed;
+  for (auto* obs : observers_) obs->on_removal(now, id);
+}
+
+void ScanLevelSimulation::deliver_scan(net::HostId source, net::Ipv4Address target,
+                                       sim::SimTime now) {
+  ++result_.total_scans;
+  if (config_.congestion_eta > 0.0) {
+    // Two-factor congestion: the packet leaves the host (its counter saw it)
+    // but saturated links drop it before it reaches the target.
+    const double frac_infected = static_cast<double>(result_.total_infected) /
+                                 static_cast<double>(config_.vulnerable_hosts);
+    const double delivery = std::pow(1.0 - frac_infected, config_.congestion_eta);
+    if (!rng_.bernoulli(delivery)) return;
+  }
+  const net::HostId victim = registry_.lookup(target);
+  if (victim == net::kNoHost) return;
+  if (state_[victim] == HostState::Susceptible) {
+    infect(victim, source, generation_[source] + 1, now);
+  } else if (config_.strategy == ScanStrategy::Permutation) {
+    // Warhol-worm rule: hitting an already-infected host means another
+    // instance is working this stretch of the permutation — jump elsewhere.
+    perm_pos_[source] = rng_.u32();
+  }
+}
+
+void ScanLevelSimulation::handle(sim::SimTime now, const Event& ev) {
+  switch (ev.kind) {
+    case Event::Kind::Scan: {
+      if (state_[ev.host] != HostState::Infected) return;
+      const net::Ipv4Address target = pick_target(ev.host);
+      const core::ScanDecision decision = policy_->on_scan(ev.host, now, target);
+      switch (decision.action) {
+        case core::ScanAction::Allow:
+          deliver_scan(ev.host, target, now);
+          break;
+        case core::ScanAction::Drop:
+          break;
+        case core::ScanAction::Delay:
+          engine_.schedule_in(decision.delay,
+                              Event{Event::Kind::DelayedScan, ev.host, target.value()});
+          break;
+        case core::ScanAction::Remove:
+          remove(ev.host, now);
+          return;  // no further scans from this host
+        case core::ScanAction::AllowAndRemove:
+          deliver_scan(ev.host, target, now);
+          // deliver_scan may have stopped the run at the infection cap, in
+          // which case this host's removal is moot bookkeeping — still apply
+          // it so counters stay consistent.
+          if (state_[ev.host] == HostState::Infected) remove(ev.host, now);
+          return;
+      }
+      if (state_[ev.host] == HostState::Infected) schedule_next_scan(ev.host, now);
+      break;
+    }
+    case Event::Kind::DelayedScan: {
+      // Queued packets die with the queue when the host was pulled offline.
+      if (state_[ev.host] != HostState::Infected) return;
+      deliver_scan(ev.host, net::Ipv4Address(ev.target), now);
+      break;
+    }
+    case Event::Kind::BenignConn:
+      handle_benign_connection(ev.host, now);
+      break;
+    case Event::Kind::BenignRestore: {
+      benign_offline_[ev.host] = false;
+      ++result_.benign_restored;
+      policy_->on_host_restored(benign_policy_id(ev.host), now);
+      schedule_benign_connection(ev.host, now);
+      break;
+    }
+    case Event::Kind::CycleSweep: {
+      // End-of-cycle heavy-duty checking: every infected host is found and
+      // cleaned, whatever its counter says.
+      for (net::HostId h = 0; h < state_.size(); ++h) {
+        if (state_[h] == HostState::Infected) remove(h, now);
+      }
+      // Next sweep only if there could be anything left to catch (benign
+      // traffic keeps the queue alive anyway; otherwise the queue drains).
+      if (config_.benign.enabled() || active_infected_ > 0 || !engine_.empty()) {
+        engine_.schedule_in(config_.cycle_sweep_interval, Event{Event::Kind::CycleSweep, 0, 0});
+      }
+      break;
+    }
+  }
+}
+
+void ScanLevelSimulation::schedule_benign_connection(std::uint32_t index, sim::SimTime now) {
+  const double gap = stats::sample_exponential(rng_, config_.benign.connection_rate);
+  engine_.schedule_at(now + gap, Event{Event::Kind::BenignConn, index, 0});
+}
+
+void ScanLevelSimulation::handle_benign_connection(std::uint32_t index, sim::SimTime now) {
+  if (benign_offline_[index]) return;
+
+  // Destination: usually a revisit from the working set, sometimes new.
+  auto& working_set = benign_working_set_[index];
+  std::uint32_t dest;
+  if (working_set.empty() || rng_.bernoulli(config_.benign.new_destination_probability)) {
+    dest = registry_.space().sample(rng_).value();
+    working_set.push_back(dest);
+    if (working_set.size() > config_.benign.working_set_size) {
+      working_set.erase(working_set.begin());
+    }
+  } else {
+    dest = working_set[static_cast<std::size_t>(rng_.below(working_set.size()))];
+  }
+
+  const core::ScanDecision decision =
+      policy_->on_scan(benign_policy_id(index), now, net::Ipv4Address(dest));
+  switch (decision.action) {
+    case core::ScanAction::Allow:
+    case core::ScanAction::Delay:  // delayed, but it does go out
+      ++result_.benign_connections;
+      break;
+    case core::ScanAction::Drop:
+      break;
+    case core::ScanAction::AllowAndRemove:
+      ++result_.benign_connections;
+      [[fallthrough]];
+    case core::ScanAction::Remove: {
+      // False positive: a clean host pulled offline for checking.
+      benign_offline_[index] = true;
+      ++result_.benign_false_removals;
+      if (config_.check_duration > 0.0) {
+        engine_.schedule_in(config_.check_duration, Event{Event::Kind::BenignRestore, index, 0});
+      }
+      return;  // no further traffic until restored
+    }
+  }
+  schedule_benign_connection(index, now);
+}
+
+OutbreakResult ScanLevelSimulation::run(sim::SimTime horizon) {
+  WORMS_EXPECTS(!ran_);
+  ran_ = true;
+
+  // Benign background traffic first, so the policy sees it from t = 0.
+  for (std::uint32_t i = 0; i < config_.benign.host_count; ++i) {
+    schedule_benign_connection(i, 0.0);
+  }
+  if (config_.cycle_sweep_interval > 0.0) {
+    engine_.schedule_at(config_.cycle_sweep_interval, Event{Event::Kind::CycleSweep, 0, 0});
+  }
+
+  // Seed the outbreak: the first I0 host ids form generation 0 (their
+  // addresses are random, so which ids is immaterial).
+  for (std::uint32_t i = 0; i < config_.initial_infected; ++i) {
+    infect(i, kNoParent, 0, 0.0);
+  }
+
+  engine_.run([this](sim::SimTime now, const Event& ev) { handle(now, ev); }, horizon);
+
+  result_.end_time = engine_.now();
+  result_.contained = (active_infected_ == 0) && !result_.hit_infection_cap;
+  for (auto* obs : observers_) obs->on_finished(result_.end_time);
+  return result_;
+}
+
+}  // namespace worms::worm

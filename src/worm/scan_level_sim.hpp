@@ -1,0 +1,98 @@
+// Scan-level worm simulator: one discrete event per scan packet.
+//
+// This is the ground-truth engine (paper §V): V hosts get random addresses
+// in the universe, each infected host emits scans as a Poisson process of
+// rate `scan_rate`, every scan passes through the containment policy, and a
+// scan that lands on a susceptible address infects it.  Exact but O(scans);
+// for Monte Carlo over thousands of runs use HitLevelSimulation, which is
+// provably equivalent for uniform scanning (ablation A1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/containment_policy.hpp"
+#include "net/host_registry.hpp"
+#include "sim/engine.hpp"
+#include "worm/config.hpp"
+#include "worm/observer.hpp"
+#include "worm/result.hpp"
+
+namespace worms::worm {
+
+enum class HostState : std::uint8_t { Susceptible, Infected, Removed };
+
+class ScanLevelSimulation {
+ public:
+  /// `policy` may be null (no containment).  The registry (random host
+  /// addresses) is built from `seed`; all scan randomness also derives from
+  /// it, so equal seeds reproduce runs bit-for-bit.
+  ScanLevelSimulation(const WormConfig& config,
+                      std::unique_ptr<core::ContainmentPolicy> policy, std::uint64_t seed);
+
+  /// Observers outlive the simulation; not owned.
+  void add_observer(OutbreakObserver* observer);
+
+  /// Runs to quiescence (queue drained), the horizon, or the configured
+  /// infection cap, whichever is first.  Call at most once.
+  [[nodiscard]] OutbreakResult run(sim::SimTime horizon = 1e300);
+
+  [[nodiscard]] const net::HostRegistry& registry() const noexcept { return registry_; }
+  [[nodiscard]] const WormConfig& config() const noexcept { return config_; }
+  [[nodiscard]] core::ContainmentPolicy& policy() noexcept { return *policy_; }
+  [[nodiscard]] HostState state_of(net::HostId id) const { return state_.at(id); }
+  [[nodiscard]] std::uint32_t generation_of(net::HostId id) const { return generation_.at(id); }
+
+  /// True while a benign host is offline for checking (false positive).
+  [[nodiscard]] bool benign_offline(std::uint32_t benign_index) const {
+    return benign_offline_.at(benign_index);
+  }
+
+ private:
+  struct Event {
+    enum class Kind : std::uint8_t { Scan, DelayedScan, BenignConn, BenignRestore, CycleSweep } kind;
+    net::HostId host;      // vulnerable-host id, or benign index for Benign*
+    std::uint32_t target;  // DelayedScan carries the already-chosen target
+  };
+
+  void infect(net::HostId id, net::HostId parent, std::uint32_t generation, sim::SimTime now);
+  void remove(net::HostId id, sim::SimTime now);
+  void deliver_scan(net::HostId source, net::Ipv4Address target, sim::SimTime now);
+  void schedule_next_scan(net::HostId id, sim::SimTime now);
+  [[nodiscard]] net::Ipv4Address pick_target(net::HostId source);
+  void handle(sim::SimTime now, const Event& ev);
+  void handle_benign_connection(std::uint32_t index, sim::SimTime now);
+  void schedule_benign_connection(std::uint32_t index, sim::SimTime now);
+  /// Policy host id for benign host `index` (benign ids follow worm ids).
+  [[nodiscard]] net::HostId benign_policy_id(std::uint32_t index) const noexcept {
+    return config_.vulnerable_hosts + index;
+  }
+
+  WormConfig config_;
+  std::unique_ptr<core::ContainmentPolicy> policy_;
+  support::Rng rng_;
+  net::HostRegistry registry_;
+  sim::Engine<Event> engine_;
+
+  std::vector<HostState> state_;
+  std::vector<std::uint32_t> generation_;
+  std::vector<sim::SimTime> infected_at_;
+  std::vector<OutbreakObserver*> observers_;
+
+  // Permutation scanning: shared affine permutation of the universe plus a
+  // per-host walk position.
+  std::uint32_t perm_multiplier_ = 1;  // odd ⇒ bijective modulo 2^bits
+  std::uint32_t perm_offset_ = 0;
+  std::vector<std::uint32_t> perm_pos_;
+
+  // Benign background hosts (indexed 0..benign.host_count-1).
+  std::vector<bool> benign_offline_;
+  std::vector<std::vector<std::uint32_t>> benign_working_set_;
+
+  OutbreakResult result_;
+  std::uint64_t active_infected_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace worms::worm

@@ -1,0 +1,103 @@
+#include "analysis/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace worms::analysis {
+namespace {
+
+std::string render(const AsciiChart& chart) {
+  std::ostringstream os;
+  chart.render(os);
+  return os.str();
+}
+
+TEST(AsciiChart, CornersLandInCorners) {
+  AsciiChart chart(10, 5);
+  chart.add_series('*', {{0.0, 0.0}, {1.0, 1.0}});
+  const std::string out = render(chart);
+  std::istringstream lines(out);
+  std::string first;
+  std::getline(lines, first);
+  // Max-y point (1,1) is on the first grid row, last column.
+  EXPECT_EQ(first.back(), '*');
+  EXPECT_NE(out.find("|*"), std::string::npos) << "min corner on the bottom-left:\n" << out;
+}
+
+TEST(AsciiChart, AxisRangeLabelsPresent) {
+  AsciiChart chart(20, 4);
+  chart.add_series('o', {{2.0, 10.0}, {8.0, 50.0}});
+  const std::string out = render(chart);
+  EXPECT_NE(out.find("50"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+  EXPECT_NE(out.find("8.00"), std::string::npos);
+}
+
+TEST(AsciiChart, LaterSeriesOverdraws) {
+  AsciiChart chart(8, 3);
+  chart.add_series('a', {{0.5, 0.5}});
+  chart.add_series('b', {{0.5, 0.5}});
+  const std::string out = render(chart);
+  EXPECT_EQ(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(AsciiChart, DegenerateRangesAreWidened) {
+  AsciiChart chart(8, 3);
+  chart.add_series('x', {{3.0, 7.0}, {3.0, 7.0}});  // zero-width x and y
+  const std::string out = render(chart);
+  EXPECT_NE(out.find('x'), std::string::npos);  // renders without dividing by zero
+}
+
+TEST(AsciiChart, EmptyChartSaysSo) {
+  AsciiChart chart(8, 3);
+  EXPECT_EQ(render(chart), "(empty chart)\n");
+}
+
+TEST(AsciiChart, LabelsAppearInFooter) {
+  AsciiChart chart(8, 3);
+  chart.add_series('*', {{0.0, 1.0}});
+  chart.set_labels("minutes", "hosts");
+  const std::string out = render(chart);
+  EXPECT_NE(out.find("x: minutes"), std::string::npos);
+  EXPECT_NE(out.find("y: hosts"), std::string::npos);
+}
+
+TEST(AsciiChart, Validation) {
+  EXPECT_THROW(AsciiChart(4, 3), support::PreconditionError);
+  EXPECT_THROW(AsciiChart(8, 2), support::PreconditionError);
+  AsciiChart chart(8, 3);
+  EXPECT_THROW(chart.add_series(' ', {}), support::PreconditionError);
+}
+
+TEST(AsciiChart, MonotoneCurveRendersMonotonically) {
+  // For y = x the marker column index should be non-decreasing as we scan
+  // grid rows bottom-up.
+  AsciiChart chart(16, 8);
+  std::vector<std::pair<double, double>> pts;
+  for (int i = 0; i <= 100; ++i) pts.push_back({i / 100.0, i / 100.0});
+  chart.add_series('*', pts);
+  const std::string out = render(chart);
+  std::vector<std::string> rows;
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find('|') != std::string::npos) rows.push_back(line.substr(line.find('|') + 1));
+  }
+  std::size_t prev_first = std::string::npos;
+  for (const auto& row : rows) {  // top to bottom = decreasing y
+    const auto first = row.find('*');
+    ASSERT_NE(first, std::string::npos);
+    if (prev_first != std::string::npos) {
+      EXPECT_LE(first, prev_first) << "y=x must slope up-right";
+    }
+    prev_first = first;
+  }
+}
+
+}  // namespace
+}  // namespace worms::analysis

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/monte_carlo.hpp"
+#include "analysis/series.hpp"
+#include "analysis/table.hpp"
+#include "support/check.hpp"
+
+namespace worms::analysis {
+namespace {
+
+TEST(MonteCarlo, AggregatesOutcomes) {
+  const auto out = run_monte_carlo(100, 1, [](std::uint64_t, std::uint64_t run) {
+    return run % 4;  // outcomes 0..3, 25 each
+  });
+  EXPECT_EQ(out.runs, 100u);
+  EXPECT_EQ(out.totals.count(0), 25u);
+  EXPECT_EQ(out.totals.count(3), 25u);
+  EXPECT_DOUBLE_EQ(out.summary.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(out.empirical_cdf(1), 0.5);
+}
+
+TEST(MonteCarlo, SeedsAreDistinctPerRunAndDeterministic) {
+  std::vector<std::uint64_t> seeds_a;
+  (void)run_monte_carlo(50, 99, [&](std::uint64_t seed, std::uint64_t) {
+    seeds_a.push_back(seed);
+    return 0u;
+  });
+  std::vector<std::uint64_t> seeds_b;
+  (void)run_monte_carlo(50, 99, [&](std::uint64_t seed, std::uint64_t) {
+    seeds_b.push_back(seed);
+    return 0u;
+  });
+  EXPECT_EQ(seeds_a, seeds_b);
+  std::sort(seeds_a.begin(), seeds_a.end());
+  EXPECT_EQ(std::adjacent_find(seeds_a.begin(), seeds_a.end()), seeds_a.end())
+      << "per-run seeds must be unique";
+}
+
+TEST(Table, AlignedOutput) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "10000"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_NE(s.find("10000"), std::string::npos);
+  // Each line has equal length (alignment).
+  std::istringstream lines(s);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(lines, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::fmt_percent(0.031, 1), "3.1%");
+}
+
+TEST(Table, ArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), support::PreconditionError);
+  EXPECT_THROW(Table({}), support::PreconditionError);
+}
+
+TEST(Downsample, SmallInputsPassThrough) {
+  const auto idx = downsample_indices(5, 10);
+  ASSERT_EQ(idx.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(idx[i], i);
+}
+
+TEST(Downsample, LargeInputsKeepEndpointsAndOrder) {
+  const auto idx = downsample_indices(100'000, 40);
+  ASSERT_EQ(idx.size(), 40u);
+  EXPECT_EQ(idx.front(), 0u);
+  EXPECT_EQ(idx.back(), 99'999u);
+  for (std::size_t i = 1; i < idx.size(); ++i) EXPECT_GT(idx[i], idx[i - 1]);
+}
+
+TEST(Downsample, EmptyAndValidation) {
+  EXPECT_TRUE(downsample_indices(0, 10).empty());
+  EXPECT_THROW((void)downsample_indices(10, 1), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::analysis

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "containment/dynamic_quarantine.hpp"
+#include "containment/rate_limit.hpp"
+#include "containment/virus_throttle.hpp"
+#include "support/check.hpp"
+
+namespace worms::containment {
+namespace {
+
+net::Ipv4Address addr(std::uint32_t v) { return net::Ipv4Address(v); }
+
+// ---------------- RateLimitPolicy ----------------
+
+TEST(RateLimit, AllowsAtOrBelowRate) {
+  RateLimitPolicy policy(1.0);  // 1/s
+  EXPECT_EQ(policy.on_scan(0, 0.0, addr(1)).action, core::ScanAction::Allow);
+  EXPECT_EQ(policy.on_scan(0, 1.5, addr(2)).action, core::ScanAction::Allow);
+  EXPECT_EQ(policy.on_scan(0, 3.0, addr(3)).action, core::ScanAction::Allow);
+}
+
+TEST(RateLimit, QueuesBurstWithIncreasingDelays) {
+  RateLimitPolicy policy(1.0);
+  (void)policy.on_scan(0, 0.0, addr(1));  // consumes the slot until t=1
+  const auto d1 = policy.on_scan(0, 0.0, addr(2));
+  const auto d2 = policy.on_scan(0, 0.0, addr(3));
+  ASSERT_EQ(d1.action, core::ScanAction::Delay);
+  ASSERT_EQ(d2.action, core::ScanAction::Delay);
+  EXPECT_DOUBLE_EQ(d1.delay, 1.0);
+  EXPECT_DOUBLE_EQ(d2.delay, 2.0);
+}
+
+TEST(RateLimit, HostsAreIndependent) {
+  RateLimitPolicy policy(1.0);
+  (void)policy.on_scan(0, 0.0, addr(1));
+  EXPECT_EQ(policy.on_scan(1, 0.0, addr(1)).action, core::ScanAction::Allow);
+}
+
+TEST(RateLimit, RestoreResetsBucket) {
+  RateLimitPolicy policy(1.0);
+  (void)policy.on_scan(0, 0.0, addr(1));
+  (void)policy.on_scan(0, 0.0, addr(2));
+  policy.on_host_restored(0, 0.5);
+  EXPECT_EQ(policy.on_scan(0, 0.5, addr(3)).action, core::ScanAction::Allow);
+}
+
+TEST(RateLimit, CloneIsFreshAndConfigured) {
+  RateLimitPolicy policy(2.0);
+  (void)policy.on_scan(0, 0.0, addr(1));
+  auto clone = policy.clone();
+  EXPECT_EQ(clone->on_scan(0, 0.0, addr(2)).action, core::ScanAction::Allow);
+  EXPECT_NE(clone->name().find("rate-limit"), std::string::npos);
+}
+
+TEST(RateLimit, RejectsNonPositiveRate) {
+  EXPECT_THROW(RateLimitPolicy(0.0), support::PreconditionError);
+}
+
+// ---------------- VirusThrottlePolicy ----------------
+
+TEST(Throttle, WorkingSetTrafficPassesFreely) {
+  VirusThrottlePolicy policy({.working_set_size = 2, .tick = 1.0});
+  EXPECT_EQ(policy.on_scan(0, 0.0, addr(1)).action, core::ScanAction::Allow);
+  // Repeats to the same destination never queue, even back-to-back.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(policy.on_scan(0, 0.0, addr(1)).action, core::ScanAction::Allow);
+  }
+}
+
+TEST(Throttle, NewDestinationsDrainOnePerTick) {
+  VirusThrottlePolicy policy({.working_set_size = 1, .tick = 1.0, .detect_queue_length = 100});
+  EXPECT_EQ(policy.on_scan(0, 0.0, addr(1)).action, core::ScanAction::Allow);
+  const auto d2 = policy.on_scan(0, 0.0, addr(2));
+  const auto d3 = policy.on_scan(0, 0.0, addr(3));
+  ASSERT_EQ(d2.action, core::ScanAction::Delay);
+  ASSERT_EQ(d3.action, core::ScanAction::Delay);
+  EXPECT_DOUBLE_EQ(d2.delay, 1.0);
+  EXPECT_DOUBLE_EQ(d3.delay, 2.0);
+  EXPECT_EQ(policy.queue_length(0, 0.0), 3u);
+}
+
+TEST(Throttle, LruEviction) {
+  VirusThrottlePolicy policy({.working_set_size = 2, .tick = 1.0});
+  (void)policy.on_scan(0, 0.0, addr(1));
+  (void)policy.on_scan(0, 10.0, addr(2));
+  // Touch 1 so 2 becomes LRU.
+  (void)policy.on_scan(0, 20.0, addr(1));
+  (void)policy.on_scan(0, 30.0, addr(3));  // evicts 2
+  // 2 is now "new" again → queued (the tick slot was just used by 3, so the
+  // next release is at t = 31): expect Delay.  This also evicts 1.
+  EXPECT_EQ(policy.on_scan(0, 30.0, addr(2)).action, core::ScanAction::Delay);
+  // 3 is still in the working set → allowed.
+  EXPECT_EQ(policy.on_scan(0, 30.0, addr(3)).action, core::ScanAction::Allow);
+}
+
+TEST(Throttle, FastScannerIsDetectedAndRemoved) {
+  VirusThrottlePolicy policy({.working_set_size = 5, .tick = 1.0, .detect_queue_length = 10});
+  // A worm bursts 100 distinct destinations at t = 0; the queue passes the
+  // detection threshold within the burst.
+  bool removed = false;
+  for (std::uint32_t i = 0; i < 100 && !removed; ++i) {
+    const auto d = policy.on_scan(0, 0.0, addr(1000 + i));
+    removed = (d.action == core::ScanAction::Remove);
+  }
+  EXPECT_TRUE(removed);
+}
+
+TEST(Throttle, SlowScannerSlipsThrough) {
+  // The paper's §IV argument: a worm below 1 new destination/s never raises
+  // the queue and is never detected by the throttle.
+  VirusThrottlePolicy policy({.working_set_size = 5, .tick = 1.0, .detect_queue_length = 10});
+  for (int i = 0; i < 10'000; ++i) {
+    const auto d = policy.on_scan(0, 2.0 * i, addr(50'000 + i));  // 0.5 dest/s
+    ASSERT_EQ(d.action, core::ScanAction::Allow) << "slow scan " << i << " was impeded";
+  }
+}
+
+TEST(Throttle, QueueDrainsOverTime) {
+  VirusThrottlePolicy policy({.working_set_size = 1, .tick = 1.0, .detect_queue_length = 50});
+  for (std::uint32_t i = 0; i < 5; ++i) (void)policy.on_scan(0, 0.0, addr(10 + i));
+  EXPECT_GT(policy.queue_length(0, 0.0), 0u);
+  EXPECT_EQ(policy.queue_length(0, 100.0), 0u);
+}
+
+TEST(Throttle, RestoreClears) {
+  VirusThrottlePolicy policy({.working_set_size = 1, .tick = 1.0, .detect_queue_length = 5});
+  for (std::uint32_t i = 0; i < 4; ++i) (void)policy.on_scan(0, 0.0, addr(i));
+  policy.on_host_restored(0, 0.0);
+  EXPECT_EQ(policy.queue_length(0, 0.0), 0u);
+  EXPECT_EQ(policy.on_scan(0, 0.0, addr(99)).action, core::ScanAction::Allow);
+}
+
+TEST(Throttle, RejectsBadConfig) {
+  EXPECT_THROW(VirusThrottlePolicy({.working_set_size = 0}), support::PreconditionError);
+  EXPECT_THROW(VirusThrottlePolicy({.tick = 0.0}), support::PreconditionError);
+  EXPECT_THROW(VirusThrottlePolicy({.detect_queue_length = 0}), support::PreconditionError);
+}
+
+// ---------------- DynamicQuarantinePolicy ----------------
+
+TEST(Quarantine, AlarmsMuteHostForConfiguredWindow) {
+  DynamicQuarantinePolicy policy(
+      {.alarm_probability = 1.0, .quarantine_time = 10.0});  // always alarms
+  EXPECT_EQ(policy.on_scan(0, 0.0, addr(1)).action, core::ScanAction::Drop);
+  EXPECT_TRUE(policy.is_quarantined(0, 5.0));
+  EXPECT_EQ(policy.on_scan(0, 5.0, addr(2)).action, core::ScanAction::Drop);
+  EXPECT_FALSE(policy.is_quarantined(0, 10.0));
+  // Released — but the next scan alarms again (p = 1).
+  EXPECT_EQ(policy.on_scan(0, 10.0, addr(3)).action, core::ScanAction::Drop);
+}
+
+TEST(Quarantine, ZeroAlarmRateNeverInterferes) {
+  DynamicQuarantinePolicy policy({.alarm_probability = 0.0, .quarantine_time = 10.0});
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_EQ(policy.on_scan(0, static_cast<double>(i), addr(i)).action,
+              core::ScanAction::Allow);
+  }
+  EXPECT_EQ(policy.total_alarms(), 0u);
+}
+
+TEST(Quarantine, AlarmFrequencyMatchesProbability) {
+  DynamicQuarantinePolicy policy(
+      {.alarm_probability = 0.05, .quarantine_time = 1e-9, .seed = 42});
+  int drops = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    // Distinct times far apart so the (tiny) quarantine never overlaps scans.
+    if (policy.on_scan(0, 10.0 * i, addr(i)).action == core::ScanAction::Drop) ++drops;
+  }
+  EXPECT_NEAR(drops / static_cast<double>(n), 0.05, 0.005);
+}
+
+TEST(Quarantine, SlowsButDoesNotStop) {
+  // The paper's point about quarantine: scans still leak through between
+  // quarantine windows.
+  DynamicQuarantinePolicy policy({.alarm_probability = 0.01, .quarantine_time = 5.0});
+  int allowed = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    if (policy.on_scan(0, 0.1 * i, addr(i)).action == core::ScanAction::Allow) ++allowed;
+  }
+  EXPECT_GT(allowed, 1'000) << "quarantine must not become a permanent block";
+  EXPECT_LT(allowed, 10'000) << "some scans must have been muted";
+}
+
+TEST(Quarantine, RestoreLiftsQuarantine) {
+  DynamicQuarantinePolicy policy({.alarm_probability = 1.0, .quarantine_time = 100.0});
+  (void)policy.on_scan(0, 0.0, addr(1));
+  EXPECT_TRUE(policy.is_quarantined(0, 1.0));
+  policy.on_host_restored(0, 1.0);
+  EXPECT_FALSE(policy.is_quarantined(0, 1.0));
+}
+
+TEST(Quarantine, CloneIsDeterministicReplica) {
+  DynamicQuarantinePolicy a({.alarm_probability = 0.3, .quarantine_time = 2.0, .seed = 7});
+  auto b = a.clone();
+  // Fresh clone re-seeds its detector stream: same scan sequence gives the
+  // same decisions as a fresh instance with the same config.
+  DynamicQuarantinePolicy c({.alarm_probability = 0.3, .quarantine_time = 2.0, .seed = 7});
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_EQ(b->on_scan(0, static_cast<double>(i) * 5.0, addr(i)).action,
+              c.on_scan(0, static_cast<double>(i) * 5.0, addr(i)).action);
+  }
+}
+
+TEST(Quarantine, RejectsBadConfig) {
+  EXPECT_THROW(DynamicQuarantinePolicy({.alarm_probability = -0.1}),
+               support::PreconditionError);
+  EXPECT_THROW(DynamicQuarantinePolicy({.alarm_probability = 0.5, .quarantine_time = 0.0}),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::containment

@@ -1,0 +1,120 @@
+#include "containment/sliding_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scan_limit_policy.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace worms::containment {
+namespace {
+
+net::Ipv4Address addr(std::uint32_t v) { return net::Ipv4Address(v); }
+
+TEST(SlidingWindow, RemovesAtBudgetWithinWindow) {
+  SlidingWindowScanPolicy policy({.scan_limit = 5, .window = 100.0});
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(policy.on_scan(0, 1.0 * i, addr(i)).action, core::ScanAction::Allow);
+  }
+  EXPECT_EQ(policy.on_scan(0, 4.0, addr(9)).action, core::ScanAction::AllowAndRemove);
+}
+
+TEST(SlidingWindow, OldScansExpire) {
+  SlidingWindowScanPolicy policy({.scan_limit = 5, .window = 100.0});
+  for (std::uint32_t i = 0; i < 4; ++i) (void)policy.on_scan(0, 10.0 * i, addr(i));
+  EXPECT_EQ(policy.count_in_window(0, 30.0), 4u);
+  // 150s later the first four have aged out: four more scans are fine.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(policy.on_scan(0, 180.0 + i, addr(100 + i)).action, core::ScanAction::Allow);
+  }
+}
+
+TEST(SlidingWindow, HostsIndependent) {
+  SlidingWindowScanPolicy policy({.scan_limit = 2, .window = 100.0});
+  (void)policy.on_scan(0, 1.0, addr(1));
+  EXPECT_EQ(policy.on_scan(1, 1.0, addr(1)).action, core::ScanAction::Allow);
+  EXPECT_EQ(policy.on_scan(0, 2.0, addr(2)).action, core::ScanAction::AllowAndRemove);
+}
+
+TEST(SlidingWindow, RestoreClearsHistory) {
+  SlidingWindowScanPolicy policy({.scan_limit = 3, .window = 100.0});
+  (void)policy.on_scan(0, 1.0, addr(1));
+  (void)policy.on_scan(0, 2.0, addr(2));
+  policy.on_host_restored(0, 3.0);
+  EXPECT_EQ(policy.count_in_window(0, 3.0), 0u);
+  EXPECT_EQ(policy.on_scan(0, 4.0, addr(3)).action, core::ScanAction::Allow);
+}
+
+TEST(SlidingWindow, CloneIsFresh) {
+  SlidingWindowScanPolicy policy({.scan_limit = 2, .window = 100.0});
+  (void)policy.on_scan(0, 1.0, addr(1));
+  auto clone = policy.clone();
+  EXPECT_EQ(clone->on_scan(0, 2.0, addr(2)).action, core::ScanAction::Allow);
+  EXPECT_NE(clone->name().find("sliding-window"), std::string::npos);
+}
+
+TEST(SlidingWindow, BoundaryBurstExploitIsClosed) {
+  // The attack the tumbling cycle allows: M−1 scans just before a boundary,
+  // M−1 just after ⇒ ~2M scans in seconds, never tripping the tumbling
+  // counter.  The sliding window must remove the host mid-burst.
+  const std::uint64_t m = 10;
+  const double cycle = 1'000.0;
+
+  core::ScanCountLimitPolicy tumbling({.scan_limit = m, .cycle_length = cycle});
+  SlidingWindowScanPolicy sliding({.scan_limit = m, .window = cycle});
+
+  bool tumbling_removed = false;
+  bool sliding_removed = false;
+  std::uint32_t dest = 0;
+  // 9 scans at t = 999.x (end of cycle 0), 9 more at t = 1000.x (cycle 1).
+  for (int i = 0; i < 9; ++i) {
+    const double t = 999.0 + 0.01 * i;
+    tumbling_removed |=
+        tumbling.on_scan(0, t, addr(dest)).action == core::ScanAction::AllowAndRemove;
+    sliding_removed |=
+        sliding.on_scan(0, t, addr(dest)).action == core::ScanAction::AllowAndRemove;
+    ++dest;
+  }
+  for (int i = 0; i < 9; ++i) {
+    const double t = 1'000.0 + 0.01 * i;
+    tumbling_removed |=
+        tumbling.on_scan(0, t, addr(dest)).action == core::ScanAction::AllowAndRemove;
+    sliding_removed |=
+        sliding.on_scan(0, t, addr(dest)).action == core::ScanAction::AllowAndRemove;
+    ++dest;
+  }
+  EXPECT_FALSE(tumbling_removed) << "tumbling reset forgives the straddle (the exploit)";
+  EXPECT_TRUE(sliding_removed) << "sliding window must catch 18 scans in one second";
+}
+
+TEST(SlidingWindow, NeverMorePermissiveThanTumbling) {
+  // Property: on any scan sequence, if sliding allows a prefix then tumbling
+  // allows it too (sliding-compliant ⇒ tumbling-compliant).  Random streams.
+  support::Rng rng(1);
+  for (int rep = 0; rep < 30; ++rep) {
+    const std::uint64_t m = 4 + rng.below(8);
+    const double cycle = 50.0 + static_cast<double>(rng.below(100));
+    core::ScanCountLimitPolicy tumbling({.scan_limit = m, .cycle_length = cycle});
+    SlidingWindowScanPolicy sliding({.scan_limit = m, .window = cycle});
+    double t = 0.0;
+    for (int i = 0; i < 300; ++i) {
+      t += rng.uniform() * 20.0;
+      const auto s = sliding.on_scan(0, t, addr(i)).action;
+      const auto tu = tumbling.on_scan(0, t, addr(i)).action;
+      if (tu == core::ScanAction::AllowAndRemove) {
+        ASSERT_EQ(s, core::ScanAction::AllowAndRemove)
+            << "tumbling tripped before sliding at t=" << t << " (m=" << m << ")";
+      }
+      if (s == core::ScanAction::AllowAndRemove) break;
+    }
+  }
+}
+
+TEST(SlidingWindow, Validation) {
+  EXPECT_THROW(SlidingWindowScanPolicy({.scan_limit = 0}), support::PreconditionError);
+  EXPECT_THROW(SlidingWindowScanPolicy({.scan_limit = 1, .window = 0.0}),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::containment

@@ -1,0 +1,171 @@
+#include "core/borel_tanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/kahan.hpp"
+#include "support/check.hpp"
+
+namespace worms::core {
+namespace {
+
+constexpr double kCodeRedDensity = 360'000.0 / 4294967296.0;
+
+TEST(BorelTanner, PmfZeroBelowInitial) {
+  const BorelTanner bt(0.5, 10);
+  EXPECT_DOUBLE_EQ(bt.pmf(0), 0.0);
+  EXPECT_DOUBLE_EQ(bt.pmf(9), 0.0);
+  EXPECT_GT(bt.pmf(10), 0.0);
+}
+
+TEST(BorelTanner, AtomAtInitialIsAllRootsChildless) {
+  // P{I = I0} = P{all I0 roots have no offspring} = e^{−I0·λ}.
+  const BorelTanner bt(0.83, 10);
+  EXPECT_NEAR(bt.pmf(10), std::exp(-8.3), 1e-12);
+}
+
+TEST(BorelTanner, PmfSumsToOne) {
+  for (const double lambda : {0.1, 0.5, 0.83, 0.95}) {
+    const BorelTanner bt(lambda, 10);
+    math::KahanSum sum;
+    // Subcritical tail decays geometrically; 200k terms is far past machine
+    // precision for λ <= 0.95.
+    for (std::uint64_t k = 10; k < 200'000; ++k) {
+      const double p = bt.pmf(k);
+      sum.add(p);
+      if (k > 1000 && p < 1e-18) break;
+    }
+    EXPECT_NEAR(sum.value(), 1.0, 1e-9) << "lambda=" << lambda;
+  }
+}
+
+TEST(BorelTanner, CdfMatchesPmfPartialSums) {
+  const BorelTanner bt(0.83, 10);
+  math::KahanSum sum;
+  for (std::uint64_t k = 10; k <= 500; ++k) {
+    sum.add(bt.pmf(k));
+    EXPECT_NEAR(bt.cdf(k), sum.value(), 1e-12) << "k=" << k;
+  }
+}
+
+TEST(BorelTanner, CdfIsCachedConsistently) {
+  const BorelTanner bt(0.7, 3);
+  // Query out of order; cache extension must not corrupt earlier values.
+  const double c100 = bt.cdf(100);
+  const double c50 = bt.cdf(50);
+  const double c200 = bt.cdf(200);
+  EXPECT_LT(c50, c100);
+  EXPECT_LT(c100, c200);
+  EXPECT_DOUBLE_EQ(bt.cdf(100), c100);
+}
+
+TEST(BorelTanner, MeanMatchesNumericalExpectation) {
+  const BorelTanner bt(0.6, 5);
+  math::KahanSum ex;
+  for (std::uint64_t k = 5; k < 100'000; ++k) {
+    const double p = bt.pmf(k);
+    ex.add(static_cast<double>(k) * p);
+    if (k > 1000 && p < 1e-18) break;
+  }
+  EXPECT_NEAR(ex.value(), bt.mean(), 1e-6);
+  EXPECT_NEAR(bt.mean(), 5.0 / 0.4, 1e-12);
+}
+
+TEST(BorelTanner, StandardVarianceMatchesNumericalSecondMoment) {
+  // This is the test that settles the paper-vs-standard variance formula:
+  // the numerically computed Var(I) equals I0·λ/(1−λ)^3, not I0/(1−λ)^3.
+  const BorelTanner bt(0.83, 10);
+  math::KahanSum ex;
+  math::KahanSum ex2;
+  for (std::uint64_t k = 10; k < 2'000'000; ++k) {
+    const double p = bt.pmf(k);
+    const double kd = static_cast<double>(k);
+    ex.add(kd * p);
+    ex2.add(kd * kd * p);
+    if (k > 10'000 && p < 1e-18) break;
+  }
+  const double var = ex2.value() - ex.value() * ex.value();
+  EXPECT_NEAR(var, bt.variance(), bt.variance() * 1e-6);
+  EXPECT_GT(std::fabs(var - bt.paper_variance()), 100.0)
+      << "the paper's printed formula differs by a factor of λ";
+}
+
+TEST(BorelTanner, PaperExampleMeanFiftyEight) {
+  // Paper §V: "E(I) = 58" for Code Red, M = 10000, I0 = 10.
+  const double lambda = 10'000.0 * kCodeRedDensity;  // ≈ 0.838
+  const BorelTanner bt(lambda, 10);
+  EXPECT_NEAR(bt.mean(), 58.0, 4.0);
+}
+
+TEST(BorelTanner, PaperHeadlineClaimCodeRed360) {
+  // Paper §I/§III: with M = 10000, P{I < 360} >= 0.99 for Code Red.
+  const double lambda = 10'000.0 * kCodeRedDensity;
+  const BorelTanner bt(lambda, 10);
+  EXPECT_GE(bt.cdf(359), 0.99);
+}
+
+TEST(BorelTanner, PaperFig5ShapeCodeRed) {
+  // Fig. 5: M = 10000 contains Code Red below ~150 hosts w.p. ≈ 0.95, and
+  // M = 5000 below ~27 hosts w.p. ≈ 0.97 (I0 = 10).
+  const BorelTanner m10000(10'000.0 * kCodeRedDensity, 10);
+  EXPECT_NEAR(m10000.cdf(150), 0.95, 0.02);
+  const BorelTanner m5000(5'000.0 * kCodeRedDensity, 10);
+  EXPECT_NEAR(m5000.cdf(27), 0.97, 0.02);
+}
+
+TEST(BorelTanner, QuantileIsInverseCdf) {
+  const BorelTanner bt(0.83, 10);
+  for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+    const std::uint64_t k = bt.quantile(q);
+    EXPECT_GE(bt.cdf(k), q);
+    if (k > 10) {
+      EXPECT_LT(bt.cdf(k - 1), q);
+    }
+  }
+}
+
+TEST(BorelTanner, TailComplementsCdf) {
+  const BorelTanner bt(0.5, 2);
+  EXPECT_NEAR(bt.tail(20) + bt.cdf(20), 1.0, 1e-12);
+}
+
+TEST(BorelTanner, LambdaZeroIsDegenerate) {
+  const BorelTanner bt(0.0, 7);
+  EXPECT_DOUBLE_EQ(bt.pmf(7), 1.0);
+  EXPECT_DOUBLE_EQ(bt.pmf(8), 0.0);
+  EXPECT_DOUBLE_EQ(bt.cdf(7), 1.0);
+  EXPECT_DOUBLE_EQ(bt.mean(), 7.0);
+}
+
+TEST(BorelTanner, PmfRangeMatchesPointwise) {
+  const BorelTanner bt(0.4, 3);
+  const auto range = bt.pmf_range(30);
+  ASSERT_EQ(range.size(), 28u);
+  for (std::uint64_t k = 3; k <= 30; ++k) {
+    EXPECT_DOUBLE_EQ(range[k - 3], bt.pmf(k));
+  }
+}
+
+TEST(BorelTanner, RejectsInvalidParameters) {
+  EXPECT_THROW(BorelTanner(1.0, 1), support::PreconditionError);
+  EXPECT_THROW(BorelTanner(-0.1, 1), support::PreconditionError);
+  EXPECT_THROW(BorelTanner(0.5, 0), support::PreconditionError);
+}
+
+class BorelTannerLambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BorelTannerLambdaSweep, MeanAndMassConsistent) {
+  const double lambda = GetParam();
+  const BorelTanner bt(lambda, 10);
+  // Mass accumulates to >= 0.999 within a generous multiple of the mean.
+  const auto k99 = bt.quantile(0.999);
+  EXPECT_GE(bt.cdf(k99), 0.999);
+  EXPECT_LT(static_cast<double>(k99), 80.0 * bt.mean() + 200.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, BorelTannerLambdaSweep,
+                         ::testing::Values(0.05, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95));
+
+}  // namespace
+}  // namespace worms::core

@@ -1,0 +1,88 @@
+#include "core/cycle_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace worms::core {
+namespace {
+
+AdaptiveCycleController::Config lbl_config() {
+  return {.scan_limit = 10'000,
+          .safety_fraction = 0.5,
+          .smoothing = 0.3,
+          .min_cycle = 7.0 * sim::kDay,
+          .max_cycle = 90.0 * sim::kDay};
+}
+
+TEST(CycleController, ConvergesToPlannerValueUnderSteadyActivity) {
+  // LBL numbers: busiest host 4000 distinct / 30 days ⇒ 133.3/day ⇒ with
+  // f·M = 5000 the steady-state cycle is 37.5 days.
+  AdaptiveCycleController ctl(lbl_config(), 30.0 * sim::kDay);
+  sim::SimTime cycle = ctl.current_cycle_length();
+  for (int c = 0; c < 30; ++c) {
+    // Activity scales with cycle length (133.3 per day).
+    cycle = ctl.on_cycle_complete(133.33 * (cycle / sim::kDay));
+  }
+  EXPECT_NEAR(cycle / sim::kDay, 37.5, 0.2);
+  EXPECT_EQ(ctl.cycles_completed(), 30u);
+}
+
+TEST(CycleController, ActivitySpikeShortensCycle) {
+  AdaptiveCycleController ctl(lbl_config(), 30.0 * sim::kDay);
+  const auto before = ctl.on_cycle_complete(4'000.0);
+  // Activity quadruples: the controller must tighten the cycle.
+  sim::SimTime after = before;
+  for (int c = 0; c < 10; ++c) {
+    after = ctl.on_cycle_complete(16'000.0 * (after / (30.0 * sim::kDay)));
+  }
+  EXPECT_LT(after, before);
+}
+
+TEST(CycleController, QuietNetworkDriftsToMaxCycle) {
+  AdaptiveCycleController ctl(lbl_config(), 30.0 * sim::kDay);
+  sim::SimTime cycle = 0.0;
+  for (int c = 0; c < 20; ++c) cycle = ctl.on_cycle_complete(10.0);
+  EXPECT_DOUBLE_EQ(cycle / sim::kDay, 90.0) << "clamped at max_cycle";
+}
+
+TEST(CycleController, SilenceGoesStraightToMax) {
+  AdaptiveCycleController ctl(lbl_config(), 30.0 * sim::kDay);
+  EXPECT_DOUBLE_EQ(ctl.on_cycle_complete(0.0) / sim::kDay, 90.0);
+}
+
+TEST(CycleController, HyperactiveNetworkClampsAtMinCycle) {
+  AdaptiveCycleController ctl(lbl_config(), 30.0 * sim::kDay);
+  sim::SimTime cycle = 0.0;
+  for (int c = 0; c < 20; ++c) cycle = ctl.on_cycle_complete(1e6);
+  EXPECT_DOUBLE_EQ(cycle / sim::kDay, 7.0) << "clamped at min_cycle";
+}
+
+TEST(CycleController, SmoothingDampsOneOffBursts) {
+  AdaptiveCycleController ctl(lbl_config(), 30.0 * sim::kDay);
+  // Establish a steady baseline.
+  sim::SimTime steady = 0.0;
+  for (int c = 0; c < 15; ++c) {
+    steady = ctl.on_cycle_complete(133.33 * (ctl.current_cycle_length() / sim::kDay));
+  }
+  // One anomalous cycle with 3x activity must move the cycle by well under 3x.
+  const sim::SimTime after_burst =
+      ctl.on_cycle_complete(3.0 * 133.33 * (steady / sim::kDay));
+  EXPECT_GT(after_burst, steady / 2.0);
+  EXPECT_LT(after_burst, steady);
+}
+
+TEST(CycleController, ValidatesConfig) {
+  auto cfg = lbl_config();
+  cfg.safety_fraction = 0.0;
+  EXPECT_THROW(AdaptiveCycleController(cfg, 30.0 * sim::kDay), support::PreconditionError);
+  cfg = lbl_config();
+  cfg.max_cycle = cfg.min_cycle / 2.0;
+  EXPECT_THROW(AdaptiveCycleController(cfg, 30.0 * sim::kDay), support::PreconditionError);
+  EXPECT_THROW(AdaptiveCycleController(lbl_config(), 1.0), support::PreconditionError);
+  AdaptiveCycleController ok(lbl_config(), 30.0 * sim::kDay);
+  EXPECT_THROW((void)ok.on_cycle_complete(-1.0), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::core

@@ -1,0 +1,182 @@
+#include "core/galton_watson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/borel_tanner.hpp"
+#include "support/rng.hpp"
+
+namespace worms::core {
+namespace {
+
+constexpr double kCodeRedDensity = 360'000.0 / 4294967296.0;
+constexpr double kSlammerDensity = 120'000.0 / 4294967296.0;
+
+TEST(ExtinctionThreshold, MatchesPaperCodeRedValue) {
+  // Paper §III-B: "if the total scans per host is less than 11,930 ... the
+  // worm spread will eventually be contained" (V = 360,000).
+  EXPECT_EQ(extinction_scan_threshold(kCodeRedDensity), 11'930u);
+}
+
+TEST(ExtinctionThreshold, MatchesPaperSlammerValue) {
+  // Paper §III-B: 35,791 for SQL Slammer (V = 120,000).
+  EXPECT_EQ(extinction_scan_threshold(kSlammerDensity), 35'791u);
+}
+
+TEST(ExtinctionThreshold, InverseDensity) {
+  EXPECT_EQ(extinction_scan_threshold(0.5), 2u);
+  EXPECT_EQ(extinction_scan_threshold(1.0), 1u);
+  EXPECT_EQ(extinction_scan_threshold(1e-3), 1000u);
+}
+
+TEST(UltimateExtinction, CertainAtOrBelowCriticalMean) {
+  // Proposition 1: π = 1 iff M <= 1/p, i.e. iff E[ξ] = Mp <= 1.
+  const auto sub = OffspringDistribution::binomial(10'000, kCodeRedDensity);   // λ ≈ 0.838
+  const auto crit = OffspringDistribution::poisson(1.0);
+  EXPECT_DOUBLE_EQ(ultimate_extinction_probability(sub), 1.0);
+  EXPECT_DOUBLE_EQ(ultimate_extinction_probability(crit), 1.0);
+}
+
+TEST(UltimateExtinction, BelowOneAboveCriticalMean) {
+  const auto super = OffspringDistribution::binomial(20'000, kCodeRedDensity);  // λ ≈ 1.68
+  const double pi = ultimate_extinction_probability(super);
+  EXPECT_LT(pi, 1.0);
+  EXPECT_GT(pi, 0.0);
+  // π must solve φ(π) = π.
+  EXPECT_NEAR(super.pgf(pi), pi, 1e-10);
+}
+
+TEST(UltimateExtinction, PoissonKnownFixedPoint) {
+  // For Poisson(λ) offspring, π solves π = e^{λ(π−1)}.  λ = 2 gives
+  // π ≈ 0.2031878700 (standard tabulated value).
+  const auto off = OffspringDistribution::poisson(2.0);
+  EXPECT_NEAR(ultimate_extinction_probability(off), 0.2031878700, 1e-8);
+}
+
+TEST(UltimateExtinction, MultipleRootsExponentiate) {
+  const auto off = OffspringDistribution::poisson(2.0);
+  const double pi1 = ultimate_extinction_probability(off, 1);
+  const double pi3 = ultimate_extinction_probability(off, 3);
+  EXPECT_NEAR(pi3, pi1 * pi1 * pi1, 1e-12);
+}
+
+TEST(GenerationExtinction, StartsAtZeroAndIsMonotone) {
+  const auto off = OffspringDistribution::binomial(10'000, kCodeRedDensity);
+  const auto pn = extinction_probability_by_generation(off, 1, 20);
+  ASSERT_EQ(pn.size(), 21u);
+  EXPECT_DOUBLE_EQ(pn[0], 0.0);
+  for (std::size_t n = 1; n < pn.size(); ++n) {
+    EXPECT_GE(pn[n], pn[n - 1]) << "P_n must be non-decreasing (worm can only die out)";
+    EXPECT_LE(pn[n], 1.0);
+  }
+}
+
+TEST(GenerationExtinction, FirstGenerationIsNoOffspringProbability) {
+  // P_1 = φ(0)^{I0} = P{no offspring}^{I0}.
+  const auto off = OffspringDistribution::binomial(5'000, kCodeRedDensity);
+  const auto pn = extinction_probability_by_generation(off, 1, 1);
+  EXPECT_NEAR(pn[1], off.pmf(0), 1e-12);
+}
+
+TEST(GenerationExtinction, ConvergesToUltimateProbability) {
+  const auto off = OffspringDistribution::binomial(10'000, kCodeRedDensity);
+  const auto pn = extinction_probability_by_generation(off, 1, 400);
+  EXPECT_NEAR(pn.back(), ultimate_extinction_probability(off), 1e-6);
+}
+
+TEST(GenerationExtinction, SmallerBudgetDiesFaster) {
+  // Fig. 3's qualitative shape: smaller M ⇒ P_n rises faster.
+  const auto m5000 = extinction_probability_by_generation(
+      OffspringDistribution::binomial(5'000, kCodeRedDensity), 1, 10);
+  const auto m10000 = extinction_probability_by_generation(
+      OffspringDistribution::binomial(10'000, kCodeRedDensity), 1, 10);
+  for (std::size_t n = 1; n <= 10; ++n) {
+    EXPECT_GT(m5000[n], m10000[n]) << "generation " << n;
+  }
+}
+
+TEST(GwSimulate, SubcriticalAlwaysDiesOut) {
+  const auto off = OffspringDistribution::poisson(0.8);
+  support::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto real = simulate_galton_watson(off, {.initial = 3}, rng);
+    EXPECT_TRUE(real.extinct);
+    EXPECT_GE(real.total_progeny, 3u);
+  }
+}
+
+TEST(GwSimulate, GenerationSizesSumToTotal) {
+  const auto off = OffspringDistribution::poisson(0.9);
+  support::Rng rng(11);
+  const auto real = simulate_galton_watson(off, {.initial = 5}, rng);
+  std::uint64_t sum = 0;
+  for (const auto s : real.generation_sizes) sum += s;
+  EXPECT_EQ(sum, real.total_progeny);
+}
+
+TEST(GwSimulate, SupercriticalSometimesExplodes) {
+  const auto off = OffspringDistribution::poisson(2.0);
+  support::Rng rng(13);
+  int exploded = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto real = simulate_galton_watson(off, {.initial = 1, .total_cap = 10'000}, rng);
+    if (!real.extinct) ++exploded;
+  }
+  // π ≈ 0.203, so ~80 of 100 runs should blow past the cap.
+  EXPECT_GT(exploded, 60);
+  EXPECT_LT(exploded, 95);
+}
+
+TEST(GwSimulate, ExtinctionFrequencyMatchesTheory) {
+  const auto off = OffspringDistribution::poisson(1.5);
+  const double pi = ultimate_extinction_probability(off);  // ≈ 0.417
+  support::Rng rng(17);
+  int extinct = 0;
+  const int runs = 2000;
+  for (int i = 0; i < runs; ++i) {
+    if (simulate_galton_watson(off, {.initial = 1, .total_cap = 100'000}, rng).extinct) {
+      ++extinct;
+    }
+  }
+  const double freq = static_cast<double>(extinct) / runs;
+  // Binomial std error ≈ sqrt(π(1−π)/2000) ≈ 0.011; allow 4σ.
+  EXPECT_NEAR(freq, pi, 0.045);
+}
+
+TEST(GwSimulate, TotalProgenyMatchesBorelTannerMean) {
+  const double lambda = 0.7;
+  const auto off = OffspringDistribution::poisson(lambda);
+  const BorelTanner bt(lambda, 4);
+  support::Rng rng(23);
+  double sum = 0.0;
+  const int runs = 4000;
+  for (int i = 0; i < runs; ++i) {
+    sum += static_cast<double>(
+        simulate_galton_watson(off, {.initial = 4}, rng).total_progeny);
+  }
+  const double mean = sum / runs;
+  // E[I] = 4/0.3 ≈ 13.33, std ≈ sqrt(4·0.7/0.027)/sqrt(4000) ≈ 0.16; allow 5σ.
+  EXPECT_NEAR(mean, bt.mean(), 0.8);
+}
+
+class GwThresholdSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GwThresholdSweep, Proposition1HoldsAcrossBudgets) {
+  // Property: for every budget at or below the threshold, π = 1; above, π < 1.
+  const std::uint64_t m = GetParam();
+  const auto off = OffspringDistribution::binomial(m, kCodeRedDensity);
+  const double pi = ultimate_extinction_probability(off);
+  if (m <= 11'930) {
+    EXPECT_DOUBLE_EQ(pi, 1.0) << "M=" << m;
+  } else {
+    EXPECT_LT(pi, 1.0) << "M=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BudgetSweep, GwThresholdSweep,
+                         ::testing::Values(1u, 100u, 5'000u, 10'000u, 11'929u, 11'930u, 11'931u,
+                                           12'500u, 20'000u, 100'000u));
+
+}  // namespace
+}  // namespace worms::core

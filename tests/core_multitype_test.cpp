@@ -1,0 +1,161 @@
+#include "core/multitype.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/borel_tanner.hpp"
+#include "core/galton_watson.hpp"
+#include "stats/summary.hpp"
+#include "support/check.hpp"
+
+namespace worms::core {
+namespace {
+
+TEST(MultiType, SingleTypeReducesToScalarTheory) {
+  // K = 1 with mean λ must reproduce the single-type results exactly.
+  const double lambda = 1.5;
+  const MultiTypeBranching mt(std::vector<std::vector<double>>{{lambda}});
+  EXPECT_NEAR(mt.criticality(), lambda, 1e-9);
+
+  const auto pi = mt.extinction_probabilities();
+  const auto scalar = ultimate_extinction_probability(OffspringDistribution::poisson(lambda));
+  EXPECT_NEAR(pi[0], scalar, 1e-8);
+}
+
+TEST(MultiType, SingleTypeSubcriticalProgenyMatchesBorelTanner) {
+  const double lambda = 0.7;
+  const MultiTypeBranching mt(std::vector<std::vector<double>>{{lambda}});
+  const auto n = mt.expected_total_progeny(0);
+  EXPECT_NEAR(n[0], BorelTanner(lambda, 1).mean(), 1e-10);
+}
+
+TEST(MultiType, CriticalityIsSpectralRadiusNotMaxEntry) {
+  // Asymmetric cross-infection: M = [[0.5, 0.9], [0.4, 0.3]] has entries < 1
+  // but ρ = ... > 1?  Characteristic: λ² − 0.8λ + (0.15 − 0.36) = 0 ⇒
+  // λ = (0.8 + sqrt(0.64 + 0.84))/2 ≈ 1.008 — supercritical despite every
+  // per-pair mean being subcritical.  This is why the multi-type extension
+  // matters.
+  const MultiTypeBranching mt({{0.5, 0.9}, {0.4, 0.3}});
+  const double expected = (0.8 + std::sqrt(0.64 + 4.0 * 0.21)) / 2.0;
+  EXPECT_NEAR(mt.criticality(), expected, 1e-9);
+  EXPECT_GT(mt.criticality(), 1.0);
+  const auto pi = mt.extinction_probabilities();
+  EXPECT_LT(pi[0], 1.0);
+  EXPECT_LT(pi[1], 1.0);
+}
+
+TEST(MultiType, SubcriticalGoesExtinctWithProbabilityOne) {
+  const MultiTypeBranching mt({{0.3, 0.4}, {0.2, 0.3}});  // ρ ≈ 0.583
+  EXPECT_LT(mt.criticality(), 1.0);
+  const auto pi = mt.extinction_probabilities();
+  EXPECT_NEAR(pi[0], 1.0, 1e-9);
+  EXPECT_NEAR(pi[1], 1.0, 1e-9);
+}
+
+TEST(MultiType, ExtinctionProbabilitiesSolveFixedPoint) {
+  const MultiTypeBranching mt({{1.2, 0.5}, {0.3, 1.1}});
+  const auto pi = mt.extinction_probabilities();
+  // φ_i(π) = π_i.
+  for (std::size_t i = 0; i < 2; ++i) {
+    double exponent = 0.0;
+    for (std::size_t j = 0; j < 2; ++j) {
+      exponent += mt.mean_matrix().at(i, j) * (pi[j] - 1.0);
+    }
+    EXPECT_NEAR(std::exp(exponent), pi[i], 1e-8) << "type " << i;
+  }
+}
+
+TEST(MultiType, GenerationCurvesMonotoneAndConverge) {
+  const MultiTypeBranching mt({{0.6, 0.2}, {0.1, 0.7}});
+  const auto curves = mt.extinction_by_generation(200);
+  ASSERT_EQ(curves.size(), 201u);
+  EXPECT_DOUBLE_EQ(curves[0][0], 0.0);
+  for (std::size_t n = 1; n < curves.size(); ++n) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      EXPECT_GE(curves[n][i], curves[n - 1][i]);
+    }
+  }
+  const auto pi = mt.extinction_probabilities();
+  EXPECT_NEAR(curves.back()[0], pi[0], 1e-6);
+  EXPECT_NEAR(curves.back()[1], pi[1], 1e-6);
+}
+
+TEST(MultiType, ExpectedProgenySolvesLinearSystem) {
+  const std::vector<std::vector<double>> m = {{0.4, 0.3}, {0.2, 0.1}};
+  const MultiTypeBranching mt(m);
+  const auto n0 = mt.expected_total_progeny(0);
+  const auto n1 = mt.expected_total_progeny(1);
+  // N = I + M·N  componentwise: N[i][j] = δ_ij + Σ_k m[i][k] N[k][j].
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_NEAR(n0[j], (j == 0 ? 1.0 : 0.0) + m[0][0] * n0[j] + m[0][1] * n1[j], 1e-10);
+    EXPECT_NEAR(n1[j], (j == 1 ? 1.0 : 0.0) + m[1][0] * n0[j] + m[1][1] * n1[j], 1e-10);
+  }
+}
+
+TEST(MultiType, ProgenyRequiresSubcriticality) {
+  const MultiTypeBranching mt(std::vector<std::vector<double>>{{1.5}});
+  EXPECT_THROW((void)mt.expected_total_progeny(0), support::PreconditionError);
+}
+
+TEST(MultiType, SimulationExtinctionFrequencyMatchesTheory) {
+  const MultiTypeBranching mt({{0.9, 0.6}, {0.5, 0.4}});  // ρ ≈ 1.222
+  const auto pi = mt.extinction_probabilities();
+  support::Rng rng(7);
+  int extinct = 0;
+  const int runs = 2'000;
+  for (int k = 0; k < runs; ++k) {
+    if (mt.simulate({1, 0}, rng, {.total_cap = 50'000}).extinct) ++extinct;
+  }
+  const double freq = extinct / static_cast<double>(runs);
+  EXPECT_NEAR(freq, pi[0], 4.5 * std::sqrt(pi[0] * (1 - pi[0]) / runs));
+}
+
+TEST(MultiType, SimulationProgenyMeanMatchesTheory) {
+  const MultiTypeBranching mt({{0.5, 0.2}, {0.3, 0.4}});
+  const auto expected = mt.expected_total_progeny(0);
+  support::Rng rng(11);
+  stats::Summary t0;
+  stats::Summary t1;
+  const int runs = 8'000;
+  for (int k = 0; k < runs; ++k) {
+    const auto r = mt.simulate({1, 0}, rng);
+    ASSERT_TRUE(r.extinct);
+    t0.add(static_cast<double>(r.totals_by_type[0]));
+    t1.add(static_cast<double>(r.totals_by_type[1]));
+  }
+  EXPECT_NEAR(t0.mean(), expected[0], 5.0 * t0.std_error());
+  EXPECT_NEAR(t1.mean(), expected[1], 5.0 * t1.std_error());
+}
+
+TEST(MultiType, ScanThresholdGeneralizesProposition1) {
+  // Uniform scanning as a 1-type per-scan rate recovers ⌊1/p⌋ exactly.
+  const double p = 360'000.0 / 4294967296.0;
+  EXPECT_EQ(MultiTypeBranching::extinction_scan_threshold({{p}}), 11'930u);
+
+  // Local preference: a worm in a clustered world splits its per-scan
+  // success rate between a dense local population and the sparse global one.
+  // q = 0.9 local share, p_local = 0.061, p_global = 0.0038 (A5 setup):
+  const double q = 0.9;
+  const double p_local = 4'000.0 / 65'536.0;
+  const double p_global = 4'000.0 / 1'048'576.0;
+  const auto threshold = MultiTypeBranching::extinction_scan_threshold(
+      {{q * p_local + (1.0 - q) * p_global}});
+  // ≈ 1/0.0553 ≈ 18: orders of magnitude below the uniform-scanning 1/p_global
+  // ≈ 262 — the quantitative form of the paper's future-work caveat.
+  EXPECT_GT(threshold, 15u);
+  EXPECT_LT(threshold, 20u);
+  EXPECT_EQ(extinction_scan_threshold(p_global), 262u);
+}
+
+TEST(MultiType, ValidatesInput) {
+  EXPECT_THROW(MultiTypeBranching({{0.5, -0.1}, {0.2, 0.3}}), support::PreconditionError);
+  EXPECT_THROW(MultiTypeBranching({{0.5, 0.1}}), support::PreconditionError);
+  const MultiTypeBranching mt(std::vector<std::vector<double>>{{0.5}});
+  support::Rng rng(1);
+  EXPECT_THROW((void)mt.simulate({1, 2}, rng), support::PreconditionError);
+  EXPECT_THROW((void)mt.simulate({0}, rng), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::core

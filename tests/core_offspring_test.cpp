@@ -1,0 +1,112 @@
+#include "core/offspring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace worms::core {
+namespace {
+
+TEST(Offspring, BinomialMoments) {
+  const auto off = OffspringDistribution::binomial(10'000, 8e-5);
+  EXPECT_NEAR(off.mean(), 0.8, 1e-12);
+  EXPECT_NEAR(off.variance(), 10'000 * 8e-5 * (1 - 8e-5), 1e-12);
+}
+
+TEST(Offspring, PoissonMoments) {
+  const auto off = OffspringDistribution::poisson(0.83);
+  EXPECT_DOUBLE_EQ(off.mean(), 0.83);
+  EXPECT_DOUBLE_EQ(off.variance(), 0.83);
+}
+
+TEST(Offspring, PgfBoundaryValues) {
+  const auto bin = OffspringDistribution::binomial(5'000, 1e-4);
+  const auto poi = OffspringDistribution::poisson(0.5);
+  // φ(1) = 1 always; φ(0) = P{ξ = 0}.
+  EXPECT_NEAR(bin.pgf(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(poi.pgf(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(bin.pgf(0.0), bin.pmf(0), 1e-12);
+  EXPECT_NEAR(poi.pgf(0.0), std::exp(-0.5), 1e-12);
+}
+
+TEST(Offspring, PgfDerivativeAtOneIsMean) {
+  const auto bin = OffspringDistribution::binomial(10'000, 8.38e-5);
+  const auto poi = OffspringDistribution::poisson(0.7);
+  EXPECT_NEAR(bin.pgf_derivative(1.0), bin.mean(), 1e-10);
+  EXPECT_NEAR(poi.pgf_derivative(1.0), poi.mean(), 1e-10);
+}
+
+TEST(Offspring, PgfDerivativeMatchesFiniteDifference) {
+  const auto off = OffspringDistribution::binomial(2'000, 3e-4);
+  const double s = 0.6;
+  const double h = 1e-6;
+  const double fd = (off.pgf(s + h) - off.pgf(s - h)) / (2.0 * h);
+  EXPECT_NEAR(off.pgf_derivative(s), fd, 1e-6);
+}
+
+TEST(Offspring, PgfStableAtExtremeScale) {
+  // M = 10^9, p = 1e-9: naive pow would lose all precision; the log1p form
+  // must agree with the Poisson limit e^{λ(s−1)}.
+  const auto bin = OffspringDistribution::binomial(1'000'000'000ULL, 1e-9);
+  const auto poi = OffspringDistribution::poisson(1.0);
+  for (const double s : {0.0, 0.3, 0.7, 0.99}) {
+    EXPECT_NEAR(bin.pgf(s), poi.pgf(s), 1e-6) << "s=" << s;
+  }
+}
+
+TEST(Offspring, PgfMatchesPmfSeries) {
+  const auto off = OffspringDistribution::binomial(300, 0.01);
+  const double s = 0.75;
+  double series = 0.0;
+  double sk = 1.0;
+  for (std::uint64_t k = 0; k <= 300; ++k) {
+    series += sk * off.pmf(k);
+    sk *= s;
+  }
+  EXPECT_NEAR(off.pgf(s), series, 1e-10);
+}
+
+TEST(Offspring, SampleMomentsMatchTheory) {
+  const auto off = OffspringDistribution::binomial(10'000, 8.38e-5);
+  support::Rng rng(99);
+  stats::Summary sum;
+  for (int i = 0; i < 50'000; ++i) {
+    sum.add(static_cast<double>(off.sample(rng)));
+  }
+  EXPECT_NEAR(sum.mean(), off.mean(), 5.0 * std::sqrt(off.variance() / 50'000.0));
+  EXPECT_NEAR(sum.variance(), off.variance(), 0.05);
+}
+
+TEST(Offspring, PoissonApproximationCloseForSmallDensity) {
+  // Ablation A4's premise: for p ~ 1e-5 the binomial and its Poisson
+  // approximation are indistinguishable at 4+ decimal places.
+  const double p = 8.38e-5;
+  const auto bin = OffspringDistribution::binomial(10'000, p);
+  const auto poi = OffspringDistribution::poisson(10'000 * p);
+  // The leading-order gap is exp(−Mp²/2) ≈ 3.5e-5 relative at k = 0.
+  for (std::uint64_t k = 0; k <= 8; ++k) {
+    EXPECT_NEAR(bin.pmf(k), poi.pmf(k), 5e-5) << "k=" << k;
+  }
+}
+
+TEST(Offspring, DescribeNamesKindAndParameters) {
+  EXPECT_NE(OffspringDistribution::binomial(10, 0.5).describe().find("Binomial"),
+            std::string::npos);
+  EXPECT_NE(OffspringDistribution::poisson(2.0).describe().find("Poisson"), std::string::npos);
+}
+
+TEST(Offspring, BinomialAccessorsGuarded) {
+  const auto poi = OffspringDistribution::poisson(1.0);
+  EXPECT_THROW((void)poi.scan_limit(), support::PreconditionError);
+  EXPECT_THROW((void)poi.density(), support::PreconditionError);
+  const auto bin = OffspringDistribution::binomial(42, 0.25);
+  EXPECT_EQ(bin.scan_limit(), 42u);
+  EXPECT_DOUBLE_EQ(bin.density(), 0.25);
+}
+
+}  // namespace
+}  // namespace worms::core

@@ -1,0 +1,133 @@
+#include "core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace worms::core {
+namespace {
+
+TEST(Planner, CodeRedHeadlinePlan) {
+  // The paper's §I claim instantiated as a planning problem: keep Code Red
+  // below 360 total infections with 99% confidence.
+  const Plan plan = plan_containment({.vulnerable_hosts = 360'000,
+                                      .address_bits = 32,
+                                      .initial_infected = 10,
+                                      .max_total_infected = 360,
+                                      .confidence = 0.99});
+  EXPECT_EQ(plan.extinction_threshold, 11'930u);
+  // M = 10000 satisfies the claim in the paper, so the *largest* feasible
+  // budget must be at least that.
+  EXPECT_GE(plan.scan_limit, 10'000u);
+  EXPECT_LT(plan.scan_limit, plan.extinction_threshold);
+  EXPECT_GE(plan.achieved_confidence, 0.99);
+  EXPECT_LT(plan.lambda, 1.0);
+}
+
+TEST(Planner, PlanSatisfiesItsOwnBound) {
+  const PlannerInput in{.vulnerable_hosts = 120'000,
+                        .address_bits = 32,
+                        .initial_infected = 10,
+                        .max_total_infected = 20,
+                        .confidence = 0.95};
+  const Plan plan = plan_containment(in);
+  const BorelTanner bt(plan.lambda, in.initial_infected);
+  EXPECT_GE(bt.cdf(in.max_total_infected), in.confidence);
+  // One more scan of budget must break the bound (maximality), unless we are
+  // already pinned at the extinction threshold.
+  if (plan.scan_limit + 1 < plan.extinction_threshold) {
+    const BorelTanner next(static_cast<double>(plan.scan_limit + 1) * plan.density,
+                           in.initial_infected);
+    EXPECT_LT(next.cdf(in.max_total_infected), in.confidence);
+  }
+}
+
+TEST(Planner, TighterBoundMeansSmallerBudget) {
+  PlannerInput in{.vulnerable_hosts = 360'000,
+                  .address_bits = 32,
+                  .initial_infected = 10,
+                  .max_total_infected = 360,
+                  .confidence = 0.99};
+  const Plan loose = plan_containment(in);
+  in.max_total_infected = 50;
+  const Plan tight = plan_containment(in);
+  EXPECT_LT(tight.scan_limit, loose.scan_limit);
+}
+
+TEST(Planner, HigherConfidenceMeansSmallerBudget) {
+  PlannerInput in{.vulnerable_hosts = 360'000,
+                  .address_bits = 32,
+                  .initial_infected = 10,
+                  .max_total_infected = 100,
+                  .confidence = 0.90};
+  const Plan p90 = plan_containment(in);
+  in.confidence = 0.999;
+  const Plan p999 = plan_containment(in);
+  EXPECT_LT(p999.scan_limit, p90.scan_limit);
+}
+
+TEST(Planner, ScaledDownUniverseWorks) {
+  const Plan plan = plan_containment({.vulnerable_hosts = 2'000,
+                                      .address_bits = 24,
+                                      .initial_infected = 5,
+                                      .max_total_infected = 50,
+                                      .confidence = 0.95});
+  EXPECT_EQ(plan.extinction_threshold, static_cast<std::uint64_t>((1 << 24) / 2'000));
+  EXPECT_GE(plan.scan_limit, 1u);
+  EXPECT_GE(plan.achieved_confidence, 0.95);
+}
+
+TEST(Planner, ExpectedTotalMatchesBorelTannerMean) {
+  const Plan plan = plan_containment({.vulnerable_hosts = 360'000,
+                                      .address_bits = 32,
+                                      .initial_infected = 10,
+                                      .max_total_infected = 360,
+                                      .confidence = 0.99});
+  EXPECT_NEAR(plan.expected_total_infected, 10.0 / (1.0 - plan.lambda), 1e-9);
+}
+
+TEST(Planner, RejectsImpossibleBound) {
+  // Cannot keep total infections below I0 — they are already infected.
+  EXPECT_THROW((void)plan_containment({.vulnerable_hosts = 360'000,
+                                 .address_bits = 32,
+                                 .initial_infected = 10,
+                                 .max_total_infected = 5,
+                                 .confidence = 0.9}),
+               support::PreconditionError);
+}
+
+TEST(CyclePlanner, LblNumbersGiveMonthScaleCycle) {
+  // Paper §IV data: busiest clean host ≈ 4000 distinct destinations in 30
+  // days.  With M = 10000 and a 50% safety margin, the cycle is 37.5 days.
+  const auto cycle =
+      plan_cycle_length(30.0 * sim::kDay, 4'000.0, 10'000, 0.5);
+  EXPECT_NEAR(cycle / sim::kDay, 37.5, 1e-9);
+}
+
+TEST(CyclePlanner, ScalesLinearly) {
+  const auto base = plan_cycle_length(30.0 * sim::kDay, 1'000.0, 5'000, 0.5);
+  EXPECT_NEAR(plan_cycle_length(30.0 * sim::kDay, 2'000.0, 5'000, 0.5), base / 2.0, 1e-6);
+  EXPECT_NEAR(plan_cycle_length(30.0 * sim::kDay, 1'000.0, 10'000, 0.5), base * 2.0, 1e-6);
+  EXPECT_NEAR(plan_cycle_length(60.0 * sim::kDay, 1'000.0, 5'000, 0.5), base * 2.0, 1e-6);
+}
+
+TEST(CyclePlanner, ValidatesInputs) {
+  EXPECT_THROW((void)plan_cycle_length(0.0, 100.0, 1'000), support::PreconditionError);
+  EXPECT_THROW((void)plan_cycle_length(1.0, 0.0, 1'000), support::PreconditionError);
+  EXPECT_THROW((void)plan_cycle_length(1.0, 100.0, 0), support::PreconditionError);
+  EXPECT_THROW((void)plan_cycle_length(1.0, 100.0, 1'000, 0.0), support::PreconditionError);
+  EXPECT_THROW((void)plan_cycle_length(1.0, 100.0, 1'000, 1.5), support::PreconditionError);
+}
+
+TEST(Planner, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)plan_containment({.vulnerable_hosts = 0}), support::PreconditionError);
+  EXPECT_THROW((void)plan_containment({.vulnerable_hosts = 100,
+                                 .address_bits = 32,
+                                 .initial_infected = 1,
+                                 .max_total_infected = 10,
+                                 .confidence = 1.0}),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::core

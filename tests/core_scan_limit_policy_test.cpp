@@ -1,0 +1,124 @@
+#include "core/scan_limit_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace worms::core {
+namespace {
+
+net::Ipv4Address addr(std::uint32_t v) { return net::Ipv4Address(v); }
+
+TEST(ScanLimitPolicy, AllowsBelowLimitThenRemovesAtLimit) {
+  ScanCountLimitPolicy policy({.scan_limit = 5});
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(policy.on_scan(0, 1.0 + i, addr(i)).action, ScanAction::Allow);
+  }
+  // Paper semantics: the M-th scan goes out, then the host is pulled.
+  EXPECT_EQ(policy.on_scan(0, 10.0, addr(99)).action, ScanAction::AllowAndRemove);
+  EXPECT_EQ(policy.count_of(0), 5u);
+}
+
+TEST(ScanLimitPolicy, CountersAreIndependentPerHost) {
+  ScanCountLimitPolicy policy({.scan_limit = 3});
+  (void)policy.on_scan(0, 1.0, addr(1));
+  (void)policy.on_scan(0, 2.0, addr(2));
+  (void)policy.on_scan(7, 3.0, addr(3));
+  EXPECT_EQ(policy.count_of(0), 2u);
+  EXPECT_EQ(policy.count_of(7), 1u);
+  EXPECT_EQ(policy.count_of(42), 0u);  // never-seen host
+}
+
+TEST(ScanLimitPolicy, CycleBoundaryResetsCounter) {
+  // 100-second containment cycle: counts in cycle 0 must not carry into 1.
+  ScanCountLimitPolicy policy({.scan_limit = 3, .cycle_length = 100.0});
+  (void)policy.on_scan(0, 10.0, addr(1));
+  (void)policy.on_scan(0, 20.0, addr(2));
+  EXPECT_EQ(policy.count_of(0), 2u);
+  EXPECT_EQ(policy.on_scan(0, 150.0, addr(3)).action, ScanAction::Allow);
+  EXPECT_EQ(policy.count_of(0), 1u) << "new cycle starts from zero";
+}
+
+TEST(ScanLimitPolicy, AttemptsModeCountsRepeats) {
+  ScanCountLimitPolicy policy({.scan_limit = 3});
+  (void)policy.on_scan(0, 1.0, addr(5));
+  (void)policy.on_scan(0, 2.0, addr(5));
+  EXPECT_EQ(policy.count_of(0), 2u);
+}
+
+TEST(ScanLimitPolicy, ExactDistinctModeIgnoresRepeats) {
+  ScanCountLimitPolicy policy({.scan_limit = 3,
+                               .counting = ScanCountLimitPolicy::CountingMode::ExactDistinct});
+  (void)policy.on_scan(0, 1.0, addr(5));
+  (void)policy.on_scan(0, 2.0, addr(5));
+  (void)policy.on_scan(0, 3.0, addr(5));
+  EXPECT_EQ(policy.count_of(0), 1u) << "same destination is one unique IP";
+  (void)policy.on_scan(0, 4.0, addr(6));
+  EXPECT_EQ(policy.on_scan(0, 5.0, addr(7)).action, ScanAction::AllowAndRemove);
+}
+
+TEST(ScanLimitPolicy, ExactDistinctResetsSeenSetAtCycle) {
+  ScanCountLimitPolicy policy({.scan_limit = 2,
+                               .cycle_length = 100.0,
+                               .counting = ScanCountLimitPolicy::CountingMode::ExactDistinct});
+  (void)policy.on_scan(0, 1.0, addr(5));
+  // Next cycle: the same destination is "new" again.
+  (void)policy.on_scan(0, 101.0, addr(5));
+  EXPECT_EQ(policy.count_of(0), 1u);
+}
+
+TEST(ScanLimitPolicy, FlagsAtCheckFraction) {
+  ScanCountLimitPolicy policy({.scan_limit = 10, .check_fraction = 0.5});
+  for (std::uint32_t i = 0; i < 4; ++i) (void)policy.on_scan(3, 1.0 + i, addr(i));
+  EXPECT_TRUE(policy.flagged_hosts().empty());
+  (void)policy.on_scan(3, 5.0, addr(100));  // 5th scan = 0.5 · 10
+  ASSERT_EQ(policy.flagged_hosts().size(), 1u);
+  EXPECT_EQ(policy.flagged_hosts()[0], 3u);
+  // Crossing again must not duplicate the flag.
+  (void)policy.on_scan(3, 6.0, addr(101));
+  EXPECT_EQ(policy.flagged_hosts().size(), 1u);
+}
+
+TEST(ScanLimitPolicy, RestoreClearsState) {
+  ScanCountLimitPolicy policy({.scan_limit = 4});
+  for (std::uint32_t i = 0; i < 3; ++i) (void)policy.on_scan(0, 1.0 + i, addr(i));
+  policy.on_host_restored(0, 10.0);
+  EXPECT_EQ(policy.count_of(0), 0u) << "paper step 4: counter resets on re-entry";
+  EXPECT_EQ(policy.on_scan(0, 11.0, addr(9)).action, ScanAction::Allow);
+}
+
+TEST(ScanLimitPolicy, CloneStartsFresh) {
+  ScanCountLimitPolicy policy({.scan_limit = 2});
+  (void)policy.on_scan(0, 1.0, addr(1));
+  const auto fresh = policy.clone();
+  EXPECT_EQ(fresh->on_scan(0, 2.0, addr(2)).action, ScanAction::Allow);
+  // Original still at count 1 → this second scan trips its limit.
+  EXPECT_EQ(policy.on_scan(0, 2.0, addr(2)).action, ScanAction::AllowAndRemove);
+}
+
+TEST(ScanLimitPolicy, NameIncludesBudget) {
+  ScanCountLimitPolicy policy({.scan_limit = 1234});
+  EXPECT_NE(policy.name().find("1234"), std::string::npos);
+}
+
+TEST(ScanLimitPolicy, RejectsBadConfig) {
+  EXPECT_THROW(ScanCountLimitPolicy({.scan_limit = 0}), support::PreconditionError);
+  EXPECT_THROW(ScanCountLimitPolicy({.scan_limit = 1, .cycle_length = 0.0}),
+               support::PreconditionError);
+  EXPECT_THROW(ScanCountLimitPolicy({.scan_limit = 1, .check_fraction = 0.0}),
+               support::PreconditionError);
+  EXPECT_THROW(ScanCountLimitPolicy({.scan_limit = 1, .check_fraction = 1.5}),
+               support::PreconditionError);
+}
+
+TEST(NullPolicy, AlwaysAllows) {
+  NullPolicy policy;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(policy.on_scan(i % 3, static_cast<double>(i), addr(i)).action, ScanAction::Allow);
+  }
+  EXPECT_EQ(policy.name(), "none");
+  EXPECT_NE(policy.clone(), nullptr);
+}
+
+}  // namespace
+}  // namespace worms::core

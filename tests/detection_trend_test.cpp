@@ -1,0 +1,262 @@
+#include "detection/trend_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/samplers.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace worms::detection {
+namespace {
+
+/// Noisy exponential series: y_t ~ Poisson(y0 · g^t).
+std::vector<double> exponential_series(double y0, double growth, int n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  double mean = y0;
+  for (int t = 0; t < n; ++t) {
+    out.push_back(static_cast<double>(stats::sample_poisson(rng, mean)));
+    mean *= growth;
+  }
+  return out;
+}
+
+/// Stationary noisy background.
+std::vector<double> flat_series(double level, int n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (int t = 0; t < n; ++t) {
+    out.push_back(static_cast<double>(stats::sample_poisson(rng, level)));
+  }
+  return out;
+}
+
+TEST(ScalarKalman, ConvergesToConstantState) {
+  // Observations z = 3·h with h = 1: the filter must settle on x = 3.
+  ScalarKalman kf(0.0, 10.0, 0.0);
+  for (int i = 0; i < 200; ++i) kf.step(3.0, 1.0, 0.5);
+  EXPECT_NEAR(kf.state(), 3.0, 0.05);
+  EXPECT_LT(kf.variance(), 0.01);
+}
+
+TEST(ScalarKalman, TracksDriftingStateWithProcessNoise) {
+  ScalarKalman kf(0.0, 1.0, 0.05);
+  double truth = 1.0;
+  for (int i = 0; i < 300; ++i) {
+    truth += 0.01;
+    kf.step(truth, 1.0, 0.1);
+  }
+  EXPECT_NEAR(kf.state(), truth, 0.15);
+}
+
+TEST(ScalarKalman, RejectsBadVariances) {
+  EXPECT_THROW(ScalarKalman(0.0, 0.0, 0.1), support::PreconditionError);
+  ScalarKalman kf(0.0, 1.0, 0.0);
+  EXPECT_THROW(kf.step(1.0, 1.0, 0.0), support::PreconditionError);
+}
+
+TEST(KalmanTrend, EstimatesGrowthFactorOnCleanExponential) {
+  KalmanTrendDetector det({});
+  double y = 10.0;
+  for (int t = 0; t < 40; ++t) {
+    (void)det.observe(y);
+    y *= 1.2;
+  }
+  EXPECT_NEAR(det.growth_estimate(), 1.2, 0.02);
+}
+
+TEST(KalmanTrend, AlarmsOnNoisyWormGrowth) {
+  KalmanTrendDetector det({});
+  const auto series = exponential_series(8.0, 1.15, 60, 1);
+  bool fired = false;
+  for (double y : series) fired |= det.observe(y);
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(det.alarmed());
+  EXPECT_GE(det.alarm_index(), 3);
+}
+
+TEST(KalmanTrend, StaysQuietOnFlatBackground) {
+  KalmanTrendDetector det({});
+  for (double y : flat_series(50.0, 2'000, 2)) (void)det.observe(y);
+  EXPECT_FALSE(det.alarmed()) << "false alarm on stationary traffic";
+}
+
+TEST(KalmanTrend, StaysQuietOnDecayingTraffic) {
+  KalmanTrendDetector det({});
+  double y = 1'000.0;
+  for (int t = 0; t < 100; ++t) {
+    (void)det.observe(y);
+    y *= 0.9;
+  }
+  EXPECT_FALSE(det.alarmed());
+}
+
+TEST(KalmanTrend, MinSignalSuppressesTinyCounts) {
+  // Growth from 1 to 4 "scans" is meaningless noise; min_signal gates it.
+  KalmanTrendDetector det({.min_signal = 5.0});
+  for (double y : {1.0, 2.0, 4.0, 3.0, 1.0, 2.0, 4.0, 4.0}) (void)det.observe(y);
+  EXPECT_FALSE(det.alarmed());
+}
+
+TEST(KalmanTrend, AlarmLatchesAndIndexIsStable) {
+  KalmanTrendDetector det({});
+  const auto series = exponential_series(10.0, 1.3, 40, 3);
+  for (double y : series) (void)det.observe(y);
+  ASSERT_TRUE(det.alarmed());
+  const auto idx = det.alarm_index();
+  for (double y : flat_series(5.0, 20, 4)) (void)det.observe(y);
+  EXPECT_EQ(det.alarm_index(), idx);
+}
+
+TEST(KalmanTrend, ResetClearsEverything) {
+  KalmanTrendDetector det({});
+  for (double y : exponential_series(10.0, 1.3, 40, 5)) (void)det.observe(y);
+  ASSERT_TRUE(det.alarmed());
+  det.reset();
+  EXPECT_FALSE(det.alarmed());
+  EXPECT_EQ(det.alarm_index(), -1);
+  EXPECT_EQ(det.observations(), 0);
+  for (double y : flat_series(50.0, 200, 6)) (void)det.observe(y);
+  EXPECT_FALSE(det.alarmed());
+}
+
+TEST(KalmanTrend, FalseAlarmRateUnderNullIsLow) {
+  // Property-style: across 100 independent stationary streams, the detector
+  // should essentially never fire.
+  int false_alarms = 0;
+  for (std::uint64_t rep = 0; rep < 100; ++rep) {
+    KalmanTrendDetector det({});
+    for (double y : flat_series(30.0, 500, 100 + rep)) (void)det.observe(y);
+    if (det.alarmed()) ++false_alarms;
+  }
+  EXPECT_LE(false_alarms, 2);
+}
+
+class KalmanGrowthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(KalmanGrowthSweep, DetectsAnySupercriticalGrowth) {
+  const double growth = GetParam();
+  KalmanTrendDetector det({});
+  for (double y : exponential_series(10.0, growth, 120, 7)) {
+    (void)det.observe(y);
+    if (y > 1e7) break;  // series grows fast at high rates
+  }
+  EXPECT_TRUE(det.alarmed()) << "growth " << growth << " went undetected";
+}
+
+INSTANTIATE_TEST_SUITE_P(GrowthRates, KalmanGrowthSweep,
+                         ::testing::Values(1.08, 1.15, 1.3, 1.6, 2.0));
+
+TEST(EwmaThreshold, AlarmsOnBurst) {
+  EwmaThresholdDetector det({});
+  for (double y : flat_series(20.0, 100, 8)) (void)det.observe(y);
+  EXPECT_FALSE(det.alarmed());
+  for (int i = 0; i < 5; ++i) (void)det.observe(500.0);
+  EXPECT_TRUE(det.alarmed());
+}
+
+TEST(EwmaThreshold, QuietOnStationaryTraffic) {
+  EwmaThresholdDetector det({});
+  for (double y : flat_series(20.0, 2'000, 9)) (void)det.observe(y);
+  EXPECT_FALSE(det.alarmed());
+}
+
+TEST(EwmaThreshold, ExceedancesDoNotPoisonBaseline) {
+  EwmaThresholdDetector det({.consecutive_required = 100});  // never actually fires
+  for (double y : flat_series(20.0, 200, 10)) (void)det.observe(y);
+  const double base_before = det.baseline();
+  for (int i = 0; i < 50; ++i) (void)det.observe(1'000.0);
+  EXPECT_NEAR(det.baseline(), base_before, 1e-9)
+      << "attack traffic must not be absorbed into the baseline";
+}
+
+TEST(EwmaThreshold, SlowRampEvadesLevelDetectionButNotTrendDetection) {
+  // A worm ramping at 8%/interval: the EWMA baseline tracks the ramp with a
+  // bounded lag (count/baseline saturates at α / (1 − (1−α)/g) ≈ 2.4 here,
+  // below the 4x threshold), so a level detector NEVER fires — while the
+  // Kalman trend detector does.  This is the §II argument for trend-based
+  // detection, and a fortiori for the paper's detection-free containment.
+  EwmaThresholdDetector ewma({});
+  KalmanTrendDetector kalman({});
+  const auto series = exponential_series(6.0, 1.08, 200, 11);
+  for (double y : series) {
+    (void)ewma.observe(y);
+    (void)kalman.observe(y);
+  }
+  EXPECT_FALSE(ewma.alarmed()) << "level detector should be blind to slow ramps";
+  EXPECT_TRUE(kalman.alarmed());
+}
+
+TEST(Cusum, AlarmsOnSustainedShift) {
+  CusumDetector det({});
+  for (double y : flat_series(20.0, 100, 20)) (void)det.observe(y);
+  EXPECT_FALSE(det.alarmed());
+  // Level doubles: log-shift ≈ 0.69 per interval accumulates past 5 quickly.
+  for (int i = 0; i < 20 && !det.alarmed(); ++i) (void)det.observe(40.0);
+  EXPECT_TRUE(det.alarmed());
+}
+
+TEST(Cusum, QuietOnStationaryNoise) {
+  int false_alarms = 0;
+  for (std::uint64_t rep = 0; rep < 50; ++rep) {
+    CusumDetector det({});
+    for (double y : flat_series(30.0, 1'000, 300 + rep)) (void)det.observe(y);
+    if (det.alarmed()) ++false_alarms;
+  }
+  EXPECT_LE(false_alarms, 2);
+}
+
+TEST(Cusum, CatchesSlowExponentialRamp) {
+  CusumDetector det({});
+  for (double y : flat_series(20.0, 50, 21)) (void)det.observe(y);
+  bool fired = false;
+  const auto ramp = exponential_series(20.0, 1.05, 200, 22);
+  for (double y : ramp) {
+    fired |= det.observe(y);
+    if (fired) break;
+  }
+  EXPECT_TRUE(fired) << "a 5%/interval ramp must eventually trip the CUSUM";
+}
+
+TEST(Cusum, BaselineFreezesOnceEvidenceAccumulates) {
+  CusumDetector det({.threshold = 1e9});  // never alarms, so we can watch it climb
+  for (double y : flat_series(20.0, 100, 23)) (void)det.observe(y);
+  EXPECT_LT(det.statistic(), 2.0);
+  for (int i = 0; i < 200; ++i) (void)det.observe(80.0);
+  // Once the statistic crossed the freeze level, the baseline stopped
+  // absorbing the shift, so evidence keeps accumulating without bound.
+  EXPECT_GT(det.statistic(), 100.0);
+}
+
+TEST(Cusum, ResetAndValidation) {
+  CusumDetector det({});
+  for (int i = 0; i < 50; ++i) (void)det.observe(10.0);
+  for (int i = 0; i < 20; ++i) (void)det.observe(100.0);
+  ASSERT_TRUE(det.alarmed());
+  det.reset();
+  EXPECT_FALSE(det.alarmed());
+  EXPECT_DOUBLE_EQ(det.statistic(), 0.0);
+  EXPECT_THROW(CusumDetector({.drift = -0.1}), support::PreconditionError);
+  EXPECT_THROW(CusumDetector({.threshold = 0.0}), support::PreconditionError);
+  EXPECT_THROW(CusumDetector({.baseline_window = 0.5}), support::PreconditionError);
+}
+
+TEST(EwmaThreshold, ValidationAndReset) {
+  EXPECT_THROW(EwmaThresholdDetector({.smoothing = 0.0}), support::PreconditionError);
+  EXPECT_THROW(EwmaThresholdDetector({.threshold_factor = 1.0}), support::PreconditionError);
+  EwmaThresholdDetector det({});
+  for (int i = 0; i < 10; ++i) (void)det.observe(20.0);
+  for (int i = 0; i < 5; ++i) (void)det.observe(900.0);
+  ASSERT_TRUE(det.alarmed());
+  det.reset();
+  EXPECT_FALSE(det.alarmed());
+  EXPECT_DOUBLE_EQ(det.baseline(), 0.0);
+}
+
+}  // namespace
+}  // namespace worms::detection

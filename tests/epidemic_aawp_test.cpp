@@ -1,0 +1,98 @@
+#include "epidemic/aawp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace worms::epidemic {
+namespace {
+
+TEST(Aawp, EarlyGrowthMatchesLinearization) {
+  // Slammer-ish: V = 120k, 4000 scans/tick (1 tick = 1 s), no deaths.
+  const AawpModel model(
+      {.vulnerable_hosts = 120'000, .address_bits = 32, .scans_per_tick = 4'000.0});
+  const double g = model.early_growth_factor();
+  EXPECT_NEAR(g, 1.0 + 4'000.0 * 120'000.0 / 4294967296.0, 1e-9);
+
+  const auto traj = model.run(1.0, 10);
+  // For n << V the trajectory is geometric with factor g.
+  EXPECT_NEAR(traj[10], std::pow(g, 10.0), std::pow(g, 10.0) * 1e-3);
+}
+
+TEST(Aawp, SaturatesAtVulnerablePopulation) {
+  const AawpModel model(
+      {.vulnerable_hosts = 10'000, .address_bits = 20, .scans_per_tick = 50.0});
+  const auto traj = model.run(10.0, 400);
+  EXPECT_NEAR(traj.back(), 10'000.0, 1.0);
+  for (double n : traj) {
+    EXPECT_GE(n, 0.0);
+    EXPECT_LE(n, 10'000.0 + 1e-9);
+  }
+}
+
+TEST(Aawp, MonotoneWithoutDeaths) {
+  const AawpModel model(
+      {.vulnerable_hosts = 50'000, .address_bits = 24, .scans_per_tick = 5.0});
+  const auto traj = model.run(3.0, 100);
+  for (std::size_t t = 1; t < traj.size(); ++t) {
+    EXPECT_GE(traj[t], traj[t - 1]);
+  }
+}
+
+TEST(Aawp, DeathRateCanExtinguish) {
+  // Early growth factor < 1 ⇒ deterministic die-out.
+  const AawpModel model({.vulnerable_hosts = 10'000,
+                         .address_bits = 32,
+                         .scans_per_tick = 10.0,
+                         .death_rate = 0.5});
+  EXPECT_LT(model.early_growth_factor(), 1.0);
+  const auto traj = model.run(100.0, 200);
+  EXPECT_LT(traj.back(), 1e-6);
+}
+
+TEST(Aawp, ScanOverlapSlowsFastWorms) {
+  // The AAWP hit probability saturates: doubling s must less-than-double the
+  // per-tick infections once s·n is comparable to the address space.
+  const AawpModel::Params base{.vulnerable_hosts = 60'000,
+                               .address_bits = 24,  // small space ⇒ heavy overlap
+                               .scans_per_tick = 100.0};
+  AawpModel::Params doubled = base;
+  doubled.scans_per_tick = 200.0;
+  const AawpModel slow(base);
+  const AawpModel fast(doubled);
+  const double n = 30'000.0;
+  const double gain_slow = slow.step(n) - n;
+  const double gain_fast = fast.step(n) - n;
+  EXPECT_LT(gain_fast, 2.0 * gain_slow)
+      << "overlapping scans must exhibit diminishing returns";
+  EXPECT_GT(gain_fast, gain_slow);
+}
+
+TEST(Aawp, AgreesWithContinuousModelEarlyOn) {
+  // For small s·n the AAWP recurrence is the Euler discretization of RCS:
+  // compare 60 ticks of both at Code Red scale.
+  const AawpModel aawp(
+      {.vulnerable_hosts = 360'000, .address_bits = 32, .scans_per_tick = 6.0});
+  const double beta_v = 6.0 * 360'000.0 / 4294967296.0;  // per tick
+  const auto traj = aawp.run(10.0, 60);
+  const double continuous = 10.0 * std::exp(beta_v * 60.0);
+  EXPECT_NEAR(traj.back(), continuous, continuous * 0.01);
+}
+
+TEST(Aawp, RejectsBadParameters) {
+  EXPECT_THROW(AawpModel({.vulnerable_hosts = 0}), support::PreconditionError);
+  EXPECT_THROW(AawpModel({.vulnerable_hosts = 10, .address_bits = 0}),
+               support::PreconditionError);
+  EXPECT_THROW(AawpModel({.vulnerable_hosts = 10, .scans_per_tick = 0.0}),
+               support::PreconditionError);
+  EXPECT_THROW(
+      AawpModel({.vulnerable_hosts = 10, .scans_per_tick = 1.0, .death_rate = 1.0}),
+      support::PreconditionError);
+  const AawpModel ok({.vulnerable_hosts = 10, .scans_per_tick = 1.0});
+  EXPECT_THROW((void)ok.run(11.0, 5), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::epidemic

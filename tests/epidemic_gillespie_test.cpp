@@ -1,0 +1,112 @@
+#include "epidemic/gillespie.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/galton_watson.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace worms::epidemic {
+namespace {
+
+TEST(Gillespie, SubcriticalAlwaysGoesExtinct) {
+  // βV/δ = 0.5 < 1: every run dies out.
+  const GillespieSir model({.beta = 0.5e-4, .delta = 1.0, .total_hosts = 10'000,
+                            .initial_infected = 3});
+  support::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto r = model.run(rng);
+    EXPECT_TRUE(r.extinct);
+    EXPECT_GE(r.total_infected, 3u);
+  }
+  EXPECT_DOUBLE_EQ(model.branching_extinction_probability(), 1.0);
+}
+
+TEST(Gillespie, ExtinctionFrequencyMatchesBranchingPrediction) {
+  // βV/δ = 2 ⇒ per-lineage extinction 1/2; with I0 = 2, predicted π = 1/4.
+  const GillespieSir model({.beta = 2e-4, .delta = 1.0, .total_hosts = 10'000,
+                            .initial_infected = 2});
+  EXPECT_NEAR(model.branching_extinction_probability(), 0.25, 1e-12);
+
+  support::Rng rng(2);
+  int extinct = 0;
+  const int runs = 1'000;
+  for (int i = 0; i < runs; ++i) {
+    // A supercritical outbreak in a finite population eventually burns out,
+    // but "early extinction" (branching regime) is what we count: runs that
+    // die before infecting 1% of hosts.
+    const auto r = model.run(rng);
+    if (r.extinct && r.total_infected < 100) ++extinct;
+  }
+  const double freq = extinct / static_cast<double>(runs);
+  // SE ≈ sqrt(0.25·0.75/1000) ≈ 0.0137; allow ~4σ.
+  EXPECT_NEAR(freq, 0.25, 0.055);
+}
+
+TEST(Gillespie, TrajectoryRecordingWorks) {
+  const GillespieSir model({.beta = 1e-4, .delta = 1.0, .total_hosts = 1'000,
+                            .initial_infected = 5});
+  support::Rng rng(3);
+  const auto r = model.run(rng, /*record_trajectory=*/true);
+  ASSERT_FALSE(r.event_times.empty());
+  ASSERT_EQ(r.event_times.size(), r.infected.size());
+  for (std::size_t i = 1; i < r.event_times.size(); ++i) {
+    EXPECT_GE(r.event_times[i], r.event_times[i - 1]);
+  }
+  EXPECT_EQ(r.infected.back(), 0u);
+}
+
+TEST(Gillespie, PeakAndTotalAreConsistent) {
+  const GillespieSir model({.beta = 5e-4, .delta = 1.0, .total_hosts = 2'000,
+                            .initial_infected = 10});
+  support::Rng rng(4);
+  const auto r = model.run(rng);
+  EXPECT_GE(r.peak_infected, 10u);
+  EXPECT_LE(r.total_infected, 2'000u);
+  EXPECT_GE(r.total_infected, r.peak_infected);
+}
+
+TEST(Gillespie, NoRemovalMeansEveryoneGetsInfected) {
+  const GillespieSir model({.beta = 1e-3, .delta = 0.0, .total_hosts = 500,
+                            .initial_infected = 1});
+  support::Rng rng(5);
+  const auto r = model.run(rng);
+  EXPECT_EQ(r.total_infected, 500u);
+  EXPECT_FALSE(r.extinct);
+  EXPECT_DOUBLE_EQ(model.branching_extinction_probability(), 0.0);
+}
+
+TEST(Gillespie, AgreesWithGaltonWatsonEarlyPhase) {
+  // Cross-model check: the CTMC's early-phase offspring distribution is
+  // Geometric with mean βV/δ; match its extinction prob against the GW pgf
+  // fixed point computed numerically via our own machinery for Poisson is
+  // different — here we just compare simulated extinction to the birth-death
+  // closed form for three ratios.
+  support::Rng rng(6);
+  for (const double ratio : {1.5, 2.0, 3.0}) {
+    const GillespieSir model({.beta = ratio * 1e-4, .delta = 1.0, .total_hosts = 10'000,
+                              .initial_infected = 1});
+    int extinct = 0;
+    const int runs = 600;
+    for (int i = 0; i < runs; ++i) {
+      const auto r = model.run(rng);
+      if (r.extinct && r.total_infected < 100) ++extinct;
+    }
+    EXPECT_NEAR(extinct / static_cast<double>(runs), 1.0 / ratio, 0.07) << "ratio=" << ratio;
+  }
+}
+
+TEST(Gillespie, RejectsBadParameters) {
+  EXPECT_THROW(GillespieSir({.beta = 0.0, .delta = 1.0, .total_hosts = 10,
+                             .initial_infected = 1}),
+               support::PreconditionError);
+  EXPECT_THROW(GillespieSir({.beta = 1.0, .delta = 1.0, .total_hosts = 10,
+                             .initial_infected = 11}),
+               support::PreconditionError);
+  EXPECT_THROW(GillespieSir({.beta = 1.0, .delta = 1.0, .total_hosts = 10,
+                             .initial_infected = 0}),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::epidemic

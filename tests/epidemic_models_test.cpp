@@ -1,0 +1,175 @@
+#include "epidemic/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace worms::epidemic {
+namespace {
+
+TEST(Rcs, OdeMatchesClosedForm) {
+  // Code Red-ish parameters: β = scan_rate / 2^32 per pair-second.
+  const double beta = 6.0 / 4294967296.0;
+  const RcsModel model(beta, 360'000.0);
+  std::vector<double> times;
+  for (int i = 0; i <= 10; ++i) times.push_back(600.0 * i);
+  const auto sol = model.integrate(10.0, times);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double exact = model.closed_form(times[i], 10.0);
+    EXPECT_NEAR(sol.states[i][0], exact, exact * 1e-5 + 1e-6) << "t=" << times[i];
+  }
+}
+
+TEST(Rcs, SigmoidSaturatesAtV) {
+  const RcsModel model(1e-5, 1'000.0);
+  EXPECT_NEAR(model.closed_form(1e7, 1.0), 1'000.0, 1e-3);
+  EXPECT_NEAR(model.closed_form(0.0, 5.0), 5.0, 1e-12);
+}
+
+TEST(Rcs, EarlyPhaseIsExponential) {
+  // For I << V, I(t) ≈ I0 e^{βVt}.
+  const double beta = 1e-9;
+  const double v = 1e6;
+  const RcsModel model(beta, v);
+  const double t = 1'000.0;
+  EXPECT_NEAR(model.closed_form(t, 1.0), std::exp(beta * v * t), 2e-3);
+}
+
+TEST(TwoFactor, ReducesToRcsWithoutCountermeasures) {
+  const double beta = 2e-9;
+  const double v = 500'000.0;
+  const RcsModel rcs(beta, v);
+  const TwoFactorModel two(
+      {.beta0 = beta, .eta = 0.0, .gamma = 0.0, .mu = 0.0, .total_hosts = v});
+  std::vector<double> times = {0.0, 1'000.0, 3'000.0, 6'000.0};
+  const auto sol = two.integrate(10.0, times);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double exact = rcs.closed_form(times[i], 10.0);
+    EXPECT_NEAR(sol.states[i][0], exact, exact * 1e-5) << "t=" << times[i];
+  }
+}
+
+TEST(TwoFactor, RemovalsSlowTheWorm) {
+  const double beta = 2e-9;
+  const double v = 500'000.0;
+  const TwoFactorModel without(
+      {.beta0 = beta, .eta = 0.0, .gamma = 0.0, .mu = 0.0, .total_hosts = v});
+  const TwoFactorModel with(
+      {.beta0 = beta, .eta = 0.0, .gamma = 5e-4, .mu = 0.0, .total_hosts = v});
+  const std::vector<double> times = {5'000.0};
+  EXPECT_LT(with.integrate(10.0, times).states.back()[0],
+            without.integrate(10.0, times).states.back()[0]);
+}
+
+TEST(TwoFactor, QuarantineDepletesSusceptibles) {
+  const TwoFactorModel model(
+      {.beta0 = 2e-9, .eta = 0.0, .gamma = 0.0, .mu = 1e-8, .total_hosts = 500'000.0});
+  const auto sol = model.integrate(10.0, {10'000.0});
+  const double infected = sol.states.back()[0];
+  const double quarantined = sol.states.back()[2];
+  EXPECT_GT(quarantined, 0.0);
+  // Conservation: I + R + Q <= V.
+  EXPECT_LE(infected + sol.states.back()[1] + quarantined, 500'000.0 + 1e-6);
+}
+
+TEST(TwoFactor, CongestionExponentSlowsSpread) {
+  const double beta = 2e-9;
+  const double v = 500'000.0;
+  const TwoFactorModel flat(
+      {.beta0 = beta, .eta = 0.0, .gamma = 0.0, .mu = 0.0, .total_hosts = v});
+  const TwoFactorModel damped(
+      {.beta0 = beta, .eta = 3.0, .gamma = 0.0, .mu = 0.0, .total_hosts = v});
+  // By mid-outbreak the damped worm must lag.
+  const std::vector<double> times = {8'000.0};
+  EXPECT_LT(damped.integrate(10.0, times).states.back()[0],
+            flat.integrate(10.0, times).states.back()[0]);
+}
+
+TEST(Sir, PopulationIsConserved) {
+  const SirModel model(3e-6, 0.1, 100'000.0);
+  std::vector<double> times;
+  for (int i = 0; i <= 20; ++i) times.push_back(10.0 * i);
+  const auto sol = model.integrate(100.0, times);
+  for (const auto& y : sol.states) {
+    EXPECT_NEAR(y[0] + y[1] + y[2], 100'000.0, 1e-3);
+    EXPECT_GE(y[0], -1e-9);
+    EXPECT_GE(y[1], -1e-9);
+    EXPECT_GE(y[2], -1e-9);
+  }
+}
+
+TEST(Sir, SubcriticalOutbreakDecays) {
+  // R0 < 1: infections must decline monotonically.
+  const SirModel model(1e-7, 0.5, 100'000.0);  // R0 = 0.02
+  EXPECT_LT(model.r0(), 1.0);
+  const auto sol = model.integrate(1'000.0, {0.0, 5.0, 10.0, 20.0});
+  for (std::size_t i = 1; i < sol.size(); ++i) {
+    EXPECT_LT(sol.states[i][1], sol.states[i - 1][1]);
+  }
+}
+
+TEST(Sir, SupercriticalOutbreakPeaks) {
+  const SirModel model(5e-6, 0.1, 100'000.0);  // R0 = 5
+  EXPECT_GT(model.r0(), 1.0);
+  std::vector<double> times;
+  for (int i = 0; i <= 100; ++i) times.push_back(1.0 * i);
+  const auto sol = model.integrate(10.0, times);
+  double peak = 0.0;
+  for (const auto& y : sol.states) peak = std::max(peak, y[1]);
+  EXPECT_GT(peak, 10'000.0);
+  EXPECT_LT(sol.states.back()[1], peak) << "epidemic must eventually decline";
+}
+
+TEST(Sir, FinalSizeEquationMatchesIntegration) {
+  const SirModel model(5e-6, 0.1, 100'000.0);  // R0 = 5
+  const double z = model.final_size_fraction();
+  // Known root of z = 1 − e^{−5z}: z ≈ 0.99302.
+  EXPECT_NEAR(z, 0.99302, 1e-4);
+  // Integrate to (near) completion; R(∞)/V must match the closed form.
+  const auto sol = model.integrate(10.0, {500.0});
+  EXPECT_NEAR(sol.states.back()[2] / 100'000.0, z, 5e-3);
+}
+
+TEST(Sir, FinalSizeZeroWhenSubcritical) {
+  const SirModel model(1e-7, 0.5, 100'000.0);  // R0 = 0.02
+  EXPECT_DOUBLE_EQ(model.final_size_fraction(), 0.0);
+}
+
+TEST(Sir, FinalSizeMonotoneInR0) {
+  double prev = 0.0;
+  for (const double beta : {1.5e-6, 2e-6, 3e-6, 5e-6, 1e-5}) {
+    const SirModel model(beta, 0.1, 100'000.0);
+    const double z = model.final_size_fraction();
+    EXPECT_GT(z, prev);
+    prev = z;
+  }
+  EXPECT_GT(prev, 0.99);
+}
+
+TEST(Sis, ConvergesToEndemicEquilibrium) {
+  const SisModel model(5e-6, 0.1, 100'000.0);
+  const double eq = model.endemic_equilibrium();
+  EXPECT_NEAR(eq, 100'000.0 - 0.1 / 5e-6, 1e-9);
+  const auto sol = model.integrate(10.0, {500.0});
+  EXPECT_NEAR(sol.states.back()[1], eq, eq * 0.01);
+}
+
+TEST(Sis, SubcriticalDiesOut) {
+  const SisModel model(5e-7, 0.5, 100'000.0);  // βV = 0.05 < γ
+  EXPECT_DOUBLE_EQ(model.endemic_equilibrium(), 0.0);
+  const auto sol = model.integrate(100.0, {200.0});
+  EXPECT_LT(sol.states.back()[1], 1.0);
+}
+
+TEST(Models, RejectBadParameters) {
+  EXPECT_THROW(RcsModel(0.0, 100.0), support::PreconditionError);
+  EXPECT_THROW(RcsModel(1e-9, 0.0), support::PreconditionError);
+  EXPECT_THROW(TwoFactorModel({.beta0 = 0.0, .total_hosts = 1.0}), support::PreconditionError);
+  EXPECT_THROW(SirModel(1e-9, -0.1, 100.0), support::PreconditionError);
+  EXPECT_THROW(SisModel(0.0, 0.1, 100.0), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::epidemic

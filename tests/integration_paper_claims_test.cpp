@@ -1,0 +1,125 @@
+// End-to-end reproduction of the paper's headline claims, tying together the
+// planner (core analytics), the worm simulators, and the containment policy.
+// These run at full Code Red / Slammer scale via the hit-level engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/monte_carlo.hpp"
+#include "core/borel_tanner.hpp"
+#include "core/galton_watson.hpp"
+#include "core/planner.hpp"
+#include "stats/gof.hpp"
+#include "worm/hit_level_sim.hpp"
+
+namespace worms {
+namespace {
+
+analysis::MonteCarloOutcome simulate_totals(const worm::WormConfig& config, std::uint64_t m,
+                                            std::uint64_t runs, std::uint64_t base_seed) {
+  return analysis::run_monte_carlo(runs, base_seed,
+                                   [&](std::uint64_t seed, std::uint64_t) {
+                                     worm::HitLevelSimulation sim(config, m, seed);
+                                     return sim.run().total_infected;
+                                   });
+}
+
+TEST(PaperClaims, CodeRedContainedBelow360WithHighProbability) {
+  // §I: "if we restrict the total scans per host to M = 10000, with a high
+  // probability (0.99), the total number of infected hosts ... will be less
+  // than 360."
+  const auto cfg = worm::WormConfig::code_red();
+  const auto mc = simulate_totals(cfg, 10'000, 400, 0xC0DE);
+  EXPECT_GE(mc.empirical_cdf(359), 0.97);  // 0.99 claim − MC noise margin
+}
+
+TEST(PaperClaims, CodeRedFig8Below150WithP95) {
+  // Fig. 8: P{I <= 150} ≈ 0.95 at M = 10000, I0 = 10.
+  const auto cfg = worm::WormConfig::code_red();
+  const auto mc = simulate_totals(cfg, 10'000, 400, 0xF1C8);
+  EXPECT_NEAR(mc.empirical_cdf(150), 0.95, 0.04);
+}
+
+TEST(PaperClaims, CodeRedSimulationMatchesBorelTanner) {
+  // Figs. 7/8: the simulated distribution of I matches the Borel–Tanner law.
+  const auto cfg = worm::WormConfig::code_red();
+  const double lambda = 10'000.0 * cfg.density();
+  const core::BorelTanner bt(lambda, cfg.initial_infected);
+
+  const auto mc = simulate_totals(cfg, 10'000, 500, 0xB0BE);
+  // Compare empirical vs theoretical CDF at several checkpoints.
+  for (const std::uint64_t k : {20u, 40u, 60u, 100u, 150u, 250u}) {
+    EXPECT_NEAR(mc.empirical_cdf(k), bt.cdf(k), 0.06) << "k=" << k;
+  }
+  // Means agree within Monte Carlo error.
+  const double se = std::sqrt(bt.variance() / static_cast<double>(mc.runs));
+  EXPECT_NEAR(mc.summary.mean(), bt.mean(), 5.0 * se);
+}
+
+TEST(PaperClaims, SlammerContainedBelowTwentyWithP95) {
+  // §III-C: for Slammer at M = 10000, P{I > 20} < 0.05.
+  const auto cfg = worm::WormConfig::slammer();
+  const auto mc = simulate_totals(cfg, 10'000, 400, 0x51A3);
+  EXPECT_LE(1.0 - mc.empirical_cdf(20), 0.08);
+}
+
+TEST(PaperClaims, SlammerMatchesBorelTanner) {
+  const auto cfg = worm::WormConfig::slammer();
+  const double lambda = 10'000.0 * cfg.density();
+  const core::BorelTanner bt(lambda, cfg.initial_infected);
+  const auto mc = simulate_totals(cfg, 10'000, 400, 0x51A4);
+  for (const std::uint64_t k : {10u, 12u, 15u, 20u, 25u}) {
+    EXPECT_NEAR(mc.empirical_cdf(k), bt.cdf(k), 0.07) << "k=" << k;
+  }
+}
+
+TEST(PaperClaims, SmallerBudgetContainsTighter) {
+  // Fig. 4/5 ordering: M = 5000 keeps outbreaks strictly smaller than
+  // M = 10000 in distribution.
+  const auto cfg = worm::WormConfig::code_red();
+  const auto m5k = simulate_totals(cfg, 5'000, 300, 0xAAA1);
+  const auto m10k = simulate_totals(cfg, 10'000, 300, 0xAAA2);
+  EXPECT_LT(m5k.summary.mean(), m10k.summary.mean());
+  EXPECT_GT(m5k.empirical_cdf(27), 0.93);  // paper: ≤27 w.p. 0.97 at M=5000
+}
+
+TEST(PaperClaims, PlannerBudgetSurvivesSimulation) {
+  // Close the loop: ask the planner for an M meeting a target, then check by
+  // simulation that the bound holds.
+  const core::Plan plan = core::plan_containment({.vulnerable_hosts = 360'000,
+                                                  .address_bits = 32,
+                                                  .initial_infected = 10,
+                                                  .max_total_infected = 100,
+                                                  .confidence = 0.95});
+  auto cfg = worm::WormConfig::code_red();
+  const auto mc = simulate_totals(cfg, plan.scan_limit, 300, 0x91A);
+  EXPECT_GE(mc.empirical_cdf(100), 0.95 - 0.04);
+}
+
+TEST(PaperClaims, EveryRunIsContainedBelowThreshold) {
+  // Proposition 1 in action: every single subcritical run terminates with
+  // all infected hosts removed.
+  const auto cfg = worm::WormConfig::code_red();
+  for (int k = 0; k < 50; ++k) {
+    worm::HitLevelSimulation sim(cfg, 11'000, 7'000 + k);
+    const auto r = sim.run();
+    EXPECT_TRUE(r.contained);
+    EXPECT_EQ(r.total_removed, r.total_infected);
+  }
+}
+
+TEST(PaperClaims, StealthAndSlowWormsAreEquallyContained) {
+  // §IV/§V: the scheme is rate-agnostic — slow and stealth variants produce
+  // the same I distribution as the plain worm, just on longer wall clocks.
+  auto slow = worm::WormConfig::slow_scanner();
+  auto stealth = worm::WormConfig::stealth_worm();
+  const auto mc_slow = simulate_totals(slow, 10'000, 150, 0x510e);
+  const auto mc_stealth = simulate_totals(stealth, 10'000, 150, 0x57ea);
+
+  const core::BorelTanner bt(10'000.0 * slow.density(), slow.initial_infected);
+  EXPECT_NEAR(mc_slow.summary.mean(), bt.mean(), 12.0);
+  EXPECT_NEAR(mc_stealth.summary.mean(), bt.mean(), 12.0);
+}
+
+}  // namespace
+}  // namespace worms

@@ -1,0 +1,100 @@
+#include "math/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace worms::math {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.at(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  EXPECT_THROW((void)m.at(2, 0), support::PreconditionError);
+}
+
+TEST(Matrix, FromRowsValidatesShape) {
+  const auto m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+  EXPECT_THROW(Matrix::from_rows({{1.0}, {1.0, 2.0}}), support::PreconditionError);
+  EXPECT_THROW(Matrix::from_rows({}), support::PreconditionError);
+}
+
+TEST(Matrix, IdentityAndMultiply) {
+  const auto a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const auto i = Matrix::identity(2);
+  EXPECT_EQ(a.multiply(i), a);
+  EXPECT_EQ(i.multiply(a), a);
+  const auto sq = a.multiply(a);
+  EXPECT_DOUBLE_EQ(sq.at(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(sq.at(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(sq.at(1, 0), 15.0);
+  EXPECT_DOUBLE_EQ(sq.at(1, 1), 22.0);
+}
+
+TEST(Matrix, TransposeAndVectorMultiply) {
+  const auto a = Matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  const auto t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), 6.0);
+  const auto v = a.multiply(std::vector<double>{1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(v[0], 6.0);
+  EXPECT_DOUBLE_EQ(v[1], 15.0);
+}
+
+TEST(SolveLinear, TwoByTwo) {
+  // 2x + y = 5, x − y = 1 ⇒ x = 2, y = 1.
+  const auto x = solve_linear(Matrix::from_rows({{2.0, 1.0}, {1.0, -1.0}}), {5.0, 1.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinear, NeedsPivoting) {
+  // Leading zero forces a row swap.
+  const auto x = solve_linear(Matrix::from_rows({{0.0, 1.0}, {1.0, 0.0}}), {3.0, 4.0});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, LargerSystemRoundTrips) {
+  const auto a = Matrix::from_rows({{4.0, 1.0, 0.0, 0.5},
+                                    {1.0, 5.0, 1.0, 0.0},
+                                    {0.0, 1.0, 6.0, 1.5},
+                                    {0.5, 0.0, 1.5, 7.0}});
+  const std::vector<double> truth = {1.0, -2.0, 3.0, -4.0};
+  const auto b = a.multiply(truth);
+  const auto x = solve_linear(a, b);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(x[i], truth[i], 1e-10);
+}
+
+TEST(SolveLinear, SingularRejected) {
+  EXPECT_THROW((void)solve_linear(Matrix::from_rows({{1.0, 2.0}, {2.0, 4.0}}), {1.0, 2.0}),
+               support::PreconditionError);
+}
+
+TEST(SpectralRadius, DiagonalAndKnownMatrices) {
+  EXPECT_NEAR(spectral_radius(Matrix::from_rows({{3.0, 0.0}, {0.0, 2.0}})), 3.0, 1e-9);
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  EXPECT_NEAR(spectral_radius(Matrix::from_rows({{2.0, 1.0}, {1.0, 2.0}})), 3.0, 1e-9);
+  // Row-stochastic ⇒ Perron root 1.
+  EXPECT_NEAR(spectral_radius(Matrix::from_rows({{0.3, 0.7}, {0.6, 0.4}})), 1.0, 1e-9);
+}
+
+TEST(SpectralRadius, ZeroMatrix) {
+  EXPECT_DOUBLE_EQ(spectral_radius(Matrix(3, 3)), 0.0);
+}
+
+TEST(SpectralRadius, AsymmetricNonNegative) {
+  // [[0, 2],[0.5, 0]]: eigenvalues ±1 ⇒ Perron root 1.
+  EXPECT_NEAR(spectral_radius(Matrix::from_rows({{0.0, 2.0}, {0.5, 0.0}})), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace worms::math

@@ -1,0 +1,98 @@
+#include "math/ode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace worms::math {
+namespace {
+
+/// dy/dt = −y, y(0) = 1 ⇒ y(t) = e^{−t}.
+const OdeRhs kDecay = [](double, const std::vector<double>& y, std::vector<double>& dy) {
+  dy[0] = -y[0];
+};
+
+/// Logistic dy/dt = y(1−y), y(0) = 0.1.
+const OdeRhs kLogistic = [](double, const std::vector<double>& y, std::vector<double>& dy) {
+  dy[0] = y[0] * (1.0 - y[0]);
+};
+
+double logistic_exact(double t, double y0) { return 1.0 / (1.0 + (1.0 / y0 - 1.0) * std::exp(-t)); }
+
+TEST(Rk4, ExponentialDecayAccuracy) {
+  const auto sol = rk4_integrate(kDecay, 0.0, {1.0}, 5.0, 1e-3, 1000);
+  EXPECT_NEAR(sol.states.back()[0], std::exp(-5.0), 1e-9);
+  EXPECT_NEAR(sol.times.back(), 5.0, 1e-9);
+}
+
+TEST(Rk4, FourthOrderConvergence) {
+  // Halving the step should shrink the error by ~16×.
+  const double exact = std::exp(-1.0);
+  const double e1 =
+      std::fabs(rk4_integrate(kDecay, 0.0, {1.0}, 1.0, 0.1).states.back()[0] - exact);
+  const double e2 =
+      std::fabs(rk4_integrate(kDecay, 0.0, {1.0}, 1.0, 0.05).states.back()[0] - exact);
+  EXPECT_GT(e1 / e2, 12.0);
+  EXPECT_LT(e1 / e2, 20.0);
+}
+
+TEST(Rk4, SamplingKeepsFirstAndLast) {
+  const auto sol = rk4_integrate(kDecay, 0.0, {1.0}, 1.0, 0.25, 2);
+  EXPECT_DOUBLE_EQ(sol.times.front(), 0.0);
+  EXPECT_NEAR(sol.times.back(), 1.0, 1e-12);
+}
+
+TEST(Dopri45, LogisticMatchesClosedForm) {
+  std::vector<double> times;
+  for (int i = 0; i <= 20; ++i) times.push_back(0.5 * i);
+  const auto sol = dopri45_integrate(kLogistic, 0.0, {0.1}, times);
+  ASSERT_EQ(sol.size(), times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_NEAR(sol.states[i][0], logistic_exact(times[i], 0.1), 1e-6) << "t=" << times[i];
+  }
+}
+
+TEST(Dopri45, HandlesSampleAtStart) {
+  const auto sol = dopri45_integrate(kDecay, 0.0, {1.0}, {0.0, 1.0});
+  ASSERT_EQ(sol.size(), 2u);
+  EXPECT_DOUBLE_EQ(sol.states[0][0], 1.0);
+  EXPECT_NEAR(sol.states[1][0], std::exp(-1.0), 1e-8);
+}
+
+TEST(Dopri45, StiffishProblemStaysAccurate) {
+  // dy/dt = −50(y − cos t): moderately stiff; adaptive stepping must cope.
+  const OdeRhs rhs = [](double t, const std::vector<double>& y, std::vector<double>& dy) {
+    dy[0] = -50.0 * (y[0] - std::cos(t));
+  };
+  const auto sol = dopri45_integrate(rhs, 0.0, {0.0}, {2.0});
+  // Slow manifold: y ≈ (2500 cos t + 50 sin t)/2501.
+  const double expected = (2500.0 * std::cos(2.0) + 50.0 * std::sin(2.0)) / 2501.0;
+  EXPECT_NEAR(sol.states.back()[0], expected, 1e-5);
+}
+
+TEST(Dopri45, MultiDimensionalSystem) {
+  // Harmonic oscillator: x'' = −x as a 2-D system; energy must be conserved.
+  const OdeRhs rhs = [](double, const std::vector<double>& y, std::vector<double>& dy) {
+    dy[0] = y[1];
+    dy[1] = -y[0];
+  };
+  const auto sol = dopri45_integrate(rhs, 0.0, {1.0, 0.0}, {2.0 * M_PI});
+  EXPECT_NEAR(sol.states.back()[0], 1.0, 1e-6);
+  EXPECT_NEAR(sol.states.back()[1], 0.0, 1e-6);
+}
+
+TEST(Dopri45, RejectsUnsortedSampleTimes) {
+  EXPECT_THROW((void)dopri45_integrate(kDecay, 0.0, {1.0}, {2.0, 1.0}),
+               support::PreconditionError);
+  EXPECT_THROW((void)dopri45_integrate(kDecay, 0.0, {1.0}, {}), support::PreconditionError);
+}
+
+TEST(Rk4, RejectsBadStep) {
+  EXPECT_THROW((void)rk4_integrate(kDecay, 0.0, {1.0}, 1.0, 0.0), support::PreconditionError);
+  EXPECT_THROW((void)rk4_integrate(kDecay, 1.0, {1.0}, 0.0, 0.1), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::math

@@ -1,0 +1,110 @@
+#include "math/specfun.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace worms::math {
+namespace {
+
+TEST(LogFactorial, SmallExactValues) {
+  EXPECT_DOUBLE_EQ(log_factorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(log_factorial(1), 0.0);
+  EXPECT_NEAR(log_factorial(2), std::log(2.0), 1e-14);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-12);
+}
+
+TEST(LogFactorial, TableAndLgammaAgreeAtBoundary) {
+  // Values just below and above the 1024-entry cache must be continuous.
+  EXPECT_NEAR(log_factorial(1023), std::lgamma(1024.0), 1e-8);
+  EXPECT_NEAR(log_factorial(1024), std::lgamma(1025.0), 1e-8);
+  EXPECT_NEAR(log_factorial(5000), std::lgamma(5001.0), 1e-8);
+}
+
+TEST(LogChoose, MatchesDirectComputation) {
+  EXPECT_NEAR(log_choose(10, 3), std::log(120.0), 1e-12);
+  EXPECT_NEAR(log_choose(52, 5), std::log(2598960.0), 1e-10);
+  EXPECT_EQ(log_choose(5, 6), -HUGE_VAL);
+  EXPECT_DOUBLE_EQ(log_choose(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(log_choose(7, 7), 0.0);
+}
+
+TEST(RegularizedGamma, KnownValues) {
+  // P(1, x) = 1 − e^{−x}.
+  for (const double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12) << "x=" << x;
+  }
+  // P(a, a) → 1/2 for large a (median near mean).
+  EXPECT_NEAR(regularized_gamma_p(1000.0, 1000.0), 0.5, 0.01);
+}
+
+TEST(RegularizedGamma, ComplementsSum) {
+  for (const double a : {0.3, 1.0, 4.5, 120.0}) {
+    for (const double x : {0.1, 1.0, 5.0, 130.0}) {
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0, 1e-10)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGamma, ChiSquareTailKnownValue) {
+  // χ²(df=1): P{X > 3.841459} = 0.05 (the classic 95% critical value).
+  EXPECT_NEAR(regularized_gamma_q(0.5, 3.841459 / 2.0), 0.05, 1e-5);
+  // χ²(df=10): P{X > 18.307} = 0.05.
+  EXPECT_NEAR(regularized_gamma_q(5.0, 18.307 / 2.0), 0.05, 1e-4);
+}
+
+TEST(RegularizedGamma, PoissonCdfIdentity) {
+  // P{Poisson(λ) <= k} = Q(k+1, λ): check against a direct sum.
+  const double lambda = 4.2;
+  double sum = 0.0;
+  double term = std::exp(-lambda);
+  for (int k = 0; k <= 12; ++k) {
+    sum += term;
+    EXPECT_NEAR(regularized_gamma_q(k + 1.0, lambda), sum, 1e-10) << "k=" << k;
+    term *= lambda / (k + 1);
+  }
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_DOUBLE_EQ(normal_cdf(0.0), 0.5);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.158655253931457, 1e-12);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (const double p : {1e-6, 0.01, 0.25, 0.5, 0.9, 0.999, 1.0 - 1e-6}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(LogAddExp, BasicAndExtreme) {
+  EXPECT_NEAR(log_add_exp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  // One operand hugely dominant: no overflow, returns the max.
+  EXPECT_NEAR(log_add_exp(1000.0, 0.0), 1000.0, 1e-12);
+  EXPECT_DOUBLE_EQ(log_add_exp(-HUGE_VAL, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(log_add_exp(3.0, -HUGE_VAL), 3.0);
+}
+
+TEST(KolmogorovQ, KnownValues) {
+  // Q(0.8276) ≈ 0.5; tabulated Kolmogorov distribution.
+  EXPECT_NEAR(kolmogorov_q(0.82757), 0.5, 1e-3);
+  // Q(1.3581) ≈ 0.05 (the classic 95% KS critical value).
+  EXPECT_NEAR(kolmogorov_q(1.3581), 0.05, 1e-3);
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+  EXPECT_LT(kolmogorov_q(3.0), 1e-6);
+}
+
+TEST(SpecFun, PreconditionsEnforced) {
+  EXPECT_THROW((void)log_gamma(0.0), support::PreconditionError);
+  EXPECT_THROW((void)regularized_gamma_p(-1.0, 1.0), support::PreconditionError);
+  EXPECT_THROW((void)regularized_gamma_p(1.0, -1.0), support::PreconditionError);
+  EXPECT_THROW((void)normal_quantile(0.0), support::PreconditionError);
+  EXPECT_THROW((void)normal_quantile(1.0), support::PreconditionError);
+  EXPECT_THROW((void)kolmogorov_q(-0.1), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::math

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "math/brent.hpp"
+#include "math/kahan.hpp"
+#include "support/check.hpp"
+
+namespace worms::math {
+namespace {
+
+TEST(Kahan, RecoversTinyTermsNextToHugeOnes) {
+  KahanSum acc;
+  acc.add(1e16);
+  for (int i = 0; i < 10'000; ++i) acc.add(1.0);
+  acc.add(-1e16);
+  EXPECT_DOUBLE_EQ(acc.value(), 10'000.0);
+}
+
+TEST(Kahan, MatchesExactForAlternatingSeries) {
+  KahanSum acc;
+  for (int i = 1; i <= 1'000'000; ++i) {
+    acc.add((i % 2 == 0 ? -1.0 : 1.0) / i);
+  }
+  // Partial sum of alternating harmonic series → ln 2.
+  EXPECT_NEAR(acc.value(), std::log(2.0), 1e-6);
+}
+
+TEST(Kahan, OperatorPlusEqualsAndSeed) {
+  KahanSum acc(5.0);
+  acc += 2.5;
+  acc += -1.5;
+  EXPECT_DOUBLE_EQ(acc.value(), 6.0);
+}
+
+TEST(Brent, FindsSimpleRoot) {
+  const auto r = brent_find_root([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Brent, FindsTranscendentalRoot) {
+  // cos x = x at x ≈ 0.7390851332.
+  const auto r = brent_find_root([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, 0.7390851332151607, 1e-10);
+}
+
+TEST(Brent, AcceptsRootAtBracketEnd) {
+  const auto r = brent_find_root([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.root, 0.0);
+}
+
+TEST(Brent, PgfFixedPointShape) {
+  // The exact equation the extinction solver polishes: e^{2(s−1)} − s = 0 has
+  // a root near 0.2032 besides s = 1.
+  const auto r = brent_find_root([](double s) { return std::exp(2.0 * (s - 1.0)) - s; }, 0.0,
+                                 0.9);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, 0.2031878700, 1e-8);
+}
+
+TEST(Brent, RejectsNonBracketingInterval) {
+  EXPECT_THROW((void)brent_find_root([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               support::PreconditionError);
+  EXPECT_THROW((void)brent_find_root([](double x) { return x; }, 2.0, 1.0),
+               support::PreconditionError);
+}
+
+TEST(Brent, SteepFunctionStillConverges) {
+  const auto r =
+      brent_find_root([](double x) { return std::expm1(50.0 * (x - 0.5)); }, 0.0, 1.0, 1e-14);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, 0.5, 1e-10);
+}
+
+}  // namespace
+}  // namespace worms::math

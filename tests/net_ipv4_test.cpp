@@ -1,0 +1,112 @@
+#include "net/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/address_space.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace worms::net {
+namespace {
+
+TEST(Ipv4Address, FormatKnownValues) {
+  EXPECT_EQ(Ipv4Address(0).to_string(), "0.0.0.0");
+  EXPECT_EQ(Ipv4Address(0xFFFFFFFFu).to_string(), "255.255.255.255");
+  EXPECT_EQ(Ipv4Address(0xC0A80001u).to_string(), "192.168.0.1");
+  EXPECT_EQ(Ipv4Address(0x7F000001u).to_string(), "127.0.0.1");
+}
+
+TEST(Ipv4Address, ParseRoundTrip) {
+  support::Rng rng(1);
+  for (int i = 0; i < 1'000; ++i) {
+    const Ipv4Address a(rng.u32());
+    const auto parsed = Ipv4Address::parse(a.to_string());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  for (const char* bad : {"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "1.2.3.x", "1..2.3",
+                          "01.2.3.4", " 1.2.3.4", "1.2.3.4 ", "-1.2.3.4", "1,2,3,4"}) {
+    EXPECT_FALSE(Ipv4Address::parse(bad).has_value()) << "accepted: " << bad;
+  }
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address(1), Ipv4Address(2));
+  EXPECT_EQ(Ipv4Address(7), Ipv4Address(7));
+}
+
+TEST(Prefix, NormalizesBase) {
+  const Prefix p(*Ipv4Address::parse("10.1.2.3"), 8);
+  EXPECT_EQ(p.base().to_string(), "10.0.0.0");
+  EXPECT_EQ(p.to_string(), "10.0.0.0/8");
+  EXPECT_EQ(p.size(), 1ULL << 24);
+}
+
+TEST(Prefix, Containment) {
+  const Prefix p(*Ipv4Address::parse("192.168.0.0"), 16);
+  EXPECT_TRUE(p.contains(*Ipv4Address::parse("192.168.255.1")));
+  EXPECT_FALSE(p.contains(*Ipv4Address::parse("192.169.0.0")));
+  const Prefix all(Ipv4Address(0), 0);
+  EXPECT_TRUE(all.contains(Ipv4Address(0xFFFFFFFFu)));
+  const Prefix host(*Ipv4Address::parse("1.2.3.4"), 32);
+  EXPECT_TRUE(host.contains(*Ipv4Address::parse("1.2.3.4")));
+  EXPECT_FALSE(host.contains(*Ipv4Address::parse("1.2.3.5")));
+}
+
+TEST(Prefix, EnclosingOfAddress) {
+  const auto p = Prefix::enclosing(*Ipv4Address::parse("172.16.5.9"), 16);
+  EXPECT_EQ(p.to_string(), "172.16.0.0/16");
+}
+
+TEST(Prefix, RejectsBadLength) {
+  EXPECT_THROW(Prefix(Ipv4Address(0), -1), support::PreconditionError);
+  EXPECT_THROW(Prefix(Ipv4Address(0), 33), support::PreconditionError);
+}
+
+TEST(AddressSpace, SizeAndContainment) {
+  const AddressSpace full(32);
+  EXPECT_EQ(full.size(), 1ULL << 32);
+  EXPECT_TRUE(full.contains(Ipv4Address(0xFFFFFFFFu)));
+
+  const AddressSpace small(16);
+  EXPECT_EQ(small.size(), 65'536u);
+  EXPECT_TRUE(small.contains(Ipv4Address(65'535)));
+  EXPECT_FALSE(small.contains(Ipv4Address(65'536)));
+}
+
+TEST(AddressSpace, SamplesStayInUniverse) {
+  const AddressSpace space(12);
+  support::Rng rng(2);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_TRUE(space.contains(space.sample(rng)));
+  }
+}
+
+TEST(AddressSpace, SamplingIsUniformAcrossHalves) {
+  const AddressSpace space(16);
+  support::Rng rng(3);
+  int low = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (space.sample(rng).value() < 32'768) ++low;
+  }
+  EXPECT_NEAR(low / static_cast<double>(n), 0.5, 0.01);
+}
+
+TEST(AddressSpace, DensityMatchesPaperNumbers) {
+  const AddressSpace space(32);
+  // Paper: p = 8.5e-5 for Code Red (V = 360,000 over 2^32).
+  EXPECT_NEAR(space.density(360'000), 8.38e-5, 1e-6);
+  EXPECT_NEAR(space.density(120'000), 2.79e-5, 1e-6);
+}
+
+TEST(AddressSpace, RejectsBadWidth) {
+  EXPECT_THROW(AddressSpace(0), support::PreconditionError);
+  EXPECT_THROW(AddressSpace(33), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::net

@@ -1,0 +1,80 @@
+#include "net/host_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace worms::net {
+namespace {
+
+TEST(HostRegistry, AssignsUniqueAddressesInUniverse) {
+  support::Rng rng(1);
+  const AddressSpace space(20);
+  HostRegistry reg(space, 50'000, rng);
+  ASSERT_EQ(reg.count(), 50'000u);
+
+  std::set<std::uint32_t> seen;
+  for (HostId h = 0; h < reg.count(); ++h) {
+    const Ipv4Address a = reg.address_of(h);
+    EXPECT_TRUE(space.contains(a));
+    EXPECT_TRUE(seen.insert(a.value()).second) << "duplicate address";
+  }
+}
+
+TEST(HostRegistry, LookupInvertsAddressOf) {
+  support::Rng rng(2);
+  HostRegistry reg(AddressSpace(16), 5'000, rng);
+  for (HostId h = 0; h < reg.count(); ++h) {
+    ASSERT_EQ(reg.lookup(reg.address_of(h)), h);
+  }
+}
+
+TEST(HostRegistry, LookupMissReturnsNoHost) {
+  support::Rng rng(3);
+  HostRegistry reg(AddressSpace(16), 1'000, rng);
+  std::set<std::uint32_t> owned;
+  for (HostId h = 0; h < reg.count(); ++h) owned.insert(reg.address_of(h).value());
+  int misses = 0;
+  for (std::uint32_t a = 0; a < 65'536 && misses < 1'000; ++a) {
+    if (owned.count(a)) continue;
+    ++misses;
+    ASSERT_EQ(reg.lookup(Ipv4Address(a)), kNoHost);
+  }
+}
+
+TEST(HostRegistry, DensityIsExact) {
+  support::Rng rng(4);
+  HostRegistry reg(AddressSpace(16), 6'553, rng);
+  EXPECT_NEAR(reg.density(), 6'553.0 / 65'536.0, 1e-12);
+}
+
+TEST(HostRegistry, FullUniverseIsPossible) {
+  support::Rng rng(5);
+  HostRegistry reg(AddressSpace(8), 256, rng);
+  EXPECT_EQ(reg.count(), 256u);
+  // Every address owned exactly once.
+  for (std::uint32_t a = 0; a < 256; ++a) {
+    EXPECT_NE(reg.lookup(Ipv4Address(a)), kNoHost);
+  }
+}
+
+TEST(HostRegistry, DeterministicUnderSeed) {
+  support::Rng r1(6);
+  support::Rng r2(6);
+  HostRegistry a(AddressSpace(20), 10'000, r1);
+  HostRegistry b(AddressSpace(20), 10'000, r2);
+  for (HostId h = 0; h < a.count(); ++h) {
+    ASSERT_EQ(a.address_of(h), b.address_of(h));
+  }
+}
+
+TEST(HostRegistry, RejectsOverfullPopulation) {
+  support::Rng rng(7);
+  EXPECT_THROW(HostRegistry(AddressSpace(8), 257, rng), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::net

@@ -1,0 +1,156 @@
+// Cross-layer property sweeps (parameterized gtest): the same invariants
+// checked pointwise elsewhere, swept across parameter grids so regressions
+// in any layer's numerics surface as a grid cell, not a lucky pass.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/borel_tanner.hpp"
+#include "core/galton_watson.hpp"
+#include "stats/summary.hpp"
+#include "support/rng.hpp"
+#include "worm/hit_level_sim.hpp"
+
+namespace worms {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sweep 1: Borel–Tanner law vs generation-level GW simulation over (λ, I0).
+// ---------------------------------------------------------------------------
+
+class BorelTannerVsGw
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(BorelTannerVsGw, MeanAndTailAgree) {
+  const auto [lambda, i0] = GetParam();
+  const core::BorelTanner law(lambda, i0);
+  const auto off = core::OffspringDistribution::poisson(lambda);
+
+  support::Rng rng(static_cast<std::uint64_t>(lambda * 1e4) + i0);
+  stats::Summary totals;
+  const int runs = 3'000;
+  std::uint64_t above_q90 = 0;
+  const std::uint64_t q90 = law.quantile(0.90);
+  for (int k = 0; k < runs; ++k) {
+    const auto real = core::simulate_galton_watson(off, {.initial = i0}, rng);
+    totals.add(static_cast<double>(real.total_progeny));
+    if (real.total_progeny > q90) ++above_q90;
+  }
+  // Mean within 6 standard errors.
+  EXPECT_NEAR(totals.mean(), law.mean(), 6.0 * std::sqrt(law.variance() / runs))
+      << "lambda=" << lambda << " i0=" << i0;
+  // Tail mass above the 90% quantile must be <= 10% + noise.
+  const double tail = above_q90 / static_cast<double>(runs);
+  EXPECT_LE(tail, 0.10 + 4.0 * std::sqrt(0.1 * 0.9 / runs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LambdaI0Grid, BorelTannerVsGw,
+    ::testing::Combine(::testing::Values(0.2, 0.5, 0.8, 0.9),
+                       ::testing::Values<std::uint64_t>(1, 5, 20)));
+
+// ---------------------------------------------------------------------------
+// Sweep 2: hit-level worm simulator vs the law across (V, M) worlds.
+// ---------------------------------------------------------------------------
+
+struct WorldCase {
+  std::uint32_t vulnerable;
+  int bits;
+  std::uint64_t budget;
+};
+
+class HitLevelVsTheory : public ::testing::TestWithParam<WorldCase> {};
+
+TEST_P(HitLevelVsTheory, EmpiricalCdfTracksBorelTanner) {
+  const WorldCase wc = GetParam();
+  worm::WormConfig cfg;
+  cfg.vulnerable_hosts = wc.vulnerable;
+  cfg.address_bits = wc.bits;
+  cfg.initial_infected = 8;
+  cfg.scan_rate = 50.0;
+
+  const double lambda = static_cast<double>(wc.budget) * cfg.density();
+  ASSERT_LT(lambda, 1.0) << "sweep must stay subcritical";
+  const core::BorelTanner law(lambda, cfg.initial_infected);
+
+  const int runs = 400;
+  stats::Summary totals;
+  int below_median = 0;
+  const auto median = law.quantile(0.5);
+  for (int k = 0; k < runs; ++k) {
+    worm::HitLevelSimulation sim(cfg, wc.budget, 10'000 + k);
+    const auto total = sim.run().total_infected;
+    totals.add(static_cast<double>(total));
+    if (total <= median) ++below_median;
+  }
+  EXPECT_NEAR(totals.mean(), law.mean(), 7.0 * std::sqrt(law.variance() / runs))
+      << "V=" << wc.vulnerable << " bits=" << wc.bits << " M=" << wc.budget;
+  // The median must split the sample roughly in half (finite-population
+  // collisions bias slightly toward smaller outbreaks).
+  const double frac = below_median / static_cast<double>(runs);
+  EXPECT_GT(frac, law.cdf(median) - 0.10);
+  EXPECT_LT(frac, law.cdf(median) + 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, HitLevelVsTheory,
+                         ::testing::Values(WorldCase{1'000, 16, 30},    // λ ≈ 0.46
+                                           WorldCase{2'000, 16, 25},    // λ ≈ 0.76
+                                           WorldCase{5'000, 20, 150},   // λ ≈ 0.72
+                                           WorldCase{20'000, 24, 500},  // λ ≈ 0.60
+                                           WorldCase{2'000, 18, 100})); // λ ≈ 0.76
+
+// ---------------------------------------------------------------------------
+// Sweep 3: Proposition 1 end-to-end — across worlds, budgets at the
+// threshold always contain; the containment certificate never lies.
+// ---------------------------------------------------------------------------
+
+class ContainmentCertificate : public ::testing::TestWithParam<WorldCase> {};
+
+TEST_P(ContainmentCertificate, EveryRunTerminatesWithAllHostsRemoved) {
+  const WorldCase wc = GetParam();
+  worm::WormConfig cfg;
+  cfg.vulnerable_hosts = wc.vulnerable;
+  cfg.address_bits = wc.bits;
+  cfg.initial_infected = 8;
+  cfg.scan_rate = 50.0;
+  for (int k = 0; k < 40; ++k) {
+    worm::HitLevelSimulation sim(cfg, wc.budget, 77'000 + k);
+    const auto r = sim.run();
+    ASSERT_TRUE(r.contained);
+    ASSERT_EQ(r.total_removed, r.total_infected);
+    ASSERT_EQ(r.total_scans, wc.budget * r.total_infected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, ContainmentCertificate,
+                         ::testing::Values(WorldCase{1'000, 16, 30},
+                                           WorldCase{2'000, 16, 25},
+                                           WorldCase{5'000, 20, 150}));
+
+// ---------------------------------------------------------------------------
+// Sweep 4: extinction-by-generation curves are coherent across budgets —
+// monotone in n, anti-monotone in M, and consistent with the ultimate π.
+// ---------------------------------------------------------------------------
+
+class GenerationCurveSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GenerationCurveSweep, CurveIsCoherent) {
+  const std::uint64_t m = GetParam();
+  const double p = 360'000.0 / 4294967296.0;
+  const auto off = core::OffspringDistribution::binomial(m, p);
+  const auto pn = core::extinction_probability_by_generation(off, 1, 50);
+  for (std::size_t n = 1; n < pn.size(); ++n) ASSERT_GE(pn[n], pn[n - 1]);
+  const double pi = core::ultimate_extinction_probability(off);
+  EXPECT_LE(pn.back(), pi + 1e-12);
+  if (off.mean() < 0.95) {
+    EXPECT_GT(pn.back(), 0.9) << "well-subcritical processes die within 50 generations";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, GenerationCurveSweep,
+                         ::testing::Values(1'000u, 2'500u, 5'000u, 7'500u, 10'000u,
+                                           11'000u, 11'930u, 13'000u, 20'000u));
+
+}  // namespace
+}  // namespace worms

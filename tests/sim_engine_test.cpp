@@ -1,0 +1,125 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace worms::sim {
+namespace {
+
+TEST(Engine, ProcessesInOrderAndAdvancesClock) {
+  Engine<int> e;
+  e.schedule_at(2.0, 2);
+  e.schedule_at(1.0, 1);
+  std::vector<int> order;
+  e.run([&](SimTime now, const int& v) {
+    order.push_back(v);
+    EXPECT_DOUBLE_EQ(e.now(), now);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  EXPECT_EQ(e.events_processed(), 2u);
+}
+
+TEST(Engine, HandlersCanScheduleMoreEvents) {
+  Engine<int> e;
+  e.schedule_at(0.0, 0);
+  int count = 0;
+  e.run([&](SimTime, const int& v) {
+    ++count;
+    if (v < 9) e.schedule_in(1.0, v + 1);
+  });
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(e.now(), 9.0);
+}
+
+TEST(Engine, HorizonLeavesFutureEventsPending) {
+  Engine<int> e;
+  e.schedule_at(1.0, 1);
+  e.schedule_at(10.0, 2);
+  int count = 0;
+  e.run([&](SimTime, const int&) { ++count; }, /*horizon=*/5.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  EXPECT_EQ(e.pending(), 1u);
+  // Resuming past the horizon picks the pending event up.
+  e.run([&](SimTime, const int&) { ++count; });
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);
+}
+
+TEST(Engine, StopInsideHandlerHaltsRun) {
+  Engine<int> e;
+  for (int i = 0; i < 10; ++i) e.schedule_at(static_cast<double>(i), i);
+  int count = 0;
+  e.run([&](SimTime, const int& v) {
+    ++count;
+    if (v == 4) e.stop();
+  });
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.pending(), 5u);
+  // Stop request is consumed: a subsequent run drains the rest.
+  e.run([&](SimTime, const int&) { ++count; });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Engine, StopBeforeRunReturnsImmediately) {
+  Engine<int> e;
+  e.schedule_at(1.0, 1);
+  e.stop();
+  int count = 0;
+  e.run([&](SimTime, const int&) { ++count; });
+  EXPECT_EQ(count, 0);
+  e.run([&](SimTime, const int&) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Engine, SchedulingInThePastIsRejected) {
+  Engine<int> e;
+  e.schedule_at(5.0, 1);
+  e.run([&](SimTime, const int&) {
+    EXPECT_THROW(e.schedule_at(1.0, 2), support::PreconditionError);
+    EXPECT_THROW(e.schedule_in(-1.0, 2), support::PreconditionError);
+  });
+}
+
+TEST(Engine, ClearPendingKeepsClock) {
+  Engine<int> e;
+  e.schedule_at(3.0, 1);
+  e.run([](SimTime, const int&) {});
+  e.schedule_at(10.0, 2);
+  e.clear_pending();
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(CallbackEngine, RunsCallbacks) {
+  CallbackEngine e;
+  std::vector<int> order;
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.schedule_at(1.0, [&] {
+    order.push_back(1);
+    e.schedule_in(0.5, [&] { order.push_back(3); });
+  });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(e.events_processed(), 3u);
+}
+
+TEST(CallbackEngine, StopWorks) {
+  CallbackEngine e;
+  int count = 0;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(static_cast<double>(i), [&] {
+      ++count;
+      if (count == 2) e.stop();
+    });
+  }
+  e.run();
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace worms::sim

@@ -1,0 +1,109 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace worms::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.push(3.0, 3);
+  q.push(1.0, 1);
+  q.push(2.0, 2);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EqualTimesPopInInsertionOrder) {
+  EventQueue<int> q;
+  for (int i = 0; i < 100; ++i) q.push(5.0, i);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(q.pop().payload, i) << "FIFO tie-break violated";
+  }
+}
+
+TEST(EventQueue, InterleavedTiesStayStable) {
+  EventQueue<int> q;
+  q.push(1.0, 10);
+  q.push(2.0, 20);
+  q.push(1.0, 11);
+  q.push(2.0, 21);
+  q.push(1.0, 12);
+  EXPECT_EQ(q.pop().payload, 10);
+  EXPECT_EQ(q.pop().payload, 11);
+  EXPECT_EQ(q.pop().payload, 12);
+  EXPECT_EQ(q.pop().payload, 20);
+  EXPECT_EQ(q.pop().payload, 21);
+}
+
+TEST(EventQueue, RandomizedHeapOrderAgainstSort) {
+  EventQueue<std::uint64_t> q;
+  support::Rng rng(1);
+  std::vector<double> times;
+  for (std::uint64_t i = 0; i < 20'000; ++i) {
+    const double t = rng.uniform() * 100.0;
+    times.push_back(t);
+    q.push(t, i);
+  }
+  std::sort(times.begin(), times.end());
+  for (double expected : times) {
+    ASSERT_DOUBLE_EQ(q.pop().time, expected);
+  }
+}
+
+TEST(EventQueue, TopPeeksWithoutRemoval) {
+  EventQueue<int> q;
+  q.push(2.0, 2);
+  q.push(1.0, 1);
+  EXPECT_EQ(q.top().payload, 1);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().payload, 1);
+}
+
+TEST(EventQueue, MixedPushPop) {
+  EventQueue<int> q;
+  support::Rng rng(2);
+  double last = -1.0;
+  int pending = 0;
+  for (int step = 0; step < 50'000; ++step) {
+    if (pending == 0 || rng.uniform() < 0.6) {
+      // Push a time >= the last popped time to mimic simulation scheduling.
+      q.push(last + rng.uniform() * 5.0 + (last < 0 ? 1.0 : 0.0), step);
+      ++pending;
+    } else {
+      const auto e = q.pop();
+      ASSERT_GE(e.time, last);
+      last = e.time;
+      --pending;
+    }
+  }
+}
+
+TEST(EventQueue, EmptyPopThrows) {
+  EventQueue<int> q;
+  EXPECT_THROW((void)q.pop(), support::PreconditionError);
+  EXPECT_THROW((void)q.top(), support::PreconditionError);
+}
+
+TEST(EventQueue, ClearEmptiesButKeepsSequenceMonotone) {
+  EventQueue<int> q;
+  q.push(1.0, 1);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  // After clear, new same-time events still pop in insertion order.
+  q.push(1.0, 10);
+  q.push(1.0, 11);
+  EXPECT_EQ(q.pop().payload, 10);
+  EXPECT_EQ(q.pop().payload, 11);
+}
+
+}  // namespace
+}  // namespace worms::sim

@@ -1,0 +1,120 @@
+#include "stats/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/samplers.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace worms::stats {
+namespace {
+
+TEST(Wilson, KnownValue) {
+  // 8/10 successes at 95%: Wilson interval ≈ [0.490, 0.943].
+  const auto ci = wilson_interval(8, 10);
+  EXPECT_NEAR(ci.lower, 0.490, 0.01);
+  EXPECT_NEAR(ci.upper, 0.943, 0.01);
+  EXPECT_TRUE(ci.contains(0.8));
+}
+
+TEST(Wilson, BehavesAtBoundaries) {
+  // Zero successes: lower bound exactly 0, upper bound positive (the Wald
+  // interval would collapse to [0,0]).
+  const auto zero = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(zero.lower, 0.0);
+  EXPECT_GT(zero.upper, 0.0);
+  EXPECT_LT(zero.upper, 0.12);
+  const auto all = wilson_interval(50, 50);
+  EXPECT_DOUBLE_EQ(all.upper, 1.0);
+  EXPECT_LT(all.lower, 1.0);
+  EXPECT_GT(all.lower, 0.88);
+}
+
+TEST(Wilson, ShrinksWithN) {
+  const auto small = wilson_interval(50, 100);
+  const auto large = wilson_interval(5'000, 10'000);
+  EXPECT_LT(large.width(), small.width() / 5.0);
+}
+
+TEST(Wilson, CoverageIsCalibrated) {
+  // Property: across 500 binomial experiments with p = 0.3, the 95% interval
+  // should contain p ~95% of the time.
+  support::Rng rng(1);
+  int covered = 0;
+  const int reps = 500;
+  for (int i = 0; i < reps; ++i) {
+    const auto successes = sample_binomial(rng, 200, 0.3);
+    if (wilson_interval(successes, 200).contains(0.3)) ++covered;
+  }
+  EXPECT_GE(covered, static_cast<int>(reps * 0.91));
+  EXPECT_LE(covered, static_cast<int>(reps * 0.99));
+}
+
+TEST(MeanInterval, MatchesHandComputation) {
+  // mean 10, sd 2, n 100, 95%: half-width = 1.96·2/10 = 0.392.
+  const auto ci = mean_interval(10.0, 2.0, 100);
+  EXPECT_NEAR(ci.lower, 10.0 - 0.392, 1e-3);
+  EXPECT_NEAR(ci.upper, 10.0 + 0.392, 1e-3);
+}
+
+TEST(Bootstrap, MeanIntervalMatchesNormalTheory) {
+  support::Rng rng(2);
+  std::vector<double> sample;
+  for (int i = 0; i < 400; ++i) sample.push_back(5.0 + 2.0 * sample_normal(rng));
+  const auto boot = bootstrap_interval(
+      sample,
+      [](const std::vector<double>& xs) {
+        double s = 0.0;
+        for (double x : xs) s += x;
+        return s / static_cast<double>(xs.size());
+      },
+      2'000);
+  // Compare against the normal-theory interval around the sample mean.
+  double mean = 0.0;
+  for (double x : sample) mean += x;
+  mean /= sample.size();
+  const auto normal = mean_interval(mean, 2.0, sample.size());
+  EXPECT_NEAR(boot.lower, normal.lower, 0.08);
+  EXPECT_NEAR(boot.upper, normal.upper, 0.08);
+}
+
+TEST(Bootstrap, WorksForNonSmoothStatistics) {
+  // Median of an asymmetric sample — no closed form needed.
+  support::Rng rng(3);
+  std::vector<double> sample;
+  for (int i = 0; i < 300; ++i) sample.push_back(sample_exponential(rng, 1.0));
+  const auto ci = bootstrap_interval(
+      sample,
+      [](const std::vector<double>& xs) {
+        std::vector<double> c = xs;
+        std::nth_element(c.begin(), c.begin() + c.size() / 2, c.end());
+        return c[c.size() / 2];
+      },
+      1'000);
+  // True median of Exp(1) is ln 2 ≈ 0.693.
+  EXPECT_TRUE(ci.contains(std::log(2.0))) << "[" << ci.lower << ", " << ci.upper << "]";
+  EXPECT_LT(ci.width(), 0.35);
+}
+
+TEST(Bootstrap, DeterministicUnderSeed) {
+  const std::vector<double> sample = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto stat = [](const std::vector<double>& xs) { return xs.front(); };
+  const auto a = bootstrap_interval(sample, stat, 200, 0.95, 42);
+  const auto b = bootstrap_interval(sample, stat, 200, 0.95, 42);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(Confidence, Validation) {
+  EXPECT_THROW((void)wilson_interval(5, 0), support::PreconditionError);
+  EXPECT_THROW((void)wilson_interval(5, 4), support::PreconditionError);
+  EXPECT_THROW((void)wilson_interval(1, 2, 1.0), support::PreconditionError);
+  EXPECT_THROW((void)mean_interval(0.0, 1.0, 1), support::PreconditionError);
+  EXPECT_THROW((void)bootstrap_interval({}, [](const auto&) { return 0.0; }),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::stats

@@ -1,0 +1,155 @@
+#include "stats/empirical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hpp"
+#include "support/check.hpp"
+
+namespace worms::stats {
+namespace {
+
+TEST(EmpiricalDistribution, CdfStepFunction) {
+  const EmpiricalDistribution d({1.0, 2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(d.cdf(3.9), 0.75);
+  EXPECT_DOUBLE_EQ(d.cdf(4.0), 1.0);
+}
+
+TEST(EmpiricalDistribution, QuantileInterpolates) {
+  const EmpiricalDistribution d({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 10.0);
+}
+
+TEST(EmpiricalDistribution, MomentsMatchSummary) {
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  const EmpiricalDistribution d(xs);
+  Summary s;
+  for (double x : xs) s.add(x);
+  EXPECT_NEAR(d.mean(), s.mean(), 1e-12);
+  EXPECT_NEAR(d.variance(), s.variance(), 1e-12);
+}
+
+TEST(EmpiricalDistribution, SingleSample) {
+  const EmpiricalDistribution d({7.0});
+  EXPECT_DOUBLE_EQ(d.quantile(0.3), 7.0);
+  EXPECT_DOUBLE_EQ(d.cdf(6.9), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(7.0), 1.0);
+  EXPECT_THROW(EmpiricalDistribution({}), support::PreconditionError);
+}
+
+TEST(FrequencyTable, CountsAndFrequencies) {
+  FrequencyTable t;
+  t.add(3);
+  t.add(3);
+  t.add(5);
+  t.add(10);
+  EXPECT_EQ(t.total(), 4u);
+  EXPECT_EQ(t.count(3), 2u);
+  EXPECT_EQ(t.count(4), 0u);
+  EXPECT_DOUBLE_EQ(t.relative_frequency(3), 0.5);
+  EXPECT_DOUBLE_EQ(t.cumulative_frequency(2), 0.0);
+  EXPECT_DOUBLE_EQ(t.cumulative_frequency(5), 0.75);
+  EXPECT_DOUBLE_EQ(t.cumulative_frequency(100), 1.0);
+  EXPECT_EQ(t.min_value(), 3u);
+  EXPECT_EQ(t.max_value(), 10u);
+}
+
+TEST(FrequencyTable, MomentsMatchDirect) {
+  FrequencyTable t;
+  const std::vector<std::uint64_t> xs = {1, 1, 2, 3, 5, 8, 13};
+  Summary s;
+  for (auto x : xs) {
+    t.add(x);
+    s.add(static_cast<double>(x));
+  }
+  EXPECT_NEAR(t.mean(), s.mean(), 1e-12);
+  EXPECT_NEAR(t.variance(), s.variance(), 1e-12);
+}
+
+TEST(FrequencyTable, EmptyGuards) {
+  const FrequencyTable t;
+  EXPECT_EQ(t.total(), 0u);
+  EXPECT_THROW((void)t.min_value(), support::PreconditionError);
+  EXPECT_THROW((void)t.mean(), support::PreconditionError);
+}
+
+TEST(Histogram, BinningAndDensity) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {0.5, 1.5, 2.5, 2.6, 9.9}) h.add(x);
+  EXPECT_EQ(h.bin_count(0), 2u);  // 0.5, 1.5 both in [0,2)
+  EXPECT_EQ(h.bin_count(1), 2u);  // 2.5, 2.6
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_left(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  // Density integrates to 1: Σ density·width = 1.
+  double integral = 0.0;
+  for (std::size_t i = 0; i < h.bins(); ++i) integral += h.density(i) * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, OutOfRangeClampsToEndBins) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), support::PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), support::PreconditionError);
+}
+
+TEST(Summary, WelfordBasics) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(Summary, MergeEqualsSequential) {
+  Summary a;
+  Summary b;
+  Summary all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    (i < 20 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a;
+  a.add(1.0);
+  a.add(2.0);
+  Summary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Summary, VarianceNeedsTwo) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_THROW((void)s.variance(), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::stats

@@ -1,0 +1,133 @@
+#include "stats/gof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace worms::stats {
+namespace {
+
+TEST(ChiSquare, PerfectFitGivesHighP) {
+  const std::vector<double> obs = {100, 100, 100, 100};
+  const std::vector<double> exp = {100, 100, 100, 100};
+  const auto r = chi_square_test(obs, exp);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.df, 3.0);
+}
+
+TEST(ChiSquare, GrossMismatchGivesTinyP) {
+  const std::vector<double> obs = {200, 50, 50, 100};
+  const std::vector<double> exp = {100, 100, 100, 100};
+  const auto r = chi_square_test(obs, exp);
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(ChiSquare, KnownStatisticValue) {
+  // Classic die example: obs (5,8,9,8,10,20) vs 10 each → χ² = 13.4, df 5,
+  // p ≈ 0.0199.
+  const std::vector<double> obs = {5, 8, 9, 8, 10, 20};
+  const std::vector<double> exp = {10, 10, 10, 10, 10, 10};
+  const auto r = chi_square_test(obs, exp);
+  EXPECT_NEAR(r.statistic, 13.4, 1e-10);
+  EXPECT_NEAR(r.p_value, 0.0199, 1e-3);
+}
+
+TEST(ChiSquare, PoolsSparseCells) {
+  // Tail cells with expectation < 5 must be pooled, not counted separately.
+  const std::vector<double> obs = {50, 30, 2, 1, 0, 1};
+  const std::vector<double> exp = {48, 32, 1.5, 1.0, 0.8, 0.7};
+  const auto r = chi_square_test(obs, exp);
+  // The four sparse tail cells sum to 4.0 < 5 and are folded into the second
+  // pooled cell: {48, 36} ⇒ df = 1.
+  EXPECT_DOUBLE_EQ(r.df, 1.0);
+  EXPECT_GT(r.p_value, 0.5);
+}
+
+TEST(ChiSquare, ExtraConstraintsReduceDf) {
+  const std::vector<double> obs = {100, 110, 90, 100};
+  const std::vector<double> exp = {100, 100, 100, 100};
+  const auto r0 = chi_square_test(obs, exp, 0);
+  const auto r1 = chi_square_test(obs, exp, 1);
+  EXPECT_DOUBLE_EQ(r0.df, 3.0);
+  EXPECT_DOUBLE_EQ(r1.df, 2.0);
+  EXPECT_LT(r1.p_value, r0.p_value);
+}
+
+TEST(ChiSquare, SizeMismatchRejected) {
+  EXPECT_THROW((void)chi_square_test({1.0}, {1.0, 2.0}), support::PreconditionError);
+}
+
+TEST(KsOneSample, UniformSamplesPass) {
+  support::Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 5'000; ++i) xs.push_back(rng.uniform());
+  const auto r = ks_test_one_sample(xs, [](double x) { return x; });
+  EXPECT_GT(r.p_value, 1e-3) << "D=" << r.statistic;
+}
+
+TEST(KsOneSample, ShiftedSamplesFail) {
+  support::Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 5'000; ++i) xs.push_back(0.8 * rng.uniform());
+  const auto r = ks_test_one_sample(xs, [](double x) { return x; });
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsOneSample, ExactSmallCase) {
+  // Single sample at 0.5 against U(0,1): D = 0.5.
+  const auto r = ks_test_one_sample({0.5}, [](double x) { return x; });
+  EXPECT_DOUBLE_EQ(r.statistic, 0.5);
+}
+
+TEST(KsTwoSample, SameDistributionPasses) {
+  support::Rng rng(3);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 3'000; ++i) {
+    a.push_back(rng.uniform());
+    b.push_back(rng.uniform());
+  }
+  const auto r = ks_test_two_sample(a, b);
+  EXPECT_GT(r.p_value, 1e-3) << "D=" << r.statistic;
+}
+
+TEST(KsTwoSample, DifferentDistributionsFail) {
+  support::Rng rng(4);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 3'000; ++i) {
+    a.push_back(rng.uniform());
+    b.push_back(rng.uniform() * rng.uniform());  // Beta-ish, clearly different
+  }
+  const auto r = ks_test_two_sample(a, b);
+  EXPECT_LT(r.p_value, 1e-8);
+}
+
+TEST(KsTwoSample, HandlesTies) {
+  // Integer-valued data (like infection counts) produce many ties; D must
+  // still be the max gap between step functions.
+  const std::vector<double> a = {1, 1, 2, 2, 3};
+  const std::vector<double> b = {1, 2, 2, 3, 3};
+  const auto r = ks_test_two_sample(a, b);
+  EXPECT_NEAR(r.statistic, 0.2, 1e-12);
+}
+
+TEST(KsCalibration, FalsePositiveRateIsControlled) {
+  // Property check of the whole KS pipeline: under the null, p < 0.01 should
+  // occur rarely (~1% of the time).  200 repetitions keep it fast.
+  support::Rng rng(5);
+  int rejections = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    std::vector<double> xs;
+    for (int i = 0; i < 300; ++i) xs.push_back(rng.uniform());
+    if (ks_test_one_sample(xs, [](double x) { return x; }).p_value < 0.01) ++rejections;
+  }
+  EXPECT_LE(rejections, 8) << "KS test rejects true null too often";
+}
+
+}  // namespace
+}  // namespace worms::stats

@@ -1,0 +1,117 @@
+#include "stats/pmf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/kahan.hpp"
+#include "support/check.hpp"
+
+namespace worms::stats {
+namespace {
+
+TEST(BinomialPmf, SmallCaseExactValues) {
+  const BinomialPmf b(4, 0.5);
+  EXPECT_NEAR(b.pmf(0), 1.0 / 16, 1e-14);
+  EXPECT_NEAR(b.pmf(2), 6.0 / 16, 1e-14);
+  EXPECT_NEAR(b.pmf(4), 1.0 / 16, 1e-14);
+  EXPECT_DOUBLE_EQ(b.pmf(5), 0.0);
+}
+
+TEST(BinomialPmf, SumsToOne) {
+  const BinomialPmf b(200, 0.07);
+  math::KahanSum sum;
+  for (std::uint64_t k = 0; k <= 200; ++k) sum.add(b.pmf(k));
+  EXPECT_NEAR(sum.value(), 1.0, 1e-12);
+}
+
+TEST(BinomialPmf, CdfEndpointsAndMonotonicity) {
+  const BinomialPmf b(50, 0.3);
+  EXPECT_NEAR(b.cdf(50), 1.0, 1e-12);
+  double prev = -1.0;
+  for (std::uint64_t k = 0; k <= 50; ++k) {
+    const double c = b.cdf(k);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(BinomialPmf, CdfBothTailsAccurate) {
+  const BinomialPmf b(100, 0.5);
+  // Symmetric: P{X <= 49} + P{X <= 50 from above} ... use known identity
+  // P{X <= 49} = (1 − P{X = 50})/2.
+  EXPECT_NEAR(b.cdf(49), (1.0 - b.pmf(50)) / 2.0, 1e-12);
+}
+
+TEST(BinomialPmf, DegenerateP) {
+  const BinomialPmf zero(10, 0.0);
+  EXPECT_DOUBLE_EQ(zero.pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(zero.pmf(1), 0.0);
+  const BinomialPmf one(10, 1.0);
+  EXPECT_DOUBLE_EQ(one.pmf(10), 1.0);
+  EXPECT_DOUBLE_EQ(one.pmf(9), 0.0);
+}
+
+TEST(BinomialPmf, PaperScaleStability) {
+  // M = 10^6, p = 1e-7: log-space evaluation must stay finite and normalized
+  // over the bulk.
+  const BinomialPmf b(1'000'000, 1e-7);
+  math::KahanSum sum;
+  for (std::uint64_t k = 0; k <= 10; ++k) sum.add(b.pmf(k));
+  EXPECT_NEAR(sum.value(), 1.0, 1e-9);
+}
+
+TEST(PoissonPmf, MatchesSeries) {
+  const PoissonPmf p(2.5);
+  EXPECT_NEAR(p.pmf(0), std::exp(-2.5), 1e-14);
+  EXPECT_NEAR(p.pmf(3), std::exp(-2.5) * 2.5 * 2.5 * 2.5 / 6.0, 1e-14);
+}
+
+TEST(PoissonPmf, CdfViaIncompleteGammaMatchesSummation) {
+  const PoissonPmf p(7.0);
+  math::KahanSum sum;
+  for (std::uint64_t k = 0; k <= 25; ++k) {
+    sum.add(p.pmf(k));
+    EXPECT_NEAR(p.cdf(k), sum.value(), 1e-10) << "k=" << k;
+  }
+}
+
+TEST(PoissonPmf, ZeroLambda) {
+  const PoissonPmf p(0.0);
+  EXPECT_DOUBLE_EQ(p.pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.pmf(3), 0.0);
+  EXPECT_DOUBLE_EQ(p.cdf(0), 1.0);
+}
+
+TEST(GeometricTrialsPmf, BasicValues) {
+  const GeometricTrialsPmf g(0.25);
+  EXPECT_DOUBLE_EQ(g.pmf(0), 0.0);
+  EXPECT_NEAR(g.pmf(1), 0.25, 1e-14);
+  EXPECT_NEAR(g.pmf(2), 0.75 * 0.25, 1e-14);
+  EXPECT_NEAR(g.cdf(2), 1.0 - 0.75 * 0.75, 1e-14);
+  EXPECT_DOUBLE_EQ(g.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(g.variance(), 0.75 / (0.25 * 0.25));
+}
+
+TEST(GeometricTrialsPmf, SumsToOne) {
+  const GeometricTrialsPmf g(0.1);
+  math::KahanSum sum;
+  for (std::uint64_t k = 1; k <= 500; ++k) sum.add(g.pmf(k));
+  EXPECT_NEAR(sum.value(), 1.0, 1e-12);
+}
+
+TEST(GeometricTrialsPmf, CertainSuccess) {
+  const GeometricTrialsPmf g(1.0);
+  EXPECT_DOUBLE_EQ(g.pmf(1), 1.0);
+  EXPECT_DOUBLE_EQ(g.pmf(2), 0.0);
+  EXPECT_DOUBLE_EQ(g.cdf(1), 1.0);
+}
+
+TEST(Pmf, PreconditionsEnforced) {
+  EXPECT_THROW(BinomialPmf(10, -0.1), support::PreconditionError);
+  EXPECT_THROW(PoissonPmf(-1.0), support::PreconditionError);
+  EXPECT_THROW(GeometricTrialsPmf(0.0), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::stats

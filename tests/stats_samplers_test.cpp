@@ -1,0 +1,203 @@
+#include "stats/samplers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/gof.hpp"
+#include "stats/pmf.hpp"
+#include "stats/summary.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace worms::stats {
+namespace {
+
+/// Chi-square goodness-of-fit of a discrete sampler against its pmf object.
+template <typename Pmf, typename Sampler>
+GofResult discrete_gof(const Pmf& pmf, Sampler&& draw, int n, std::uint64_t seed,
+                       std::uint64_t k_max) {
+  support::Rng rng(seed);
+  std::vector<double> observed(k_max + 2, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t k = draw(rng);
+    ++observed[std::min(k, k_max + 1)];
+  }
+  std::vector<double> expected(k_max + 2, 0.0);
+  double below = 0.0;
+  for (std::uint64_t k = 0; k <= k_max; ++k) {
+    expected[k] = pmf.pmf(k) * n;
+    below += pmf.pmf(k);
+  }
+  expected[k_max + 1] = std::max(0.0, 1.0 - below) * n;  // pooled tail
+  return chi_square_test(observed, expected);
+}
+
+TEST(Binomial, SmallNpUsesInversionAndFits) {
+  const BinomialPmf pmf(10'000, 8.38e-5);  // the paper's Code Red regime
+  const auto gof = discrete_gof(
+      pmf, [](support::Rng& r) { return sample_binomial(r, 10'000, 8.38e-5); }, 40'000, 101, 8);
+  EXPECT_GT(gof.p_value, 1e-3) << "chi2=" << gof.statistic << " df=" << gof.df;
+}
+
+TEST(Binomial, LargeNpUsesBtrsAndFits) {
+  const BinomialPmf pmf(1'000, 0.3);
+  const auto gof = discrete_gof(
+      pmf, [](support::Rng& r) { return sample_binomial(r, 1'000, 0.3); }, 40'000, 103, 360);
+  EXPECT_GT(gof.p_value, 1e-3) << "chi2=" << gof.statistic << " df=" << gof.df;
+}
+
+TEST(Binomial, HighPReflectionWorks) {
+  support::Rng rng(7);
+  stats::Summary s;
+  for (int i = 0; i < 20'000; ++i) s.add(static_cast<double>(sample_binomial(rng, 50, 0.9)));
+  EXPECT_NEAR(s.mean(), 45.0, 0.1);
+  EXPECT_NEAR(s.variance(), 4.5, 0.3);
+}
+
+TEST(Binomial, EdgeCases) {
+  support::Rng rng(1);
+  EXPECT_EQ(sample_binomial(rng, 0, 0.5), 0u);
+  EXPECT_EQ(sample_binomial(rng, 100, 0.0), 0u);
+  EXPECT_EQ(sample_binomial(rng, 100, 1.0), 100u);
+  EXPECT_THROW((void)sample_binomial(rng, 10, 1.5), support::PreconditionError);
+}
+
+TEST(Poisson, SmallLambdaKnuthFits) {
+  const PoissonPmf pmf(3.2);
+  const auto gof = discrete_gof(
+      pmf, [](support::Rng& r) { return sample_poisson(r, 3.2); }, 40'000, 107, 15);
+  EXPECT_GT(gof.p_value, 1e-3) << "chi2=" << gof.statistic;
+}
+
+TEST(Poisson, LargeLambdaPtrsFits) {
+  const PoissonPmf pmf(80.0);
+  const auto gof = discrete_gof(
+      pmf, [](support::Rng& r) { return sample_poisson(r, 80.0); }, 40'000, 109, 140);
+  EXPECT_GT(gof.p_value, 1e-3) << "chi2=" << gof.statistic;
+}
+
+TEST(Poisson, ZeroLambdaDegenerate) {
+  support::Rng rng(3);
+  EXPECT_EQ(sample_poisson(rng, 0.0), 0u);
+}
+
+TEST(Geometric, MatchesPmf) {
+  const GeometricTrialsPmf pmf(0.2);
+  support::Rng rng(111);
+  std::vector<double> observed(31, 0.0);
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    observed[std::min<std::uint64_t>(sample_geometric_trials(rng, 0.2), 30)] += 1.0;
+  }
+  std::vector<double> expected(31, 0.0);
+  for (std::uint64_t k = 1; k < 30; ++k) expected[k] = pmf.pmf(k) * n;
+  expected[30] = (1.0 - pmf.cdf(29)) * n;
+  const auto gof = chi_square_test(observed, expected);
+  EXPECT_GT(gof.p_value, 1e-3) << "chi2=" << gof.statistic;
+}
+
+TEST(Geometric, TinyPMeanIsHuge) {
+  // The worm regime: p ≈ 8e-5, mean trials ≈ 12,000.
+  support::Rng rng(113);
+  stats::Summary s;
+  const double p = 8.38e-5;
+  for (int i = 0; i < 30'000; ++i) {
+    s.add(static_cast<double>(sample_geometric_trials(rng, p)));
+  }
+  EXPECT_NEAR(s.mean(), 1.0 / p, 4.0 * (1.0 / p) / std::sqrt(30'000.0));
+  for (int i = 0; i < 1000; ++i) ASSERT_GE(sample_geometric_trials(rng, p), 1u);
+}
+
+TEST(Geometric, POneAlwaysFirstTrial) {
+  support::Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sample_geometric_trials(rng, 1.0), 1u);
+}
+
+TEST(Exponential, MomentsAndKs) {
+  support::Rng rng(115);
+  std::vector<double> xs;
+  for (int i = 0; i < 20'000; ++i) xs.push_back(sample_exponential(rng, 2.0));
+  const auto ks = ks_test_one_sample(xs, [](double x) { return 1.0 - std::exp(-2.0 * x); });
+  EXPECT_GT(ks.p_value, 1e-3) << "D=" << ks.statistic;
+}
+
+TEST(Normal, MomentsAndSymmetry) {
+  support::Rng rng(117);
+  stats::Summary s;
+  for (int i = 0; i < 100'000; ++i) s.add(sample_normal(rng));
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.variance(), 1.0, 0.03);
+}
+
+TEST(LogNormal, MedianIsExpMu) {
+  support::Rng rng(119);
+  std::vector<double> xs;
+  for (int i = 0; i < 20'000; ++i) xs.push_back(sample_lognormal(rng, 2.0, 0.5));
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], std::exp(2.0), 0.3);
+}
+
+TEST(Pareto, TailIndexRecovered) {
+  support::Rng rng(121);
+  // For Pareto(1, α), E[ln X] = 1/α.
+  stats::Summary s;
+  for (int i = 0; i < 50'000; ++i) s.add(std::log(sample_pareto(rng, 1.0, 2.5)));
+  EXPECT_NEAR(s.mean(), 1.0 / 2.5, 0.01);
+  for (int i = 0; i < 1000; ++i) ASSERT_GE(sample_pareto(rng, 1.0, 2.5), 1.0);
+}
+
+TEST(Gamma, MomentsAcrossShapes) {
+  support::Rng rng(123);
+  for (const double shape : {0.5, 1.0, 2.5, 20.0}) {
+    stats::Summary s;
+    for (int i = 0; i < 40'000; ++i) s.add(sample_gamma(rng, shape));
+    EXPECT_NEAR(s.mean(), shape, 5.0 * std::sqrt(shape / 40'000.0)) << "shape=" << shape;
+    EXPECT_NEAR(s.variance(), shape, 0.1 * shape + 0.05) << "shape=" << shape;
+  }
+}
+
+TEST(Erlang, SmallAndLargeNAgreeWithGammaMoments) {
+  support::Rng rng(125);
+  for (const std::uint64_t n : {1ULL, 5ULL, 16ULL, 100ULL, 10'000ULL}) {
+    stats::Summary s;
+    const double rate = 3.0;
+    const int reps = 20'000;
+    for (int i = 0; i < reps; ++i) s.add(sample_erlang(rng, n, rate));
+    const double mean = static_cast<double>(n) / rate;
+    const double sd = std::sqrt(static_cast<double>(n)) / rate;
+    EXPECT_NEAR(s.mean(), mean, 5.0 * sd / std::sqrt(reps)) << "n=" << n;
+  }
+}
+
+TEST(AliasTable, ProbabilitiesNormalized) {
+  const AliasTable table({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(table.probability(0), 0.1);
+  EXPECT_DOUBLE_EQ(table.probability(3), 0.4);
+  EXPECT_EQ(table.size(), 4u);
+}
+
+TEST(AliasTable, EmpiricalFrequenciesMatchWeights) {
+  const AliasTable table({5.0, 0.0, 1.0, 4.0});
+  support::Rng rng(127);
+  std::vector<int> counts(4, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[table.sample(rng)];
+  EXPECT_EQ(counts[1], 0) << "zero-weight index must never be drawn";
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.4, 0.01);
+}
+
+TEST(AliasTable, SingleEntryAndValidation) {
+  const AliasTable one({7.0});
+  support::Rng rng(129);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(one.sample(rng), 0u);
+  EXPECT_THROW(AliasTable({}), support::PreconditionError);
+  EXPECT_THROW(AliasTable({0.0, 0.0}), support::PreconditionError);
+  EXPECT_THROW(AliasTable({-1.0, 2.0}), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::stats

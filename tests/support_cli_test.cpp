@@ -1,0 +1,84 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace worms::support {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv = {"wormctl"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return CliArgs::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesSubcommandAndFlags) {
+  const auto args = parse({"plan", "--hosts", "360000", "--confidence", "0.99"});
+  EXPECT_EQ(args.command(), "plan");
+  EXPECT_EQ(args.get_u64("hosts", 0), 360'000u);
+  EXPECT_DOUBLE_EQ(args.get_double("confidence", 0.0), 0.99);
+}
+
+TEST(Cli, EqualsFormWorks) {
+  const auto args = parse({"simulate", "--budget=10000", "--rate=6.5"});
+  EXPECT_EQ(args.get_u64("budget", 0), 10'000u);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 6.5);
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const auto args = parse({"plan"});
+  EXPECT_EQ(args.get_u64("hosts", 42), 42u);
+  EXPECT_DOUBLE_EQ(args.get_double("confidence", 0.5), 0.5);
+  EXPECT_EQ(args.get_string("out", "def"), "def");
+  EXPECT_FALSE(args.get_bool("verbose"));
+}
+
+TEST(Cli, BooleanFlagForms) {
+  const auto args = parse({"run", "--verbose", "--fast=false", "--strict", "1"});
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_FALSE(args.get_bool("fast", true));
+  EXPECT_TRUE(args.get_bool("strict"));
+}
+
+TEST(Cli, TrailingBooleanFlag) {
+  const auto args = parse({"run", "--hosts", "10", "--dry-run"});
+  EXPECT_EQ(args.get_u64("hosts", 0), 10u);
+  EXPECT_TRUE(args.get_bool("dry-run"));
+}
+
+TEST(Cli, NoCommandIsEmpty) {
+  const auto args = parse({"--hosts", "5"});
+  EXPECT_EQ(args.command(), "");
+  EXPECT_EQ(args.get_u64("hosts", 0), 5u);
+}
+
+TEST(Cli, MalformedTokensRejected) {
+  EXPECT_THROW(parse({"plan", "-x", "1"}), PreconditionError);
+  EXPECT_THROW(parse({"plan", "--", "1"}), PreconditionError);
+}
+
+TEST(Cli, BadNumbersRejected) {
+  const auto args = parse({"plan", "--hosts", "abc", "--rate", "1.2.3", "--flag", "maybe"});
+  EXPECT_THROW((void)args.get_u64("hosts", 0), PreconditionError);
+  EXPECT_THROW((void)args.get_double("rate", 0.0), PreconditionError);
+  EXPECT_THROW((void)args.get_bool("flag"), PreconditionError);
+}
+
+TEST(Cli, UnconsumedTracksTypos) {
+  const auto args = parse({"plan", "--hosts", "10", "--tpyo", "3"});
+  (void)args.get_u64("hosts", 0);
+  const auto stray = args.unconsumed();
+  ASSERT_EQ(stray.size(), 1u);
+  EXPECT_EQ(stray[0], "tpyo");
+}
+
+TEST(Cli, HasMarksConsumed) {
+  const auto args = parse({"plan", "--hosts", "10"});
+  EXPECT_TRUE(args.has("hosts"));
+  EXPECT_FALSE(args.has("absent"));
+  EXPECT_TRUE(args.unconsumed().empty());
+}
+
+}  // namespace
+}  // namespace worms::support

@@ -1,0 +1,136 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace worms::support {
+namespace {
+
+TEST(Splitmix, KnownVector) {
+  // Reference values from the splitmix64 reference implementation with
+  // initial state 0.
+  std::uint64_t s = 0;
+  EXPECT_EQ(splitmix64(s), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(s), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64(s), 0x06c45d188009454fULL);
+}
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.u64(), b.u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.u64() == b.u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100'000.0, 0.5, 0.005);
+}
+
+TEST(Rng, UniformPosNeverZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100'000; ++i) ASSERT_GT(rng.uniform_pos(), 0.0);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(11);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, 500);  // ~5σ for binomial(1e5, 0.1)
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(15);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.between(3, 5);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DerivedStreamsAreIndependent) {
+  // Streams derived from the same base must not collide or correlate in an
+  // obvious way.
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    Rng r = Rng::for_stream(42, k);
+    firsts.insert(r.u64());
+  }
+  EXPECT_EQ(firsts.size(), 1000u) << "first draws of derived streams collided";
+}
+
+TEST(Rng, DeriveSeedSensitiveToBothInputs) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+}
+
+TEST(Rng, JumpDecorrelates) {
+  Rng a(99);
+  Rng b(99);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.u64() == b.u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, U32UsesFullRange) {
+  Rng rng(19);
+  std::uint32_t ors = 0;
+  std::uint32_t ands = ~0u;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.u32();
+    ors |= v;
+    ands &= v;
+  }
+  EXPECT_EQ(ors, ~0u) << "some bit never set";
+  EXPECT_EQ(ands, 0u) << "some bit always set";
+}
+
+}  // namespace
+}  // namespace worms::support

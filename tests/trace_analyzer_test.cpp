@@ -1,0 +1,140 @@
+#include "trace/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/synth.hpp"
+
+namespace worms::trace {
+namespace {
+
+net::Ipv4Address addr(std::uint32_t v) { return net::Ipv4Address(v); }
+
+/// Hand-built micro trace:
+///   host 0: destinations 1,2,3 (3 distinct, 4 connections)
+///   host 1: destination 9 twice (1 distinct)
+///   host 2: silent
+std::vector<ConnRecord> micro_trace() {
+  return {
+      {5.0, 0, addr(2)}, {1.0, 0, addr(1)}, {9.0, 0, addr(3)}, {6.0, 0, addr(1)},
+      {2.0, 1, addr(9)}, {8.0, 1, addr(9)}, {0.5, 3, addr(7)},
+  };
+}
+
+TEST(Analyzer, RankingCountsDistinctAndTotals) {
+  TraceAnalyzer a(micro_trace());
+  const auto ranking = a.activity_ranking();
+  ASSERT_EQ(ranking.size(), 4u);  // hosts 0..3 (host 2 silent but indexed)
+  EXPECT_EQ(ranking[0].host, 0u);
+  EXPECT_EQ(ranking[0].distinct_destinations, 3u);
+  EXPECT_EQ(ranking[0].total_connections, 4u);
+  EXPECT_EQ(ranking[1].distinct_destinations, 1u);
+}
+
+TEST(Analyzer, FractionBelowIgnoresSilentHosts) {
+  TraceAnalyzer a(micro_trace());
+  // Active hosts: 0 (3 distinct), 1 (1), 3 (1).  Below 2 ⇒ 2 of 3.
+  EXPECT_NEAR(a.fraction_below(2), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(a.fraction_below(100), 1.0, 1e-12);
+}
+
+TEST(Analyzer, HostsAboveThreshold) {
+  TraceAnalyzer a(micro_trace());
+  EXPECT_EQ(a.hosts_above(2), 1u);
+  EXPECT_EQ(a.hosts_above(0), 3u);
+  EXPECT_EQ(a.hosts_above(10), 0u);
+}
+
+TEST(Analyzer, GrowthCurveCountsOnlyFirstContacts) {
+  TraceAnalyzer a(micro_trace());
+  const auto curves = a.top_growth_curves(1);
+  ASSERT_EQ(curves.size(), 1u);
+  EXPECT_EQ(curves[0].host, 0u);
+  // First contacts at t = 1 (addr 1), 5 (addr 2), 9 (addr 3); the revisit of
+  // addr 1 at t = 6 must not appear.
+  ASSERT_EQ(curves[0].increment_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(curves[0].increment_times[0], 1.0);
+  EXPECT_DOUBLE_EQ(curves[0].increment_times[1], 5.0);
+  EXPECT_DOUBLE_EQ(curves[0].increment_times[2], 9.0);
+}
+
+TEST(Analyzer, AuditRemovesHostCrossingLimit) {
+  TraceAnalyzer a(micro_trace());
+  // M = 3 distinct in one cycle: host 0 reaches 3 → removed; others don't.
+  const auto report = a.audit_policy({.scan_limit = 3, .cycle_length = 100.0});
+  EXPECT_EQ(report.hosts_removed, 1u);
+  EXPECT_EQ(report.hosts_total, 4u);
+  EXPECT_NEAR(report.removal_fraction, 0.25, 1e-12);
+}
+
+TEST(Analyzer, AuditCountsFlaggedHosts) {
+  TraceAnalyzer a(micro_trace());
+  const auto report =
+      a.audit_policy({.scan_limit = 4, .cycle_length = 100.0, .check_fraction = 0.5});
+  // Host 0 reaches 2 distinct = 0.5·4 → flagged, never removed.
+  EXPECT_EQ(report.hosts_removed, 0u);
+  EXPECT_EQ(report.hosts_flagged, 1u);
+}
+
+TEST(Analyzer, AuditRespectsRepeatsAsNonDistinct) {
+  // Host 1 contacts the same destination twice: with M = 2 it must survive.
+  TraceAnalyzer a(micro_trace());
+  const auto report = a.audit_policy({.scan_limit = 2, .cycle_length = 100.0});
+  // Host 0 is removed (3 distinct >= 2), hosts 1 and 3 are not.
+  EXPECT_EQ(report.hosts_removed, 1u);
+}
+
+TEST(Analyzer, CycleBoundaryResetsDistinctCounts) {
+  // Two distinct destinations but in different cycles: M = 2 never trips.
+  std::vector<ConnRecord> recs = {{1.0, 0, addr(1)}, {150.0, 0, addr(2)}};
+  TraceAnalyzer a(std::move(recs));
+  const auto report = a.audit_policy({.scan_limit = 2, .cycle_length = 100.0});
+  EXPECT_EQ(report.hosts_removed, 0u);
+}
+
+TEST(Analyzer, PaperScenario_M5000IsNonIntrusiveOnLblTrace) {
+  // The paper's §IV conclusion: with a one-month cycle and M = 5000, *no*
+  // host in the (synthesized) LBL trace triggers the containment system.
+  const auto& trace = synthesize_lbl_trace(LblSynthConfig{});
+  TraceAnalyzer a(trace.records);
+  const auto report =
+      a.audit_policy({.scan_limit = 5'000, .cycle_length = 30.0 * sim::kDay});
+  EXPECT_EQ(report.hosts_removed, 0u) << "containment must not disturb clean hosts";
+}
+
+TEST(Analyzer, InjectedWormHostIsCaughtAtExactlyTheBudget) {
+  // Failure injection: overlay worm-like scanning onto a clean trace — one
+  // compromised host contacting thousands of unique addresses in an hour.
+  // The audit must remove exactly that host, and no clean one.
+  auto trace = synthesize_lbl_trace([] {
+    LblSynthConfig small;
+    small.hosts = 100;
+    small.duration = 10.0 * sim::kDay;
+    small.heavy_host_targets = {1500};
+    return small;
+  }());
+  const std::uint32_t worm_host = 100;  // a new, previously silent host
+  for (std::uint32_t i = 0; i < 6'000; ++i) {
+    trace.records.push_back(ConnRecord{
+        2.0 * sim::kDay + i, worm_host,
+        addr(0xC0000000u + i)});  // unique destinations, one per second
+  }
+
+  TraceAnalyzer a(std::move(trace.records));
+  const auto report = a.audit_policy({.scan_limit = 5'000, .cycle_length = 30.0 * sim::kDay});
+  EXPECT_EQ(report.hosts_removed, 1u) << "exactly the injected worm host";
+
+  // And the ranking puts the worm host on top.
+  EXPECT_EQ(a.activity_ranking().front().host, worm_host);
+}
+
+TEST(Analyzer, SmallLimitWouldBeIntrusive) {
+  // Conversely M = 50 would falsely remove a noticeable share — the reason
+  // the paper's 'M can be large' observation matters.
+  const auto& trace = synthesize_lbl_trace(LblSynthConfig{});
+  TraceAnalyzer a(trace.records);
+  const auto report = a.audit_policy({.scan_limit = 50, .cycle_length = 30.0 * sim::kDay});
+  EXPECT_GT(report.hosts_removed, 20u);
+}
+
+}  // namespace
+}  // namespace worms::trace

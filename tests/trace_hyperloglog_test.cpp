@@ -1,0 +1,119 @@
+#include "trace/hyperloglog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace worms::trace {
+namespace {
+
+TEST(HyperLogLog, EmptyEstimatesZero) {
+  const HyperLogLog hll(12);
+  EXPECT_NEAR(hll.estimate(), 0.0, 1e-9);
+}
+
+TEST(HyperLogLog, ExactForVerySmallSets) {
+  HyperLogLog hll(12);
+  for (std::uint64_t v = 0; v < 10; ++v) hll.add(v);
+  // Linear-counting regime: error well under one item here.
+  EXPECT_NEAR(hll.estimate(), 10.0, 0.5);
+}
+
+TEST(HyperLogLog, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (int rep = 0; rep < 1'000; ++rep) {
+    for (std::uint64_t v = 0; v < 50; ++v) hll.add(v);
+  }
+  EXPECT_NEAR(hll.estimate(), 50.0, 3.0);
+}
+
+class HllCardinalitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HllCardinalitySweep, WithinTheoreticalErrorAtP12) {
+  const std::uint64_t n = GetParam();
+  HyperLogLog hll(12);  // expected rel. error ≈ 1.04/√4096 ≈ 1.6%
+  support::Rng rng(n);
+  for (std::uint64_t i = 0; i < n; ++i) hll.add(rng.u64());
+  const double est = hll.estimate();
+  EXPECT_NEAR(est, static_cast<double>(n), 0.06 * static_cast<double>(n))
+      << "4σ-ish bound at precision 12";
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllCardinalitySweep,
+                         ::testing::Values(100u, 1'000u, 10'000u, 100'000u, 1'000'000u));
+
+TEST(HyperLogLog, LowerPrecisionHasLargerButBoundedError) {
+  HyperLogLog hll(6);  // 64 registers, rel. error ≈ 13%
+  support::Rng rng(1);
+  const std::uint64_t n = 50'000;
+  for (std::uint64_t i = 0; i < n; ++i) hll.add(rng.u64());
+  EXPECT_NEAR(hll.estimate(), static_cast<double>(n), 0.5 * static_cast<double>(n));
+}
+
+TEST(HyperLogLog, MergeEqualsUnion) {
+  HyperLogLog a(12);
+  HyperLogLog b(12);
+  HyperLogLog joint(12);
+  support::Rng rng(2);
+  // 30k unique to a, 30k unique to b, 20k shared.
+  for (int i = 0; i < 30'000; ++i) {
+    const auto v = rng.u64();
+    a.add(v);
+    joint.add(v);
+  }
+  for (int i = 0; i < 30'000; ++i) {
+    const auto v = rng.u64();
+    b.add(v);
+    joint.add(v);
+  }
+  for (std::uint64_t v = 0; v < 20'000; ++v) {
+    a.add(v);
+    b.add(v);
+    joint.add(v);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.estimate(), joint.estimate(), 1e-9) << "merge must equal the union sketch";
+  EXPECT_NEAR(a.estimate(), 80'000.0, 6'000.0);
+}
+
+TEST(HyperLogLog, MergePrecisionMismatchRejected) {
+  HyperLogLog a(12);
+  HyperLogLog b(10);
+  EXPECT_THROW(a.merge(b), support::PreconditionError);
+}
+
+TEST(HyperLogLog, PrecisionBoundsEnforced) {
+  EXPECT_THROW(HyperLogLog(3), support::PreconditionError);
+  EXPECT_THROW(HyperLogLog(17), support::PreconditionError);
+  EXPECT_EQ(HyperLogLog(4).register_count(), 16u);
+  EXPECT_EQ(HyperLogLog(16).register_count(), 65'536u);
+}
+
+TEST(ExactDistinctCounter, CountsUnique) {
+  ExactDistinctCounter c;
+  for (std::uint64_t v = 0; v < 100; ++v) {
+    c.add(v % 10);
+  }
+  EXPECT_EQ(c.exact(), 10u);
+  EXPECT_DOUBLE_EQ(c.estimate(), 10.0);
+}
+
+TEST(HllVsExact, AgreeOnTraceScaleCounts) {
+  // The deployment question: does the sketch track the exact counter closely
+  // enough to enforce M ≈ 10^4?  Simulate one host contacting 10k addresses.
+  HyperLogLog hll(12);
+  ExactDistinctCounter exact;
+  support::Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.u32());
+    hll.add(v);
+    exact.add(v);
+  }
+  EXPECT_NEAR(hll.estimate(), exact.estimate(), 0.05 * exact.estimate());
+}
+
+}  // namespace
+}  // namespace worms::trace

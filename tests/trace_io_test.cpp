@@ -1,0 +1,71 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace worms::trace {
+namespace {
+
+std::vector<ConnRecord> sample_records() {
+  return {
+      {0.5, 3, net::Ipv4Address(0x01020304u)},
+      {10.25, 0, net::Ipv4Address(0xFFFFFFFFu)},
+      {86400.0, 1644, net::Ipv4Address(0)},
+  };
+}
+
+TEST(TraceIo, RoundTripThroughStreams) {
+  const auto original = sample_records();
+  std::stringstream buf;
+  write_csv(buf, original);
+  const auto parsed = read_csv(buf);
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(TraceIo, HeaderIsWritten) {
+  std::stringstream buf;
+  write_csv(buf, {});
+  EXPECT_EQ(buf.str(), "timestamp,source_host,destination\n");
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream buf;
+  write_csv(buf, {});
+  EXPECT_TRUE(read_csv(buf).empty());
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::stringstream buf("1.0,2,3.4.5.6\n");
+  EXPECT_THROW((void)read_csv(buf), support::PreconditionError);
+}
+
+TEST(TraceIo, RejectsMalformedRows) {
+  for (const char* row : {"not-a-number,1,1.2.3.4", "1.0,xx,1.2.3.4", "1.0,1,299.0.0.1",
+                          "1.0,1", "1.0"}) {
+    std::stringstream buf(std::string("timestamp,source_host,destination\n") + row + "\n");
+    EXPECT_THROW((void)read_csv(buf), support::PreconditionError) << "accepted: " << row;
+  }
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+  std::stringstream buf("timestamp,source_host,destination\n\n1.5,2,10.0.0.1\n\n");
+  const auto parsed = read_csv(buf);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed[0].timestamp, 1.5);
+  EXPECT_EQ(parsed[0].source_host, 2u);
+  EXPECT_EQ(parsed[0].destination.to_string(), "10.0.0.1");
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto original = sample_records();
+  const std::string path = ::testing::TempDir() + "/worms_trace_io_test.csv";
+  write_csv_file(path, original);
+  EXPECT_EQ(read_csv_file(path), original);
+  EXPECT_THROW((void)read_csv_file(path + ".does-not-exist"), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::trace

@@ -1,0 +1,120 @@
+#include "trace/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/analyzer.hpp"
+
+namespace worms::trace {
+namespace {
+
+/// Shared fixture: synthesizing once keeps the suite fast.
+const SynthTrace& shared_trace() {
+  static const SynthTrace trace = synthesize_lbl_trace(LblSynthConfig{});
+  return trace;
+}
+
+TEST(LblSynth, PopulationSizeMatchesConfig) {
+  EXPECT_EQ(shared_trace().distinct_per_host.size(), 1645u);
+}
+
+TEST(LblSynth, RecordsAreTimeSortedAndInRange) {
+  const auto& recs = shared_trace().records;
+  ASSERT_FALSE(recs.empty());
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    ASSERT_GE(recs[i].timestamp, recs[i - 1].timestamp);
+  }
+  EXPECT_GE(recs.front().timestamp, 0.0);
+  EXPECT_LE(recs.back().timestamp, 30.0 * sim::kDay);
+}
+
+TEST(LblSynth, NinetySevenPercentBelowHundred) {
+  // The paper's §IV headline statistic.
+  const auto& d = shared_trace().distinct_per_host;
+  const auto below = std::count_if(d.begin(), d.end(), [](std::uint32_t x) { return x < 100; });
+  const double frac = static_cast<double>(below) / static_cast<double>(d.size());
+  EXPECT_NEAR(frac, 0.97, 0.015);
+}
+
+TEST(LblSynth, ExactlySixHostsAboveThousand) {
+  const auto& d = shared_trace().distinct_per_host;
+  const auto above = std::count_if(d.begin(), d.end(), [](std::uint32_t x) { return x > 1000; });
+  EXPECT_EQ(above, 6) << "paper: only six hosts contacted more than 1000 distinct IPs";
+}
+
+TEST(LblSynth, MostActiveHostNearFourThousand) {
+  const auto& d = shared_trace().distinct_per_host;
+  EXPECT_EQ(*std::max_element(d.begin(), d.end()), 4000u);
+}
+
+TEST(LblSynth, ReportedDistinctMatchesActualRecords) {
+  // The generator's bookkeeping must agree with what's actually in the trace.
+  const auto& trace = shared_trace();
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> seen;
+  for (const auto& r : trace.records) seen[r.source_host].insert(r.destination.value());
+  for (std::uint32_t h = 0; h < trace.distinct_per_host.size(); ++h) {
+    ASSERT_EQ(seen[h].size(), trace.distinct_per_host[h]) << "host " << h;
+  }
+}
+
+TEST(LblSynth, RevisitsExist) {
+  const auto& trace = shared_trace();
+  std::uint64_t distinct_total = 0;
+  for (const auto d : trace.distinct_per_host) distinct_total += d;
+  EXPECT_GT(trace.records.size(), distinct_total * 2)
+      << "mean_revisits=4 should yield several connections per destination";
+}
+
+TEST(LblSynth, DeterministicUnderSeed) {
+  LblSynthConfig small;
+  small.hosts = 50;
+  small.heavy_host_targets = {1500};
+  const auto a = synthesize_lbl_trace(small);
+  const auto b = synthesize_lbl_trace(small);
+  EXPECT_EQ(a.records, b.records);
+  small.seed ^= 1;
+  const auto c = synthesize_lbl_trace(small);
+  EXPECT_NE(a.records.size(), c.records.size());
+}
+
+TEST(LblSynth, ConfigurableTargetsRespected) {
+  LblSynthConfig cfg;
+  cfg.hosts = 20;
+  cfg.duration = sim::kDay;
+  cfg.heavy_host_targets = {2000, 1200};
+  const auto t = synthesize_lbl_trace(cfg);
+  EXPECT_EQ(t.distinct_per_host[0], 2000u);
+  EXPECT_EQ(t.distinct_per_host[1], 1200u);
+  for (std::uint32_t h = 2; h < 20; ++h) {
+    EXPECT_LT(t.distinct_per_host[h], 1000u);
+  }
+}
+
+TEST(LblSynth, GrowthCurvesSpanTheTrace) {
+  // Fig. 6 shape: the heavy hosts accumulate destinations throughout the
+  // month, not all at once: their first-contact instants must span >75% of
+  // the duration and be reasonably spread.
+  TraceAnalyzer analyzer(shared_trace().records);
+  const auto curves = analyzer.top_growth_curves(6);
+  ASSERT_EQ(curves.size(), 6u);
+  for (const auto& c : curves) {
+    ASSERT_GT(c.increment_times.size(), 1000u);
+    const double span = c.increment_times.back() - c.increment_times.front();
+    EXPECT_GT(span, 0.75 * 30.0 * sim::kDay) << "host " << c.host;
+    // Mid-trace the counter should be somewhere between 20% and 80% of the
+    // final count (roughly steady accumulation, not a single step).
+    const auto mid = std::lower_bound(c.increment_times.begin(), c.increment_times.end(),
+                                      15.0 * sim::kDay) -
+                     c.increment_times.begin();
+    const double mid_frac =
+        static_cast<double>(mid) / static_cast<double>(c.increment_times.size());
+    EXPECT_GT(mid_frac, 0.2) << "host " << c.host;
+    EXPECT_LT(mid_frac, 0.8) << "host " << c.host;
+  }
+}
+
+}  // namespace
+}  // namespace worms::trace

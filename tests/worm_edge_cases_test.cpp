@@ -1,0 +1,140 @@
+// Degenerate and boundary configurations of both engines: single-host
+// universes, everyone already infected, budget of one, fully saturating
+// outbreaks.  These exercise termination logic and counter arithmetic at
+// corners the statistical tests never visit.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/scan_limit_policy.hpp"
+#include "support/check.hpp"
+#include "worm/hit_level_sim.hpp"
+#include "worm/scan_level_sim.hpp"
+
+namespace worms::worm {
+namespace {
+
+TEST(EdgeCases, EveryoneAlreadyInfected) {
+  WormConfig c;
+  c.vulnerable_hosts = 10;
+  c.address_bits = 16;
+  c.initial_infected = 10;  // I0 == V: nothing left to infect
+  c.scan_rate = 10.0;
+  HitLevelSimulation sim(c, /*scan_limit=*/5, 1);
+  const auto r = sim.run();
+  EXPECT_EQ(r.total_infected, 10u);
+  EXPECT_EQ(r.total_removed, 10u);
+  EXPECT_TRUE(r.contained);
+  EXPECT_EQ(r.total_scans, 50u);
+}
+
+TEST(EdgeCases, SingleVulnerableHost) {
+  WormConfig c;
+  c.vulnerable_hosts = 1;
+  c.address_bits = 8;
+  c.initial_infected = 1;
+  c.scan_rate = 5.0;
+  HitLevelSimulation hit(c, 10, 2);
+  const auto rh = hit.run();
+  EXPECT_EQ(rh.total_infected, 1u);
+  EXPECT_TRUE(rh.contained);
+
+  auto policy = std::make_unique<core::ScanCountLimitPolicy>(
+      core::ScanCountLimitPolicy::Config{.scan_limit = 10});
+  ScanLevelSimulation scan(c, std::move(policy), 2);
+  const auto rs = scan.run();
+  EXPECT_EQ(rs.total_infected, 1u);
+  EXPECT_TRUE(rs.contained);
+}
+
+TEST(EdgeCases, BudgetOfOneScan) {
+  // M = 1: each host sends exactly one scan and is removed; total scans ==
+  // total infected, offspring mean = p << 1.
+  WormConfig c;
+  c.vulnerable_hosts = 1'000;
+  c.address_bits = 16;
+  c.initial_infected = 20;
+  c.scan_rate = 10.0;
+  HitLevelSimulation sim(c, 1, 3);
+  const auto r = sim.run();
+  EXPECT_EQ(r.total_scans, r.total_infected);
+  EXPECT_TRUE(r.contained);
+  EXPECT_LT(r.total_infected, 30u);  // λ ≈ 0.015
+}
+
+TEST(EdgeCases, SupercriticalSaturatesWholePopulation) {
+  // No cap, no horizon pressure: a contained-but-supercritical world ends
+  // with every host infected AND removed.
+  WormConfig c;
+  c.vulnerable_hosts = 300;
+  c.address_bits = 12;  // p ≈ 0.073
+  c.initial_infected = 5;
+  c.scan_rate = 20.0;
+  HitLevelSimulation sim(c, 200, 4);  // λ ≈ 14.6
+  const auto r = sim.run();
+  EXPECT_EQ(r.total_infected, 300u);
+  EXPECT_EQ(r.total_removed, 300u);
+  EXPECT_TRUE(r.contained);
+  EXPECT_GE(r.peak_active, 5u);
+  EXPECT_LE(r.peak_active, 300u);
+}
+
+TEST(EdgeCases, ScanLevelSaturationMatches) {
+  WormConfig c;
+  c.vulnerable_hosts = 200;
+  c.address_bits = 12;
+  c.initial_infected = 5;
+  c.scan_rate = 20.0;
+  auto policy = std::make_unique<core::ScanCountLimitPolicy>(
+      core::ScanCountLimitPolicy::Config{.scan_limit = 300});
+  ScanLevelSimulation sim(c, std::move(policy), 5);
+  const auto r = sim.run();
+  EXPECT_EQ(r.total_infected, 200u);
+  EXPECT_EQ(r.total_removed, 200u);
+}
+
+TEST(EdgeCases, GenerationSizesNeverExceedPopulation) {
+  WormConfig c;
+  c.vulnerable_hosts = 500;
+  c.address_bits = 12;
+  c.initial_infected = 2;
+  c.scan_rate = 30.0;
+  HitLevelSimulation sim(c, 100, 6);
+  const auto r = sim.run();
+  std::uint64_t sum = 0;
+  for (const auto g : r.generation_sizes) {
+    sum += g;
+    EXPECT_LE(g, 500u);
+  }
+  EXPECT_EQ(sum, r.total_infected);
+}
+
+TEST(EdgeCases, ZeroHorizonRunsNothing) {
+  WormConfig c;
+  c.vulnerable_hosts = 100;
+  c.address_bits = 12;
+  c.initial_infected = 3;
+  c.scan_rate = 10.0;
+  HitLevelSimulation sim(c, 10, 7);
+  const auto r = sim.run(/*horizon=*/0.0);
+  EXPECT_EQ(r.total_infected, 3u);  // seeds only
+  EXPECT_EQ(r.total_removed, 0u);
+  EXPECT_DOUBLE_EQ(r.end_time, 0.0);
+}
+
+TEST(EdgeCases, TinyAddressSpaceFullOfHosts) {
+  // Universe of 16 addresses, 16 hosts: every scan is a hit.
+  WormConfig c;
+  c.vulnerable_hosts = 16;
+  c.address_bits = 4;
+  c.initial_infected = 1;
+  c.scan_rate = 10.0;
+  HitLevelSimulation sim(c, 8, 8);
+  const auto r = sim.run();
+  EXPECT_TRUE(r.contained);
+  EXPECT_LE(r.total_infected, 16u);
+  EXPECT_GT(r.total_infected, 8u) << "with p = 1 the outbreak should engulf most hosts";
+}
+
+}  // namespace
+}  // namespace worms::worm

@@ -1,0 +1,119 @@
+// Cross-engine validation (ablation A1): the hit-level simulator must be
+// statistically indistinguishable from the exact scan-level simulator for
+// uniform scanning.  We compare the distributions of the total infection
+// count I and of the containment time across a few hundred seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/scan_limit_policy.hpp"
+#include "stats/gof.hpp"
+#include "stats/summary.hpp"
+#include "worm/hit_level_sim.hpp"
+#include "worm/scan_level_sim.hpp"
+
+namespace worms::worm {
+namespace {
+
+WormConfig test_world() {
+  WormConfig c;
+  c.label = "equiv-world";
+  c.vulnerable_hosts = 1'000;
+  c.address_bits = 16;  // p ≈ 0.0153
+  c.initial_infected = 6;
+  c.scan_rate = 20.0;
+  return c;
+}
+
+struct Sample {
+  std::vector<double> totals;
+  std::vector<double> durations;
+};
+
+Sample run_scan_level(const WormConfig& c, std::uint64_t m, int runs, std::uint64_t seed0) {
+  Sample s;
+  for (int k = 0; k < runs; ++k) {
+    auto policy = std::make_unique<core::ScanCountLimitPolicy>(
+        core::ScanCountLimitPolicy::Config{.scan_limit = m});
+    ScanLevelSimulation sim(c, std::move(policy), seed0 + k);
+    const OutbreakResult r = sim.run();
+    s.totals.push_back(static_cast<double>(r.total_infected));
+    s.durations.push_back(r.end_time);
+  }
+  return s;
+}
+
+Sample run_hit_level(const WormConfig& c, std::uint64_t m, int runs, std::uint64_t seed0) {
+  Sample s;
+  for (int k = 0; k < runs; ++k) {
+    HitLevelSimulation sim(c, m, seed0 + k);
+    const OutbreakResult r = sim.run();
+    s.totals.push_back(static_cast<double>(r.total_infected));
+    s.durations.push_back(r.end_time);
+  }
+  return s;
+}
+
+TEST(EngineEquivalence, TotalInfectionDistributionsAgree) {
+  const WormConfig c = test_world();
+  const std::uint64_t m = 40;  // λ ≈ 0.61
+  const int runs = 400;
+  const Sample scan = run_scan_level(c, m, runs, 10'000);
+  const Sample hit = run_hit_level(c, m, runs, 20'000);
+
+  const auto ks = stats::ks_test_two_sample(scan.totals, hit.totals);
+  EXPECT_GT(ks.p_value, 0.01) << "KS D=" << ks.statistic
+                              << " — engines disagree on the distribution of I";
+}
+
+TEST(EngineEquivalence, ContainmentTimeDistributionsAgree) {
+  const WormConfig c = test_world();
+  const std::uint64_t m = 40;
+  const int runs = 300;
+  const Sample scan = run_scan_level(c, m, runs, 30'000);
+  const Sample hit = run_hit_level(c, m, runs, 40'000);
+
+  const auto ks = stats::ks_test_two_sample(scan.durations, hit.durations);
+  EXPECT_GT(ks.p_value, 0.01) << "KS D=" << ks.statistic
+                              << " — engines disagree on containment time";
+}
+
+TEST(EngineEquivalence, MeansAgreeTightly) {
+  const WormConfig c = test_world();
+  const std::uint64_t m = 40;
+  const int runs = 600;
+  const Sample scan = run_scan_level(c, m, runs, 50'000);
+  const Sample hit = run_hit_level(c, m, runs, 60'000);
+
+  stats::Summary ss;
+  stats::Summary hs;
+  for (double v : scan.totals) ss.add(v);
+  for (double v : hit.totals) hs.add(v);
+  const double pooled_se =
+      std::sqrt(ss.variance() / runs + hs.variance() / runs);
+  EXPECT_NEAR(ss.mean(), hs.mean(), 5.0 * pooled_se);
+}
+
+TEST(EngineEquivalence, UncontainedGrowthRatesAgree) {
+  // Without containment both engines should take statistically equal time to
+  // reach a fixed outbreak size.
+  WormConfig c = test_world();
+  c.stop_at_total_infected = 120;
+  const int runs = 200;
+
+  std::vector<double> scan_t;
+  std::vector<double> hit_t;
+  for (int k = 0; k < runs; ++k) {
+    ScanLevelSimulation a(c, nullptr, 70'000 + k);
+    scan_t.push_back(a.run().end_time);
+    HitLevelSimulation b(c, std::nullopt, 80'000 + k);
+    hit_t.push_back(b.run().end_time);
+  }
+  const auto ks = stats::ks_test_two_sample(scan_t, hit_t);
+  EXPECT_GT(ks.p_value, 0.01) << "KS D=" << ks.statistic;
+}
+
+}  // namespace
+}  // namespace worms::worm

@@ -1,0 +1,152 @@
+#include "worm/hit_level_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/borel_tanner.hpp"
+#include "support/check.hpp"
+
+namespace worms::worm {
+namespace {
+
+WormConfig small_world() {
+  WormConfig c;
+  c.label = "test-world";
+  c.vulnerable_hosts = 2'000;
+  c.address_bits = 16;
+  c.initial_infected = 4;
+  c.scan_rate = 10.0;
+  return c;
+}
+
+TEST(HitLevelSim, ContainedRunRemovesEveryInfectedHost) {
+  WormConfig c = small_world();
+  HitLevelSimulation sim(c, /*scan_limit=*/16, 1);
+  const OutbreakResult r = sim.run();
+  EXPECT_TRUE(r.contained);
+  EXPECT_EQ(r.total_removed, r.total_infected);
+}
+
+TEST(HitLevelSim, ScanBudgetExactlyConsumedByRemovedHosts) {
+  WormConfig c = small_world();
+  const std::uint64_t m = 16;
+  HitLevelSimulation sim(c, m, 2);
+  const OutbreakResult r = sim.run();
+  // Every host was removed, and a removed host used exactly M scans.
+  EXPECT_EQ(r.total_scans, m * r.total_infected);
+}
+
+TEST(HitLevelSim, DeterministicUnderSeed) {
+  WormConfig c = small_world();
+  HitLevelSimulation a(c, 16, 77);
+  HitLevelSimulation b(c, 16, 77);
+  const OutbreakResult ra = a.run();
+  const OutbreakResult rb = b.run();
+  EXPECT_EQ(ra.total_infected, rb.total_infected);
+  EXPECT_DOUBLE_EQ(ra.end_time, rb.end_time);
+  EXPECT_EQ(ra.generation_sizes, rb.generation_sizes);
+}
+
+TEST(HitLevelSim, InfectionCapStopsRun) {
+  WormConfig c = small_world();
+  c.stop_at_total_infected = 50;
+  HitLevelSimulation sim(c, std::nullopt, 3);
+  const OutbreakResult r = sim.run();
+  EXPECT_EQ(r.total_infected, 50u);
+  EXPECT_TRUE(r.hit_infection_cap);
+}
+
+TEST(HitLevelSim, TotalInfectionsTrackBorelTannerMean) {
+  // Subcritical budget: empirical mean of I over many runs ≈ I0/(1−λ).
+  WormConfig c = small_world();
+  c.initial_infected = 10;
+  const std::uint64_t m = 16;  // λ = 16 · 2000/65536 ≈ 0.488
+  const double lambda = static_cast<double>(m) * c.density();
+  const core::BorelTanner bt(lambda, c.initial_infected);
+
+  double sum = 0.0;
+  const int runs = 1500;
+  for (int k = 0; k < runs; ++k) {
+    HitLevelSimulation sim(c, m, 1000 + k);
+    sum += static_cast<double>(sim.run().total_infected);
+  }
+  const double mean = sum / runs;
+  // std(I) ≈ sqrt(10·0.49/0.134) ≈ 6.0 ⇒ SE ≈ 0.16; allow ~6σ plus the small
+  // finite-population bias (collisions slightly reduce infections).
+  EXPECT_NEAR(mean, bt.mean(), 1.0);
+}
+
+TEST(HitLevelSim, ExtinctionIsCertainBelowThreshold) {
+  WormConfig c = small_world();
+  for (int k = 0; k < 100; ++k) {
+    HitLevelSimulation sim(c, 16, 500 + k);
+    EXPECT_TRUE(sim.run().contained);
+  }
+}
+
+TEST(HitLevelSim, SupercriticalBudgetOftenExplodes) {
+  WormConfig c = small_world();
+  c.initial_infected = 10;
+  c.stop_at_total_infected = 1'000;
+  const std::uint64_t m = 100;  // λ ≈ 3.05 — far supercritical
+  int exploded = 0;
+  for (int k = 0; k < 50; ++k) {
+    HitLevelSimulation sim(c, m, 900 + k);
+    if (sim.run().hit_infection_cap) ++exploded;
+  }
+  EXPECT_GT(exploded, 40) << "λ≈3 with 10 roots should almost surely blow up";
+}
+
+TEST(HitLevelSim, ObserversMatchResult) {
+  WormConfig c = small_world();
+  HitLevelSimulation sim(c, 16, 5);
+  SamplePathRecorder path;
+  sim.add_observer(&path);
+  const OutbreakResult r = sim.run();
+  EXPECT_EQ(path.points().back().cumulative_infected, r.total_infected);
+  EXPECT_EQ(path.points().back().active_infected, 0u);
+  EXPECT_EQ(path.peak_active(), r.peak_active);
+}
+
+TEST(HitLevelSim, StealthOnlyStretchesTime) {
+  // Stealth must not change the distribution of I, only the wall clock.
+  // (Per-seed equality does NOT hold: the duty cycle reorders events, which
+  // permutes subsequent draws — so we compare distributions, not runs.)
+  WormConfig plain = small_world();
+  WormConfig stealth = small_world();
+  // Window must be short relative to a host's ~1.6 s scanning lifetime
+  // (16 scans at 10/s) or the duty cycle never engages.
+  stealth.stealth.on_time = 0.2;
+  stealth.stealth.off_time = 1.8;  // 10% duty ⇒ ~10x slower wall clock
+
+  double sum_plain = 0.0;
+  double sum_stealth = 0.0;
+  double t_plain = 0.0;
+  double t_stealth = 0.0;
+  const int runs = 400;
+  for (int k = 0; k < runs; ++k) {
+    HitLevelSimulation a(plain, 16, 3000 + k);
+    HitLevelSimulation b(stealth, 16, 3000 + k);
+    const auto ra = a.run();
+    const auto rb = b.run();
+    sum_plain += static_cast<double>(ra.total_infected);
+    sum_stealth += static_cast<double>(rb.total_infected);
+    t_plain += ra.end_time;
+    t_stealth += rb.end_time;
+  }
+  // Means agree within Monte Carlo noise (std(I) ≈ 2.7 here ⇒ SE ≈ 0.14).
+  EXPECT_NEAR(sum_plain / runs, sum_stealth / runs, 0.8);
+  EXPECT_GT(t_stealth, 5.0 * t_plain);
+}
+
+TEST(HitLevelSim, RejectsNonUniformStrategy) {
+  WormConfig c = small_world();
+  c.strategy = ScanStrategy::LocalPreference;
+  EXPECT_THROW(HitLevelSimulation(c, 16, 1), support::PreconditionError);
+}
+
+TEST(HitLevelSim, RejectsZeroScanLimit) {
+  EXPECT_THROW(HitLevelSimulation(small_world(), 0, 1), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::worm

@@ -1,0 +1,334 @@
+// Tests for the scan-level engine's extensions: benign background traffic
+// (live false-positive measurement), check-and-restore, and permutation
+// scanning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "core/scan_limit_policy.hpp"
+#include "support/check.hpp"
+#include "worm/hit_level_sim.hpp"
+#include "worm/scan_level_sim.hpp"
+
+namespace worms::worm {
+namespace {
+
+WormConfig small_world() {
+  WormConfig c;
+  c.label = "mixed-world";
+  c.vulnerable_hosts = 2'000;
+  c.address_bits = 16;
+  c.initial_infected = 4;
+  c.scan_rate = 10.0;
+  return c;
+}
+
+// ---------------- benign traffic ----------------
+
+TEST(BenignTraffic, FlowsFreelyUnderGenerousBudget) {
+  WormConfig c = small_world();
+  c.initial_infected = 1;
+  c.benign.host_count = 50;
+  c.benign.connection_rate = 1.0;
+  auto policy = std::make_unique<core::ScanCountLimitPolicy>(
+      core::ScanCountLimitPolicy::Config{.scan_limit = 10'000});
+  ScanLevelSimulation sim(c, std::move(policy), 1);
+  const auto r = sim.run(/*horizon=*/200.0);
+  // ~50 hosts × 1/s × 200 s ≈ 10k connections, none disturbed.
+  EXPECT_GT(r.benign_connections, 7'000u);
+  EXPECT_EQ(r.benign_false_removals, 0u);
+}
+
+TEST(BenignTraffic, TinyBudgetCausesFalseRemovals) {
+  WormConfig c = small_world();
+  c.initial_infected = 1;
+  c.benign.host_count = 50;
+  c.benign.connection_rate = 1.0;
+  c.benign.new_destination_probability = 1.0;  // every connection is "new"
+  auto policy = std::make_unique<core::ScanCountLimitPolicy>(
+      core::ScanCountLimitPolicy::Config{.scan_limit = 20});
+  ScanLevelSimulation sim(c, std::move(policy), 2);
+  const auto r = sim.run(/*horizon=*/100.0);
+  EXPECT_EQ(r.benign_false_removals, 50u)
+      << "every always-new-destination host must hit a 20-scan budget in 100 s";
+}
+
+TEST(BenignTraffic, RepetitiveTrafficSurvivesDistinctCounting) {
+  // With exact distinct counting, revisits don't consume budget: hosts whose
+  // working set is small stay under even a modest limit.
+  WormConfig c = small_world();
+  c.initial_infected = 1;
+  c.benign.host_count = 30;
+  c.benign.connection_rate = 2.0;
+  c.benign.new_destination_probability = 0.02;
+  c.benign.working_set_size = 4;
+  auto policy = std::make_unique<core::ScanCountLimitPolicy>(core::ScanCountLimitPolicy::Config{
+      .scan_limit = 50, .counting = core::ScanCountLimitPolicy::CountingMode::ExactDistinct});
+  ScanLevelSimulation sim(c, std::move(policy), 3);
+  const auto r = sim.run(/*horizon=*/300.0);
+  // Expected new destinations per host ≈ 2/s·300s·0.02 = 12 << 50.
+  EXPECT_EQ(r.benign_false_removals, 0u);
+  EXPECT_GT(r.benign_connections, 10'000u);
+}
+
+TEST(BenignTraffic, FalseRemovedHostsAreRestoredAfterChecking) {
+  WormConfig c = small_world();
+  c.initial_infected = 1;
+  c.benign.host_count = 10;
+  c.benign.connection_rate = 5.0;
+  c.benign.new_destination_probability = 1.0;
+  c.check_duration = 10.0;
+  auto policy = std::make_unique<core::ScanCountLimitPolicy>(
+      core::ScanCountLimitPolicy::Config{.scan_limit = 25});
+  ScanLevelSimulation sim(c, std::move(policy), 4);
+  const auto r = sim.run(/*horizon=*/500.0);
+  // Hosts cycle: ~5 s to burn 25 scans, 10 s checking, repeat.
+  EXPECT_GT(r.benign_false_removals, 100u);
+  EXPECT_GT(r.benign_restored, 100u);
+  // Restores lag removals by at most the in-flight check.
+  EXPECT_GE(r.benign_false_removals, r.benign_restored);
+  EXPECT_LE(r.benign_false_removals - r.benign_restored, 10u);
+}
+
+TEST(BenignTraffic, WormIsStillContainedAmidBenignTraffic) {
+  // Benign hosts revisit heavily (1% new destinations), so with exact
+  // distinct counting they accumulate ~5 unique addresses over the horizon —
+  // far under the worm budget that removes every infected host.
+  WormConfig c = small_world();
+  c.benign.host_count = 100;
+  c.benign.connection_rate = 0.5;
+  c.benign.new_destination_probability = 0.01;
+  auto policy = std::make_unique<core::ScanCountLimitPolicy>(core::ScanCountLimitPolicy::Config{
+      .scan_limit = 16, .counting = core::ScanCountLimitPolicy::CountingMode::ExactDistinct});
+  ScanLevelSimulation sim(c, std::move(policy), 5);
+  const auto r = sim.run(/*horizon=*/1'000.0);
+  EXPECT_EQ(r.total_removed, r.total_infected) << "all infected hosts removed";
+  EXPECT_LT(r.total_infected, 100u);
+  EXPECT_LE(r.benign_false_removals, 2u) << "repetitive traffic must stay under the budget";
+}
+
+TEST(BenignTraffic, RejectedOnHitLevelEngine) {
+  WormConfig c = small_world();
+  c.benign.host_count = 10;
+  EXPECT_THROW(HitLevelSimulation(c, 16, 1), support::PreconditionError);
+}
+
+// ---------------- end-of-cycle sweeps ----------------
+
+TEST(CycleSweep, BelowBudgetWormIsKilledBySweep) {
+  // A worm that scans only ~20 addresses per cycle under a budget of 1000
+  // never trips the counter — the failure mode end-of-cycle checking exists
+  // for.  Each sweep cleans everything infected so far.
+  WormConfig c = small_world();
+  c.scan_rate = 0.1;                 // 20 scans per 200 s cycle
+  c.cycle_sweep_interval = 200.0;
+  auto policy = std::make_unique<core::ScanCountLimitPolicy>(
+      core::ScanCountLimitPolicy::Config{.scan_limit = 1'000, .cycle_length = 200.0});
+  ScanLevelSimulation sim(c, std::move(policy), 21);
+  const auto r = sim.run(/*horizon=*/10'000.0);
+  EXPECT_EQ(r.total_removed, r.total_infected);
+  EXPECT_TRUE(r.contained);
+  // One cycle of spreading at λ_cycle = 20·p ≈ 0.6 from 4 roots: small.
+  EXPECT_LT(r.total_infected, 60u);
+}
+
+TEST(CycleSweep, SweepTimeBoundsInfectionWindow) {
+  // All removals happen exactly at sweep instants (the budget never fires).
+  WormConfig c = small_world();
+  c.scan_rate = 0.05;
+  c.cycle_sweep_interval = 100.0;
+
+  struct SweepCheck : OutbreakObserver {
+    void on_removal(sim::SimTime now, net::HostId) override {
+      const double phase = std::fmod(now, 100.0);
+      EXPECT_TRUE(phase < 1e-6 || phase > 100.0 - 1e-6) << "removal at t=" << now;
+    }
+  } check;
+
+  ScanLevelSimulation sim(c, nullptr, 22);
+  sim.add_observer(&check);
+  const auto r = sim.run(/*horizon=*/5'000.0);
+  EXPECT_EQ(r.total_removed, r.total_infected);
+}
+
+TEST(CycleSweep, DisabledByDefault) {
+  WormConfig c = small_world();
+  c.stop_at_total_infected = 30;
+  ScanLevelSimulation sim(c, nullptr, 23);
+  const auto r = sim.run(/*horizon=*/1'000.0);
+  EXPECT_EQ(r.total_removed, 0u);
+}
+
+// ---------------- congestion (two-factor) thinning ----------------
+
+TEST(Congestion, SlowsTheOutbreakMonotonically) {
+  // Higher η ⇒ more dropped scans once a chunk of the population is infected
+  // ⇒ longer time to any fixed outbreak size.
+  WormConfig c = small_world();
+  c.initial_infected = 10;
+  c.stop_at_total_infected = 600;  // 30% of V: congestion clearly bites
+
+  double prev_mean = 0.0;
+  for (const double eta : {0.0, 2.0, 5.0}) {
+    c.congestion_eta = eta;
+    double sum = 0.0;
+    const int runs = 8;
+    for (int k = 0; k < runs; ++k) {
+      ScanLevelSimulation sim(c, nullptr, 5'000 + k);
+      sum += sim.run(/*horizon=*/10'000.0).end_time;
+    }
+    const double mean = sum / runs;
+    EXPECT_GT(mean, prev_mean) << "eta=" << eta << " should slow the spread";
+    prev_mean = mean;
+  }
+}
+
+TEST(Congestion, ZeroEtaIsBitIdenticalToBaseline) {
+  WormConfig c = small_world();
+  c.stop_at_total_infected = 100;
+  ScanLevelSimulation base(c, nullptr, 42);
+  const auto rb = base.run();
+  c.congestion_eta = 0.0;  // explicit zero must not perturb the RNG stream
+  ScanLevelSimulation again(c, nullptr, 42);
+  const auto ra = again.run();
+  EXPECT_DOUBLE_EQ(rb.end_time, ra.end_time);
+  EXPECT_EQ(rb.total_scans, ra.total_scans);
+}
+
+TEST(Congestion, DroppedScansStillChargeTheBudget) {
+  // The policy sits on the host, before the congested network: every emitted
+  // scan counts against M whether or not it is delivered.
+  WormConfig c = small_world();
+  c.congestion_eta = 5.0;
+  const std::uint64_t m = 16;
+  auto policy = std::make_unique<core::ScanCountLimitPolicy>(
+      core::ScanCountLimitPolicy::Config{.scan_limit = m});
+  ScanLevelSimulation sim(c, std::move(policy), 43);
+  const auto r = sim.run();
+  EXPECT_TRUE(r.contained);
+  EXPECT_EQ(r.total_scans, m * r.total_infected)
+      << "emitted (not delivered) scans define the budget";
+}
+
+TEST(Congestion, RejectedOnHitLevelEngine) {
+  WormConfig c = small_world();
+  c.congestion_eta = 2.0;
+  EXPECT_THROW(HitLevelSimulation(c, 16, 1), support::PreconditionError);
+}
+
+// ---------------- globally anchored stealth ----------------
+
+TEST(GlobalAnchorStealth, AllInfectionsLandInGlobalWindows) {
+  WormConfig c = small_world();
+  c.initial_infected = 2;
+  c.scan_rate = 40.0;
+  c.stealth.on_time = 2.0;
+  c.stealth.off_time = 18.0;
+  c.stealth.global_anchor = true;
+  c.stealth.anchor_offset = -1.0;  // windows are [20k − 1, 20k + 1)
+  c.stop_at_total_infected = 200;
+
+  struct WindowCheck : OutbreakObserver {
+    void on_infection(sim::SimTime now, net::HostId, net::HostId parent,
+                      std::uint32_t) override {
+      if (parent == kNoParent) return;  // seeds are placed at t = 0
+      const double pos = std::fmod(now + 1.0, 20.0);
+      EXPECT_LT(pos, 2.0 + 1e-9) << "infection outside the global burst window, t=" << now;
+    }
+  } check;
+
+  ScanLevelSimulation sim(c, nullptr, 31);
+  sim.add_observer(&check);
+  const auto r = sim.run(/*horizon=*/600.0);
+  EXPECT_GT(r.total_infected, 10u) << "the worm must actually spread during bursts";
+}
+
+TEST(GlobalAnchorStealth, OffWindowStartIsHandled) {
+  // anchor_offset puts t = 0 in an OFF window: the first scans must wait for
+  // the first on-window instead of mis-accounting active time.
+  const StealthSchedule s{.on_time = 2.0, .off_time = 18.0, .global_anchor = true,
+                          .anchor_offset = -10.0};
+  // Window k=0: [-10, -8); k=1: [10, 12).  From t=0 (off), 1s of active time
+  // completes at 11.
+  EXPECT_NEAR(advance_active_time(s, /*infection_time=*/0.0, /*now=*/0.0, 1.0), 11.0, 1e-9);
+  // From inside a window, consumption is local.
+  EXPECT_NEAR(advance_active_time(s, 0.0, 10.5, 1.0), 11.5, 1e-9);
+  // Spilling over a window boundary rolls into the next period.
+  EXPECT_NEAR(advance_active_time(s, 0.0, 11.5, 1.0), 30.5, 1e-9);
+}
+
+// ---------------- permutation scanning ----------------
+
+TEST(PermutationScan, SingleHostNeverRepeatsWithinUniverse) {
+  // One infected host walking the permutation must produce distinct targets
+  // for 2^bits consecutive scans.  Use a tiny universe and count uniques via
+  // the scans delivered (no containment, horizon-limited).
+  WormConfig c;
+  c.vulnerable_hosts = 2;  // nearly empty universe: almost no infections
+  c.address_bits = 10;     // 1024 addresses
+  c.initial_infected = 1;
+  c.scan_rate = 100.0;
+  c.strategy = ScanStrategy::Permutation;
+
+  // Observe targets by running until ~everything scanned once: 1024 scans at
+  // 100/s ≈ 10.24 s.  We can't observe targets directly, but we *can* verify
+  // the bijectivity property that drives it: with 2 vulnerable hosts in a
+  // 1024-address universe, a full permutation pass must find both within
+  // 1024 scans — far more reliably than uniform scanning would.
+  int found_both = 0;
+  for (int k = 0; k < 20; ++k) {
+    ScanLevelSimulation sim(c, nullptr, 100 + k);
+    const auto r = sim.run(/*horizon=*/10.3);  // ≈ one full pass
+    if (r.total_infected == 2) ++found_both;
+  }
+  // (Horizon clips a pass slightly short in some runs; 15/20 is still far
+  // beyond uniform scanning, which finds both only ~75% of the time here.)
+  EXPECT_GE(found_both, 15) << "a permutation pass should sweep the whole universe";
+}
+
+TEST(PermutationScan, FasterThanUniformAtEqualBudget) {
+  // Coordination avoids duplicated work: at the same budget the permutation
+  // worm should reach an outbreak size target more often than uniform.
+  WormConfig uni = small_world();
+  uni.initial_infected = 10;
+  uni.stop_at_total_infected = 500;
+  WormConfig perm = uni;
+  perm.strategy = ScanStrategy::Permutation;
+
+  int uni_hits = 0;
+  int perm_hits = 0;
+  const double horizon = 60.0;
+  for (int k = 0; k < 15; ++k) {
+    ScanLevelSimulation a(uni, nullptr, 700 + k);
+    if (a.run(horizon).hit_infection_cap) ++uni_hits;
+    ScanLevelSimulation b(perm, nullptr, 800 + k);
+    if (b.run(horizon).hit_infection_cap) ++perm_hits;
+  }
+  EXPECT_GE(perm_hits, uni_hits);
+}
+
+TEST(PermutationScan, StillContainedByScanBudget) {
+  // The paper's scheme is strategy-agnostic: budget containment works on the
+  // coordinated worm too.
+  WormConfig c = small_world();
+  c.strategy = ScanStrategy::Permutation;
+  for (int k = 0; k < 20; ++k) {
+    auto policy = std::make_unique<core::ScanCountLimitPolicy>(
+        core::ScanCountLimitPolicy::Config{.scan_limit = 16});
+    ScanLevelSimulation sim(c, std::move(policy), 900 + k);
+    const auto r = sim.run();
+    EXPECT_TRUE(r.contained);
+    EXPECT_EQ(r.total_removed, r.total_infected);
+  }
+}
+
+TEST(PermutationScan, RejectedOnHitLevelEngine) {
+  WormConfig c = small_world();
+  c.strategy = ScanStrategy::Permutation;
+  EXPECT_THROW(HitLevelSimulation(c, 16, 1), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::worm

@@ -1,0 +1,244 @@
+#include "worm/scan_level_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "containment/rate_limit.hpp"
+#include "core/scan_limit_policy.hpp"
+#include "net/ipv4.hpp"
+#include "support/check.hpp"
+
+namespace worms::worm {
+namespace {
+
+/// Scaled-down universe: 2^16 addresses, 2000 vulnerable ⇒ p ≈ 0.03, so
+/// outbreaks move fast and tests stay quick without changing any code path.
+WormConfig small_world() {
+  WormConfig c;
+  c.label = "test-world";
+  c.vulnerable_hosts = 2'000;
+  c.address_bits = 16;
+  c.initial_infected = 4;
+  c.scan_rate = 10.0;
+  return c;
+}
+
+TEST(ScanLevelSim, UncontainedRunStopsAtInfectionCap) {
+  WormConfig c = small_world();
+  c.stop_at_total_infected = 100;
+  ScanLevelSimulation sim(c, nullptr, /*seed=*/1);
+  const OutbreakResult r = sim.run();
+  EXPECT_EQ(r.total_infected, 100u);
+  EXPECT_TRUE(r.hit_infection_cap);
+  EXPECT_FALSE(r.contained);
+  EXPECT_EQ(r.total_removed, 0u);
+}
+
+TEST(ScanLevelSim, SameSeedReproducesBitForBit) {
+  WormConfig c = small_world();
+  c.stop_at_total_infected = 60;
+  ScanLevelSimulation a(c, nullptr, 42);
+  ScanLevelSimulation b(c, nullptr, 42);
+  const OutbreakResult ra = a.run();
+  const OutbreakResult rb = b.run();
+  EXPECT_EQ(ra.total_infected, rb.total_infected);
+  EXPECT_EQ(ra.total_scans, rb.total_scans);
+  EXPECT_DOUBLE_EQ(ra.end_time, rb.end_time);
+  EXPECT_EQ(ra.generation_sizes, rb.generation_sizes);
+}
+
+TEST(ScanLevelSim, DifferentSeedsDiffer) {
+  WormConfig c = small_world();
+  c.stop_at_total_infected = 60;
+  ScanLevelSimulation a(c, nullptr, 1);
+  ScanLevelSimulation b(c, nullptr, 2);
+  EXPECT_NE(a.run().end_time, b.run().end_time);
+}
+
+TEST(ScanLevelSim, GenerationSizesSumToTotalInfected) {
+  WormConfig c = small_world();
+  c.stop_at_total_infected = 150;
+  ScanLevelSimulation sim(c, nullptr, 3);
+  const OutbreakResult r = sim.run();
+  std::uint64_t sum = 0;
+  for (const auto s : r.generation_sizes) sum += s;
+  EXPECT_EQ(sum, r.total_infected);
+  EXPECT_EQ(r.generation_sizes.at(0), c.initial_infected);
+}
+
+TEST(ScanLevelSim, ScanLimitContainsAndRemovesEveryInfectedHost) {
+  WormConfig c = small_world();
+  // λ = M·p ≈ 16·0.0305 ≈ 0.49 — solidly subcritical.
+  auto policy = std::make_unique<core::ScanCountLimitPolicy>(
+      core::ScanCountLimitPolicy::Config{.scan_limit = 16});
+  ScanLevelSimulation sim(c, std::move(policy), 5);
+  const OutbreakResult r = sim.run();
+  EXPECT_TRUE(r.contained);
+  EXPECT_EQ(r.total_removed, r.total_infected)
+      << "every infected host must eventually hit its budget and be removed";
+  EXPECT_FALSE(r.hit_infection_cap);
+}
+
+TEST(ScanLevelSim, BudgetIsExactlyRespected) {
+  // With the scan-limit policy in attempts mode, no host can deliver more
+  // than M scans: total scans <= M · total infected.
+  WormConfig c = small_world();
+  const std::uint64_t m = 20;
+  auto policy = std::make_unique<core::ScanCountLimitPolicy>(
+      core::ScanCountLimitPolicy::Config{.scan_limit = m});
+  ScanLevelSimulation sim(c, std::move(policy), 7);
+  const OutbreakResult r = sim.run();
+  EXPECT_LE(r.total_scans, m * r.total_infected);
+  // Removed hosts sent exactly M each, so the floor is M·removed.
+  EXPECT_GE(r.total_scans, m * r.total_removed);
+}
+
+TEST(ScanLevelSim, HorizonStopsTheClock) {
+  WormConfig c = small_world();
+  ScanLevelSimulation sim(c, nullptr, 9);
+  const OutbreakResult r = sim.run(/*horizon=*/2.0);
+  EXPECT_LE(r.end_time, 2.0);
+}
+
+TEST(ScanLevelSim, ObserversSeeEveryInfectionAndRemoval) {
+  WormConfig c = small_world();
+  auto policy = std::make_unique<core::ScanCountLimitPolicy>(
+      core::ScanCountLimitPolicy::Config{.scan_limit = 16});
+  ScanLevelSimulation sim(c, std::move(policy), 11);
+  SamplePathRecorder path;
+  GenerationRecorder gens;
+  sim.add_observer(&path);
+  sim.add_observer(&gens);
+  const OutbreakResult r = sim.run();
+
+  ASSERT_FALSE(path.points().empty());
+  EXPECT_EQ(path.points().back().cumulative_infected, r.total_infected);
+  EXPECT_EQ(path.points().back().cumulative_removed, r.total_removed);
+  EXPECT_EQ(path.points().back().active_infected, 0u);
+  EXPECT_EQ(path.peak_active(), r.peak_active);
+
+  std::uint64_t gen_sum = 0;
+  for (const auto s : gens.generation_sizes()) gen_sum += s;
+  EXPECT_EQ(gen_sum, r.total_infected);
+  EXPECT_EQ(gens.infections().size(), r.total_infected);
+}
+
+TEST(ScanLevelSim, SamplePathTimesAreMonotone) {
+  WormConfig c = small_world();
+  auto policy = std::make_unique<core::ScanCountLimitPolicy>(
+      core::ScanCountLimitPolicy::Config{.scan_limit = 16});
+  ScanLevelSimulation sim(c, std::move(policy), 13);
+  SamplePathRecorder path;
+  sim.add_observer(&path);
+  (void)sim.run();
+  for (std::size_t i = 1; i < path.points().size(); ++i) {
+    EXPECT_GE(path.points()[i].time, path.points()[i - 1].time);
+  }
+}
+
+TEST(ScanLevelSim, GenerationOfChildIsParentPlusOne) {
+  WormConfig c = small_world();
+  c.stop_at_total_infected = 80;
+
+  struct ParentCheck : OutbreakObserver {
+    std::vector<std::uint32_t> generation;
+    void on_infection(sim::SimTime, net::HostId host, net::HostId parent,
+                      std::uint32_t gen) override {
+      if (host >= generation.size()) generation.resize(host + 1, ~0u);
+      generation[host] = gen;
+      if (parent == kNoParent) {
+        EXPECT_EQ(gen, 0u);
+      } else {
+        ASSERT_LT(parent, generation.size());
+        EXPECT_EQ(gen, generation[parent] + 1);
+      }
+    }
+  } check;
+
+  ScanLevelSimulation sim(c, nullptr, 15);
+  sim.add_observer(&check);
+  (void)sim.run();
+}
+
+TEST(ScanLevelSim, StealthWormScansOnlyInOnWindows) {
+  WormConfig c = small_world();
+  c.initial_infected = 1;
+  c.stealth.on_time = 10.0;
+  c.stealth.off_time = 90.0;
+  c.stop_at_total_infected = 30;
+  ScanLevelSimulation sim(c, nullptr, 17);
+
+  GenerationRecorder gens;
+  sim.add_observer(&gens);
+  (void)sim.run(/*horizon=*/5'000.0);
+  // Generation-0 host is anchored at t = 0: all of its infections (gen 1)
+  // must land inside [100k, 100k + 10) windows.
+  for (const auto& inf : gens.infections()) {
+    if (inf.generation != 1) continue;
+    const double pos = std::fmod(inf.time, 100.0);
+    EXPECT_LT(pos, 10.0 + 1e-9) << "infection at t=" << inf.time << " is in an off window";
+  }
+}
+
+TEST(ScanLevelSim, LocalPreferenceScansStayInPrefix) {
+  WormConfig c = small_world();
+  c.strategy = ScanStrategy::LocalPreference;
+  c.local_preference_probability = 1.0;  // always local
+  c.local_prefix_length = 24;            // /24 inside the 2^16 universe ⇒ 256 addrs
+  c.initial_infected = 1;
+  ScanLevelSimulation sim(c, nullptr, 19);
+
+  struct PrefixCheck : OutbreakObserver {
+    const ScanLevelSimulation* sim = nullptr;
+    void on_infection(sim::SimTime, net::HostId host, net::HostId parent,
+                      std::uint32_t) override {
+      if (parent == kNoParent) return;
+      const auto child = sim->registry().address_of(host).value();
+      const auto par = sim->registry().address_of(parent).value();
+      EXPECT_EQ(child >> 8, par >> 8) << "infection crossed the /24 boundary";
+    }
+  } check;
+  check.sim = &sim;
+  sim.add_observer(&check);
+  (void)sim.run(/*horizon=*/50.0);
+}
+
+TEST(ScanLevelSim, RateLimitPolicyDelaysButScansStillArrive) {
+  WormConfig c = small_world();
+  c.scan_rate = 50.0;  // well above the 5/s cap
+  c.stop_at_total_infected = 20;
+  ScanLevelSimulation slow(c, std::make_unique<containment::RateLimitPolicy>(5.0), 21);
+  const OutbreakResult r_slow = slow.run(/*horizon=*/500.0);
+
+  ScanLevelSimulation fast(c, nullptr, 21);
+  const OutbreakResult r_fast = fast.run(/*horizon=*/500.0);
+  // The limiter must not stop the worm (it only slows it): infections still
+  // happen, but more slowly than without it.
+  EXPECT_GT(r_slow.total_infected, c.initial_infected);
+  EXPECT_GE(r_slow.end_time, r_fast.end_time);
+}
+
+TEST(ScanLevelSim, RunTwiceIsRejected) {
+  WormConfig c = small_world();
+  c.stop_at_total_infected = 10;
+  ScanLevelSimulation sim(c, nullptr, 23);
+  (void)sim.run();
+  EXPECT_THROW((void)sim.run(), support::PreconditionError);
+}
+
+TEST(ScanLevelSim, RejectsBadConfig) {
+  WormConfig c = small_world();
+  c.initial_infected = 0;
+  EXPECT_THROW(ScanLevelSimulation(c, nullptr, 1), support::PreconditionError);
+  c = small_world();
+  c.initial_infected = c.vulnerable_hosts + 1;
+  EXPECT_THROW(ScanLevelSimulation(c, nullptr, 1), support::PreconditionError);
+  c = small_world();
+  c.scan_rate = 0.0;
+  EXPECT_THROW(ScanLevelSimulation(c, nullptr, 1), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::worm

@@ -1,0 +1,18 @@
+# End-to-end CLI check: synthesize a small trace, then audit it.
+set(trace_file ${WORKDIR}/wormctl_test_trace.csv)
+execute_process(
+  COMMAND ${WORMCTL} synth --out ${trace_file} --hosts 120 --days 5 --seed 9
+  RESULT_VARIABLE rc_synth)
+if(NOT rc_synth EQUAL 0)
+  message(FATAL_ERROR "wormctl synth failed: ${rc_synth}")
+endif()
+execute_process(
+  COMMAND ${WORMCTL} audit --trace ${trace_file} --budget 5000 --cycle-days 30
+  RESULT_VARIABLE rc_audit
+  OUTPUT_VARIABLE audit_out)
+if(NOT rc_audit EQUAL 0)
+  message(FATAL_ERROR "wormctl audit failed: ${rc_audit}")
+endif()
+if(NOT audit_out MATCHES "would be removed")
+  message(FATAL_ERROR "unexpected audit output: ${audit_out}")
+endif()

@@ -1,0 +1,246 @@
+// wormctl — command-line front end to the worm-containment library.
+//
+// Subcommands:
+//   plan       choose the largest safe scan budget M for an outbreak bound
+//              --hosts V [--bits 32] [--i0 10] [--max-infected 360]
+//              [--confidence 0.99]
+//   extinction per-generation extinction probabilities and the Prop.1 threshold
+//              --hosts V --budget M [--bits 32] [--i0 1] [--generations 20]
+//   simulate   Monte Carlo outbreaks under containment (hit-level engine)
+//              --hosts V --budget M [--bits 32] [--i0 10] [--rate 6]
+//              [--runs 500] [--seed 1]
+//   multitype  preference-scanning (two-type) criticality and safe budget
+//              [--local-density 5e-3] [--global-density 2e-5]
+//              [--local-share 0.8] [--budget M*]
+//   synth      generate an LBL-CONN-7-style clean trace as CSV
+//              --out FILE [--hosts 1645] [--days 30] [--seed ...]
+//   audit      replay a trace CSV through the containment policy
+//              --trace FILE --budget M [--cycle-days 30] [--check-fraction 1.0]
+//
+// Every command prints a human-readable table; exit code 0 on success, 1 on
+// usage errors (with a message on stderr).
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "analysis/monte_carlo.hpp"
+#include "analysis/table.hpp"
+#include "core/borel_tanner.hpp"
+#include "core/galton_watson.hpp"
+#include "core/multitype.hpp"
+#include "core/planner.hpp"
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/synth.hpp"
+#include "trace/trace_io.hpp"
+#include "worm/hit_level_sim.hpp"
+
+namespace {
+
+using namespace worms;
+
+int cmd_plan(const support::CliArgs& args) {
+  const core::PlannerInput in{
+      .vulnerable_hosts = args.get_u64("hosts", 360'000),
+      .address_bits = static_cast<int>(args.get_u64("bits", 32)),
+      .initial_infected = args.get_u64("i0", 10),
+      .max_total_infected = args.get_u64("max-infected", 360),
+      .confidence = args.get_double("confidence", 0.99),
+  };
+  const core::Plan plan = core::plan_containment(in);
+  std::printf("vulnerability density p       %.6g\n", plan.density);
+  std::printf("extinction threshold (1/p)    %llu\n",
+              static_cast<unsigned long long>(plan.extinction_threshold));
+  std::printf("recommended scan budget M     %llu\n",
+              static_cast<unsigned long long>(plan.scan_limit));
+  std::printf("offspring mean lambda = M*p   %.4f\n", plan.lambda);
+  std::printf("P{total infected <= %llu}      %.4f (target %.4f)\n",
+              static_cast<unsigned long long>(in.max_total_infected),
+              plan.achieved_confidence, in.confidence);
+  std::printf("expected total infected       %.1f\n", plan.expected_total_infected);
+  if (args.has("observed-max-distinct")) {
+    const double observed = args.get_double("observed-max-distinct", 0.0);
+    const double ref_days = args.get_double("reference-days", 30.0);
+    const double safety = args.get_double("safety-fraction", 0.5);
+    const auto cycle =
+        core::plan_cycle_length(ref_days * sim::kDay, observed, plan.scan_limit, safety);
+    std::printf("containment cycle             %.1f days (busiest host %.0f distinct "
+                "per %.0f days, safety %.0f%%)\n",
+                cycle / sim::kDay, observed, ref_days, safety * 100.0);
+  }
+  return 0;
+}
+
+int cmd_extinction(const support::CliArgs& args) {
+  const auto hosts = args.get_u64("hosts", 360'000);
+  const auto bits = static_cast<int>(args.get_u64("bits", 32));
+  const auto budget = args.get_u64("budget", 10'000);
+  const auto i0 = args.get_u64("i0", 1);
+  const auto generations = args.get_u64("generations", 20);
+
+  const double p = static_cast<double>(hosts) / static_cast<double>(1ULL << bits);
+  const auto off = core::OffspringDistribution::binomial(budget, p);
+  std::printf("p = %.6g, threshold 1/p = %llu, lambda = %.4f, ultimate pi = %.6f\n\n", p,
+              static_cast<unsigned long long>(core::extinction_scan_threshold(p)), off.mean(),
+              core::ultimate_extinction_probability(off, i0));
+
+  const auto pn = core::extinction_probability_by_generation(off, i0, generations);
+  analysis::Table t({"generation", "P{extinct by n}"});
+  for (std::size_t n = 0; n < pn.size(); ++n) {
+    t.add_row({analysis::Table::fmt(static_cast<std::uint64_t>(n)),
+               analysis::Table::fmt(pn[n], 6)});
+  }
+  t.print();
+  return 0;
+}
+
+int cmd_simulate(const support::CliArgs& args) {
+  worm::WormConfig cfg;
+  cfg.label = "wormctl";
+  cfg.vulnerable_hosts = static_cast<std::uint32_t>(args.get_u64("hosts", 360'000));
+  cfg.address_bits = static_cast<int>(args.get_u64("bits", 32));
+  cfg.initial_infected = static_cast<std::uint32_t>(args.get_u64("i0", 10));
+  cfg.scan_rate = args.get_double("rate", 6.0);
+  const auto budget = args.get_u64("budget", 10'000);
+  const auto runs = args.get_u64("runs", 500);
+  const auto seed = args.get_u64("seed", 1);
+
+  const auto mc = analysis::run_monte_carlo(runs, seed, [&](std::uint64_t s, std::uint64_t) {
+    worm::HitLevelSimulation sim(cfg, budget, s);
+    return sim.run().total_infected;
+  });
+  const core::BorelTanner law(static_cast<double>(budget) * cfg.density(),
+                              cfg.initial_infected);
+
+  std::printf("%llu runs: mean I = %.1f (theory %.1f), std %.1f (theory %.1f), max %llu\n\n",
+              static_cast<unsigned long long>(runs), mc.summary.mean(), law.mean(),
+              mc.summary.stddev(), std::sqrt(law.variance()),
+              static_cast<unsigned long long>(static_cast<std::uint64_t>(mc.summary.max())));
+
+  analysis::Table t({"k", "simulated P{I<=k}", "Borel-Tanner P{I<=k}"});
+  for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+    const auto k = law.quantile(q);
+    t.add_row({analysis::Table::fmt(k), analysis::Table::fmt(mc.empirical_cdf(k), 4),
+               analysis::Table::fmt(law.cdf(k), 4)});
+  }
+  t.print();
+  return 0;
+}
+
+int cmd_multitype(const support::CliArgs& args) {
+  // Two-type local-preference planning: enterprise hosts scan their own
+  // (dense) blocks with probability `local-share`, the global internet
+  // otherwise; home hosts always scan globally.
+  const double p_local = args.get_double("local-density", 5e-3);
+  const double p_global = args.get_double("global-density", 2e-5);
+  const double q = args.get_double("local-share", 0.8);
+  WORMS_EXPECTS(q >= 0.0 && q <= 1.0);
+
+  const std::vector<std::vector<double>> per_scan = {
+      {q * p_local + (1.0 - q) * 2.0 * p_global, (1.0 - q) * p_global},
+      {2.0 * p_global, p_global},
+  };
+  const auto threshold = core::MultiTypeBranching::extinction_scan_threshold(per_scan);
+  std::printf("per-scan rate matrix (enterprise, home):\n");
+  std::printf("  [%.3g  %.3g]\n  [%.3g  %.3g]\n", per_scan[0][0], per_scan[0][1],
+              per_scan[1][0], per_scan[1][1]);
+  std::printf("multi-type extinction threshold M* = %llu scans/cycle\n",
+              static_cast<unsigned long long>(threshold));
+  std::printf("naive single-type bound 1/p_global = %.0f (%.1fx unsafe)\n", 1.0 / p_global,
+              (1.0 / p_global) / static_cast<double>(threshold));
+
+  const auto budget = args.get_u64("budget", threshold);
+  std::vector<std::vector<double>> mm(2, std::vector<double>(2));
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) mm[i][j] = static_cast<double>(budget) * per_scan[i][j];
+  }
+  const core::MultiTypeBranching mt(mm);
+  const auto pi = mt.extinction_probabilities();
+  std::printf("at M = %llu: rho = %.4f, pi = {enterprise %.4f, home %.4f}\n",
+              static_cast<unsigned long long>(budget), mt.criticality(), pi[0], pi[1]);
+  if (mt.criticality() < 1.0) {
+    const auto n = mt.expected_total_progeny(0);
+    std::printf("expected total infections from one enterprise seed: %.1f\n", n[0] + n[1]);
+  }
+  return 0;
+}
+
+int cmd_synth(const support::CliArgs& args) {
+  trace::LblSynthConfig cfg;
+  cfg.hosts = static_cast<std::uint32_t>(args.get_u64("hosts", 1'645));
+  cfg.duration = args.get_double("days", 30.0) * sim::kDay;
+  cfg.seed = args.get_u64("seed", cfg.seed);
+  const std::string out = args.get_string("out", "");
+  WORMS_EXPECTS(!out.empty() && "synth requires --out FILE");
+
+  const auto synth = trace::synthesize_lbl_trace(cfg);
+  trace::write_csv_file(out, synth.records);
+  std::printf("wrote %zu records for %u hosts to %s\n", synth.records.size(), cfg.hosts,
+              out.c_str());
+  return 0;
+}
+
+int cmd_audit(const support::CliArgs& args) {
+  const std::string path = args.get_string("trace", "");
+  WORMS_EXPECTS(!path.empty() && "audit requires --trace FILE");
+  const auto budget = args.get_u64("budget", 5'000);
+  const double cycle_days = args.get_double("cycle-days", 30.0);
+  const double check_fraction = args.get_double("check-fraction", 1.0);
+
+  trace::TraceAnalyzer analyzer(trace::read_csv_file(path));
+  std::printf("hosts < 100 distinct: %.1f%%; hosts > 1000 distinct: %u\n",
+              analyzer.fraction_below(100) * 100.0, analyzer.hosts_above(1000));
+
+  const auto report = analyzer.audit_policy({.scan_limit = budget,
+                                             .cycle_length = cycle_days * sim::kDay,
+                                             .check_fraction = check_fraction});
+  std::printf("policy M=%llu, cycle %.0f days: %u/%u hosts would be removed (%.2f%%), "
+              "%u flagged for early checking\n",
+              static_cast<unsigned long long>(budget), cycle_days, report.hosts_removed,
+              report.hosts_total, report.removal_fraction * 100.0, report.hosts_flagged);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wormctl <plan|extinction|simulate|multitype|synth|audit> "
+               "[--flag value ...]\n"
+               "see the header of tools/wormctl.cpp or README.md for flags\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto args = support::CliArgs::parse(argc, argv);
+    int rc;
+    if (args.command() == "plan") {
+      rc = cmd_plan(args);
+    } else if (args.command() == "extinction") {
+      rc = cmd_extinction(args);
+    } else if (args.command() == "simulate") {
+      rc = cmd_simulate(args);
+    } else if (args.command() == "multitype") {
+      rc = cmd_multitype(args);
+    } else if (args.command() == "synth") {
+      rc = cmd_synth(args);
+    } else if (args.command() == "audit") {
+      rc = cmd_audit(args);
+    } else {
+      return usage();
+    }
+    const auto stray = args.unconsumed();
+    if (!stray.empty()) {
+      std::fprintf(stderr, "error: unknown flag(s):");
+      for (const auto& s : stray) std::fprintf(stderr, " --%s", s.c_str());
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
