@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_detection_vs_containment"
+  "../bench/ablation_detection_vs_containment.pdb"
+  "CMakeFiles/ablation_detection_vs_containment.dir/ablation_detection_vs_containment.cpp.o"
+  "CMakeFiles/ablation_detection_vs_containment.dir/ablation_detection_vs_containment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_detection_vs_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_deterministic_vs_stochastic"
+  "../bench/ablation_deterministic_vs_stochastic.pdb"
+  "CMakeFiles/ablation_deterministic_vs_stochastic.dir/ablation_deterministic_vs_stochastic.cpp.o"
+  "CMakeFiles/ablation_deterministic_vs_stochastic.dir/ablation_deterministic_vs_stochastic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deterministic_vs_stochastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

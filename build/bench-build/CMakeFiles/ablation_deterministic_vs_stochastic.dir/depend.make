@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_deterministic_vs_stochastic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hitlevel_vs_scanlevel"
+  "../bench/ablation_hitlevel_vs_scanlevel.pdb"
+  "CMakeFiles/ablation_hitlevel_vs_scanlevel.dir/ablation_hitlevel_vs_scanlevel.cpp.o"
+  "CMakeFiles/ablation_hitlevel_vs_scanlevel.dir/ablation_hitlevel_vs_scanlevel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hitlevel_vs_scanlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

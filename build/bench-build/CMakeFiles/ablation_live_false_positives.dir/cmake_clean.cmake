@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_live_false_positives"
+  "../bench/ablation_live_false_positives.pdb"
+  "CMakeFiles/ablation_live_false_positives.dir/ablation_live_false_positives.cpp.o"
+  "CMakeFiles/ablation_live_false_positives.dir/ablation_live_false_positives.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_live_false_positives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

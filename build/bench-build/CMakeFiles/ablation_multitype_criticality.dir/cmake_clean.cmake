@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multitype_criticality"
+  "../bench/ablation_multitype_criticality.pdb"
+  "CMakeFiles/ablation_multitype_criticality.dir/ablation_multitype_criticality.cpp.o"
+  "CMakeFiles/ablation_multitype_criticality.dir/ablation_multitype_criticality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multitype_criticality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

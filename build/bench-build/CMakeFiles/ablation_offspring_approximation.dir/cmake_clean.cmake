@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_offspring_approximation"
+  "../bench/ablation_offspring_approximation.pdb"
+  "CMakeFiles/ablation_offspring_approximation.dir/ablation_offspring_approximation.cpp.o"
+  "CMakeFiles/ablation_offspring_approximation.dir/ablation_offspring_approximation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_offspring_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_policy_comparison"
+  "../bench/ablation_policy_comparison.pdb"
+  "CMakeFiles/ablation_policy_comparison.dir/ablation_policy_comparison.cpp.o"
+  "CMakeFiles/ablation_policy_comparison.dir/ablation_policy_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

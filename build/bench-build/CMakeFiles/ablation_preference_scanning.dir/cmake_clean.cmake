@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_preference_scanning"
+  "../bench/ablation_preference_scanning.pdb"
+  "CMakeFiles/ablation_preference_scanning.dir/ablation_preference_scanning.cpp.o"
+  "CMakeFiles/ablation_preference_scanning.dir/ablation_preference_scanning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preference_scanning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

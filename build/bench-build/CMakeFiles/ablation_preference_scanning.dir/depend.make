@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_preference_scanning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_variance_formula"
+  "../bench/ablation_variance_formula.pdb"
+  "CMakeFiles/ablation_variance_formula.dir/ablation_variance_formula.cpp.o"
+  "CMakeFiles/ablation_variance_formula.dir/ablation_variance_formula.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_variance_formula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_window_semantics"
+  "../bench/ablation_window_semantics.pdb"
+  "CMakeFiles/ablation_window_semantics.dir/ablation_window_semantics.cpp.o"
+  "CMakeFiles/ablation_window_semantics.dir/ablation_window_semantics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_window_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_generation_growth"
+  "../bench/fig02_generation_growth.pdb"
+  "CMakeFiles/fig02_generation_growth.dir/fig02_generation_growth.cpp.o"
+  "CMakeFiles/fig02_generation_growth.dir/fig02_generation_growth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_generation_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_extinction_probability"
+  "../bench/fig03_extinction_probability.pdb"
+  "CMakeFiles/fig03_extinction_probability.dir/fig03_extinction_probability.cpp.o"
+  "CMakeFiles/fig03_extinction_probability.dir/fig03_extinction_probability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_extinction_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_total_infections_pmf"
+  "../bench/fig04_total_infections_pmf.pdb"
+  "CMakeFiles/fig04_total_infections_pmf.dir/fig04_total_infections_pmf.cpp.o"
+  "CMakeFiles/fig04_total_infections_pmf.dir/fig04_total_infections_pmf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_total_infections_pmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

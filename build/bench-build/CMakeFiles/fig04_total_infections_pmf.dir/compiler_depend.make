@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_total_infections_pmf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_total_infections_cdf"
+  "../bench/fig05_total_infections_cdf.pdb"
+  "CMakeFiles/fig05_total_infections_cdf.dir/fig05_total_infections_cdf.cpp.o"
+  "CMakeFiles/fig05_total_infections_cdf.dir/fig05_total_infections_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_total_infections_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

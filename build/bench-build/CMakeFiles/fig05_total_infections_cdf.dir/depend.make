@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_total_infections_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_trace_distinct_destinations"
+  "../bench/fig06_trace_distinct_destinations.pdb"
+  "CMakeFiles/fig06_trace_distinct_destinations.dir/fig06_trace_distinct_destinations.cpp.o"
+  "CMakeFiles/fig06_trace_distinct_destinations.dir/fig06_trace_distinct_destinations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_trace_distinct_destinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

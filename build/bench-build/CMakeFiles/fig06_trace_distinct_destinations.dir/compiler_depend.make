@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_trace_distinct_destinations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_codered_sim_vs_theory_pmf.
+# This may be replaced when dependencies are built.

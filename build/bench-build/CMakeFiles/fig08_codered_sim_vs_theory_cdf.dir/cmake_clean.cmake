@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_codered_sim_vs_theory_cdf"
+  "../bench/fig08_codered_sim_vs_theory_cdf.pdb"
+  "CMakeFiles/fig08_codered_sim_vs_theory_cdf.dir/fig08_codered_sim_vs_theory_cdf.cpp.o"
+  "CMakeFiles/fig08_codered_sim_vs_theory_cdf.dir/fig08_codered_sim_vs_theory_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_codered_sim_vs_theory_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_sample_path_large"
+  "../bench/fig09_sample_path_large.pdb"
+  "CMakeFiles/fig09_sample_path_large.dir/fig09_sample_path_large.cpp.o"
+  "CMakeFiles/fig09_sample_path_large.dir/fig09_sample_path_large.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_sample_path_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

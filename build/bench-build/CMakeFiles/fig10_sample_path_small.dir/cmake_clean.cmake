@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_sample_path_small"
+  "../bench/fig10_sample_path_small.pdb"
+  "CMakeFiles/fig10_sample_path_small.dir/fig10_sample_path_small.cpp.o"
+  "CMakeFiles/fig10_sample_path_small.dir/fig10_sample_path_small.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sample_path_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_slammer_sim_vs_theory_pmf"
+  "../bench/fig11_slammer_sim_vs_theory_pmf.pdb"
+  "CMakeFiles/fig11_slammer_sim_vs_theory_pmf.dir/fig11_slammer_sim_vs_theory_pmf.cpp.o"
+  "CMakeFiles/fig11_slammer_sim_vs_theory_pmf.dir/fig11_slammer_sim_vs_theory_pmf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_slammer_sim_vs_theory_pmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

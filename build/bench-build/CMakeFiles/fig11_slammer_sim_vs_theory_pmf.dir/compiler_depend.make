@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_slammer_sim_vs_theory_pmf.
+# This may be replaced when dependencies are built.

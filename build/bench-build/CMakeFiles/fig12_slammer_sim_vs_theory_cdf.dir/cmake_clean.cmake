@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_slammer_sim_vs_theory_cdf"
+  "../bench/fig12_slammer_sim_vs_theory_cdf.pdb"
+  "CMakeFiles/fig12_slammer_sim_vs_theory_cdf.dir/fig12_slammer_sim_vs_theory_cdf.cpp.o"
+  "CMakeFiles/fig12_slammer_sim_vs_theory_cdf.dir/fig12_slammer_sim_vs_theory_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_slammer_sim_vs_theory_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_headline_claims"
+  "../bench/table_headline_claims.pdb"
+  "CMakeFiles/table_headline_claims.dir/table_headline_claims.cpp.o"
+  "CMakeFiles/table_headline_claims.dir/table_headline_claims.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_headline_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

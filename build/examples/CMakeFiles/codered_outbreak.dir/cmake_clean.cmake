@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codered_outbreak.dir/codered_outbreak.cpp.o"
+  "CMakeFiles/codered_outbreak.dir/codered_outbreak.cpp.o.d"
+  "codered_outbreak"
+  "codered_outbreak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codered_outbreak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_trace_audit.dir/enterprise_trace_audit.cpp.o"
+  "CMakeFiles/enterprise_trace_audit.dir/enterprise_trace_audit.cpp.o.d"
+  "enterprise_trace_audit"
+  "enterprise_trace_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_trace_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

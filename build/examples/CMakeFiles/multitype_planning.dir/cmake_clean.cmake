@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitype_planning.dir/multitype_planning.cpp.o"
+  "CMakeFiles/multitype_planning.dir/multitype_planning.cpp.o.d"
+  "multitype_planning"
+  "multitype_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitype_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_playbook.dir/operator_playbook.cpp.o"
+  "CMakeFiles/operator_playbook.dir/operator_playbook.cpp.o.d"
+  "operator_playbook"
+  "operator_playbook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_playbook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slammer_fast_worm.dir/slammer_fast_worm.cpp.o"
+  "CMakeFiles/slammer_fast_worm.dir/slammer_fast_worm.cpp.o.d"
+  "slammer_fast_worm"
+  "slammer_fast_worm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slammer_fast_worm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for slammer_fast_worm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stealth_slow_worm.dir/stealth_slow_worm.cpp.o"
+  "CMakeFiles/stealth_slow_worm.dir/stealth_slow_worm.cpp.o.d"
+  "stealth_slow_worm"
+  "stealth_slow_worm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stealth_slow_worm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

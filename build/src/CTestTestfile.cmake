@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("math")
+subdirs("stats")
+subdirs("net")
+subdirs("sim")
+subdirs("epidemic")
+subdirs("detection")
+subdirs("core")
+subdirs("containment")
+subdirs("worm")
+subdirs("trace")
+subdirs("analysis")

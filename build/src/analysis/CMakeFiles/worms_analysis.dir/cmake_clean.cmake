@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worms_analysis.dir/ascii_chart.cpp.o"
+  "CMakeFiles/worms_analysis.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/worms_analysis.dir/series.cpp.o"
+  "CMakeFiles/worms_analysis.dir/series.cpp.o.d"
+  "CMakeFiles/worms_analysis.dir/table.cpp.o"
+  "CMakeFiles/worms_analysis.dir/table.cpp.o.d"
+  "libworms_analysis.a"
+  "libworms_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worms_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

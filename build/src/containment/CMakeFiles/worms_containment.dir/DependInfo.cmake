@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/containment/dynamic_quarantine.cpp" "src/containment/CMakeFiles/worms_containment.dir/dynamic_quarantine.cpp.o" "gcc" "src/containment/CMakeFiles/worms_containment.dir/dynamic_quarantine.cpp.o.d"
+  "/root/repo/src/containment/rate_limit.cpp" "src/containment/CMakeFiles/worms_containment.dir/rate_limit.cpp.o" "gcc" "src/containment/CMakeFiles/worms_containment.dir/rate_limit.cpp.o.d"
+  "/root/repo/src/containment/sliding_window.cpp" "src/containment/CMakeFiles/worms_containment.dir/sliding_window.cpp.o" "gcc" "src/containment/CMakeFiles/worms_containment.dir/sliding_window.cpp.o.d"
+  "/root/repo/src/containment/virus_throttle.cpp" "src/containment/CMakeFiles/worms_containment.dir/virus_throttle.cpp.o" "gcc" "src/containment/CMakeFiles/worms_containment.dir/virus_throttle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/worms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/worms_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/worms_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/worms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/worms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

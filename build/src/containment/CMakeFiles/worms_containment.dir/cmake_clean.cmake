@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worms_containment.dir/dynamic_quarantine.cpp.o"
+  "CMakeFiles/worms_containment.dir/dynamic_quarantine.cpp.o.d"
+  "CMakeFiles/worms_containment.dir/rate_limit.cpp.o"
+  "CMakeFiles/worms_containment.dir/rate_limit.cpp.o.d"
+  "CMakeFiles/worms_containment.dir/sliding_window.cpp.o"
+  "CMakeFiles/worms_containment.dir/sliding_window.cpp.o.d"
+  "CMakeFiles/worms_containment.dir/virus_throttle.cpp.o"
+  "CMakeFiles/worms_containment.dir/virus_throttle.cpp.o.d"
+  "libworms_containment.a"
+  "libworms_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worms_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

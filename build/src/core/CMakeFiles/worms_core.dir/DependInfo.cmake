@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/borel_tanner.cpp" "src/core/CMakeFiles/worms_core.dir/borel_tanner.cpp.o" "gcc" "src/core/CMakeFiles/worms_core.dir/borel_tanner.cpp.o.d"
+  "/root/repo/src/core/containment_policy.cpp" "src/core/CMakeFiles/worms_core.dir/containment_policy.cpp.o" "gcc" "src/core/CMakeFiles/worms_core.dir/containment_policy.cpp.o.d"
+  "/root/repo/src/core/cycle_controller.cpp" "src/core/CMakeFiles/worms_core.dir/cycle_controller.cpp.o" "gcc" "src/core/CMakeFiles/worms_core.dir/cycle_controller.cpp.o.d"
+  "/root/repo/src/core/galton_watson.cpp" "src/core/CMakeFiles/worms_core.dir/galton_watson.cpp.o" "gcc" "src/core/CMakeFiles/worms_core.dir/galton_watson.cpp.o.d"
+  "/root/repo/src/core/multitype.cpp" "src/core/CMakeFiles/worms_core.dir/multitype.cpp.o" "gcc" "src/core/CMakeFiles/worms_core.dir/multitype.cpp.o.d"
+  "/root/repo/src/core/offspring.cpp" "src/core/CMakeFiles/worms_core.dir/offspring.cpp.o" "gcc" "src/core/CMakeFiles/worms_core.dir/offspring.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/worms_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/worms_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/scan_limit_policy.cpp" "src/core/CMakeFiles/worms_core.dir/scan_limit_policy.cpp.o" "gcc" "src/core/CMakeFiles/worms_core.dir/scan_limit_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/worms_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/worms_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/worms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/worms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

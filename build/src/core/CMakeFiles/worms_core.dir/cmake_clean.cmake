@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worms_core.dir/borel_tanner.cpp.o"
+  "CMakeFiles/worms_core.dir/borel_tanner.cpp.o.d"
+  "CMakeFiles/worms_core.dir/containment_policy.cpp.o"
+  "CMakeFiles/worms_core.dir/containment_policy.cpp.o.d"
+  "CMakeFiles/worms_core.dir/cycle_controller.cpp.o"
+  "CMakeFiles/worms_core.dir/cycle_controller.cpp.o.d"
+  "CMakeFiles/worms_core.dir/galton_watson.cpp.o"
+  "CMakeFiles/worms_core.dir/galton_watson.cpp.o.d"
+  "CMakeFiles/worms_core.dir/multitype.cpp.o"
+  "CMakeFiles/worms_core.dir/multitype.cpp.o.d"
+  "CMakeFiles/worms_core.dir/offspring.cpp.o"
+  "CMakeFiles/worms_core.dir/offspring.cpp.o.d"
+  "CMakeFiles/worms_core.dir/planner.cpp.o"
+  "CMakeFiles/worms_core.dir/planner.cpp.o.d"
+  "CMakeFiles/worms_core.dir/scan_limit_policy.cpp.o"
+  "CMakeFiles/worms_core.dir/scan_limit_policy.cpp.o.d"
+  "libworms_core.a"
+  "libworms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

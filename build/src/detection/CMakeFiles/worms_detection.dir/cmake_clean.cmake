@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worms_detection.dir/trend_detector.cpp.o"
+  "CMakeFiles/worms_detection.dir/trend_detector.cpp.o.d"
+  "libworms_detection.a"
+  "libworms_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worms_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

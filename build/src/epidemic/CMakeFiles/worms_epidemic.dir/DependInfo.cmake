@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/epidemic/aawp.cpp" "src/epidemic/CMakeFiles/worms_epidemic.dir/aawp.cpp.o" "gcc" "src/epidemic/CMakeFiles/worms_epidemic.dir/aawp.cpp.o.d"
+  "/root/repo/src/epidemic/gillespie.cpp" "src/epidemic/CMakeFiles/worms_epidemic.dir/gillespie.cpp.o" "gcc" "src/epidemic/CMakeFiles/worms_epidemic.dir/gillespie.cpp.o.d"
+  "/root/repo/src/epidemic/models.cpp" "src/epidemic/CMakeFiles/worms_epidemic.dir/models.cpp.o" "gcc" "src/epidemic/CMakeFiles/worms_epidemic.dir/models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/worms_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/worms_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/worms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worms_epidemic.dir/aawp.cpp.o"
+  "CMakeFiles/worms_epidemic.dir/aawp.cpp.o.d"
+  "CMakeFiles/worms_epidemic.dir/gillespie.cpp.o"
+  "CMakeFiles/worms_epidemic.dir/gillespie.cpp.o.d"
+  "CMakeFiles/worms_epidemic.dir/models.cpp.o"
+  "CMakeFiles/worms_epidemic.dir/models.cpp.o.d"
+  "libworms_epidemic.a"
+  "libworms_epidemic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worms_epidemic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

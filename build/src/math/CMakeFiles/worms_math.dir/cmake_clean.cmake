@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worms_math.dir/brent.cpp.o"
+  "CMakeFiles/worms_math.dir/brent.cpp.o.d"
+  "CMakeFiles/worms_math.dir/linalg.cpp.o"
+  "CMakeFiles/worms_math.dir/linalg.cpp.o.d"
+  "CMakeFiles/worms_math.dir/ode.cpp.o"
+  "CMakeFiles/worms_math.dir/ode.cpp.o.d"
+  "CMakeFiles/worms_math.dir/specfun.cpp.o"
+  "CMakeFiles/worms_math.dir/specfun.cpp.o.d"
+  "libworms_math.a"
+  "libworms_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worms_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

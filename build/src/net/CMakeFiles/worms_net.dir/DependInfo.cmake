@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address_table.cpp" "src/net/CMakeFiles/worms_net.dir/address_table.cpp.o" "gcc" "src/net/CMakeFiles/worms_net.dir/address_table.cpp.o.d"
+  "/root/repo/src/net/host_registry.cpp" "src/net/CMakeFiles/worms_net.dir/host_registry.cpp.o" "gcc" "src/net/CMakeFiles/worms_net.dir/host_registry.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/worms_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/worms_net.dir/ipv4.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/worms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worms_net.dir/address_table.cpp.o"
+  "CMakeFiles/worms_net.dir/address_table.cpp.o.d"
+  "CMakeFiles/worms_net.dir/host_registry.cpp.o"
+  "CMakeFiles/worms_net.dir/host_registry.cpp.o.d"
+  "CMakeFiles/worms_net.dir/ipv4.cpp.o"
+  "CMakeFiles/worms_net.dir/ipv4.cpp.o.d"
+  "libworms_net.a"
+  "libworms_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worms_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/confidence.cpp" "src/stats/CMakeFiles/worms_stats.dir/confidence.cpp.o" "gcc" "src/stats/CMakeFiles/worms_stats.dir/confidence.cpp.o.d"
+  "/root/repo/src/stats/empirical.cpp" "src/stats/CMakeFiles/worms_stats.dir/empirical.cpp.o" "gcc" "src/stats/CMakeFiles/worms_stats.dir/empirical.cpp.o.d"
+  "/root/repo/src/stats/gof.cpp" "src/stats/CMakeFiles/worms_stats.dir/gof.cpp.o" "gcc" "src/stats/CMakeFiles/worms_stats.dir/gof.cpp.o.d"
+  "/root/repo/src/stats/pmf.cpp" "src/stats/CMakeFiles/worms_stats.dir/pmf.cpp.o" "gcc" "src/stats/CMakeFiles/worms_stats.dir/pmf.cpp.o.d"
+  "/root/repo/src/stats/samplers.cpp" "src/stats/CMakeFiles/worms_stats.dir/samplers.cpp.o" "gcc" "src/stats/CMakeFiles/worms_stats.dir/samplers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/worms_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/worms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worms_stats.dir/confidence.cpp.o"
+  "CMakeFiles/worms_stats.dir/confidence.cpp.o.d"
+  "CMakeFiles/worms_stats.dir/empirical.cpp.o"
+  "CMakeFiles/worms_stats.dir/empirical.cpp.o.d"
+  "CMakeFiles/worms_stats.dir/gof.cpp.o"
+  "CMakeFiles/worms_stats.dir/gof.cpp.o.d"
+  "CMakeFiles/worms_stats.dir/pmf.cpp.o"
+  "CMakeFiles/worms_stats.dir/pmf.cpp.o.d"
+  "CMakeFiles/worms_stats.dir/samplers.cpp.o"
+  "CMakeFiles/worms_stats.dir/samplers.cpp.o.d"
+  "libworms_stats.a"
+  "libworms_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worms_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libworms_stats.a"
+)

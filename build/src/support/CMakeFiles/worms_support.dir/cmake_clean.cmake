@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worms_support.dir/cli.cpp.o"
+  "CMakeFiles/worms_support.dir/cli.cpp.o.d"
+  "CMakeFiles/worms_support.dir/rng.cpp.o"
+  "CMakeFiles/worms_support.dir/rng.cpp.o.d"
+  "libworms_support.a"
+  "libworms_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worms_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

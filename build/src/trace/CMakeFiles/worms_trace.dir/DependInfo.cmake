@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analyzer.cpp" "src/trace/CMakeFiles/worms_trace.dir/analyzer.cpp.o" "gcc" "src/trace/CMakeFiles/worms_trace.dir/analyzer.cpp.o.d"
+  "/root/repo/src/trace/hyperloglog.cpp" "src/trace/CMakeFiles/worms_trace.dir/hyperloglog.cpp.o" "gcc" "src/trace/CMakeFiles/worms_trace.dir/hyperloglog.cpp.o.d"
+  "/root/repo/src/trace/synth.cpp" "src/trace/CMakeFiles/worms_trace.dir/synth.cpp.o" "gcc" "src/trace/CMakeFiles/worms_trace.dir/synth.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/worms_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/worms_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/worms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/worms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/worms_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/worms_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/worms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

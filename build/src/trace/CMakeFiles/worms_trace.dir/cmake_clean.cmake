@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worms_trace.dir/analyzer.cpp.o"
+  "CMakeFiles/worms_trace.dir/analyzer.cpp.o.d"
+  "CMakeFiles/worms_trace.dir/hyperloglog.cpp.o"
+  "CMakeFiles/worms_trace.dir/hyperloglog.cpp.o.d"
+  "CMakeFiles/worms_trace.dir/synth.cpp.o"
+  "CMakeFiles/worms_trace.dir/synth.cpp.o.d"
+  "CMakeFiles/worms_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/worms_trace.dir/trace_io.cpp.o.d"
+  "libworms_trace.a"
+  "libworms_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worms_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

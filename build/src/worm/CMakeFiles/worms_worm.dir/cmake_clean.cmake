@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worms_worm.dir/config.cpp.o"
+  "CMakeFiles/worms_worm.dir/config.cpp.o.d"
+  "CMakeFiles/worms_worm.dir/hit_level_sim.cpp.o"
+  "CMakeFiles/worms_worm.dir/hit_level_sim.cpp.o.d"
+  "CMakeFiles/worms_worm.dir/observer.cpp.o"
+  "CMakeFiles/worms_worm.dir/observer.cpp.o.d"
+  "CMakeFiles/worms_worm.dir/scan_level_sim.cpp.o"
+  "CMakeFiles/worms_worm.dir/scan_level_sim.cpp.o.d"
+  "libworms_worm.a"
+  "libworms_worm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worms_worm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_tests.dir/containment_policies_test.cpp.o"
+  "CMakeFiles/containment_tests.dir/containment_policies_test.cpp.o.d"
+  "CMakeFiles/containment_tests.dir/containment_sliding_window_test.cpp.o"
+  "CMakeFiles/containment_tests.dir/containment_sliding_window_test.cpp.o.d"
+  "containment_tests"
+  "containment_tests.pdb"
+  "containment_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core_borel_tanner_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core_borel_tanner_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core_cycle_controller_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core_cycle_controller_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core_galton_watson_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core_galton_watson_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core_multitype_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core_multitype_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core_offspring_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core_offspring_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core_planner_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core_planner_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core_scan_limit_policy_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core_scan_limit_policy_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

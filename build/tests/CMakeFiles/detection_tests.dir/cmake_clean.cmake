@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_tests.dir/detection_trend_test.cpp.o"
+  "CMakeFiles/detection_tests.dir/detection_trend_test.cpp.o.d"
+  "detection_tests"
+  "detection_tests.pdb"
+  "detection_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epidemic_tests.dir/epidemic_aawp_test.cpp.o"
+  "CMakeFiles/epidemic_tests.dir/epidemic_aawp_test.cpp.o.d"
+  "CMakeFiles/epidemic_tests.dir/epidemic_gillespie_test.cpp.o"
+  "CMakeFiles/epidemic_tests.dir/epidemic_gillespie_test.cpp.o.d"
+  "CMakeFiles/epidemic_tests.dir/epidemic_models_test.cpp.o"
+  "CMakeFiles/epidemic_tests.dir/epidemic_models_test.cpp.o.d"
+  "epidemic_tests"
+  "epidemic_tests.pdb"
+  "epidemic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epidemic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_tests.dir/math_linalg_test.cpp.o"
+  "CMakeFiles/math_tests.dir/math_linalg_test.cpp.o.d"
+  "CMakeFiles/math_tests.dir/math_ode_test.cpp.o"
+  "CMakeFiles/math_tests.dir/math_ode_test.cpp.o.d"
+  "CMakeFiles/math_tests.dir/math_specfun_test.cpp.o"
+  "CMakeFiles/math_tests.dir/math_specfun_test.cpp.o.d"
+  "CMakeFiles/math_tests.dir/math_util_test.cpp.o"
+  "CMakeFiles/math_tests.dir/math_util_test.cpp.o.d"
+  "math_tests"
+  "math_tests.pdb"
+  "math_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

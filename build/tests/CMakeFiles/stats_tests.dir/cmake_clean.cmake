@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_tests.dir/stats_confidence_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats_confidence_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats_empirical_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats_empirical_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats_gof_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats_gof_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats_pmf_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats_pmf_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats_samplers_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats_samplers_test.cpp.o.d"
+  "stats_tests"
+  "stats_tests.pdb"
+  "stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_tests.dir/worm_edge_cases_test.cpp.o"
+  "CMakeFiles/worm_tests.dir/worm_edge_cases_test.cpp.o.d"
+  "CMakeFiles/worm_tests.dir/worm_equivalence_test.cpp.o"
+  "CMakeFiles/worm_tests.dir/worm_equivalence_test.cpp.o.d"
+  "CMakeFiles/worm_tests.dir/worm_hit_level_test.cpp.o"
+  "CMakeFiles/worm_tests.dir/worm_hit_level_test.cpp.o.d"
+  "CMakeFiles/worm_tests.dir/worm_mixed_traffic_test.cpp.o"
+  "CMakeFiles/worm_tests.dir/worm_mixed_traffic_test.cpp.o.d"
+  "CMakeFiles/worm_tests.dir/worm_scan_level_test.cpp.o"
+  "CMakeFiles/worm_tests.dir/worm_scan_level_test.cpp.o.d"
+  "worm_tests"
+  "worm_tests.pdb"
+  "worm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

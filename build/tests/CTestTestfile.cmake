@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/math_tests[1]_include.cmake")
+include("/root/repo/build/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/epidemic_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/detection_tests[1]_include.cmake")
+include("/root/repo/build/tests/containment_tests[1]_include.cmake")
+include("/root/repo/build/tests/worm_tests[1]_include.cmake")
+include("/root/repo/build/tests/trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(wormctl.plan "/root/repo/build/tools/wormctl" "plan" "--hosts" "360000" "--i0" "10" "--max-infected" "360" "--confidence" "0.99")
+set_tests_properties(wormctl.plan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wormctl.plan_with_cycle "/root/repo/build/tools/wormctl" "plan" "--hosts" "360000" "--observed-max-distinct" "4000" "--reference-days" "30")
+set_tests_properties(wormctl.plan_with_cycle PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wormctl.extinction "/root/repo/build/tools/wormctl" "extinction" "--hosts" "360000" "--budget" "10000" "--generations" "10")
+set_tests_properties(wormctl.extinction PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wormctl.simulate "/root/repo/build/tools/wormctl" "simulate" "--hosts" "120000" "--budget" "10000" "--rate" "4000" "--runs" "50")
+set_tests_properties(wormctl.simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wormctl.multitype "/root/repo/build/tools/wormctl" "multitype" "--local-density" "5e-3" "--global-density" "2e-5" "--local-share" "0.8")
+set_tests_properties(wormctl.multitype PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wormctl.synth_audit_roundtrip "/usr/bin/cmake" "-DWORMCTL=/root/repo/build/tools/wormctl" "-DWORKDIR=/root/repo/build/tools" "-P" "/root/repo/tools/synth_audit_test.cmake")
+set_tests_properties(wormctl.synth_audit_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wormctl.rejects_unknown_flag "/root/repo/build/tools/wormctl" "plan" "--hosts" "1000" "--no-such-flag" "3")
+set_tests_properties(wormctl.rejects_unknown_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(wormctl.usage_on_bad_command "/root/repo/build/tools/wormctl" "frobnicate")
+set_tests_properties(wormctl.usage_on_bad_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
