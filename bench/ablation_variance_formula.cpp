@@ -43,11 +43,12 @@ int main() {
   }
 
   // 3. Worm-simulator Monte Carlo (4k runs).
-  const auto mc = analysis::run_monte_carlo(4'000, 0xA3A3,
-                                            [&](std::uint64_t seed, std::uint64_t) {
-                                              worm::HitLevelSimulation sim(cfg, m, seed);
-                                              return sim.run().total_infected;
-                                            });
+  const auto mc = analysis::run_monte_carlo(
+      {.runs = 4'000, .base_seed = 0xA3A3, .threads = 0},
+      [&](std::uint64_t seed, std::uint64_t) {
+        worm::HitLevelSimulation sim(cfg, m, seed);
+        return sim.run().total_infected;
+      });
 
   std::printf("== Ablation A3: which variance formula is right? ==\n");
   std::printf("Code Red, I0=10, M=10000, lambda=%.4f\n\n", lambda);

@@ -23,11 +23,12 @@ int main() {
   std::printf("lambda = %.3f, %llu Monte Carlo runs (hit-level engine)\n\n", lambda,
               static_cast<unsigned long long>(runs));
 
-  const auto mc = analysis::run_monte_carlo(runs, /*base_seed=*/0x0707,
-                                            [&](std::uint64_t seed, std::uint64_t) {
-                                              worm::HitLevelSimulation sim(cfg, m, seed);
-                                              return sim.run().total_infected;
-                                            });
+  const auto mc = analysis::run_monte_carlo(
+      {.runs = runs, .base_seed = 0x0707, .threads = 0},
+      [&](std::uint64_t seed, std::uint64_t) {
+        worm::HitLevelSimulation sim(cfg, m, seed);
+        return sim.run().total_infected;
+      });
 
   // Bucket I into width-10 bins like the paper's plot resolution.
   analysis::Table t({"k bin", "simulated freq", "Borel-Tanner P"});

@@ -22,11 +22,12 @@ int main() {
   std::printf("V=%u, lambda = %.3f, %llu runs\n\n", cfg.vulnerable_hosts, lambda,
               static_cast<unsigned long long>(runs));
 
-  const auto mc = analysis::run_monte_carlo(runs, /*base_seed=*/0x1111,
-                                            [&](std::uint64_t seed, std::uint64_t) {
-                                              worm::HitLevelSimulation sim(cfg, m, seed);
-                                              return sim.run().total_infected;
-                                            });
+  const auto mc = analysis::run_monte_carlo(
+      {.runs = runs, .base_seed = 0x1111, .threads = 0},
+      [&](std::uint64_t seed, std::uint64_t) {
+        worm::HitLevelSimulation sim(cfg, m, seed);
+        return sim.run().total_infected;
+      });
 
   analysis::Table t({"k", "simulated freq", "Borel-Tanner P{I=k}"});
   for (std::uint64_t k = 10; k <= 30; ++k) {

@@ -16,11 +16,12 @@ int main() {
   const std::uint64_t runs = 1'000;
   const core::BorelTanner law(static_cast<double>(m) * cfg.density(), cfg.initial_infected);
 
-  const auto mc = analysis::run_monte_carlo(runs, /*base_seed=*/0x1212,
-                                            [&](std::uint64_t seed, std::uint64_t) {
-                                              worm::HitLevelSimulation sim(cfg, m, seed);
-                                              return sim.run().total_infected;
-                                            });
+  const auto mc = analysis::run_monte_carlo(
+      {.runs = runs, .base_seed = 0x1212, .threads = 0},
+      [&](std::uint64_t seed, std::uint64_t) {
+        worm::HitLevelSimulation sim(cfg, m, seed);
+        return sim.run().total_infected;
+      });
 
   std::printf("== Fig. 12: Slammer, M=10000 — cumulative distribution of I ==\n\n");
   analysis::Table t({"k", "simulated P{I<=k}", "Borel-Tanner P{I<=k}"});

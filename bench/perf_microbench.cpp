@@ -1,10 +1,11 @@
 // google-benchmark microbenchmarks of the hot substrates: RNG, samplers,
-// address table, event queue, Borel–Tanner evaluation, and one end-to-end
-// contained outbreak per engine.
+// address table, event queue, Borel–Tanner evaluation, one end-to-end
+// contained outbreak per engine, and the parallel Monte Carlo sweep.
 #include <benchmark/benchmark.h>
 
 #include <memory>
 
+#include "analysis/monte_carlo.hpp"
 #include "core/borel_tanner.hpp"
 #include "core/scan_limit_policy.hpp"
 #include "net/address_table.hpp"
@@ -125,5 +126,30 @@ void BM_ScanLevelSmallWorldRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScanLevelSmallWorldRun)->Unit(benchmark::kMillisecond);
+
+// 500-run Code Red sweep through the redesigned engine; the argument is the
+// thread count (0 = one worker per hardware thread).  Outcomes are
+// bit-identical across rows — only the wall clock moves, so compare real
+// time, not CPU time.
+void BM_MonteCarloCodeRed500(benchmark::State& state) {
+  const worm::WormConfig cfg = worm::WormConfig::code_red();
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const auto mc = analysis::run_monte_carlo(
+        {.runs = 500, .base_seed = 0x0500, .threads = threads},
+        [&](std::uint64_t seed, std::uint64_t) {
+          worm::HitLevelSimulation sim(cfg, 10'000, seed);
+          return sim.run().total_infected;
+        });
+    benchmark::DoNotOptimize(mc.summary.mean());
+  }
+}
+BENCHMARK(BM_MonteCarloCodeRed500)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

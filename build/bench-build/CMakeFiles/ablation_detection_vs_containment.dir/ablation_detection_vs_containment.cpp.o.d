@@ -126,10 +126,11 @@ bench-build/CMakeFiles/ablation_detection_vs_containment.dir/ablation_detection_
  /root/repo/src/detection/trend_detector.hpp \
  /root/repo/src/stats/samplers.hpp /root/repo/src/support/rng.hpp \
  /usr/include/c++/12/array /usr/include/c++/12/limits \
- /root/repo/src/worm/hit_level_sim.hpp /usr/include/c++/12/optional \
+ /root/repo/src/support/check.hpp /usr/include/c++/12/stdexcept \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /root/repo/src/worm/hit_level_sim.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/sim/engine.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
@@ -151,7 +152,6 @@ bench-build/CMakeFiles/ablation_detection_vs_containment.dir/ablation_detection_
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/time.hpp \
- /root/repo/src/support/check.hpp /usr/include/c++/12/stdexcept \
  /root/repo/src/worm/config.hpp /root/repo/src/worm/observer.hpp \
  /root/repo/src/net/host_registry.hpp \
  /root/repo/src/net/address_space.hpp /root/repo/src/net/ipv4.hpp \

@@ -147,10 +147,14 @@ bench-build/CMakeFiles/ablation_deterministic_vs_stochastic.dir/ablation_determi
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/core/galton_watson.hpp /root/repo/src/core/offspring.hpp \
  /root/repo/src/support/rng.hpp /usr/include/c++/12/array \
+ /root/repo/src/support/check.hpp /usr/include/c++/12/stdexcept \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/epidemic/gillespie.hpp /root/repo/src/epidemic/models.hpp \
  /root/repo/src/math/ode.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/hashtable.h \
@@ -163,8 +167,4 @@ bench-build/CMakeFiles/ablation_deterministic_vs_stochastic.dir/ablation_determi
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/stats/summary.hpp /root/repo/src/support/check.hpp \
- /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h
+ /root/repo/src/stats/summary.hpp

@@ -125,4 +125,8 @@ bench-build/CMakeFiles/fig03_extinction_probability.dir/fig03_extinction_probabi
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/analysis/table.hpp \
  /root/repo/src/core/galton_watson.hpp /root/repo/src/core/offspring.hpp \
  /root/repo/src/support/rng.hpp /usr/include/c++/12/array \
- /usr/include/c++/12/limits
+ /usr/include/c++/12/limits /root/repo/src/support/check.hpp \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h

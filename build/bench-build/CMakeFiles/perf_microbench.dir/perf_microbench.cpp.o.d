@@ -212,22 +212,57 @@ bench-build/CMakeFiles/perf_microbench.dir/perf_microbench.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/core/borel_tanner.hpp \
- /root/repo/src/core/scan_limit_policy.hpp \
- /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/analysis/monte_carlo.hpp \
+ /root/repo/src/stats/empirical.hpp /root/repo/src/stats/summary.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/support/check.hpp /root/repo/src/support/rng.hpp \
+ /usr/include/c++/12/array /root/repo/src/support/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/core/borel_tanner.hpp \
+ /root/repo/src/core/scan_limit_policy.hpp \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/core/containment_policy.hpp \
  /root/repo/src/net/host_registry.hpp /usr/include/c++/12/optional \
  /root/repo/src/net/address_space.hpp /root/repo/src/net/ipv4.hpp \
- /root/repo/src/support/check.hpp /root/repo/src/support/rng.hpp \
- /usr/include/c++/12/array /root/repo/src/net/address_table.hpp \
- /root/repo/src/sim/time.hpp /root/repo/src/sim/event_queue.hpp \
- /root/repo/src/stats/samplers.hpp /root/repo/src/worm/hit_level_sim.hpp \
- /root/repo/src/sim/engine.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/worm/config.hpp \
- /root/repo/src/worm/observer.hpp /root/repo/src/worm/result.hpp \
- /root/repo/src/worm/scan_level_sim.hpp
+ /root/repo/src/net/address_table.hpp /root/repo/src/sim/time.hpp \
+ /root/repo/src/sim/event_queue.hpp /root/repo/src/stats/samplers.hpp \
+ /root/repo/src/worm/hit_level_sim.hpp /root/repo/src/sim/engine.hpp \
+ /root/repo/src/worm/config.hpp /root/repo/src/worm/observer.hpp \
+ /root/repo/src/worm/result.hpp /root/repo/src/worm/scan_level_sim.hpp

@@ -147,4 +147,8 @@ bench-build/CMakeFiles/table_headline_claims.dir/table_headline_claims.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/borel_tanner.hpp \
  /root/repo/src/core/galton_watson.hpp /root/repo/src/core/offspring.hpp \
  /root/repo/src/support/rng.hpp /usr/include/c++/12/array \
+ /root/repo/src/support/check.hpp /usr/include/c++/12/stdexcept \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/core/planner.hpp /root/repo/src/sim/time.hpp

@@ -123,4 +123,8 @@ examples/CMakeFiles/multitype_planning.dir/multitype_planning.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/multitype.hpp \
  /root/repo/src/math/linalg.hpp /root/repo/src/support/rng.hpp \
- /usr/include/c++/12/array /usr/include/c++/12/limits
+ /usr/include/c++/12/array /usr/include/c++/12/limits \
+ /root/repo/src/support/check.hpp /usr/include/c++/12/stdexcept \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h

@@ -125,10 +125,10 @@ src/core/CMakeFiles/worms_core.dir/planner.cpp.o: \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/support/rng.hpp \
  /usr/include/c++/12/array /usr/include/c++/12/limits \
- /root/repo/src/net/address_space.hpp /root/repo/src/net/ipv4.hpp \
- /usr/include/c++/12/optional /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
+ /root/repo/src/support/check.hpp /usr/include/c++/12/stdexcept \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/support/check.hpp /usr/include/c++/12/stdexcept
+ /root/repo/src/net/address_space.hpp /root/repo/src/net/ipv4.hpp \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h

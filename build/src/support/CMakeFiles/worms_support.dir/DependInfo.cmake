@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/cli.cpp" "src/support/CMakeFiles/worms_support.dir/cli.cpp.o" "gcc" "src/support/CMakeFiles/worms_support.dir/cli.cpp.o.d"
   "/root/repo/src/support/rng.cpp" "src/support/CMakeFiles/worms_support.dir/rng.cpp.o" "gcc" "src/support/CMakeFiles/worms_support.dir/rng.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/support/CMakeFiles/worms_support.dir/thread_pool.cpp.o" "gcc" "src/support/CMakeFiles/worms_support.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/worms_support.dir/cli.cpp.o.d"
   "CMakeFiles/worms_support.dir/rng.cpp.o"
   "CMakeFiles/worms_support.dir/rng.cpp.o.d"
+  "CMakeFiles/worms_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/worms_support.dir/thread_pool.cpp.o.d"
   "libworms_support.a"
   "libworms_support.pdb"
 )

@@ -316,17 +316,28 @@ tests/CMakeFiles/integration_tests.dir/integration_paper_claims_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/analysis/monte_carlo.hpp \
+ /root/repo/src/analysis/monte_carlo.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/stats/empirical.hpp /root/repo/src/stats/summary.hpp \
  /root/repo/src/support/check.hpp /root/repo/src/support/rng.hpp \
+ /root/repo/src/support/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
  /root/repo/src/core/borel_tanner.hpp \
  /root/repo/src/core/galton_watson.hpp /root/repo/src/core/offspring.hpp \
  /root/repo/src/core/planner.hpp /root/repo/src/sim/time.hpp \
  /root/repo/src/stats/gof.hpp /root/repo/src/worm/hit_level_sim.hpp \
  /root/repo/src/sim/engine.hpp /root/repo/src/sim/event_queue.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/worm/config.hpp /root/repo/src/worm/observer.hpp \
  /root/repo/src/net/host_registry.hpp \
  /root/repo/src/net/address_space.hpp /root/repo/src/net/ipv4.hpp \

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_parallel_mc_test.cpp" "tests/CMakeFiles/parallel_mc_tests.dir/analysis_parallel_mc_test.cpp.o" "gcc" "tests/CMakeFiles/parallel_mc_tests.dir/analysis_parallel_mc_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/worms_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/worms_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/worm/CMakeFiles/worms_worm.dir/DependInfo.cmake"
+  "/root/repo/build/src/containment/CMakeFiles/worms_containment.dir/DependInfo.cmake"
+  "/root/repo/build/src/epidemic/CMakeFiles/worms_epidemic.dir/DependInfo.cmake"
+  "/root/repo/build/src/detection/CMakeFiles/worms_detection.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/worms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/worms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/worms_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/worms_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/worms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_mc_tests.dir/analysis_parallel_mc_test.cpp.o"
+  "CMakeFiles/parallel_mc_tests.dir/analysis_parallel_mc_test.cpp.o.d"
+  "parallel_mc_tests"
+  "parallel_mc_tests.pdb"
+  "parallel_mc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_mc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -317,8 +317,8 @@ tests/CMakeFiles/property_tests.dir/property_sweeps_test.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/core/borel_tanner.hpp \
  /root/repo/src/core/galton_watson.hpp /root/repo/src/core/offspring.hpp \
- /root/repo/src/support/rng.hpp /root/repo/src/stats/summary.hpp \
- /root/repo/src/support/check.hpp /root/repo/src/worm/hit_level_sim.hpp \
+ /root/repo/src/support/rng.hpp /root/repo/src/support/check.hpp \
+ /root/repo/src/stats/summary.hpp /root/repo/src/worm/hit_level_sim.hpp \
  /root/repo/src/sim/engine.hpp /root/repo/src/sim/event_queue.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/stats_confidence_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats_confidence_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats_confidence_test.cpp.o.d"
   "/root/repo/tests/stats_empirical_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats_empirical_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats_empirical_test.cpp.o.d"
   "/root/repo/tests/stats_gof_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats_gof_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats_gof_test.cpp.o.d"
+  "/root/repo/tests/stats_merge_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats_merge_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats_merge_test.cpp.o.d"
   "/root/repo/tests/stats_pmf_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats_pmf_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats_pmf_test.cpp.o.d"
   "/root/repo/tests/stats_samplers_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats_samplers_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats_samplers_test.cpp.o.d"
   )

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/stats_tests.dir/stats_empirical_test.cpp.o.d"
   "CMakeFiles/stats_tests.dir/stats_gof_test.cpp.o"
   "CMakeFiles/stats_tests.dir/stats_gof_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats_merge_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats_merge_test.cpp.o.d"
   "CMakeFiles/stats_tests.dir/stats_pmf_test.cpp.o"
   "CMakeFiles/stats_tests.dir/stats_pmf_test.cpp.o.d"
   "CMakeFiles/stats_tests.dir/stats_samplers_test.cpp.o"

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/support_cli_test.cpp" "tests/CMakeFiles/support_tests.dir/support_cli_test.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support_cli_test.cpp.o.d"
   "/root/repo/tests/support_rng_test.cpp" "tests/CMakeFiles/support_tests.dir/support_rng_test.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support_rng_test.cpp.o.d"
+  "/root/repo/tests/support_thread_pool_test.cpp" "tests/CMakeFiles/support_tests.dir/support_thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support_thread_pool_test.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/support_tests.dir/support_cli_test.cpp.o.d"
   "CMakeFiles/support_tests.dir/support_rng_test.cpp.o"
   "CMakeFiles/support_tests.dir/support_rng_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support_thread_pool_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support_thread_pool_test.cpp.o.d"
   "support_tests"
   "support_tests.pdb"
   "support_tests[1]_tests.cmake"

@@ -16,5 +16,6 @@ include("/root/repo/build/tests/containment_tests[1]_include.cmake")
 include("/root/repo/build/tests/worm_tests[1]_include.cmake")
 include("/root/repo/build/tests/trace_tests[1]_include.cmake")
 include("/root/repo/build/tests/analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/parallel_mc_tests[1]_include.cmake")
 include("/root/repo/build/tests/property_tests[1]_include.cmake")
 include("/root/repo/build/tests/integration_tests[1]_include.cmake")

@@ -49,11 +49,12 @@ int main(int argc, char** argv) {
   // --- Monte Carlo vs Borel–Tanner (cf. paper Figs. 7/8) ---
   const double lambda = static_cast<double>(m) * cfg.density();
   const core::BorelTanner law(lambda, cfg.initial_infected);
-  const auto mc = analysis::run_monte_carlo(runs, /*base_seed=*/0xC0DE,
-                                            [&](std::uint64_t seed, std::uint64_t) {
-                                              worm::HitLevelSimulation sim(cfg, m, seed);
-                                              return sim.run().total_infected;
-                                            });
+  const auto mc = analysis::run_monte_carlo(
+      {.runs = runs, .base_seed = 0xC0DE, .threads = 0},
+      [&](std::uint64_t seed, std::uint64_t) {
+        worm::HitLevelSimulation sim(cfg, m, seed);
+        return sim.run().total_infected;
+      });
 
   std::printf("\nMonte Carlo over %llu runs (hit-level engine):\n",
               static_cast<unsigned long long>(runs));

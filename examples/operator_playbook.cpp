@@ -61,7 +61,7 @@ int main() {
   std::printf("[4/4] validating: 300 full-scale Code Red outbreaks under M...\n");
   auto cfg = worm::WormConfig::code_red();
   const auto mc = analysis::run_monte_carlo(
-      300, /*base_seed=*/0x0b5e,
+      {.runs = 300, .base_seed = 0x0b5e, .threads = 0},
       [&](std::uint64_t seed, std::uint64_t) {
         worm::HitLevelSimulation sim(cfg, plan.scan_limit, seed);
         return sim.run().total_infected;

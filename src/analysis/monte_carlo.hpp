@@ -2,13 +2,28 @@
 // the integer outcome (here: total infections I) into a frequency table and
 // summary.  Run k always uses stream seed derive_seed(base_seed, k), so a
 // sweep is reproducible and insensitive to execution order.
+//
+// Parallel execution (DESIGN.md §5 "Determinism"): the run indices are
+// sharded into fixed-size chunks whose boundaries depend only on `runs` —
+// never on the thread count — and every chunk owns its own
+// FrequencyTable/Summary accumulator.  Workers steal whole chunks; after the
+// pool drains, chunk accumulators are merged in ascending chunk order
+// (FrequencyTable::merge is exact integer addition, Summary::merge is Chan's
+// pairwise combination).  Because both the per-run seeds and the merge order
+// are fixed, the outcome is bit-identical for any thread count, including
+// the single-threaded path.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "stats/empirical.hpp"
 #include "stats/summary.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace worms::analysis {
 
@@ -23,18 +38,89 @@ struct MonteCarloOutcome {
   }
 };
 
-/// `experiment(seed, run_index)` returns the run's integer outcome.
+/// Options for run_monte_carlo.  `threads == 1` executes everything on the
+/// calling thread (no pool is created); `threads == 0` means "auto": one
+/// worker per hardware thread.  Any thread count yields bit-identical
+/// outcomes, so `threads` is purely a wall-clock knob.
+struct MonteCarloOptions {
+  std::uint64_t runs = 0;
+  std::uint64_t base_seed = 0;
+  unsigned threads = 1;
+};
+
+namespace detail {
+
+/// Shard width in runs.  A deterministic function of nothing — chunk
+/// boundaries must depend only on `runs` so the merge order (and hence the
+/// floating-point result) is invariant under the thread count.
+inline constexpr std::uint64_t kMonteCarloChunk = 32;
+
+struct MonteCarloShard {
+  stats::FrequencyTable totals;
+  stats::Summary summary;
+};
+
+}  // namespace detail
+
+/// `experiment(seed, run_index)` returns the run's integer outcome.  With
+/// `options.threads != 1` the experiment is invoked concurrently from
+/// multiple threads, so it must not mutate shared state; if it throws, the
+/// first exception is rethrown after the pool drains.
 template <typename Experiment>
-[[nodiscard]] MonteCarloOutcome run_monte_carlo(std::uint64_t runs, std::uint64_t base_seed,
+[[nodiscard]] MonteCarloOutcome run_monte_carlo(const MonteCarloOptions& options,
                                                 Experiment&& experiment) {
   MonteCarloOutcome out;
-  out.runs = runs;
-  for (std::uint64_t k = 0; k < runs; ++k) {
-    const std::uint64_t value = experiment(support::derive_seed(base_seed, k), k);
-    out.totals.add(value);
-    out.summary.add(static_cast<double>(value));
+  out.runs = options.runs;
+  if (options.runs == 0) return out;
+
+  const std::uint64_t chunks =
+      (options.runs + detail::kMonteCarloChunk - 1) / detail::kMonteCarloChunk;
+  std::vector<detail::MonteCarloShard> shards(chunks);
+
+  auto run_chunk = [&](std::uint64_t c) {
+    const std::uint64_t lo = c * detail::kMonteCarloChunk;
+    const std::uint64_t hi = std::min(options.runs, lo + detail::kMonteCarloChunk);
+    detail::MonteCarloShard& shard = shards[c];
+    for (std::uint64_t k = lo; k < hi; ++k) {
+      const std::uint64_t value = experiment(support::derive_seed(options.base_seed, k), k);
+      shard.totals.add(value);
+      shard.summary.add(static_cast<double>(value));
+    }
+  };
+
+  const std::uint64_t requested =
+      options.threads == 0 ? support::ThreadPool::hardware_threads() : options.threads;
+  const unsigned threads = static_cast<unsigned>(std::min<std::uint64_t>(requested, chunks));
+  if (threads <= 1) {
+    for (std::uint64_t c = 0; c < chunks; ++c) run_chunk(c);
+  } else {
+    std::atomic<std::uint64_t> next{0};
+    support::ThreadPool pool(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.submit([&] {
+        for (std::uint64_t c = next.fetch_add(1, std::memory_order_relaxed); c < chunks;
+             c = next.fetch_add(1, std::memory_order_relaxed)) {
+          run_chunk(c);
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+
+  for (const auto& shard : shards) {
+    out.totals.merge(shard.totals);
+    out.summary.merge(shard.summary);
   }
   return out;
+}
+
+/// Positional API kept for one release; forwards to the serial options path.
+template <typename Experiment>
+[[deprecated("use run_monte_carlo(MonteCarloOptions{.runs, .base_seed, .threads}, experiment)")]]
+[[nodiscard]] MonteCarloOutcome run_monte_carlo(std::uint64_t runs, std::uint64_t base_seed,
+                                                Experiment&& experiment) {
+  return run_monte_carlo(MonteCarloOptions{.runs = runs, .base_seed = base_seed, .threads = 1},
+                         std::forward<Experiment>(experiment));
 }
 
 }  // namespace worms::analysis

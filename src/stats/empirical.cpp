@@ -44,6 +44,11 @@ double EmpiricalDistribution::variance() const {
   return acc.value() / static_cast<double>(sorted_.size() - 1);
 }
 
+void FrequencyTable::merge(const FrequencyTable& other) {
+  for (const auto& [value, count] : other.counts_) counts_[value] += count;
+  total_ += other.total_;
+}
+
 std::uint64_t FrequencyTable::count(std::uint64_t value) const {
   const auto it = counts_.find(value);
   return it == counts_.end() ? 0 : it->second;

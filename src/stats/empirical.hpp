@@ -36,6 +36,10 @@ class FrequencyTable {
 
   void add(std::uint64_t value) { ++counts_[value]; ++total_; }
 
+  /// Merges another table (parallel reduction); exact — equivalent to having
+  /// added the other table's observations here, in any order.
+  void merge(const FrequencyTable& other);
+
   [[nodiscard]] std::uint64_t count(std::uint64_t value) const;
   [[nodiscard]] double relative_frequency(std::uint64_t value) const;
   /// Fraction of observations <= value.

@@ -4,10 +4,9 @@
 
 namespace worms::support {
 
-std::uint64_t Rng::below(std::uint64_t bound) noexcept {
-  // Lemire's nearly-divisionless method.  For bound == 0 we define the result
-  // as a full-range draw reduced to 0 (callers guard this; noexcept path).
-  if (bound == 0) return 0;
+std::uint64_t Rng::below(std::uint64_t bound) {
+  // Lemire's nearly-divisionless method.
+  WORMS_EXPECTS(bound > 0);
   while (true) {
     const std::uint64_t x = gen_();
     const unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "support/check.hpp"
+
 namespace worms::support {
 
 /// SplitMix64 step: the standard 64-bit finalizer-based generator.
@@ -130,12 +132,15 @@ class Rng {
   }
 
   /// Uniform integer in [0, bound) by Lemire's multiply-shift rejection
-  /// method — unbiased and branch-light.
-  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+  /// method — unbiased and branch-light.  `bound` must be positive ([0, 0)
+  /// is empty; the old behaviour of silently returning 0 hid caller bugs).
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound);
 
-  /// Uniform integer in [lo, hi] inclusive.
-  [[nodiscard]] std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
-    return lo + below(hi - lo + 1);
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  [[nodiscard]] std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    WORMS_EXPECTS(lo <= hi);
+    const std::uint64_t span = hi - lo + 1;
+    return span == 0 ? u64() : lo + below(span);  // span == 0 ⇔ full 2^64 range
   }
 
   /// Bernoulli(prob) draw.

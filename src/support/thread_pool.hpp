@@ -1,0 +1,62 @@
+// Fixed-size worker thread pool for deterministic fan-out/fan-in workloads.
+//
+// The pool is intentionally minimal: submit() enqueues fire-and-forget jobs,
+// wait_idle() blocks until every submitted job has finished (rethrowing the
+// first exception any job raised), and the destructor drains the queue before
+// joining.  Consumers that need deterministic results (see
+// analysis::run_monte_carlo) must make determinism a property of the *work
+// decomposition*, not of the scheduling: the pool gives no ordering
+// guarantees beyond "every job runs exactly once".
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace worms::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers (must be >= 1).
+  explicit ThreadPool(unsigned thread_count);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; any worker may pick it up, in any order.
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and no job is executing.  If any job
+  /// threw, rethrows the first such exception (later ones are dropped).
+  void wait_idle();
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// std::thread::hardware_concurrency with the "0 = unknown" case mapped
+  /// to 1, so callers can use it directly as a thread count.
+  [[nodiscard]] static unsigned hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace worms::support

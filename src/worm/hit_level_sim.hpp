@@ -36,7 +36,7 @@ class HitLevelSimulation {
   void add_observer(OutbreakObserver* observer);
 
   /// Runs to quiescence, the horizon, or the configured infection cap.
-  /// Call at most once.
+  /// Call at most once: a second call throws support::PreconditionError.
   [[nodiscard]] OutbreakResult run(sim::SimTime horizon = 1e300);
 
   [[nodiscard]] const WormConfig& config() const noexcept { return config_; }

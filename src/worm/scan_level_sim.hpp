@@ -35,7 +35,8 @@ class ScanLevelSimulation {
   void add_observer(OutbreakObserver* observer);
 
   /// Runs to quiescence (queue drained), the horizon, or the configured
-  /// infection cap, whichever is first.  Call at most once.
+  /// infection cap, whichever is first.  Call at most once: a second call
+  /// throws support::PreconditionError (enforced, not just documented).
   [[nodiscard]] OutbreakResult run(sim::SimTime horizon = 1e300);
 
   [[nodiscard]] const net::HostRegistry& registry() const noexcept { return registry_; }

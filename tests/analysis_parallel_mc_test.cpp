@@ -1,0 +1,94 @@
+// Determinism of the parallel Monte Carlo engine: for any thread count the
+// outcome must be bit-identical to the serial path, because run seeds derive
+// from (base_seed, k) and chunk accumulators merge in fixed chunk order.
+// This file is its own test binary so a WORMS_SANITIZE=thread build can run
+// it under TSan as a dedicated CTest entry.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "analysis/monte_carlo.hpp"
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+#include "worm/hit_level_sim.hpp"
+
+namespace worms::analysis {
+namespace {
+
+/// Contained Code Red sweep through the hit-level engine (the workload the
+/// fig07–fig12 pipeline runs thousands of times).
+MonteCarloOutcome codered_sweep(unsigned threads, std::uint64_t runs = 200) {
+  const worm::WormConfig cfg = worm::WormConfig::code_red();
+  return run_monte_carlo({.runs = runs, .base_seed = 0xDE7E, .threads = threads},
+                         [&](std::uint64_t seed, std::uint64_t) {
+                           worm::HitLevelSimulation sim(cfg, 10'000, seed);
+                           return sim.run().total_infected;
+                         });
+}
+
+TEST(ParallelMonteCarlo, BitIdenticalAcrossThreadCounts) {
+  const auto serial = codered_sweep(1);
+  ASSERT_EQ(serial.runs, 200u);
+  ASSERT_EQ(serial.totals.total(), 200u);
+
+  const unsigned hw = support::ThreadPool::hardware_threads();
+  for (const unsigned threads : {2u, 7u, hw, 0u}) {
+    const auto parallel = codered_sweep(threads);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(parallel.runs, serial.runs);
+    EXPECT_EQ(parallel.totals.counts(), serial.totals.counts());
+    EXPECT_EQ(parallel.summary.count(), serial.summary.count());
+    // Bit-identical floating point, not just "close": the chunked reduction
+    // is the canonical computation on every path.
+    EXPECT_EQ(parallel.summary.mean(), serial.summary.mean());
+    EXPECT_EQ(parallel.summary.variance(), serial.summary.variance());
+    EXPECT_EQ(parallel.summary.min(), serial.summary.min());
+    EXPECT_EQ(parallel.summary.max(), serial.summary.max());
+  }
+}
+
+TEST(ParallelMonteCarlo, SummaryAndTableAgreeOnMoments) {
+  const auto mc = codered_sweep(0, 96);
+  EXPECT_EQ(mc.summary.count(), mc.totals.total());
+  EXPECT_NEAR(mc.summary.mean(), mc.totals.mean(), 1e-9);
+  EXPECT_NEAR(mc.summary.variance(), mc.totals.variance(), 1e-6);
+  EXPECT_EQ(static_cast<std::uint64_t>(mc.summary.min()), mc.totals.min_value());
+  EXPECT_EQ(static_cast<std::uint64_t>(mc.summary.max()), mc.totals.max_value());
+}
+
+TEST(ParallelMonteCarlo, EveryRunIndexExecutesExactlyOnce) {
+  // 100 runs with outcome == run index: the frequency table must hold one
+  // observation of each index regardless of how chunks land on workers.
+  const auto mc = run_monte_carlo({.runs = 100, .base_seed = 5, .threads = 0},
+                                  [](std::uint64_t, std::uint64_t run) { return run; });
+  ASSERT_EQ(mc.totals.total(), 100u);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    ASSERT_EQ(mc.totals.count(k), 1u) << "run index " << k;
+  }
+}
+
+TEST(ParallelMonteCarlo, ExperimentExceptionPropagates) {
+  auto boom = [](std::uint64_t, std::uint64_t run) -> std::uint64_t {
+    if (run == 37) throw std::runtime_error("run 37 failed");
+    return 0;
+  };
+  EXPECT_THROW((void)run_monte_carlo({.runs = 64, .base_seed = 1, .threads = 4}, boom),
+               std::runtime_error);
+  EXPECT_THROW((void)run_monte_carlo({.runs = 64, .base_seed = 1, .threads = 1}, boom),
+               std::runtime_error);
+}
+
+TEST(ParallelMonteCarlo, MoreThreadsThanChunksIsHarmless) {
+  // 10 runs fit in a single 32-run chunk; a 16-thread request must clamp and
+  // still produce the serial outcome.
+  const auto serial = run_monte_carlo({.runs = 10, .base_seed = 3, .threads = 1},
+                                      [](std::uint64_t, std::uint64_t run) { return run * run; });
+  const auto wide = run_monte_carlo({.runs = 10, .base_seed = 3, .threads = 16},
+                                    [](std::uint64_t, std::uint64_t run) { return run * run; });
+  EXPECT_EQ(wide.totals.counts(), serial.totals.counts());
+  EXPECT_EQ(wide.summary.mean(), serial.summary.mean());
+}
+
+}  // namespace
+}  // namespace worms::analysis

@@ -11,9 +11,10 @@ namespace worms::analysis {
 namespace {
 
 TEST(MonteCarlo, AggregatesOutcomes) {
-  const auto out = run_monte_carlo(100, 1, [](std::uint64_t, std::uint64_t run) {
-    return run % 4;  // outcomes 0..3, 25 each
-  });
+  const auto out = run_monte_carlo({.runs = 100, .base_seed = 1, .threads = 1},
+                                   [](std::uint64_t, std::uint64_t run) {
+                                     return run % 4;  // outcomes 0..3, 25 each
+                                   });
   EXPECT_EQ(out.runs, 100u);
   EXPECT_EQ(out.totals.count(0), 25u);
   EXPECT_EQ(out.totals.count(3), 25u);
@@ -21,21 +22,44 @@ TEST(MonteCarlo, AggregatesOutcomes) {
   EXPECT_DOUBLE_EQ(out.empirical_cdf(1), 0.5);
 }
 
+TEST(MonteCarlo, ZeroRunsYieldEmptyOutcome) {
+  const auto out = run_monte_carlo({.runs = 0, .base_seed = 1, .threads = 0},
+                                   [](std::uint64_t, std::uint64_t) { return 1u; });
+  EXPECT_EQ(out.runs, 0u);
+  EXPECT_EQ(out.totals.total(), 0u);
+  EXPECT_EQ(out.summary.count(), 0u);
+}
+
 TEST(MonteCarlo, SeedsAreDistinctPerRunAndDeterministic) {
   std::vector<std::uint64_t> seeds_a;
-  (void)run_monte_carlo(50, 99, [&](std::uint64_t seed, std::uint64_t) {
-    seeds_a.push_back(seed);
-    return 0u;
-  });
+  (void)run_monte_carlo({.runs = 50, .base_seed = 99, .threads = 1},
+                        [&](std::uint64_t seed, std::uint64_t) {
+                          seeds_a.push_back(seed);
+                          return 0u;
+                        });
   std::vector<std::uint64_t> seeds_b;
-  (void)run_monte_carlo(50, 99, [&](std::uint64_t seed, std::uint64_t) {
-    seeds_b.push_back(seed);
-    return 0u;
-  });
+  (void)run_monte_carlo({.runs = 50, .base_seed = 99, .threads = 1},
+                        [&](std::uint64_t seed, std::uint64_t) {
+                          seeds_b.push_back(seed);
+                          return 0u;
+                        });
   EXPECT_EQ(seeds_a, seeds_b);
   std::sort(seeds_a.begin(), seeds_a.end());
   EXPECT_EQ(std::adjacent_find(seeds_a.begin(), seeds_a.end()), seeds_a.end())
       << "per-run seeds must be unique";
+}
+
+TEST(MonteCarlo, DeprecatedPositionalOverloadForwards) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto legacy = run_monte_carlo(64, 7, [](std::uint64_t, std::uint64_t run) {
+    return run % 2;
+  });
+#pragma GCC diagnostic pop
+  const auto fresh = run_monte_carlo({.runs = 64, .base_seed = 7, .threads = 1},
+                                     [](std::uint64_t, std::uint64_t run) { return run % 2; });
+  EXPECT_EQ(legacy.totals.counts(), fresh.totals.counts());
+  EXPECT_EQ(legacy.summary.mean(), fresh.summary.mean());
 }
 
 TEST(Table, AlignedOutput) {

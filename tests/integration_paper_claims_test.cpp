@@ -17,7 +17,9 @@ namespace {
 
 analysis::MonteCarloOutcome simulate_totals(const worm::WormConfig& config, std::uint64_t m,
                                             std::uint64_t runs, std::uint64_t base_seed) {
-  return analysis::run_monte_carlo(runs, base_seed,
+  // threads = 0 (auto): outcomes are thread-count invariant, so the claims
+  // checked below do not depend on the machine running the suite.
+  return analysis::run_monte_carlo({.runs = runs, .base_seed = base_seed, .threads = 0},
                                    [&](std::uint64_t seed, std::uint64_t) {
                                      worm::HitLevelSimulation sim(config, m, seed);
                                      return sim.run().total_infected;

@@ -1,0 +1,139 @@
+// Merge operations used by the parallel Monte Carlo reduction:
+// FrequencyTable::merge (exact integer addition) and Summary::merge
+// (Chan et al. pairwise mean/variance combination).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/empirical.hpp"
+#include "stats/summary.hpp"
+#include "support/rng.hpp"
+
+namespace worms::stats {
+namespace {
+
+TEST(FrequencyTableMerge, MatchesSequentialAdds) {
+  support::Rng rng(0x11);
+  FrequencyTable whole;
+  FrequencyTable left;
+  FrequencyTable right;
+  for (int i = 0; i < 2'000; ++i) {
+    const std::uint64_t v = rng.below(50);
+    whole.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.total(), whole.total());
+  EXPECT_EQ(left.counts(), whole.counts());
+  EXPECT_EQ(left.min_value(), whole.min_value());
+  EXPECT_EQ(left.max_value(), whole.max_value());
+}
+
+TEST(FrequencyTableMerge, EmptyIsIdentity) {
+  FrequencyTable table;
+  table.add(3);
+  table.add(3);
+  table.add(7);
+
+  FrequencyTable empty_lhs;
+  empty_lhs.merge(table);
+  EXPECT_EQ(empty_lhs.counts(), table.counts());
+  EXPECT_EQ(empty_lhs.total(), 3u);
+
+  FrequencyTable copy = table;
+  copy.merge(FrequencyTable{});
+  EXPECT_EQ(copy.counts(), table.counts());
+  EXPECT_EQ(copy.total(), 3u);
+}
+
+TEST(FrequencyTableMerge, OverlappingValuesAccumulate) {
+  FrequencyTable a;
+  FrequencyTable b;
+  a.add(5);
+  a.add(5);
+  b.add(5);
+  b.add(9);
+  a.merge(b);
+  EXPECT_EQ(a.count(5), 3u);
+  EXPECT_EQ(a.count(9), 1u);
+  EXPECT_EQ(a.total(), 4u);
+}
+
+TEST(SummaryMerge, EmptyIsIdentity) {
+  Summary filled;
+  filled.add(1.0);
+  filled.add(2.0);
+  filled.add(4.0);
+
+  Summary empty_lhs;
+  empty_lhs.merge(filled);
+  EXPECT_EQ(empty_lhs.count(), 3u);
+  EXPECT_EQ(empty_lhs.mean(), filled.mean());
+  EXPECT_EQ(empty_lhs.variance(), filled.variance());
+
+  Summary copy = filled;
+  copy.merge(Summary{});
+  EXPECT_EQ(copy.count(), 3u);
+  EXPECT_EQ(copy.mean(), filled.mean());
+  EXPECT_EQ(copy.variance(), filled.variance());
+}
+
+TEST(SummaryMerge, AgreesWithSequentialWelford) {
+  support::Rng rng(0x22);
+  Summary whole;
+  Summary left;
+  Summary right;
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.uniform() * 100.0;
+    whole.add(x);
+    (i < 3'000 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+}
+
+TEST(SummaryMerge, NumericallyStableUnderLargeOffset) {
+  // Classic catastrophic-cancellation setup: tiny variance on a huge mean.
+  // Chan's combination must not lose the spread.
+  const double offset = 1e9;
+  Summary left;
+  Summary right;
+  for (int i = 0; i < 500; ++i) {
+    left.add(offset + (i % 2 == 0 ? 0.5 : -0.5));
+    right.add(offset + (i % 2 == 0 ? 1.5 : -1.5));
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), 1'000u);
+  EXPECT_NEAR(left.mean(), offset, 1e-3);
+  // Population variance (0.25 + 2.25) / 2 = 1.25, Bessel-corrected by
+  // n/(n-1).  A naive sum-of-squares accumulator loses all of it at 1e9.
+  EXPECT_NEAR(left.variance(), 1.25 * 1000.0 / 999.0, 1e-6);
+}
+
+TEST(SummaryMerge, DeterministicMergeOrderIsBitStable) {
+  // Merging the same shards in the same order twice must give bit-identical
+  // floats — this is what the parallel Monte Carlo reduction relies on.
+  auto build = [] {
+    support::Rng rng(0x33);
+    std::vector<Summary> shards(7);
+    for (int i = 0; i < 700; ++i) shards[i % 7].add(rng.uniform() * 10.0);
+    Summary merged;
+    for (const auto& s : shards) merged.merge(s);
+    return merged;
+  };
+  const Summary a = build();
+  const Summary b = build();
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+}  // namespace
+}  // namespace worms::stats

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 #include <vector>
+
+#include "support/check.hpp"
 
 namespace worms::support {
 namespace {
@@ -65,6 +68,33 @@ TEST(Rng, BelowIsApproximatelyUniform) {
   for (int c : counts) {
     EXPECT_NEAR(c, n / 10, 500);  // ~5σ for binomial(1e5, 0.1)
   }
+}
+
+TEST(Rng, BelowZeroBoundIsRejected) {
+  // [0, 0) is empty; the old behaviour silently returned 0, masking bugs.
+  Rng rng(21);
+  EXPECT_THROW((void)rng.below(0), PreconditionError);
+}
+
+TEST(Rng, BelowBoundOneIsAlwaysZero) {
+  Rng rng(23);
+  for (int i = 0; i < 1'000; ++i) ASSERT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenEdgeBounds) {
+  Rng rng(25);
+  // Degenerate interval.
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(rng.between(5, 5), 5u);
+  // Inverted interval is a precondition violation, not a wraparound.
+  EXPECT_THROW((void)rng.between(6, 5), PreconditionError);
+  // Full 2^64 range must not trip the span == 0 wraparound.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  for (int i = 0; i < 100; ++i) {
+    const auto v = rng.between(0, kMax);
+    ASSERT_LE(v, kMax);
+  }
+  // Maximal non-wrapping interval.
+  for (int i = 0; i < 100; ++i) ASSERT_GE(rng.between(1, kMax), 1u);
 }
 
 TEST(Rng, BetweenInclusive) {

@@ -1,0 +1,71 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+#include "support/check.hpp"
+
+namespace worms::support {
+namespace {
+
+TEST(ThreadPool, ExecutesEveryJobExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.submit([&sum, i] { sum.fetch_add(static_cast<std::uint64_t>(i)); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 5050u);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.submit([&] { ++calls; });
+  pool.wait_idle();
+  EXPECT_EQ(calls.load(), 1);
+  pool.submit([&] { ++calls; });
+  pool.submit([&] { ++calls; });
+  pool.wait_idle();
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstJobException) {
+  ThreadPool pool(2);
+  std::atomic<int> survivors{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] { ++survivors; });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(survivors.load(), 8) << "an exception must not cancel other jobs";
+  // The error is consumed: a subsequent wait on a clean pool succeeds.
+  pool.submit([&] { ++survivors; });
+  pool.wait_idle();
+  EXPECT_EQ(survivors.load(), 9);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingQueue) {
+  std::atomic<int> calls{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&] { ++calls; });
+    }
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(ThreadPool, ZeroWorkersRejected) {
+  EXPECT_THROW(ThreadPool(0), PreconditionError);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace worms::support

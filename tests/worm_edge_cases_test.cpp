@@ -14,6 +14,30 @@
 namespace worms::worm {
 namespace {
 
+TEST(EdgeCases, HitLevelRunTwiceThrows) {
+  WormConfig c;
+  c.vulnerable_hosts = 10;
+  c.address_bits = 16;
+  c.initial_infected = 1;
+  c.scan_rate = 5.0;
+  HitLevelSimulation sim(c, /*scan_limit=*/5, 1);
+  (void)sim.run();
+  EXPECT_THROW((void)sim.run(), support::PreconditionError);
+}
+
+TEST(EdgeCases, ScanLevelRunTwiceThrows) {
+  WormConfig c;
+  c.vulnerable_hosts = 10;
+  c.address_bits = 16;
+  c.initial_infected = 1;
+  c.scan_rate = 5.0;
+  auto policy = std::make_unique<core::ScanCountLimitPolicy>(
+      core::ScanCountLimitPolicy::Config{.scan_limit = 5});
+  ScanLevelSimulation sim(c, std::move(policy), 1);
+  (void)sim.run();
+  EXPECT_THROW((void)sim.run(), support::PreconditionError);
+}
+
 TEST(EdgeCases, EveryoneAlreadyInfected) {
   WormConfig c;
   c.vulnerable_hosts = 10;

@@ -8,7 +8,9 @@
 //              --hosts V --budget M [--bits 32] [--i0 1] [--generations 20]
 //   simulate   Monte Carlo outbreaks under containment (hit-level engine)
 //              --hosts V --budget M [--bits 32] [--i0 10] [--rate 6]
-//              [--runs 500] [--seed 1]
+//              [--runs 500] [--seed 1] [--threads 0]
+//              (--threads 0 = one worker per hardware thread; any thread
+//              count produces bit-identical results)
 //   multitype  preference-scanning (two-type) criticality and safe budget
 //              [--local-density 5e-3] [--global-density 2e-5]
 //              [--local-share 0.8] [--budget M*]
@@ -105,11 +107,15 @@ int cmd_simulate(const support::CliArgs& args) {
   const auto budget = args.get_u64("budget", 10'000);
   const auto runs = args.get_u64("runs", 500);
   const auto seed = args.get_u64("seed", 1);
+  // Default 0 = auto: one worker per hardware thread.
+  const auto threads = static_cast<unsigned>(args.get_u64("threads", 0));
 
-  const auto mc = analysis::run_monte_carlo(runs, seed, [&](std::uint64_t s, std::uint64_t) {
-    worm::HitLevelSimulation sim(cfg, budget, s);
-    return sim.run().total_infected;
-  });
+  const auto mc = analysis::run_monte_carlo(
+      {.runs = runs, .base_seed = seed, .threads = threads},
+      [&](std::uint64_t s, std::uint64_t) {
+        worm::HitLevelSimulation sim(cfg, budget, s);
+        return sim.run().total_infected;
+      });
   const core::BorelTanner law(static_cast<double>(budget) * cfg.density(),
                               cfg.initial_infected);
 
