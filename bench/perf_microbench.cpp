@@ -1,17 +1,22 @@
 // google-benchmark microbenchmarks of the hot substrates: RNG, samplers,
 // address table, event queue, Borel–Tanner evaluation, one end-to-end
-// contained outbreak per engine, and the parallel Monte Carlo sweep.
+// contained outbreak per engine, the parallel Monte Carlo sweep, and the
+// fleet streaming-containment pipeline.
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "analysis/monte_carlo.hpp"
 #include "core/borel_tanner.hpp"
 #include "core/scan_limit_policy.hpp"
+#include "fleet/pipeline.hpp"
+#include "fleet/worm_injector.hpp"
 #include "net/address_table.hpp"
 #include "sim/event_queue.hpp"
 #include "stats/samplers.hpp"
 #include "support/rng.hpp"
+#include "trace/synth.hpp"
 #include "worm/hit_level_sim.hpp"
 #include "worm/scan_level_sim.hpp"
 
@@ -149,6 +154,46 @@ BENCHMARK(BM_MonteCarloCodeRed500)
     ->Arg(2)
     ->Arg(4)
     ->Arg(0)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Fleet streaming-containment pipeline over a synthetic LBL population with
+// a worm overlay.  Args: {shards (0 = auto), backend (0 = exact, 1 = hll)}.
+// Verdicts are bit-identical across rows with the same backend; items/s is
+// connection records per second, the pipeline's headline number.
+void BM_FleetPipeline(benchmark::State& state) {
+  static const std::vector<trace::ConnRecord> records = [] {
+    trace::LblSynthConfig cfg;
+    cfg.hosts = 1'645;
+    cfg.duration = 8.0 * sim::kDay;
+    fleet::WormInjectConfig inject;
+    inject.infected_hosts = 10;
+    inject.scan_rate = 6.0;
+    inject.scans_per_host = 10'000;
+    return fleet::inject_worm_scans(trace::synthesize_lbl_trace(cfg).records, inject).records;
+  }();
+
+  fleet::PipelineConfig cfg;
+  cfg.policy.scan_limit = 5'000;
+  cfg.policy.check_fraction = 0.5;
+  cfg.shards = static_cast<unsigned>(state.range(0));
+  cfg.backend = state.range(1) == 0 ? fleet::CounterBackend::Exact : fleet::CounterBackend::Hll;
+  for (auto _ : state) {
+    const auto result = fleet::ContainmentPipeline::run(cfg, records);
+    benchmark::DoNotOptimize(result.verdicts.hosts_removed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_FleetPipeline)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({0, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({0, 1})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -17,7 +17,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <utility>
 #include <vector>
 
 #include "stats/empirical.hpp"
@@ -112,15 +111,6 @@ template <typename Experiment>
     out.summary.merge(shard.summary);
   }
   return out;
-}
-
-/// Positional API kept for one release; forwards to the serial options path.
-template <typename Experiment>
-[[deprecated("use run_monte_carlo(MonteCarloOptions{.runs, .base_seed, .threads}, experiment)")]]
-[[nodiscard]] MonteCarloOutcome run_monte_carlo(std::uint64_t runs, std::uint64_t base_seed,
-                                                Experiment&& experiment) {
-  return run_monte_carlo(MonteCarloOptions{.runs = runs, .base_seed = base_seed, .threads = 1},
-                         std::forward<Experiment>(experiment));
 }
 
 }  // namespace worms::analysis

@@ -1,0 +1,22 @@
+#include "fleet/distinct_counter.hpp"
+
+#include "support/check.hpp"
+
+namespace worms::fleet {
+
+std::unique_ptr<DistinctCounter> make_distinct_counter(CounterBackend backend,
+                                                       int hll_precision) {
+  switch (backend) {
+    case CounterBackend::Exact:
+      return std::make_unique<ExactCounter>();
+    case CounterBackend::Hll:
+      return std::make_unique<HllCounter>(hll_precision);
+  }
+  WORMS_EXPECTS(false && "unknown CounterBackend");
+}
+
+const char* to_string(CounterBackend backend) noexcept {
+  return backend == CounterBackend::Exact ? "exact" : "hll";
+}
+
+}  // namespace worms::fleet

@@ -1,0 +1,110 @@
+// Per-host distinct-destination counters for the fleet containment pipeline.
+//
+// The paper's scheme charges a host one unit per *new unique* destination
+// address; everything downstream (flag at f·M, remove at M) consumes only the
+// running distinct count.  The pipeline therefore isolates "how distinctness
+// is judged" behind this interface with two backends:
+//
+//   * Exact — a flat open-addressing set (reusing net::AddressTable, the same
+//     robin-hood table the scan-level simulator uses).  O(distinct) memory
+//     per host, zero error: the reference the approximate backend is judged
+//     against.
+//   * Hll — a trace::HyperLogLog sketch.  Fixed 2^precision bytes per host
+//     regardless of cardinality (~1.04/sqrt(2^p) relative error), the shape
+//     production deployments use when "per-host state × fleet size" must stay
+//     bounded (cf. hyper-compact estimator literature, arXiv:1602.03153).
+//
+// add() returns how many new distinct units the observation contributed so
+// the shard worker can forward exactly that many counted scans into
+// core::ScanCountLimitPolicy — the policy never needs to know which backend
+// produced the increments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/address_table.hpp"
+#include "trace/hyperloglog.hpp"
+
+namespace worms::fleet {
+
+enum class CounterBackend { Exact, Hll };
+
+class DistinctCounter {
+ public:
+  virtual ~DistinctCounter() = default;
+
+  /// Observes one destination.  Returns the number of new distinct
+  /// destinations this observation added to the backend's tally: 0 for a
+  /// recognized repeat, 1 for a definitely-new address, possibly more for an
+  /// approximate backend whose estimate jumped.  Deterministic in the
+  /// sequence of observations.
+  virtual std::uint32_t add(std::uint32_t destination) = 0;
+
+  /// Current distinct tally (monotone between resets; equals the sum of all
+  /// add() return values since the last reset).
+  [[nodiscard]] virtual std::uint64_t count() const noexcept = 0;
+
+  /// Containment-cycle reset (paper step 4): forget everything.
+  virtual void reset() = 0;
+
+  /// Bytes of state held right now (the PipelineMetrics footprint gauge).
+  [[nodiscard]] virtual std::size_t memory_bytes() const noexcept = 0;
+};
+
+/// Exact backend over net::AddressTable.
+class ExactCounter final : public DistinctCounter {
+ public:
+  std::uint32_t add(std::uint32_t destination) override {
+    return seen_.insert(net::Ipv4Address(destination), 0) ? 1u : 0u;
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept override { return seen_.size(); }
+  void reset() override { seen_ = net::AddressTable(16); }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept override {
+    return sizeof(*this) + seen_.capacity() * 8;  // 8 bytes per open-addressing slot
+  }
+
+ private:
+  net::AddressTable seen_{16};
+};
+
+/// Approximate backend over trace::HyperLogLog.  The reported count is the
+/// floored sketch estimate, surfaced as increments: an observation yields
+/// max(0, floor(estimate) - reported) new units, so the policy-side count
+/// tracks the estimate while staying integer-monotone.
+class HllCounter final : public DistinctCounter {
+ public:
+  explicit HllCounter(int precision) : sketch_(precision), precision_(precision) {}
+
+  std::uint32_t add(std::uint32_t destination) override {
+    sketch_.add(destination);
+    const auto estimate = static_cast<std::uint64_t>(sketch_.estimate());
+    if (estimate <= reported_) return 0;
+    const std::uint64_t delta = estimate - reported_;
+    reported_ = estimate;
+    return static_cast<std::uint32_t>(delta);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept override { return reported_; }
+  void reset() override {
+    sketch_ = trace::HyperLogLog(precision_);
+    reported_ = 0;
+  }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept override {
+    return sizeof(*this) + sketch_.register_count();
+  }
+
+ private:
+  trace::HyperLogLog sketch_;
+  int precision_;
+  std::uint64_t reported_ = 0;
+};
+
+/// Factory the pipeline config maps onto.  `hll_precision` is ignored by the
+/// exact backend.
+[[nodiscard]] std::unique_ptr<DistinctCounter> make_distinct_counter(CounterBackend backend,
+                                                                     int hll_precision);
+
+/// "exact" / "hll" — the wormctl --counter spelling.
+[[nodiscard]] const char* to_string(CounterBackend backend) noexcept;
+
+}  // namespace worms::fleet

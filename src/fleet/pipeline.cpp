@@ -1,0 +1,239 @@
+#include "fleet/pipeline.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <unordered_map>
+#include <utility>
+
+#include "fleet/bounded_queue.hpp"
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace worms::fleet {
+
+namespace {
+
+using Batch = std::vector<trace::ConnRecord>;
+
+/// Per-host streaming state owned by exactly one shard worker.
+struct HostState {
+  std::unique_ptr<DistinctCounter> counter;
+  std::uint64_t cycle = 0;
+  bool cycle_flagged = false;  ///< crossed f·M in the current cycle
+  sim::SimTime last_time = 0.0;
+  HostVerdict verdict;
+};
+
+}  // namespace
+
+const HostVerdict* ContainmentVerdicts::find(std::uint32_t host) const noexcept {
+  const auto it = std::lower_bound(
+      hosts.begin(), hosts.end(), host,
+      [](const HostVerdict& v, std::uint32_t h) { return v.host < h; });
+  return (it != hosts.end() && it->host == host) ? &*it : nullptr;
+}
+
+std::vector<std::uint32_t> ContainmentVerdicts::removed_hosts() const {
+  std::vector<std::uint32_t> out;
+  for (const HostVerdict& v : hosts) {
+    if (v.removed) out.push_back(v.host);
+  }
+  return out;
+}
+
+/// One shard: a queue, the per-host states of `host % shards == index`, and a
+/// single Attempts-mode ScanCountLimitPolicy those states drive.  Everything
+/// here is touched only by the shard's worker thread (and by finish() after
+/// the join), so no locking beyond the queue is needed.
+struct ContainmentPipeline::Shard {
+  explicit Shard(const PipelineConfig& config)
+      : queue(config.queue_capacity),
+        policy({.scan_limit = config.policy.scan_limit,
+                .cycle_length = config.policy.cycle_length,
+                .check_fraction = config.policy.check_fraction,
+                .counting = core::ScanCountLimitPolicy::CountingMode::Attempts}),
+        backend(config.backend),
+        hll_precision(config.hll_precision),
+        flag_threshold(config.policy.check_fraction < 1.0
+                           ? config.policy.check_fraction *
+                                 static_cast<double>(config.policy.scan_limit)
+                           : 0.0),
+        flagging_enabled(config.policy.check_fraction < 1.0),
+        cycle_length(config.policy.cycle_length) {}
+
+  void consume() {
+    while (auto batch = queue.pop()) {
+      if (error) continue;  // keep draining so the producer never blocks
+      try {
+        for (const trace::ConnRecord& r : *batch) process(r);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+  }
+
+  void process(const trace::ConnRecord& r) {
+    auto [it, inserted] = hosts.try_emplace(r.source_host);
+    HostState& h = it->second;
+    if (inserted) {
+      h.counter = make_distinct_counter(backend, hll_precision);
+      h.verdict.host = r.source_host;
+      h.cycle = cycle_index(r.timestamp);
+    } else {
+      WORMS_EXPECTS(r.timestamp >= h.last_time &&
+                    "pipeline input must be time-ordered per source host");
+    }
+    h.last_time = r.timestamp;
+    if (h.verdict.removed) {
+      ++suppressed;  // host is offline for heavy-duty checking
+      return;
+    }
+    ++h.verdict.records_seen;
+
+    const std::uint64_t cycle = cycle_index(r.timestamp);
+    if (cycle != h.cycle) {
+      // Containment-cycle boundary: both the backend state and the policy's
+      // internal count restart (the policy resets itself on its next
+      // on_scan; the counter is ours to reset).
+      h.counter->reset();
+      h.cycle = cycle;
+      h.cycle_flagged = false;
+    }
+
+    const std::uint32_t new_distinct = h.counter->add(r.destination.value());
+    if (h.counter->count() > h.verdict.peak_distinct) {
+      h.verdict.peak_distinct = h.counter->count();
+    }
+    // Forward one counted scan per new distinct destination; the policy
+    // applies the budget M and the flag threshold exactly as it would have
+    // in ExactDistinct mode.
+    for (std::uint32_t i = 0; i < new_distinct; ++i) {
+      const core::ScanDecision d = policy.on_scan(r.source_host, r.timestamp, r.destination);
+      if (d.action == core::ScanAction::Remove ||
+          d.action == core::ScanAction::AllowAndRemove) {
+        h.verdict.removed = true;
+        h.verdict.removal_time = r.timestamp;
+        break;
+      }
+      if (flagging_enabled && !h.cycle_flagged &&
+          static_cast<double>(policy.count_of(r.source_host)) >= flag_threshold) {
+        h.cycle_flagged = true;
+        if (!h.verdict.flagged) {
+          h.verdict.flagged = true;
+          h.verdict.flag_time = r.timestamp;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t cycle_index(sim::SimTime now) const noexcept {
+    return static_cast<std::uint64_t>(now / cycle_length);
+  }
+
+  BoundedMpscQueue<Batch> queue;
+  core::ScanCountLimitPolicy policy;
+  const CounterBackend backend;
+  const int hll_precision;
+  const double flag_threshold;
+  const bool flagging_enabled;
+  const sim::SimTime cycle_length;
+  std::unordered_map<std::uint32_t, HostState> hosts;
+  std::uint64_t suppressed = 0;
+  std::exception_ptr error;
+};
+
+ContainmentPipeline::ContainmentPipeline(const PipelineConfig& config) : config_(config) {
+  WORMS_EXPECTS(config.batch_size >= 1);
+  WORMS_EXPECTS(config.queue_capacity >= 1);
+  if (config_.shards == 0) config_.shards = support::ThreadPool::hardware_threads();
+  WORMS_EXPECTS(config_.shards >= 1 && config_.shards <= 1024);
+
+  shards_.reserve(config_.shards);
+  pending_.resize(config_.shards);
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(config_));
+    pending_[s].reserve(config_.batch_size);
+  }
+  pool_ = std::make_unique<support::ThreadPool>(config_.shards);
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    pool_->submit([shard = shards_[s].get()] { shard->consume(); });
+  }
+}
+
+ContainmentPipeline::~ContainmentPipeline() {
+  if (!finished_) {
+    for (auto& shard : shards_) shard->queue.close();
+    // ThreadPool's destructor drains the consume() jobs.
+  }
+}
+
+void ContainmentPipeline::feed(const trace::ConnRecord& record) {
+  WORMS_EXPECTS(!finished_);
+  const unsigned s = record.source_host % config_.shards;
+  Batch& batch = pending_[s];
+  batch.push_back(record);
+  ++records_fed_;
+  if (batch.size() >= config_.batch_size) {
+    shards_[s]->queue.push(std::move(batch));
+    batch = Batch();
+    batch.reserve(config_.batch_size);
+  }
+}
+
+void ContainmentPipeline::feed(const std::vector<trace::ConnRecord>& records) {
+  for (const trace::ConnRecord& r : records) feed(r);
+}
+
+void ContainmentPipeline::flush_batches() {
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    if (!pending_[s].empty()) shards_[s]->queue.push(std::move(pending_[s]));
+    pending_[s] = Batch();
+  }
+}
+
+PipelineResult ContainmentPipeline::finish() {
+  WORMS_EXPECTS(!finished_);
+  flush_batches();
+  for (auto& shard : shards_) shard->queue.close();
+  pool_->wait_idle();
+  finished_ = true;
+  const double elapsed = stopwatch_.elapsed_seconds();
+
+  for (const auto& shard : shards_) {
+    if (shard->error) std::rethrow_exception(shard->error);
+  }
+
+  PipelineResult result;
+  PipelineMetrics& m = result.metrics;
+  m.records_processed = records_fed_;
+  m.elapsed_seconds = elapsed;
+  m.records_per_second =
+      elapsed > 0.0 ? static_cast<double>(records_fed_) / elapsed : 0.0;
+  m.shards = config_.shards;
+
+  auto& hosts = result.verdicts.hosts;
+  for (const auto& shard : shards_) {
+    m.records_suppressed += shard->suppressed;
+    m.queue_high_water.push_back(shard->queue.high_water());
+    for (const auto& [id, state] : shard->hosts) {
+      m.counter_memory_bytes += state.counter->memory_bytes();
+      hosts.push_back(state.verdict);
+    }
+  }
+  std::sort(hosts.begin(), hosts.end(),
+            [](const HostVerdict& a, const HostVerdict& b) { return a.host < b.host; });
+  for (const HostVerdict& v : hosts) {
+    if (v.flagged) ++result.verdicts.hosts_flagged;
+    if (v.removed) ++result.verdicts.hosts_removed;
+  }
+  return result;
+}
+
+PipelineResult ContainmentPipeline::run(const PipelineConfig& config,
+                                        const std::vector<trace::ConnRecord>& records) {
+  ContainmentPipeline pipeline(config);
+  pipeline.feed(records);
+  return pipeline.finish();
+}
+
+}  // namespace worms::fleet

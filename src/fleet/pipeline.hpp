@@ -1,0 +1,143 @@
+// Fleet-scale streaming containment pipeline.
+//
+// The paper's containment scheme is an *online* mechanism: per-host distinct-
+// destination counters that flag a host at f·M and remove it at the scan
+// limit M, with counters reset every containment cycle.  The offline
+// TraceAnalyzer::audit_policy replays a sorted in-memory trace through one
+// policy instance; this subsystem is the production shape of the same
+// decision procedure — a sharded, multi-threaded pipeline that ingests a
+// stream of trace::ConnRecord and emits quarantine verdicts plus operational
+// metrics while the stream is still flowing.
+//
+// Architecture (DESIGN.md §6):
+//
+//   ingest thread ──feed()──► per-shard batch buffers
+//        │ shard = source_host % shards
+//        ▼
+//   BoundedMpscQueue<batch> × N     (blocking backpressure, high-water gauges)
+//        ▼
+//   shard worker × N: per-host {DistinctCounter, cycle, verdict} state
+//        driving one core::ScanCountLimitPolicy per shard (Attempts mode —
+//        distinctness is already judged by the counter backend)
+//        ▼
+//   finish(): close queues, join workers, merge per-shard verdicts sorted by
+//        host id, snapshot metrics.
+//
+// Determinism: records are sharded by source host and each queue is FIFO, so
+// every host's records are processed in arrival order by exactly one worker,
+// against state only that worker touches.  Per-host outcomes therefore never
+// depend on the shard count or on scheduling, and the merged, host-sorted
+// ContainmentVerdicts report is bit-identical for any `shards` value —
+// verified in tests/fleet_pipeline_test.cpp (including under TSan).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/scan_limit_policy.hpp"
+#include "fleet/distinct_counter.hpp"
+#include "support/stopwatch.hpp"
+#include "trace/record.hpp"
+
+namespace worms::support {
+class ThreadPool;
+}
+
+namespace worms::fleet {
+
+struct PipelineConfig {
+  /// Budget M, cycle length, and check fraction f.  `counting` is ignored:
+  /// the pipeline always counts distinct destinations, via `backend`.
+  core::ScanCountLimitPolicy::Config policy;
+  CounterBackend backend = CounterBackend::Exact;
+  int hll_precision = 12;      ///< 2^p bytes/host, ~1.04/sqrt(2^p) rel. error
+  unsigned shards = 0;         ///< worker count; 0 = one per hardware thread
+  std::size_t batch_size = 1024;     ///< records per queue item
+  std::size_t queue_capacity = 64;   ///< batches per shard queue (backpressure)
+};
+
+/// One monitored host's outcome.  Times are trace timestamps (sim::SimTime
+/// seconds), not wall clock.
+struct HostVerdict {
+  std::uint32_t host = 0;
+  std::uint64_t records_seen = 0;     ///< records processed while the host was up
+  std::uint64_t peak_distinct = 0;    ///< max counter value across cycles
+  bool flagged = false;               ///< crossed f·M (only meaningful if f < 1)
+  sim::SimTime flag_time = 0.0;       ///< first crossing
+  bool removed = false;               ///< hit M within a cycle
+  sim::SimTime removal_time = 0.0;
+
+  friend bool operator==(const HostVerdict&, const HostVerdict&) = default;
+};
+
+struct ContainmentVerdicts {
+  std::vector<HostVerdict> hosts;  ///< every host seen, ascending host id
+  std::uint32_t hosts_flagged = 0;
+  std::uint32_t hosts_removed = 0;
+
+  [[nodiscard]] const HostVerdict* find(std::uint32_t host) const noexcept;
+  [[nodiscard]] std::vector<std::uint32_t> removed_hosts() const;
+
+  friend bool operator==(const ContainmentVerdicts&, const ContainmentVerdicts&) = default;
+};
+
+struct PipelineMetrics {
+  std::uint64_t records_processed = 0;  ///< records ingested via feed()
+  std::uint64_t records_suppressed = 0; ///< arrived after their host's removal
+  double elapsed_seconds = 0.0;         ///< wall clock, construction → finish()
+  double records_per_second = 0.0;
+  unsigned shards = 0;
+  std::vector<std::size_t> queue_high_water;  ///< per shard, in batches
+  std::size_t counter_memory_bytes = 0;       ///< sum of per-host counter footprints
+};
+
+struct PipelineResult {
+  ContainmentVerdicts verdicts;
+  PipelineMetrics metrics;
+};
+
+class ContainmentPipeline {
+ public:
+  /// Spawns the shard workers immediately; feed() may be called right away.
+  explicit ContainmentPipeline(const PipelineConfig& config);
+
+  /// Joins the workers (discarding any unprocessed input) if finish() was
+  /// never called.
+  ~ContainmentPipeline();
+
+  ContainmentPipeline(const ContainmentPipeline&) = delete;
+  ContainmentPipeline& operator=(const ContainmentPipeline&) = delete;
+
+  /// Ingests records in stream order.  Timestamps must be non-decreasing
+  /// *per source host* (a globally time-sorted stream qualifies); violations
+  /// surface as PreconditionError from finish().  Blocks when a shard queue
+  /// is full — backpressure, not data loss.
+  void feed(const trace::ConnRecord& record);
+  void feed(const std::vector<trace::ConnRecord>& records);
+
+  /// Flushes, drains, joins, and reports.  Call exactly once; the pipeline
+  /// cannot be fed afterwards.  Rethrows the first worker error, if any.
+  [[nodiscard]] PipelineResult finish();
+
+  [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
+
+  /// One-shot convenience: construct, feed everything, finish.
+  [[nodiscard]] static PipelineResult run(const PipelineConfig& config,
+                                          const std::vector<trace::ConnRecord>& records);
+
+ private:
+  struct Shard;
+
+  void flush_batches();
+
+  PipelineConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::vector<trace::ConnRecord>> pending_;  ///< per-shard batch buffers
+  std::unique_ptr<support::ThreadPool> pool_;
+  std::uint64_t records_fed_ = 0;
+  support::Stopwatch stopwatch_;
+  bool finished_ = false;
+};
+
+}  // namespace worms::fleet

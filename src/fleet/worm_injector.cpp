@@ -1,0 +1,63 @@
+#include "fleet/worm_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace worms::fleet {
+
+InjectedTrace inject_worm_scans(std::vector<trace::ConnRecord> base,
+                                const WormInjectConfig& config) {
+  WORMS_EXPECTS(config.infected_hosts >= 1);
+  WORMS_EXPECTS(config.scan_rate > 0.0);
+  WORMS_EXPECTS(config.start >= 0.0);
+
+  std::uint32_t host_count = config.host_count;
+  sim::SimTime end = config.end;
+  for (const trace::ConnRecord& r : base) {
+    if (config.host_count == 0 && r.source_host >= host_count) host_count = r.source_host + 1;
+    if (config.end == 0.0 && r.timestamp > end) end = r.timestamp;
+  }
+  WORMS_EXPECTS(host_count >= config.infected_hosts);
+  WORMS_EXPECTS(end > config.start);
+
+  InjectedTrace out;
+
+  // Ground truth: sample I0 host ids without replacement.
+  support::Rng pick(support::derive_seed(config.seed, 0x90'57'5));
+  std::unordered_set<std::uint32_t> chosen;
+  while (chosen.size() < config.infected_hosts) {
+    chosen.insert(static_cast<std::uint32_t>(pick.below(host_count)));
+  }
+  out.infected_hosts.assign(chosen.begin(), chosen.end());
+  std::sort(out.infected_hosts.begin(), out.infected_hosts.end());
+
+  // Each infected host scans on its own Poisson clock with its own stream, so
+  // the overlay is independent of I0's iteration order.
+  out.records = std::move(base);
+  for (const std::uint32_t host : out.infected_hosts) {
+    support::Rng rng = support::Rng::for_stream(config.seed, host);
+    sim::SimTime t = config.start;
+    std::uint64_t scans = 0;
+    while (config.scans_per_host == 0 || scans < config.scans_per_host) {
+      t += -std::log(rng.uniform_pos()) / config.scan_rate;
+      if (t > end) break;
+      out.records.push_back({t, host, net::Ipv4Address(rng.u32())});
+      ++scans;
+    }
+    out.worm_records += scans;
+  }
+
+  // Stable on ties: background traffic sorts ahead of the worm overlay at
+  // identical timestamps, keeping the merge deterministic.
+  std::stable_sort(out.records.begin(), out.records.end(),
+                   [](const trace::ConnRecord& a, const trace::ConnRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return out;
+}
+
+}  // namespace worms::fleet

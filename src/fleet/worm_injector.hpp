@@ -1,0 +1,47 @@
+// Worm-traffic injector: overlays random-scanning worm records on a clean
+// connection trace so the streaming pipeline can be exercised with ground
+// truth.  The clean records play the role of LBL-CONN-7 background traffic;
+// the injected hosts behave like the paper's uniform scanners — each emits
+// Poisson-timed connection attempts to destinations drawn uniformly from the
+// 2^32 address space (which essentially never repeat, so every scan is a new
+// distinct destination from the counter's point of view).
+//
+// The injector does not model propagation — it produces the *traffic* of an
+// already-infected set, which is exactly what a containment point observes.
+// End-to-end detection dynamics under spread live in worm::ScanLevelSimulation;
+// here the question is "given infected hosts on the wire, does the pipeline
+// flag and remove them, and how fast?"
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace worms::fleet {
+
+struct WormInjectConfig {
+  std::uint32_t infected_hosts = 10;      ///< I0: number of hosts emitting scans
+  double scan_rate = 6.0;                 ///< scans/second per infected host
+  std::uint64_t scans_per_host = 10'000;  ///< stop a host after this many scans (0 = unlimited)
+  sim::SimTime start = 0.0;               ///< infection time of every host
+  sim::SimTime end = 0.0;                 ///< 0 ⇒ last base-record timestamp
+  std::uint64_t seed = 0xF1EE7;
+  /// Population to draw infected host ids from; 0 ⇒ max base host index + 1.
+  /// Ids are sampled without replacement, so infected hosts carry their
+  /// normal background traffic too — the realistic (hardest) case.
+  std::uint32_t host_count = 0;
+};
+
+struct InjectedTrace {
+  std::vector<trace::ConnRecord> records;     ///< base + worm, sorted by time
+  std::vector<std::uint32_t> infected_hosts;  ///< ground truth, ascending
+  std::uint64_t worm_records = 0;             ///< how many records were injected
+};
+
+/// Deterministic in (base, config).  The base records need not be sorted;
+/// the result always is (stable on timestamp ties, worm records after base).
+[[nodiscard]] InjectedTrace inject_worm_scans(std::vector<trace::ConnRecord> base,
+                                              const WormInjectConfig& config);
+
+}  // namespace worms::fleet

@@ -29,6 +29,19 @@ double alpha_for(std::size_t m) noexcept {
 HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
   WORMS_EXPECTS(precision >= 4 && precision <= 16);
   registers_.assign(std::size_t{1} << precision, 0);
+  inverse_sum_ = static_cast<double>(registers_.size());  // every register holds 2^-0
+  zero_registers_ = registers_.size();
+}
+
+void HyperLogLog::apply_register(std::size_t idx, std::uint8_t rank) noexcept {
+  const std::uint8_t old = registers_[idx];
+  if (rank <= old) return;
+  registers_[idx] = rank;
+  // Both terms are exact powers of two, so the only rounding is the final
+  // accumulation — the incremental sum tracks the full recomputation to
+  // within one ulp per update.
+  inverse_sum_ += std::ldexp(1.0, -static_cast<int>(rank)) - std::ldexp(1.0, -static_cast<int>(old));
+  if (old == 0) --zero_registers_;
 }
 
 void HyperLogLog::add(std::uint64_t value) noexcept {
@@ -39,23 +52,15 @@ void HyperLogLog::add(std::uint64_t value) noexcept {
   // an all-zero remainder gets the maximum rank.
   const int rank =
       rest == 0 ? (64 - precision_ + 1) : (std::countl_zero(rest) + 1);
-  if (static_cast<std::uint8_t>(rank) > registers_[idx]) {
-    registers_[idx] = static_cast<std::uint8_t>(rank);
-  }
+  apply_register(idx, static_cast<std::uint8_t>(rank));
 }
 
 double HyperLogLog::estimate() const noexcept {
   const double m = static_cast<double>(registers_.size());
-  double sum = 0.0;
-  std::size_t zeros = 0;
-  for (std::uint8_t r : registers_) {
-    sum += std::ldexp(1.0, -static_cast<int>(r));
-    if (r == 0) ++zeros;
-  }
-  const double raw = alpha_for(registers_.size()) * m * m / sum;
-  if (raw <= 2.5 * m && zeros != 0) {
+  const double raw = alpha_for(registers_.size()) * m * m / inverse_sum_;
+  if (raw <= 2.5 * m && zero_registers_ != 0) {
     // Small-range correction: linear counting.
-    return m * std::log(m / static_cast<double>(zeros));
+    return m * std::log(m / static_cast<double>(zero_registers_));
   }
   // With a 64-bit hash the classical large-range correction is unnecessary
   // for any cardinality we could feed it.
@@ -65,7 +70,7 @@ double HyperLogLog::estimate() const noexcept {
 void HyperLogLog::merge(const HyperLogLog& other) {
   WORMS_EXPECTS(precision_ == other.precision_);
   for (std::size_t i = 0; i < registers_.size(); ++i) {
-    if (other.registers_[i] > registers_[i]) registers_[i] = other.registers_[i];
+    apply_register(i, other.registers_[i]);
   }
 }
 

@@ -25,7 +25,9 @@ class HyperLogLog {
   void add(std::uint64_t value) noexcept;
 
   /// Estimated number of distinct values added, with the standard small-range
-  /// (linear counting) correction.
+  /// (linear counting) correction.  O(1): the harmonic sum and zero-register
+  /// count are maintained incrementally by add()/merge(), so the fleet
+  /// pipeline can consult the estimate after every record.
   [[nodiscard]] double estimate() const noexcept;
 
   /// Merges another sketch of the same precision (register-wise max).
@@ -35,8 +37,12 @@ class HyperLogLog {
   [[nodiscard]] std::size_t register_count() const noexcept { return registers_.size(); }
 
  private:
+  void apply_register(std::size_t idx, std::uint8_t rank) noexcept;
+
   int precision_;
   std::vector<std::uint8_t> registers_;
+  double inverse_sum_ = 0.0;  ///< sum of 2^-register over all registers
+  std::size_t zero_registers_ = 0;
 };
 
 /// Exact distinct counter with the same interface shape; the scan-limit

@@ -30,33 +30,33 @@ void write_csv_file(const std::string& path, const std::vector<ConnRecord>& reco
 std::vector<ConnRecord> read_csv(std::istream& in) {
   std::vector<ConnRecord> records;
   std::string line;
-  bool first = true;
+  // A trace file without the header line is not a trace file — an empty
+  // stream fails here rather than silently parsing as "no records".
+  WORMS_EXPECTS(static_cast<bool>(std::getline(in, line)) && "missing trace header");
+  WORMS_EXPECTS(line == kHeader);
   while (std::getline(in, line)) {
-    if (first) {
-      WORMS_EXPECTS(line == kHeader);
-      first = false;
-      continue;
-    }
     if (line.empty()) continue;
     const std::size_t c1 = line.find(',');
     const std::size_t c2 = line.find(',', c1 == std::string::npos ? 0 : c1 + 1);
     WORMS_EXPECTS(c1 != std::string::npos && c2 != std::string::npos);
 
     ConnRecord rec;
-    // timestamp (double)
-    try {
-      rec.timestamp = std::stod(line.substr(0, c1));
-    } catch (const std::exception&) {
-      WORMS_EXPECTS(false && "bad timestamp field");
-    }
+    // timestamp (double); from_chars consuming the whole field rejects the
+    // trailing-garbage and embedded-whitespace forms std::stod lets through
+    // (e.g. "1.0abc" or " 1.0").
+    const char* tb = line.data();
+    const char* te = line.data() + c1;
+    const auto [tptr, tec] = std::from_chars(tb, te, rec.timestamp);
+    WORMS_EXPECTS(tec == std::errc() && tptr == te && "bad timestamp field");
+    WORMS_EXPECTS(rec.timestamp >= 0.0);
     // source host (unsigned)
     const char* sb = line.data() + c1 + 1;
     const char* se = line.data() + c2;
     const auto [ptr, ec] = std::from_chars(sb, se, rec.source_host);
-    WORMS_EXPECTS(ec == std::errc() && ptr == se);
+    WORMS_EXPECTS(ec == std::errc() && ptr == se && "bad source_host field");
     // destination address
     const auto addr = net::Ipv4Address::parse(std::string_view(line).substr(c2 + 1));
-    WORMS_EXPECTS(addr.has_value());
+    WORMS_EXPECTS(addr.has_value() && "bad destination field");
     rec.destination = *addr;
     records.push_back(rec);
   }

@@ -49,19 +49,6 @@ TEST(MonteCarlo, SeedsAreDistinctPerRunAndDeterministic) {
       << "per-run seeds must be unique";
 }
 
-TEST(MonteCarlo, DeprecatedPositionalOverloadForwards) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto legacy = run_monte_carlo(64, 7, [](std::uint64_t, std::uint64_t run) {
-    return run % 2;
-  });
-#pragma GCC diagnostic pop
-  const auto fresh = run_monte_carlo({.runs = 64, .base_seed = 7, .threads = 1},
-                                     [](std::uint64_t, std::uint64_t run) { return run % 2; });
-  EXPECT_EQ(legacy.totals.counts(), fresh.totals.counts());
-  EXPECT_EQ(legacy.summary.mean(), fresh.summary.mean());
-}
-
 TEST(Table, AlignedOutput) {
   Table t({"name", "value"});
   t.add_row({"alpha", "1"});

@@ -1,0 +1,263 @@
+// Fleet streaming-containment pipeline: determinism across shard counts,
+// equivalence with the offline TraceAnalyzer::audit_policy replay, HLL-vs-
+// exact agreement, worm-injection detection, and metrics plumbing.
+#include "fleet/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "fleet/worm_injector.hpp"
+#include "support/check.hpp"
+#include "trace/analyzer.hpp"
+#include "trace/synth.hpp"
+
+namespace worms::fleet {
+namespace {
+
+/// Small LBL-style population shared across the suite (synthesizing once
+/// keeps the suite fast); 8 days still exercises every code path because the
+/// 30-day cycle makes it a single containment cycle.
+const std::vector<trace::ConnRecord>& clean_trace() {
+  static const std::vector<trace::ConnRecord> records = [] {
+    trace::LblSynthConfig cfg;
+    cfg.hosts = 400;
+    cfg.duration = 8.0 * sim::kDay;
+    return trace::synthesize_lbl_trace(cfg).records;
+  }();
+  return records;
+}
+
+PipelineConfig base_config(CounterBackend backend, unsigned shards) {
+  PipelineConfig cfg;
+  cfg.policy.scan_limit = 500;
+  cfg.policy.cycle_length = 30 * sim::kDay;
+  cfg.policy.check_fraction = 0.5;
+  cfg.backend = backend;
+  cfg.shards = shards;
+  return cfg;
+}
+
+TEST(FleetPipeline, VerdictsBitIdenticalAcrossShardCounts) {
+  const auto one = ContainmentPipeline::run(base_config(CounterBackend::Exact, 1),
+                                            clean_trace());
+  for (const unsigned shards : {2u, 4u, 0u}) {
+    const auto wide = ContainmentPipeline::run(base_config(CounterBackend::Exact, shards),
+                                               clean_trace());
+    EXPECT_EQ(one.verdicts, wide.verdicts) << "shards=" << shards;
+  }
+}
+
+TEST(FleetPipeline, VerdictsBitIdenticalAcrossShardCountsHll) {
+  const auto one = ContainmentPipeline::run(base_config(CounterBackend::Hll, 1),
+                                            clean_trace());
+  for (const unsigned shards : {2u, 4u}) {
+    const auto wide = ContainmentPipeline::run(base_config(CounterBackend::Hll, shards),
+                                               clean_trace());
+    EXPECT_EQ(one.verdicts, wide.verdicts) << "shards=" << shards;
+  }
+}
+
+TEST(FleetPipeline, VerdictsBitIdenticalAcrossRepeatedRuns) {
+  const auto cfg = base_config(CounterBackend::Exact, 3);
+  const auto first = ContainmentPipeline::run(cfg, clean_trace());
+  const auto second = ContainmentPipeline::run(cfg, clean_trace());
+  EXPECT_EQ(first.verdicts, second.verdicts);
+}
+
+TEST(FleetPipeline, VerdictsIndependentOfBatchSize) {
+  auto cfg = base_config(CounterBackend::Exact, 2);
+  const auto big = ContainmentPipeline::run(cfg, clean_trace());
+  cfg.batch_size = 7;
+  cfg.queue_capacity = 2;  // forces real backpressure on the ingest thread
+  const auto tiny = ContainmentPipeline::run(cfg, clean_trace());
+  EXPECT_EQ(big.verdicts, tiny.verdicts);
+}
+
+TEST(FleetPipeline, ExactBackendMatchesOfflineAudit) {
+  // The streaming pipeline is the online form of audit_policy's offline
+  // replay: same M, cycle, and check fraction must produce the same flagged
+  // and removed populations.
+  const auto cfg = base_config(CounterBackend::Exact, 4);
+  const auto result = ContainmentPipeline::run(cfg, clean_trace());
+
+  trace::TraceAnalyzer analyzer(clean_trace());
+  const auto report = analyzer.audit_policy({.scan_limit = cfg.policy.scan_limit,
+                                             .cycle_length = cfg.policy.cycle_length,
+                                             .check_fraction = cfg.policy.check_fraction});
+  EXPECT_EQ(result.verdicts.hosts_removed, report.hosts_removed);
+  EXPECT_EQ(result.verdicts.hosts_flagged, report.hosts_flagged);
+  EXPECT_GT(result.verdicts.hosts_removed, 0u)
+      << "test config should remove the heavy hitters";
+}
+
+TEST(FleetPipeline, HllAgreesWithExactWithinErrorBound) {
+  const auto exact = ContainmentPipeline::run(base_config(CounterBackend::Exact, 2),
+                                              clean_trace());
+  const auto hll = ContainmentPipeline::run(base_config(CounterBackend::Hll, 2),
+                                            clean_trace());
+
+  // Any disagreement must involve a host whose exact distinct count sits
+  // within the sketch's error band of the threshold (precision 12 ⇒ ~1.6%
+  // relative error; allow 6 sigma).
+  const double tolerance = 6 * 1.04 / std::sqrt(4096.0);
+  const double flag_threshold = 0.5 * 500.0;
+  for (const auto& ev : exact.verdicts.hosts) {
+    const HostVerdict* hv = hll.verdicts.find(ev.host);
+    ASSERT_NE(hv, nullptr) << "host " << ev.host;
+    if (ev.flagged != hv->flagged) {
+      const double gap = std::abs(static_cast<double>(ev.peak_distinct) - flag_threshold) /
+                         flag_threshold;
+      EXPECT_LE(gap, tolerance) << "host " << ev.host << " flagged only by one backend with "
+                                << ev.peak_distinct << " exact-distinct destinations";
+    }
+    if (ev.removed != hv->removed) {
+      const double gap = std::abs(static_cast<double>(ev.peak_distinct) - 500.0) / 500.0;
+      EXPECT_LE(gap, tolerance) << "host " << ev.host;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hll.verdicts.hosts_flagged),
+              static_cast<double>(exact.verdicts.hosts_flagged),
+              std::max(2.0, tolerance * static_cast<double>(exact.verdicts.hosts_flagged)));
+}
+
+TEST(FleetPipeline, HllMemoryIsFixedExactMemoryGrowsWithCardinality) {
+  // The approximate backend's selling point: per-host state is constant no
+  // matter how many distinct destinations a (worm-grade) host contacts,
+  // while the exact set grows linearly.
+  auto exact = make_distinct_counter(CounterBackend::Exact, 12);
+  auto hll = make_distinct_counter(CounterBackend::Hll, 12);
+  const std::size_t hll_idle_bytes = hll->memory_bytes();
+  for (std::uint32_t d = 0; d < 100'000; ++d) {
+    (void)exact->add(0x0A000000u + d);
+    (void)hll->add(0x0A000000u + d);
+  }
+  EXPECT_EQ(hll->memory_bytes(), hll_idle_bytes);
+  EXPECT_GT(exact->memory_bytes(), 10 * hll->memory_bytes());
+  EXPECT_EQ(exact->count(), 100'000u);
+  EXPECT_NEAR(static_cast<double>(hll->count()), 100'000.0, 100'000.0 * 0.05);
+}
+
+TEST(FleetPipeline, HandCraftedVerdictTimeline) {
+  // M=3, f=0.5 (flag at count 2), one host: count A,B then a repeat, then C
+  // removes at its timestamp; the record after removal is suppressed.
+  PipelineConfig cfg;
+  cfg.policy.scan_limit = 3;
+  cfg.policy.cycle_length = 100.0;
+  cfg.policy.check_fraction = 0.5;
+  cfg.shards = 1;
+  const std::vector<trace::ConnRecord> records = {
+      {1.0, 0, net::Ipv4Address(0xA)}, {2.0, 0, net::Ipv4Address(0xB)},
+      {3.0, 0, net::Ipv4Address(0xA)}, {4.0, 0, net::Ipv4Address(0xC)},
+      {5.0, 0, net::Ipv4Address(0xD)},
+  };
+  const auto result = ContainmentPipeline::run(cfg, records);
+  ASSERT_EQ(result.verdicts.hosts.size(), 1u);
+  const HostVerdict& v = result.verdicts.hosts[0];
+  EXPECT_TRUE(v.flagged);
+  EXPECT_DOUBLE_EQ(v.flag_time, 2.0);
+  EXPECT_TRUE(v.removed);
+  EXPECT_DOUBLE_EQ(v.removal_time, 4.0);
+  EXPECT_EQ(v.records_seen, 4u);
+  EXPECT_EQ(v.peak_distinct, 3u);
+  EXPECT_EQ(result.metrics.records_suppressed, 1u);
+  EXPECT_EQ(result.metrics.records_processed, 5u);
+}
+
+TEST(FleetPipeline, CycleBoundaryResetsCounters) {
+  // Two distinct destinations per 100 s cycle never reach M=3: the counter
+  // must reset at t=100 exactly like the policy's own cycle bookkeeping.
+  PipelineConfig cfg;
+  cfg.policy.scan_limit = 3;
+  cfg.policy.cycle_length = 100.0;
+  cfg.shards = 2;
+  const std::vector<trace::ConnRecord> records = {
+      {10.0, 1, net::Ipv4Address(0xA)}, {50.0, 1, net::Ipv4Address(0xB)},
+      {150.0, 1, net::Ipv4Address(0xC)}, {160.0, 1, net::Ipv4Address(0xD)},
+  };
+  const auto result = ContainmentPipeline::run(cfg, records);
+  const HostVerdict* v = result.verdicts.find(1);
+  ASSERT_NE(v, nullptr);
+  EXPECT_FALSE(v->removed);
+  EXPECT_EQ(v->peak_distinct, 2u);
+  EXPECT_EQ(v->records_seen, 4u);
+}
+
+TEST(FleetPipeline, InjectedWormHostsAreContained) {
+  WormInjectConfig inject;
+  inject.infected_hosts = 5;
+  inject.scan_rate = 6.0;
+  inject.scans_per_host = 1'000;
+  const auto injected = inject_worm_scans(clean_trace(), inject);
+  ASSERT_EQ(injected.infected_hosts.size(), 5u);
+
+  const auto result = ContainmentPipeline::run(base_config(CounterBackend::Exact, 4),
+                                               injected.records);
+  for (const std::uint32_t host : injected.infected_hosts) {
+    const HostVerdict* v = result.verdicts.find(host);
+    ASSERT_NE(v, nullptr) << "host " << host;
+    EXPECT_TRUE(v->removed) << "host " << host;
+    // A 6 scans/s uniform scanner reaches M=500 distinct destinations in
+    // ~83 s of trace time; allow generous slack for Poisson variation and
+    // background traffic already charged to the host.
+    EXPECT_LT(v->removal_time, 150.0) << "host " << host;
+  }
+}
+
+TEST(FleetPipeline, StreamingFeedMatchesOneShotRun) {
+  const auto cfg = base_config(CounterBackend::Exact, 2);
+  ContainmentPipeline pipeline(cfg);
+  for (const auto& r : clean_trace()) pipeline.feed(r);
+  const auto streamed = pipeline.finish();
+  const auto oneshot = ContainmentPipeline::run(cfg, clean_trace());
+  EXPECT_EQ(streamed.verdicts, oneshot.verdicts);
+  EXPECT_EQ(streamed.metrics.records_processed, clean_trace().size());
+}
+
+TEST(FleetPipeline, MetricsArePlumbedThrough) {
+  auto cfg = base_config(CounterBackend::Exact, 3);
+  cfg.queue_capacity = 4;
+  const auto result = ContainmentPipeline::run(cfg, clean_trace());
+  const auto& m = result.metrics;
+  EXPECT_EQ(m.records_processed, clean_trace().size());
+  EXPECT_EQ(m.shards, 3u);
+  ASSERT_EQ(m.queue_high_water.size(), 3u);
+  for (const std::size_t hw : m.queue_high_water) EXPECT_LE(hw, cfg.queue_capacity);
+  EXPECT_GT(m.counter_memory_bytes, 0u);
+  EXPECT_GT(m.records_per_second, 0.0);
+  EXPECT_GT(m.elapsed_seconds, 0.0);
+}
+
+TEST(FleetPipeline, EmptyStreamYieldsEmptyReport) {
+  const auto result = ContainmentPipeline::run(base_config(CounterBackend::Exact, 2), {});
+  EXPECT_TRUE(result.verdicts.hosts.empty());
+  EXPECT_EQ(result.verdicts.hosts_flagged, 0u);
+  EXPECT_EQ(result.verdicts.hosts_removed, 0u);
+  EXPECT_EQ(result.metrics.records_processed, 0u);
+}
+
+TEST(FleetPipeline, OutOfOrderPerHostInputIsRejected) {
+  PipelineConfig cfg;
+  cfg.policy.scan_limit = 10;
+  cfg.shards = 1;
+  ContainmentPipeline pipeline(cfg);
+  pipeline.feed({5.0, 0, net::Ipv4Address(0xA)});
+  pipeline.feed({1.0, 0, net::Ipv4Address(0xB)});  // time runs backwards for host 0
+  EXPECT_THROW((void)pipeline.finish(), support::PreconditionError);
+}
+
+TEST(FleetPipeline, ValidatesConfig) {
+  PipelineConfig cfg;
+  cfg.batch_size = 0;
+  EXPECT_THROW(ContainmentPipeline p(cfg), support::PreconditionError);
+  cfg = PipelineConfig{};
+  cfg.queue_capacity = 0;
+  EXPECT_THROW(ContainmentPipeline p(cfg), support::PreconditionError);
+  cfg = PipelineConfig{};
+  cfg.policy.scan_limit = 0;  // rejected by the policy itself
+  EXPECT_THROW(ContainmentPipeline p(cfg), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::fleet

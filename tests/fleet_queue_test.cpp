@@ -1,0 +1,156 @@
+// BoundedMpscQueue semantics (FIFO, backpressure, close/drain, high-water)
+// and the worm-traffic injector's determinism and bookkeeping.
+#include "fleet/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "fleet/worm_injector.hpp"
+#include "support/check.hpp"
+
+namespace worms::fleet {
+namespace {
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  BoundedMpscQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.high_water(), 3u);
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsEndOfStream) {
+  BoundedMpscQueue<int> q(4);
+  q.push(7);
+  q.push(8);
+  q.close();
+  EXPECT_EQ(q.pop(), 7);
+  EXPECT_EQ(q.pop(), 8);
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_EQ(q.pop(), std::nullopt);  // stays closed
+}
+
+TEST(BoundedQueue, PushAfterCloseIsAProgrammingError) {
+  BoundedMpscQueue<int> q(2);
+  q.close();
+  EXPECT_THROW(q.push(1), support::PreconditionError);
+}
+
+TEST(BoundedQueue, ValidatesCapacity) {
+  EXPECT_THROW(BoundedMpscQueue<int> q(0), support::PreconditionError);
+}
+
+TEST(BoundedQueue, BackpressureBoundsOccupancy) {
+  // Capacity-1 queue: a fast producer can never outrun the consumer by more
+  // than one item, and nothing is lost or reordered.
+  BoundedMpscQueue<int> q(1);
+  constexpr int kItems = 1'000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) q.push(i);
+    q.close();
+  });
+  int expected = 0;
+  while (auto item = q.pop()) {
+    EXPECT_EQ(*item, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+  EXPECT_EQ(q.high_water(), 1u);
+}
+
+TEST(BoundedQueue, BlockedProducerWakesOnPop) {
+  BoundedMpscQueue<int> q(1);
+  q.push(1);
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    q.push(2);  // blocks until the consumer pops
+    second_pushed = true;
+  });
+  // Give the producer a chance to block, then unblock it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(q.pop(), 2);
+}
+
+std::vector<trace::ConnRecord> tiny_base() {
+  return {
+      {0.0, 0, net::Ipv4Address(0x0A000001u)},
+      {100.0, 1, net::Ipv4Address(0x0A000002u)},
+      {900.0, 2, net::Ipv4Address(0x0A000003u)},
+  };
+}
+
+TEST(WormInjector, DeterministicInConfig) {
+  WormInjectConfig cfg;
+  cfg.infected_hosts = 2;
+  cfg.scan_rate = 10.0;
+  cfg.scans_per_host = 50;
+  const auto a = inject_worm_scans(tiny_base(), cfg);
+  const auto b = inject_worm_scans(tiny_base(), cfg);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.infected_hosts, b.infected_hosts);
+  EXPECT_EQ(a.worm_records, b.worm_records);
+}
+
+TEST(WormInjector, BookkeepingAndOrdering) {
+  WormInjectConfig cfg;
+  cfg.infected_hosts = 2;
+  cfg.scan_rate = 10.0;
+  cfg.scans_per_host = 50;
+  const auto out = inject_worm_scans(tiny_base(), cfg);
+
+  EXPECT_EQ(out.records.size(), tiny_base().size() + out.worm_records);
+  EXPECT_LE(out.worm_records, 2u * 50u);
+  EXPECT_GT(out.worm_records, 0u);
+  ASSERT_EQ(out.infected_hosts.size(), 2u);
+  EXPECT_LT(out.infected_hosts[0], out.infected_hosts[1]);  // ascending, unique
+  for (const std::uint32_t h : out.infected_hosts) EXPECT_LT(h, 3u);
+  for (std::size_t i = 1; i < out.records.size(); ++i) {
+    EXPECT_GE(out.records[i].timestamp, out.records[i - 1].timestamp);
+  }
+}
+
+TEST(WormInjector, EmptyBaseUsesExplicitPopulationAndWindow) {
+  WormInjectConfig cfg;
+  cfg.infected_hosts = 3;
+  cfg.scan_rate = 5.0;
+  cfg.scans_per_host = 0;  // unlimited: run until `end`
+  cfg.host_count = 100;
+  cfg.end = 60.0;
+  const auto out = inject_worm_scans({}, cfg);
+  // ~5 scans/s × 60 s × 3 hosts ≈ 900 records; Poisson noise stays well
+  // inside ±40%.
+  EXPECT_NEAR(static_cast<double>(out.worm_records), 900.0, 360.0);
+  for (const auto& r : out.records) {
+    EXPECT_GT(r.timestamp, 0.0);
+    EXPECT_LE(r.timestamp, 60.0);
+    EXPECT_TRUE(std::binary_search(out.infected_hosts.begin(), out.infected_hosts.end(),
+                                   r.source_host));
+  }
+}
+
+TEST(WormInjector, ValidatesConfig) {
+  WormInjectConfig cfg;
+  cfg.infected_hosts = 5;
+  cfg.host_count = 3;  // cannot pick 5 distinct hosts out of 3
+  cfg.end = 10.0;
+  EXPECT_THROW((void)inject_worm_scans({}, cfg), support::PreconditionError);
+
+  WormInjectConfig no_window;
+  no_window.host_count = 10;  // empty base and end == 0 ⇒ no time window
+  EXPECT_THROW((void)inject_worm_scans({}, no_window), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::fleet

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "support/check.hpp"
@@ -45,6 +46,37 @@ TEST(TraceIo, RejectsMissingHeader) {
 TEST(TraceIo, RejectsMalformedRows) {
   for (const char* row : {"not-a-number,1,1.2.3.4", "1.0,xx,1.2.3.4", "1.0,1,299.0.0.1",
                           "1.0,1", "1.0"}) {
+    std::stringstream buf(std::string("timestamp,source_host,destination\n") + row + "\n");
+    EXPECT_THROW((void)read_csv(buf), support::PreconditionError) << "accepted: " << row;
+  }
+}
+
+TEST(TraceIo, RejectsEmptyInput) {
+  // A trace file without even the header line is not a trace file; parsing
+  // "no records" out of it would hide upstream truncation.
+  std::stringstream buf("");
+  EXPECT_THROW((void)read_csv(buf), support::PreconditionError);
+}
+
+TEST(TraceIo, RejectsEmptyFile) {
+  const std::string path = ::testing::TempDir() + "/worms_trace_io_empty.csv";
+  { std::ofstream out(path); }  // touch an empty file
+  EXPECT_THROW((void)read_csv_file(path), support::PreconditionError);
+}
+
+TEST(TraceIo, RejectsTruncatedLines) {
+  // Mid-field truncation (a partially flushed writer) in every position.
+  for (const char* row : {"1.0,2,10.0.0", "1.0,2,10.", "1.0,2,", "1.0,2", "1.0,", "1.", ","}) {
+    std::stringstream buf(std::string("timestamp,source_host,destination\n") + row);
+    EXPECT_THROW((void)read_csv(buf), support::PreconditionError) << "accepted: " << row;
+  }
+}
+
+TEST(TraceIo, RejectsNonNumericAndTrailingGarbageFields) {
+  // std::stod-style prefix parsing would silently accept the first three.
+  for (const char* row : {"1.0abc,2,10.0.0.1", " 1.0,2,10.0.0.1", "1.0,2x,10.0.0.1",
+                          "nope,2,10.0.0.1", "1.0,-2,10.0.0.1", "-1.0,2,10.0.0.1",
+                          "1.0,2,10.0.0.1junk"}) {
     std::stringstream buf(std::string("timestamp,source_host,destination\n") + row + "\n");
     EXPECT_THROW((void)read_csv(buf), support::PreconditionError) << "accepted: " << row;
   }

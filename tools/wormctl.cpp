@@ -18,12 +18,24 @@
 //              --out FILE [--hosts 1645] [--days 30] [--seed ...]
 //   audit      replay a trace CSV through the containment policy
 //              --trace FILE --budget M [--cycle-days 30] [--check-fraction 1.0]
+//   contain    stream a trace through the fleet containment pipeline
+//              (--trace FILE | --synth) --budget M [--cycle-days 30]
+//              [--check-fraction 1.0] [--shards 0] [--counter exact|hll]
+//              [--hll-precision 12] [--inject-worm RATE,SCANS,I0] [--seed 1]
+//              [--divergence] [--hosts 1645] [--days 30]
+//              (--shards 0 = one worker per hardware thread; --inject-worm
+//              overlays I0 infected hosts scanning at RATE scans/s for up to
+//              SCANS scans each; --divergence runs exact AND hll and reports
+//              the false-positive cost of approximate counting)
 //
 // Every command prints a human-readable table; exit code 0 on success, 1 on
 // usage errors (with a message on stderr).
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <exception>
 #include <string>
+#include <vector>
 
 #include "analysis/monte_carlo.hpp"
 #include "analysis/table.hpp"
@@ -31,6 +43,8 @@
 #include "core/galton_watson.hpp"
 #include "core/multitype.hpp"
 #include "core/planner.hpp"
+#include "fleet/pipeline.hpp"
+#include "fleet/worm_injector.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
 #include "trace/analyzer.hpp"
@@ -208,9 +222,164 @@ int cmd_audit(const support::CliArgs& args) {
   return 0;
 }
 
+/// Parses "RATE,SCANS,I0" (e.g. "6,10000,10").
+fleet::WormInjectConfig parse_inject_spec(const std::string& spec, std::uint64_t seed) {
+  fleet::WormInjectConfig cfg;
+  cfg.seed = seed;
+  const std::size_t c1 = spec.find(',');
+  const std::size_t c2 = spec.find(',', c1 == std::string::npos ? 0 : c1 + 1);
+  WORMS_EXPECTS(c1 != std::string::npos && c2 != std::string::npos &&
+                "--inject-worm wants RATE,SCANS,I0");
+  try {
+    cfg.scan_rate = std::stod(spec.substr(0, c1));
+    cfg.scans_per_host = std::stoull(spec.substr(c1 + 1, c2 - c1 - 1));
+    cfg.infected_hosts = static_cast<std::uint32_t>(std::stoul(spec.substr(c2 + 1)));
+  } catch (const std::exception&) {
+    WORMS_EXPECTS(false && "--inject-worm wants numeric RATE,SCANS,I0");
+  }
+  return cfg;
+}
+
+void print_contain_report(const fleet::PipelineResult& result,
+                          const fleet::PipelineConfig& cfg,
+                          const std::vector<std::uint32_t>& infected) {
+  const auto& m = result.metrics;
+  const auto& v = result.verdicts;
+  std::printf("pipeline: %u shard(s), %s counter, M=%llu, cycle %.1f days, f=%.2f\n",
+              m.shards, fleet::to_string(cfg.backend),
+              static_cast<unsigned long long>(cfg.policy.scan_limit),
+              cfg.policy.cycle_length / sim::kDay, cfg.policy.check_fraction);
+  std::printf("processed %llu records in %.3f s (%.2f M records/s), %llu suppressed\n",
+              static_cast<unsigned long long>(m.records_processed), m.elapsed_seconds,
+              m.records_per_second / 1e6,
+              static_cast<unsigned long long>(m.records_suppressed));
+  std::printf("verdicts: %zu hosts seen, %u flagged, %u removed\n", v.hosts.size(),
+              v.hosts_flagged, v.hosts_removed);
+  std::printf("counter memory: %.1f KiB; queue high-water (batches):",
+              static_cast<double>(m.counter_memory_bytes) / 1024.0);
+  for (const std::size_t hw : m.queue_high_water) std::printf(" %zu", hw);
+  std::printf("\n");
+
+  if (!infected.empty()) {
+    // Ground truth from the injector: detection quality and collateral damage.
+    std::uint32_t caught = 0;
+    double latency_sum = 0.0;
+    for (const std::uint32_t host : infected) {
+      const fleet::HostVerdict* verdict = v.find(host);
+      if (verdict != nullptr && verdict->removed) {
+        ++caught;
+        latency_sum += verdict->removal_time;
+      }
+    }
+    std::uint32_t clean_removed = 0;
+    for (const auto& verdict : v.hosts) {
+      if (verdict.removed &&
+          !std::binary_search(infected.begin(), infected.end(), verdict.host)) {
+        ++clean_removed;
+      }
+    }
+    std::printf("worm detection: %u/%zu infected hosts removed", caught, infected.size());
+    if (caught > 0) {
+      std::printf(" (mean time-to-containment %.1f min)",
+                  sim::to_minutes(latency_sum / caught));
+    }
+    std::printf("; %u clean hosts removed (false positives)\n", clean_removed);
+  }
+}
+
+int cmd_contain(const support::CliArgs& args) {
+  const std::string path = args.get_string("trace", "");
+  const bool synth = args.get_bool("synth", false);
+  WORMS_EXPECTS((synth || !path.empty()) && "contain requires --trace FILE or --synth");
+
+  fleet::PipelineConfig cfg;
+  cfg.policy.scan_limit = args.get_u64("budget", 5'000);
+  cfg.policy.cycle_length = args.get_double("cycle-days", 30.0) * sim::kDay;
+  cfg.policy.check_fraction = args.get_double("check-fraction", 1.0);
+  cfg.shards = static_cast<unsigned>(args.get_u64("shards", 0));
+  cfg.hll_precision = static_cast<int>(args.get_u64("hll-precision", 12));
+  const std::string counter = args.get_string("counter", "exact");
+  WORMS_EXPECTS((counter == "exact" || counter == "hll") && "--counter must be exact or hll");
+  cfg.backend = counter == "hll" ? fleet::CounterBackend::Hll : fleet::CounterBackend::Exact;
+  const bool divergence = args.get_bool("divergence", false);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+
+  std::vector<trace::ConnRecord> records;
+  if (synth) {
+    trace::LblSynthConfig synth_cfg;
+    synth_cfg.hosts = static_cast<std::uint32_t>(args.get_u64("hosts", 1'645));
+    synth_cfg.duration = args.get_double("days", 30.0) * sim::kDay;
+    synth_cfg.seed = args.get_u64("synth-seed", synth_cfg.seed);
+    records = trace::synthesize_lbl_trace(synth_cfg).records;
+  } else {
+    records = trace::read_csv_file(path);
+    std::sort(records.begin(), records.end(),
+              [](const trace::ConnRecord& a, const trace::ConnRecord& b) {
+                return a.timestamp < b.timestamp;
+              });
+  }
+
+  std::vector<std::uint32_t> infected;
+  if (args.has("inject-worm")) {
+    auto inject = parse_inject_spec(args.get_string("inject-worm", ""), seed);
+    auto injected = fleet::inject_worm_scans(std::move(records), inject);
+    records = std::move(injected.records);
+    infected = std::move(injected.infected_hosts);
+    std::printf("injected %llu worm records from %zu host(s)\n\n",
+                static_cast<unsigned long long>(injected.worm_records), infected.size());
+  }
+
+  const auto result = fleet::ContainmentPipeline::run(cfg, records);
+  print_contain_report(result, cfg, infected);
+
+  if (divergence) {
+    // Exact-vs-HLL divergence: same stream, both backends, hosts they
+    // disagree on — the false-positive cost of approximate counting.
+    fleet::PipelineConfig exact_cfg = cfg;
+    exact_cfg.backend = fleet::CounterBackend::Exact;
+    fleet::PipelineConfig hll_cfg = cfg;
+    hll_cfg.backend = fleet::CounterBackend::Hll;
+    const auto exact = fleet::ContainmentPipeline::run(exact_cfg, records);
+    const auto hll = fleet::ContainmentPipeline::run(hll_cfg, records);
+
+    std::uint32_t extra_removed = 0;
+    std::uint32_t missed_removed = 0;
+    double max_rel_err = 0.0;
+    for (const auto& ev : exact.verdicts.hosts) {
+      const fleet::HostVerdict* hv = hll.verdicts.find(ev.host);
+      WORMS_ENSURES(hv != nullptr);  // same input stream ⇒ same host set
+      if (hv->removed && !ev.removed) ++extra_removed;
+      if (!hv->removed && ev.removed) ++missed_removed;
+      if (ev.peak_distinct > 0) {
+        const double rel =
+            std::abs(static_cast<double>(hv->peak_distinct) -
+                     static_cast<double>(ev.peak_distinct)) /
+            static_cast<double>(ev.peak_distinct);
+        if (rel > max_rel_err) max_rel_err = rel;
+      }
+    }
+    std::printf("\ndivergence (exact vs hll, precision %d):\n", cfg.hll_precision);
+    analysis::Table t({"metric", "exact", "hll"});
+    t.add_row({"hosts flagged", analysis::Table::fmt(std::uint64_t{exact.verdicts.hosts_flagged}),
+               analysis::Table::fmt(std::uint64_t{hll.verdicts.hosts_flagged})});
+    t.add_row({"hosts removed", analysis::Table::fmt(std::uint64_t{exact.verdicts.hosts_removed}),
+               analysis::Table::fmt(std::uint64_t{hll.verdicts.hosts_removed})});
+    t.add_row({"counter KiB",
+               analysis::Table::fmt(
+                   static_cast<double>(exact.metrics.counter_memory_bytes) / 1024.0, 1),
+               analysis::Table::fmt(
+                   static_cast<double>(hll.metrics.counter_memory_bytes) / 1024.0, 1)});
+    t.print();
+    std::printf("hll removes %u host(s) exact would not (false-positive cost), misses %u; "
+                "max per-host count error %.2f%%\n",
+                extra_removed, missed_removed, max_rel_err * 100.0);
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: wormctl <plan|extinction|simulate|multitype|synth|audit> "
+               "usage: wormctl <plan|extinction|simulate|multitype|synth|audit|contain> "
                "[--flag value ...]\n"
                "see the header of tools/wormctl.cpp or README.md for flags\n");
   return 1;
@@ -234,6 +403,8 @@ int main(int argc, char** argv) {
       rc = cmd_synth(args);
     } else if (args.command() == "audit") {
       rc = cmd_audit(args);
+    } else if (args.command() == "contain") {
+      rc = cmd_contain(args);
     } else {
       return usage();
     }
