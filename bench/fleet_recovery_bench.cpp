@@ -1,0 +1,144 @@
+// Recovery-overhead bench: what does fault tolerance cost?
+//
+// Sweeps the auto-checkpoint interval over a fixed worm-overlaid trace and
+// reports, per interval and counter backend: snapshots written, snapshot size,
+// end-to-end throughput, overhead vs an uncheckpointed run, and the recovery
+// cost — wall time to restore the final snapshot and replay the remaining
+// suffix, i.e. the downtime a crash at end-of-stream would incur.  This is the
+// table EXPERIMENTS.md §"Checkpoint overhead" quotes: the operator's tradeoff
+// between checkpoint I/O paid always and replay time paid at a crash.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fleet/pipeline.hpp"
+#include "fleet/worm_injector.hpp"
+#include "support/stopwatch.hpp"
+#include "trace/synth.hpp"
+
+namespace {
+
+using namespace worms;
+
+std::vector<trace::ConnRecord> bench_trace() {
+  trace::LblSynthConfig cfg;
+  cfg.hosts = 1'645;
+  cfg.duration = 8.0 * sim::kDay;
+  fleet::WormInjectConfig inject;
+  inject.infected_hosts = 10;
+  inject.scan_rate = 6.0;
+  inject.scans_per_host = 10'000;
+  return fleet::inject_worm_scans(trace::synthesize_lbl_trace(cfg).records, inject).records;
+}
+
+fleet::PipelineConfig base_config(fleet::CounterBackend backend) {
+  fleet::PipelineConfig cfg;
+  cfg.policy.scan_limit = 5'000;
+  cfg.policy.check_fraction = 0.5;
+  cfg.backend = backend;
+  cfg.shards = 4;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const auto records = bench_trace();
+  const std::string snapshot =
+      (std::filesystem::temp_directory_path() / "worms_recovery_bench.ckpt").string();
+
+  std::printf("== Fleet recovery bench: checkpoint overhead vs interval ==\n");
+  std::printf("trace: %zu records, 1645 hosts + 10 worm hosts; pipeline: 4 shards\n\n",
+              records.size());
+  std::printf("%-8s %-10s %-6s %-10s %-10s %-10s %-10s %-10s\n", "backend", "interval", "ckpts",
+              "size", "Mrec/s", "overhead", "ms/ckpt", "recovery");
+
+  // Best-of-3 wall times: single runs are ~tens of ms, where scheduler noise
+  // would otherwise dominate the overhead column.
+  constexpr int kRepeats = 3;
+
+  for (const auto backend : {fleet::CounterBackend::Exact, fleet::CounterBackend::Hll}) {
+    // Uncheckpointed reference run for the overhead column.
+    const auto cfg0 = base_config(backend);
+    fleet::PipelineResult reference;
+    double ref_seconds = 1e300;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      support::Stopwatch ref_watch;
+      reference = fleet::ContainmentPipeline::run(cfg0, records);
+      ref_seconds = std::min(ref_seconds, ref_watch.elapsed_seconds());
+    }
+
+    std::printf("%-8s %-10s %-6llu %-10s %-10.2f %-10s %-10s %-10s\n", to_string(backend), "off",
+                0ull, "-", static_cast<double>(records.size()) / ref_seconds / 1e6, "-", "-",
+                "-");
+
+    // Intervals as fractions of the stream so every row writes snapshots.
+    const std::uint64_t n = records.size();
+    for (const std::uint64_t interval : {n / 2, n / 4, n / 8, n / 16}) {
+      auto cfg = base_config(backend);
+      cfg.checkpoint_path = snapshot;
+      cfg.checkpoint_every = interval;
+
+      double seconds = 1e300;
+      double recovery_seconds = 1e300;
+      fleet::PipelineResult result;
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        support::Stopwatch watch;
+        fleet::ContainmentPipeline pipeline(cfg);
+        pipeline.feed(records);
+        result = pipeline.finish();
+        seconds = std::min(seconds, watch.elapsed_seconds());
+        if (result.verdicts != reference.verdicts) {
+          std::printf("ERROR: checkpointing changed verdicts at interval %llu\n",
+                      static_cast<unsigned long long>(interval));
+          return 1;
+        }
+
+        // Recovery cost: restore the last snapshot, replay the record suffix.
+        support::Stopwatch recovery_watch;
+        auto resumed = fleet::ContainmentPipeline::restore(cfg0, snapshot);
+        const std::uint64_t resume_at = resumed->records_fed();
+        for (std::size_t i = resume_at; i < records.size(); ++i) resumed->feed(records[i]);
+        const auto recovered = resumed->finish();
+        recovery_seconds = std::min(recovery_seconds, recovery_watch.elapsed_seconds());
+        if (recovered.verdicts != reference.verdicts) {
+          std::printf("ERROR: recovery diverged at interval %llu\n",
+                      static_cast<unsigned long long>(interval));
+          return 1;
+        }
+      }
+      const auto size_bytes = std::filesystem::file_size(snapshot);
+
+      char interval_text[32];
+      std::snprintf(interval_text, sizeof interval_text, "%lluk",
+                    static_cast<unsigned long long>(interval / 1'000));
+      char size_text[32];
+      std::snprintf(size_text, sizeof size_text, "%.0f KiB",
+                    static_cast<double>(size_bytes) / 1024.0);
+      char overhead_text[32];
+      std::snprintf(overhead_text, sizeof overhead_text, "%+.1f%%",
+                    (seconds / ref_seconds - 1.0) * 100.0);
+      char per_ckpt_text[32];
+      std::snprintf(per_ckpt_text, sizeof per_ckpt_text, "%.1f",
+                    (seconds - ref_seconds) * 1e3 /
+                        static_cast<double>(result.metrics.checkpoints_written));
+      char recovery_text[32];
+      std::snprintf(recovery_text, sizeof recovery_text, "%.0f ms",
+                    recovery_seconds * 1e3);
+      std::printf("%-8s %-10s %-6llu %-10s %-10.2f %-10s %-10s %-10s\n", to_string(backend),
+                  interval_text,
+                  static_cast<unsigned long long>(result.metrics.checkpoints_written), size_text,
+                  static_cast<double>(records.size()) / seconds / 1e6, overhead_text,
+                  per_ckpt_text, recovery_text);
+    }
+    std::printf("\n");
+  }
+  std::filesystem::remove(snapshot);
+  std::printf("overhead = end-to-end slowdown vs the uncheckpointed run; recovery = restore\n"
+              "last snapshot + replay the remaining suffix (crash-at-end worst case is one\n"
+              "full interval of replay).  Checkpoints quiesce all shards, so cost scales\n"
+              "with snapshot count x (quiesce latency + serialized host state).\n");
+  return 0;
+}

@@ -61,6 +61,18 @@ std::unique_ptr<ContainmentPolicy> ScanCountLimitPolicy::clone() const {
   return std::make_unique<ScanCountLimitPolicy>(config_);
 }
 
+void ScanCountLimitPolicy::restore_counter(net::HostId host, std::uint64_t cycle,
+                                           std::uint64_t count, bool flagged) {
+  WORMS_EXPECTS(config_.counting == CountingMode::Attempts);
+  if (host >= counters_.size()) counters_.resize(static_cast<std::size_t>(host) + 1);
+  HostCounter& c = counters_[host];
+  c.count = count;
+  c.cycle = cycle;
+  c.flagged = flagged;
+  c.seen.clear();
+  if (flagged) flagged_.push_back(host);
+}
+
 std::uint64_t ScanCountLimitPolicy::count_of(net::HostId host) const {
   if (host >= counters_.size()) return 0;
   return counters_[host].count;

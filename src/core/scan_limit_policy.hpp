@@ -44,6 +44,13 @@ class ScanCountLimitPolicy final : public ContainmentPolicy {
   /// Current counter for a host (0 if never seen).
   [[nodiscard]] std::uint64_t count_of(net::HostId host) const;
 
+  /// Reinstates a host's in-cycle counter exactly as a previous run left it —
+  /// the checkpoint-restore hook used by the fleet pipeline.  `cycle` is the
+  /// containment-cycle index the count belongs to; a later on_scan in a newer
+  /// cycle still resets as usual.  Attempts mode only (the exact-distinct
+  /// `seen` set is not restored).
+  void restore_counter(net::HostId host, std::uint64_t cycle, std::uint64_t count, bool flagged);
+
   /// Hosts that crossed f·M and await a full check (paper's adaptive step).
   [[nodiscard]] const std::vector<net::HostId>& flagged_hosts() const noexcept {
     return flagged_;

@@ -15,6 +15,7 @@
 // then drains the remaining items before reporting end-of-stream.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -51,6 +52,22 @@ class BoundedMpscQueue {
     not_empty_.notify_one();
   }
 
+  /// Non-blocking push: returns false — leaving `item` untouched — when the
+  /// queue is full, so a producer can observe backpressure (and e.g. check
+  /// whether its consumer died) instead of blocking forever.  Pushing onto a
+  /// closed queue is a precondition violation, as with push().
+  [[nodiscard]] bool try_push(T& item) {
+    {
+      std::lock_guard lock(mutex_);
+      WORMS_EXPECTS(!closed_);
+      if (items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      if (items_.size() > high_water_) high_water_ = items_.size();
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocks until an item is available or the queue is closed *and* drained;
   /// returns nullopt only in the latter case, so no pushed item is lost.
   [[nodiscard]] std::optional<T> pop() {
@@ -62,6 +79,35 @@ class BoundedMpscQueue {
     lock.unlock();
     not_full_.notify_one();
     return item;
+  }
+
+  /// Like pop(), but waits at most `timeout`.  Returns nullopt on timeout as
+  /// well as on closed-and-drained; disambiguate with drained().  This is how
+  /// a consumer observes a stalled producer (or a pending shutdown check)
+  /// instead of blocking forever.
+  template <class Rep, class Period>
+  [[nodiscard]] std::optional<T> pop_wait_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// True once the queue is closed and every item has been popped — the
+  /// end-of-stream condition a pop_wait_for() consumer checks on nullopt.
+  [[nodiscard]] bool drained() const {
+    std::lock_guard lock(mutex_);
+    return closed_ && items_.empty();
+  }
+
+  /// Current occupancy in items — the overload watermarks sample this.
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
   }
 
   /// Marks end-of-stream; idempotent.  Waiting consumers drain what is left.

@@ -1,0 +1,129 @@
+#include "fleet/checkpoint.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace worms::fleet {
+
+void BinaryWriter::put_f64(double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  put_u64(bits);
+}
+
+std::uint8_t BinaryReader::get_u8() {
+  require(1);
+  return static_cast<std::uint8_t>(data_[offset_++]);
+}
+
+double BinaryReader::get_f64() { return std::bit_cast<double>(get_u64()); }
+
+void BinaryReader::get_bytes(void* out, std::size_t size) {
+  require(size);
+  std::memcpy(out, data_.data() + offset_, size);
+  offset_ += size;
+}
+
+void BinaryReader::require(std::size_t bytes) const {
+  WORMS_EXPECTS(offset_ + bytes <= data_.size() && "truncated snapshot");
+}
+
+std::uint64_t fnv1a64(std::string_view data) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void write_snapshot_file(const std::string& path, std::string_view payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    WORMS_EXPECTS(out.good() && "cannot open snapshot temp file");
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    const std::uint64_t checksum = fnv1a64(payload);
+    BinaryWriter trailer;
+    trailer.put_u64(checksum);
+    out.write(trailer.buffer().data(), static_cast<std::streamsize>(trailer.buffer().size()));
+    out.flush();
+    WORMS_ENSURES(out.good() && "snapshot write failed");
+  }
+  // Atomic publish: a crash before this rename leaves the previous snapshot
+  // untouched; after it, the new one is complete (checksum included).
+  WORMS_ENSURES(std::rename(tmp.c_str(), path.c_str()) == 0 && "snapshot rename failed");
+}
+
+std::string read_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  WORMS_EXPECTS(in.good() && "cannot open snapshot file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string blob = std::move(buffer).str();
+  WORMS_EXPECTS(blob.size() >= 8 && "snapshot shorter than its checksum trailer");
+  const std::string_view payload(blob.data(), blob.size() - 8);
+  BinaryReader trailer(std::string_view(blob).substr(blob.size() - 8));
+  const std::uint64_t stored = trailer.get_u64();
+  WORMS_EXPECTS(stored == fnv1a64(payload) && "snapshot checksum mismatch");
+  blob.resize(blob.size() - 8);
+  return blob;
+}
+
+void encode_counter(BinaryWriter& out, const DistinctCounter& counter) {
+  out.put_u8(static_cast<std::uint8_t>(counter.backend()));
+  switch (counter.backend()) {
+    case CounterBackend::Exact: {
+      const auto& exact = static_cast<const ExactCounter&>(counter);
+      out.put_u64(exact.table().size());
+      exact.table().for_each(
+          [&out](net::Ipv4Address addr, std::uint32_t) { out.put_u32(addr.value()); });
+      break;
+    }
+    case CounterBackend::Hll: {
+      const auto& hll = static_cast<const HllCounter&>(counter);
+      const trace::HyperLogLog& sketch = hll.sketch();
+      out.put_u8(static_cast<std::uint8_t>(sketch.precision()));
+      out.put_u64(hll.count());
+      out.put_f64(sketch.inverse_sum());
+      out.put_u64(sketch.zero_register_count());
+      out.put_u64(sketch.register_count());
+      out.put_bytes(sketch.registers().data(), sketch.registers().size());
+      break;
+    }
+  }
+}
+
+std::unique_ptr<DistinctCounter> decode_counter(BinaryReader& in) {
+  const auto tag = in.get_u8();
+  WORMS_EXPECTS(tag <= 1 && "unknown counter backend tag in snapshot");
+  if (static_cast<CounterBackend>(tag) == CounterBackend::Exact) {
+    auto counter = std::make_unique<ExactCounter>();
+    const std::uint64_t n = in.get_u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint32_t inserted = counter->add(in.get_u32());
+      WORMS_EXPECTS(inserted == 1 && "duplicate address in exact-counter snapshot");
+    }
+    return counter;
+  }
+  const int precision = in.get_u8();
+  const std::uint64_t reported = in.get_u64();
+  const double inverse_sum = in.get_f64();
+  const std::uint64_t zero_registers = in.get_u64();
+  const std::uint64_t register_count = in.get_u64();
+  WORMS_EXPECTS(precision >= 4 && precision <= 16);
+  WORMS_EXPECTS(register_count == (std::uint64_t{1} << precision));
+  std::vector<std::uint8_t> registers(register_count);
+  in.get_bytes(registers.data(), registers.size());
+  return std::make_unique<HllCounter>(
+      trace::HyperLogLog::restore(precision, std::move(registers), inverse_sum,
+                                  static_cast<std::size_t>(zero_registers)),
+      reported);
+}
+
+}  // namespace worms::fleet

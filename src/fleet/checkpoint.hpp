@@ -1,0 +1,108 @@
+// Snapshot serialization substrate for the fleet containment pipeline.
+//
+// A checkpoint is a single versioned, checksummed binary blob: fixed-width
+// little-endian fields appended by BinaryWriter, consumed by BinaryReader
+// (which throws on any truncation), wrapped by a magic/version header and an
+// FNV-1a-64 trailer so a torn write or bit rot is detected before any state
+// is trusted.  Files are written atomically (temp file + rename) so a crash
+// *during* checkpointing leaves the previous snapshot intact — the pipeline
+// can always fall back to the last complete one.
+//
+// The counter codec serializes either DistinctCounter backend with a type
+// tag, including the HLL's incrementally maintained float state verbatim —
+// that verbatim restore is what makes "checkpoint + replay of the suffix"
+// bit-identical to an uninterrupted run even for the approximate backend.
+//
+// The snapshot *assembly* (which hosts, which verdicts, stream position)
+// lives with the pipeline itself; this header is the format layer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "fleet/distinct_counter.hpp"
+
+namespace worms::fleet {
+
+/// 'WFS1' — worms fleet snapshot.
+inline constexpr std::uint32_t kSnapshotMagic = 0x31534657u;
+inline constexpr std::uint16_t kSnapshotVersion = 1;
+
+/// Appends fixed-width little-endian fields to a growing buffer.
+class BinaryWriter {
+ public:
+  void put_u8(std::uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void put_u16(std::uint16_t v) { put_le(v); }
+  void put_u32(std::uint32_t v) { put_le(v); }
+  void put_u64(std::uint64_t v) { put_le(v); }
+  void put_f64(double v);
+  void put_bytes(const void* data, std::size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+
+  [[nodiscard]] const std::string& buffer() const noexcept { return buffer_; }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  std::string buffer_;
+};
+
+/// Consumes what BinaryWriter produced; throws support::PreconditionError on
+/// truncation so corrupt snapshots fail loudly rather than misparse.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t get_u8();
+  [[nodiscard]] std::uint16_t get_u16() { return get_le<std::uint16_t>(); }
+  [[nodiscard]] std::uint32_t get_u32() { return get_le<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t get_u64() { return get_le<std::uint64_t>(); }
+  [[nodiscard]] double get_f64();
+  void get_bytes(void* out, std::size_t size);
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - offset_; }
+
+ private:
+  void require(std::size_t bytes) const;
+
+  template <typename T>
+  T get_le() {
+    require(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<unsigned char>(data_[offset_ + i])) << (8 * i);
+    }
+    offset_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view data_;
+  std::size_t offset_ = 0;
+};
+
+/// FNV-1a 64-bit over the payload — the snapshot trailer.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data) noexcept;
+
+/// Writes `payload` + its checksum trailer atomically (temp file + rename).
+void write_snapshot_file(const std::string& path, std::string_view payload);
+
+/// Reads a snapshot file, validates the checksum trailer, and returns the
+/// payload.  Throws support::PreconditionError on missing file, truncation,
+/// or checksum mismatch.
+[[nodiscard]] std::string read_snapshot_file(const std::string& path);
+
+/// Serializes one counter (backend tag + payload).
+void encode_counter(BinaryWriter& out, const DistinctCounter& counter);
+
+/// Rebuilds a counter from its serialized form.
+[[nodiscard]] std::unique_ptr<DistinctCounter> decode_counter(BinaryReader& in);
+
+}  // namespace worms::fleet

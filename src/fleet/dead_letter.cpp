@@ -1,0 +1,61 @@
+#include "fleet/dead_letter.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace worms::fleet {
+
+const char* to_string(DeadLetterReason reason) noexcept {
+  switch (reason) {
+    case DeadLetterReason::Malformed: return "malformed";
+    case DeadLetterReason::OutOfOrder: return "out-of-order";
+    case DeadLetterReason::Duplicate: return "duplicate";
+  }
+  return "unknown";
+}
+
+DeadLetterChannel::DeadLetterChannel(const Config& config) : config_(config) {
+  WORMS_EXPECTS(config.capacity >= 1);
+  if (!config_.spill_path.empty()) {
+    spill_.open(config_.spill_path, std::ios::out | std::ios::trunc);
+    WORMS_EXPECTS(spill_.good() && "cannot open dead-letter spill file");
+    spill_ << "stream_index,reason,timestamp,source_host,destination,detail\n";
+  }
+}
+
+void DeadLetterChannel::report(DeadLetterEntry entry) {
+  std::lock_guard lock(mutex_);
+  switch (entry.reason) {
+    case DeadLetterReason::Malformed: ++stats_.malformed; break;
+    case DeadLetterReason::OutOfOrder: ++stats_.out_of_order; break;
+    case DeadLetterReason::Duplicate: ++stats_.duplicate; break;
+  }
+  if (spill_.is_open()) {
+    spill_ << entry.stream_index << ',' << to_string(entry.reason) << ','
+           << entry.record.timestamp << ',' << entry.record.source_host << ','
+           << entry.record.destination.to_string() << ',' << entry.detail << '\n';
+  }
+  retained_.push_back(std::move(entry));
+  if (retained_.size() > config_.capacity) {
+    retained_.pop_front();
+    ++stats_.overflow_dropped;
+  }
+}
+
+void DeadLetterChannel::preload(const DeadLetterStats& stats) {
+  std::lock_guard lock(mutex_);
+  stats_ = stats;
+}
+
+DeadLetterStats DeadLetterChannel::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::vector<DeadLetterEntry> DeadLetterChannel::entries() const {
+  std::lock_guard lock(mutex_);
+  return {retained_.begin(), retained_.end()};
+}
+
+}  // namespace worms::fleet

@@ -18,6 +18,10 @@
 // the shard worker can forward exactly that many counted scans into
 // core::ScanCountLimitPolicy — the policy never needs to know which backend
 // produced the increments.
+//
+// Both backends are checkpointable (the fault-tolerance layer serializes
+// their full state) and the exact backend can be *degraded* into an HLL
+// carrying its tally forward — the overload ladder's memory relief valve.
 #pragma once
 
 #include <cstdint>
@@ -28,7 +32,7 @@
 
 namespace worms::fleet {
 
-enum class CounterBackend { Exact, Hll };
+enum class CounterBackend : std::uint8_t { Exact, Hll };
 
 class DistinctCounter {
  public:
@@ -50,6 +54,10 @@ class DistinctCounter {
 
   /// Bytes of state held right now (the PipelineMetrics footprint gauge).
   [[nodiscard]] virtual std::size_t memory_bytes() const noexcept = 0;
+
+  /// Which backend this is — drives checkpoint payload tagging and the
+  /// degraded-shard accounting.
+  [[nodiscard]] virtual CounterBackend backend() const noexcept = 0;
 };
 
 /// Exact backend over net::AddressTable.
@@ -63,6 +71,12 @@ class ExactCounter final : public DistinctCounter {
   [[nodiscard]] std::size_t memory_bytes() const noexcept override {
     return sizeof(*this) + seen_.capacity() * 8;  // 8 bytes per open-addressing slot
   }
+  [[nodiscard]] CounterBackend backend() const noexcept override {
+    return CounterBackend::Exact;
+  }
+
+  /// The underlying set — checkpoint serialization and exact→HLL degradation.
+  [[nodiscard]] const net::AddressTable& table() const noexcept { return seen_; }
 
  private:
   net::AddressTable seen_{16};
@@ -75,6 +89,18 @@ class ExactCounter final : public DistinctCounter {
 class HllCounter final : public DistinctCounter {
  public:
   explicit HllCounter(int precision) : sketch_(precision), precision_(precision) {}
+
+  /// Checkpoint restore: resume from a serialized sketch and reported tally.
+  HllCounter(trace::HyperLogLog sketch, std::uint64_t reported)
+      : sketch_(std::move(sketch)), precision_(sketch_.precision()), reported_(reported) {}
+
+  /// Overload degradation: absorb an exact counter's set, carrying its exact
+  /// tally forward as the reported baseline so the host's spent budget is
+  /// neither refunded nor double-charged by the switch.
+  HllCounter(int precision, const net::AddressTable& seen, std::uint64_t reported)
+      : sketch_(precision), precision_(precision), reported_(reported) {
+    seen.for_each([this](net::Ipv4Address addr, std::uint32_t) { sketch_.add(addr.value()); });
+  }
 
   std::uint32_t add(std::uint32_t destination) override {
     sketch_.add(destination);
@@ -92,6 +118,10 @@ class HllCounter final : public DistinctCounter {
   [[nodiscard]] std::size_t memory_bytes() const noexcept override {
     return sizeof(*this) + sketch_.register_count();
   }
+  [[nodiscard]] CounterBackend backend() const noexcept override { return CounterBackend::Hll; }
+
+  /// The underlying sketch — checkpoint serialization.
+  [[nodiscard]] const trace::HyperLogLog& sketch() const noexcept { return sketch_; }
 
  private:
   trace::HyperLogLog sketch_;

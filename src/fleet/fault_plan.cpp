@@ -1,0 +1,81 @@
+#include "fleet/fault_plan.hpp"
+
+#include <charconv>
+#include <string_view>
+
+#include "support/check.hpp"
+
+namespace worms::fleet {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& clause, const char* why) {
+  throw support::PreconditionError("bad --fault-plan clause '" + clause + "': " + why);
+}
+
+template <typename T>
+T parse_number(std::string_view text, const std::string& clause, const char* field) {
+  T value{};
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    bad_spec(clause, field);
+  }
+  return value;
+}
+
+/// Splits "SHARD@BATCHES" (the shared grammar of kill/degrade/stall clauses).
+FaultPlan::WorkerFault parse_worker_fault(std::string_view body, const std::string& clause) {
+  const auto at = body.find('@');
+  if (at == std::string_view::npos) bad_spec(clause, "expected SHARD@BATCHES");
+  FaultPlan::WorkerFault fault;
+  fault.shard = parse_number<unsigned>(body.substr(0, at), clause, "SHARD must be a non-negative integer");
+  fault.after_batches =
+      parse_number<std::uint64_t>(body.substr(at + 1), clause, "BATCHES must be a non-negative integer");
+  return fault;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = spec.find(';', pos);
+    const std::string clause =
+        spec.substr(pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    pos = semi == std::string::npos ? spec.size() + 1 : semi + 1;
+    if (clause.empty()) continue;
+
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string::npos) bad_spec(clause, "expected KIND:ARGS");
+    const std::string_view kind = std::string_view(clause).substr(0, colon);
+    const std::string_view body = std::string_view(clause).substr(colon + 1);
+
+    if (kind == "kill") {
+      plan.kills.push_back(parse_worker_fault(body, clause));
+    } else if (kind == "degrade") {
+      plan.degrades.push_back(parse_worker_fault(body, clause));
+    } else if (kind == "stall") {
+      const auto comma = body.find(',');
+      if (comma == std::string_view::npos) bad_spec(clause, "expected SHARD@BATCHES,SECONDS");
+      StallFault stall;
+      const WorkerFault at = parse_worker_fault(body.substr(0, comma), clause);
+      stall.shard = at.shard;
+      stall.after_batches = at.after_batches;
+      stall.seconds = parse_number<double>(body.substr(comma + 1), clause,
+                                           "SECONDS must be a number");
+      if (!(stall.seconds >= 0.0)) bad_spec(clause, "SECONDS must be >= 0");
+      plan.stalls.push_back(stall);
+    } else if (kind == "corrupt") {
+      plan.corrupt_records.push_back(
+          parse_number<std::uint64_t>(body, clause, "INDEX must be a non-negative integer"));
+    } else if (kind == "seed") {
+      plan.seed = parse_number<std::uint64_t>(body, clause, "N must be a non-negative integer");
+    } else {
+      bad_spec(clause, "unknown kind (want kill, degrade, stall, corrupt, or seed)");
+    }
+  }
+  return plan;
+}
+
+}  // namespace worms::fleet

@@ -1,0 +1,70 @@
+// Deterministic fault-injection plan for the fleet containment pipeline.
+//
+// Recovery code that only runs when production breaks is recovery code that
+// has never run.  A FaultPlan scripts the breakage: kill shard worker k after
+// it has processed n batches (the thread returns mid-stream, exactly like a
+// crash between batches), corrupt the i-th ingested record (deterministically
+// mangled from `seed` so reruns reproduce it), stall shard j for t seconds
+// (sustained backpressure, driving the overload watermarks), or force shard j
+// to degrade its counters exact→HLL.  The pipeline honours the plan inline —
+// every fault fires at a position in the record stream, not at a wall-clock
+// time — so tests can assert exact outcomes: verdicts unchanged after a
+// worker kill, dead-letter counters matching the corruption list, no
+// deadlock under stall.
+//
+// wormctl accepts the same plans via `contain --fault-plan SPEC` where SPEC
+// is semicolon-separated clauses:
+//
+//   kill:SHARD@BATCHES      stall:SHARD@BATCHES,SECONDS
+//   degrade:SHARD@BATCHES   corrupt:INDEX        seed:N
+//
+// e.g. --fault-plan "kill:0@10;corrupt:500;corrupt:501;stall:1@5,0.25".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace worms::fleet {
+
+struct FaultPlan {
+  /// Kill (or degrade) a shard's worker after it completes `after_batches`
+  /// record batches.  A kill fires once: the pipeline respawns the worker on
+  /// demand and the respawn is immune.
+  struct WorkerFault {
+    unsigned shard = 0;
+    std::uint64_t after_batches = 0;
+
+    friend bool operator==(const WorkerFault&, const WorkerFault&) = default;
+  };
+
+  /// Stall a shard's worker for `seconds` after `after_batches` batches —
+  /// sustained backpressure without killing anything.
+  struct StallFault {
+    unsigned shard = 0;
+    std::uint64_t after_batches = 0;
+    double seconds = 0.0;
+
+    friend bool operator==(const StallFault&, const StallFault&) = default;
+  };
+
+  std::vector<WorkerFault> kills;
+  std::vector<WorkerFault> degrades;
+  std::vector<StallFault> stalls;
+  /// Stream indices (0-based feed order) of records to corrupt at ingest.
+  std::vector<std::uint64_t> corrupt_records;
+  /// Seeds the corruption mode choice (malformed vs duplicate) per index.
+  std::uint64_t seed = 0xFA17;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return kills.empty() && degrades.empty() && stalls.empty() && corrupt_records.empty();
+  }
+
+  /// Parses the wormctl SPEC grammar above; throws support::PreconditionError
+  /// with a field-accurate message on malformed specs.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+}  // namespace worms::fleet

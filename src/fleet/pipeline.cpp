@@ -1,11 +1,19 @@
 #include "fleet/pipeline.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <exception>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "fleet/bounded_queue.hpp"
+#include "fleet/checkpoint.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
 
@@ -15,16 +23,60 @@ namespace {
 
 using Batch = std::vector<trace::ConnRecord>;
 
+constexpr auto kWorkerPollInterval = std::chrono::milliseconds(20);
+
 /// Per-host streaming state owned by exactly one shard worker.
 struct HostState {
   std::unique_ptr<DistinctCounter> counter;
   std::uint64_t cycle = 0;
   bool cycle_flagged = false;  ///< crossed f·M in the current cycle
   sim::SimTime last_time = 0.0;
+  std::uint32_t last_destination = 0;
+  bool has_prev = false;  ///< last_time/last_destination hold a processed record
   HostVerdict verdict;
 };
 
+/// Quiesce barrier: one gate shared by a control task pushed to every shard
+/// queue.  FIFO order means a worker arriving at the gate has fully processed
+/// every batch fed before the quiesce began.
+struct Gate {
+  explicit Gate(unsigned n) : remaining(n) {}
+
+  void arrive() {
+    {
+      std::lock_guard lock(mutex);
+      --remaining;
+    }
+    cv.notify_all();
+  }
+
+  [[nodiscard]] bool wait_for(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mutex);
+    return cv.wait_for(lock, timeout, [&] { return remaining == 0; });
+  }
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  unsigned remaining;
+};
+
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
+
+const char* to_string(ShardHealth health) noexcept {
+  switch (health) {
+    case ShardHealth::Healthy: return "healthy";
+    case ShardHealth::Degraded: return "degraded";
+    case ShardHealth::Shedding: return "shedding";
+  }
+  return "unknown";
+}
 
 const HostVerdict* ContainmentVerdicts::find(std::uint32_t host) const noexcept {
   const auto it = std::lower_bound(
@@ -41,10 +93,30 @@ std::vector<std::uint32_t> ContainmentVerdicts::removed_hosts() const {
   return out;
 }
 
+/// What travels over a shard queue: a record batch (with per-record stream
+/// indices for line-accurate dead-letter diagnostics), or a control task — a
+/// quiesce gate or a degrade-to-HLL order from the overload monitor.
+struct ContainmentPipeline::ShardTask {
+  Batch records;
+  std::vector<std::uint64_t> indices;  ///< parallel to records: feed order
+  std::shared_ptr<Gate> gate;
+  bool degrade_to_hll = false;
+};
+
+/// Overload ladder state for one shard, owned by the ingest thread.
+struct ContainmentPipeline::Monitor {
+  ShardHealth health = ShardHealth::Healthy;
+  unsigned hot = 0;       ///< consecutive samples >= degrade watermark
+  unsigned critical = 0;  ///< consecutive samples >= shed watermark
+  unsigned cool = 0;      ///< consecutive samples below both
+};
+
 /// One shard: a queue, the per-host states of `host % shards == index`, and a
-/// single Attempts-mode ScanCountLimitPolicy those states drive.  Everything
-/// here is touched only by the shard's worker thread (and by finish() after
-/// the join), so no locking beyond the queue is needed.
+/// single Attempts-mode ScanCountLimitPolicy those states drive.  Host state
+/// is touched only by the shard's worker thread (and by the ingest thread
+/// after a quiesce gate or the final join — both synchronization points);
+/// `removed` is the one shared structure, guarded by its mutex, so shedding
+/// can consult it from the ingest side.
 struct ContainmentPipeline::Shard {
   explicit Shard(const PipelineConfig& config)
       : queue(config.queue_capacity),
@@ -52,7 +124,7 @@ struct ContainmentPipeline::Shard {
                 .cycle_length = config.policy.cycle_length,
                 .check_fraction = config.policy.check_fraction,
                 .counting = core::ScanCountLimitPolicy::CountingMode::Attempts}),
-        backend(config.backend),
+        effective_backend(config.backend),
         hll_precision(config.hll_precision),
         flag_threshold(config.policy.check_fraction < 1.0
                            ? config.policy.check_fraction *
@@ -61,33 +133,80 @@ struct ContainmentPipeline::Shard {
         flagging_enabled(config.policy.check_fraction < 1.0),
         cycle_length(config.policy.cycle_length) {}
 
-  void consume() {
-    while (auto batch = queue.pop()) {
-      if (error) continue;  // keep draining so the producer never blocks
-      try {
-        for (const trace::ConnRecord& r : *batch) process(r);
-      } catch (...) {
-        error = std::current_exception();
+  void consume(DeadLetterChannel& dead_letters) {
+    for (;;) {
+      // Fault-injected death, checked between tasks so a "crash" never tears
+      // a batch.  kill_fired persists across respawns: the kill fires once.
+      if (kill_requested && !kill_fired && batches_done >= kill_after) {
+        kill_fired = true;
+        dead.store(true, std::memory_order_release);
+        return;
+      }
+      auto task = queue.pop_wait_for(kWorkerPollInterval);
+      if (!task) {
+        if (queue.drained()) return;
+        continue;  // timeout: re-check faults, keep waiting
+      }
+      if (task->gate) {
+        task->gate->arrive();
+        continue;
+      }
+      if (task->degrade_to_hll) {
+        degrade();
+        continue;
+      }
+      if (!error) {
+        try {
+          for (std::size_t i = 0; i < task->records.size(); ++i) {
+            process(task->records[i], task->indices[i], dead_letters);
+          }
+        } catch (...) {
+          error = std::current_exception();
+          // keep draining so the producer never blocks on a full queue
+        }
+      }
+      ++batches_done;
+      for (PendingStall& stall : stalls) {
+        if (!stall.fired && batches_done >= stall.after) {
+          stall.fired = true;
+          std::this_thread::sleep_for(std::chrono::duration<double>(stall.seconds));
+        }
+      }
+      for (const std::uint64_t after : degrade_after) {
+        if (batches_done >= after) degrade();
       }
     }
   }
 
-  void process(const trace::ConnRecord& r) {
+  void process(const trace::ConnRecord& r, std::uint64_t stream_index,
+               DeadLetterChannel& dead_letters) {
     auto [it, inserted] = hosts.try_emplace(r.source_host);
     HostState& h = it->second;
     if (inserted) {
-      h.counter = make_distinct_counter(backend, hll_precision);
+      h.counter = make_distinct_counter(effective_backend, hll_precision);
       h.verdict.host = r.source_host;
       h.cycle = cycle_index(r.timestamp);
-    } else {
-      WORMS_EXPECTS(r.timestamp >= h.last_time &&
-                    "pipeline input must be time-ordered per source host");
     }
-    h.last_time = r.timestamp;
     if (h.verdict.removed) {
       ++suppressed;  // host is offline for heavy-duty checking
       return;
     }
+    if (h.has_prev) {
+      if (r.timestamp < h.last_time) {
+        dead_letters.report({DeadLetterReason::OutOfOrder, r, stream_index,
+                             "timestamp regressed for host " + std::to_string(r.source_host)});
+        return;
+      }
+      if (r.timestamp == h.last_time && r.destination.value() == h.last_destination) {
+        dead_letters.report({DeadLetterReason::Duplicate, r, stream_index,
+                             "repeats host " + std::to_string(r.source_host) +
+                                 "'s previous record"});
+        return;
+      }
+    }
+    h.last_time = r.timestamp;
+    h.last_destination = r.destination.value();
+    h.has_prev = true;
     ++h.verdict.records_seen;
 
     const std::uint64_t cycle = cycle_index(r.timestamp);
@@ -113,6 +232,8 @@ struct ContainmentPipeline::Shard {
           d.action == core::ScanAction::AllowAndRemove) {
         h.verdict.removed = true;
         h.verdict.removal_time = r.timestamp;
+        std::lock_guard lock(removed_mutex);
+        removed.insert(r.source_host);
         break;
       }
       if (flagging_enabled && !h.cycle_flagged &&
@@ -126,13 +247,30 @@ struct ContainmentPipeline::Shard {
     }
   }
 
+  /// One-way exact→HLL conversion of this shard's live counters.  The HLL
+  /// inherits each exact set's contents and carries the exact tally forward
+  /// as its reported baseline, so no host's spent budget moves — the policy
+  /// invariant count_of(host) == counter->count() is preserved.
+  void degrade() {
+    if (effective_backend == CounterBackend::Hll) return;
+    effective_backend = CounterBackend::Hll;
+    switched_this_run = true;
+    for (auto& [id, h] : hosts) {
+      if (h.verdict.removed) continue;  // never counted again
+      if (h.counter->backend() == CounterBackend::Exact) {
+        const auto& exact = static_cast<const ExactCounter&>(*h.counter);
+        h.counter = std::make_unique<HllCounter>(hll_precision, exact.table(), exact.count());
+      }
+    }
+  }
+
   [[nodiscard]] std::uint64_t cycle_index(sim::SimTime now) const noexcept {
     return static_cast<std::uint64_t>(now / cycle_length);
   }
 
-  BoundedMpscQueue<Batch> queue;
+  BoundedMpscQueue<ShardTask> queue;
   core::ScanCountLimitPolicy policy;
-  const CounterBackend backend;
+  CounterBackend effective_backend;  ///< what newly seen hosts get
   const int hll_precision;
   const double flag_threshold;
   const bool flagging_enabled;
@@ -140,62 +278,449 @@ struct ContainmentPipeline::Shard {
   std::unordered_map<std::uint32_t, HostState> hosts;
   std::uint64_t suppressed = 0;
   std::exception_ptr error;
+
+  // Fault wiring (configured before workers start, then worker-owned).
+  bool kill_requested = false;
+  std::uint64_t kill_after = 0;
+  bool kill_fired = false;
+  std::vector<std::uint64_t> degrade_after;
+  struct PendingStall {
+    std::uint64_t after = 0;
+    double seconds = 0.0;
+    bool fired = false;
+  };
+  std::vector<PendingStall> stalls;
+  std::uint64_t batches_done = 0;
+
+  bool switched_this_run = false;  ///< performed an exact→HLL switch this run
+  bool degrade_sent = false;       ///< ingest-side: degrade control task queued
+  std::atomic<bool> dead{false};   ///< worker returned via fault injection
+
+  std::mutex removed_mutex;
+  std::unordered_set<std::uint32_t> removed;  ///< hosts with removed verdicts
 };
 
-ContainmentPipeline::ContainmentPipeline(const PipelineConfig& config) : config_(config) {
+ContainmentPipeline::ContainmentPipeline(const PipelineConfig& config)
+    : ContainmentPipeline(config, DeferWorkersTag{}) {
+  start_workers();
+}
+
+ContainmentPipeline::ContainmentPipeline(const PipelineConfig& config, DeferWorkersTag)
+    : config_(config), dead_letters_({.capacity = config.dead_letter_capacity,
+                                      .spill_path = config.dead_letter_spill}) {
   WORMS_EXPECTS(config.batch_size >= 1);
   WORMS_EXPECTS(config.queue_capacity >= 1);
   if (config_.shards == 0) config_.shards = support::ThreadPool::hardware_threads();
   WORMS_EXPECTS(config_.shards >= 1 && config_.shards <= 1024);
+  WORMS_EXPECTS(config_.overload.degrade_watermark <= config_.overload.shed_watermark);
+  WORMS_EXPECTS(config_.overload.sustain_pushes >= 1);
+  WORMS_EXPECTS((config_.checkpoint_every == 0 || !config_.checkpoint_path.empty()) &&
+                "checkpoint_every requires checkpoint_path");
 
   shards_.reserve(config_.shards);
   pending_.resize(config_.shards);
+  pending_indices_.resize(config_.shards);
+  monitors_.resize(config_.shards);
   for (unsigned s = 0; s < config_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(config_));
     pending_[s].reserve(config_.batch_size);
+    pending_indices_[s].reserve(config_.batch_size);
   }
+
+  for (const FaultPlan::WorkerFault& kill : config_.faults.kills) {
+    WORMS_EXPECTS(kill.shard < config_.shards && "fault plan kill shard out of range");
+    Shard& shard = *shards_[kill.shard];
+    if (!shard.kill_requested || kill.after_batches < shard.kill_after) {
+      shard.kill_requested = true;
+      shard.kill_after = kill.after_batches;
+    }
+  }
+  for (const FaultPlan::WorkerFault& degrade : config_.faults.degrades) {
+    WORMS_EXPECTS(degrade.shard < config_.shards && "fault plan degrade shard out of range");
+    shards_[degrade.shard]->degrade_after.push_back(degrade.after_batches);
+  }
+  for (const FaultPlan::StallFault& stall : config_.faults.stalls) {
+    WORMS_EXPECTS(stall.shard < config_.shards && "fault plan stall shard out of range");
+    shards_[stall.shard]->stalls.push_back({stall.after_batches, stall.seconds, false});
+  }
+  corrupt_indices_ = config_.faults.corrupt_records;
+  std::sort(corrupt_indices_.begin(), corrupt_indices_.end());
+
   pool_ = std::make_unique<support::ThreadPool>(config_.shards);
+}
+
+void ContainmentPipeline::start_workers() {
   for (unsigned s = 0; s < config_.shards; ++s) {
-    pool_->submit([shard = shards_[s].get()] { shard->consume(); });
+    pool_->submit([this, s] { shards_[s]->consume(dead_letters_); });
   }
 }
 
 ContainmentPipeline::~ContainmentPipeline() {
   if (!finished_) {
     for (auto& shard : shards_) shard->queue.close();
-    // ThreadPool's destructor drains the consume() jobs.
+    // ThreadPool's destructor drains the consume() jobs; a fault-killed
+    // worker's leftover queue items are discarded with the queue.
   }
+}
+
+trace::ConnRecord ContainmentPipeline::corrupted(const trace::ConnRecord& record,
+                                                 std::uint64_t index) const {
+  const std::uint64_t roll = splitmix64(config_.faults.seed ^ index);
+  if ((roll & 1) == 0 || !has_last_routed_) {
+    // Malformed: a timestamp no real trace produces, caught at ingest.
+    trace::ConnRecord bad = record;
+    bad.timestamp = -1.0 - bad.timestamp;
+    return bad;
+  }
+  // Duplicate: replay the last record that actually reached a shard — its
+  // host's previous record is exactly it, so classification is guaranteed.
+  return last_routed_;
 }
 
 void ContainmentPipeline::feed(const trace::ConnRecord& record) {
   WORMS_EXPECTS(!finished_);
-  const unsigned s = record.source_host % config_.shards;
-  Batch& batch = pending_[s];
-  batch.push_back(record);
-  ++records_fed_;
-  if (batch.size() >= config_.batch_size) {
-    shards_[s]->queue.push(std::move(batch));
-    batch = Batch();
-    batch.reserve(config_.batch_size);
+  const std::uint64_t index = records_fed_++;
+  trace::ConnRecord r = record;
+  if (!corrupt_indices_.empty() &&
+      std::binary_search(corrupt_indices_.begin(), corrupt_indices_.end(), index)) {
+    r = corrupted(record, index);
   }
+  if (!std::isfinite(r.timestamp) || r.timestamp < 0.0) {
+    dead_letters_.report({DeadLetterReason::Malformed, r, index,
+                          "non-finite or negative timestamp"});
+    maybe_auto_checkpoint();
+    return;
+  }
+  const unsigned s = r.source_host % config_.shards;
+  if (monitors_[s].health == ShardHealth::Shedding) {
+    // Shed only what the worker would suppress anyway: records of hosts whose
+    // removal verdict is already final.  Semantically lossless.
+    Shard& shard = *shards_[s];
+    std::lock_guard lock(shard.removed_mutex);
+    if (shard.removed.contains(r.source_host)) {
+      ++records_shed_;
+      maybe_auto_checkpoint();
+      return;
+    }
+  }
+  pending_[s].push_back(r);
+  pending_indices_[s].push_back(index);
+  last_routed_ = r;
+  has_last_routed_ = true;
+  if (pending_[s].size() >= config_.batch_size) {
+    ShardTask task{std::move(pending_[s]), std::move(pending_indices_[s]), nullptr, false};
+    pending_[s] = Batch();
+    pending_[s].reserve(config_.batch_size);
+    pending_indices_[s] = std::vector<std::uint64_t>();
+    pending_indices_[s].reserve(config_.batch_size);
+    push_shard_task(s, std::move(task), /*sample_overload=*/true);
+  }
+  maybe_auto_checkpoint();
 }
 
 void ContainmentPipeline::feed(const std::vector<trace::ConnRecord>& records) {
   for (const trace::ConnRecord& r : records) feed(r);
 }
 
+void ContainmentPipeline::report_malformed(std::uint64_t source_line, std::string detail) {
+  dead_letters_.report(
+      {DeadLetterReason::Malformed, trace::ConnRecord{}, source_line, std::move(detail)});
+}
+
+void ContainmentPipeline::push_shard_task(unsigned shard_index, ShardTask task,
+                                          bool sample_overload) {
+  Shard& shard = *shards_[shard_index];
+  bool first_attempt = true;
+  for (;;) {
+    if (shard.dead.load(std::memory_order_acquire)) respawn(shard_index);
+    if (shard.queue.try_push(task)) {
+      if (sample_overload && first_attempt) {
+        observe_overload(shard_index,
+                         static_cast<double>(shard.queue.size()) /
+                             static_cast<double>(shard.queue.capacity()));
+      }
+      return;
+    }
+    if (sample_overload && first_attempt) {
+      observe_overload(shard_index, 1.0);  // a failed push is a full queue
+      first_attempt = false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void ContainmentPipeline::observe_overload(unsigned shard_index, double fill_fraction) {
+  Monitor& m = monitors_[shard_index];
+  const OverloadPolicy& p = config_.overload;
+  if (fill_fraction >= p.shed_watermark) {
+    ++m.hot;
+    ++m.critical;
+    m.cool = 0;
+  } else if (fill_fraction >= p.degrade_watermark) {
+    ++m.hot;
+    m.critical = 0;
+    m.cool = 0;
+  } else {
+    ++m.cool;
+    m.hot = 0;
+    m.critical = 0;
+  }
+
+  const auto transition = [&m](ShardHealth next) {
+    m.health = next;
+    m.hot = m.critical = m.cool = 0;
+  };
+  switch (m.health) {
+    case ShardHealth::Healthy:
+      if (m.hot >= p.sustain_pushes) {
+        transition(ShardHealth::Degraded);
+        Shard& shard = *shards_[shard_index];
+        if (p.auto_degrade_backend && config_.backend == CounterBackend::Exact &&
+            !shard.degrade_sent) {
+          shard.degrade_sent = true;
+          push_shard_task(shard_index, ShardTask{{}, {}, nullptr, true},
+                          /*sample_overload=*/false);
+        }
+      }
+      break;
+    case ShardHealth::Degraded:
+      if (m.critical >= p.sustain_pushes) {
+        transition(ShardHealth::Shedding);
+      } else if (m.cool >= p.sustain_pushes) {
+        transition(ShardHealth::Healthy);
+      }
+      break;
+    case ShardHealth::Shedding:
+      if (m.cool >= p.sustain_pushes) transition(ShardHealth::Degraded);
+      break;
+  }
+}
+
+void ContainmentPipeline::respawn(unsigned shard_index) {
+  Shard& shard = *shards_[shard_index];
+  shard.dead.store(false, std::memory_order_release);
+  ++workers_respawned_;
+  pool_->submit([this, shard_index] { shards_[shard_index]->consume(dead_letters_); });
+}
+
+void ContainmentPipeline::respawn_dead_workers() {
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    if (shards_[s]->dead.load(std::memory_order_acquire)) respawn(s);
+  }
+}
+
 void ContainmentPipeline::flush_batches() {
   for (unsigned s = 0; s < config_.shards; ++s) {
-    if (!pending_[s].empty()) shards_[s]->queue.push(std::move(pending_[s]));
+    if (pending_[s].empty()) continue;
+    ShardTask task{std::move(pending_[s]), std::move(pending_indices_[s]), nullptr, false};
     pending_[s] = Batch();
+    pending_indices_[s] = std::vector<std::uint64_t>();
+    push_shard_task(s, std::move(task), /*sample_overload=*/false);
   }
+}
+
+void ContainmentPipeline::quiesce() {
+  flush_batches();
+  auto gate = std::make_shared<Gate>(config_.shards);
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    push_shard_task(s, ShardTask{{}, {}, gate, false}, /*sample_overload=*/false);
+  }
+  // FIFO queues: once every worker has arrived, every record fed before this
+  // call has been fully processed.  A fault can kill a worker with the gate
+  // still queued, so poll-and-respawn rather than wait unconditionally.
+  while (!gate->wait_for(kWorkerPollInterval)) {
+    respawn_dead_workers();
+  }
+}
+
+void ContainmentPipeline::maybe_auto_checkpoint() {
+  if (config_.checkpoint_every == 0) return;
+  if (records_fed_ % config_.checkpoint_every == 0) {
+    write_checkpoint(config_.checkpoint_path);
+  }
+}
+
+void ContainmentPipeline::write_checkpoint(const std::string& path) {
+  WORMS_EXPECTS(!finished_);
+  WORMS_EXPECTS(!path.empty());
+  quiesce();
+  write_snapshot_file(path, encode_snapshot());
+  ++checkpoints_written_;
+}
+
+std::string ContainmentPipeline::encode_snapshot() const {
+  BinaryWriter out;
+  out.put_u32(kSnapshotMagic);
+  out.put_u16(kSnapshotVersion);
+  out.put_u8(static_cast<std::uint8_t>(config_.backend));
+  out.put_u8(static_cast<std::uint8_t>(config_.hll_precision));
+  out.put_u64(config_.policy.scan_limit);
+  out.put_f64(config_.policy.cycle_length);
+  out.put_f64(config_.policy.check_fraction);
+  out.put_u32(config_.shards);
+  out.put_u64(records_fed_);
+  out.put_u64(records_shed_);
+  std::uint64_t suppressed = restored_suppressed_;
+  std::uint64_t switches = restored_backend_switches_;
+  std::uint64_t host_count = 0;
+  for (const auto& shard : shards_) {
+    suppressed += shard->suppressed;
+    switches += shard->switched_this_run ? 1 : 0;
+    host_count += shard->hosts.size();
+  }
+  out.put_u64(suppressed);
+  const DeadLetterStats dl = dead_letters_.stats();
+  out.put_u64(dl.malformed);
+  out.put_u64(dl.out_of_order);
+  out.put_u64(dl.duplicate);
+  out.put_u64(dl.overflow_dropped);
+  out.put_u64(switches);
+  // +1: this snapshot counts itself, so a restored run's checkpoint tally
+  // lines up with the uninterrupted run's.
+  out.put_u64(checkpoints_written_ + 1);
+  out.put_u8(has_last_routed_ ? 1 : 0);
+  out.put_f64(last_routed_.timestamp);
+  out.put_u32(last_routed_.source_host);
+  out.put_u32(last_routed_.destination.value());
+
+  // Shards whose effective backend degraded below the configured one; only
+  // meaningful to re-apply when the restoring shard count matches.
+  std::vector<std::uint32_t> degraded_shards;
+  for (std::uint32_t s = 0; s < config_.shards; ++s) {
+    if (config_.backend == CounterBackend::Exact &&
+        shards_[s]->effective_backend == CounterBackend::Hll) {
+      degraded_shards.push_back(s);
+    }
+  }
+  out.put_u32(static_cast<std::uint32_t>(degraded_shards.size()));
+  for (const std::uint32_t s : degraded_shards) out.put_u32(s);
+
+  out.put_u64(host_count);
+  for (const auto& shard : shards_) {
+    for (const auto& [id, h] : shard->hosts) {
+      out.put_u32(id);
+      out.put_u64(h.cycle);
+      std::uint8_t flags = 0;
+      if (h.cycle_flagged) flags |= 1u;
+      if (h.verdict.flagged) flags |= 2u;
+      if (h.verdict.removed) flags |= 4u;
+      if (h.has_prev) flags |= 8u;
+      out.put_u8(flags);
+      out.put_f64(h.last_time);
+      out.put_u32(h.last_destination);
+      out.put_u64(h.verdict.records_seen);
+      out.put_u64(h.verdict.peak_distinct);
+      out.put_f64(h.verdict.flag_time);
+      out.put_f64(h.verdict.removal_time);
+      encode_counter(out, *h.counter);
+    }
+  }
+  return out.buffer();
+}
+
+void ContainmentPipeline::decode_snapshot(const std::string& payload) {
+  BinaryReader in(payload);
+  WORMS_EXPECTS(in.get_u32() == kSnapshotMagic && "not a fleet pipeline snapshot");
+  WORMS_EXPECTS(in.get_u16() == kSnapshotVersion && "unsupported snapshot version");
+  WORMS_EXPECTS(static_cast<CounterBackend>(in.get_u8()) == config_.backend &&
+                "snapshot counter backend differs from config");
+  WORMS_EXPECTS(static_cast<int>(in.get_u8()) == config_.hll_precision &&
+                "snapshot HLL precision differs from config");
+  WORMS_EXPECTS(in.get_u64() == config_.policy.scan_limit &&
+                "snapshot scan limit differs from config");
+  WORMS_EXPECTS(in.get_f64() == config_.policy.cycle_length &&
+                "snapshot cycle length differs from config");
+  WORMS_EXPECTS(in.get_f64() == config_.policy.check_fraction &&
+                "snapshot check fraction differs from config");
+  const std::uint32_t snapshot_shards = in.get_u32();
+  records_fed_ = in.get_u64();
+  records_shed_ = in.get_u64();
+  restored_suppressed_ = in.get_u64();
+  DeadLetterStats dl;
+  dl.malformed = in.get_u64();
+  dl.out_of_order = in.get_u64();
+  dl.duplicate = in.get_u64();
+  dl.overflow_dropped = in.get_u64();
+  dead_letters_.preload(dl);
+  restored_backend_switches_ = in.get_u64();
+  checkpoints_written_ = in.get_u64();
+  has_last_routed_ = in.get_u8() != 0;
+  last_routed_.timestamp = in.get_f64();
+  last_routed_.source_host = in.get_u32();
+  last_routed_.destination = net::Ipv4Address(in.get_u32());
+
+  const std::uint32_t degraded_count = in.get_u32();
+  for (std::uint32_t i = 0; i < degraded_count; ++i) {
+    const std::uint32_t s = in.get_u32();
+    WORMS_EXPECTS(s < snapshot_shards && "degraded shard index out of range in snapshot");
+    if (snapshot_shards == config_.shards) {
+      // Same sharding: the degraded shard resumes degraded (new hosts get
+      // HLL counters).  Different sharding: per-host counters still restore
+      // exactly, but shard-level degradation does not carry over.
+      shards_[s]->effective_backend = CounterBackend::Hll;
+      shards_[s]->degrade_sent = true;
+    }
+  }
+
+  const std::uint64_t host_count = in.get_u64();
+  for (std::uint64_t i = 0; i < host_count; ++i) {
+    const std::uint32_t id = in.get_u32();
+    Shard& shard = *shards_[id % config_.shards];
+    auto [it, inserted] = shard.hosts.try_emplace(id);
+    WORMS_EXPECTS(inserted && "duplicate host in snapshot");
+    HostState& h = it->second;
+    h.cycle = in.get_u64();
+    const std::uint8_t flags = in.get_u8();
+    h.cycle_flagged = (flags & 1u) != 0;
+    h.verdict.host = id;
+    h.verdict.flagged = (flags & 2u) != 0;
+    h.verdict.removed = (flags & 4u) != 0;
+    h.has_prev = (flags & 8u) != 0;
+    h.last_time = in.get_f64();
+    h.last_destination = in.get_u32();
+    h.verdict.records_seen = in.get_u64();
+    h.verdict.peak_distinct = in.get_u64();
+    h.verdict.flag_time = in.get_f64();
+    h.verdict.removal_time = in.get_f64();
+    h.counter = decode_counter(in);
+    if (h.verdict.removed) {
+      shard.removed.insert(id);
+    } else {
+      // Non-removed hosts satisfy count_of(host) == counter->count() at any
+      // quiesce point (each new-distinct unit is forwarded 1:1 into the
+      // policy), so policy state reconstructs from counter state.
+      shard.policy.restore_counter(id, h.cycle, h.counter->count(), h.cycle_flagged);
+    }
+  }
+  WORMS_EXPECTS(in.remaining() == 0 && "trailing bytes in snapshot");
+}
+
+std::unique_ptr<ContainmentPipeline> ContainmentPipeline::restore(const PipelineConfig& config,
+                                                                  const std::string& path) {
+  std::unique_ptr<ContainmentPipeline> pipeline(
+      new ContainmentPipeline(config, DeferWorkersTag{}));
+  pipeline->decode_snapshot(read_snapshot_file(path));
+  pipeline->start_workers();
+  return pipeline;
 }
 
 PipelineResult ContainmentPipeline::finish() {
   WORMS_EXPECTS(!finished_);
   flush_batches();
   for (auto& shard : shards_) shard->queue.close();
-  pool_->wait_idle();
+  // A fault-killed worker leaves its queue unread; respawn until every shard
+  // drains.  Kills fire once each, so this terminates.
+  for (;;) {
+    pool_->wait_idle();
+    bool respawned = false;
+    for (unsigned s = 0; s < config_.shards; ++s) {
+      if (shards_[s]->dead.load(std::memory_order_acquire)) {
+        respawn(s);
+        respawned = true;
+      }
+    }
+    if (!respawned) break;
+  }
   finished_ = true;
   const double elapsed = stopwatch_.elapsed_seconds();
 
@@ -210,10 +735,19 @@ PipelineResult ContainmentPipeline::finish() {
   m.records_per_second =
       elapsed > 0.0 ? static_cast<double>(records_fed_) / elapsed : 0.0;
   m.shards = config_.shards;
+  m.dead_letters = dead_letters_.stats();
+  m.records_shed = records_shed_;
+  m.backend_switches = restored_backend_switches_;
+  m.workers_respawned = workers_respawned_;
+  m.checkpoints_written = checkpoints_written_;
+  m.records_suppressed = restored_suppressed_;
+  for (const Monitor& monitor : monitors_) m.shard_health.push_back(monitor.health);
 
   auto& hosts = result.verdicts.hosts;
   for (const auto& shard : shards_) {
     m.records_suppressed += shard->suppressed;
+    m.backend_switches += shard->switched_this_run ? 1 : 0;
+    if (shard->kill_fired) ++m.workers_killed;
     m.queue_high_water.push_back(shard->queue.high_water());
     for (const auto& [id, state] : shard->hosts) {
       m.counter_memory_bytes += state.counter->memory_bytes();

@@ -29,14 +29,39 @@
 // depend on the shard count or on scheduling, and the merged, host-sorted
 // ContainmentVerdicts report is bit-identical for any `shards` value —
 // verified in tests/fleet_pipeline_test.cpp (including under TSan).
+//
+// Fault tolerance (DESIGN.md §7): the counters must survive a containment
+// cycle measured in weeks, so the pipeline is built to degrade and recover
+// rather than abort:
+//
+//   * checkpoint/restore — write_checkpoint() quiesces the shards and writes
+//     a versioned, checksummed snapshot of every host's full state (exact
+//     sets or HLL registers, cycle indices, verdicts) plus the stream
+//     position; restore() resumes mid-cycle such that checkpoint + replay of
+//     the record suffix is bit-identical to an uninterrupted run, for any
+//     shard count and either counter backend.
+//   * dead-letter quarantine — malformed, per-host out-of-order, and
+//     duplicate records are routed to a bounded DeadLetterChannel (per-reason
+//     counters, optional spill file) instead of aborting the stream.
+//   * overload degradation — per-shard watermarks walk a ladder
+//     healthy → degraded → shedding under sustained backpressure: degraded
+//     shards may auto-switch exact counters to fixed-memory HLL sketches;
+//     shedding drops only records of already-removed hosts (which the worker
+//     would suppress anyway), never a countable scan.
+//   * fault injection — a fleet::FaultPlan kills/stalls/degrades workers and
+//     corrupts records at scripted stream positions so every recovery path
+//     above is exercised deterministically by tests.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/scan_limit_policy.hpp"
+#include "fleet/dead_letter.hpp"
 #include "fleet/distinct_counter.hpp"
+#include "fleet/fault_plan.hpp"
 #include "support/stopwatch.hpp"
 #include "trace/record.hpp"
 
@@ -45,6 +70,26 @@ class ThreadPool;
 }
 
 namespace worms::fleet {
+
+/// Overload ladder position of one shard, sampled by the ingest thread at
+/// every batch push.
+enum class ShardHealth : std::uint8_t { Healthy, Degraded, Shedding };
+
+[[nodiscard]] const char* to_string(ShardHealth health) noexcept;
+
+/// Watermark policy driving the overload ladder.  Fill fractions are of the
+/// shard queue's capacity; `sustain_pushes` consecutive hot samples escalate,
+/// the same number of cool samples recover.
+struct OverloadPolicy {
+  double degrade_watermark = 0.75;  ///< fill fraction that counts as hot
+  double shed_watermark = 0.95;     ///< fill fraction that counts as critical
+  unsigned sustain_pushes = 8;      ///< consecutive samples before a transition
+  /// Degraded shards convert per-host counters exact→HLL (memory relief).
+  /// Off by default: the switch point depends on queue timing, so enabling it
+  /// trades the pipeline's bit-identical determinism for bounded memory.
+  /// Deterministic degradation is available via FaultPlan's degrade clauses.
+  bool auto_degrade_backend = false;
+};
 
 struct PipelineConfig {
   /// Budget M, cycle length, and check fraction f.  `counting` is ignored:
@@ -55,6 +100,20 @@ struct PipelineConfig {
   unsigned shards = 0;         ///< worker count; 0 = one per hardware thread
   std::size_t batch_size = 1024;     ///< records per queue item
   std::size_t queue_capacity = 64;   ///< batches per shard queue (backpressure)
+
+  /// Checkpointing: every `checkpoint_every` fed records, quiesce and write a
+  /// snapshot to `checkpoint_path` (0 = only explicit write_checkpoint calls).
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every = 0;
+
+  /// Dead-letter retention bound and optional CSV spill file.
+  std::size_t dead_letter_capacity = 1024;
+  std::string dead_letter_spill;
+
+  OverloadPolicy overload;
+
+  /// Scripted faults (empty by default): see fleet/fault_plan.hpp.
+  FaultPlan faults;
 };
 
 /// One monitored host's outcome.  Times are trace timestamps (sim::SimTime
@@ -90,6 +149,15 @@ struct PipelineMetrics {
   unsigned shards = 0;
   std::vector<std::size_t> queue_high_water;  ///< per shard, in batches
   std::size_t counter_memory_bytes = 0;       ///< sum of per-host counter footprints
+
+  // Fault-tolerance accounting.
+  DeadLetterStats dead_letters;         ///< quarantined-record counters
+  std::uint64_t records_shed = 0;       ///< removed-host records dropped under shedding
+  std::uint64_t backend_switches = 0;   ///< shards degraded exact→HLL (incl. restored)
+  std::uint32_t workers_killed = 0;     ///< fault-injected worker deaths observed
+  std::uint32_t workers_respawned = 0;  ///< replacement workers started
+  std::uint64_t checkpoints_written = 0;
+  std::vector<ShardHealth> shard_health;  ///< final ladder position per shard
 };
 
 struct PipelineResult {
@@ -110,11 +178,35 @@ class ContainmentPipeline {
   ContainmentPipeline& operator=(const ContainmentPipeline&) = delete;
 
   /// Ingests records in stream order.  Timestamps must be non-decreasing
-  /// *per source host* (a globally time-sorted stream qualifies); violations
-  /// surface as PreconditionError from finish().  Blocks when a shard queue
-  /// is full — backpressure, not data loss.
+  /// *per source host* (a globally time-sorted stream qualifies); violating
+  /// records are routed to the dead-letter channel, not processed.  Blocks
+  /// when a shard queue is full — backpressure, not data loss.
   void feed(const trace::ConnRecord& record);
   void feed(const std::vector<trace::ConnRecord>& records);
+
+  /// Accounts a record that never became a ConnRecord (e.g. a line the
+  /// recovering CSV parser rejected) in the dead-letter channel.
+  void report_malformed(std::uint64_t source_line, std::string detail);
+
+  /// Quiesces every shard (all fed records fully processed) and writes a
+  /// checkpoint snapshot atomically.  The pipeline keeps running — feed()
+  /// may continue immediately after.
+  void write_checkpoint(const std::string& path);
+
+  /// Rebuilds a pipeline from a snapshot written by write_checkpoint().  The
+  /// config's policy/backend/precision must match the snapshot's; the shard
+  /// count may differ (state is re-sharded on load).  Resume ingest at
+  /// records_fed(): feeding the record suffix yields verdicts bit-identical
+  /// to the uninterrupted run.
+  [[nodiscard]] static std::unique_ptr<ContainmentPipeline> restore(
+      const PipelineConfig& config, const std::string& path);
+
+  /// Stream position: number of feed() calls so far (snapshot-restored count
+  /// included) — the index the next fed record should have.
+  [[nodiscard]] std::uint64_t records_fed() const noexcept { return records_fed_; }
+
+  /// Live dead-letter accounting (also snapshotted into PipelineMetrics).
+  [[nodiscard]] const DeadLetterChannel& dead_letters() const noexcept { return dead_letters_; }
 
   /// Flushes, drains, joins, and reports.  Call exactly once; the pipeline
   /// cannot be fed afterwards.  Rethrows the first worker error, if any.
@@ -128,14 +220,42 @@ class ContainmentPipeline {
 
  private:
   struct Shard;
+  struct Monitor;
+  struct ShardTask;
+  struct DeferWorkersTag {};
 
+  ContainmentPipeline(const PipelineConfig& config, DeferWorkersTag);
+
+  void start_workers();
+  void respawn(unsigned shard_index);
+  void respawn_dead_workers();
+  void push_shard_task(unsigned shard_index, ShardTask task, bool sample_overload);
+  void observe_overload(unsigned shard_index, double fill_fraction);
+  void quiesce();
   void flush_batches();
+  void maybe_auto_checkpoint();
+  [[nodiscard]] trace::ConnRecord corrupted(const trace::ConnRecord& record,
+                                            std::uint64_t index) const;
+  [[nodiscard]] std::string encode_snapshot() const;
+  void decode_snapshot(const std::string& payload);
 
   PipelineConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Monitor> monitors_;
   std::vector<std::vector<trace::ConnRecord>> pending_;  ///< per-shard batch buffers
+  std::vector<std::vector<std::uint64_t>> pending_indices_;  ///< stream index per pending record
   std::unique_ptr<support::ThreadPool> pool_;
+  DeadLetterChannel dead_letters_;
+  std::vector<std::uint64_t> corrupt_indices_;  ///< sorted fault-plan targets
   std::uint64_t records_fed_ = 0;
+  std::uint64_t records_shed_ = 0;
+  std::uint64_t checkpoints_written_ = 0;
+  std::uint32_t workers_respawned_ = 0;
+  // Restored-from-snapshot baselines, folded into finish()'s metrics.
+  std::uint64_t restored_suppressed_ = 0;
+  std::uint64_t restored_backend_switches_ = 0;
+  trace::ConnRecord last_routed_;  ///< most recent record handed to a shard
+  bool has_last_routed_ = false;
   support::Stopwatch stopwatch_;
   bool finished_ = false;
 };

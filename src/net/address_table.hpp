@@ -35,6 +35,17 @@ class AddressTable {
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
+  /// Visits every stored (address, id) pair in slot order — the serialization
+  /// hook for checkpointing per-host distinct-destination sets.  Slot order is
+  /// deterministic for a given insertion history; consumers that need a
+  /// canonical order must sort.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.id != kNotFound) fn(Ipv4Address(slot.addr), slot.id);
+    }
+  }
+
  private:
   struct Slot {
     std::uint32_t addr = 0;

@@ -56,8 +56,22 @@ std::uint64_t CliArgs::get_u64(const std::string& name, std::uint64_t fallback) 
   std::uint64_t value = 0;
   const auto& s = it->second;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
-  WORMS_EXPECTS(ec == std::errc() && ptr == s.data() + s.size());
+  if (ec == std::errc::result_out_of_range) {
+    throw PreconditionError("--" + name + ": value '" + s + "' is too large");
+  }
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    throw PreconditionError("--" + name + ": expected a non-negative integer, got '" + s + "'");
+  }
   return value;
+}
+
+std::uint32_t CliArgs::get_u32(const std::string& name, std::uint32_t fallback) const {
+  const std::uint64_t value = get_u64(name, fallback);
+  if (value > UINT32_MAX) {
+    throw PreconditionError("--" + name + ": value " + flags_.at(name) +
+                            " does not fit in 32 bits");
+  }
+  return static_cast<std::uint32_t>(value);
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
@@ -72,7 +86,9 @@ double CliArgs::get_double(const std::string& name, double fallback) const {
   } catch (const std::exception&) {
     ok = false;
   }
-  WORMS_EXPECTS(ok && used == it->second.size() && "flag is not a number");
+  if (!ok || used != it->second.size()) {
+    throw PreconditionError("--" + name + ": expected a number, got '" + it->second + "'");
+  }
   return value;
 }
 

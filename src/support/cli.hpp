@@ -27,6 +27,9 @@ class CliArgs {
   /// unparseable.  The `fallback` is returned when the flag is absent.
   [[nodiscard]] std::string get_string(const std::string& name, const std::string& fallback) const;
   [[nodiscard]] std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const;
+  /// Like get_u64 but rejects values over 2^32-1 — use for flags that feed
+  /// 32-bit fields so out-of-range input fails loudly instead of truncating.
+  [[nodiscard]] std::uint32_t get_u32(const std::string& name, std::uint32_t fallback) const;
   [[nodiscard]] double get_double(const std::string& name, double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback = false) const;
 

@@ -74,4 +74,27 @@ void HyperLogLog::merge(const HyperLogLog& other) {
   }
 }
 
+HyperLogLog HyperLogLog::restore(int precision, std::vector<std::uint8_t> registers,
+                                 double inverse_sum, std::size_t zero_registers) {
+  HyperLogLog sketch(precision);
+  WORMS_EXPECTS(registers.size() == sketch.registers_.size());
+  const auto max_rank = static_cast<std::uint8_t>(64 - precision + 1);
+  double recomputed = 0.0;
+  std::size_t zeros = 0;
+  for (const std::uint8_t r : registers) {
+    WORMS_EXPECTS(r <= max_rank);
+    recomputed += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  WORMS_EXPECTS(zeros == zero_registers);
+  // The stored sum must agree with the registers up to accumulation-order
+  // rounding; anything further apart is corruption the checksum missed.
+  WORMS_EXPECTS(std::abs(recomputed - inverse_sum) <=
+                1e-9 * static_cast<double>(registers.size()));
+  sketch.registers_ = std::move(registers);
+  sketch.inverse_sum_ = inverse_sum;
+  sketch.zero_registers_ = zero_registers;
+  return sketch;
+}
+
 }  // namespace worms::trace

@@ -36,6 +36,31 @@ class HyperLogLog {
   [[nodiscard]] int precision() const noexcept { return precision_; }
   [[nodiscard]] std::size_t register_count() const noexcept { return registers_.size(); }
 
+  /// Raw register array — the checkpoint serialization payload.
+  [[nodiscard]] const std::vector<std::uint8_t>& registers() const noexcept { return registers_; }
+
+  /// The incrementally maintained harmonic sum and zero-register count.  They
+  /// are functions of the registers only up to floating-point rounding order,
+  /// so a checkpoint stores them verbatim: restoring them bit-exactly is what
+  /// makes a resumed estimate sequence identical to an uninterrupted one.
+  [[nodiscard]] double inverse_sum() const noexcept { return inverse_sum_; }
+  [[nodiscard]] std::size_t zero_register_count() const noexcept { return zero_registers_; }
+
+  /// Rebuilds a sketch from checkpointed state.  Validates that the register
+  /// array matches the precision, that `zero_registers` recounts correctly,
+  /// and that `inverse_sum` is consistent with the registers (within rounding
+  /// slack) — a checksummed snapshot should never fail these, so a failure
+  /// means corruption.
+  [[nodiscard]] static HyperLogLog restore(int precision, std::vector<std::uint8_t> registers,
+                                           double inverse_sum, std::size_t zero_registers);
+
+  /// Sketches are equal when they would behave identically from here on:
+  /// same precision and same registers.  (The derived sums are excluded —
+  /// they can differ in the last ulp depending on update order.)
+  friend bool operator==(const HyperLogLog& a, const HyperLogLog& b) noexcept {
+    return a.precision_ == b.precision_ && a.registers_ == b.registers_;
+  }
+
  private:
   void apply_register(std::size_t idx, std::uint8_t rank) noexcept;
 

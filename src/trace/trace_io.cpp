@@ -10,8 +10,46 @@
 namespace worms::trace {
 
 namespace {
+
 constexpr const char* kHeader = "timestamp,source_host,destination";
+
+/// Parses one record line into `rec`.  Returns nullptr on success, otherwise
+/// a static message naming the field that failed — shared by the strict and
+/// recovering parsers so the two modes cannot drift on what counts as valid.
+[[nodiscard]] const char* parse_record_line(const std::string& line, ConnRecord& rec) {
+  const std::size_t c1 = line.find(',');
+  const std::size_t c2 = line.find(',', c1 == std::string::npos ? 0 : c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos) {
+    return "expected timestamp,source_host,destination";
+  }
+  // timestamp (double); from_chars consuming the whole field rejects the
+  // trailing-garbage and embedded-whitespace forms std::stod lets through
+  // (e.g. "1.0abc" or " 1.0").
+  const char* tb = line.data();
+  const char* te = line.data() + c1;
+  const auto [tptr, tec] = std::from_chars(tb, te, rec.timestamp);
+  if (tec != std::errc() || tptr != te) return "bad timestamp field";
+  if (!(rec.timestamp >= 0.0)) return "timestamp must be >= 0";
+  // source host (unsigned)
+  const char* sb = line.data() + c1 + 1;
+  const char* se = line.data() + c2;
+  const auto [ptr, ec] = std::from_chars(sb, se, rec.source_host);
+  if (ec != std::errc() || ptr != se) return "bad source_host field";
+  // destination address
+  const auto addr = net::Ipv4Address::parse(std::string_view(line).substr(c2 + 1));
+  if (!addr.has_value()) return "bad destination field";
+  rec.destination = *addr;
+  return nullptr;
 }
+
+void require_header(std::istream& in, std::string& line) {
+  // A trace file without the header line is not a trace file — an empty
+  // stream fails here rather than silently parsing as "no records".
+  WORMS_EXPECTS(static_cast<bool>(std::getline(in, line)) && "missing trace header");
+  WORMS_EXPECTS(line == kHeader);
+}
+
+}  // namespace
 
 void write_csv(std::ostream& out, const std::vector<ConnRecord>& records) {
   out << kHeader << '\n';
@@ -30,34 +68,12 @@ void write_csv_file(const std::string& path, const std::vector<ConnRecord>& reco
 std::vector<ConnRecord> read_csv(std::istream& in) {
   std::vector<ConnRecord> records;
   std::string line;
-  // A trace file without the header line is not a trace file — an empty
-  // stream fails here rather than silently parsing as "no records".
-  WORMS_EXPECTS(static_cast<bool>(std::getline(in, line)) && "missing trace header");
-  WORMS_EXPECTS(line == kHeader);
+  require_header(in, line);
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    const std::size_t c1 = line.find(',');
-    const std::size_t c2 = line.find(',', c1 == std::string::npos ? 0 : c1 + 1);
-    WORMS_EXPECTS(c1 != std::string::npos && c2 != std::string::npos);
-
     ConnRecord rec;
-    // timestamp (double); from_chars consuming the whole field rejects the
-    // trailing-garbage and embedded-whitespace forms std::stod lets through
-    // (e.g. "1.0abc" or " 1.0").
-    const char* tb = line.data();
-    const char* te = line.data() + c1;
-    const auto [tptr, tec] = std::from_chars(tb, te, rec.timestamp);
-    WORMS_EXPECTS(tec == std::errc() && tptr == te && "bad timestamp field");
-    WORMS_EXPECTS(rec.timestamp >= 0.0);
-    // source host (unsigned)
-    const char* sb = line.data() + c1 + 1;
-    const char* se = line.data() + c2;
-    const auto [ptr, ec] = std::from_chars(sb, se, rec.source_host);
-    WORMS_EXPECTS(ec == std::errc() && ptr == se && "bad source_host field");
-    // destination address
-    const auto addr = net::Ipv4Address::parse(std::string_view(line).substr(c2 + 1));
-    WORMS_EXPECTS(addr.has_value() && "bad destination field");
-    rec.destination = *addr;
+    const char* error = parse_record_line(line, rec);
+    WORMS_EXPECTS(error == nullptr && "malformed trace line");
     records.push_back(rec);
   }
   return records;
@@ -67,6 +83,30 @@ std::vector<ConnRecord> read_csv_file(const std::string& path) {
   std::ifstream in(path);
   WORMS_EXPECTS(in.good());
   return read_csv(in);
+}
+
+RecoveredTrace read_csv_recovering(std::istream& in) {
+  RecoveredTrace out;
+  std::string line;
+  require_header(in, line);
+  out.lines_scanned = 1;
+  while (std::getline(in, line)) {
+    ++out.lines_scanned;
+    if (line.empty()) continue;
+    ConnRecord rec;
+    if (const char* error = parse_record_line(line, rec)) {
+      out.bad_lines.push_back({out.lines_scanned, line, error});
+    } else {
+      out.records.push_back(rec);
+    }
+  }
+  return out;
+}
+
+RecoveredTrace read_csv_recovering_file(const std::string& path) {
+  std::ifstream in(path);
+  WORMS_EXPECTS(in.good());
+  return read_csv_recovering(in);
 }
 
 }  // namespace worms::trace

@@ -1,6 +1,15 @@
 // CSV serialization for connection traces.
 // Format: one record per line, `timestamp,source_host,destination`, with a
 // single header line.  Destinations are dotted-quad for interoperability.
+//
+// Two parsing modes share one field grammar:
+//   * strict (read_csv) — throws support::PreconditionError on the first
+//     malformed line; for generated traces where any damage is a bug.
+//   * recovering (read_csv_recovering) — keeps every parseable record and
+//     returns line-accurate diagnostics for the rest; for operational traces
+//     feeding the fleet pipeline, where a weeks-long containment cycle must
+//     not abort on one mangled line (the diagnostics route into the
+//     pipeline's dead-letter channel).
 #pragma once
 
 #include <iosfwd>
@@ -18,5 +27,25 @@ void write_csv_file(const std::string& path, const std::vector<ConnRecord>& reco
 /// Parses a full trace; throws support::PreconditionError on malformed input.
 [[nodiscard]] std::vector<ConnRecord> read_csv(std::istream& in);
 [[nodiscard]] std::vector<ConnRecord> read_csv_file(const std::string& path);
+
+/// One line the recovering parser rejected.
+struct TraceParseDiagnostic {
+  std::uint64_t line = 0;  ///< 1-based line number in the stream
+  std::string text;        ///< the offending line, verbatim
+  std::string error;       ///< which field failed and why
+
+  friend bool operator==(const TraceParseDiagnostic&, const TraceParseDiagnostic&) = default;
+};
+
+struct RecoveredTrace {
+  std::vector<ConnRecord> records;           ///< every line that parsed
+  std::vector<TraceParseDiagnostic> bad_lines;  ///< every line that did not
+  std::uint64_t lines_scanned = 0;           ///< total lines read (header included)
+};
+
+/// Parses what it can and reports the rest.  Only a missing/wrong header —
+/// evidence the stream is not a trace at all — still throws.
+[[nodiscard]] RecoveredTrace read_csv_recovering(std::istream& in);
+[[nodiscard]] RecoveredTrace read_csv_recovering_file(const std::string& path);
 
 }  // namespace worms::trace

@@ -1,0 +1,268 @@
+// Checkpoint/restore for the fleet containment pipeline: the crash-recovery
+// equivalence sweep (snapshot at every boundary, "crash", restore, replay the
+// suffix — verdicts must be bit-identical to an uninterrupted run, for any
+// shard count and either counter backend), snapshot integrity (checksum and
+// config-mismatch rejection), and the auto-checkpoint resume flow.
+#include "fleet/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fleet/pipeline.hpp"
+#include "support/check.hpp"
+#include "trace/synth.hpp"
+
+namespace worms::fleet {
+namespace {
+
+/// ~100k-record LBL-style trace shared by the sweep (synthesized once).
+const std::vector<trace::ConnRecord>& sweep_trace() {
+  static const std::vector<trace::ConnRecord> records = [] {
+    trace::LblSynthConfig cfg;
+    cfg.hosts = 600;
+    cfg.duration = 8.0 * sim::kDay;
+    return trace::synthesize_lbl_trace(cfg).records;
+  }();
+  return records;
+}
+
+PipelineConfig sweep_config(CounterBackend backend, unsigned shards) {
+  PipelineConfig cfg;
+  cfg.policy.scan_limit = 500;
+  // Shorter than the trace so checkpoints land both mid-cycle and across
+  // cycle-boundary counter resets.
+  cfg.policy.cycle_length = 3 * sim::kDay;
+  cfg.policy.check_fraction = 0.5;
+  cfg.backend = backend;
+  cfg.shards = shards;
+  return cfg;
+}
+
+/// A unique temp path per test to keep parallel ctest runs apart.
+std::string snapshot_path(const char* tag) {
+  return ::testing::TempDir() + "worms_fleet_snapshot_" + tag + ".bin";
+}
+
+/// Feeds `records[0, boundary)`, snapshots, and "crashes" (destroys the
+/// pipeline with work possibly still queued — the destructor path).
+void checkpoint_prefix(const PipelineConfig& cfg, const std::vector<trace::ConnRecord>& records,
+                       std::size_t boundary, const std::string& path) {
+  ContainmentPipeline pipeline(cfg);
+  for (std::size_t i = 0; i < boundary; ++i) pipeline.feed(records[i]);
+  pipeline.write_checkpoint(path);
+}
+
+PipelineResult restore_and_replay(const PipelineConfig& cfg,
+                                  const std::vector<trace::ConnRecord>& records,
+                                  const std::string& path) {
+  auto pipeline = ContainmentPipeline::restore(cfg, path);
+  for (std::size_t i = pipeline->records_fed(); i < records.size(); ++i) {
+    pipeline->feed(records[i]);
+  }
+  return pipeline->finish();
+}
+
+TEST(FleetCheckpoint, CrashRecoveryEquivalenceSweepExact) {
+  // Crash at every boundary (size/10 apart, including 0 and the final
+  // record), restore, replay the suffix: verdicts must match the
+  // uninterrupted run bit for bit, for every shard count.
+  const auto& records = sweep_trace();
+  ASSERT_GE(records.size(), 100'000u);
+  const std::string path = snapshot_path("sweep_exact");
+  for (const unsigned shards : {1u, 2u, 4u}) {
+    const auto cfg = sweep_config(CounterBackend::Exact, shards);
+    const auto baseline = ContainmentPipeline::run(cfg, records);
+    const std::size_t step = records.size() / 10;
+    for (std::size_t boundary = 0; boundary <= records.size(); boundary += step) {
+      const std::size_t at = std::min(boundary, records.size());
+      checkpoint_prefix(cfg, records, at, path);
+      const auto resumed = restore_and_replay(cfg, records, path);
+      ASSERT_EQ(resumed.verdicts, baseline.verdicts)
+          << "shards=" << shards << " boundary=" << at;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FleetCheckpoint, CrashRecoveryEquivalenceSweepHll) {
+  // The HLL backend's estimate sequence depends on its incrementally
+  // maintained float state; the snapshot restores it verbatim, so replay
+  // must still be bit-identical.
+  const auto& records = sweep_trace();
+  const std::string path = snapshot_path("sweep_hll");
+  for (const unsigned shards : {1u, 2u, 4u}) {
+    const auto cfg = sweep_config(CounterBackend::Hll, shards);
+    const auto baseline = ContainmentPipeline::run(cfg, records);
+    const std::size_t step = records.size() / 10;
+    for (std::size_t boundary = 0; boundary <= records.size(); boundary += step) {
+      const std::size_t at = std::min(boundary, records.size());
+      checkpoint_prefix(cfg, records, at, path);
+      const auto resumed = restore_and_replay(cfg, records, path);
+      ASSERT_EQ(resumed.verdicts, baseline.verdicts)
+          << "shards=" << shards << " boundary=" << at;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FleetCheckpoint, RestoreWithDifferentShardCount) {
+  // Snapshots are host-keyed, not shard-keyed: state written by an N-shard
+  // pipeline restores into an M-shard one with identical verdicts.
+  const auto& records = sweep_trace();
+  const std::string path = snapshot_path("reshard");
+  const auto baseline =
+      ContainmentPipeline::run(sweep_config(CounterBackend::Exact, 1), records);
+  checkpoint_prefix(sweep_config(CounterBackend::Exact, 4), records, records.size() / 2, path);
+  for (const unsigned shards : {1u, 2u, 3u}) {
+    const auto resumed =
+        restore_and_replay(sweep_config(CounterBackend::Exact, shards), records, path);
+    EXPECT_EQ(resumed.verdicts, baseline.verdicts) << "restored into shards=" << shards;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FleetCheckpoint, RestorePreservesMetricsBaselines) {
+  const auto& records = sweep_trace();
+  const std::string path = snapshot_path("metrics");
+  const auto cfg = sweep_config(CounterBackend::Exact, 2);
+  const auto baseline = ContainmentPipeline::run(cfg, records);
+
+  checkpoint_prefix(cfg, records, records.size() / 2, path);
+  auto pipeline = ContainmentPipeline::restore(cfg, path);
+  EXPECT_EQ(pipeline->records_fed(), records.size() / 2);
+  for (std::size_t i = pipeline->records_fed(); i < records.size(); ++i) {
+    pipeline->feed(records[i]);
+  }
+  const auto resumed = pipeline->finish();
+  // Stream-position metrics continue across the restore rather than reset.
+  EXPECT_EQ(resumed.metrics.records_processed, baseline.metrics.records_processed);
+  EXPECT_EQ(resumed.metrics.records_suppressed, baseline.metrics.records_suppressed);
+  EXPECT_EQ(resumed.metrics.dead_letters, baseline.metrics.dead_letters);
+  std::remove(path.c_str());
+}
+
+TEST(FleetCheckpoint, AutoCheckpointEveryNRecordsAndResume) {
+  const auto& records = sweep_trace();
+  const std::string path = snapshot_path("auto");
+  auto cfg = sweep_config(CounterBackend::Exact, 2);
+  cfg.checkpoint_path = path;
+  cfg.checkpoint_every = 40'000;
+
+  const auto baseline = ContainmentPipeline::run(sweep_config(CounterBackend::Exact, 2), records);
+  {
+    ContainmentPipeline pipeline(cfg);
+    // "Crash" partway: the last auto snapshot on disk is the recovery point.
+    for (std::size_t i = 0; i < 90'000; ++i) pipeline.feed(records[i]);
+  }
+  auto pipeline = ContainmentPipeline::restore(cfg, path);
+  EXPECT_EQ(pipeline->records_fed(), 80'000u);  // 2 snapshots of 40k each
+  for (std::size_t i = pipeline->records_fed(); i < records.size(); ++i) {
+    pipeline->feed(records[i]);
+  }
+  const auto resumed = pipeline->finish();
+  EXPECT_EQ(resumed.verdicts, baseline.verdicts);
+  EXPECT_GE(resumed.metrics.checkpoints_written, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(FleetCheckpoint, CorruptedSnapshotIsRejected) {
+  const auto& records = sweep_trace();
+  const std::string path = snapshot_path("corrupt");
+  const auto cfg = sweep_config(CounterBackend::Exact, 2);
+  checkpoint_prefix(cfg, records, 10'000, path);
+
+  std::string blob;
+  {
+    std::ifstream in(path, std::ios::binary);
+    blob.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(blob.size(), 100u);
+  blob[blob.size() / 2] ^= 0x40;  // flip one bit mid-payload
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
+  EXPECT_THROW((void)ContainmentPipeline::restore(cfg, path), support::PreconditionError);
+
+  // Truncation (torn write) is also caught, as is a missing file.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size() / 3));
+  }
+  EXPECT_THROW((void)ContainmentPipeline::restore(cfg, path), support::PreconditionError);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)ContainmentPipeline::restore(cfg, path), support::PreconditionError);
+}
+
+TEST(FleetCheckpoint, ConfigMismatchIsRejected) {
+  const auto& records = sweep_trace();
+  const std::string path = snapshot_path("mismatch");
+  checkpoint_prefix(sweep_config(CounterBackend::Exact, 2), records, 5'000, path);
+
+  auto wrong_budget = sweep_config(CounterBackend::Exact, 2);
+  wrong_budget.policy.scan_limit = 501;
+  EXPECT_THROW((void)ContainmentPipeline::restore(wrong_budget, path),
+               support::PreconditionError);
+
+  EXPECT_THROW(
+      (void)ContainmentPipeline::restore(sweep_config(CounterBackend::Hll, 2), path),
+      support::PreconditionError);
+
+  auto wrong_fraction = sweep_config(CounterBackend::Exact, 2);
+  wrong_fraction.policy.check_fraction = 0.25;
+  EXPECT_THROW((void)ContainmentPipeline::restore(wrong_fraction, path),
+               support::PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(FleetCheckpoint, BinaryCodecRoundTripsAndDetectsTruncation) {
+  BinaryWriter out;
+  out.put_u8(0xAB);
+  out.put_u16(0x1234);
+  out.put_u32(0xDEADBEEFu);
+  out.put_u64(0x0123456789ABCDEFull);
+  out.put_f64(-1234.5678);
+  BinaryReader in(out.buffer());
+  EXPECT_EQ(in.get_u8(), 0xAB);
+  EXPECT_EQ(in.get_u16(), 0x1234);
+  EXPECT_EQ(in.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(in.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(in.get_f64(), -1234.5678);
+  EXPECT_EQ(in.remaining(), 0u);
+  EXPECT_THROW((void)in.get_u8(), support::PreconditionError);
+}
+
+TEST(FleetCheckpoint, CounterCodecRoundTripsBothBackends) {
+  auto exact = make_distinct_counter(CounterBackend::Exact, 12);
+  auto hll = make_distinct_counter(CounterBackend::Hll, 10);
+  for (std::uint32_t d = 0; d < 5'000; ++d) {
+    (void)exact->add(0x0A000000u + d * 7u);
+    (void)hll->add(0x0A000000u + d * 7u);
+  }
+  BinaryWriter out;
+  encode_counter(out, *exact);
+  encode_counter(out, *hll);
+  BinaryReader in(out.buffer());
+  const auto exact2 = decode_counter(in);
+  const auto hll2 = decode_counter(in);
+  EXPECT_EQ(in.remaining(), 0u);
+  EXPECT_EQ(exact2->backend(), CounterBackend::Exact);
+  EXPECT_EQ(hll2->backend(), CounterBackend::Hll);
+  EXPECT_EQ(exact2->count(), exact->count());
+  EXPECT_EQ(hll2->count(), hll->count());
+  // Restored counters must continue identically, not just report the same
+  // tally: feed both the original and the copy the same suffix.
+  for (std::uint32_t d = 0; d < 1'000; ++d) {
+    EXPECT_EQ(exact2->add(0x0B000000u + d), exact->add(0x0B000000u + d));
+    EXPECT_EQ(hll2->add(0x0B000000u + d), hll->add(0x0B000000u + d));
+  }
+  EXPECT_EQ(exact2->count(), exact->count());
+  EXPECT_EQ(hll2->count(), hll->count());
+}
+
+}  // namespace
+}  // namespace worms::fleet

@@ -237,14 +237,65 @@ TEST(FleetPipeline, EmptyStreamYieldsEmptyReport) {
   EXPECT_EQ(result.metrics.records_processed, 0u);
 }
 
-TEST(FleetPipeline, OutOfOrderPerHostInputIsRejected) {
+TEST(FleetPipeline, OutOfOrderPerHostInputIsQuarantinedNotFatal) {
+  // A weeks-long containment cycle must survive a time regression: the bad
+  // record routes to the dead-letter channel and the stream keeps flowing.
   PipelineConfig cfg;
   cfg.policy.scan_limit = 10;
   cfg.shards = 1;
   ContainmentPipeline pipeline(cfg);
   pipeline.feed({5.0, 0, net::Ipv4Address(0xA)});
   pipeline.feed({1.0, 0, net::Ipv4Address(0xB)});  // time runs backwards for host 0
-  EXPECT_THROW((void)pipeline.finish(), support::PreconditionError);
+  pipeline.feed({6.0, 0, net::Ipv4Address(0xC)});  // stream continues
+  const auto result = pipeline.finish();
+  EXPECT_EQ(result.metrics.dead_letters.out_of_order, 1u);
+  EXPECT_EQ(result.metrics.dead_letters.total(), 1u);
+  const HostVerdict* v = result.verdicts.find(0);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->records_seen, 2u);   // the regression was never counted
+  EXPECT_EQ(v->peak_distinct, 2u);  // A and C
+}
+
+TEST(FleetPipeline, VerdictLookupOnEmptyReport) {
+  const ContainmentVerdicts empty;
+  EXPECT_EQ(empty.find(0), nullptr);
+  EXPECT_EQ(empty.find(42), nullptr);
+  EXPECT_TRUE(empty.removed_hosts().empty());
+}
+
+TEST(FleetPipeline, VerdictLookupMissesAbsentHostsAtEveryPosition) {
+  const auto result = ContainmentPipeline::run(
+      base_config(CounterBackend::Exact, 1),
+      {{1.0, 10, net::Ipv4Address(0xA)}, {2.0, 20, net::Ipv4Address(0xB)}});
+  ASSERT_EQ(result.verdicts.hosts.size(), 2u);
+  EXPECT_EQ(result.verdicts.find(5), nullptr);   // before the first host
+  EXPECT_EQ(result.verdicts.find(15), nullptr);  // between hosts
+  EXPECT_EQ(result.verdicts.find(25), nullptr);  // past the last host
+  ASSERT_NE(result.verdicts.find(10), nullptr);
+  EXPECT_EQ(result.verdicts.find(10)->host, 10u);
+  ASSERT_NE(result.verdicts.find(20), nullptr);
+  EXPECT_EQ(result.verdicts.find(20)->host, 20u);
+}
+
+TEST(FleetPipeline, RemovedHostsListsEveryHostWhenAllAreRemoved) {
+  // M=1: the second distinct destination removes each host, so every host
+  // ends up removed and the list must be complete and ascending.
+  PipelineConfig cfg;
+  cfg.policy.scan_limit = 1;
+  cfg.policy.cycle_length = 100.0;
+  cfg.shards = 2;
+  std::vector<trace::ConnRecord> records;
+  for (std::uint32_t host : {3u, 1u, 2u}) {
+    records.push_back({1.0, host, net::Ipv4Address(0xA)});
+    records.push_back({2.0, host, net::Ipv4Address(0xB)});
+  }
+  std::sort(records.begin(), records.end(),
+            [](const trace::ConnRecord& a, const trace::ConnRecord& b) {
+              return a.timestamp < b.timestamp;
+            });
+  const auto result = ContainmentPipeline::run(cfg, records);
+  EXPECT_EQ(result.verdicts.removed_hosts(), (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(result.verdicts.hosts_removed, 3u);
 }
 
 TEST(FleetPipeline, ValidatesConfig) {

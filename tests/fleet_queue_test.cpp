@@ -66,6 +66,65 @@ TEST(BoundedQueue, BackpressureBoundsOccupancy) {
   EXPECT_EQ(q.high_water(), 1u);
 }
 
+TEST(BoundedQueue, TryPushReportsFullWithoutConsuming) {
+  BoundedMpscQueue<int> q(2);
+  int a = 1;
+  int b = 2;
+  int c = 3;
+  EXPECT_TRUE(q.try_push(a));
+  EXPECT_TRUE(q.try_push(b));
+  EXPECT_FALSE(q.try_push(c));  // full: item stays with the caller
+  EXPECT_EQ(c, 3);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(c));
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BoundedQueue, TryPushAfterCloseIsAProgrammingError) {
+  BoundedMpscQueue<int> q(2);
+  q.close();
+  int item = 1;
+  EXPECT_THROW((void)q.try_push(item), support::PreconditionError);
+}
+
+TEST(BoundedQueue, PopWaitForTimesOutOnEmptyOpenQueue) {
+  BoundedMpscQueue<int> q(2);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.pop_wait_for(std::chrono::milliseconds(30)), std::nullopt);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, std::chrono::milliseconds(25));
+  EXPECT_FALSE(q.drained());  // timeout, not end-of-stream
+  q.push(5);
+  EXPECT_EQ(q.pop_wait_for(std::chrono::milliseconds(30)), 5);
+}
+
+TEST(BoundedQueue, PopWaitForWakesOnCloseWhileWaiting) {
+  BoundedMpscQueue<int> q(2);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+  });
+  // Far longer than the close delay: a prompt nullopt proves the wait was
+  // woken by close(), not by timeout expiry.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.pop_wait_for(std::chrono::seconds(30)), std::nullopt);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(10));
+  EXPECT_TRUE(q.drained());
+  closer.join();
+}
+
+TEST(BoundedQueue, PopWaitForDrainsItemsBeforeEndOfStream) {
+  BoundedMpscQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_EQ(q.pop_wait_for(std::chrono::milliseconds(5)), 1);
+  EXPECT_EQ(q.pop_wait_for(std::chrono::milliseconds(5)), 2);
+  EXPECT_EQ(q.pop_wait_for(std::chrono::milliseconds(5)), std::nullopt);
+  EXPECT_TRUE(q.drained());
+}
+
 TEST(BoundedQueue, BlockedProducerWakesOnPop) {
   BoundedMpscQueue<int> q(1);
   q.push(1);

@@ -65,6 +65,34 @@ TEST(Cli, BadNumbersRejected) {
   EXPECT_THROW((void)args.get_bool("flag"), PreconditionError);
 }
 
+TEST(Cli, U64RangeErrorsCarryFlagNameAndValue) {
+  const auto args = parse({"plan", "--hosts", "99999999999999999999999", "--i0", "-5"});
+  try {
+    (void)args.get_u64("hosts", 0);
+    FAIL() << "overflowing value accepted";
+  } catch (const PreconditionError& e) {
+    EXPECT_STREQ(e.what(), "--hosts: value '99999999999999999999999' is too large");
+  }
+  try {
+    (void)args.get_u64("i0", 0);
+    FAIL() << "negative value accepted";
+  } catch (const PreconditionError& e) {
+    EXPECT_STREQ(e.what(), "--i0: expected a non-negative integer, got '-5'");
+  }
+}
+
+TEST(Cli, U32RejectsValuesThatWouldNarrow) {
+  const auto args = parse({"contain", "--shards", "4", "--checkpoint-every", "5000000000"});
+  EXPECT_EQ(args.get_u32("shards", 0), 4u);
+  EXPECT_EQ(args.get_u32("absent", 7), 7u);
+  try {
+    (void)args.get_u32("checkpoint-every", 0);
+    FAIL() << "64-bit value narrowed into u32";
+  } catch (const PreconditionError& e) {
+    EXPECT_STREQ(e.what(), "--checkpoint-every: value 5000000000 does not fit in 32 bits");
+  }
+}
+
 TEST(Cli, UnconsumedTracksTypos) {
   const auto args = parse({"plan", "--hosts", "10", "--tpyo", "3"});
   (void)args.get_u64("hosts", 0);

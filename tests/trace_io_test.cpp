@@ -91,6 +91,79 @@ TEST(TraceIo, SkipsBlankLines) {
   EXPECT_EQ(parsed[0].destination.to_string(), "10.0.0.1");
 }
 
+TEST(TraceIo, RecoveringParserQuarantinesBadLinesWithDiagnostics) {
+  std::stringstream buf(
+      "timestamp,source_host,destination\n"  // line 1
+      "1.0,2,10.0.0.1\n"                     // line 2: good
+      "not-a-number,1,1.2.3.4\n"             // line 3: bad timestamp
+      "2.0,2,10.0.0.2\n"                     // line 4: good
+      "-3.0,2,10.0.0.1\n"                    // line 5: negative timestamp
+      "4.0,xx,10.0.0.1\n"                    // line 6: bad source
+      "5.0,2,299.0.0.1\n"                    // line 7: bad destination
+      "6.0,2\n"                              // line 8: missing field
+      "7.0,2,10.0.0.3\n");                   // line 9: good
+  const auto out = read_csv_recovering(buf);
+
+  ASSERT_EQ(out.records.size(), 3u);
+  EXPECT_DOUBLE_EQ(out.records[0].timestamp, 1.0);
+  EXPECT_DOUBLE_EQ(out.records[1].timestamp, 2.0);
+  EXPECT_DOUBLE_EQ(out.records[2].timestamp, 7.0);
+  EXPECT_EQ(out.lines_scanned, 9u);
+
+  ASSERT_EQ(out.bad_lines.size(), 5u);
+  EXPECT_EQ(out.bad_lines[0],
+            (TraceParseDiagnostic{3, "not-a-number,1,1.2.3.4", "bad timestamp field"}));
+  EXPECT_EQ(out.bad_lines[1],
+            (TraceParseDiagnostic{5, "-3.0,2,10.0.0.1", "timestamp must be >= 0"}));
+  EXPECT_EQ(out.bad_lines[2],
+            (TraceParseDiagnostic{6, "4.0,xx,10.0.0.1", "bad source_host field"}));
+  EXPECT_EQ(out.bad_lines[3],
+            (TraceParseDiagnostic{7, "5.0,2,299.0.0.1", "bad destination field"}));
+  EXPECT_EQ(out.bad_lines[4],
+            (TraceParseDiagnostic{8, "6.0,2", "expected timestamp,source_host,destination"}));
+}
+
+TEST(TraceIo, RecoveringParserAgreesWithStrictOnCleanInput) {
+  const auto original = sample_records();
+  std::stringstream buf;
+  write_csv(buf, original);
+  const auto out = read_csv_recovering(buf);
+  EXPECT_EQ(out.records, original);
+  EXPECT_TRUE(out.bad_lines.empty());
+  EXPECT_EQ(out.lines_scanned, 1u + original.size());
+}
+
+TEST(TraceIo, RecoveringParserSkipsBlankLinesWithoutDiagnostics) {
+  std::stringstream buf("timestamp,source_host,destination\n\n1.5,2,10.0.0.1\n\n");
+  const auto out = read_csv_recovering(buf);
+  ASSERT_EQ(out.records.size(), 1u);
+  EXPECT_TRUE(out.bad_lines.empty());
+  EXPECT_EQ(out.lines_scanned, 4u);
+}
+
+TEST(TraceIo, RecoveringParserStillRejectsMissingHeader) {
+  // No header means the stream is not a trace at all — recovery would just
+  // mass-quarantine a file the caller pointed at by mistake.
+  std::stringstream buf("1.0,2,3.4.5.6\n");
+  EXPECT_THROW((void)read_csv_recovering(buf), support::PreconditionError);
+  std::stringstream empty("");
+  EXPECT_THROW((void)read_csv_recovering(empty), support::PreconditionError);
+}
+
+TEST(TraceIo, RecoveringFileVariant) {
+  const std::string path = ::testing::TempDir() + "/worms_trace_io_recover.csv";
+  {
+    std::ofstream out(path);
+    out << "timestamp,source_host,destination\n1.0,2,10.0.0.1\ngarbage\n";
+  }
+  const auto recovered = read_csv_recovering_file(path);
+  EXPECT_EQ(recovered.records.size(), 1u);
+  ASSERT_EQ(recovered.bad_lines.size(), 1u);
+  EXPECT_EQ(recovered.bad_lines[0].line, 3u);
+  EXPECT_THROW((void)read_csv_recovering_file(path + ".does-not-exist"),
+               support::PreconditionError);
+}
+
 TEST(TraceIo, FileRoundTrip) {
   const auto original = sample_records();
   const std::string path = ::testing::TempDir() + "/worms_trace_io_test.csv";

@@ -1,0 +1,101 @@
+# End-to-end CLI check of the fault-tolerance layer: checkpoint while
+# containing, resume from the snapshot (with a different shard count), and
+# verify the verdict line is identical to an uninterrupted run.  Then run a
+# fault plan against a trace with mangled lines and check the dead-letter
+# accounting shows up in the report and the spill file.
+
+function(extract_verdicts out text label)
+  string(REGEX MATCH "verdicts: [^\n]*" line "${text}")
+  if(line STREQUAL "")
+    message(FATAL_ERROR "${label}: no verdicts line in output:\n${text}")
+  endif()
+  set(${out} "${line}" PARENT_SCOPE)
+endfunction()
+
+set(trace_file ${WORKDIR}/wormctl_recovery_trace.csv)
+set(ckpt_file ${WORKDIR}/wormctl_recovery.ckpt)
+set(dirty_file ${WORKDIR}/wormctl_recovery_dirty.csv)
+set(dl_file ${WORKDIR}/wormctl_recovery_dead_letters.csv)
+
+execute_process(
+  COMMAND ${WORMCTL} synth --out ${trace_file} --hosts 200 --days 5 --seed 11
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "wormctl synth failed: ${rc}")
+endif()
+
+# Uninterrupted baseline.
+execute_process(
+  COMMAND ${WORMCTL} contain --trace ${trace_file} --budget 400 --shards 2
+  RESULT_VARIABLE rc OUTPUT_VARIABLE baseline_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "baseline contain failed: ${rc}")
+endif()
+extract_verdicts(baseline_verdicts "${baseline_out}" "baseline")
+
+# Same run, checkpointing along the way: verdicts unchanged, snapshot left
+# on disk at the last auto-checkpoint boundary.
+execute_process(
+  COMMAND ${WORMCTL} contain --trace ${trace_file} --budget 400 --shards 2
+    --checkpoint ${ckpt_file} --checkpoint-every 20000
+  RESULT_VARIABLE rc OUTPUT_VARIABLE ckpt_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "checkpointing contain failed: ${rc}")
+endif()
+extract_verdicts(ckpt_verdicts "${ckpt_out}" "checkpointing run")
+if(NOT ckpt_verdicts STREQUAL baseline_verdicts)
+  message(FATAL_ERROR "checkpointing changed verdicts:\n  ${ckpt_verdicts}\n  ${baseline_verdicts}")
+endif()
+if(NOT ckpt_out MATCHES "checkpoints: [1-9][0-9]* written")
+  message(FATAL_ERROR "no checkpoint accounting in output:\n${ckpt_out}")
+endif()
+if(NOT EXISTS ${ckpt_file})
+  message(FATAL_ERROR "checkpoint file was not written: ${ckpt_file}")
+endif()
+
+# Resume from the snapshot into a *different* shard count: the report must
+# say where it resumed and end at the same verdicts.
+execute_process(
+  COMMAND ${WORMCTL} contain --trace ${trace_file} --budget 400 --shards 3
+    --resume ${ckpt_file}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE resume_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resume contain failed: ${rc}")
+endif()
+if(NOT resume_out MATCHES "resumed from .* at record [1-9]")
+  message(FATAL_ERROR "no resume line in output:\n${resume_out}")
+endif()
+extract_verdicts(resume_verdicts "${resume_out}" "resumed run")
+if(NOT resume_verdicts STREQUAL baseline_verdicts)
+  message(FATAL_ERROR "resume diverged:\n  ${resume_verdicts}\n  ${baseline_verdicts}")
+endif()
+
+# Mangle the trace, then contain with a fault plan and a dead-letter spill:
+# the run must survive and account for every quarantined record.
+file(READ ${trace_file} trace_text)
+file(WRITE ${dirty_file} "${trace_text}")
+file(APPEND ${dirty_file} "this line is not a record\n9.5,zz,10.0.0.1\n")
+execute_process(
+  COMMAND ${WORMCTL} contain --trace ${dirty_file} --budget 400 --shards 2
+    --fault-plan "kill:0@2;corrupt:100;corrupt:101" --dead-letter ${dl_file}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE fault_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fault-plan contain failed: ${rc}\n${fault_out}")
+endif()
+if(NOT fault_out MATCHES "recovered trace: 2 bad line")
+  message(FATAL_ERROR "bad lines were not quarantined:\n${fault_out}")
+endif()
+if(NOT fault_out MATCHES "dead letters: [1-9]")
+  message(FATAL_ERROR "no dead-letter accounting:\n${fault_out}")
+endif()
+if(NOT fault_out MATCHES "faults: 1 worker\\(s\\) killed")
+  message(FATAL_ERROR "worker kill not reported:\n${fault_out}")
+endif()
+if(NOT EXISTS ${dl_file})
+  message(FATAL_ERROR "dead-letter spill file missing: ${dl_file}")
+endif()
+file(STRINGS ${dl_file} dl_lines)
+list(LENGTH dl_lines dl_count)
+if(dl_count LESS 3)  # header + at least the two corrupted records
+  message(FATAL_ERROR "dead-letter spill too short (${dl_count} lines)")
+endif()

@@ -23,14 +23,23 @@
 //              [--check-fraction 1.0] [--shards 0] [--counter exact|hll]
 //              [--hll-precision 12] [--inject-worm RATE,SCANS,I0] [--seed 1]
 //              [--divergence] [--hosts 1645] [--days 30]
+//              [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
+//              [--fault-plan SPEC] [--dead-letter PATH]
 //              (--shards 0 = one worker per hardware thread; --inject-worm
 //              overlays I0 infected hosts scanning at RATE scans/s for up to
 //              SCANS scans each; --divergence runs exact AND hll and reports
-//              the false-positive cost of approximate counting)
+//              the false-positive cost of approximate counting;
+//              --checkpoint-every N snapshots pipeline state every N records,
+//              --resume PATH restarts from a snapshot and replays the record
+//              suffix; --fault-plan scripts worker kills/stalls/degrades and
+//              record corruption, e.g. "kill:0@10;corrupt:500;stall:1@5,0.25";
+//              --dead-letter PATH parses the trace in recovering mode and
+//              spills quarantined records there as CSV)
 //
 // Every command prints a human-readable table; exit code 0 on success, 1 on
 // usage errors (with a message on stderr).
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <exception>
@@ -188,7 +197,7 @@ int cmd_multitype(const support::CliArgs& args) {
 
 int cmd_synth(const support::CliArgs& args) {
   trace::LblSynthConfig cfg;
-  cfg.hosts = static_cast<std::uint32_t>(args.get_u64("hosts", 1'645));
+  cfg.hosts = args.get_u32("hosts", 1'645);
   cfg.duration = args.get_double("days", 30.0) * sim::kDay;
   cfg.seed = args.get_u64("seed", cfg.seed);
   const std::string out = args.get_string("out", "");
@@ -222,21 +231,34 @@ int cmd_audit(const support::CliArgs& args) {
   return 0;
 }
 
-/// Parses "RATE,SCANS,I0" (e.g. "6,10000,10").
+/// Parses "RATE,SCANS,I0" (e.g. "6,10000,10").  from_chars end to end: a
+/// negative or overflowing field is a clear error, never a silent wrap the
+/// way std::stoul's modular conversion would make it.
 fleet::WormInjectConfig parse_inject_spec(const std::string& spec, std::uint64_t seed) {
+  const auto fail = [&spec](const char* why) -> void {
+    throw support::PreconditionError("--inject-worm '" + spec + "': " + why);
+  };
   fleet::WormInjectConfig cfg;
   cfg.seed = seed;
   const std::size_t c1 = spec.find(',');
   const std::size_t c2 = spec.find(',', c1 == std::string::npos ? 0 : c1 + 1);
-  WORMS_EXPECTS(c1 != std::string::npos && c2 != std::string::npos &&
-                "--inject-worm wants RATE,SCANS,I0");
-  try {
-    cfg.scan_rate = std::stod(spec.substr(0, c1));
-    cfg.scans_per_host = std::stoull(spec.substr(c1 + 1, c2 - c1 - 1));
-    cfg.infected_hosts = static_cast<std::uint32_t>(std::stoul(spec.substr(c2 + 1)));
-  } catch (const std::exception&) {
-    WORMS_EXPECTS(false && "--inject-worm wants numeric RATE,SCANS,I0");
+  if (c1 == std::string::npos || c2 == std::string::npos) fail("expected RATE,SCANS,I0");
+
+  const char* base = spec.data();
+  const auto [rp, rec] = std::from_chars(base, base + c1, cfg.scan_rate);
+  if (rec != std::errc() || rp != base + c1) fail("RATE must be a number");
+  if (!(cfg.scan_rate > 0.0)) fail("RATE must be > 0");
+  const auto [sp, sec] = std::from_chars(base + c1 + 1, base + c2, cfg.scans_per_host);
+  if (sec != std::errc() || sp != base + c2) {
+    fail("SCANS must be a non-negative integer (and fit in 64 bits)");
   }
+  std::uint32_t infected = 0;
+  const char* end = base + spec.size();
+  const auto [ip, iec] = std::from_chars(base + c2 + 1, end, infected);
+  if (iec != std::errc() || ip != end) {
+    fail("I0 must be a non-negative integer (and fit in 32 bits)");
+  }
+  cfg.infected_hosts = infected;
   return cfg;
 }
 
@@ -259,6 +281,33 @@ void print_contain_report(const fleet::PipelineResult& result,
               static_cast<double>(m.counter_memory_bytes) / 1024.0);
   for (const std::size_t hw : m.queue_high_water) std::printf(" %zu", hw);
   std::printf("\n");
+  std::printf("dead letters: %llu (%llu malformed, %llu out-of-order, %llu duplicate); "
+              "%llu record(s) shed\n",
+              static_cast<unsigned long long>(m.dead_letters.total()),
+              static_cast<unsigned long long>(m.dead_letters.malformed),
+              static_cast<unsigned long long>(m.dead_letters.out_of_order),
+              static_cast<unsigned long long>(m.dead_letters.duplicate),
+              static_cast<unsigned long long>(m.records_shed));
+  if (m.workers_killed > 0 || m.workers_respawned > 0 || m.backend_switches > 0) {
+    std::printf("faults: %u worker(s) killed, %u respawned, %llu shard backend switch(es)\n",
+                m.workers_killed, m.workers_respawned,
+                static_cast<unsigned long long>(m.backend_switches));
+  }
+  if (m.checkpoints_written > 0) {
+    std::printf("checkpoints: %llu written\n",
+                static_cast<unsigned long long>(m.checkpoints_written));
+  }
+  bool any_unhealthy = false;
+  for (const fleet::ShardHealth h : m.shard_health) {
+    if (h != fleet::ShardHealth::Healthy) any_unhealthy = true;
+  }
+  if (any_unhealthy) {
+    std::printf("shard health:");
+    for (const fleet::ShardHealth h : m.shard_health) {
+      std::printf(" %s", fleet::to_string(h));
+    }
+    std::printf("\n");
+  }
 
   if (!infected.empty()) {
     // Ground truth from the injector: detection quality and collateral damage.
@@ -296,23 +345,50 @@ int cmd_contain(const support::CliArgs& args) {
   cfg.policy.scan_limit = args.get_u64("budget", 5'000);
   cfg.policy.cycle_length = args.get_double("cycle-days", 30.0) * sim::kDay;
   cfg.policy.check_fraction = args.get_double("check-fraction", 1.0);
-  cfg.shards = static_cast<unsigned>(args.get_u64("shards", 0));
-  cfg.hll_precision = static_cast<int>(args.get_u64("hll-precision", 12));
+  cfg.shards = args.get_u32("shards", 0);
+  WORMS_EXPECTS(cfg.shards <= 1024 && "--shards must be <= 1024");
+  cfg.hll_precision = static_cast<int>(args.get_u32("hll-precision", 12));
+  WORMS_EXPECTS(cfg.hll_precision >= 4 && cfg.hll_precision <= 16 &&
+                "--hll-precision must be in [4, 16]");
   const std::string counter = args.get_string("counter", "exact");
   WORMS_EXPECTS((counter == "exact" || counter == "hll") && "--counter must be exact or hll");
   cfg.backend = counter == "hll" ? fleet::CounterBackend::Hll : fleet::CounterBackend::Exact;
   const bool divergence = args.get_bool("divergence", false);
   const std::uint64_t seed = args.get_u64("seed", 1);
 
+  cfg.checkpoint_path = args.get_string("checkpoint", "");
+  cfg.checkpoint_every = args.get_u64("checkpoint-every", 0);
+  WORMS_EXPECTS((cfg.checkpoint_every == 0 || !cfg.checkpoint_path.empty()) &&
+                "--checkpoint-every requires --checkpoint PATH");
+  const std::string resume_path = args.get_string("resume", "");
+  if (args.has("fault-plan")) {
+    cfg.faults = fleet::FaultPlan::parse(args.get_string("fault-plan", ""));
+  }
+  const std::string dead_letter_path = args.get_string("dead-letter", "");
+  cfg.dead_letter_spill = dead_letter_path;
+
   std::vector<trace::ConnRecord> records;
+  std::vector<trace::TraceParseDiagnostic> parse_rejects;
   if (synth) {
     trace::LblSynthConfig synth_cfg;
-    synth_cfg.hosts = static_cast<std::uint32_t>(args.get_u64("hosts", 1'645));
+    synth_cfg.hosts = args.get_u32("hosts", 1'645);
     synth_cfg.duration = args.get_double("days", 30.0) * sim::kDay;
     synth_cfg.seed = args.get_u64("synth-seed", synth_cfg.seed);
     records = trace::synthesize_lbl_trace(synth_cfg).records;
   } else {
-    records = trace::read_csv_file(path);
+    if (dead_letter_path.empty()) {
+      records = trace::read_csv_file(path);
+    } else {
+      // Recovering mode: keep every parseable record, quarantine the rest.
+      auto recovered = trace::read_csv_recovering_file(path);
+      records = std::move(recovered.records);
+      parse_rejects = std::move(recovered.bad_lines);
+      if (!parse_rejects.empty()) {
+        std::printf("recovered trace: %zu bad line(s) quarantined out of %llu\n",
+                    parse_rejects.size(),
+                    static_cast<unsigned long long>(recovered.lines_scanned));
+      }
+    }
     std::sort(records.begin(), records.end(),
               [](const trace::ConnRecord& a, const trace::ConnRecord& b) {
                 return a.timestamp < b.timestamp;
@@ -329,15 +405,39 @@ int cmd_contain(const support::CliArgs& args) {
                 static_cast<unsigned long long>(injected.worm_records), infected.size());
   }
 
-  const auto result = fleet::ContainmentPipeline::run(cfg, records);
+  fleet::PipelineResult result;
+  if (!resume_path.empty()) {
+    // Resume from a snapshot: restore state, skip the already-processed
+    // prefix, replay the suffix.  The trace (and any injection) must match
+    // the run that wrote the snapshot for the resumed verdicts to line up.
+    auto pipeline = fleet::ContainmentPipeline::restore(cfg, resume_path);
+    const std::uint64_t skip = pipeline->records_fed();
+    std::printf("resumed from %s at record %llu of %zu\n", resume_path.c_str(),
+                static_cast<unsigned long long>(skip), records.size());
+    for (std::size_t i = skip; i < records.size(); ++i) pipeline->feed(records[i]);
+    result = pipeline->finish();
+  } else {
+    fleet::ContainmentPipeline pipeline(cfg);
+    for (const trace::TraceParseDiagnostic& bad : parse_rejects) {
+      pipeline.report_malformed(bad.line, bad.error + ": " + bad.text);
+    }
+    pipeline.feed(records);
+    result = pipeline.finish();
+  }
   print_contain_report(result, cfg, infected);
 
   if (divergence) {
     // Exact-vs-HLL divergence: same stream, both backends, hosts they
-    // disagree on — the false-positive cost of approximate counting.
+    // disagree on — the false-positive cost of approximate counting.  The
+    // side runs are measurements, not the operational run: no checkpoints,
+    // no faults, no spill-file clobbering.
     fleet::PipelineConfig exact_cfg = cfg;
     exact_cfg.backend = fleet::CounterBackend::Exact;
-    fleet::PipelineConfig hll_cfg = cfg;
+    exact_cfg.checkpoint_path.clear();
+    exact_cfg.checkpoint_every = 0;
+    exact_cfg.faults = fleet::FaultPlan{};
+    exact_cfg.dead_letter_spill.clear();
+    fleet::PipelineConfig hll_cfg = exact_cfg;
     hll_cfg.backend = fleet::CounterBackend::Hll;
     const auto exact = fleet::ContainmentPipeline::run(exact_cfg, records);
     const auto hll = fleet::ContainmentPipeline::run(hll_cfg, records);
