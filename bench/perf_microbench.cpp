@@ -13,6 +13,7 @@
 #include "fleet/pipeline.hpp"
 #include "fleet/worm_injector.hpp"
 #include "net/address_table.hpp"
+#include "obs/registry.hpp"
 #include "sim/event_queue.hpp"
 #include "stats/samplers.hpp"
 #include "support/rng.hpp"
@@ -158,9 +159,11 @@ BENCHMARK(BM_MonteCarloCodeRed500)
     ->Unit(benchmark::kMillisecond);
 
 // Fleet streaming-containment pipeline over a synthetic LBL population with
-// a worm overlay.  Args: {shards (0 = auto), backend (0 = exact, 1 = hll)}.
-// Verdicts are bit-identical across rows with the same backend; items/s is
-// connection records per second, the pipeline's headline number.
+// a worm overlay.  Args: {shards (0 = auto), backend (0 = exact, 1 = hll),
+// metrics (0 = off, 1 = instrumented)}.  Verdicts are bit-identical across
+// rows with the same backend; items/s is connection records per second, the
+// pipeline's headline number.  The metrics=1 rows measure the observability
+// overhead budget (DESIGN.md §8): every hot-path counter/histogram live.
 void BM_FleetPipeline(benchmark::State& state) {
   static const std::vector<trace::ConnRecord> records = [] {
     trace::LblSynthConfig cfg;
@@ -179,6 +182,10 @@ void BM_FleetPipeline(benchmark::State& state) {
   cfg.shards = static_cast<unsigned>(state.range(0));
   cfg.backend = state.range(1) == 0 ? fleet::CounterBackend::Exact : fleet::CounterBackend::Hll;
   for (auto _ : state) {
+    // A fresh registry per run keeps instrument lookup (setup_metrics) inside
+    // the measured region, matching how wormctl contain --metrics pays it.
+    obs::Registry registry;
+    if (state.range(2) != 0) cfg.metrics = &registry;
     const auto result = fleet::ContainmentPipeline::run(cfg, records);
     benchmark::DoNotOptimize(result.verdicts.hosts_removed);
   }
@@ -186,14 +193,22 @@ void BM_FleetPipeline(benchmark::State& state) {
                           static_cast<std::int64_t>(records.size()));
 }
 BENCHMARK(BM_FleetPipeline)
-    ->Args({1, 0})
-    ->Args({2, 0})
-    ->Args({4, 0})
-    ->Args({0, 0})
-    ->Args({1, 1})
-    ->Args({2, 1})
-    ->Args({4, 1})
-    ->Args({0, 1})
+    ->Args({1, 0, 0})
+    ->Args({2, 0, 0})
+    ->Args({4, 0, 0})
+    ->Args({0, 0, 0})
+    ->Args({1, 1, 0})
+    ->Args({2, 1, 0})
+    ->Args({4, 1, 0})
+    ->Args({0, 1, 0})
+    ->Args({1, 0, 1})
+    ->Args({2, 0, 1})
+    ->Args({4, 0, 1})
+    ->Args({0, 0, 1})
+    ->Args({1, 1, 1})
+    ->Args({2, 1, 1})
+    ->Args({4, 1, 1})
+    ->Args({0, 1, 1})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -19,9 +19,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "stats/empirical.hpp"
 #include "stats/summary.hpp"
 #include "support/rng.hpp"
+#include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
 
 namespace worms::analysis {
@@ -45,6 +47,10 @@ struct MonteCarloOptions {
   std::uint64_t runs = 0;
   std::uint64_t base_seed = 0;
   unsigned threads = 1;
+  /// Optional observability sink (DESIGN.md §8): per-chunk runtimes
+  /// (`mc_chunk_seconds`), run/chunk counters, and worker-pool metrics.
+  /// Instrumentation never affects outcomes — only the wall clock, slightly.
+  obs::Registry* metrics = nullptr;
 };
 
 namespace detail {
@@ -76,14 +82,29 @@ template <typename Experiment>
       (options.runs + detail::kMonteCarloChunk - 1) / detail::kMonteCarloChunk;
   std::vector<detail::MonteCarloShard> shards(chunks);
 
+  obs::Counter* runs_total = nullptr;
+  obs::Counter* chunks_total = nullptr;
+  obs::Histogram* chunk_seconds = nullptr;
+  if (options.metrics != nullptr) {
+    runs_total = &options.metrics->counter("mc_runs_total");
+    chunks_total = &options.metrics->counter("mc_chunks_stolen_total");
+    chunk_seconds = &options.metrics->histogram("mc_chunk_seconds");
+  }
+
   auto run_chunk = [&](std::uint64_t c) {
     const std::uint64_t lo = c * detail::kMonteCarloChunk;
     const std::uint64_t hi = std::min(options.runs, lo + detail::kMonteCarloChunk);
     detail::MonteCarloShard& shard = shards[c];
+    const support::Stopwatch watch;
     for (std::uint64_t k = lo; k < hi; ++k) {
       const std::uint64_t value = experiment(support::derive_seed(options.base_seed, k), k);
       shard.totals.add(value);
       shard.summary.add(static_cast<double>(value));
+    }
+    if (chunk_seconds != nullptr) {
+      chunk_seconds->record(watch.elapsed_seconds(), c);
+      chunks_total->add(1, c);
+      runs_total->add(hi - lo, c);
     }
   };
 
@@ -95,6 +116,7 @@ template <typename Experiment>
   } else {
     std::atomic<std::uint64_t> next{0};
     support::ThreadPool pool(threads);
+    if (options.metrics != nullptr) pool.instrument(*options.metrics, "mc_pool");
     for (unsigned t = 0; t < threads; ++t) {
       pool.submit([&] {
         for (std::uint64_t c = next.fetch_add(1, std::memory_order_relaxed); c < chunks;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/registry.hpp"
 #include "support/check.hpp"
 
 namespace worms::fleet {
@@ -17,6 +18,15 @@ const char* to_string(DeadLetterReason reason) noexcept {
 
 DeadLetterChannel::DeadLetterChannel(const Config& config) : config_(config) {
   WORMS_EXPECTS(config.capacity >= 1);
+  if (config_.metrics != nullptr) {
+    for (const DeadLetterReason reason :
+         {DeadLetterReason::Malformed, DeadLetterReason::OutOfOrder,
+          DeadLetterReason::Duplicate}) {
+      reason_counters_[static_cast<std::size_t>(reason)] = &config_.metrics->counter(
+          std::string("fleet_dead_letters_total{reason=\"") + to_string(reason) + "\"}");
+    }
+    overflow_counter_ = &config_.metrics->counter("fleet_dead_letters_overflow_total");
+  }
   if (!config_.spill_path.empty()) {
     spill_.open(config_.spill_path, std::ios::out | std::ios::trunc);
     WORMS_EXPECTS(spill_.good() && "cannot open dead-letter spill file");
@@ -31,6 +41,7 @@ void DeadLetterChannel::report(DeadLetterEntry entry) {
     case DeadLetterReason::OutOfOrder: ++stats_.out_of_order; break;
     case DeadLetterReason::Duplicate: ++stats_.duplicate; break;
   }
+  if (obs::Counter* c = reason_counters_[static_cast<std::size_t>(entry.reason)]) c->add();
   if (spill_.is_open()) {
     spill_ << entry.stream_index << ',' << to_string(entry.reason) << ','
            << entry.record.timestamp << ',' << entry.record.source_host << ','
@@ -40,12 +51,23 @@ void DeadLetterChannel::report(DeadLetterEntry entry) {
   if (retained_.size() > config_.capacity) {
     retained_.pop_front();
     ++stats_.overflow_dropped;
+    if (overflow_counter_ != nullptr) overflow_counter_->add();
   }
 }
 
 void DeadLetterChannel::preload(const DeadLetterStats& stats) {
   std::lock_guard lock(mutex_);
+  // preload happens once, right after construction, so the counter deltas
+  // below are the full restored baselines.
+  WORMS_EXPECTS(stats_ == DeadLetterStats{} && "preload on a channel already in use");
   stats_ = stats;
+  if (reason_counters_[0] != nullptr) {
+    reason_counters_[static_cast<std::size_t>(DeadLetterReason::Malformed)]->add(stats.malformed);
+    reason_counters_[static_cast<std::size_t>(DeadLetterReason::OutOfOrder)]
+        ->add(stats.out_of_order);
+    reason_counters_[static_cast<std::size_t>(DeadLetterReason::Duplicate)]->add(stats.duplicate);
+  }
+  if (overflow_counter_ != nullptr) overflow_counter_->add(stats.overflow_dropped);
 }
 
 DeadLetterStats DeadLetterChannel::stats() const {

@@ -11,6 +11,7 @@
 // either reaches its shard worker or is accounted for here.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <fstream>
@@ -18,7 +19,12 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "trace/record.hpp"
+
+namespace worms::obs {
+class Registry;
+}
 
 namespace worms::fleet {
 
@@ -63,6 +69,9 @@ class DeadLetterChannel {
   struct Config {
     std::size_t capacity = 1024;  ///< retained entries; older ones are evicted
     std::string spill_path;       ///< non-empty: append every entry as CSV
+    /// Optional observability sink: per-reason `fleet_dead_letters_total`
+    /// counters mirror the exact stats() accounting (DESIGN.md §8).
+    obs::Registry* metrics = nullptr;
   };
 
   explicit DeadLetterChannel(const Config& config);
@@ -89,6 +98,10 @@ class DeadLetterChannel {
   DeadLetterStats stats_;
   std::deque<DeadLetterEntry> retained_;
   std::ofstream spill_;
+  /// Per-reason counters (index = DeadLetterReason) plus overflow; null when
+  /// the channel is not instrumented.
+  std::array<obs::Counter*, 3> reason_counters_{};
+  obs::Counter* overflow_counter_ = nullptr;
 };
 
 }  // namespace worms::fleet

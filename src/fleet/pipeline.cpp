@@ -14,6 +14,7 @@
 
 #include "fleet/bounded_queue.hpp"
 #include "fleet/checkpoint.hpp"
+#include "obs/registry.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
 
@@ -156,6 +157,7 @@ struct ContainmentPipeline::Shard {
         continue;
       }
       if (!error) {
+        const support::Stopwatch batch_watch;
         try {
           for (std::size_t i = 0; i < task->records.size(); ++i) {
             process(task->records[i], task->indices[i], dead_letters);
@@ -163,6 +165,17 @@ struct ContainmentPipeline::Shard {
         } catch (...) {
           error = std::current_exception();
           // keep draining so the producer never blocks on a full queue
+        }
+        if (obs != nullptr) {
+          if (!task->records.empty()) {
+            obs->batch_seconds->record(batch_watch.elapsed_seconds(), index);
+          }
+          // Suppression counts flush at batch granularity: one atomic add per
+          // batch instead of one per suppressed record (DESIGN.md §8 budget).
+          if (const std::uint64_t delta = suppressed - suppressed_flushed) {
+            obs->suppressed->add(delta, index);
+            suppressed_flushed = suppressed;
+          }
         }
       }
       ++batches_done;
@@ -188,7 +201,7 @@ struct ContainmentPipeline::Shard {
       h.cycle = cycle_index(r.timestamp);
     }
     if (h.verdict.removed) {
-      ++suppressed;  // host is offline for heavy-duty checking
+      ++suppressed;  // host is offline for heavy-duty checking; obs flushes per batch
       return;
     }
     if (h.has_prev) {
@@ -277,7 +290,11 @@ struct ContainmentPipeline::Shard {
   const sim::SimTime cycle_length;
   std::unordered_map<std::uint32_t, HostState> hosts;
   std::uint64_t suppressed = 0;
+  std::uint64_t suppressed_flushed = 0;  ///< portion of `suppressed` already in obs
   std::exception_ptr error;
+
+  unsigned index = 0;         ///< this shard's position (labels + obs cell)
+  const Obs* obs = nullptr;   ///< non-null only when the pipeline is instrumented
 
   // Fault wiring (configured before workers start, then worker-owned).
   bool kill_requested = false;
@@ -306,8 +323,10 @@ ContainmentPipeline::ContainmentPipeline(const PipelineConfig& config)
 }
 
 ContainmentPipeline::ContainmentPipeline(const PipelineConfig& config, DeferWorkersTag)
-    : config_(config), dead_letters_({.capacity = config.dead_letter_capacity,
-                                      .spill_path = config.dead_letter_spill}) {
+    : config_(config),
+      dead_letters_({.capacity = config.dead_letter_capacity,
+                     .spill_path = config.dead_letter_spill,
+                     .metrics = obs::kEnabled ? config.metrics : nullptr}) {
   WORMS_EXPECTS(config.batch_size >= 1);
   WORMS_EXPECTS(config.queue_capacity >= 1);
   if (config_.shards == 0) config_.shards = support::ThreadPool::hardware_threads();
@@ -317,12 +336,15 @@ ContainmentPipeline::ContainmentPipeline(const PipelineConfig& config, DeferWork
   WORMS_EXPECTS((config_.checkpoint_every == 0 || !config_.checkpoint_path.empty()) &&
                 "checkpoint_every requires checkpoint_path");
 
+  setup_metrics();
   shards_.reserve(config_.shards);
   pending_.resize(config_.shards);
   pending_indices_.resize(config_.shards);
   monitors_.resize(config_.shards);
   for (unsigned s = 0; s < config_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(config_));
+    shards_[s]->index = s;
+    if (obs_.ingested != nullptr) shards_[s]->obs = &obs_;
     pending_[s].reserve(config_.batch_size);
     pending_indices_[s].reserve(config_.batch_size);
   }
@@ -347,6 +369,42 @@ ContainmentPipeline::ContainmentPipeline(const PipelineConfig& config, DeferWork
   std::sort(corrupt_indices_.begin(), corrupt_indices_.end());
 
   pool_ = std::make_unique<support::ThreadPool>(config_.shards);
+  if (obs_.ingested != nullptr) pool_->instrument(*config_.metrics, "fleet_pool");
+}
+
+void ContainmentPipeline::setup_metrics() {
+  if (!obs::kEnabled || config_.metrics == nullptr) return;
+  obs::Registry& reg = *config_.metrics;
+  obs_.ingested = &reg.counter("fleet_records_ingested_total");
+  obs_.shed = &reg.counter("fleet_records_shed_total");
+  obs_.suppressed = &reg.counter("fleet_records_suppressed_total");
+  obs_.post_removal = &reg.counter("fleet_records_post_removal_total");
+  obs_.checkpoints = &reg.counter("fleet_checkpoints_written_total");
+  obs_.hosts_seen = &reg.counter("fleet_hosts_seen_total");
+  obs_.hosts_flagged = &reg.counter("fleet_hosts_flagged_total");
+  obs_.hosts_removed = &reg.counter("fleet_hosts_removed_total");
+  obs_.backend_switches = &reg.counter("fleet_backend_switches_total");
+  obs_.workers_killed = &reg.counter("fleet_workers_killed_total");
+  obs_.workers_respawned = &reg.counter("fleet_workers_respawned_total");
+  for (int h = 0; h < 3; ++h) {
+    obs_.health_transitions[static_cast<std::size_t>(h)] =
+        &reg.counter(std::string("fleet_health_transitions_total{to=\"") +
+                     to_string(static_cast<ShardHealth>(h)) + "\"}");
+  }
+  obs_.checkpoint_seconds = &reg.histogram("fleet_checkpoint_seconds");
+  obs_.batch_records =
+      &reg.histogram("fleet_batch_records", {.first_bound = 1.0, .bounds = 16});
+  obs_.batch_seconds = &reg.histogram("fleet_batch_seconds");
+  obs_.counter_memory = &reg.gauge("fleet_counter_memory_bytes");
+  obs_.queue_depth.resize(config_.shards);
+  obs_.queue_high_water.resize(config_.shards);
+  obs_.shard_health.resize(config_.shards);
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+    obs_.queue_depth[s] = &reg.gauge("fleet_queue_depth" + label);
+    obs_.queue_high_water[s] = &reg.gauge("fleet_queue_high_water" + label);
+    obs_.shard_health[s] = &reg.gauge("fleet_shard_health" + label);
+  }
 }
 
 void ContainmentPipeline::start_workers() {
@@ -379,7 +437,7 @@ trace::ConnRecord ContainmentPipeline::corrupted(const trace::ConnRecord& record
 
 void ContainmentPipeline::feed(const trace::ConnRecord& record) {
   WORMS_EXPECTS(!finished_);
-  const std::uint64_t index = records_fed_++;
+  const std::uint64_t index = records_fed_++;  // obs flushes per batch, not per record
   trace::ConnRecord r = record;
   if (!corrupt_indices_.empty() &&
       std::binary_search(corrupt_indices_.begin(), corrupt_indices_.end(), index)) {
@@ -430,11 +488,19 @@ void ContainmentPipeline::report_malformed(std::uint64_t source_line, std::strin
 void ContainmentPipeline::push_shard_task(unsigned shard_index, ShardTask task,
                                           bool sample_overload) {
   Shard& shard = *shards_[shard_index];
+  const std::size_t batch_len = task.records.size();
   bool first_attempt = true;
   for (;;) {
     if (shard.dead.load(std::memory_order_acquire)) respawn(shard_index);
     if (shard.queue.try_push(task)) {
+      flush_ingest_counters();
       if (sample_overload && first_attempt) {
+        if (obs_.batch_records != nullptr) {
+          const double depth = static_cast<double>(shard.queue.size());
+          obs_.queue_depth[shard_index]->set(depth);
+          obs_.queue_high_water[shard_index]->update_max(depth);
+          obs_.batch_records->record(static_cast<double>(batch_len));
+        }
         observe_overload(shard_index,
                          static_cast<double>(shard.queue.size()) /
                              static_cast<double>(shard.queue.capacity()));
@@ -447,6 +513,18 @@ void ContainmentPipeline::push_shard_task(unsigned shard_index, ShardTask task,
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+}
+
+void ContainmentPipeline::flush_ingest_counters() {
+  // Ingest-side counters mirror plain members that feed() already maintains;
+  // publishing the delta once per batch keeps the per-record hot path free of
+  // atomic operations (the overhead budget in DESIGN.md §8).  Only the ingest
+  // thread calls this, so the flushed markers need no synchronisation.
+  if (obs_.ingested == nullptr) return;
+  obs_.ingested->add(records_fed_ - obs_ingested_flushed_);
+  obs_.shed->add(records_shed_ - obs_shed_flushed_);
+  obs_ingested_flushed_ = records_fed_;
+  obs_shed_flushed_ = records_shed_;
 }
 
 void ContainmentPipeline::observe_overload(unsigned shard_index, double fill_fraction) {
@@ -466,9 +544,13 @@ void ContainmentPipeline::observe_overload(unsigned shard_index, double fill_fra
     m.critical = 0;
   }
 
-  const auto transition = [&m](ShardHealth next) {
+  const auto transition = [&](ShardHealth next) {
     m.health = next;
     m.hot = m.critical = m.cool = 0;
+    if (obs_.ingested != nullptr) {
+      obs_.health_transitions[static_cast<std::size_t>(next)]->add(1);
+      obs_.shard_health[shard_index]->set(static_cast<double>(next));
+    }
   };
   switch (m.health) {
     case ShardHealth::Healthy:
@@ -500,6 +582,7 @@ void ContainmentPipeline::respawn(unsigned shard_index) {
   Shard& shard = *shards_[shard_index];
   shard.dead.store(false, std::memory_order_release);
   ++workers_respawned_;
+  if (obs_.workers_respawned != nullptr) obs_.workers_respawned->add(1);
   pool_->submit([this, shard_index] { shards_[shard_index]->consume(dead_letters_); });
 }
 
@@ -543,9 +626,15 @@ void ContainmentPipeline::maybe_auto_checkpoint() {
 void ContainmentPipeline::write_checkpoint(const std::string& path) {
   WORMS_EXPECTS(!finished_);
   WORMS_EXPECTS(!path.empty());
+  const support::Stopwatch watch;
   quiesce();
   write_snapshot_file(path, encode_snapshot());
   ++checkpoints_written_;
+  flush_ingest_counters();
+  if (obs_.checkpoints != nullptr) {
+    obs_.checkpoints->add(1);
+    obs_.checkpoint_seconds->record(watch.elapsed_seconds());
+  }
 }
 
 std::string ContainmentPipeline::encode_snapshot() const {
@@ -644,6 +733,16 @@ void ContainmentPipeline::decode_snapshot(const std::string& payload) {
   dead_letters_.preload(dl);
   restored_backend_switches_ = in.get_u64();
   checkpoints_written_ = in.get_u64();
+  // Preload the streaming obs counters with the restored baselines so a
+  // resumed run's totals are identical to an uninterrupted run's (the golden
+  // resume test depends on this; dead letters preload via the channel above).
+  // flush_ingest_counters() publishes records_fed_/records_shed_ and advances
+  // the flushed markers, so later batch flushes add only post-resume deltas.
+  flush_ingest_counters();
+  if (obs_.ingested != nullptr) {
+    obs_.suppressed->add(restored_suppressed_);
+    obs_.checkpoints->add(checkpoints_written_);
+  }
   has_last_routed_ = in.get_u8() != 0;
   last_routed_.timestamp = in.get_f64();
   last_routed_.source_host = in.get_u32();
@@ -759,6 +858,26 @@ PipelineResult ContainmentPipeline::finish() {
   for (const HostVerdict& v : hosts) {
     if (v.flagged) ++result.verdicts.hosts_flagged;
     if (v.removed) ++result.verdicts.hosts_removed;
+  }
+
+  // Verdict-derived metrics, folded in exactly once.  post_removal is
+  // suppressed + shed: each individual split is racy under shedding (the same
+  // record may be shed at ingest or suppressed by the worker), but their sum
+  // — records arriving after the host's removal verdict — is deterministic,
+  // which is what the golden tests compare.
+  flush_ingest_counters();
+  if (obs_.ingested != nullptr) {
+    obs_.hosts_seen->add(hosts.size());
+    obs_.hosts_flagged->add(result.verdicts.hosts_flagged);
+    obs_.hosts_removed->add(result.verdicts.hosts_removed);
+    obs_.post_removal->add(m.records_suppressed + m.records_shed);
+    obs_.backend_switches->add(m.backend_switches);
+    obs_.workers_killed->add(m.workers_killed);
+    obs_.counter_memory->set(static_cast<double>(m.counter_memory_bytes));
+    for (unsigned s = 0; s < config_.shards; ++s) {
+      obs_.queue_high_water[s]->update_max(static_cast<double>(m.queue_high_water[s]));
+      obs_.shard_health[s]->set(static_cast<double>(monitors_[s].health));
+    }
   }
   return result;
 }

@@ -53,6 +53,7 @@
 //     above is exercised deterministically by tests.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -62,11 +63,16 @@
 #include "fleet/dead_letter.hpp"
 #include "fleet/distinct_counter.hpp"
 #include "fleet/fault_plan.hpp"
+#include "obs/metrics.hpp"
 #include "support/stopwatch.hpp"
 #include "trace/record.hpp"
 
 namespace worms::support {
 class ThreadPool;
+}
+
+namespace worms::obs {
+class Registry;
 }
 
 namespace worms::fleet {
@@ -114,6 +120,16 @@ struct PipelineConfig {
 
   /// Scripted faults (empty by default): see fleet/fault_plan.hpp.
   FaultPlan faults;
+
+  /// Observability sink (DESIGN.md §8).  Null = uninstrumented: the hot
+  /// paths pay one predictable null check per record and nothing else.
+  /// When set, the pipeline registers `fleet_*` counters, gauges, and
+  /// histograms (and `fleet_pool_*` via the worker pool) and keeps them
+  /// live while the stream flows; restore() preloads the stream-position
+  /// counters so a resumed run's totals line up with an uninterrupted one.
+  /// The registry must outlive the pipeline; verdict-derived metrics are
+  /// folded in by finish().
+  obs::Registry* metrics = nullptr;
 };
 
 /// One monitored host's outcome.  Times are trace timestamps (sim::SimTime
@@ -224,8 +240,38 @@ class ContainmentPipeline {
   struct ShardTask;
   struct DeferWorkersTag {};
 
+  /// Instrument handles, resolved once at construction when
+  /// config.metrics is set (null handles otherwise).  Streaming counters
+  /// are recorded live on the hot paths; verdict-derived ones (hosts
+  /// seen/flagged/removed, post-removal records, counter memory) are added
+  /// once by finish() so they are deterministic for any shard count.
+  struct Obs {
+    obs::Counter* ingested = nullptr;        ///< fleet_records_ingested_total
+    obs::Counter* shed = nullptr;            ///< fleet_records_shed_total
+    obs::Counter* suppressed = nullptr;      ///< fleet_records_suppressed_total
+    obs::Counter* post_removal = nullptr;    ///< fleet_records_post_removal_total
+    obs::Counter* checkpoints = nullptr;     ///< fleet_checkpoints_written_total
+    obs::Counter* hosts_seen = nullptr;      ///< fleet_hosts_seen_total
+    obs::Counter* hosts_flagged = nullptr;   ///< fleet_hosts_flagged_total
+    obs::Counter* hosts_removed = nullptr;   ///< fleet_hosts_removed_total
+    obs::Counter* backend_switches = nullptr;   ///< fleet_backend_switches_total
+    obs::Counter* workers_killed = nullptr;     ///< fleet_workers_killed_total
+    obs::Counter* workers_respawned = nullptr;  ///< fleet_workers_respawned_total
+    /// fleet_health_transitions_total{to="..."}, indexed by ShardHealth.
+    std::array<obs::Counter*, 3> health_transitions{};
+    obs::Histogram* checkpoint_seconds = nullptr;  ///< fleet_checkpoint_seconds
+    obs::Histogram* batch_records = nullptr;       ///< fleet_batch_records
+    obs::Histogram* batch_seconds = nullptr;       ///< fleet_batch_seconds
+    obs::Gauge* counter_memory = nullptr;          ///< fleet_counter_memory_bytes
+    std::vector<obs::Gauge*> queue_depth;       ///< fleet_queue_depth{shard="i"}
+    std::vector<obs::Gauge*> queue_high_water;  ///< fleet_queue_high_water{shard="i"}
+    std::vector<obs::Gauge*> shard_health;      ///< fleet_shard_health{shard="i"}
+  };
+
   ContainmentPipeline(const PipelineConfig& config, DeferWorkersTag);
 
+  void setup_metrics();
+  void flush_ingest_counters();
   void start_workers();
   void respawn(unsigned shard_index);
   void respawn_dead_workers();
@@ -249,6 +295,10 @@ class ContainmentPipeline {
   std::vector<std::uint64_t> corrupt_indices_;  ///< sorted fault-plan targets
   std::uint64_t records_fed_ = 0;
   std::uint64_t records_shed_ = 0;
+  // Portions of records_fed_/records_shed_ already published to obs counters;
+  // flush_ingest_counters() adds only the delta, once per batch boundary.
+  std::uint64_t obs_ingested_flushed_ = 0;
+  std::uint64_t obs_shed_flushed_ = 0;
   std::uint64_t checkpoints_written_ = 0;
   std::uint32_t workers_respawned_ = 0;
   // Restored-from-snapshot baselines, folded into finish()'s metrics.
@@ -257,6 +307,7 @@ class ContainmentPipeline {
   trace::ConnRecord last_routed_;  ///< most recent record handed to a shard
   bool has_last_routed_ = false;
   support::Stopwatch stopwatch_;
+  Obs obs_;
   bool finished_ = false;
 };
 

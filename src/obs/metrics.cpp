@@ -1,0 +1,124 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace worms::obs {
+
+Histogram::Histogram(const HistogramSpec& spec) : spec_(spec) {
+  WORMS_EXPECTS(spec.first_bound > 0.0 && std::isfinite(spec.first_bound));
+  WORMS_EXPECTS(spec.bounds >= 1 && spec.bounds <= 64);
+  bounds_.reserve(spec.bounds);
+  double bound = spec.first_bound;
+  for (unsigned i = 0; i < spec.bounds; ++i) {
+    bounds_.push_back(bound);
+    bound *= 2.0;
+  }
+  // One overflow bucket past the finite bounds; pad each cell's row to a
+  // cache-line multiple so cells never share a line.
+  const std::size_t buckets = spec.bounds + 1;
+  stride_ = (buckets + 7) / 8 * 8;
+  counts_ = std::vector<std::atomic<std::uint64_t>>(kCells * stride_);
+}
+
+std::size_t Histogram::bucket_index(double v) const noexcept {
+  if (!(v > spec_.first_bound)) return 0;  // also catches NaN
+  if (!std::isfinite(v)) return bounds_.size();
+  // v = first_bound · m · 2^e with m in [0.5, 1): the bucket is e-1 when the
+  // ratio is an exact power of two (upper bounds are inclusive), else e.
+  int e = 0;
+  const double m = std::frexp(v / spec_.first_bound, &e);
+  const std::size_t idx = (m == 0.5) ? static_cast<std::size_t>(e - 1)
+                                     : static_cast<std::size_t>(e);
+  return std::min(idx, bounds_.size());
+}
+
+HistogramSnapshot Histogram::snapshot(std::string name) const {
+  HistogramSnapshot snap;
+  snap.name = std::move(name);
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (std::size_t c = 0; c < kCells; ++c) {
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      snap.counts[b] += counts_[c * stride_ + b].load(std::memory_order_relaxed);
+    }
+    snap.sum += sums_[c].sum.load(std::memory_order_relaxed);
+  }
+  for (const std::uint64_t n : snap.counts) snap.count += n;
+  return snap;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  WORMS_EXPECTS(bounds == other.bounds && "histogram merge requires identical buckets");
+  for (std::size_t b = 0; b < counts.size(); ++b) counts[b] += other.counts[b];
+  count += other.count;
+  sum += other.sum;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  WORMS_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (count == 0) return 0.0;
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    cumulative += counts[b];
+    if (cumulative >= rank) {
+      return b < bounds.size() ? bounds[b] : std::numeric_limits<double>::infinity();
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+namespace {
+
+/// Name-keyed sorted merge shared by the three metric kinds.
+template <typename Snap, typename Combine>
+void merge_sorted(std::vector<Snap>& into, const std::vector<Snap>& from, Combine combine) {
+  for (const Snap& other : from) {
+    const auto it = std::lower_bound(
+        into.begin(), into.end(), other.name,
+        [](const Snap& s, const std::string& name) { return s.name < name; });
+    if (it != into.end() && it->name == other.name) {
+      combine(*it, other);
+    } else {
+      into.insert(it, other);
+    }
+  }
+}
+
+template <typename Snap>
+const Snap* find_sorted(const std::vector<Snap>& in, const std::string& name) noexcept {
+  const auto it =
+      std::lower_bound(in.begin(), in.end(), name,
+                       [](const Snap& s, const std::string& n) { return s.name < n; });
+  return (it != in.end() && it->name == name) ? &*it : nullptr;
+}
+
+}  // namespace
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  merge_sorted(counters, other.counters,
+               [](CounterSnapshot& a, const CounterSnapshot& b) { a.value += b.value; });
+  merge_sorted(gauges, other.gauges, [](GaugeSnapshot& a, const GaugeSnapshot& b) {
+    a.value = std::max(a.value, b.value);
+  });
+  merge_sorted(histograms, other.histograms,
+               [](HistogramSnapshot& a, const HistogramSnapshot& b) { a.merge(b); });
+}
+
+const CounterSnapshot* MetricsSnapshot::find_counter(const std::string& name) const noexcept {
+  return find_sorted(counters, name);
+}
+
+const GaugeSnapshot* MetricsSnapshot::find_gauge(const std::string& name) const noexcept {
+  return find_sorted(gauges, name);
+}
+
+const HistogramSnapshot* MetricsSnapshot::find_histogram(const std::string& name) const noexcept {
+  return find_sorted(histograms, name);
+}
+
+}  // namespace worms::obs

@@ -1,0 +1,203 @@
+// Lock-free metrics primitives for the fleet observability layer.
+//
+// The paper's containment scheme is operational — per-host distinct-
+// destination counters driving removal decisions over a weeks-long cycle —
+// so the pipeline enforcing it needs continuously exported statistics, not
+// just a final verdict report.  This header provides the three primitive
+// instrument kinds (DESIGN.md §8):
+//
+//   * Counter   — monotonic, wait-free sharded add.  Each counter owns a
+//     fixed array of cache-line-padded atomic cells; a recording site passes
+//     its shard/worker index so concurrent writers never contend on a line,
+//     and `value()` sums the cells.  fetch_add(relaxed) on a private cell is
+//     wait-free on every target we build for.
+//   * Gauge     — last-written value (atomic double) with a `update_max`
+//     watermark helper for queue depths and memory footprints.
+//   * Histogram — log₂-bucketed distribution for latencies and sizes.
+//     Bucket upper bounds are `first_bound · 2^i`; recording is a pure
+//     bucket-index computation plus one wait-free cell increment, so the
+//     hot path never allocates, locks, or retries.
+//
+// Snapshots are plain structs, mergeable shard-by-shard: counter merge is
+// exact integer addition, histogram merge adds bucket vectors (associative
+// and commutative — tests/obs_histogram_test.cpp proves the algebra), gauge
+// merge takes the max (watermark semantics).  Snapshotting concurrently with
+// recording is safe (every field is an atomic; TSan-verified) and yields a
+// value at least as fresh as the last quiesce point.
+//
+// Zero cost when disabled: compiling with WORMS_OBS_DISABLED turns every
+// recording member into an empty inline function; at runtime, instrumented
+// code records only when it was handed a Registry (a null-pointer check on
+// the cold side of the branch) — see obs/registry.hpp.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace worms::obs {
+
+#if defined(WORMS_OBS_DISABLED)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Cells per instrument.  Recording sites index by shard/worker id (mod
+/// kCells); 16 padded cells keep up to 16 concurrent writers contention-free
+/// while costing 1 KiB per counter.  Must be a power of two.
+inline constexpr std::size_t kCells = 16;
+
+/// Monotonic counter with wait-free sharded recording.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1, std::size_t cell = 0) noexcept {
+    if constexpr (!kEnabled) {
+      (void)delta;
+      (void)cell;
+      return;
+    }
+    cells_[cell & (kCells - 1)].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Cell, kCells> cells_{};
+};
+
+/// Last-written value; `update_max` turns it into a watermark.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if constexpr (kEnabled) value_.store(v, std::memory_order_relaxed);
+  }
+
+  void update_max(double v) noexcept {
+    if constexpr (!kEnabled) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log₂ bucket layout: upper bounds `first_bound · 2^i` for i in [0, bounds),
+/// plus an implicit +Inf overflow bucket.  The defaults span 1 µs … ~1100 s —
+/// right for wall-clock latencies; size histograms pass `{1.0, 32}`.
+struct HistogramSpec {
+  double first_bound = 1e-6;
+  unsigned bounds = 30;
+
+  friend bool operator==(const HistogramSpec&, const HistogramSpec&) = default;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;         ///< ascending finite upper bounds
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1; last = overflow
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  /// Exact bucket-vector addition; requires identical bounds.  Associative
+  /// and commutative (sum is double addition: exact for integer-valued
+  /// observations, within rounding otherwise).
+  void merge(const HistogramSnapshot& other);
+
+  /// Upper bound of the bucket holding the q-quantile (rank ceil(q·count)).
+  /// The true quantile lies in that bucket, so for values above first_bound
+  /// the estimate overshoots by at most one bucket width — a factor of 2.
+  /// Returns 0 when empty, +Inf when the rank lands in the overflow bucket.
+  [[nodiscard]] double quantile(double q) const;
+
+  friend bool operator==(const HistogramSnapshot&, const HistogramSnapshot&) = default;
+};
+
+/// Log-bucketed histogram with wait-free sharded recording.
+class Histogram {
+ public:
+  explicit Histogram(const HistogramSpec& spec);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(double v, std::size_t cell = 0) noexcept {
+    if constexpr (!kEnabled) {
+      (void)v;
+      (void)cell;
+      return;
+    }
+    const std::size_t c = cell & (kCells - 1);
+    counts_[c * stride_ + bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    sums_[c].sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Bucket for value v: 0 for v <= first_bound (and NaN), the overflow
+  /// bucket for +Inf, else the unique i with bound[i-1] < v <= bound[i].
+  [[nodiscard]] std::size_t bucket_index(double v) const noexcept;
+
+  [[nodiscard]] const HistogramSpec& spec() const noexcept { return spec_; }
+
+  /// Name is stamped by the registry; standalone use may pass anything.
+  [[nodiscard]] HistogramSnapshot snapshot(std::string name = {}) const;
+
+ private:
+  HistogramSpec spec_;
+  std::vector<double> bounds_;
+  std::size_t stride_ = 0;  ///< buckets per cell, padded to a cache line
+  std::vector<std::atomic<std::uint64_t>> counts_;  ///< kCells × stride_
+  struct alignas(64) SumCell {
+    std::atomic<double> sum{0.0};
+  };
+  std::array<SumCell, kCells> sums_{};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+
+  friend bool operator==(const CounterSnapshot&, const CounterSnapshot&) = default;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+
+  friend bool operator==(const GaugeSnapshot&, const GaugeSnapshot&) = default;
+};
+
+/// One registry's worth of metrics, sorted by name within each kind.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Name-wise merge: counters add, gauges take the max (watermark
+  /// semantics), histograms bucket-add.  Metrics present on only one side
+  /// carry over unchanged; the result stays sorted.
+  void merge(const MetricsSnapshot& other);
+
+  [[nodiscard]] const CounterSnapshot* find_counter(const std::string& name) const noexcept;
+  [[nodiscard]] const GaugeSnapshot* find_gauge(const std::string& name) const noexcept;
+  [[nodiscard]] const HistogramSnapshot* find_histogram(const std::string& name) const noexcept;
+};
+
+}  // namespace worms::obs

@@ -1,0 +1,212 @@
+#include "obs/registry.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <string_view>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace worms::obs {
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, const HistogramSpec& spec) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(spec);
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.push_back({name, c->value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.push_back({name, g->value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) snap.histograms.push_back(h->snapshot(name));
+  return snap;
+}
+
+namespace {
+
+[[nodiscard]] std::string fmt_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Shortest-roundtrip decimal; "+Inf" matches Prometheus' spelling.
+[[nodiscard]] std::string fmt_f64(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Splits `name{label="v"}` into base and the inner label block ("" if none).
+void split_labels(const std::string& full, std::string& base, std::string& labels) {
+  const std::size_t brace = full.find('{');
+  if (brace == std::string::npos) {
+    base = full;
+    labels.clear();
+    return;
+  }
+  WORMS_EXPECTS(full.back() == '}' && "metric label block must close");
+  base = full.substr(0, brace);
+  labels = full.substr(brace + 1, full.size() - brace - 2);
+}
+
+/// `base` + optional suffix + merged label block (existing labels first).
+[[nodiscard]] std::string spliced(const std::string& base, const char* suffix,
+                                  const std::string& labels, const std::string& extra = {}) {
+  std::string out = base;
+  out += suffix;
+  if (!labels.empty() || !extra.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra.empty()) out += ',';
+    out += extra;
+    out += '}';
+  }
+  return out;
+}
+
+void type_line(std::string& out, std::string& last_base, const std::string& base,
+               const char* kind) {
+  if (base == last_base) return;
+  last_base = base;
+  out += "# TYPE ";
+  out += base;
+  out += ' ';
+  out += kind;
+  out += '\n';
+}
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::render_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string base, labels, last_base;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    split_labels(c.name, base, labels);
+    type_line(out, last_base, base, "counter");
+    out += c.name;
+    out += ' ';
+    out += fmt_u64(c.value);
+    out += '\n';
+  }
+  last_base.clear();
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    split_labels(g.name, base, labels);
+    type_line(out, last_base, base, "gauge");
+    out += g.name;
+    out += ' ';
+    out += fmt_f64(g.value);
+    out += '\n';
+  }
+  last_base.clear();
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    split_labels(h.name, base, labels);
+    type_line(out, last_base, base, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      const std::string le =
+          b < h.bounds.size() ? fmt_f64(h.bounds[b]) : std::string("+Inf");
+      out += spliced(base, "_bucket", labels, "le=\"" + le + "\"");
+      out += ' ';
+      out += fmt_u64(cumulative);
+      out += '\n';
+    }
+    out += spliced(base, "_sum", labels);
+    out += ' ';
+    out += fmt_f64(h.sum);
+    out += '\n';
+    out += spliced(base, "_count", labels);
+    out += ' ';
+    out += fmt_u64(h.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Registry::render_json(const MetricsSnapshot& snapshot) {
+  // One metric object per line so line-oriented tools (and the golden-file
+  // tests) can filter without a JSON parser.
+  std::string out = "{\n\"schema\": \"worms-metrics-v1\",\n\"counters\": [\n";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterSnapshot& c = snapshot.counters[i];
+    out += "{\"name\":\"" + json_escape(c.name) + "\",\"value\":" + fmt_u64(c.value) + '}';
+    if (i + 1 < snapshot.counters.size()) out += ',';
+    out += '\n';
+  }
+  out += "],\n\"gauges\": [\n";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeSnapshot& g = snapshot.gauges[i];
+    out += "{\"name\":\"" + json_escape(g.name) + "\",\"value\":" + fmt_f64(g.value) + '}';
+    if (i + 1 < snapshot.gauges.size()) out += ',';
+    out += '\n';
+  }
+  out += "],\n\"histograms\": [\n";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    out += "{\"name\":\"" + json_escape(h.name) + "\",\"count\":" + fmt_u64(h.count) +
+           ",\"sum\":" + fmt_f64(h.sum) + ",\"bounds\":[";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out += ',';
+      out += fmt_f64(h.bounds[b]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out += ',';
+      out += fmt_u64(h.counts[b]);
+    }
+    out += "]}";
+    if (i + 1 < snapshot.histograms.size()) out += ',';
+    out += '\n';
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+void write_metrics_file(const std::string& path, const std::string& content) {
+  WORMS_EXPECTS(!path.empty());
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    WORMS_EXPECTS(out.good() && "cannot open metrics temp file");
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    WORMS_ENSURES(out.good() && "metrics write failed");
+  }
+  // Atomic publish, same discipline as fleet checkpoints: a concurrent
+  // reader sees either the previous complete file or this one.
+  WORMS_ENSURES(std::rename(tmp.c_str(), path.c_str()) == 0 && "metrics rename failed");
+}
+
+}  // namespace worms::obs

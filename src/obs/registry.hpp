@@ -1,0 +1,66 @@
+// Metric registry and exposition formats (DESIGN.md §8).
+//
+// A Registry owns named instruments and hands out stable handles; the hot
+// paths hold raw `Counter*`/`Histogram*` pointers created once at setup, so
+// registration cost (a mutex + map lookup) is never paid per record.  There
+// is deliberately no global registry: each pipeline/engine is handed one
+// explicitly, which keeps runs independent and the "metrics off" path a
+// plain null-pointer check.
+//
+// Names follow Prometheus conventions — `snake_case`, `_total` suffix for
+// counters, base units in the name (`_seconds`, `_bytes`) — and may carry a
+// label set inline: `fleet_queue_high_water{shard="3"}`.  Labeled names are
+// distinct metrics to the registry; the renderers splice the label block
+// into the right place (`_bucket{...,le="..."}` for histograms).
+//
+// Two renderings of one snapshot:
+//   * render_prometheus — text exposition: `# TYPE` headers, cumulative
+//     `le` buckets, `_sum`/`_count` — scrapable by anything Prometheus-ish.
+//   * render_json — machine-readable dump, one metric object per line (the
+//     golden-file tests filter deterministic metrics line-wise).
+//
+// write_metrics_file publishes atomically (temp + rename), the same
+// discipline as fleet checkpoints: a reader never sees a torn file.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace worms::obs {
+
+class Registry {
+ public:
+  Registry() = default;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the named instrument, creating it on first use.  Handles stay
+  /// valid for the registry's lifetime.  Thread-safe; re-requesting an
+  /// existing histogram ignores the spec argument.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name, const HistogramSpec& spec = {});
+
+  /// Point-in-time copy of every metric, sorted by name within each kind.
+  /// Safe to call while recording continues.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  [[nodiscard]] static std::string render_prometheus(const MetricsSnapshot& snapshot);
+  [[nodiscard]] static std::string render_json(const MetricsSnapshot& snapshot);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Writes `content` to `path` atomically (temp file + rename).
+void write_metrics_file(const std::string& path, const std::string& content);
+
+}  // namespace worms::obs

@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "obs/registry.hpp"
 #include "support/check.hpp"
+#include "support/stopwatch.hpp"
 
 namespace worms::support {
 
@@ -15,7 +17,7 @@ ThreadPool::ThreadPool(unsigned thread_count) {
   WORMS_EXPECTS(thread_count >= 1);
   workers_.reserve(thread_count);
   for (unsigned i = 0; i < thread_count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -26,6 +28,13 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::instrument(obs::Registry& registry, const std::string& prefix) {
+  tasks_total_.store(&registry.counter(prefix + "_tasks_total"), std::memory_order_release);
+  waits_total_.store(&registry.counter(prefix + "_waits_total"), std::memory_order_release);
+  task_seconds_.store(&registry.histogram(prefix + "_task_seconds"),
+                      std::memory_order_release);
 }
 
 void ThreadPool::submit(std::function<void()> job) {
@@ -48,19 +57,33 @@ void ThreadPool::wait_idle() {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
   for (;;) {
     std::function<void()> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty() && !stop_) {
+        if (obs::Counter* waits = waits_total_.load(std::memory_order_relaxed)) {
+          waits->add(1, worker_index);
+        }
+        work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      }
       if (queue_.empty()) return;  // stop requested and queue drained
       job = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
     }
+    if (obs::Counter* tasks = tasks_total_.load(std::memory_order_relaxed)) {
+      tasks->add(1, worker_index);
+    }
     try {
-      job();
+      if (obs::Histogram* latency = task_seconds_.load(std::memory_order_acquire)) {
+        const Stopwatch watch;
+        job();
+        latency->record(watch.elapsed_seconds(), worker_index);
+      } else {
+        job();
+      }
     } catch (...) {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();

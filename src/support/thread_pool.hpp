@@ -9,14 +9,22 @@
 // guarantees beyond "every job runs exactly once".
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+namespace worms::obs {
+class Registry;
+class Counter;
+class Histogram;
+}  // namespace worms::obs
 
 namespace worms::support {
 
@@ -34,6 +42,13 @@ class ThreadPool {
   /// Enqueues a job; any worker may pick it up, in any order.
   void submit(std::function<void()> job);
 
+  /// Wires this pool into `registry` (DESIGN.md §8): `<prefix>_tasks_total`
+  /// (jobs executed), `<prefix>_waits_total` (times a worker blocked on an
+  /// empty queue), and the `<prefix>_task_seconds` latency histogram of
+  /// successfully completed jobs.  Recording is wait-free (each worker owns
+  /// a counter cell); uninstrumented pools pay only a null check.
+  void instrument(obs::Registry& registry, const std::string& prefix);
+
   /// Blocks until the queue is empty and no job is executing.  If any job
   /// threw, rethrows the first such exception (later ones are dropped).
   void wait_idle();
@@ -47,7 +62,13 @@ class ThreadPool {
   [[nodiscard]] static unsigned hardware_threads() noexcept;
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
+
+  // Atomic so instrument() may race with running workers (pointers flip
+  // null → valid exactly once; relaxed loads suffice).
+  std::atomic<obs::Counter*> tasks_total_{nullptr};
+  std::atomic<obs::Counter*> waits_total_{nullptr};
+  std::atomic<obs::Histogram*> task_seconds_{nullptr};
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -1,0 +1,215 @@
+// Registry and exposition-format tests (DESIGN.md §8): the Prometheus text
+// rendering must parse back to exactly the snapshot's names, labels, and
+// values (with cumulative le-buckets), the JSON rendering must carry the same
+// numbers, and write_metrics_file must publish atomically.
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "support/check.hpp"
+
+namespace worms::obs {
+namespace {
+
+#define WORMS_REQUIRE_OBS() \
+  if (!kEnabled) GTEST_SKIP() << "built with WORMS_OBS=OFF"
+
+/// Minimal Prometheus text parser: sample lines are `name[{labels}] value`;
+/// `# TYPE base kind` lines fill `types`.
+struct ParsedExposition {
+  std::map<std::string, std::string> samples;  ///< full name (incl labels) -> value text
+  std::map<std::string, std::string> types;    ///< base name -> kind
+};
+
+[[nodiscard]] ParsedExposition parse_prometheus(const std::string& text) {
+  ParsedExposition parsed;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      EXPECT_NE(space, std::string::npos) << "bad TYPE line: " << line;
+      parsed.types[rest.substr(0, space)] = rest.substr(space + 1);
+      continue;
+    }
+    EXPECT_NE(line.front(), '#') << "unexpected comment: " << line;
+    // The value is after the last space; label values never contain spaces in
+    // this repo's metric names.
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) {
+      ADD_FAILURE() << "bad sample line: " << line;
+      continue;
+    }
+    const std::string name = line.substr(0, space);
+    EXPECT_TRUE(parsed.samples.emplace(name, line.substr(space + 1)).second)
+        << "duplicate sample: " << name;
+  }
+  return parsed;
+}
+
+void populate(Registry& reg) {
+  reg.counter("requests_total").add(42);
+  reg.counter("verdicts_total{verdict=\"removed\"}").add(7);
+  reg.counter("verdicts_total{verdict=\"flagged\"}").add(3);
+  reg.gauge("queue_depth{shard=\"0\"}").set(12.5);
+  reg.gauge("memory_bytes").set(4096.0);
+  Histogram& lat = reg.histogram("op_seconds", {.first_bound = 1e-3, .bounds = 8});
+  for (const double v : {0.0005, 0.002, 0.002, 0.1, 500.0}) lat.record(v);
+}
+
+TEST(ObsRegistry, HandlesAreStableAndNamed) {
+  Registry reg;
+  Counter& a = reg.counter("x_total");
+  Counter& b = reg.counter("x_total");
+  EXPECT_EQ(&a, &b);
+  a.add(5);
+  EXPECT_EQ(reg.snapshot().find_counter("x_total")->value, kEnabled ? 5u : 0u);
+  // Re-requesting a histogram ignores the spec: same instrument back.
+  Histogram& h1 = reg.histogram("h_seconds", {.first_bound = 1.0, .bounds = 4});
+  Histogram& h2 = reg.histogram("h_seconds", {.first_bound = 2.0, .bounds = 8});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.spec().bounds, 4u);
+}
+
+TEST(ObsRegistry, PrometheusRoundTripsNamesLabelsAndValues) {
+  WORMS_REQUIRE_OBS();
+  Registry reg;
+  populate(reg);
+  const MetricsSnapshot snap = reg.snapshot();
+  const ParsedExposition parsed = parse_prometheus(Registry::render_prometheus(snap));
+
+  // Every counter and gauge sample parses back to its snapshot value.
+  for (const CounterSnapshot& c : snap.counters) {
+    ASSERT_TRUE(parsed.samples.contains(c.name)) << c.name;
+    EXPECT_EQ(std::stoull(parsed.samples.at(c.name)), c.value) << c.name;
+  }
+  for (const GaugeSnapshot& g : snap.gauges) {
+    ASSERT_TRUE(parsed.samples.contains(g.name)) << g.name;
+    EXPECT_EQ(std::stod(parsed.samples.at(g.name)), g.value) << g.name;
+  }
+
+  // TYPE headers: one per base name, correct kind, labeled variants share it.
+  EXPECT_EQ(parsed.types.at("requests_total"), "counter");
+  EXPECT_EQ(parsed.types.at("verdicts_total"), "counter");
+  EXPECT_EQ(parsed.types.at("queue_depth"), "gauge");
+  EXPECT_EQ(parsed.types.at("op_seconds"), "histogram");
+}
+
+TEST(ObsRegistry, PrometheusHistogramBucketsAreCumulative) {
+  WORMS_REQUIRE_OBS();
+  Registry reg;
+  populate(reg);
+  const MetricsSnapshot snap = reg.snapshot();
+  const HistogramSnapshot* h = snap.find_histogram("op_seconds");
+  ASSERT_NE(h, nullptr);
+  const ParsedExposition parsed = parse_prometheus(Registry::render_prometheus(snap));
+
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < h->counts.size(); ++b) {
+    cumulative += h->counts[b];
+    const bool overflow = b >= h->bounds.size();
+    // Rebuild the exact bucket sample name the renderer must have produced.
+    char bound[40];
+    if (!overflow) std::snprintf(bound, sizeof bound, "%.17g", h->bounds[b]);
+    const std::string name = std::string("op_seconds_bucket{le=\"") +
+                             (overflow ? "+Inf" : bound) + "\"}";
+    ASSERT_TRUE(parsed.samples.contains(name)) << name;
+    EXPECT_EQ(std::stoull(parsed.samples.at(name)), cumulative) << name;
+  }
+  EXPECT_EQ(std::stoull(parsed.samples.at("op_seconds_count")), h->count);
+  EXPECT_EQ(std::stod(parsed.samples.at("op_seconds_sum")), h->sum);
+  // The +Inf bucket equals _count — the invariant scrapers depend on.
+  EXPECT_EQ(parsed.samples.at("op_seconds_bucket{le=\"+Inf\"}"),
+            parsed.samples.at("op_seconds_count"));
+}
+
+TEST(ObsRegistry, JsonCarriesSnapshotValues) {
+  WORMS_REQUIRE_OBS();
+  Registry reg;
+  populate(reg);
+  const MetricsSnapshot snap = reg.snapshot();
+  const std::string json = Registry::render_json(snap);
+
+  EXPECT_NE(json.find("\"schema\": \"worms-metrics-v1\""), std::string::npos);
+  // One metric object per line, exact values; label quotes escaped.
+  EXPECT_NE(json.find("{\"name\":\"requests_total\",\"value\":42}"), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"verdicts_total{verdict=\\\"removed\\\"}\",\"value\":7}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"memory_bytes\",\"value\":4096}"), std::string::npos);
+
+  const HistogramSnapshot* h = snap.find_histogram("op_seconds");
+  ASSERT_NE(h, nullptr);
+  char expect[64];
+  std::snprintf(expect, sizeof expect, "\"count\":%llu",
+                static_cast<unsigned long long>(h->count));
+  EXPECT_NE(json.find(std::string("{\"name\":\"op_seconds\",") + expect),
+            std::string::npos);
+
+  // Structural sanity a JSON parser would enforce: balanced braces/brackets.
+  std::ptrdiff_t braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ObsRegistry, SnapshotsAreSortedAndStable) {
+  Registry reg;
+  (void)reg.counter("b_total");
+  (void)reg.counter("a_total");
+  (void)reg.gauge("z");
+  (void)reg.gauge("a");
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a_total");
+  EXPECT_EQ(snap.counters[1].name, "b_total");
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  EXPECT_EQ(snap.gauges[0].name, "a");
+  // Two snapshots of a quiescent registry are identical — the bit-identity
+  // the golden tests build on.
+  const MetricsSnapshot again = reg.snapshot();
+  EXPECT_EQ(snap.counters, again.counters);
+  EXPECT_EQ(snap.gauges, again.gauges);
+  EXPECT_EQ(snap.histograms, again.histograms);
+}
+
+TEST(ObsRegistry, WriteMetricsFilePublishesAtomically) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/obs_registry_metrics_test.prom";
+  write_metrics_file(path, "first 1\n");
+  write_metrics_file(path, "second 2\n");  // overwrite goes through the same rename
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "second 2\n");
+  // No temp file left behind.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+
+  EXPECT_THROW(write_metrics_file("", "x"), support::PreconditionError);
+  EXPECT_THROW(write_metrics_file(dir + "/no/such/dir/metrics.prom", "x"),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace worms::obs

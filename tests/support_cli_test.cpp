@@ -93,6 +93,33 @@ TEST(Cli, U32RejectsValuesThatWouldNarrow) {
   }
 }
 
+TEST(Cli, FlagBeforeAnotherFlagStoresTrueLiteral) {
+  // `--metrics --shards 2` leaves --metrics with the literal "true" — the
+  // contain command turns exactly this shape into "--metrics requires a file
+  // path" instead of writing a metrics file named "true".
+  const auto args = parse({"contain", "--metrics", "--shards", "2"});
+  EXPECT_TRUE(args.has("metrics"));
+  EXPECT_EQ(args.get_string("metrics", ""), "true");
+  EXPECT_EQ(args.get_u32("shards", 0), 2u);
+}
+
+TEST(Cli, MetricsEveryErrorsArePrecise) {
+  const auto args =
+      parse({"contain", "--metrics-every", "soon", "--interval", "-100"});
+  try {
+    (void)args.get_u64("metrics-every", 0);
+    FAIL() << "non-numeric value accepted";
+  } catch (const PreconditionError& e) {
+    EXPECT_STREQ(e.what(), "--metrics-every: expected a non-negative integer, got 'soon'");
+  }
+  try {
+    (void)args.get_u64("interval", 0);
+    FAIL() << "negative value accepted";
+  } catch (const PreconditionError& e) {
+    EXPECT_STREQ(e.what(), "--interval: expected a non-negative integer, got '-100'");
+  }
+}
+
 TEST(Cli, UnconsumedTracksTypos) {
   const auto args = parse({"plan", "--hosts", "10", "--tpyo", "3"});
   (void)args.get_u64("hosts", 0);

@@ -25,6 +25,8 @@
 //              [--divergence] [--hosts 1645] [--days 30]
 //              [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
 //              [--fault-plan SPEC] [--dead-letter PATH]
+//              [--metrics FILE] [--metrics-every N]
+//              [--metrics-format prometheus|json]
 //              (--shards 0 = one worker per hardware thread; --inject-worm
 //              overlays I0 infected hosts scanning at RATE scans/s for up to
 //              SCANS scans each; --divergence runs exact AND hll and reports
@@ -34,7 +36,11 @@
 //              suffix; --fault-plan scripts worker kills/stalls/degrades and
 //              record corruption, e.g. "kill:0@10;corrupt:500;stall:1@5,0.25";
 //              --dead-letter PATH parses the trace in recovering mode and
-//              spills quarantined records there as CSV)
+//              spills quarantined records there as CSV; --metrics FILE turns
+//              on the observability layer and publishes a metrics export
+//              (atomic temp+rename) there after the run — and every N
+//              ingested records with --metrics-every N — plus a final
+//              summary table on stdout)
 //
 // Every command prints a human-readable table; exit code 0 on success, 1 on
 // usage errors (with a message on stderr).
@@ -54,6 +60,7 @@
 #include "core/planner.hpp"
 #include "fleet/pipeline.hpp"
 #include "fleet/worm_injector.hpp"
+#include "obs/registry.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
 #include "trace/analyzer.hpp"
@@ -336,6 +343,30 @@ void print_contain_report(const fleet::PipelineResult& result,
   }
 }
 
+/// Final metrics summary for the contain report: every counter and gauge by
+/// name, plus count / median / p99 / sum per histogram (quantiles are bucket
+/// upper bounds — see obs::HistogramSnapshot::quantile).
+void print_metrics_summary(const obs::MetricsSnapshot& snap) {
+  std::printf("\nmetrics summary:\n");
+  analysis::Table t({"metric", "value"});
+  for (const auto& c : snap.counters) {
+    t.add_row({c.name, analysis::Table::fmt(c.value)});
+  }
+  for (const auto& g : snap.gauges) {
+    t.add_row({g.name, analysis::Table::fmt(g.value, 0)});
+  }
+  t.print();
+  if (snap.histograms.empty()) return;
+  analysis::Table h({"histogram", "count", "p50", "p99", "sum"});
+  for (const auto& hs : snap.histograms) {
+    h.add_row({hs.name, analysis::Table::fmt(hs.count),
+               analysis::Table::fmt(hs.quantile(0.5), 6),
+               analysis::Table::fmt(hs.quantile(0.99), 6),
+               analysis::Table::fmt(hs.sum, 6)});
+  }
+  h.print();
+}
+
 int cmd_contain(const support::CliArgs& args) {
   const std::string path = args.get_string("trace", "");
   const bool synth = args.get_bool("synth", false);
@@ -366,6 +397,24 @@ int cmd_contain(const support::CliArgs& args) {
   }
   const std::string dead_letter_path = args.get_string("dead-letter", "");
   cfg.dead_letter_spill = dead_letter_path;
+
+  const std::string metrics_path = args.get_string("metrics", "");
+  WORMS_EXPECTS(!(args.has("metrics") && metrics_path == "true") &&
+                "--metrics requires a file path");
+  const std::uint64_t metrics_every = args.get_u64("metrics-every", 0);
+  WORMS_EXPECTS((metrics_every == 0 || !metrics_path.empty()) &&
+                "--metrics-every requires --metrics FILE");
+  const std::string metrics_format = args.get_string("metrics-format", "prometheus");
+  WORMS_EXPECTS((metrics_format == "prometheus" || metrics_format == "json") &&
+                "--metrics-format must be prometheus or json");
+  obs::Registry registry;
+  if (!metrics_path.empty()) cfg.metrics = &registry;
+  const auto export_metrics = [&] {
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    obs::write_metrics_file(metrics_path, metrics_format == "json"
+                                              ? obs::Registry::render_json(snap)
+                                              : obs::Registry::render_prometheus(snap));
+  };
 
   std::vector<trace::ConnRecord> records;
   std::vector<trace::TraceParseDiagnostic> parse_rejects;
@@ -414,17 +463,34 @@ int cmd_contain(const support::CliArgs& args) {
     const std::uint64_t skip = pipeline->records_fed();
     std::printf("resumed from %s at record %llu of %zu\n", resume_path.c_str(),
                 static_cast<unsigned long long>(skip), records.size());
-    for (std::size_t i = skip; i < records.size(); ++i) pipeline->feed(records[i]);
+    std::uint64_t fed = 0;
+    for (std::size_t i = skip; i < records.size(); ++i) {
+      pipeline->feed(records[i]);
+      if (metrics_every != 0 && ++fed % metrics_every == 0) export_metrics();
+    }
     result = pipeline->finish();
   } else {
     fleet::ContainmentPipeline pipeline(cfg);
     for (const trace::TraceParseDiagnostic& bad : parse_rejects) {
       pipeline.report_malformed(bad.line, bad.error + ": " + bad.text);
     }
-    pipeline.feed(records);
+    if (metrics_every != 0) {
+      std::uint64_t fed = 0;
+      for (const trace::ConnRecord& r : records) {
+        pipeline.feed(r);
+        if (++fed % metrics_every == 0) export_metrics();
+      }
+    } else {
+      pipeline.feed(records);
+    }
     result = pipeline.finish();
   }
   print_contain_report(result, cfg, infected);
+  if (!metrics_path.empty()) {
+    export_metrics();
+    print_metrics_summary(registry.snapshot());
+    std::printf("metrics written to %s (%s)\n", metrics_path.c_str(), metrics_format.c_str());
+  }
 
   if (divergence) {
     // Exact-vs-HLL divergence: same stream, both backends, hosts they
@@ -437,6 +503,7 @@ int cmd_contain(const support::CliArgs& args) {
     exact_cfg.checkpoint_every = 0;
     exact_cfg.faults = fleet::FaultPlan{};
     exact_cfg.dead_letter_spill.clear();
+    exact_cfg.metrics = nullptr;
     fleet::PipelineConfig hll_cfg = exact_cfg;
     hll_cfg.backend = fleet::CounterBackend::Hll;
     const auto exact = fleet::ContainmentPipeline::run(exact_cfg, records);
