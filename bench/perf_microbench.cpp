@@ -14,6 +14,7 @@
 #include "fleet/worm_injector.hpp"
 #include "net/address_table.hpp"
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "stats/samplers.hpp"
 #include "support/rng.hpp"
@@ -157,6 +158,26 @@ BENCHMARK(BM_MonteCarloCodeRed500)
     ->Arg(0)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// Flight-recorder hot path (DESIGN.md §9): one TraceRing::record is a clock
+// read plus four plain stores and one release store, wrapping the ring
+// forever (the steady state of a long containment run).  The synthetic-clock
+// row isolates the store cost from the steady_clock read; items/s is events
+// recorded per second.  In a WORMS_OBS=OFF build both rows measure an empty
+// inline function.
+void BM_TraceRecord(benchmark::State& state) {
+  obs::TracerOptions options;
+  options.buffer_events = 1u << 16;
+  options.clock = state.range(0) == 0 ? obs::TraceClock::Wall : obs::TraceClock::Synthetic;
+  obs::Tracer tracer(options);
+  obs::TraceRing& ring = tracer.ring(0);
+  for (auto _ : state) {
+    ring.instant("bench_event", 1.0);
+  }
+  benchmark::DoNotOptimize(ring.recorded());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceRecord)->Arg(0)->Arg(1);
 
 // Fleet streaming-containment pipeline over a synthetic LBL population with
 // a worm overlay.  Args: {shards (0 = auto), backend (0 = exact, 1 = hll),

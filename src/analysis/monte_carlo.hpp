@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "stats/empirical.hpp"
 #include "stats/summary.hpp"
 #include "support/rng.hpp"
@@ -51,6 +52,10 @@ struct MonteCarloOptions {
   /// (`mc_chunk_seconds`), run/chunk counters, and worker-pool metrics.
   /// Instrumentation never affects outcomes — only the wall clock, slightly.
   obs::Registry* metrics = nullptr;
+  /// Optional flight recorder (DESIGN.md §9): an "mc_chunk" span per stolen
+  /// chunk on the executing thread's ring, plus pool_task/pool_wait events
+  /// from the worker pool.  Like `metrics`, never affects outcomes.
+  obs::Tracer* tracer = nullptr;
 };
 
 namespace detail {
@@ -95,6 +100,7 @@ template <typename Experiment>
     const std::uint64_t lo = c * detail::kMonteCarloChunk;
     const std::uint64_t hi = std::min(options.runs, lo + detail::kMonteCarloChunk);
     detail::MonteCarloShard& shard = shards[c];
+    WORMS_TRACE_SPAN(options.tracer, "mc_chunk");
     const support::Stopwatch watch;
     for (std::uint64_t k = lo; k < hi; ++k) {
       const std::uint64_t value = experiment(support::derive_seed(options.base_seed, k), k);
@@ -117,6 +123,9 @@ template <typename Experiment>
     std::atomic<std::uint64_t> next{0};
     support::ThreadPool pool(threads);
     if (options.metrics != nullptr) pool.instrument(*options.metrics, "mc_pool");
+    // Base 256: clear of the pipeline's 0..S+P range and below the auto-tid
+    // space local_ring() allocates from (kTraceAutoTidBase).
+    if (options.tracer != nullptr) pool.instrument_trace(*options.tracer, 256);
     for (unsigned t = 0; t < threads; ++t) {
       pool.submit([&] {
         for (std::uint64_t c = next.fetch_add(1, std::memory_order_relaxed); c < chunks;

@@ -15,6 +15,7 @@
 #include "fleet/bounded_queue.hpp"
 #include "fleet/checkpoint.hpp"
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
 
@@ -140,13 +141,17 @@ struct ContainmentPipeline::Shard {
       // a batch.  kill_fired persists across respawns: the kill fires once.
       if (kill_requested && !kill_fired && batches_done >= kill_after) {
         kill_fired = true;
+        if (trace != nullptr) trace->instant("worker_killed", static_cast<double>(index));
         dead.store(true, std::memory_order_release);
         return;
       }
       auto task = queue.pop_wait_for(kWorkerPollInterval);
       if (!task) {
         if (queue.drained()) return;
-        continue;  // timeout: re-check faults, keep waiting
+        // Timeout: re-check faults, keep waiting.  Wall-clock traces record
+        // the starved poll; synthetic ones stay silent (scheduling noise).
+        if (trace != nullptr && trace_wall) trace->instant("queue_pop_wait");
+        continue;
       }
       if (task->gate) {
         task->gate->arrive();
@@ -157,6 +162,7 @@ struct ContainmentPipeline::Shard {
         continue;
       }
       if (!error) {
+        WORMS_TRACE_SPAN(task->records.empty() ? nullptr : trace, "shard_batch");
         const support::Stopwatch batch_watch;
         try {
           for (std::size_t i = 0; i < task->records.size(); ++i) {
@@ -182,6 +188,7 @@ struct ContainmentPipeline::Shard {
       for (PendingStall& stall : stalls) {
         if (!stall.fired && batches_done >= stall.after) {
           stall.fired = true;
+          if (trace != nullptr) trace->instant("fault_stall", stall.seconds);
           std::this_thread::sleep_for(std::chrono::duration<double>(stall.seconds));
         }
       }
@@ -206,11 +213,17 @@ struct ContainmentPipeline::Shard {
     }
     if (h.has_prev) {
       if (r.timestamp < h.last_time) {
+        if (trace != nullptr) {
+          trace->instant("dead_letter_out_of_order", static_cast<double>(stream_index));
+        }
         dead_letters.report({DeadLetterReason::OutOfOrder, r, stream_index,
                              "timestamp regressed for host " + std::to_string(r.source_host)});
         return;
       }
       if (r.timestamp == h.last_time && r.destination.value() == h.last_destination) {
+        if (trace != nullptr) {
+          trace->instant("dead_letter_duplicate", static_cast<double>(stream_index));
+        }
         dead_letters.report({DeadLetterReason::Duplicate, r, stream_index,
                              "repeats host " + std::to_string(r.source_host) +
                                  "'s previous record"});
@@ -268,6 +281,7 @@ struct ContainmentPipeline::Shard {
     if (effective_backend == CounterBackend::Hll) return;
     effective_backend = CounterBackend::Hll;
     switched_this_run = true;
+    if (trace != nullptr) trace->instant("backend_degrade", static_cast<double>(index));
     for (auto& [id, h] : hosts) {
       if (h.verdict.removed) continue;  // never counted again
       if (h.counter->backend() == CounterBackend::Exact) {
@@ -295,6 +309,8 @@ struct ContainmentPipeline::Shard {
 
   unsigned index = 0;         ///< this shard's position (labels + obs cell)
   const Obs* obs = nullptr;   ///< non-null only when the pipeline is instrumented
+  obs::TraceRing* trace = nullptr;  ///< this shard worker's flight-recorder ring
+  bool trace_wall = false;          ///< tracer in wall-clock mode (timing events on)
 
   // Fault wiring (configured before workers start, then worker-owned).
   bool kill_requested = false;
@@ -335,16 +351,28 @@ ContainmentPipeline::ContainmentPipeline(const PipelineConfig& config, DeferWork
   WORMS_EXPECTS(config_.overload.sustain_pushes >= 1);
   WORMS_EXPECTS((config_.checkpoint_every == 0 || !config_.checkpoint_path.empty()) &&
                 "checkpoint_every requires checkpoint_path");
+  WORMS_EXPECTS((config_.metrics_export_every == 0 ||
+                 (!config_.metrics_export_path.empty() && config_.metrics != nullptr)) &&
+                "metrics_export_every requires metrics_export_path and a registry");
 
   setup_metrics();
   shards_.reserve(config_.shards);
   pending_.resize(config_.shards);
   pending_indices_.resize(config_.shards);
   monitors_.resize(config_.shards);
+  obs::Tracer* tracer = obs::kEnabled ? config_.tracer : nullptr;
+  if (tracer != nullptr) trace_ = &tracer->ring(0);  // ingest thread
   for (unsigned s = 0; s < config_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(config_));
     shards_[s]->index = s;
     if (obs_.ingested != nullptr) shards_[s]->obs = &obs_;
+    if (tracer != nullptr) {
+      // Logical tid s+1 regardless of which pool thread runs the worker, so
+      // a respawned worker continues its predecessor's ring (the dead-flag
+      // handshake orders the handoff).
+      shards_[s]->trace = &tracer->ring(s + 1);
+      shards_[s]->trace_wall = tracer->wall_clock();
+    }
     pending_[s].reserve(config_.batch_size);
     pending_indices_[s].reserve(config_.batch_size);
   }
@@ -370,6 +398,7 @@ ContainmentPipeline::ContainmentPipeline(const PipelineConfig& config, DeferWork
 
   pool_ = std::make_unique<support::ThreadPool>(config_.shards);
   if (obs_.ingested != nullptr) pool_->instrument(*config_.metrics, "fleet_pool");
+  if (tracer != nullptr) pool_->instrument_trace(*tracer, config_.shards + 1);
 }
 
 void ContainmentPipeline::setup_metrics() {
@@ -441,12 +470,17 @@ void ContainmentPipeline::feed(const trace::ConnRecord& record) {
   trace::ConnRecord r = record;
   if (!corrupt_indices_.empty() &&
       std::binary_search(corrupt_indices_.begin(), corrupt_indices_.end(), index)) {
+    if (trace_ != nullptr) trace_->instant("fault_corrupt", static_cast<double>(index));
     r = corrupted(record, index);
   }
   if (!std::isfinite(r.timestamp) || r.timestamp < 0.0) {
+    if (trace_ != nullptr) {
+      trace_->instant("dead_letter_malformed", static_cast<double>(index));
+    }
     dead_letters_.report({DeadLetterReason::Malformed, r, index,
                           "non-finite or negative timestamp"});
     maybe_auto_checkpoint();
+    maybe_auto_export_metrics();
     return;
   }
   const unsigned s = r.source_host % config_.shards;
@@ -458,6 +492,7 @@ void ContainmentPipeline::feed(const trace::ConnRecord& record) {
     if (shard.removed.contains(r.source_host)) {
       ++records_shed_;
       maybe_auto_checkpoint();
+      maybe_auto_export_metrics();
       return;
     }
   }
@@ -474,6 +509,7 @@ void ContainmentPipeline::feed(const trace::ConnRecord& record) {
     push_shard_task(s, std::move(task), /*sample_overload=*/true);
   }
   maybe_auto_checkpoint();
+  maybe_auto_export_metrics();
 }
 
 void ContainmentPipeline::feed(const std::vector<trace::ConnRecord>& records) {
@@ -489,10 +525,13 @@ void ContainmentPipeline::push_shard_task(unsigned shard_index, ShardTask task,
                                           bool sample_overload) {
   Shard& shard = *shards_[shard_index];
   const std::size_t batch_len = task.records.size();
+  WORMS_TRACE_SPAN(batch_len > 0 ? trace_ : nullptr, "ingest_batch");
   bool first_attempt = true;
+  bool stall_open = false;  // wall-gated queue_push_stall span in flight
   for (;;) {
     if (shard.dead.load(std::memory_order_acquire)) respawn(shard_index);
     if (shard.queue.try_push(task)) {
+      if (stall_open) trace_->span_end("queue_push_stall");
       flush_ingest_counters();
       if (sample_overload && first_attempt) {
         if (obs_.batch_records != nullptr) {
@@ -510,6 +549,13 @@ void ContainmentPipeline::push_shard_task(unsigned shard_index, ShardTask task,
     if (sample_overload && first_attempt) {
       observe_overload(shard_index, 1.0);  // a failed push is a full queue
       first_attempt = false;
+    }
+    // Backpressure stall: a span (not an instant) so the viewer shows the
+    // blocked ingest wall time.  Wall clocks only — in synthetic time the
+    // retry count is scheduling noise.
+    if (!stall_open && trace_ != nullptr && config_.tracer->wall_clock()) {
+      trace_->span_begin("queue_push_stall");
+      stall_open = true;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
@@ -551,6 +597,12 @@ void ContainmentPipeline::observe_overload(unsigned shard_index, double fill_fra
       obs_.health_transitions[static_cast<std::size_t>(next)]->add(1);
       obs_.shard_health[shard_index]->set(static_cast<double>(next));
     }
+    if (trace_ != nullptr) {
+      const char* name = next == ShardHealth::Healthy    ? "health_healthy"
+                         : next == ShardHealth::Degraded ? "health_degraded"
+                                                         : "health_shedding";
+      trace_->instant(name, static_cast<double>(shard_index));
+    }
   };
   switch (m.health) {
     case ShardHealth::Healthy:
@@ -583,6 +635,7 @@ void ContainmentPipeline::respawn(unsigned shard_index) {
   shard.dead.store(false, std::memory_order_release);
   ++workers_respawned_;
   if (obs_.workers_respawned != nullptr) obs_.workers_respawned->add(1);
+  if (trace_ != nullptr) trace_->instant("worker_respawned", static_cast<double>(shard_index));
   pool_->submit([this, shard_index] { shards_[shard_index]->consume(dead_letters_); });
 }
 
@@ -623,9 +676,25 @@ void ContainmentPipeline::maybe_auto_checkpoint() {
   }
 }
 
+void ContainmentPipeline::maybe_auto_export_metrics() {
+  // Gated on the registry, not on kEnabled: a WORMS_OBS=OFF build still
+  // publishes the (all-zero) snapshot so tooling that polls the file works.
+  if (config_.metrics_export_every == 0 || config_.metrics == nullptr) return;
+  if (records_fed_ % config_.metrics_export_every != 0) return;
+  WORMS_TRACE_SPAN(trace_, "metrics_export");
+  flush_ingest_counters();
+  const obs::MetricsSnapshot snap = config_.metrics->snapshot();
+  obs::write_metrics_file(config_.metrics_export_path,
+                          config_.metrics_export_json
+                              ? obs::Registry::render_json(snap)
+                              : obs::Registry::render_prometheus(snap));
+  ++metrics_exports_written_;
+}
+
 void ContainmentPipeline::write_checkpoint(const std::string& path) {
   WORMS_EXPECTS(!finished_);
   WORMS_EXPECTS(!path.empty());
+  WORMS_TRACE_SPAN(trace_, "checkpoint_write");
   const support::Stopwatch watch;
   quiesce();
   write_snapshot_file(path, encode_snapshot());
@@ -798,7 +867,10 @@ std::unique_ptr<ContainmentPipeline> ContainmentPipeline::restore(const Pipeline
                                                                   const std::string& path) {
   std::unique_ptr<ContainmentPipeline> pipeline(
       new ContainmentPipeline(config, DeferWorkersTag{}));
-  pipeline->decode_snapshot(read_snapshot_file(path));
+  {
+    WORMS_TRACE_SPAN(pipeline->trace_, "checkpoint_restore");
+    pipeline->decode_snapshot(read_snapshot_file(path));
+  }
   pipeline->start_workers();
   return pipeline;
 }
@@ -839,6 +911,7 @@ PipelineResult ContainmentPipeline::finish() {
   m.backend_switches = restored_backend_switches_;
   m.workers_respawned = workers_respawned_;
   m.checkpoints_written = checkpoints_written_;
+  m.metrics_exports = metrics_exports_written_;
   m.records_suppressed = restored_suppressed_;
   for (const Monitor& monitor : monitors_) m.shard_health.push_back(monitor.health);
 

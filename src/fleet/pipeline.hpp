@@ -73,7 +73,9 @@ class ThreadPool;
 
 namespace worms::obs {
 class Registry;
-}
+class Tracer;
+class TraceRing;
+}  // namespace worms::obs
 
 namespace worms::fleet {
 
@@ -130,6 +132,28 @@ struct PipelineConfig {
   /// The registry must outlive the pipeline; verdict-derived metrics are
   /// folded in by finish().
   obs::Registry* metrics = nullptr;
+
+  /// Periodic metrics export, keyed on *absolute* stream position: every
+  /// `metrics_export_every` fed records (records_fed() % N == 0, the same
+  /// rule maybe_auto_checkpoint uses) the registry snapshot is published
+  /// atomically to `metrics_export_path`.  Because the position counts from
+  /// the start of the stream — not from pipeline construction — a restored
+  /// run exports at exactly the positions the uninterrupted run would have.
+  /// Requires `metrics`; 0 disables.
+  std::string metrics_export_path;
+  std::uint64_t metrics_export_every = 0;
+  bool metrics_export_json = false;  ///< JSON instead of Prometheus text
+
+  /// Optional flight recorder (DESIGN.md §9).  Null = untraced.  When set,
+  /// the pipeline claims tracer rings 0 (ingest thread), 1..shards (shard
+  /// workers), and shards+1.. (pool threads) and records span/instant events
+  /// along the reaction path: ingest_batch / shard_batch / checkpoint_write /
+  /// checkpoint_restore / metrics_export spans, backpressure stall spans and
+  /// queue-wait instants (wall-clock tracers only), and instants for health
+  /// transitions, exact→HLL degrades, dead-lettered records, worker
+  /// kill/respawn, and fault-plan firings.  The tracer must outlive the
+  /// pipeline.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// One monitored host's outcome.  Times are trace timestamps (sim::SimTime
@@ -173,6 +197,7 @@ struct PipelineMetrics {
   std::uint32_t workers_killed = 0;     ///< fault-injected worker deaths observed
   std::uint32_t workers_respawned = 0;  ///< replacement workers started
   std::uint64_t checkpoints_written = 0;
+  std::uint64_t metrics_exports = 0;  ///< periodic metrics files published
   std::vector<ShardHealth> shard_health;  ///< final ladder position per shard
 };
 
@@ -280,6 +305,7 @@ class ContainmentPipeline {
   void quiesce();
   void flush_batches();
   void maybe_auto_checkpoint();
+  void maybe_auto_export_metrics();
   [[nodiscard]] trace::ConnRecord corrupted(const trace::ConnRecord& record,
                                             std::uint64_t index) const;
   [[nodiscard]] std::string encode_snapshot() const;
@@ -300,6 +326,7 @@ class ContainmentPipeline {
   std::uint64_t obs_ingested_flushed_ = 0;
   std::uint64_t obs_shed_flushed_ = 0;
   std::uint64_t checkpoints_written_ = 0;
+  std::uint64_t metrics_exports_written_ = 0;
   std::uint32_t workers_respawned_ = 0;
   // Restored-from-snapshot baselines, folded into finish()'s metrics.
   std::uint64_t restored_suppressed_ = 0;
@@ -308,6 +335,7 @@ class ContainmentPipeline {
   bool has_last_routed_ = false;
   support::Stopwatch stopwatch_;
   Obs obs_;
+  obs::TraceRing* trace_ = nullptr;  ///< ingest thread's flight-recorder ring
   bool finished_ = false;
 };
 

@@ -1,0 +1,131 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace worms::obs {
+
+namespace {
+
+/// Smallest power of two >= n, floored at 64 so wraparound arithmetic and
+/// the drop accounting stay sane for degenerate requests.
+[[nodiscard]] std::size_t normalize_capacity(std::size_t n) noexcept {
+  std::size_t cap = 64;
+  while (cap < n && cap < (std::size_t{1} << 30)) cap <<= 1;
+  return cap;
+}
+
+std::atomic<std::uint64_t> g_tracer_epoch{1};
+
+/// Thread-local cache for local_ring(): valid only while both the owner
+/// pointer and its construction epoch match, so a tracer reallocated at the
+/// same address never inherits a stale ring.
+struct TlsRingCache {
+  const Tracer* owner = nullptr;
+  std::uint64_t epoch = 0;
+  TraceRing* ring = nullptr;
+};
+
+thread_local TlsRingCache t_ring_cache;
+
+}  // namespace
+
+const char* to_string(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::SpanBegin: return "span_begin";
+    case TraceEventKind::SpanEnd: return "span_end";
+    case TraceEventKind::Instant: return "instant";
+    case TraceEventKind::Counter: return "counter";
+  }
+  return "unknown";
+}
+
+const char* to_string(TraceClock clock) noexcept {
+  switch (clock) {
+    case TraceClock::Wall: return "wall";
+    case TraceClock::Synthetic: return "synthetic";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(std::uint32_t tid, std::size_t capacity, bool synthetic,
+                     std::chrono::steady_clock::time_point start)
+    : events_(capacity),
+      mask_(capacity - 1),
+      tid_(tid),
+      synthetic_(synthetic),
+      start_(start) {}
+
+Tracer::Tracer(const TracerOptions& options)
+    : options_(options),
+      ring_capacity_(normalize_capacity(options.buffer_events)),
+      start_(std::chrono::steady_clock::now()),
+      epoch_(g_tracer_epoch.fetch_add(1, std::memory_order_relaxed)),
+      next_auto_tid_(kTraceAutoTidBase) {}
+
+TraceRing& Tracer::ring_locked(std::uint32_t tid) {
+  for (const auto& r : rings_) {
+    if (r->tid() == tid) return *r;
+  }
+  rings_.push_back(std::unique_ptr<TraceRing>(new TraceRing(
+      tid, ring_capacity_, options_.clock == TraceClock::Synthetic, start_)));
+  return *rings_.back();
+}
+
+TraceRing& Tracer::ring(std::uint32_t tid) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_locked(tid);
+}
+
+TraceRing& Tracer::local_ring() {
+  TlsRingCache& cache = t_ring_cache;
+  if (cache.owner == this && cache.epoch == epoch_) return *cache.ring;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Skip tids already claimed explicitly via ring() — an auto-registered
+  // thread must never share a ring with another writer.
+  for (;;) {
+    const std::uint32_t tid = next_auto_tid_++;
+    bool taken = false;
+    for (const auto& r : rings_) {
+      if (r->tid() == tid) {
+        taken = true;
+        break;
+      }
+    }
+    if (!taken) {
+      TraceRing& r = ring_locked(tid);
+      cache = {this, epoch_, &r};
+      return r;
+    }
+  }
+}
+
+TraceCollection Tracer::collect() const {
+  TraceCollection out;
+  out.clock = options_.clock;
+  out.ticks_per_second = options_.clock == TraceClock::Wall ? 1e9 : 1.0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& ring : rings_) {
+    // The release store in record() publishes every slot below `head`; slots
+    // older than one capacity have been overwritten and are counted dropped.
+    const std::uint64_t head = ring->head_.load(std::memory_order_acquire);
+    const std::uint64_t retained = std::min<std::uint64_t>(head, ring->capacity());
+    out.recorded += head;
+    out.dropped += head - retained;
+    for (std::uint64_t seq = head - retained; seq < head; ++seq) {
+      const TraceEvent& ev = ring->events_[seq & ring->mask_];
+      out.events.push_back({ev.tick, seq, ev.name != nullptr ? ev.name : "",
+                            ev.value, ring->tid(), ev.kind});
+    }
+  }
+  std::sort(out.events.begin(), out.events.end(),
+            [](const CollectedTraceEvent& a, const CollectedTraceEvent& b) {
+              if (a.tick != b.tick) return a.tick < b.tick;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+}  // namespace worms::obs

@@ -1,0 +1,259 @@
+// Flight-recorder tracing for latency attribution (DESIGN.md §9).
+//
+// PR 4's metrics layer answers *how many*; this layer answers *where time
+// goes*: which pipeline stage stalls under backpressure, how long a
+// checkpoint blocks a shard, what a worker kill/respawn costs.  The paper's
+// containment scheme lives on reaction latency inside Proposition 1's window
+// (the first M scans of an outbreak), so the pipeline enforcing it must be
+// able to attribute every millisecond of its own reaction path.
+//
+// Model — three event kinds, all fixed-size binary records:
+//
+//   * span begin/end — a named region of one thread's time (RAII via
+//     WORMS_TRACE_SPAN); nesting is by position, exactly Chrome's B/E model.
+//   * instant       — a point event (worker killed, health transition,
+//     dead-lettered record), with one double payload.
+//   * counter       — a sampled value (queue depth) rendered as a counter
+//     track by the trace viewer.
+//
+// Recording discipline ("flight recorder"): every writer owns a TraceRing —
+// a fixed-capacity ring of TraceEvent slots that overwrites its own oldest
+// entries and never blocks, allocates, or locks on the hot path.  A record
+// is a clock read plus four plain stores and one release store of the head
+// index.  Rings are single-writer by contract: either claim a logical thread
+// id explicitly (`tracer.ring(tid)` — what the pipeline does, so trace
+// output is deterministic) or use the thread-local `tracer.local_ring()`.
+//
+// Clock: wall mode stamps steady-clock nanoseconds since tracer
+// construction.  Synthetic mode stamps each ring's own event sequence number
+// — logical time for golden tests, where byte-identical reruns matter more
+// than durations; timing-dependent recording sites (queue waits, stall
+// spans) check `wall_clock()` and stay silent in synthetic mode.
+//
+// Collection (`collect()`) is the cold path: it drains every ring into one
+// stream ordered by (tick, tid, seq) and reports how many events the rings
+// overwrote.  Export to Chrome trace-event JSON and the per-span summary
+// live in obs/trace_export.hpp.
+//
+// Zero cost when disabled: under WORMS_OBS_DISABLED every recording member
+// compiles to an empty inline function and WORMS_TRACE_SPAN expands to
+// nothing, mirroring the metrics layer.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"  // kEnabled
+
+namespace worms::obs {
+
+enum class TraceEventKind : std::uint8_t { SpanBegin, SpanEnd, Instant, Counter };
+
+[[nodiscard]] const char* to_string(TraceEventKind kind) noexcept;
+
+/// One fixed-size slot in a ring.  `name` must have static storage duration
+/// (string literals at the recording sites) — rings store the pointer, never
+/// the characters.
+struct TraceEvent {
+  std::uint64_t tick = 0;      ///< wall: ns since tracer start; synthetic: ring seq
+  const char* name = nullptr;  ///< static-storage event name
+  double value = 0.0;          ///< instant/counter payload; 0 for spans
+  TraceEventKind kind = TraceEventKind::Instant;
+};
+
+enum class TraceClock : std::uint8_t {
+  Wall,       ///< steady-clock nanoseconds — for real latency attribution
+  Synthetic,  ///< per-ring sequence numbers — deterministic, for golden tests
+};
+
+[[nodiscard]] const char* to_string(TraceClock clock) noexcept;
+
+struct TracerOptions {
+  /// Ring capacity in events per writer thread (rounded up to a power of
+  /// two, minimum 64).  At 32 bytes/event the default retains the most
+  /// recent 65536 events (~2 MiB) per thread.
+  std::size_t buffer_events = 1u << 16;
+  TraceClock clock = TraceClock::Wall;
+};
+
+/// Single-writer event ring.  Obtain via Tracer::ring / Tracer::local_ring;
+/// at most one thread may record into a given ring at a time (handoffs must
+/// be externally synchronized, e.g. the pipeline's worker-respawn handshake).
+class TraceRing {
+ public:
+  void span_begin(const char* name) noexcept { record(TraceEventKind::SpanBegin, name, 0.0); }
+  void span_end(const char* name) noexcept { record(TraceEventKind::SpanEnd, name, 0.0); }
+  void instant(const char* name, double value = 0.0) noexcept {
+    record(TraceEventKind::Instant, name, value);
+  }
+  void counter(const char* name, double value) noexcept {
+    record(TraceEventKind::Counter, name, value);
+  }
+
+  /// Hot path: clock read + 4 plain stores + 1 release store.  Wraparound
+  /// overwrites the oldest slot; nothing ever blocks.
+  void record(TraceEventKind kind, const char* name, double value) noexcept {
+    if constexpr (!kEnabled) {
+      (void)kind;
+      (void)name;
+      (void)value;
+      return;
+    }
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    TraceEvent& slot = events_[h & mask_];
+    slot.tick = synthetic_ ? h : wall_tick();
+    slot.name = name;
+    slot.value = value;
+    slot.kind = kind;
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::uint32_t tid() const noexcept { return tid_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return events_.size(); }
+
+  /// Events recorded over this ring's lifetime (retained + overwritten).
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Tracer;
+
+  TraceRing(std::uint32_t tid, std::size_t capacity, bool synthetic,
+            std::chrono::steady_clock::time_point start);
+
+  [[nodiscard]] std::uint64_t wall_tick() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+  std::vector<TraceEvent> events_;
+  std::uint64_t mask_ = 0;
+  std::atomic<std::uint64_t> head_{0};
+  std::uint32_t tid_ = 0;
+  bool synthetic_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One event as drained by collect(): name copied out of static storage,
+/// ring position kept for stable ordering.
+struct CollectedTraceEvent {
+  std::uint64_t tick = 0;
+  std::uint64_t seq = 0;  ///< position within the ring's lifetime stream
+  std::string name;
+  double value = 0.0;
+  std::uint32_t tid = 0;
+  TraceEventKind kind = TraceEventKind::Instant;
+
+  friend bool operator==(const CollectedTraceEvent&, const CollectedTraceEvent&) = default;
+};
+
+/// All rings drained into one stream ordered by (tick, tid, seq).
+struct TraceCollection {
+  std::vector<CollectedTraceEvent> events;
+  std::uint64_t recorded = 0;  ///< events ever recorded, across all rings
+  std::uint64_t dropped = 0;   ///< of those, overwritten before collection
+  TraceClock clock = TraceClock::Wall;
+  double ticks_per_second = 1e9;  ///< wall: ns ticks; synthetic: 1 (logical)
+};
+
+/// Owns the rings.  No global instance — each pipeline/engine is handed one
+/// explicitly, like obs::Registry.  The tracer must outlive every thread
+/// still recording into its rings.
+class Tracer {
+ public:
+  explicit Tracer(const TracerOptions& options = {});
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The ring for logical thread `tid`, created on first use.  The caller
+  /// guarantees a single concurrent writer per tid — use distinct tids per
+  /// writer (the pipeline uses 0 = ingest, 1..S = shard workers, S+1.. =
+  /// pool workers).  Handles stay valid for the tracer's lifetime.
+  [[nodiscard]] TraceRing& ring(std::uint32_t tid);
+
+  /// The calling thread's own auto-registered ring (tids from 4096 up),
+  /// cached thread-locally — for recording sites that don't know a logical
+  /// thread identity (e.g. Monte Carlo chunks on pool workers).
+  [[nodiscard]] TraceRing& local_ring();
+
+  /// Convenience hot-path recording via local_ring().
+  void span_begin(const char* name) { local_ring().span_begin(name); }
+  void span_end(const char* name) { local_ring().span_end(name); }
+  void instant(const char* name, double value = 0.0) { local_ring().instant(name, value); }
+  void counter(const char* name, double value) { local_ring().counter(name, value); }
+
+  /// False in synthetic-clock mode; timing-dependent recording sites (queue
+  /// waits, backpressure stalls) skip recording when this is false so
+  /// synthetic traces are scheduling-independent.
+  [[nodiscard]] bool wall_clock() const noexcept {
+    return options_.clock == TraceClock::Wall;
+  }
+
+  [[nodiscard]] const TracerOptions& options() const noexcept { return options_; }
+
+  /// Drains every ring into one (tick, tid, seq)-ordered stream.  Safe to
+  /// call while writers are quiescent; a concurrently recording ring yields
+  /// a consistent prefix of its stream (events published before the drain).
+  [[nodiscard]] TraceCollection collect() const;
+
+ private:
+  [[nodiscard]] TraceRing& ring_locked(std::uint32_t tid);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+  TracerOptions options_;
+  std::size_t ring_capacity_ = 0;  ///< options_.buffer_events, normalized
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t epoch_ = 0;  ///< process-unique id validating TLS caches
+  std::uint32_t next_auto_tid_;
+};
+
+/// First auto-assigned tid for local_ring(); explicit ring() tids should
+/// stay below it.
+inline constexpr std::uint32_t kTraceAutoTidBase = 4096;
+
+/// RAII span: begin on construction, end on destruction.  Null sink = no-op,
+/// so call sites stay branch-light: `SpanGuard g(shard.trace, "shard_batch")`.
+class SpanGuard {
+ public:
+  SpanGuard(TraceRing* ring, const char* name) noexcept : ring_(ring), name_(name) {
+    if (ring_ != nullptr) ring_->span_begin(name_);
+  }
+  SpanGuard(Tracer* tracer, const char* name)
+      : SpanGuard(tracer != nullptr ? &tracer->local_ring() : nullptr, name) {}
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  ~SpanGuard() {
+    if (ring_ != nullptr) ring_->span_end(name_);
+  }
+
+ private:
+  TraceRing* ring_;
+  const char* name_;
+};
+
+}  // namespace worms::obs
+
+// RAII span macros.  `sink` is a TraceRing* or Tracer* (either may be null);
+// `name` must be a string literal.  Under WORMS_OBS_DISABLED they expand to
+// nothing at all — not even the null check survives.
+#if defined(WORMS_OBS_DISABLED)
+#define WORMS_TRACE_SPAN(sink, name) static_cast<void>(0)
+#else
+#define WORMS_TRACE_SPAN_CONCAT2(a, b) a##b
+#define WORMS_TRACE_SPAN_CONCAT(a, b) WORMS_TRACE_SPAN_CONCAT2(a, b)
+#define WORMS_TRACE_SPAN(sink, name) \
+  ::worms::obs::SpanGuard WORMS_TRACE_SPAN_CONCAT(worms_trace_span_, __LINE__)((sink), (name))
+#endif

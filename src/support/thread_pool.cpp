@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
 
@@ -37,6 +38,11 @@ void ThreadPool::instrument(obs::Registry& registry, const std::string& prefix) 
                       std::memory_order_release);
 }
 
+void ThreadPool::instrument_trace(obs::Tracer& tracer, std::uint32_t base_tid) {
+  trace_base_tid_.store(base_tid, std::memory_order_relaxed);
+  tracer_.store(&tracer, std::memory_order_release);
+}
+
 void ThreadPool::submit(std::function<void()> job) {
   WORMS_EXPECTS(job != nullptr);
   {
@@ -58,6 +64,12 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
+  // Resolved lazily once a job has been popped: the pop happens-after the
+  // submit, which happens-after any instrument_trace the caller issued first,
+  // so every job a caller traces runs with its ring in place.  Each worker
+  // owns ring base_tid + worker_index — single-writer by index.
+  obs::TraceRing* trace = nullptr;
+  bool trace_waits = false;
   for (;;) {
     std::function<void()> job;
     {
@@ -66,6 +78,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
         if (obs::Counter* waits = waits_total_.load(std::memory_order_relaxed)) {
           waits->add(1, worker_index);
         }
+        if (trace != nullptr && trace_waits) trace->instant("pool_wait");
         work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       }
       if (queue_.empty()) return;  // stop requested and queue drained
@@ -73,10 +86,18 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       queue_.pop_front();
       ++in_flight_;
     }
+    if (trace == nullptr) {
+      if (obs::Tracer* tracer = tracer_.load(std::memory_order_acquire)) {
+        trace = &tracer->ring(trace_base_tid_.load(std::memory_order_relaxed) +
+                              static_cast<std::uint32_t>(worker_index));
+        trace_waits = tracer->wall_clock();  // waits are noise in synthetic time
+      }
+    }
     if (obs::Counter* tasks = tasks_total_.load(std::memory_order_relaxed)) {
       tasks->add(1, worker_index);
     }
     try {
+      WORMS_TRACE_SPAN(trace, "pool_task");
       if (obs::Histogram* latency = task_seconds_.load(std::memory_order_acquire)) {
         const Stopwatch watch;
         job();

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -24,6 +25,8 @@ namespace worms::obs {
 class Registry;
 class Counter;
 class Histogram;
+class Tracer;
+class TraceRing;
 }  // namespace worms::obs
 
 namespace worms::support {
@@ -49,6 +52,13 @@ class ThreadPool {
   /// a counter cell); uninstrumented pools pay only a null check.
   void instrument(obs::Registry& registry, const std::string& prefix);
 
+  /// Wires this pool into a flight recorder (DESIGN.md §9): worker `w`
+  /// records into `tracer.ring(base_tid + w)` — a "pool_task" span around
+  /// every job, plus a "pool_wait" instant each time the worker blocks on an
+  /// empty queue (wall-clock tracers only; waits are scheduling noise in
+  /// synthetic time).  The tracer must outlive the pool.
+  void instrument_trace(obs::Tracer& tracer, std::uint32_t base_tid);
+
   /// Blocks until the queue is empty and no job is executing.  If any job
   /// threw, rethrows the first such exception (later ones are dropped).
   void wait_idle();
@@ -69,6 +79,8 @@ class ThreadPool {
   std::atomic<obs::Counter*> tasks_total_{nullptr};
   std::atomic<obs::Counter*> waits_total_{nullptr};
   std::atomic<obs::Histogram*> task_seconds_{nullptr};
+  std::atomic<obs::Tracer*> tracer_{nullptr};
+  std::atomic<std::uint32_t> trace_base_tid_{0};
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -1,0 +1,84 @@
+# Pins the --metrics-every + --resume interplay at the CLI: periodic metrics
+# exports fire at *absolute* stream positions (records_fed() % N == 0), so a
+# run resumed from a checkpoint publishes exactly the exports the
+# uninterrupted run still had ahead of it — not a fresh cadence counted from
+# the resume point.
+
+set(trace_file ${WORKDIR}/cadence_trace.csv)
+set(ckpt_file ${WORKDIR}/cadence.ckpt)
+set(metrics_file ${WORKDIR}/cadence_metrics.prom)
+set(every 5000)
+
+execute_process(
+  COMMAND ${WORMCTL} synth --out ${trace_file} --hosts 200 --days 5 --seed 11
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "wormctl synth failed: ${rc}")
+endif()
+
+function(extract_count out text pattern label)
+  string(REGEX MATCH "${pattern}" m "${text}")
+  if(m STREQUAL "")
+    message(FATAL_ERROR "${label}: no match for '${pattern}' in:\n${text}")
+  endif()
+  set(${out} "${CMAKE_MATCH_1}" PARENT_SCOPE)
+endfunction()
+
+# Uninterrupted run: floor(total / every) exports.
+execute_process(
+  COMMAND ${WORMCTL} contain --trace ${trace_file} --budget 400 --shards 2
+    --metrics ${metrics_file} --metrics-every ${every}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE full_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "full contain failed: ${rc}\n${full_out}")
+endif()
+extract_count(full_exports "${full_out}"
+  "metrics exports: ([0-9]+) periodic snapshot\\(s\\) published" "full run")
+extract_count(total_records "${full_out}" "processed ([0-9]+) records" "full run")
+math(EXPR expected_full "${total_records} / ${every}")
+if(NOT full_exports EQUAL expected_full)
+  message(FATAL_ERROR
+    "full run: ${full_exports} exports, expected ${expected_full} (${total_records} records)")
+endif()
+
+# Same run, leaving a snapshot at the last auto-checkpoint boundary.
+execute_process(
+  COMMAND ${WORMCTL} contain --trace ${trace_file} --budget 400 --shards 2
+    --checkpoint ${ckpt_file} --checkpoint-every 7000
+  RESULT_VARIABLE rc OUTPUT_VARIABLE ckpt_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "checkpointing contain failed: ${rc}\n${ckpt_out}")
+endif()
+
+# Resumed run: exports only at the absolute positions still ahead of the
+# snapshot — floor(total/every) - floor(resume_point/every).
+execute_process(
+  COMMAND ${WORMCTL} contain --trace ${trace_file} --budget 400 --shards 2
+    --resume ${ckpt_file} --metrics ${metrics_file} --metrics-every ${every}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE resume_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed contain failed: ${rc}\n${resume_out}")
+endif()
+extract_count(resume_point "${resume_out}" "resumed from .* at record ([0-9]+) of" "resume")
+math(EXPR expected_resume "${total_records} / ${every} - ${resume_point} / ${every}")
+if(expected_resume EQUAL 0)
+  # Snapshot landed after the last export position: the report must not
+  # claim any periodic exports (the pre-fix relative cadence would).
+  if(resume_out MATCHES "metrics exports:")
+    message(FATAL_ERROR
+      "resumed at ${resume_point} of ${total_records}: no absolute export position remains, "
+      "yet the run published exports:\n${resume_out}")
+  endif()
+else()
+  extract_count(resume_exports "${resume_out}"
+    "metrics exports: ([0-9]+) periodic snapshot\\(s\\) published" "resume")
+  if(NOT resume_exports EQUAL expected_resume)
+    message(FATAL_ERROR
+      "resumed run published ${resume_exports} exports, expected ${expected_resume} "
+      "(resumed at ${resume_point} of ${total_records}, every ${every}); the cadence "
+      "must count from the start of the stream, not from the resume point")
+  endif()
+endif()
+if(NOT EXISTS ${metrics_file})
+  message(FATAL_ERROR "metrics file was not written: ${metrics_file}")
+endif()

@@ -1,0 +1,63 @@
+# Golden determinism of the flight-recorder export: a fixed-seed synthetic-
+# clock contain run (one shard, deterministic fault plan, auto-checkpoints)
+# must produce byte-identical Chrome trace JSON across reruns, and
+# `wormctl trace summarize` must read it back with the expected span and
+# instant rows.  Synthetic ticks are per-ring sequence numbers and the
+# timing-dependent events (queue waits, backpressure stalls) are wall-only,
+# so nothing in the file depends on scheduling.
+
+set(ckpt ${WORKDIR}/trace_golden.ckpt)
+set(run_args contain --synth --hosts 300 --days 10 --budget 200 --shards 1
+    --synth-seed 7 --fault-plan "degrade:0@2\;corrupt:500\;corrupt:501"
+    --checkpoint ${ckpt} --checkpoint-every 20000
+    --trace-clock synthetic)
+
+foreach(run a b)
+  execute_process(
+    COMMAND ${WORMCTL} ${run_args} --trace-out ${WORKDIR}/trace_golden_${run}.json
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "traced contain run ${run} failed: ${rc}\n${out}")
+  endif()
+  if(NOT out MATCHES "trace: [1-9][0-9]* event\\(s\\) retained \\(0 overwritten\\), synthetic clock")
+    message(FATAL_ERROR "run ${run}: no trace accounting line:\n${out}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${WORKDIR}/trace_golden_a.json ${WORKDIR}/trace_golden_b.json
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "synthetic-clock trace export differs across identical reruns")
+endif()
+
+# The export is the Chrome trace-event object format Perfetto loads: a
+# traceEvents array of B/E/i events plus the clock in otherData.
+file(READ ${WORKDIR}/trace_golden_a.json trace_json)
+foreach(needle "\"traceEvents\":[" "\"ph\":\"B\"" "\"ph\":\"E\"" "\"ph\":\"i\""
+        "\"clock\":\"synthetic\"" "\"name\":\"ingest_batch\"" "\"name\":\"shard_batch\""
+        "\"name\":\"checkpoint_write\"" "\"name\":\"backend_degrade\""
+        "\"name\":\"fault_corrupt\"")
+  string(FIND "${trace_json}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "trace JSON is missing ${needle}")
+  endif()
+endforeach()
+
+# Summarize the file we just wrote: per-span rows with counts, plus the
+# fault-plan instants.
+execute_process(
+  COMMAND ${WORMCTL} trace summarize ${WORKDIR}/trace_golden_a.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE summary)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace summarize failed: ${rc}\n${summary}")
+endif()
+if(NOT summary MATCHES "trace summary: [1-9][0-9]* event\\(s\\), 0 overwritten in flight recorder, synthetic clock")
+  message(FATAL_ERROR "unexpected summary header:\n${summary}")
+endif()
+foreach(row ingest_batch shard_batch checkpoint_write backend_degrade fault_corrupt)
+  if(NOT summary MATCHES "${row}")
+    message(FATAL_ERROR "summary is missing the ${row} row:\n${summary}")
+  endif()
+endforeach()

@@ -1,0 +1,36 @@
+# End-to-end `wormctl contain --trace` → `wormctl trace summarize` loop.
+# Under --synth the input-CSV meaning of --trace is vacant, so it aliases
+# --trace-out — this is the documented quickstart spelling.  Runs in both
+# WORMS_OBS builds: an OFF build writes a structurally valid trace with zero
+# events, and summarize must read it back either way.
+
+set(trace_file ${WORKDIR}/trace_summarize_smoke.json)
+
+execute_process(
+  COMMAND ${WORMCTL} contain --synth --hosts 300 --days 10 --budget 200 --shards 2
+    --fault-plan "kill:0@2;corrupt:500;stall:0@4,0.01" --trace ${trace_file}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "traced contain failed: ${rc}\n${out}")
+endif()
+if(NOT out MATCHES "trace: [0-9]+ event\\(s\\) retained .* written to")
+  message(FATAL_ERROR "no trace accounting line:\n${out}")
+endif()
+if(NOT EXISTS ${trace_file})
+  message(FATAL_ERROR "trace file was not written: ${trace_file}")
+endif()
+file(READ ${trace_file} trace_json)
+string(FIND "${trace_json}" "\"traceEvents\":[" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "trace file is not Chrome trace-event JSON:\n${trace_json}")
+endif()
+
+execute_process(
+  COMMAND ${WORMCTL} trace summarize ${trace_file}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE summary)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace summarize failed: ${rc}\n${summary}")
+endif()
+if(NOT summary MATCHES "trace summary: [0-9]+ event\\(s\\), [0-9]+ overwritten in flight recorder, wall clock")
+  message(FATAL_ERROR "unexpected summary header:\n${summary}")
+endif()

@@ -27,6 +27,8 @@
 //              [--fault-plan SPEC] [--dead-letter PATH]
 //              [--metrics FILE] [--metrics-every N]
 //              [--metrics-format prometheus|json]
+//              [--trace-out FILE] [--trace-buffer-events N]
+//              [--trace-clock wall|synthetic]
 //              (--shards 0 = one worker per hardware thread; --inject-worm
 //              overlays I0 infected hosts scanning at RATE scans/s for up to
 //              SCANS scans each; --divergence runs exact AND hll and reports
@@ -40,7 +42,19 @@
 //              on the observability layer and publishes a metrics export
 //              (atomic temp+rename) there after the run — and every N
 //              ingested records with --metrics-every N — plus a final
-//              summary table on stdout)
+//              summary table on stdout.  --metrics-every counts *absolute*
+//              stream position, records_fed() % N == 0, so a --resume run
+//              exports at exactly the positions the uninterrupted run would
+//              have.  --trace-out FILE records a flight-recorder trace of
+//              the run and writes Chrome trace-event JSON there — open it at
+//              ui.perfetto.dev or chrome://tracing; with --synth, --trace is
+//              accepted as an alias for --trace-out (the input-CSV meaning is
+//              vacant).  --trace-buffer-events bounds the per-thread ring
+//              (oldest events are overwritten); --trace-clock synthetic
+//              stamps logical sequence numbers instead of nanoseconds, for
+//              byte-reproducible traces)
+//   trace      summarize FILE — per-span count/total/p50/p99 plus instant and
+//              counter tables from a trace written by contain --trace-out
 //
 // Every command prints a human-readable table; exit code 0 on success, 1 on
 // usage errors (with a message on stderr).
@@ -61,6 +75,8 @@
 #include "fleet/pipeline.hpp"
 #include "fleet/worm_injector.hpp"
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
 #include "trace/analyzer.hpp"
@@ -304,6 +320,10 @@ void print_contain_report(const fleet::PipelineResult& result,
     std::printf("checkpoints: %llu written\n",
                 static_cast<unsigned long long>(m.checkpoints_written));
   }
+  if (m.metrics_exports > 0) {
+    std::printf("metrics exports: %llu periodic snapshot(s) published\n",
+                static_cast<unsigned long long>(m.metrics_exports));
+  }
   bool any_unhealthy = false;
   for (const fleet::ShardHealth h : m.shard_health) {
     if (h != fleet::ShardHealth::Healthy) any_unhealthy = true;
@@ -408,13 +428,40 @@ int cmd_contain(const support::CliArgs& args) {
   WORMS_EXPECTS((metrics_format == "prometheus" || metrics_format == "json") &&
                 "--metrics-format must be prometheus or json");
   obs::Registry registry;
-  if (!metrics_path.empty()) cfg.metrics = &registry;
+  if (!metrics_path.empty()) {
+    cfg.metrics = &registry;
+    // Periodic exports live in the pipeline, keyed on absolute stream
+    // position, so resumed runs export at the same cadence points.
+    cfg.metrics_export_path = metrics_path;
+    cfg.metrics_export_every = metrics_every;
+    cfg.metrics_export_json = metrics_format == "json";
+  }
   const auto export_metrics = [&] {
     const obs::MetricsSnapshot snap = registry.snapshot();
     obs::write_metrics_file(metrics_path, metrics_format == "json"
                                               ? obs::Registry::render_json(snap)
                                               : obs::Registry::render_prometheus(snap));
   };
+
+  // Flight recorder (--trace-out; under --synth, --trace aliases it since the
+  // input-CSV meaning is vacant there).
+  std::string trace_out = args.get_string("trace-out", "");
+  if (synth && trace_out.empty() && !path.empty()) trace_out = path;
+  WORMS_EXPECTS((trace_out.empty() || trace_out != "true") &&
+                "--trace-out requires a file path");
+  obs::TracerOptions tracer_options;
+  tracer_options.buffer_events =
+      static_cast<std::size_t>(args.get_u64("trace-buffer-events", tracer_options.buffer_events));
+  const std::string trace_clock = args.get_string("trace-clock", "wall");
+  WORMS_EXPECTS((trace_clock == "wall" || trace_clock == "synthetic") &&
+                "--trace-clock must be wall or synthetic");
+  tracer_options.clock =
+      trace_clock == "synthetic" ? obs::TraceClock::Synthetic : obs::TraceClock::Wall;
+  WORMS_EXPECTS((!trace_out.empty() ||
+                 (!args.has("trace-buffer-events") && !args.has("trace-clock"))) &&
+                "--trace-buffer-events and --trace-clock require --trace-out FILE");
+  obs::Tracer tracer(tracer_options);
+  if (!trace_out.empty()) cfg.tracer = &tracer;
 
   std::vector<trace::ConnRecord> records;
   std::vector<trace::TraceParseDiagnostic> parse_rejects;
@@ -463,10 +510,8 @@ int cmd_contain(const support::CliArgs& args) {
     const std::uint64_t skip = pipeline->records_fed();
     std::printf("resumed from %s at record %llu of %zu\n", resume_path.c_str(),
                 static_cast<unsigned long long>(skip), records.size());
-    std::uint64_t fed = 0;
     for (std::size_t i = skip; i < records.size(); ++i) {
       pipeline->feed(records[i]);
-      if (metrics_every != 0 && ++fed % metrics_every == 0) export_metrics();
     }
     result = pipeline->finish();
   } else {
@@ -474,15 +519,7 @@ int cmd_contain(const support::CliArgs& args) {
     for (const trace::TraceParseDiagnostic& bad : parse_rejects) {
       pipeline.report_malformed(bad.line, bad.error + ": " + bad.text);
     }
-    if (metrics_every != 0) {
-      std::uint64_t fed = 0;
-      for (const trace::ConnRecord& r : records) {
-        pipeline.feed(r);
-        if (++fed % metrics_every == 0) export_metrics();
-      }
-    } else {
-      pipeline.feed(records);
-    }
+    pipeline.feed(records);
     result = pipeline.finish();
   }
   print_contain_report(result, cfg, infected);
@@ -490,6 +527,14 @@ int cmd_contain(const support::CliArgs& args) {
     export_metrics();
     print_metrics_summary(registry.snapshot());
     std::printf("metrics written to %s (%s)\n", metrics_path.c_str(), metrics_format.c_str());
+  }
+  if (!trace_out.empty()) {
+    const obs::TraceCollection collection = tracer.collect();
+    obs::write_trace_file(trace_out, obs::render_chrome_trace(collection));
+    std::printf("trace: %zu event(s) retained (%llu overwritten), %s clock, written to %s\n",
+                collection.events.size(),
+                static_cast<unsigned long long>(collection.dropped),
+                obs::to_string(collection.clock), trace_out.c_str());
   }
 
   if (divergence) {
@@ -504,6 +549,9 @@ int cmd_contain(const support::CliArgs& args) {
     exact_cfg.faults = fleet::FaultPlan{};
     exact_cfg.dead_letter_spill.clear();
     exact_cfg.metrics = nullptr;
+    exact_cfg.metrics_export_path.clear();
+    exact_cfg.metrics_export_every = 0;
+    exact_cfg.tracer = nullptr;
     fleet::PipelineConfig hll_cfg = exact_cfg;
     hll_cfg.backend = fleet::CounterBackend::Hll;
     const auto exact = fleet::ContainmentPipeline::run(exact_cfg, records);
@@ -544,10 +592,23 @@ int cmd_contain(const support::CliArgs& args) {
   return 0;
 }
 
+/// `wormctl trace summarize FILE` — positional form, parsed by hand because
+/// CliArgs models only `command --flag value` shapes.
+int cmd_trace(int argc, char** argv) {
+  if (argc < 4 || std::string(argv[2]) != "summarize") {
+    std::fprintf(stderr, "usage: wormctl trace summarize FILE\n");
+    return 1;
+  }
+  const obs::TraceCollection collection =
+      obs::parse_chrome_trace(obs::read_trace_file(argv[3]));
+  std::fputs(obs::render_trace_summary(obs::summarize_trace(collection)).c_str(), stdout);
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: wormctl <plan|extinction|simulate|multitype|synth|audit|contain> "
-               "[--flag value ...]\n"
+               "usage: wormctl <plan|extinction|simulate|multitype|synth|audit|contain"
+               "|trace> [--flag value ...]\n"
                "see the header of tools/wormctl.cpp or README.md for flags\n");
   return 1;
 }
@@ -556,6 +617,7 @@ int usage() {
 
 int main(int argc, char** argv) {
   try {
+    if (argc >= 2 && std::string(argv[1]) == "trace") return cmd_trace(argc, argv);
     const auto args = support::CliArgs::parse(argc, argv);
     int rc;
     if (args.command() == "plan") {
