@@ -4,12 +4,16 @@
 // fleet streaming-containment pipeline.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/monte_carlo.hpp"
 #include "core/borel_tanner.hpp"
 #include "core/scan_limit_policy.hpp"
+#include "fleet/host_table.hpp"
 #include "fleet/pipeline.hpp"
 #include "fleet/worm_injector.hpp"
 #include "net/address_table.hpp"
@@ -18,7 +22,10 @@
 #include "sim/event_queue.hpp"
 #include "stats/samplers.hpp"
 #include "support/rng.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/record_source.hpp"
 #include "trace/synth.hpp"
+#include "trace/trace_io.hpp"
 #include "worm/hit_level_sim.hpp"
 #include "worm/scan_level_sim.hpp"
 
@@ -230,6 +237,173 @@ BENCHMARK(BM_FleetPipeline)
     ->Args({2, 1, 1})
     ->Args({4, 1, 1})
     ->Args({0, 1, 1})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// ---- Ingest attribution ladder (DESIGN.md §10) -----------------------------
+//
+// Each rung isolates one stage of the record path — parse, shard routing,
+// distinct counting, policy — over the same worm-overlay trace, so when the
+// end-to-end number moves, the ladder names the layer that moved it.
+// BM_ContainFromFile is the headline: the complete file-to-verdicts path,
+// with {format, transport} axes.  EXPERIMENTS.md reports the CSV+MPSC
+// baseline against binary+SPSC from these rows.
+
+const std::vector<trace::ConnRecord>& ingest_records() {
+  static const std::vector<trace::ConnRecord> records = [] {
+    trace::LblSynthConfig cfg;
+    cfg.hosts = 1'645;
+    cfg.duration = 8.0 * sim::kDay;
+    fleet::WormInjectConfig inject;
+    inject.infected_hosts = 10;
+    inject.scan_rate = 6.0;
+    inject.scans_per_host = 10'000;
+    return fleet::inject_worm_scans(trace::synthesize_lbl_trace(cfg).records, inject).records;
+  }();
+  return records;
+}
+
+std::string ingest_file(const char* name, bool binary) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  if (!std::filesystem::exists(path)) {
+    if (binary) {
+      trace::write_wtrace_file(path, ingest_records());
+    } else {
+      trace::write_csv_file(path, ingest_records());
+    }
+  }
+  return path;
+}
+
+const std::string& ingest_csv() {
+  static const std::string path = ingest_file("worms_bench_ingest.csv", false);
+  return path;
+}
+
+const std::string& ingest_wtrace() {
+  static const std::string path = ingest_file("worms_bench_ingest.wtrace", true);
+  return path;
+}
+
+// Rung 1a: CSV text parse (the cost the binary format deletes).
+void BM_IngestParseCsv(benchmark::State& state) {
+  std::vector<trace::ConnRecord> buf(8192);
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    trace::CsvSource source(ingest_csv());
+    while (const std::size_t n = source.next_batch(buf)) total += n;
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ingest_records().size()));
+}
+BENCHMARK(BM_IngestParseCsv)->Unit(benchmark::kMillisecond);
+
+// Rung 1b: binary read, with (arg 1) and without (arg 0) the open-time
+// checksum pass.  The arg-0 row is pure mmap + memcpy.
+void BM_IngestReadBinary(benchmark::State& state) {
+  std::vector<trace::ConnRecord> buf(8192);
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    trace::BinarySource source(ingest_wtrace(), state.range(0) != 0);
+    while (const std::size_t n = source.next_batch(buf)) total += n;
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ingest_records().size()));
+}
+BENCHMARK(BM_IngestReadBinary)->Arg(0)->Arg(1);
+
+// Rung 2: shard routing — the ingest thread's per-record work.
+void BM_IngestShardRoute(benchmark::State& state) {
+  const auto& records = ingest_records();
+  const unsigned shards = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    std::uint64_t spread = 0;
+    for (const trace::ConnRecord& r : records) spread += r.source_host % shards;
+    benchmark::DoNotOptimize(spread);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_IngestShardRoute)->Arg(2)->Arg(4);
+
+// Rung 3: per-host state lookup — the open-addressing HostTable (arg 0, the
+// pipeline's table) against the std::unordered_map it replaced (arg 1).
+void BM_IngestHostTableCount(benchmark::State& state) {
+  const auto& records = ingest_records();
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    if (state.range(0) == 0) {
+      fleet::HostTable<std::uint64_t> table;
+      for (const trace::ConnRecord& r : records) {
+        auto [it, inserted] = table.try_emplace(r.source_host);
+        sum += ++it->second;
+      }
+    } else {
+      std::unordered_map<std::uint32_t, std::uint64_t> table;
+      for (const trace::ConnRecord& r : records) {
+        auto [it, inserted] = table.try_emplace(r.source_host);
+        sum += ++it->second;
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_IngestHostTableCount)->Arg(0)->Arg(1);
+
+// Rung 4: policy — one on_scan per record against the paper's budget check.
+void BM_IngestPolicyOnScan(benchmark::State& state) {
+  const auto& records = ingest_records();
+  for (auto _ : state) {
+    core::ScanCountLimitPolicy policy(
+        {.scan_limit = 5'000, .cycle_length = 30 * sim::kDay, .check_fraction = 0.5});
+    std::uint64_t removed = 0;
+    for (const trace::ConnRecord& r : records) {
+      const core::ScanDecision d = policy.on_scan(r.source_host, r.timestamp, r.destination);
+      removed += d.action == core::ScanAction::Remove ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(removed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_IngestPolicyOnScan);
+
+// End to end: file bytes to verdicts.  Args: {format (0 = CSV, 1 = .wtrace),
+// transport (0 = SPSC ring, 1 = MPSC queue), shards}.  {0,1,s} is the PR 5
+// baseline (text parse + mutex queue), {1,0,s} is the PR 6 path; verdicts
+// are bit-identical across every row with the same shard count.
+void BM_ContainFromFile(benchmark::State& state) {
+  fleet::PipelineOptions cfg;
+  cfg.policy.scan_limit = 5'000;
+  cfg.policy.check_fraction = 0.5;
+  cfg.shards = static_cast<unsigned>(state.range(2));
+  cfg.transport = state.range(1) == 0 ? fleet::Transport::Spsc : fleet::Transport::Mpsc;
+  for (auto _ : state) {
+    fleet::PipelineResult result;
+    if (state.range(0) == 0) {
+      trace::CsvSource source(ingest_csv());
+      result = fleet::ContainmentPipeline::run(cfg, source);
+    } else {
+      trace::BinarySource source(ingest_wtrace());
+      result = fleet::ContainmentPipeline::run(cfg, source);
+    }
+    benchmark::DoNotOptimize(result.verdicts.hosts_removed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ingest_records().size()));
+}
+BENCHMARK(BM_ContainFromFile)
+    ->Args({0, 1, 2})  // CSV + MPSC: the pre-PR-6 ingest path
+    ->Args({0, 0, 2})
+    ->Args({1, 1, 2})
+    ->Args({1, 0, 2})  // binary + SPSC: the PR 6 path
+    ->Args({0, 1, 4})
+    ->Args({1, 0, 4})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -56,6 +56,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,10 @@ class Registry;
 class Tracer;
 class TraceRing;
 }  // namespace worms::obs
+
+namespace worms::trace {
+class RecordSource;
+}  // namespace worms::trace
 
 namespace worms::fleet {
 
@@ -99,7 +104,21 @@ struct OverloadPolicy {
   bool auto_degrade_backend = false;
 };
 
-struct PipelineConfig {
+/// Shard-queue transport.  Spsc is the default: the ingest thread is the
+/// only producer and each shard worker the only consumer, so the lock-free
+/// ring (fleet/spsc_ring.hpp) carries batches without a mutex in sight.
+/// Mpsc selects the classic mutex/condvar BoundedMpscQueue — same contract,
+/// kept for A/B benchmarking and as the conservative fallback.  Verdicts are
+/// bit-identical across transports (both are per-shard FIFO).
+enum class Transport : std::uint8_t { Spsc, Mpsc };
+
+/// All pipeline knobs in one designated-initializer struct (the
+/// MonteCarloOptions idiom): `ContainmentPipeline({.policy = ..., .shards =
+/// 4})`.  `validate()` checks every cross-field precondition and is called
+/// by the pipeline constructor; call it yourself to fail fast at config
+/// parse time.  `PipelineConfig` remains as a deprecated alias (DESIGN.md
+/// §10) — new code should say PipelineOptions.
+struct PipelineOptions {
   /// Budget M, cycle length, and check fraction f.  `counting` is ignored:
   /// the pipeline always counts distinct destinations, via `backend`.
   core::ScanCountLimitPolicy::Config policy;
@@ -108,6 +127,7 @@ struct PipelineConfig {
   unsigned shards = 0;         ///< worker count; 0 = one per hardware thread
   std::size_t batch_size = 1024;     ///< records per queue item
   std::size_t queue_capacity = 64;   ///< batches per shard queue (backpressure)
+  Transport transport = Transport::Spsc;  ///< shard-queue implementation
 
   /// Checkpointing: every `checkpoint_every` fed records, quiesce and write a
   /// snapshot to `checkpoint_path` (0 = only explicit write_checkpoint calls).
@@ -154,7 +174,17 @@ struct PipelineConfig {
   /// kill/respawn, and fault-plan firings.  The tracer must outlive the
   /// pipeline.
   obs::Tracer* tracer = nullptr;
+
+  /// Throws support::PreconditionError on any invalid combination (zero
+  /// batch size or queue capacity, > 1024 shards, inverted overload
+  /// watermarks, a cadence without its target path/registry).  shards == 0
+  /// is valid here (auto-detect); the constructor validates the resolved
+  /// count.
+  void validate() const;
 };
+
+/// Deprecated spelling of PipelineOptions, kept for source compatibility.
+using PipelineConfig = PipelineOptions;
 
 /// One monitored host's outcome.  Times are trace timestamps (sim::SimTime
 /// seconds), not wall clock.
@@ -209,7 +239,7 @@ struct PipelineResult {
 class ContainmentPipeline {
  public:
   /// Spawns the shard workers immediately; feed() may be called right away.
-  explicit ContainmentPipeline(const PipelineConfig& config);
+  explicit ContainmentPipeline(const PipelineOptions& options);
 
   /// Joins the workers (discarding any unprocessed input) if finish() was
   /// never called.
@@ -222,8 +252,19 @@ class ContainmentPipeline {
   /// *per source host* (a globally time-sorted stream qualifies); violating
   /// records are routed to the dead-letter channel, not processed.  Blocks
   /// when a shard queue is full — backpressure, not data loss.
+  ///
+  /// The span overload is the hot path: it validates and routes whole
+  /// blocks, breaking only at checkpoint/metrics cadence boundaries and
+  /// fault-plan corruption indices so its observable behaviour (snapshots,
+  /// exports, dead letters, verdicts) is record-for-record identical to a
+  /// loop of single-record feed() calls.
   void feed(const trace::ConnRecord& record);
+  void feed(std::span<const trace::ConnRecord> records);
   void feed(const std::vector<trace::ConnRecord>& records);
+
+  /// Pulls `source` dry through the span overload, one block at a time.
+  /// The whole trace never needs to be resident.
+  void feed(trace::RecordSource& source);
 
   /// Accounts a record that never became a ConnRecord (e.g. a line the
   /// recovering CSV parser rejected) in the dead-letter channel.
@@ -240,7 +281,7 @@ class ContainmentPipeline {
   /// records_fed(): feeding the record suffix yields verdicts bit-identical
   /// to the uninterrupted run.
   [[nodiscard]] static std::unique_ptr<ContainmentPipeline> restore(
-      const PipelineConfig& config, const std::string& path);
+      const PipelineOptions& options, const std::string& path);
 
   /// Stream position: number of feed() calls so far (snapshot-restored count
   /// included) — the index the next fed record should have.
@@ -253,11 +294,13 @@ class ContainmentPipeline {
   /// cannot be fed afterwards.  Rethrows the first worker error, if any.
   [[nodiscard]] PipelineResult finish();
 
-  [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const PipelineOptions& config() const noexcept { return config_; }
 
   /// One-shot convenience: construct, feed everything, finish.
-  [[nodiscard]] static PipelineResult run(const PipelineConfig& config,
+  [[nodiscard]] static PipelineResult run(const PipelineOptions& options,
                                           const std::vector<trace::ConnRecord>& records);
+  [[nodiscard]] static PipelineResult run(const PipelineOptions& options,
+                                          trace::RecordSource& source);
 
  private:
   struct Shard;
@@ -293,7 +336,7 @@ class ContainmentPipeline {
     std::vector<obs::Gauge*> shard_health;      ///< fleet_shard_health{shard="i"}
   };
 
-  ContainmentPipeline(const PipelineConfig& config, DeferWorkersTag);
+  ContainmentPipeline(const PipelineOptions& options, DeferWorkersTag);
 
   void setup_metrics();
   void flush_ingest_counters();
@@ -311,7 +354,7 @@ class ContainmentPipeline {
   [[nodiscard]] std::string encode_snapshot() const;
   void decode_snapshot(const std::string& payload);
 
-  PipelineConfig config_;
+  PipelineOptions config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<Monitor> monitors_;
   std::vector<std::vector<trace::ConnRecord>> pending_;  ///< per-shard batch buffers

@@ -22,7 +22,7 @@ AddressTable::AddressTable(std::size_t expected_entries) {
 
 bool AddressTable::insert(Ipv4Address address, std::uint32_t id) {
   WORMS_EXPECTS(id != kNotFound);
-  if (size_ + 1 > slots_.size() * 85 / 100) grow();
+  if (size_ + 1 > slots_.size() * 60 / 100) grow();
 
   std::uint32_t addr = address.value();
   std::size_t slot = index_of(addr);
@@ -66,7 +66,13 @@ std::uint32_t AddressTable::find(Ipv4Address address) const noexcept {
 
 void AddressTable::grow() {
   std::vector<Slot> old = std::move(slots_);
-  const std::size_t cap = old.size() * 2;
+  // Growing 8× (not 2×) cuts the total rehash work per inserted key to a
+  // fraction: rehashing — not probing — dominates insert cost for tables
+  // that grow from the 16-slot default, and those sit on the fleet
+  // pipeline's per-record path (one ExactCounter per host).  Paired with
+  // the 60% growth trigger this keeps robin-hood displacement chains short
+  // through a table's whole life at a bounded-slack memory cost.
+  const std::size_t cap = old.size() * 8;
   slots_.assign(cap, Slot{});
   shift_ = 64 - static_cast<unsigned>(std::countr_zero(cap));
   size_ = 0;

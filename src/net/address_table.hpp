@@ -18,7 +18,8 @@ class AddressTable {
  public:
   static constexpr std::uint32_t kNotFound = ~std::uint32_t{0};
 
-  /// `expected_entries` sizes the table once; inserts beyond ~85% load grow it.
+  /// `expected_entries` sizes the table once; inserts beyond 60% load grow it
+  /// (8× per step — rehash amortization dominates insert cost, see grow()).
   explicit AddressTable(std::size_t expected_entries = 16);
 
   /// Inserts addr → id.  Returns false (and leaves the table unchanged) if

@@ -1,0 +1,247 @@
+#include "trace/binary_io.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <type_traits>
+
+#include "support/check.hpp"
+
+namespace worms::trace {
+
+namespace {
+
+// The memcpy fast path relies on ConnRecord's memory image matching the wire
+// image on little-endian IEEE hosts: 16 bytes, no padding, f64 + u32 + u32.
+static_assert(sizeof(ConnRecord) == kWtraceRecordBytes);
+static_assert(std::is_trivially_copyable_v<ConnRecord>);
+static_assert(sizeof(double) == 8);
+static_assert(std::numeric_limits<double>::is_iec559, "wtrace requires IEEE-754 doubles");
+
+constexpr bool kLittleEndian = std::endian::native == std::endian::little;
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ull;
+
+void put_le16(char* out, std::uint16_t v) noexcept {
+  out[0] = static_cast<char>(v & 0xFF);
+  out[1] = static_cast<char>((v >> 8) & 0xFF);
+}
+
+void put_le32(char* out, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+void put_le64(char* out, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+[[nodiscard]] std::uint16_t get_le16(const char* in) noexcept {
+  const auto* p = reinterpret_cast<const unsigned char*>(in);
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+[[nodiscard]] std::uint32_t get_le32(const char* in) noexcept {
+  const auto* p = reinterpret_cast<const unsigned char*>(in);
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+[[nodiscard]] std::uint64_t get_le64(const char* in) noexcept {
+  std::uint64_t v = 0;
+  const auto* p = reinterpret_cast<const unsigned char*>(in);
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void encode_header(char out[kWtraceHeaderBytes], std::uint64_t count,
+                   std::uint64_t checksum) noexcept {
+  put_le32(out + 0, kWtraceMagic);
+  put_le16(out + 4, kWtraceVersion);
+  put_le16(out + 6, static_cast<std::uint16_t>(kWtraceRecordBytes));
+  put_le64(out + 8, count);
+  put_le64(out + 16, checksum);
+  put_le64(out + 24, 0);  // reserved
+}
+
+}  // namespace
+
+std::uint64_t wtrace_checksum(const void* data, std::size_t size) noexcept {
+  const char* p = static_cast<const char*>(data);
+  std::uint64_t h = kFnvOffset ^ (static_cast<std::uint64_t>(size) * kFnvPrime);
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    h = (h ^ get_le64(p + i)) * kFnvPrime;
+  }
+  if (i < size) {
+    char tail[8] = {};
+    std::memcpy(tail, p + i, size - i);
+    h = (h ^ get_le64(tail)) * kFnvPrime;
+  }
+  // splitmix64 finalizer: diffuse the high bits FNV leaves weak.
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  return h ^ (h >> 31);
+}
+
+void encode_wtrace_record(const ConnRecord& record, char out[kWtraceRecordBytes]) noexcept {
+  if constexpr (kLittleEndian) {
+    std::memcpy(out, &record, kWtraceRecordBytes);
+  } else {
+    std::uint64_t ts_bits = 0;
+    std::memcpy(&ts_bits, &record.timestamp, 8);
+    put_le64(out + 0, ts_bits);
+    put_le32(out + 8, record.source_host);
+    put_le32(out + 12, record.destination.value());
+  }
+}
+
+ConnRecord decode_wtrace_record(const char* in) noexcept {
+  ConnRecord rec;
+  if constexpr (kLittleEndian) {
+    std::memcpy(&rec, in, kWtraceRecordBytes);
+  } else {
+    const std::uint64_t ts_bits = get_le64(in + 0);
+    std::memcpy(&rec.timestamp, &ts_bits, 8);
+    rec.source_host = get_le32(in + 8);
+    rec.destination = net::Ipv4Address(get_le32(in + 12));
+  }
+  return rec;
+}
+
+void write_wtrace(std::ostream& out, std::span<const ConnRecord> records) {
+  // Checksum first (one pass over the in-memory records), then stream out in
+  // large blocks so multi-million-record converts stay I/O bound.
+  std::uint64_t checksum = 0;
+  if constexpr (kLittleEndian) {
+    checksum = wtrace_checksum(records.data(), records.size() * kWtraceRecordBytes);
+  } else {
+    std::uint64_t h = kFnvOffset ^ (static_cast<std::uint64_t>(records.size() *
+                                                               kWtraceRecordBytes) *
+                                    kFnvPrime);
+    for (const ConnRecord& r : records) {
+      char wire[kWtraceRecordBytes];
+      encode_wtrace_record(r, wire);
+      h = (h ^ get_le64(wire + 0)) * kFnvPrime;
+      h = (h ^ get_le64(wire + 8)) * kFnvPrime;
+    }
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    checksum = h ^ (h >> 31);
+  }
+
+  char header[kWtraceHeaderBytes];
+  encode_header(header, records.size(), checksum);
+  out.write(header, kWtraceHeaderBytes);
+  if constexpr (kLittleEndian) {
+    constexpr std::size_t kBlockRecords = 1u << 16;
+    for (std::size_t i = 0; i < records.size(); i += kBlockRecords) {
+      const std::size_t n = std::min(kBlockRecords, records.size() - i);
+      out.write(reinterpret_cast<const char*>(records.data() + i),
+                static_cast<std::streamsize>(n * kWtraceRecordBytes));
+    }
+  } else {
+    for (const ConnRecord& r : records) {
+      char wire[kWtraceRecordBytes];
+      encode_wtrace_record(r, wire);
+      out.write(wire, kWtraceRecordBytes);
+    }
+  }
+  WORMS_ENSURES(out.good());
+}
+
+void write_wtrace_file(const std::string& path, std::span<const ConnRecord> records) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  WORMS_EXPECTS(out.good());
+  write_wtrace(out, records);
+  out.close();
+  WORMS_ENSURES(out.good());
+}
+
+WtraceHeader parse_wtrace_header(std::string_view bytes) {
+  if (bytes.size() < kWtraceHeaderBytes) {
+    throw support::PreconditionError("wtrace header truncated: file shorter than " +
+                                     std::to_string(kWtraceHeaderBytes) + " bytes");
+  }
+  if (get_le32(bytes.data()) != kWtraceMagic) {
+    throw support::PreconditionError("not a .wtrace file (bad magic)");
+  }
+  const std::uint16_t version = get_le16(bytes.data() + 4);
+  if (version != kWtraceVersion) {
+    throw support::PreconditionError("unsupported .wtrace version " + std::to_string(version) +
+                                     " (this build reads version " +
+                                     std::to_string(kWtraceVersion) + ")");
+  }
+  const std::uint16_t record_size = get_le16(bytes.data() + 6);
+  if (record_size != kWtraceRecordBytes) {
+    throw support::PreconditionError(".wtrace record size " + std::to_string(record_size) +
+                                     " differs from expected " +
+                                     std::to_string(kWtraceRecordBytes));
+  }
+  if (get_le64(bytes.data() + 24) != 0) {
+    throw support::PreconditionError(".wtrace reserved header field is nonzero");
+  }
+  WtraceHeader header;
+  header.record_count = get_le64(bytes.data() + 8);
+  header.checksum = get_le64(bytes.data() + 16);
+  return header;
+}
+
+std::vector<ConnRecord> read_wtrace(std::istream& in) {
+  char raw_header[kWtraceHeaderBytes];
+  in.read(raw_header, kWtraceHeaderBytes);
+  if (in.gcount() != static_cast<std::streamsize>(kWtraceHeaderBytes)) {
+    throw support::PreconditionError("wtrace header truncated: file shorter than " +
+                                     std::to_string(kWtraceHeaderBytes) + " bytes");
+  }
+  const WtraceHeader header =
+      parse_wtrace_header(std::string_view(raw_header, kWtraceHeaderBytes));
+
+  std::string payload(header.record_count * kWtraceRecordBytes, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (static_cast<std::size_t>(in.gcount()) != payload.size()) {
+    throw support::PreconditionError(
+        "wtrace payload truncated: header promises " + std::to_string(header.record_count) +
+        " records but the file ends early");
+  }
+  if (in.peek() != std::char_traits<char>::eof()) {
+    throw support::PreconditionError("trailing bytes after the last wtrace record");
+  }
+  if (wtrace_checksum(payload.data(), payload.size()) != header.checksum) {
+    throw support::PreconditionError("wtrace checksum mismatch: the payload is corrupt");
+  }
+
+  std::vector<ConnRecord> records(header.record_count);
+  if constexpr (kLittleEndian) {
+    std::memcpy(records.data(), payload.data(), payload.size());
+  } else {
+    for (std::uint64_t i = 0; i < header.record_count; ++i) {
+      records[i] = decode_wtrace_record(payload.data() + i * kWtraceRecordBytes);
+    }
+  }
+  return records;
+}
+
+std::vector<ConnRecord> read_wtrace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  WORMS_EXPECTS(in.good());
+  return read_wtrace(in);
+}
+
+bool wtrace_magic_matches(std::string_view prefix) noexcept {
+  return prefix.size() >= 4 && get_le32(prefix.data()) == kWtraceMagic;
+}
+
+bool looks_like_wtrace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  char magic[4];
+  in.read(magic, 4);
+  return in.gcount() == 4 && wtrace_magic_matches(std::string_view(magic, 4));
+}
+
+}  // namespace worms::trace

@@ -1,0 +1,82 @@
+// `.wtrace` — the fixed-width binary connection-trace format (DESIGN.md §10).
+//
+// CSV is the interchange format; this is the hot path.  A trace the fleet
+// pipeline must chew at worm speed (100 M+ records/s) cannot afford text
+// parsing per record, so `wormctl trace convert` turns a CSV trace into a
+// mmap-able binary file once, and every later run consumes it in blocks.
+//
+// Layout (all fields little-endian regardless of host byte order):
+//
+//   offset  size  field
+//        0     4  magic 'WTR1' (0x31525457 when read as a LE u32)
+//        4     2  format version (currently 1)
+//        6     2  record size in bytes (currently 16; readers reject others)
+//        8     8  record count
+//       16     8  payload checksum (wtrace_checksum over the record bytes)
+//       24     8  reserved, must be zero
+//       32   16n  records
+//
+// Each record is 16 bytes: IEEE-754 f64 timestamp, u32 source host, u32
+// destination address.  On little-endian hosts with IEEE doubles (every
+// platform we build on) a record's wire image is exactly ConnRecord's memory
+// image, so readers and writers move whole blocks with memcpy; a big-endian
+// host falls back to per-field byte shuffling and produces byte-identical
+// files — the golden-fixture test pins this.
+//
+// The checksum is FNV-1a-64 folded over 8-byte little-endian words with the
+// payload length mixed into the seed: one multiply per 8 bytes instead of
+// per byte, so validating a multi-GiB trace costs one streaming pass.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace worms::trace {
+
+inline constexpr std::uint32_t kWtraceMagic = 0x31525457u;  // "WTR1"
+inline constexpr std::uint16_t kWtraceVersion = 1;
+inline constexpr std::size_t kWtraceHeaderBytes = 32;
+inline constexpr std::size_t kWtraceRecordBytes = 16;
+
+/// Parsed and validated `.wtrace` header.
+struct WtraceHeader {
+  std::uint64_t record_count = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// FNV-1a-64 over 8-byte little-endian words, length-seeded.  `size` need not
+/// be a multiple of 8 (the tail is zero-padded into one final word).
+[[nodiscard]] std::uint64_t wtrace_checksum(const void* data, std::size_t size) noexcept;
+
+/// Serializes one record into its 16-byte wire image / back.  Byte-identical
+/// output on every host (the explicit little-endian encode is the guard).
+void encode_wtrace_record(const ConnRecord& record, char out[kWtraceRecordBytes]) noexcept;
+[[nodiscard]] ConnRecord decode_wtrace_record(const char* in) noexcept;
+
+/// Writes header + records.  The stream must be opened in binary mode.
+void write_wtrace(std::ostream& out, std::span<const ConnRecord> records);
+void write_wtrace_file(const std::string& path, std::span<const ConnRecord> records);
+
+/// Parses a header blob (>= kWtraceHeaderBytes bytes).  Throws
+/// support::PreconditionError on bad magic/version/record size/reserved field.
+[[nodiscard]] WtraceHeader parse_wtrace_header(std::string_view bytes);
+
+/// Reads a whole trace, validating the header and checksum; throws
+/// support::PreconditionError on truncation, count mismatch, or corruption.
+[[nodiscard]] std::vector<ConnRecord> read_wtrace(std::istream& in);
+[[nodiscard]] std::vector<ConnRecord> read_wtrace_file(const std::string& path);
+
+/// True when `prefix` (>= 4 bytes of a file) starts with the wtrace magic.
+[[nodiscard]] bool wtrace_magic_matches(std::string_view prefix) noexcept;
+
+/// Magic sniff on a file: true when it exists and starts with 'WTR1'.
+/// The cheap "is this binary?" test wormctl runs before choosing a parser.
+[[nodiscard]] bool looks_like_wtrace_file(const std::string& path);
+
+}  // namespace worms::trace

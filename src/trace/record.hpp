@@ -17,4 +17,17 @@ struct ConnRecord {
   friend bool operator==(const ConnRecord&, const ConnRecord&) = default;
 };
 
+/// Strict total order for replay streams: (timestamp, source_host,
+/// destination).  Being *total* — not merely by-time — makes the sorted
+/// stream canonical: sorting is idempotent even under std::sort's
+/// instability, so CSV ↔ .wtrace conversion is a fixed point and golden
+/// binary fixtures are byte-stable.  Reordering tied records cannot change
+/// containment verdicts: tied records share the flag/removal timestamp and
+/// distinct-destination counting has set semantics.
+[[nodiscard]] constexpr bool stream_order(const ConnRecord& a, const ConnRecord& b) noexcept {
+  if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+  if (a.source_host != b.source_host) return a.source_host < b.source_host;
+  return a.destination.value() < b.destination.value();
+}
+
 }  // namespace worms::trace

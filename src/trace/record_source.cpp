@@ -1,0 +1,218 @@
+#include "trace/record_source.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "trace/binary_io.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WORMS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define WORMS_HAVE_MMAP 0
+#endif
+
+namespace worms::trace {
+
+std::uint64_t RecordSource::skip(std::uint64_t n) {
+  // Generic drain: pull and discard.  Seekable sources override.
+  ConnRecord scratch[256];
+  std::uint64_t skipped = 0;
+  while (skipped < n) {
+    const std::size_t want =
+        static_cast<std::size_t>(std::min<std::uint64_t>(n - skipped, std::size(scratch)));
+    const std::size_t got = next_batch(std::span<ConnRecord>(scratch, want));
+    if (got == 0) break;
+    skipped += got;
+  }
+  return skipped;
+}
+
+std::vector<ConnRecord> drain(RecordSource& source) {
+  std::vector<ConnRecord> records;
+  if (const auto hint = source.size_hint()) records.reserve(*hint);
+  ConnRecord batch[4096];
+  while (true) {
+    const std::size_t got = source.next_batch(batch);
+    if (got == 0) break;
+    records.insert(records.end(), batch, batch + got);
+  }
+  return records;
+}
+
+// ---------------------------------------------------------------- VectorSource
+
+std::size_t VectorSource::next_batch(std::span<ConnRecord> out) {
+  const std::size_t n = std::min(out.size(), records_.size() - cursor_);
+  std::copy_n(records_.begin() + static_cast<std::ptrdiff_t>(cursor_), n, out.begin());
+  cursor_ += n;
+  return n;
+}
+
+std::uint64_t VectorSource::skip(std::uint64_t n) {
+  const std::uint64_t remaining = records_.size() - cursor_;
+  const std::uint64_t skipped = std::min(n, remaining);
+  cursor_ += static_cast<std::size_t>(skipped);
+  return skipped;
+}
+
+// ------------------------------------------------------------------- CsvSource
+
+struct CsvSource::Impl {
+  std::ifstream in;
+  std::string line;
+  bool exhausted = false;
+};
+
+CsvSource::CsvSource(const std::string& path, Mode mode)
+    : impl_(std::make_unique<Impl>()), mode_(mode) {
+  impl_->in.open(path);
+  WORMS_EXPECTS(impl_->in.good());
+  // Header validation up front — read_csv's contract, including the "this is
+  // a .wtrace file" sniff inside the shared header check.
+  WORMS_EXPECTS(static_cast<bool>(std::getline(impl_->in, impl_->line)) &&
+                "missing trace header");
+  if (wtrace_magic_matches(impl_->line)) {
+    throw support::PreconditionError(
+        "input is a binary .wtrace trace, not CSV; pass it directly (wormctl "
+        "auto-detects the format) or run `wormctl trace convert` first");
+  }
+  WORMS_EXPECTS(impl_->line == csv_trace_header());
+  lines_scanned_ = 1;
+}
+
+CsvSource::~CsvSource() = default;
+
+std::size_t CsvSource::next_batch(std::span<ConnRecord> out) {
+  if (impl_->exhausted) return 0;
+  std::size_t produced = 0;
+  while (produced < out.size()) {
+    if (!std::getline(impl_->in, impl_->line)) {
+      impl_->exhausted = true;
+      break;
+    }
+    ++lines_scanned_;
+    if (impl_->line.empty()) continue;
+    ConnRecord rec;
+    if (const char* error = parse_csv_record_line(impl_->line, rec)) {
+      if (mode_ == Mode::Strict) {
+        throw support::PreconditionError("malformed trace line " +
+                                         std::to_string(lines_scanned_) + ": " + error);
+      }
+      diagnostics_.push_back({lines_scanned_, impl_->line, error});
+      continue;
+    }
+    out[produced++] = rec;
+  }
+  return produced;
+}
+
+// ---------------------------------------------------------------- BinarySource
+
+BinarySource::BinarySource(const std::string& path, bool verify_checksum) {
+#if WORMS_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && st.st_size >= 0) {
+      const auto len = static_cast<std::size_t>(st.st_size);
+      if (len >= kWtraceHeaderBytes) {
+        void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (base != MAP_FAILED) {
+          ::close(fd);
+          map_base_ = base;
+          map_len_ = len;
+          mapped_ = true;
+#if defined(POSIX_MADV_SEQUENTIAL)
+          ::posix_madvise(base, len, POSIX_MADV_SEQUENTIAL);
+#endif
+        } else {
+          ::close(fd);
+        }
+      } else {
+        ::close(fd);
+        throw support::PreconditionError("wtrace header truncated: file shorter than " +
+                                         std::to_string(kWtraceHeaderBytes) + " bytes");
+      }
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  if (!mapped_) {
+    // Fallback: slurp the file.  Correctness path only (non-POSIX hosts or
+    // an mmap failure); everything below is identical either way.
+    std::ifstream in(path, std::ios::binary);
+    WORMS_EXPECTS(in.good());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    fallback_ = std::move(buf).str();
+  }
+
+  const char* base = mapped_ ? static_cast<const char*>(map_base_) : fallback_.data();
+  const std::size_t len = mapped_ ? map_len_ : fallback_.size();
+  const WtraceHeader header = parse_wtrace_header(std::string_view(base, len));
+  const std::size_t payload_bytes = static_cast<std::size_t>(header.record_count) *
+                                    kWtraceRecordBytes;
+  if (len < kWtraceHeaderBytes + payload_bytes) {
+    throw support::PreconditionError(
+        "wtrace payload truncated: header promises " + std::to_string(header.record_count) +
+        " records but the file ends early");
+  }
+  if (len > kWtraceHeaderBytes + payload_bytes) {
+    throw support::PreconditionError("trailing bytes after the last wtrace record");
+  }
+  payload_ = base + kWtraceHeaderBytes;
+  count_ = header.record_count;
+  if (verify_checksum &&
+      wtrace_checksum(payload_, payload_bytes) != header.checksum) {
+    throw support::PreconditionError("wtrace checksum mismatch: the payload is corrupt");
+  }
+}
+
+BinarySource::~BinarySource() {
+#if WORMS_HAVE_MMAP
+  if (mapped_) ::munmap(map_base_, map_len_);
+#endif
+}
+
+std::size_t BinarySource::next_batch(std::span<ConnRecord> out) {
+  const std::size_t n =
+      static_cast<std::size_t>(std::min<std::uint64_t>(out.size(), count_ - cursor_));
+  const char* src = payload_ + cursor_ * kWtraceRecordBytes;
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out.data(), src, n * kWtraceRecordBytes);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = decode_wtrace_record(src + i * kWtraceRecordBytes);
+    }
+  }
+  cursor_ += n;
+  return n;
+}
+
+std::uint64_t BinarySource::skip(std::uint64_t n) {
+  const std::uint64_t skipped = std::min(n, count_ - cursor_);
+  cursor_ += skipped;
+  return skipped;
+}
+
+// ----------------------------------------------------------------- SynthSource
+
+SynthSource::SynthSource(const LblSynthConfig& config)
+    : trace_(synthesize_lbl_trace(config)), inner_(trace_.records) {}
+
+std::size_t SynthSource::next_batch(std::span<ConnRecord> out) {
+  return inner_.next_batch(out);
+}
+
+std::uint64_t SynthSource::skip(std::uint64_t n) { return inner_.skip(n); }
+
+}  // namespace worms::trace

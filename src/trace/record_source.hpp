@@ -1,0 +1,152 @@
+// Streaming record sources — the pull API the fleet pipeline ingests from.
+//
+// PR 6 (DESIGN.md §10): the pipeline used to take a materialized
+// `std::vector<ConnRecord>`, which forces the whole trace into memory and
+// welds the caller to one storage format.  `RecordSource` inverts that: the
+// pipeline pulls blocks (`next_batch`) from an abstract source, and the
+// format — CSV text, packed `.wtrace` binary, in-memory vector, synthetic
+// generator — is the source's concern.  Batches keep the virtual-dispatch
+// cost at one call per few thousand records instead of one per record.
+//
+// Sources are single-pass forward iterators over a trace: `next_batch` fills
+// a caller-owned span and returns how many records it produced; 0 means
+// end-of-trace (and every later call must also return 0).  `skip(n)` advances
+// without materializing — BinarySource does it in O(1) pointer arithmetic,
+// which is what makes checkpoint/resume over a multi-GiB trace cheap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "trace/synth.hpp"
+#include "trace/trace_io.hpp"
+
+namespace worms::trace {
+
+/// Pull-based stream of ConnRecords.  Single pass, not thread-safe.
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+
+  /// Fills `out` from the front and returns the number of records written
+  /// (<= out.size()).  Returns 0 exactly when the trace is exhausted.
+  [[nodiscard]] virtual std::size_t next_batch(std::span<ConnRecord> out) = 0;
+
+  /// Advances past `n` records (or to the end, whichever is first) and
+  /// returns how many were skipped.  Default implementation drains through
+  /// next_batch; seekable sources override with O(1) arithmetic.
+  virtual std::uint64_t skip(std::uint64_t n);
+
+  /// Total records in the trace when knowable up front (binary header,
+  /// in-memory vector); nullopt for text streams.
+  [[nodiscard]] virtual std::optional<std::uint64_t> size_hint() const { return std::nullopt; }
+};
+
+/// Drains `source` into a vector.  Convenience for tools and tests.
+[[nodiscard]] std::vector<ConnRecord> drain(RecordSource& source);
+
+/// A source over records the caller already holds.  Does not copy: the
+/// vector (or the memory behind the span) must outlive the source.
+class VectorSource final : public RecordSource {
+ public:
+  explicit VectorSource(std::span<const ConnRecord> records) : records_(records) {}
+
+  [[nodiscard]] std::size_t next_batch(std::span<ConnRecord> out) override;
+  std::uint64_t skip(std::uint64_t n) override;
+  [[nodiscard]] std::optional<std::uint64_t> size_hint() const override {
+    return records_.size();
+  }
+
+ private:
+  std::span<const ConnRecord> records_;
+  std::size_t cursor_ = 0;
+};
+
+/// Streaming CSV reader sharing read_csv's field grammar.  In strict mode a
+/// malformed line throws support::PreconditionError from next_batch; in
+/// recovering mode it is recorded in diagnostics() and skipped — the same
+/// split as read_csv vs read_csv_recovering, line-accurate either way.
+class CsvSource final : public RecordSource {
+ public:
+  enum class Mode { Strict, Recovering };
+
+  /// Opens `path` and validates the header eagerly, so a bad file fails at
+  /// construction (with the .wtrace-sniff error if it is a binary trace),
+  /// not on the first pull.
+  explicit CsvSource(const std::string& path, Mode mode = Mode::Strict);
+  ~CsvSource() override;
+
+  [[nodiscard]] std::size_t next_batch(std::span<ConnRecord> out) override;
+
+  /// Recovering mode only: every rejected line so far, in file order.
+  [[nodiscard]] const std::vector<TraceParseDiagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  [[nodiscard]] std::uint64_t lines_scanned() const { return lines_scanned_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  Mode mode_;
+  std::vector<TraceParseDiagnostic> diagnostics_;
+  std::uint64_t lines_scanned_ = 0;
+};
+
+/// Zero-copy `.wtrace` reader.  Maps the file (POSIX mmap, with a buffered
+/// read fallback), validates the header eagerly, and serves batches by
+/// memcpy from the mapping.  skip() is pointer arithmetic.
+class BinarySource final : public RecordSource {
+ public:
+  /// `verify_checksum` costs one streaming pass over the payload at open;
+  /// the hot path (repeated benchmark runs over a validated file) turns it
+  /// off, operational ingest leaves it on.
+  explicit BinarySource(const std::string& path, bool verify_checksum = true);
+  ~BinarySource() override;
+
+  BinarySource(const BinarySource&) = delete;
+  BinarySource& operator=(const BinarySource&) = delete;
+
+  [[nodiscard]] std::size_t next_batch(std::span<ConnRecord> out) override;
+  std::uint64_t skip(std::uint64_t n) override;
+  [[nodiscard]] std::optional<std::uint64_t> size_hint() const override { return count_; }
+
+  /// True when the file is served from an mmap rather than a heap copy.
+  [[nodiscard]] bool is_mapped() const { return mapped_; }
+
+ private:
+  const char* payload_ = nullptr;  ///< first record byte
+  std::uint64_t count_ = 0;        ///< total records
+  std::uint64_t cursor_ = 0;       ///< next record index
+  bool mapped_ = false;
+  void* map_base_ = nullptr;       ///< mmap base (page-aligned), if mapped
+  std::size_t map_len_ = 0;
+  std::string fallback_;           ///< file bytes when mmap is unavailable
+};
+
+/// Synthetic LBL-style trace as a source.  Generation is deterministic in
+/// config.seed and happens once at construction (the generator is
+/// whole-trace by design); the source then streams the records.
+class SynthSource final : public RecordSource {
+ public:
+  explicit SynthSource(const LblSynthConfig& config);
+
+  [[nodiscard]] std::size_t next_batch(std::span<ConnRecord> out) override;
+  std::uint64_t skip(std::uint64_t n) override;
+  [[nodiscard]] std::optional<std::uint64_t> size_hint() const override {
+    return trace_.records.size();
+  }
+
+  /// The underlying generated trace (exact per-host distinct counts etc.).
+  [[nodiscard]] const SynthTrace& trace() const { return trace_; }
+
+ private:
+  SynthTrace trace_;
+  VectorSource inner_;
+};
+
+}  // namespace worms::trace

@@ -107,8 +107,7 @@ SynthTrace synthesize_lbl_trace(const LblSynthConfig& config) {
     }
   }
 
-  std::sort(out.records.begin(), out.records.end(),
-            [](const ConnRecord& a, const ConnRecord& b) { return a.timestamp < b.timestamp; });
+  std::sort(out.records.begin(), out.records.end(), stream_order);
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "support/check.hpp"
+#include "trace/binary_io.hpp"
 
 namespace worms::trace {
 
@@ -13,10 +14,25 @@ namespace {
 
 constexpr const char* kHeader = "timestamp,source_host,destination";
 
-/// Parses one record line into `rec`.  Returns nullptr on success, otherwise
-/// a static message naming the field that failed — shared by the strict and
-/// recovering parsers so the two modes cannot drift on what counts as valid.
-[[nodiscard]] const char* parse_record_line(const std::string& line, ConnRecord& rec) {
+void require_header(std::istream& in, std::string& line) {
+  // A trace file without the header line is not a trace file — an empty
+  // stream fails here rather than silently parsing as "no records".
+  WORMS_EXPECTS(static_cast<bool>(std::getline(in, line)) && "missing trace header");
+  if (wtrace_magic_matches(line)) {
+    // Binary bytes read as a "header line" means someone pointed the CSV
+    // parser at a .wtrace file; fail with the fix, not a parse cascade.
+    throw support::PreconditionError(
+        "input is a binary .wtrace trace, not CSV; pass it directly (wormctl "
+        "auto-detects the format) or run `wormctl trace convert` first");
+  }
+  WORMS_EXPECTS(line == kHeader);
+}
+
+}  // namespace
+
+const char* csv_trace_header() noexcept { return kHeader; }
+
+const char* parse_csv_record_line(const std::string& line, ConnRecord& rec) {
   const std::size_t c1 = line.find(',');
   const std::size_t c2 = line.find(',', c1 == std::string::npos ? 0 : c1 + 1);
   if (c1 == std::string::npos || c2 == std::string::npos) {
@@ -42,15 +58,6 @@ constexpr const char* kHeader = "timestamp,source_host,destination";
   return nullptr;
 }
 
-void require_header(std::istream& in, std::string& line) {
-  // A trace file without the header line is not a trace file — an empty
-  // stream fails here rather than silently parsing as "no records".
-  WORMS_EXPECTS(static_cast<bool>(std::getline(in, line)) && "missing trace header");
-  WORMS_EXPECTS(line == kHeader);
-}
-
-}  // namespace
-
 void write_csv(std::ostream& out, const std::vector<ConnRecord>& records) {
   out << kHeader << '\n';
   for (const ConnRecord& r : records) {
@@ -72,7 +79,7 @@ std::vector<ConnRecord> read_csv(std::istream& in) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     ConnRecord rec;
-    const char* error = parse_record_line(line, rec);
+    const char* error = parse_csv_record_line(line, rec);
     WORMS_EXPECTS(error == nullptr && "malformed trace line");
     records.push_back(rec);
   }
@@ -94,7 +101,7 @@ RecoveredTrace read_csv_recovering(std::istream& in) {
     ++out.lines_scanned;
     if (line.empty()) continue;
     ConnRecord rec;
-    if (const char* error = parse_record_line(line, rec)) {
+    if (const char* error = parse_csv_record_line(line, rec)) {
       out.bad_lines.push_back({out.lines_scanned, line, error});
     } else {
       out.records.push_back(rec);

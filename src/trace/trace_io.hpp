@@ -48,4 +48,14 @@ struct RecoveredTrace {
 [[nodiscard]] RecoveredTrace read_csv_recovering(std::istream& in);
 [[nodiscard]] RecoveredTrace read_csv_recovering_file(const std::string& path);
 
+/// The trace CSV header line (no trailing newline).
+[[nodiscard]] const char* csv_trace_header() noexcept;
+
+/// Parses one `timestamp,source_host,destination` line into `rec`.  Returns
+/// nullptr on success, otherwise a static message naming the field that
+/// failed.  The single field grammar shared by read_csv, read_csv_recovering,
+/// and the streaming CsvSource, so the three cannot drift on what counts as
+/// valid.
+[[nodiscard]] const char* parse_csv_record_line(const std::string& line, ConnRecord& rec);
+
 }  // namespace worms::trace

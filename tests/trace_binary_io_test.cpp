@@ -1,0 +1,205 @@
+// `.wtrace` binary codec: wire-image layout pins, write/read roundtrip and
+// byte-stability properties, and the negative-space ladder (truncation, bad
+// magic/version/record size, checksum corruption, trailing bytes).
+#include "trace/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+#include "trace/synth.hpp"
+#include "trace/trace_io.hpp"
+
+namespace worms::trace {
+namespace {
+
+std::vector<ConnRecord> sample_records() {
+  LblSynthConfig cfg;
+  cfg.hosts = 60;
+  cfg.duration = 2.0 * sim::kDay;
+  return synthesize_lbl_trace(cfg).records;
+}
+
+std::string encode(const std::vector<ConnRecord>& records) {
+  std::ostringstream out(std::ios::binary);
+  write_wtrace(out, records);
+  return out.str();
+}
+
+std::vector<ConnRecord> decode(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return read_wtrace(in);
+}
+
+TEST(WtraceCodec, RecordWireImageRoundtrips) {
+  for (const ConnRecord& r : sample_records()) {
+    char wire[kWtraceRecordBytes];
+    encode_wtrace_record(r, wire);
+    EXPECT_EQ(decode_wtrace_record(wire), r);
+  }
+  // Edge values survive too.
+  for (const ConnRecord r : {ConnRecord{0.0, 0, net::Ipv4Address(0)},
+                             ConnRecord{-1.5, 0xFFFFFFFFu, net::Ipv4Address(0xFFFFFFFFu)},
+                             ConnRecord{1e300, 7, net::Ipv4Address(1)}}) {
+    char wire[kWtraceRecordBytes];
+    encode_wtrace_record(r, wire);
+    EXPECT_EQ(decode_wtrace_record(wire), r);
+  }
+}
+
+TEST(WtraceCodec, HeaderLayoutIsPinned) {
+  const std::vector<ConnRecord> records{{1.0, 2, net::Ipv4Address(3)}};
+  const std::string bytes = encode(records);
+  ASSERT_EQ(bytes.size(), kWtraceHeaderBytes + kWtraceRecordBytes);
+  // Magic is literally "WTR1" on disk (LE u32 0x31525457).
+  EXPECT_EQ(bytes.substr(0, 4), "WTR1");
+  EXPECT_EQ(static_cast<unsigned char>(bytes[4]), kWtraceVersion);  // version LE u16
+  EXPECT_EQ(static_cast<unsigned char>(bytes[5]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[6]), kWtraceRecordBytes);  // record size
+  EXPECT_EQ(static_cast<unsigned char>(bytes[7]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[8]), 1);  // record count LE u64
+  for (int i = 9; i < 16; ++i) EXPECT_EQ(bytes[i], '\0') << "count byte " << i;
+  for (int i = 24; i < 32; ++i) EXPECT_EQ(bytes[i], '\0') << "reserved byte " << i;
+}
+
+TEST(WtraceCodec, WriteReadRoundtripsAndIsByteStable) {
+  const auto records = sample_records();
+  const std::string once = encode(records);
+  EXPECT_EQ(once, encode(records)) << "same records must encode to identical bytes";
+  EXPECT_EQ(decode(once), records);
+
+  const WtraceHeader header = parse_wtrace_header(once);
+  EXPECT_EQ(header.record_count, records.size());
+  EXPECT_EQ(header.checksum,
+            wtrace_checksum(once.data() + kWtraceHeaderBytes,
+                            once.size() - kWtraceHeaderBytes));
+}
+
+TEST(WtraceCodec, EmptyTraceRoundtrips) {
+  const std::string bytes = encode({});
+  EXPECT_EQ(bytes.size(), kWtraceHeaderBytes);
+  EXPECT_TRUE(decode(bytes).empty());
+}
+
+TEST(WtraceCodec, CsvToBinaryToCsvPreservesRecords) {
+  // The conversion property wormctl trace convert relies on: records that
+  // came through the CSV grammar survive the binary hop exactly.
+  const auto records = sample_records();
+  std::stringstream csv;
+  write_csv(csv, records);
+  const auto parsed = read_csv(csv);
+  EXPECT_EQ(decode(encode(parsed)), parsed);
+}
+
+TEST(WtraceCodec, ChecksumLengthSeededAndSensitive) {
+  const char a[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const char b[8] = {1, 2, 3, 4, 5, 6, 7, 9};
+  EXPECT_NE(wtrace_checksum(a, 8), wtrace_checksum(b, 8));
+  EXPECT_NE(wtrace_checksum(a, 8), wtrace_checksum(a, 7))
+      << "length is mixed into the seed, so a prefix must not collide";
+  EXPECT_EQ(wtrace_checksum(a, 7), wtrace_checksum(b, 7))
+      << "bytes past `size` must not affect the sum";
+}
+
+TEST(WtraceCodec, RejectsTruncatedHeader) {
+  const std::string bytes = encode(sample_records());
+  EXPECT_THROW((void)parse_wtrace_header(std::string_view(bytes).substr(0, 16)),
+               support::PreconditionError);
+  std::istringstream in(bytes.substr(0, kWtraceHeaderBytes - 1), std::ios::binary);
+  EXPECT_THROW((void)read_wtrace(in), support::PreconditionError);
+}
+
+TEST(WtraceCodec, RejectsBadMagic) {
+  std::string bytes = encode(sample_records());
+  bytes[0] = 'X';
+  try {
+    (void)decode(bytes);
+    FAIL() << "bad magic must be rejected";
+  } catch (const support::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos) << e.what();
+  }
+}
+
+TEST(WtraceCodec, RejectsUnsupportedVersion) {
+  std::string bytes = encode(sample_records());
+  bytes[4] = 2;
+  EXPECT_THROW((void)decode(bytes), support::PreconditionError);
+}
+
+TEST(WtraceCodec, RejectsForeignRecordSize) {
+  std::string bytes = encode(sample_records());
+  bytes[6] = 24;
+  EXPECT_THROW((void)decode(bytes), support::PreconditionError);
+}
+
+TEST(WtraceCodec, RejectsNonzeroReservedField) {
+  std::string bytes = encode(sample_records());
+  bytes[24] = 1;
+  EXPECT_THROW((void)decode(bytes), support::PreconditionError);
+}
+
+TEST(WtraceCodec, RejectsTruncatedPayload) {
+  const std::string bytes = encode(sample_records());
+  std::istringstream in(bytes.substr(0, bytes.size() - 1), std::ios::binary);
+  try {
+    (void)read_wtrace(in);
+    FAIL() << "truncated payload must be rejected";
+  } catch (const support::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos) << e.what();
+  }
+}
+
+TEST(WtraceCodec, RejectsTrailingBytes) {
+  std::string bytes = encode(sample_records());
+  bytes.push_back('\0');
+  EXPECT_THROW((void)decode(bytes), support::PreconditionError);
+}
+
+TEST(WtraceCodec, ChecksumDetectsSingleBitFlip) {
+  std::string bytes = encode(sample_records());
+  // Flip one payload bit well past the header.
+  bytes[kWtraceHeaderBytes + 40] ^= 0x10;
+  try {
+    (void)decode(bytes);
+    FAIL() << "payload corruption must be rejected";
+  } catch (const support::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos) << e.what();
+  }
+}
+
+TEST(WtraceCodec, MagicSniffersAgree) {
+  const std::string bytes = encode(sample_records());
+  EXPECT_TRUE(wtrace_magic_matches(bytes));
+  EXPECT_FALSE(wtrace_magic_matches("timestamp,source_host,destination"));
+  EXPECT_FALSE(wtrace_magic_matches("WT"));  // too short
+
+  const std::string dir = ::testing::TempDir();
+  const std::string bin_path = dir + "/sniff.wtrace";
+  const std::string csv_path = dir + "/sniff.csv";
+  write_wtrace_file(bin_path, sample_records());
+  write_csv_file(csv_path, sample_records());
+  EXPECT_TRUE(looks_like_wtrace_file(bin_path));
+  EXPECT_FALSE(looks_like_wtrace_file(csv_path));
+  EXPECT_FALSE(looks_like_wtrace_file(dir + "/does-not-exist.wtrace"));
+  EXPECT_EQ(read_wtrace_file(bin_path), sample_records());
+  std::remove(bin_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+TEST(WtraceCodec, CsvReaderRefusesBinaryWithActionableError) {
+  std::stringstream in(encode(sample_records()), std::ios::in | std::ios::binary);
+  try {
+    (void)read_csv(in);
+    FAIL() << "read_csv must sniff the wtrace magic";
+  } catch (const support::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("trace convert"), std::string::npos) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace worms::trace

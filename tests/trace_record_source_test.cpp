@@ -1,0 +1,203 @@
+// RecordSource implementations: each source must stream exactly the records
+// its materializing counterpart returns (CsvSource ≡ read_csv, BinarySource ≡
+// read_wtrace, SynthSource ≡ synthesize_lbl_trace), plus skip/size_hint
+// semantics and eager open-time validation.
+#include "trace/record_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/synth.hpp"
+#include "trace/trace_io.hpp"
+
+namespace worms::trace {
+namespace {
+
+std::vector<ConnRecord> sample_records() {
+  LblSynthConfig cfg;
+  cfg.hosts = 60;
+  cfg.duration = 2.0 * sim::kDay;
+  return synthesize_lbl_trace(cfg).records;
+}
+
+/// Temp-file fixture: writes on construction, unlinks on destruction.
+struct TempFile {
+  explicit TempFile(const std::string& name) : path(::testing::TempDir() + "/" + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+/// Drains through next_batch with a deliberately awkward batch size so the
+/// partial-final-batch path is exercised.
+std::vector<ConnRecord> drain_in_batches(RecordSource& source, std::size_t batch) {
+  std::vector<ConnRecord> out;
+  std::vector<ConnRecord> buf(batch);
+  while (const std::size_t n = source.next_batch(buf)) {
+    out.insert(out.end(), buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  EXPECT_EQ(source.next_batch(buf), 0u) << "exhausted source must stay exhausted";
+  return out;
+}
+
+TEST(RecordSource, VectorSourceStreamsInOrder) {
+  const auto records = sample_records();
+  VectorSource source(records);
+  ASSERT_TRUE(source.size_hint().has_value());
+  EXPECT_EQ(*source.size_hint(), records.size());
+  EXPECT_EQ(drain_in_batches(source, 97), records);
+}
+
+TEST(RecordSource, VectorSourceSkipIsExact) {
+  const auto records = sample_records();
+  VectorSource source(records);
+  EXPECT_EQ(source.skip(10), 10u);
+  std::vector<ConnRecord> rest = drain(source);
+  const std::vector<ConnRecord> expected(records.begin() + 10, records.end());
+  EXPECT_EQ(rest, expected);
+  // Skipping past the end reports what was actually left.
+  VectorSource short_source(records);
+  EXPECT_EQ(short_source.skip(records.size() + 5), records.size());
+  EXPECT_TRUE(drain(short_source).empty());
+}
+
+TEST(RecordSource, SynthSourceMatchesGenerator) {
+  LblSynthConfig cfg;
+  cfg.hosts = 50;
+  cfg.duration = 1.0 * sim::kDay;
+  SynthSource source(cfg);
+  const auto expected = synthesize_lbl_trace(cfg);
+  EXPECT_EQ(source.trace().records, expected.records);
+  EXPECT_EQ(drain_in_batches(source, 64), expected.records);
+}
+
+TEST(RecordSource, CsvSourceMatchesReadCsv) {
+  const auto records = sample_records();
+  TempFile f("source.csv");
+  write_csv_file(f.path, records);
+  CsvSource source(f.path);
+  EXPECT_EQ(source.size_hint(), std::nullopt) << "text streams cannot know their length";
+  EXPECT_EQ(drain_in_batches(source, 113), read_csv_file(f.path));
+}
+
+TEST(RecordSource, CsvSourceStrictThrowsOnMalformedLineWithLineNumber) {
+  TempFile f("bad.csv");
+  {
+    std::ofstream out(f.path);
+    out << csv_trace_header() << "\n1.5,3,10.0.0.1\nnot-a-time,4,10.0.0.2\n";
+  }
+  CsvSource source(f.path);
+  std::vector<ConnRecord> buf(16);
+  try {
+    while (source.next_batch(buf) != 0) {
+    }
+    FAIL() << "strict mode must throw on the malformed line";
+  } catch (const support::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(RecordSource, CsvSourceRecoveringMatchesReadCsvRecovering) {
+  TempFile f("mixed.csv");
+  {
+    std::ofstream out(f.path);
+    out << csv_trace_header() << "\n1.5,3,10.0.0.1\ngarbage\n2.5,4,10.0.0.2\n9.9,5\n";
+  }
+  const RecoveredTrace expected = read_csv_recovering_file(f.path);
+  CsvSource source(f.path, CsvSource::Mode::Recovering);
+  EXPECT_EQ(drain_in_batches(source, 2), expected.records);
+  EXPECT_EQ(source.diagnostics(), expected.bad_lines);
+  EXPECT_EQ(source.lines_scanned(), expected.lines_scanned);
+}
+
+TEST(RecordSource, CsvSourceValidatesEagerly) {
+  TempFile missing("no-such.csv");
+  EXPECT_THROW(CsvSource src(missing.path), support::PreconditionError);
+
+  TempFile wrong("wrong-header.csv");
+  {
+    std::ofstream out(wrong.path);
+    out << "a,b,c\n";
+  }
+  EXPECT_THROW(CsvSource src(wrong.path), support::PreconditionError);
+
+  // A binary trace handed to the CSV parser gets the sniff error at open.
+  TempFile bin("binary.wtrace");
+  write_wtrace_file(bin.path, sample_records());
+  try {
+    CsvSource src(bin.path);
+    FAIL() << "CsvSource must sniff the wtrace magic";
+  } catch (const support::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find(".wtrace"), std::string::npos) << e.what();
+  }
+}
+
+TEST(RecordSource, BinarySourceMatchesReadWtrace) {
+  const auto records = sample_records();
+  TempFile f("source.wtrace");
+  write_wtrace_file(f.path, records);
+  BinarySource source(f.path);
+  ASSERT_TRUE(source.size_hint().has_value());
+  EXPECT_EQ(*source.size_hint(), records.size());
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(source.is_mapped());
+#endif
+  EXPECT_EQ(drain_in_batches(source, 101), records);
+}
+
+TEST(RecordSource, BinarySourceSkipIsExact) {
+  const auto records = sample_records();
+  TempFile f("skip.wtrace");
+  write_wtrace_file(f.path, records);
+  BinarySource source(f.path);
+  EXPECT_EQ(source.skip(1000), 1000u);
+  const std::vector<ConnRecord> expected(records.begin() + 1000, records.end());
+  EXPECT_EQ(drain(source), expected);
+  EXPECT_EQ(source.skip(1), 0u) << "skip at end-of-trace has nothing to skip";
+}
+
+TEST(RecordSource, BinarySourceValidatesEagerly) {
+  TempFile missing("no-such.wtrace");
+  EXPECT_THROW(BinarySource src(missing.path), support::PreconditionError);
+
+  // Corrupt one payload byte: default open verifies and rejects, the
+  // verify_checksum=false fast path serves the (corrupt) bytes.
+  const auto records = sample_records();
+  TempFile f("corrupt.wtrace");
+  write_wtrace_file(f.path, records);
+  {
+    std::fstream io(f.path, std::ios::in | std::ios::out | std::ios::binary);
+    io.seekp(static_cast<std::streamoff>(kWtraceHeaderBytes + 8));
+    io.put('\x7F');
+  }
+  EXPECT_THROW(BinarySource strict(f.path), support::PreconditionError);
+  BinarySource lax(f.path, /*verify_checksum=*/false);
+  EXPECT_EQ(drain(lax).size(), records.size());
+
+  // Truncation is caught even without checksum verification.
+  TempFile t("trunc.wtrace");
+  {
+    std::ostringstream buf(std::ios::binary);
+    write_wtrace(buf, records);
+    std::ofstream out(t.path, std::ios::binary);
+    const std::string bytes = buf.str();
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 7));
+  }
+  EXPECT_THROW(BinarySource src(t.path, /*verify_checksum=*/false),
+               support::PreconditionError);
+}
+
+TEST(RecordSource, DrainMatchesBatchedReads) {
+  const auto records = sample_records();
+  VectorSource a(records);
+  VectorSource b(records);
+  EXPECT_EQ(drain(a), drain_in_batches(b, 33));
+}
+
+}  // namespace
+}  // namespace worms::trace

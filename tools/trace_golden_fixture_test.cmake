@@ -1,0 +1,43 @@
+# Byte-stability of the .wtrace format against the committed golden pair
+# (tools/golden/trace_fixture.{csv,wtrace}).  The two files are mutual fixed
+# points of `wormctl trace convert`: converting either must reproduce the
+# other byte for byte, on every platform — the explicit little-endian codec
+# is what makes this hold on big-endian hosts too.  Any codec change that
+# alters the wire image (field order, widths, checksum, header) fails here
+# and forces a format-version bump.
+
+set(golden_csv ${SRCDIR}/golden/trace_fixture.csv)
+set(golden_bin ${SRCDIR}/golden/trace_fixture.wtrace)
+
+function(run)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_VARIABLE text
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGN}\n${text}\n${err}")
+  endif()
+endfunction()
+
+function(expect_same a b label)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${b}
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "${label}: ${a} and ${b} differ")
+  endif()
+endfunction()
+
+run(${WORMCTL} trace convert ${golden_csv} ${WORKDIR}/golden_out.wtrace)
+expect_same(${golden_bin} ${WORKDIR}/golden_out.wtrace
+            "CSV -> .wtrace no longer matches the committed golden binary")
+
+run(${WORMCTL} trace convert ${golden_bin} ${WORKDIR}/golden_out.csv)
+expect_same(${golden_csv} ${WORKDIR}/golden_out.csv
+            ".wtrace -> CSV no longer matches the committed golden CSV")
+
+# The golden binary must also replay through containment: a format change
+# that kept the bytes but broke the reader shows up here.
+run(${WORMCTL} contain --trace ${golden_bin} --budget 3 --cycle-days 30
+    --verdicts-out ${WORKDIR}/golden_verdicts_bin.csv)
+run(${WORMCTL} contain --trace ${golden_csv} --budget 3 --cycle-days 30
+    --verdicts-out ${WORKDIR}/golden_verdicts_csv.csv)
+expect_same(${WORKDIR}/golden_verdicts_bin.csv ${WORKDIR}/golden_verdicts_csv.csv
+            "golden fixture verdicts differ between CSV and binary input")

@@ -14,21 +14,31 @@
 //   multitype  preference-scanning (two-type) criticality and safe budget
 //              [--local-density 5e-3] [--global-density 2e-5]
 //              [--local-share 0.8] [--budget M*]
-//   synth      generate an LBL-CONN-7-style clean trace as CSV
+//   synth      generate an LBL-CONN-7-style clean trace (CSV, or packed
+//              .wtrace binary when --out ends in .wtrace)
 //              --out FILE [--hosts 1645] [--days 30] [--seed ...]
 //   audit      replay a trace CSV through the containment policy
 //              --trace FILE --budget M [--cycle-days 30] [--check-fraction 1.0]
 //   contain    stream a trace through the fleet containment pipeline
 //              (--trace FILE | --synth) --budget M [--cycle-days 30]
 //              [--check-fraction 1.0] [--shards 0] [--counter exact|hll]
-//              [--hll-precision 12] [--inject-worm RATE,SCANS,I0] [--seed 1]
+//              [--hll-precision 12] [--transport spsc|mpsc]
+//              [--inject-worm RATE,SCANS,I0] [--seed 1]
 //              [--divergence] [--hosts 1645] [--days 30]
 //              [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
 //              [--fault-plan SPEC] [--dead-letter PATH]
+//              [--verdicts-out FILE]
 //              [--metrics FILE] [--metrics-every N]
 //              [--metrics-format prometheus|json]
 //              [--trace-out FILE] [--trace-buffer-events N]
 //              [--trace-clock wall|synthetic]
+//              (--trace FILE accepts CSV or .wtrace — the format is sniffed
+//              from the file's magic, and a binary trace streams zero-copy
+//              from an mmap; --transport selects the shard-queue
+//              implementation (lock-free SPSC ring by default, the classic
+//              mutex MPSC queue for A/B runs) — verdicts are bit-identical
+//              either way; --verdicts-out writes the per-host verdict table
+//              as deterministic CSV)
 //              (--shards 0 = one worker per hardware thread; --inject-worm
 //              overlays I0 infected hosts scanning at RATE scans/s for up to
 //              SCANS scans each; --divergence runs exact AND hll and reports
@@ -55,6 +65,9 @@
 //              byte-reproducible traces)
 //   trace      summarize FILE — per-span count/total/p50/p99 plus instant and
 //              counter tables from a trace written by contain --trace-out
+//              convert IN OUT — CSV ↔ .wtrace binary (direction sniffed from
+//              IN's magic; CSV→binary applies contain's time sort so the
+//              packed stream replays bit-identically)
 //
 // Every command prints a human-readable table; exit code 0 on success, 1 on
 // usage errors (with a message on stderr).
@@ -63,6 +76,7 @@
 #include <cmath>
 #include <cstdio>
 #include <exception>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -80,6 +94,8 @@
 #include "support/check.hpp"
 #include "support/cli.hpp"
 #include "trace/analyzer.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/record_source.hpp"
 #include "trace/synth.hpp"
 #include "trace/trace_io.hpp"
 #include "worm/hit_level_sim.hpp"
@@ -227,9 +243,17 @@ int cmd_synth(const support::CliArgs& args) {
   WORMS_EXPECTS(!out.empty() && "synth requires --out FILE");
 
   const auto synth = trace::synthesize_lbl_trace(cfg);
-  trace::write_csv_file(out, synth.records);
-  std::printf("wrote %zu records for %u hosts to %s\n", synth.records.size(), cfg.hosts,
-              out.c_str());
+  // A .wtrace extension selects the packed binary format (identical records,
+  // ~4x smaller than CSV and mmap-able by contain's hot path).
+  const bool binary_out =
+      out.size() >= 7 && out.compare(out.size() - 7, 7, ".wtrace") == 0;
+  if (binary_out) {
+    trace::write_wtrace_file(out, synth.records);
+  } else {
+    trace::write_csv_file(out, synth.records);
+  }
+  std::printf("wrote %zu records for %u hosts to %s%s\n", synth.records.size(), cfg.hosts,
+              out.c_str(), binary_out ? " (wtrace)" : "");
   return 0;
 }
 
@@ -387,6 +411,23 @@ void print_metrics_summary(const obs::MetricsSnapshot& snap) {
   h.print();
 }
 
+/// Deterministic verdict export: one CSV row per host, ascending host id,
+/// times printed with %.17g so equal doubles render identically — two runs
+/// produce byte-identical files exactly when their verdicts are bit-identical
+/// (the cross-format/cross-shard determinism tests compare these).
+void write_verdicts_csv(const std::string& path, const fleet::ContainmentVerdicts& v) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  WORMS_EXPECTS(f != nullptr && "cannot open --verdicts-out file");
+  std::fprintf(f, "host,records_seen,peak_distinct,flagged,flag_time,removed,removal_time\n");
+  for (const fleet::HostVerdict& h : v.hosts) {
+    std::fprintf(f, "%u,%llu,%llu,%d,%.17g,%d,%.17g\n", h.host,
+                 static_cast<unsigned long long>(h.records_seen),
+                 static_cast<unsigned long long>(h.peak_distinct), h.flagged ? 1 : 0,
+                 h.flag_time, h.removed ? 1 : 0, h.removal_time);
+  }
+  WORMS_ENSURES(std::fclose(f) == 0);
+}
+
 int cmd_contain(const support::CliArgs& args) {
   const std::string path = args.get_string("trace", "");
   const bool synth = args.get_bool("synth", false);
@@ -404,6 +445,14 @@ int cmd_contain(const support::CliArgs& args) {
   const std::string counter = args.get_string("counter", "exact");
   WORMS_EXPECTS((counter == "exact" || counter == "hll") && "--counter must be exact or hll");
   cfg.backend = counter == "hll" ? fleet::CounterBackend::Hll : fleet::CounterBackend::Exact;
+  const std::string transport = args.get_string("transport", "spsc");
+  WORMS_EXPECTS((transport == "spsc" || transport == "mpsc") &&
+                "--transport must be spsc or mpsc");
+  cfg.transport =
+      transport == "mpsc" ? fleet::Transport::Mpsc : fleet::Transport::Spsc;
+  const std::string verdicts_out = args.get_string("verdicts-out", "");
+  WORMS_EXPECTS(!(args.has("verdicts-out") && verdicts_out == "true") &&
+                "--verdicts-out requires a file path");
   const bool divergence = args.get_bool("divergence", false);
   const std::uint64_t seed = args.get_u64("seed", 1);
 
@@ -463,6 +512,15 @@ int cmd_contain(const support::CliArgs& args) {
   obs::Tracer tracer(tracer_options);
   if (!trace_out.empty()) cfg.tracer = &tracer;
 
+  // Input format by magic sniff, not extension: a .wtrace file streams
+  // zero-copy from the mmap (the conversion already fixed the time-sorted
+  // order, so the stream is bit-identical to the CSV path's); anything else
+  // parses as CSV — and read_csv* itself rejects binary bytes with an
+  // actionable error, so a mislabeled file cannot feed the recovering
+  // parser garbage.  Materialize only when a later stage rewrites the
+  // stream (worm injection) or replays it (divergence).
+  const bool binary_input = !synth && trace::looks_like_wtrace_file(path);
+  const bool stream_binary = binary_input && !args.has("inject-worm") && !divergence;
   std::vector<trace::ConnRecord> records;
   std::vector<trace::TraceParseDiagnostic> parse_rejects;
   if (synth) {
@@ -471,6 +529,8 @@ int cmd_contain(const support::CliArgs& args) {
     synth_cfg.duration = args.get_double("days", 30.0) * sim::kDay;
     synth_cfg.seed = args.get_u64("synth-seed", synth_cfg.seed);
     records = trace::synthesize_lbl_trace(synth_cfg).records;
+  } else if (binary_input) {
+    if (!stream_binary) records = trace::read_wtrace_file(path);
   } else {
     if (dead_letter_path.empty()) {
       records = trace::read_csv_file(path);
@@ -485,10 +545,7 @@ int cmd_contain(const support::CliArgs& args) {
                     static_cast<unsigned long long>(recovered.lines_scanned));
       }
     }
-    std::sort(records.begin(), records.end(),
-              [](const trace::ConnRecord& a, const trace::ConnRecord& b) {
-                return a.timestamp < b.timestamp;
-              });
+    std::sort(records.begin(), records.end(), trace::stream_order);
   }
 
   std::vector<std::uint32_t> infected;
@@ -506,12 +563,24 @@ int cmd_contain(const support::CliArgs& args) {
     // Resume from a snapshot: restore state, skip the already-processed
     // prefix, replay the suffix.  The trace (and any injection) must match
     // the run that wrote the snapshot for the resumed verdicts to line up.
+    // A binary input seeks past the prefix in O(1); CSV replays a subspan of
+    // the materialized records.
     auto pipeline = fleet::ContainmentPipeline::restore(cfg, resume_path);
     const std::uint64_t skip = pipeline->records_fed();
-    std::printf("resumed from %s at record %llu of %zu\n", resume_path.c_str(),
-                static_cast<unsigned long long>(skip), records.size());
-    for (std::size_t i = skip; i < records.size(); ++i) {
-      pipeline->feed(records[i]);
+    if (stream_binary) {
+      trace::BinarySource source(path);
+      std::printf("resumed from %s at record %llu of %llu\n", resume_path.c_str(),
+                  static_cast<unsigned long long>(skip),
+                  static_cast<unsigned long long>(source.size_hint().value_or(0)));
+      source.skip(skip);
+      pipeline->feed(source);
+    } else {
+      std::printf("resumed from %s at record %llu of %zu\n", resume_path.c_str(),
+                  static_cast<unsigned long long>(skip), records.size());
+      if (skip < records.size()) {
+        pipeline->feed(std::span<const trace::ConnRecord>(records).subspan(
+            static_cast<std::size_t>(skip)));
+      }
     }
     result = pipeline->finish();
   } else {
@@ -519,10 +588,22 @@ int cmd_contain(const support::CliArgs& args) {
     for (const trace::TraceParseDiagnostic& bad : parse_rejects) {
       pipeline.report_malformed(bad.line, bad.error + ": " + bad.text);
     }
-    pipeline.feed(records);
+    if (stream_binary) {
+      trace::BinarySource source(path);
+      std::printf("binary trace: %llu records streamed via %s\n",
+                  static_cast<unsigned long long>(source.size_hint().value_or(0)),
+                  source.is_mapped() ? "mmap" : "buffered read");
+      pipeline.feed(source);
+    } else {
+      pipeline.feed(records);
+    }
     result = pipeline.finish();
   }
   print_contain_report(result, cfg, infected);
+  if (!verdicts_out.empty()) {
+    write_verdicts_csv(verdicts_out, result.verdicts);
+    std::printf("verdicts written to %s\n", verdicts_out.c_str());
+  }
   if (!metrics_path.empty()) {
     export_metrics();
     print_metrics_summary(registry.snapshot());
@@ -592,17 +673,42 @@ int cmd_contain(const support::CliArgs& args) {
   return 0;
 }
 
-/// `wormctl trace summarize FILE` — positional form, parsed by hand because
-/// CliArgs models only `command --flag value` shapes.
+/// `wormctl trace summarize FILE` / `wormctl trace convert IN OUT` —
+/// positional forms, parsed by hand because CliArgs models only
+/// `command --flag value` shapes.
 int cmd_trace(int argc, char** argv) {
-  if (argc < 4 || std::string(argv[2]) != "summarize") {
-    std::fprintf(stderr, "usage: wormctl trace summarize FILE\n");
-    return 1;
+  const std::string sub = argc >= 3 ? argv[2] : "";
+  if (sub == "summarize" && argc == 4) {
+    const obs::TraceCollection collection =
+        obs::parse_chrome_trace(obs::read_trace_file(argv[3]));
+    std::fputs(obs::render_trace_summary(obs::summarize_trace(collection)).c_str(), stdout);
+    return 0;
   }
-  const obs::TraceCollection collection =
-      obs::parse_chrome_trace(obs::read_trace_file(argv[3]));
-  std::fputs(obs::render_trace_summary(obs::summarize_trace(collection)).c_str(), stdout);
-  return 0;
+  if (sub == "convert" && argc == 5) {
+    // Direction by magic sniff: a .wtrace input converts to CSV, anything
+    // else is parsed as CSV and packed to .wtrace.
+    const std::string in = argv[3];
+    const std::string out = argv[4];
+    if (trace::looks_like_wtrace_file(in)) {
+      const auto records = trace::read_wtrace_file(in);
+      trace::write_csv_file(out, records);
+      std::printf("converted %zu records: %s (wtrace) -> %s (csv)\n", records.size(),
+                  in.c_str(), out.c_str());
+    } else {
+      auto records = trace::read_csv_file(in);
+      // Same time sort `contain` applies to a CSV input, so the packed file
+      // replays the exact stream the CSV path would have fed — the bit-for-
+      // bit verdict equivalence across formats depends on this.
+      std::sort(records.begin(), records.end(), trace::stream_order);
+      trace::write_wtrace_file(out, records);
+      std::printf("converted %zu records: %s (csv) -> %s (wtrace)\n", records.size(),
+                  in.c_str(), out.c_str());
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "usage: wormctl trace summarize FILE\n"
+                       "       wormctl trace convert IN OUT\n");
+  return 1;
 }
 
 int usage() {
