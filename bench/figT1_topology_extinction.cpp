@@ -1,0 +1,149 @@
+// Figure T1: extinction probability versus per-edge transmission probability
+// on graph topologies, validated against the spectral epidemic threshold.
+//
+// For the percolation-style cascade (run_graph_outbreak) the outbreak dies
+// out a.s. when phi * rho(A) <= 1, where rho(A) is the adjacency spectral
+// radius (Draief–Ganesh–Massoulié).  We sweep phi = c / rho_hat over a
+// multiplier grid c and locate the empirical extinction knee — the smallest
+// c whose survival frequency clears 5%.  The spectral bound is one-sided:
+// no survival may appear below c = 1, and on ER/WS (delocalized principal
+// eigenvector) the knee sits just above it.  On BA the eigenvector
+// localizes on the hubs, so rho(A) is conservative; where SIR survival
+// actually begins is the Molloy–Reed bond-percolation threshold
+// phi_MR = <k> / (<k^2> - <k>), which the figure prints alongside.
+//
+// The complete-graph column is the paper's own threshold (Proposition 1,
+// M <= 1/p): on K_V a budget-M uniform scanner has per-target infection
+// probability p = V / 2^32, so generation sizes are the Galton–Watson
+// process fig03 evaluates analytically.  This column calls the identical
+// functions with identical arguments, so its numbers are bit-identical to
+// fig03's — the graph subsystem degenerates to the paper exactly.
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "analysis/monte_carlo.hpp"
+#include "analysis/spectral.hpp"
+#include "analysis/table.hpp"
+#include "core/galton_watson.hpp"
+#include "net/graph/generators.hpp"
+#include "worm/graph_epidemic.hpp"
+
+int main() {
+  using namespace worms;
+
+  constexpr std::uint32_t kNodes = 100'000;
+  constexpr double kAvgDegree = 8.0;
+  constexpr std::uint64_t kRuns = 200;
+  constexpr std::uint64_t kEscapeCap = 2'000;  // hard stop for runaway cascades
+  // A run "survived" if it reached the cap OR left a cluster this large:
+  // just above threshold the supercritical cluster is small (especially on
+  // BA, where it hugs the hubs), so cap-hit alone undercounts survival.
+  constexpr std::uint64_t kSurvivalSize = 500;
+  constexpr std::uint64_t kGraphSeed = 0x7017'0001;
+  constexpr std::uint64_t kMcSeed = 0x7017'1001;
+  const std::vector<double> multipliers = {0.25, 0.50, 0.75, 0.90, 1.00,
+                                           1.10, 1.25, 1.50, 2.00, 3.00};
+
+  std::vector<std::pair<const char*, net::GraphTopology>> columns;
+  columns.emplace_back("ER", net::make_erdos_renyi(kNodes, kAvgDegree, kGraphSeed));
+  columns.emplace_back("BA", net::make_barabasi_albert(
+                                 kNodes, static_cast<std::uint32_t>(kAvgDegree / 2),
+                                 kGraphSeed + 1));
+  columns.emplace_back("WS", net::make_watts_strogatz(
+                                 kNodes, static_cast<std::uint32_t>(kAvgDegree), 0.1,
+                                 kGraphSeed + 2));
+
+  std::printf("== Fig. T1: extinction probability vs phi, knee located against rho(A) ==\n");
+  std::printf("n = %u, mean degree ~%.0f, %llu runs per point, escape cap %llu\n\n", kNodes,
+              kAvgDegree, static_cast<unsigned long long>(kRuns),
+              static_cast<unsigned long long>(kEscapeCap));
+
+  std::vector<double> rho;
+  std::vector<double> molloy_reed_c;  // phi_MR expressed in c units (phi_MR * rho)
+  for (const auto& [name, graph] : columns) {
+    const analysis::SpectralEstimate est = analysis::estimate_spectral_radius(graph);
+    rho.push_back(est.value);
+    double sum_k = 0.0;
+    double sum_k2 = 0.0;
+    for (net::NodeId v = 0; v < graph.node_count(); ++v) {
+      const double d = graph.degree(v);
+      sum_k += d;
+      sum_k2 += d * d;
+    }
+    const double phi_mr = sum_k / (sum_k2 - sum_k);
+    molloy_reed_c.push_back(phi_mr * est.value);
+    std::printf("%s: %u nodes, %llu edges, max degree %u, rho(A) ~= %.4f (%s, %u iters)\n"
+                "    spectral extinction bound phi <= %.6f; Molloy-Reed percolation "
+                "threshold phi_MR = %.6f (c = %.2f)\n",
+                name, graph.node_count(), static_cast<unsigned long long>(graph.edge_count() / 2),
+                graph.max_degree(), est.value, est.converged ? "converged" : "NOT converged",
+                est.iterations, 1.0 / est.value, phi_mr, phi_mr * est.value);
+  }
+  std::printf("\n");
+
+  analysis::Table t({"c = phi*rho", "ER P_ext", "BA P_ext", "WS P_ext"});
+  std::vector<std::vector<double>> extinction(columns.size());
+  for (const double c : multipliers) {
+    std::vector<std::string> row = {analysis::Table::fmt(c, 2)};
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      const double phi = std::min(1.0, c / rho[i]);
+      const net::GraphTopology& graph = columns[i].second;
+      analysis::MonteCarloOptions options;
+      options.runs = kRuns;
+      options.base_seed = kMcSeed + i;
+      options.threads = 0;  // auto; bit-identical for any thread count
+      const auto outcome = analysis::run_monte_carlo(options, [&](std::uint64_t seed,
+                                                                  std::uint64_t) {
+        worm::GraphOutbreakConfig cfg;
+        cfg.transmit_probability = phi;
+        cfg.initial_infected = 1;
+        cfg.stop_at_total_infected = kEscapeCap;
+        const worm::OutbreakResult r = worm::run_graph_outbreak(graph, cfg, seed);
+        const bool survived = r.hit_infection_cap || r.total_infected >= kSurvivalSize;
+        return survived ? std::uint64_t{0} : std::uint64_t{1};
+      });
+      extinction[i].push_back(outcome.summary.mean());
+      row.push_back(analysis::Table::fmt(outcome.summary.mean(), 3));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+
+  std::printf("\nempirical knee (smallest c with survival >= 5%%):\n");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    double knee = 0.0;
+    for (std::size_t j = 0; j < multipliers.size(); ++j) {
+      if (extinction[i][j] <= 0.95) {
+        knee = multipliers[j];
+        break;
+      }
+    }
+    // The validation is two-sided: the rigorous spectral bound must hold (no
+    // survival below c = 1) and the knee must track where percolation theory
+    // puts the onset (within 2x of max(1, c_MR) on this coarse grid).
+    const double onset = std::max(1.0, molloy_reed_c[i]);
+    const bool tracks = knee >= 0.99 && knee <= 2.0 * onset;
+    std::printf("  %s: knee at c = %.2f (phi = %.6f); theory onset c = %.2f; "
+                "tracks within tolerance: %s\n",
+                columns[i].first, knee, knee / rho[i], onset, tracks ? "yes" : "NO");
+  }
+
+  // Complete-graph column: the paper's own numbers, reproduced bit-identically
+  // by calling exactly what fig03 calls.
+  const double p = 360'000.0 / 4294967296.0;
+  std::printf("\ncomplete graph K_V (V = 360000 vulnerable in 2^32): the spectral threshold\n"
+              "phi*rho = (M/2^32)*(V-1) ~= M*p degenerates to Proposition 1, M <= 1/p = %llu.\n",
+              static_cast<unsigned long long>(core::extinction_scan_threshold(p)));
+  for (const std::uint64_t m : {std::uint64_t{5'000}, std::uint64_t{7'500}, std::uint64_t{10'000}}) {
+    const auto curve = core::extinction_probability_by_generation(
+        core::OffspringDistribution::binomial(m, p), 1, 20);
+    std::printf("  M=%llu: P_20 = %.4f, ultimate pi = %.6f (bit-identical to fig03)\n",
+                static_cast<unsigned long long>(m), curve[20],
+                core::ultimate_extinction_probability(
+                    core::OffspringDistribution::binomial(m, p)));
+  }
+  std::printf("\nshape check: P_ext ~ 1 for c < 1, drops past the knee just above c = 1; the\n"
+              "knee sits at the same c for all topologies once phi is scaled by 1/rho(A).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure T2: distribution of the total number of infections across graph
+// topologies at one shared per-edge transmission probability phi.
+//
+// Scaling phi by 1/rho(A) (fig. T1) collapses the topologies onto one knee;
+// holding phi FIXED instead exposes the topology: at the same mean degree,
+// Barabási–Albert's hubs push rho(A) ~ sqrt(d_max) far above Erdős–Rényi's
+// rho ~ <d>, so a phi that is subcritical for ER/WS can already be
+// supercritical for BA.  The figure tabulates the empirical distribution of
+// total infections (Monte Carlo over seeds with the parallel engine) and the
+// tail mass at several thresholds — the graph analogue of the paper's
+// fig. 4/5 total-infection distributions.
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "analysis/monte_carlo.hpp"
+#include "analysis/spectral.hpp"
+#include "analysis/table.hpp"
+#include "net/graph/generators.hpp"
+#include "worm/graph_epidemic.hpp"
+
+int main() {
+  using namespace worms;
+
+  constexpr std::uint32_t kNodes = 50'000;
+  constexpr double kAvgDegree = 8.0;
+  constexpr std::uint64_t kRuns = 400;
+  constexpr std::uint64_t kEscapeCap = 5'000;
+  constexpr std::uint64_t kGraphSeed = 0x7017'0002;
+  constexpr std::uint64_t kMcSeed = 0x7017'2001;
+
+  std::vector<std::pair<const char*, net::GraphTopology>> columns;
+  columns.emplace_back("ER", net::make_erdos_renyi(kNodes, kAvgDegree, kGraphSeed));
+  columns.emplace_back("BA", net::make_barabasi_albert(
+                                 kNodes, static_cast<std::uint32_t>(kAvgDegree / 2),
+                                 kGraphSeed + 1));
+  columns.emplace_back("WS", net::make_watts_strogatz(
+                                 kNodes, static_cast<std::uint32_t>(kAvgDegree), 0.1,
+                                 kGraphSeed + 2));
+
+  // Subcritical for ER (phi*rho_ER ~ 0.8) — watch what BA does with it.
+  const double rho_er = analysis::estimate_spectral_radius(columns[0].second).value;
+  const double phi = 0.8 / rho_er;
+
+  std::printf("== Fig. T2: total infections at shared phi = %.6f (0.8/rho_ER) ==\n", phi);
+  std::printf("n = %u, mean degree ~%.0f, %llu runs, escape cap %llu\n\n", kNodes, kAvgDegree,
+              static_cast<unsigned long long>(kRuns),
+              static_cast<unsigned long long>(kEscapeCap));
+
+  analysis::Table t({"topology", "rho(A)", "phi*rho", "mean I", "max I", "P{I>=10}",
+                     "P{I>=100}", "P{escape}"});
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    const net::GraphTopology& graph = columns[i].second;
+    const double rho = analysis::estimate_spectral_radius(graph).value;
+    analysis::MonteCarloOptions options;
+    options.runs = kRuns;
+    options.base_seed = kMcSeed + i;
+    options.threads = 0;
+    const auto outcome =
+        analysis::run_monte_carlo(options, [&](std::uint64_t seed, std::uint64_t) {
+          worm::GraphOutbreakConfig cfg;
+          cfg.transmit_probability = phi;
+          cfg.initial_infected = 1;
+          cfg.stop_at_total_infected = kEscapeCap;
+          return worm::run_graph_outbreak(graph, cfg, seed).total_infected;
+        });
+    const auto tail = [&](std::uint64_t k) {
+      return k == 0 ? 1.0 : 1.0 - outcome.empirical_cdf(k - 1);
+    };
+    t.add_row({columns[i].first, analysis::Table::fmt(rho, 3),
+               analysis::Table::fmt(phi * rho, 3),
+               analysis::Table::fmt(outcome.summary.mean(), 2),
+               analysis::Table::fmt(static_cast<std::uint64_t>(outcome.summary.max())),
+               analysis::Table::fmt(tail(10), 3), analysis::Table::fmt(tail(100), 3),
+               analysis::Table::fmt(tail(kEscapeCap), 3)});
+  }
+  t.print();
+
+  std::printf("\nshape check: ER and WS stay near-extinct (phi*rho < 1, small totals, zero\n"
+              "escape mass); BA's hubs lift phi*rho past 1 and put mass on the escape cap —\n"
+              "topology, not budget, decides criticality at fixed phi.\n");
+  return 0;
+}

@@ -33,8 +33,8 @@ std::vector<trace::ConnRecord> bench_trace() {
   return fleet::inject_worm_scans(trace::synthesize_lbl_trace(cfg).records, inject).records;
 }
 
-fleet::PipelineConfig base_config(fleet::CounterBackend backend) {
-  fleet::PipelineConfig cfg;
+fleet::PipelineOptions base_config(fleet::CounterBackend backend) {
+  fleet::PipelineOptions cfg;
   cfg.policy.scan_limit = 5'000;
   cfg.policy.check_fraction = 0.5;
   cfg.backend = backend;

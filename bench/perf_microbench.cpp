@@ -204,7 +204,7 @@ void BM_FleetPipeline(benchmark::State& state) {
     return fleet::inject_worm_scans(trace::synthesize_lbl_trace(cfg).records, inject).records;
   }();
 
-  fleet::PipelineConfig cfg;
+  fleet::PipelineOptions cfg;
   cfg.policy.scan_limit = 5'000;
   cfg.policy.check_fraction = 0.5;
   cfg.shards = static_cast<unsigned>(state.range(0));

@@ -1,0 +1,118 @@
+// Topology subsystem benchmarks with machine-readable output.
+//
+// Unlike perf_microbench (google-benchmark, human-oriented console output),
+// this binary times the two graph hot paths itself and writes
+// BENCH_topology.json — one record per bench with name / records-per-second /
+// ns-per-op — so CI can diff throughput across commits without parsing
+// console text.  Usage: topology_bench [output.json].
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/graph/generators.hpp"
+#include "net/host_registry.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+#include "worm/scan_target.hpp"
+
+namespace {
+
+using namespace worms;
+
+struct BenchRecord {
+  std::string name;
+  std::uint64_t records = 0;  ///< work items processed (edges, picks)
+  double seconds = 0.0;
+};
+
+/// Runs `body` (which returns the number of records processed) `reps` times
+/// and keeps the fastest repetition — same best-of policy as google-benchmark.
+template <typename Body>
+BenchRecord run_bench(std::string name, int reps, Body&& body) {
+  BenchRecord out;
+  out.name = std::move(name);
+  for (int r = 0; r < reps; ++r) {
+    const support::Stopwatch watch;
+    const std::uint64_t records = body();
+    const double elapsed = watch.elapsed_seconds();
+    if (r == 0 || elapsed < out.seconds) {
+      out.seconds = elapsed;
+      out.records = records;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_topology.json";
+  constexpr std::uint32_t kNodes = 50'000;
+  constexpr int kReps = 3;
+
+  std::vector<BenchRecord> results;
+
+  // BM_GraphGen: generator throughput in edges/second (records = directed
+  // adjacency slots built, i.e. 2x undirected edges).
+  results.push_back(run_bench("BM_GraphGen/er", kReps, [] {
+    return net::make_erdos_renyi(kNodes, 8.0, 42).edge_count();
+  }));
+  results.push_back(run_bench("BM_GraphGen/ba", kReps, [] {
+    return net::make_barabasi_albert(kNodes, 4, 42).edge_count();
+  }));
+  results.push_back(run_bench("BM_GraphGen/ws", kReps, [] {
+    return net::make_watts_strogatz(kNodes, 8, 0.1, 42).edge_count();
+  }));
+
+  // BM_TopologyScanStep: GraphScanTarget::pick throughput (records = scans).
+  {
+    const net::GraphTopology graph = net::make_erdos_renyi(kNodes, 8.0, 42);
+    const net::HostRegistry registry =
+        net::HostRegistry::identity(net::AddressSpace(32), graph.node_count());
+    const auto step_bench = [&](const char* name, worm::GraphWormOptions options) {
+      worm::GraphScanTarget target(graph, registry, options);
+      results.push_back(run_bench(name, kReps, [&] {
+        support::Rng rng(7);
+        constexpr std::uint64_t kPicks = 2'000'000;
+        std::uint32_t sink = 0;
+        for (std::uint64_t i = 0; i < kPicks; ++i) {
+          sink ^= target.pick(static_cast<net::HostId>(i % kNodes), rng).value();
+        }
+        // Keep the loop honest without benchmark::DoNotOptimize.
+        if (sink == 0xdeadbeef) std::fputc(' ', stderr);
+        return kPicks;
+      }));
+    };
+    step_bench("BM_TopologyScanStep/uniform_neighbor", {});
+    worm::GraphWormOptions local;
+    local.strategy = worm::GraphScanStrategy::LocalSubnet;
+    local.local_subnet_probability = 0.5;
+    step_bench("BM_TopologyScanStep/local_subnet", local);
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "topology_bench: cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchRecord& r = results[i];
+    const double rec_per_sec =
+        r.seconds > 0.0 ? static_cast<double>(r.records) / r.seconds : 0.0;
+    const double ns_per_op =
+        r.records > 0 ? r.seconds * 1e9 / static_cast<double>(r.records) : 0.0;
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"records\": %llu, \"records_per_second\": %.6g, "
+                 "\"ns_per_op\": %.6g}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.records), rec_per_sec,
+                 ns_per_op, i + 1 < results.size() ? "," : "");
+    std::printf("%-40s %12llu rec %10.3f ms %12.6g rec/s %10.3f ns/op\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.records), r.seconds * 1e3, rec_per_sec,
+                ns_per_op);
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "analysis/spectral.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace worms::analysis {
+
+SpectralEstimate estimate_spectral_radius(const net::GraphTopology& graph,
+                                          const SpectralOptions& options) {
+  WORMS_EXPECTS(options.max_iterations >= 1);
+  WORMS_EXPECTS(options.tolerance > 0.0);
+
+  SpectralEstimate out;
+  const std::uint32_t n = graph.node_count();
+  if (n == 0 || graph.edge_count() == 0) {
+    out.converged = true;
+    return out;
+  }
+
+  std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> y(n);
+  double shifted = 0.0;  // ρ(A + I) estimate
+  for (std::uint32_t it = 1; it <= options.max_iterations; ++it) {
+    // y = (A + I) x, then the norm-ratio Rayleigh estimate.
+    double norm_sq = 0.0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      double sum = x[v];
+      for (const net::NodeId u : graph.neighbors(v)) sum += x[u];
+      y[v] = sum;
+      norm_sq += sum * sum;
+    }
+    const double norm = std::sqrt(norm_sq);
+    WORMS_ENSURES(norm > 0.0);
+    const double previous = shifted;
+    shifted = norm;  // ‖(A+I)x‖ / ‖x‖ with ‖x‖ = 1
+    const double inv = 1.0 / norm;
+    for (std::uint32_t v = 0; v < n; ++v) x[v] = y[v] * inv;
+    out.iterations = it;
+    if (it > 1 && std::abs(shifted - previous) <= options.tolerance * std::max(1.0, shifted)) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.value = shifted - 1.0;
+  return out;
+}
+
+}  // namespace worms::analysis

@@ -1,0 +1,38 @@
+// Spectral-radius estimation for graph topologies.
+//
+// The network epidemic threshold (Draief/Ganesh/Massoulié) is spectral: an
+// SIR outbreak with per-edge transmission probability φ dies out fast when
+// φ·ρ(A) < 1, where ρ(A) is the adjacency spectral radius.  On K_V this
+// degenerates to the paper's Proposition 1 (ρ = V − 1, φ = M/2^bits ⇒
+// M ≤ 1/p).  The dense power iteration in worms::math handles the K ≤ 16
+// multitype matrices; this estimator is its CSR counterpart for million-node
+// adjacency structures — O(edges) per iteration, no matrix materialization.
+#pragma once
+
+#include <cstdint>
+
+#include "net/graph/topology.hpp"
+
+namespace worms::analysis {
+
+struct SpectralOptions {
+  std::uint32_t max_iterations = 1'000;
+  /// Convergence test: |ρ_k − ρ_{k−1}| ≤ tolerance · max(1, ρ_k).
+  double tolerance = 1e-9;
+};
+
+struct SpectralEstimate {
+  double value = 0.0;           ///< ρ(A) estimate (exact 0 for edgeless graphs)
+  std::uint32_t iterations = 0; ///< iterations actually run
+  bool converged = false;       ///< tolerance met before max_iterations
+};
+
+/// Power iteration on A + I (the +I shift keeps bipartite graphs — even
+/// cycles, trees — from oscillating between ±ρ), started from the normalized
+/// all-ones vector, which always overlaps the Perron vector.  Deterministic:
+/// no randomness, so equal topologies give bit-identical estimates.  For a
+/// disconnected graph this converges to the largest component's ρ.
+[[nodiscard]] SpectralEstimate estimate_spectral_radius(const net::GraphTopology& graph,
+                                                        const SpectralOptions& options = {});
+
+}  // namespace worms::analysis

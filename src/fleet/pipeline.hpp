@@ -116,8 +116,7 @@ enum class Transport : std::uint8_t { Spsc, Mpsc };
 /// MonteCarloOptions idiom): `ContainmentPipeline({.policy = ..., .shards =
 /// 4})`.  `validate()` checks every cross-field precondition and is called
 /// by the pipeline constructor; call it yourself to fail fast at config
-/// parse time.  `PipelineConfig` remains as a deprecated alias (DESIGN.md
-/// §10) — new code should say PipelineOptions.
+/// parse time.
 struct PipelineOptions {
   /// Budget M, cycle length, and check fraction f.  `counting` is ignored:
   /// the pipeline always counts distinct destinations, via `backend`.
@@ -182,9 +181,6 @@ struct PipelineOptions {
   /// count.
   void validate() const;
 };
-
-/// Deprecated spelling of PipelineOptions, kept for source compatibility.
-using PipelineConfig = PipelineOptions;
 
 /// One monitored host's outcome.  Times are trace timestamps (sim::SimTime
 /// seconds), not wall clock.

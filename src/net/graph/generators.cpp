@@ -1,0 +1,154 @@
+#include "net/graph/generators.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace worms::net {
+
+std::vector<std::uint32_t> block_subnets(std::uint32_t nodes, std::uint32_t subnet_size,
+                                         std::uint32_t& subnet_count_out) {
+  WORMS_EXPECTS(subnet_size >= 1);
+  std::vector<std::uint32_t> subnet_of(nodes);
+  for (std::uint32_t v = 0; v < nodes; ++v) subnet_of[v] = v / subnet_size;
+  subnet_count_out = (nodes + subnet_size - 1) / subnet_size;
+  return subnet_of;
+}
+
+namespace {
+
+void annotate_blocks(GraphTopology::Builder& builder, std::uint32_t nodes,
+                     std::uint32_t subnet_size) {
+  std::uint32_t count = 0;
+  auto subnet_of = block_subnets(nodes, subnet_size, count);
+  builder.set_subnets(std::move(subnet_of), count);
+}
+
+}  // namespace
+
+GraphTopology make_erdos_renyi(std::uint32_t nodes, double avg_degree, std::uint64_t seed,
+                               std::uint32_t subnet_size) {
+  WORMS_EXPECTS(nodes >= 2);
+  const double p = avg_degree / static_cast<double>(nodes - 1);
+  WORMS_EXPECTS(p >= 0.0 && p <= 1.0);
+
+  GraphTopology::Builder builder(nodes);
+  support::Rng rng(seed);
+  if (p > 0.0) {
+    // Batagelj–Brandes: walk the strictly-lower-triangular pair sequence and
+    // jump Geometric(p) slots between successive edges — O(m) draws total.
+    const double log1mp = std::log1p(-p);
+    std::uint64_t v = 1;
+    std::int64_t w = -1;
+    while (v < nodes) {
+      const std::uint64_t skip =
+          p >= 1.0 ? 0
+                   : static_cast<std::uint64_t>(std::log(rng.uniform_pos()) / log1mp);
+      w += 1 + static_cast<std::int64_t>(skip);
+      while (w >= static_cast<std::int64_t>(v) && v < nodes) {
+        w -= static_cast<std::int64_t>(v);
+        ++v;
+      }
+      if (v < nodes) {
+        builder.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(w));
+      }
+    }
+  }
+  annotate_blocks(builder, nodes, subnet_size);
+  return std::move(builder).build();
+}
+
+GraphTopology make_barabasi_albert(std::uint32_t nodes, std::uint32_t edges_per_node,
+                                   std::uint64_t seed, std::uint32_t subnet_size) {
+  WORMS_EXPECTS(edges_per_node >= 1);
+  WORMS_EXPECTS(nodes > edges_per_node);
+
+  GraphTopology::Builder builder(nodes);
+  support::Rng rng(seed);
+  // `endpoints` holds each edge endpoint once, so uniform sampling from it is
+  // degree-proportional sampling — preferential attachment without a tree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * static_cast<std::size_t>(nodes) * edges_per_node);
+
+  // Seed clique on nodes 0..m so every early node has nonzero degree.
+  const std::uint32_t m = edges_per_node;
+  for (std::uint32_t u = 0; u <= m; ++u) {
+    for (std::uint32_t v = u + 1; v <= m; ++v) {
+      builder.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::vector<NodeId> picked(m);
+  for (std::uint32_t v = m + 1; v < nodes; ++v) {
+    // m distinct degree-proportional targets, by rejection: duplicates are
+    // rare (m ≪ attached mass) so the expected retry count is O(1).
+    for (std::uint32_t k = 0; k < m; ++k) {
+      NodeId target = 0;
+      bool fresh = false;
+      while (!fresh) {
+        target = endpoints[static_cast<std::size_t>(rng.below(endpoints.size()))];
+        fresh = true;
+        for (std::uint32_t j = 0; j < k; ++j) {
+          if (picked[j] == target) {
+            fresh = false;
+            break;
+          }
+        }
+      }
+      picked[k] = target;
+    }
+    // Append after all m draws so a node never attaches to itself via an
+    // endpoint recorded earlier in the same step.
+    for (std::uint32_t k = 0; k < m; ++k) {
+      builder.add_edge(v, picked[k]);
+      endpoints.push_back(v);
+      endpoints.push_back(picked[k]);
+    }
+  }
+  annotate_blocks(builder, nodes, subnet_size);
+  return std::move(builder).build();
+}
+
+GraphTopology make_watts_strogatz(std::uint32_t nodes, std::uint32_t even_degree,
+                                  double rewire_probability, std::uint64_t seed,
+                                  std::uint32_t subnet_size) {
+  WORMS_EXPECTS(even_degree >= 2 && even_degree % 2 == 0);
+  WORMS_EXPECTS(nodes > even_degree);
+  WORMS_EXPECTS(rewire_probability >= 0.0 && rewire_probability <= 1.0);
+
+  GraphTopology::Builder builder(nodes);
+  support::Rng rng(seed);
+  const std::uint32_t half = even_degree / 2;
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    for (std::uint32_t j = 1; j <= half; ++j) {
+      const NodeId ring_target = static_cast<NodeId>((v + j) % nodes);
+      if (rng.bernoulli(rewire_probability)) {
+        // Rewire the far endpoint to a uniform non-self node.  The builder
+        // collapses the (rare) duplicate edges this can produce, slightly
+        // shaving mean degree — the standard small-world construction.
+        NodeId target = v;
+        while (target == v) target = static_cast<NodeId>(rng.below(nodes));
+        builder.add_edge(v, target);
+      } else {
+        builder.add_edge(v, ring_target);
+      }
+    }
+  }
+  annotate_blocks(builder, nodes, subnet_size);
+  return std::move(builder).build();
+}
+
+GraphTopology make_complete(std::uint32_t nodes) {
+  WORMS_EXPECTS(nodes >= 2);
+  WORMS_EXPECTS(nodes <= 8192 && "K_n is materialized; use the flat path beyond 8192 nodes");
+  GraphTopology::Builder builder(nodes);
+  for (std::uint32_t u = 0; u < nodes; ++u) {
+    for (std::uint32_t v = u + 1; v < nodes; ++v) builder.add_edge(u, v);
+  }
+  builder.set_subnets(std::vector<std::uint32_t>(nodes, 0), 1);
+  return std::move(builder).build();
+}
+
+}  // namespace worms::net

@@ -1,0 +1,68 @@
+// Deterministic seeded graph generators for the topology workloads.
+//
+// Four families, one per regime the spectral-threshold figures compare:
+//   * Erdős–Rényi G(n, p)      — the homogeneous baseline, ρ(A) ≈ mean degree;
+//   * Barabási–Albert          — scale-free preferential attachment, heavy
+//                                degree tail, ρ(A) ≫ mean degree at the same
+//                                edge budget (the "why scale-free networks
+//                                are fragile" case);
+//   * Watts–Strogatz           — small-world ring rewiring, near-regular but
+//                                short paths;
+//   * complete graph K_n       — the paper's degenerate case: every host can
+//                                reach every host, recovering Proposition 1's
+//                                M ≤ 1/p threshold.
+//
+// Every generator is a pure function of its arguments: equal (shape, seed)
+// pairs produce bit-identical topologies on every platform, which the
+// determinism suite pins.  Generation is single-threaded O(n + m); share the
+// built topology read-only across Monte Carlo threads instead of
+// regenerating per run.
+//
+// Subnet annotation: each generator partitions nodes into contiguous blocks
+// of `subnet_size` ids (default 256, the /24 analogue; the last block may be
+// short).  The worm layer's LocalSubnet strategy scans within these blocks.
+#pragma once
+
+#include <cstdint>
+
+#include "net/graph/topology.hpp"
+
+namespace worms::net {
+
+inline constexpr std::uint32_t kDefaultSubnetSize = 256;
+
+/// G(n, p) with p chosen so the expected undirected degree is `avg_degree`
+/// (p = avg_degree / (n − 1), must land in [0, 1]).  Uses Batagelj–Brandes
+/// geometric edge skipping: O(n + m), never O(n²).
+[[nodiscard]] GraphTopology make_erdos_renyi(std::uint32_t nodes, double avg_degree,
+                                             std::uint64_t seed,
+                                             std::uint32_t subnet_size = kDefaultSubnetSize);
+
+/// Preferential attachment: an (m+1)-clique seed, then each new node attaches
+/// `edges_per_node` distinct edges to existing nodes sampled proportional to
+/// degree (repeated-endpoint list method).  Mean degree → 2·edges_per_node.
+[[nodiscard]] GraphTopology make_barabasi_albert(std::uint32_t nodes,
+                                                 std::uint32_t edges_per_node,
+                                                 std::uint64_t seed,
+                                                 std::uint32_t subnet_size = kDefaultSubnetSize);
+
+/// Ring lattice where every node links its `even_degree`/2 nearest neighbors
+/// on each side, then each lattice edge is rewired with probability
+/// `rewire_probability` to a uniform non-duplicate endpoint.
+[[nodiscard]] GraphTopology make_watts_strogatz(std::uint32_t nodes, std::uint32_t even_degree,
+                                                double rewire_probability, std::uint64_t seed,
+                                                std::uint32_t subnet_size = kDefaultSubnetSize);
+
+/// K_n reference topology (one subnet).  Materializes n(n−1) edge slots, so
+/// the node count is capped at 8192 — the degenerate-case validation runs at
+/// small n; the paper-scale complete-graph workload stays on the flat
+/// AddressSpace path, which needs no adjacency at all.
+[[nodiscard]] GraphTopology make_complete(std::uint32_t nodes);
+
+/// Contiguous-block subnet assignment shared by the generators: node v is in
+/// subnet v / subnet_size.
+[[nodiscard]] std::vector<std::uint32_t> block_subnets(std::uint32_t nodes,
+                                                       std::uint32_t subnet_size,
+                                                       std::uint32_t& subnet_count_out);
+
+}  // namespace worms::net

@@ -1,0 +1,71 @@
+#include "net/graph/topology.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace worms::net {
+
+bool GraphTopology::has_edge(NodeId u, NodeId v) const noexcept {
+  const auto span = neighbors(u);
+  return std::binary_search(span.begin(), span.end(), v);
+}
+
+GraphTopology::Builder::Builder(std::uint32_t nodes) : nodes_(nodes) {
+  WORMS_EXPECTS(nodes >= 1);
+}
+
+void GraphTopology::Builder::add_edge(NodeId u, NodeId v) {
+  WORMS_EXPECTS(u != v);
+  WORMS_EXPECTS(u < nodes_ && v < nodes_);
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+}
+
+void GraphTopology::Builder::set_subnets(std::vector<std::uint32_t> subnet_of,
+                                         std::uint32_t subnet_count) {
+  WORMS_EXPECTS(subnet_of.size() == nodes_);
+  WORMS_EXPECTS(subnet_count >= 1);
+  for (const std::uint32_t s : subnet_of) WORMS_EXPECTS(s < subnet_count);
+  subnets_ = std::move(subnet_of);
+  subnet_count_ = subnet_count;
+}
+
+GraphTopology GraphTopology::Builder::build() && {
+  // Normalize-sort-unique collapses duplicates, then two counting passes
+  // fill the CSR.  Everything is O(n + m log m); the sort dominates but
+  // stays comfortably fast at tens of millions of edges.
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  const std::uint64_t slots = 2 * static_cast<std::uint64_t>(edges_.size());
+  WORMS_EXPECTS(slots <= UINT32_MAX && "edge slots must fit 32-bit indices");
+
+  GraphTopology g;
+  g.offsets_.assign(static_cast<std::size_t>(nodes_) + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::uint32_t v = 0; v < nodes_; ++v) {
+    g.offsets_[v + 1] += g.offsets_[v];
+    g.max_degree_ = std::max(g.max_degree_, g.offsets_[v + 1] - g.offsets_[v]);
+  }
+  g.targets_.resize(static_cast<std::size_t>(slots));
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  // Edges are sorted by (min, max), so each node's slots fill ascending for
+  // the min endpoint; a final per-node sort fixes the max-endpoint entries.
+  for (const auto& [u, v] : edges_) {
+    g.targets_[cursor[u]++] = v;
+    g.targets_[cursor[v]++] = u;
+  }
+  for (std::uint32_t v = 0; v < nodes_; ++v) {
+    std::sort(g.targets_.begin() + g.offsets_[v], g.targets_.begin() + g.offsets_[v + 1]);
+  }
+  g.subnets_ = std::move(subnets_);
+  g.subnet_count_ = subnet_count_;
+  g.offsets_.shrink_to_fit();
+  g.targets_.shrink_to_fit();
+  g.subnets_.shrink_to_fit();
+  return g;
+}
+
+}  // namespace worms::net

@@ -1,0 +1,115 @@
+// Immutable CSR adjacency for graph-structured address spaces.
+//
+// The paper's branching-process model is the complete-graph special case of
+// epidemic spread on a topology (Draief/Ganesh/Massoulié): who a worm *can*
+// infect is an adjacency structure, not always the whole universe.  This
+// class is the million-node-scale representation the topology-aware worms
+// and the spectral analysis share: 32-bit compact node ids, one offsets
+// array (n+1) plus one targets array (2·undirected-edges), O(1) degree and
+// neighbor-span access, neighbors sorted ascending so membership tests are
+// O(log d).  Instances are immutable after Builder::build() and safe to
+// share read-only across Monte Carlo worker threads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace worms::net {
+
+/// Compact graph node id.  Distinct from HostId only in name: the worm layer
+/// maps node k of a topology to vulnerable host k (identity), so the two are
+/// interchangeable there.
+using NodeId = std::uint32_t;
+
+class GraphTopology {
+ public:
+  class Builder;
+
+  GraphTopology() = default;
+
+  [[nodiscard]] std::uint32_t node_count() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<std::uint32_t>(offsets_.size() - 1);
+  }
+
+  /// Directed edge slots (twice the undirected edge count).
+  [[nodiscard]] std::uint64_t edge_count() const noexcept { return targets_.size(); }
+
+  [[nodiscard]] std::uint32_t degree(NodeId v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Neighbors of `v`, sorted ascending.  The span aliases internal storage
+  /// and stays valid for the topology's lifetime.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+  }
+
+  /// O(log degree(u)) adjacency test.
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  [[nodiscard]] std::uint32_t max_degree() const noexcept { return max_degree_; }
+
+  /// Mean directed degree = edge_count / node_count (0 for the empty graph).
+  [[nodiscard]] double mean_degree() const noexcept {
+    return node_count() == 0
+               ? 0.0
+               : static_cast<double>(edge_count()) / static_cast<double>(node_count());
+  }
+
+  // ---- subnet annotation (local-preference scanning) ----
+  //
+  // Every node belongs to exactly one subnet; an unannotated graph is one
+  // subnet 0.  The worm layer's LocalSubnet strategy prefers neighbors in
+  // the scanning host's own subnet, the graph analogue of /prefix scanning.
+
+  [[nodiscard]] std::uint32_t subnet_count() const noexcept { return subnet_count_; }
+
+  [[nodiscard]] std::uint32_t subnet_of(NodeId v) const noexcept {
+    return subnets_.empty() ? 0 : subnets_[v];
+  }
+
+  /// Heap bytes of the CSR arrays (capacity is trimmed at build time).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return offsets_.size() * sizeof(std::uint32_t) + targets_.size() * sizeof(NodeId) +
+           subnets_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::vector<std::uint32_t> offsets_;  // size node_count + 1
+  std::vector<NodeId> targets_;         // size edge_count, sorted per node
+  std::vector<std::uint32_t> subnets_;  // empty (all subnet 0) or size node_count
+  std::uint32_t subnet_count_ = 1;
+  std::uint32_t max_degree_ = 0;
+};
+
+/// Accumulates undirected edges, then builds the CSR in O(n + m) by counting
+/// sort.  Self-loops are rejected at add_edge; duplicate edges are collapsed
+/// at build.  Node/edge ids are 32-bit by design — a topology needing more
+/// than 2^32 − 1 edge slots is out of scope.
+class GraphTopology::Builder {
+ public:
+  explicit Builder(std::uint32_t nodes);
+
+  /// Adds the undirected edge {u, v}; u == v throws.
+  void add_edge(NodeId u, NodeId v);
+
+  [[nodiscard]] std::uint64_t pending_edges() const noexcept { return edges_.size(); }
+
+  /// Annotates every node with a subnet id in [0, subnet_count);
+  /// `subnet_of.size()` must equal the node count.
+  void set_subnets(std::vector<std::uint32_t> subnet_of, std::uint32_t subnet_count);
+
+  /// Consumes the builder.  Deduplicates, sorts each neighbor list
+  /// ascending, and freezes the CSR arrays.
+  [[nodiscard]] GraphTopology build() &&;
+
+ private:
+  std::uint32_t nodes_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;  // normalized (min, max)
+  std::vector<std::uint32_t> subnets_;
+  std::uint32_t subnet_count_ = 1;
+};
+
+}  // namespace worms::net

@@ -4,6 +4,14 @@
 
 namespace worms::net {
 
+HostRegistry HostRegistry::identity(AddressSpace space, std::uint32_t count) {
+  WORMS_EXPECTS(count >= 1);
+  WORMS_EXPECTS(static_cast<std::uint64_t>(count) <= space.size());
+  HostRegistry out(space);
+  out.identity_count_ = count;
+  return out;
+}
+
 HostRegistry::HostRegistry(AddressSpace space, std::uint32_t count, support::Rng& rng,
                            std::optional<ClusterSpec> clusters)
     : space_(space), table_(count) {

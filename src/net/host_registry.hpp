@@ -36,23 +36,41 @@ class HostRegistry {
   HostRegistry(AddressSpace space, std::uint32_t count, support::Rng& rng,
                std::optional<ClusterSpec> clusters = std::nullopt);
 
+  /// Identity-addressed registry for graph topologies: host k owns address k,
+  /// so node ids and addresses coincide.  No RNG draws, no table — lookup is
+  /// a bounds check.  Requires count <= |space|.
+  [[nodiscard]] static HostRegistry identity(AddressSpace space, std::uint32_t count);
+
   [[nodiscard]] std::uint32_t count() const noexcept {
-    return static_cast<std::uint32_t>(addresses_.size());
+    return identity_count_ != 0 ? identity_count_
+                                : static_cast<std::uint32_t>(addresses_.size());
   }
   [[nodiscard]] AddressSpace space() const noexcept { return space_; }
 
-  [[nodiscard]] Ipv4Address address_of(HostId id) const { return addresses_.at(id); }
+  [[nodiscard]] Ipv4Address address_of(HostId id) const {
+    if (identity_count_ != 0) {
+      WORMS_EXPECTS(id < identity_count_);
+      return Ipv4Address(id);
+    }
+    return addresses_.at(id);
+  }
 
   /// Host id owning `addr`, or kNoHost.
-  [[nodiscard]] HostId lookup(Ipv4Address addr) const noexcept { return table_.find(addr); }
+  [[nodiscard]] HostId lookup(Ipv4Address addr) const noexcept {
+    if (identity_count_ != 0) return addr.value() < identity_count_ ? addr.value() : kNoHost;
+    return table_.find(addr);
+  }
 
   /// Vulnerability density p = count / |space|.
   [[nodiscard]] double density() const noexcept { return space_.density(count()); }
 
  private:
+  explicit HostRegistry(AddressSpace space) : space_(space), table_(0) {}
+
   AddressSpace space_;
   std::vector<Ipv4Address> addresses_;
   AddressTable table_;
+  std::uint32_t identity_count_ = 0;  ///< nonzero selects identity addressing
 };
 
 }  // namespace worms::net

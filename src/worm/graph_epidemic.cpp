@@ -1,0 +1,61 @@
+#include "worm/graph_epidemic.hpp"
+
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace worms::worm {
+
+OutbreakResult run_graph_outbreak(const net::GraphTopology& topology,
+                                  const GraphOutbreakConfig& config, std::uint64_t seed) {
+  WORMS_EXPECTS(config.transmit_probability >= 0.0 && config.transmit_probability <= 1.0);
+  const std::uint32_t n = topology.node_count();
+  WORMS_EXPECTS(config.initial_infected >= 1 && config.initial_infected <= n);
+
+  support::Rng rng(seed);
+  enum : std::uint8_t { kSusceptible = 0, kInfected = 1 };
+  std::vector<std::uint8_t> state(n, kSusceptible);
+
+  OutbreakResult result;
+  std::vector<net::NodeId> frontier =
+      select_seed_hosts(topology, config.seeding, config.initial_infected);
+  for (const net::NodeId v : frontier) state[v] = kInfected;
+  result.total_infected = frontier.size();
+  result.generation_sizes.push_back(frontier.size());
+  result.peak_active = frontier.size();
+
+  std::vector<net::NodeId> next;
+  const bool capped = config.stop_at_total_infected != 0;
+  while (!frontier.empty() && !result.hit_infection_cap) {
+    next.clear();
+    for (const net::NodeId v : frontier) {
+      for (const net::NodeId u : topology.neighbors(v)) {
+        ++result.total_scans;
+        if (state[u] == kSusceptible && rng.bernoulli(config.transmit_probability)) {
+          state[u] = kInfected;
+          next.push_back(u);
+          ++result.total_infected;
+          if (capped && result.total_infected >= config.stop_at_total_infected) {
+            result.hit_infection_cap = true;
+            break;
+          }
+        }
+      }
+      if (result.hit_infection_cap) break;
+    }
+    if (result.hit_infection_cap) break;  // in-flight wave stays active (not removed)
+    // This wave's hosts are checked and removed; the next wave takes over.
+    result.total_removed += frontier.size();
+    if (!next.empty()) {
+      result.generation_sizes.push_back(next.size());
+      result.peak_active = std::max<std::uint64_t>(result.peak_active, next.size());
+    }
+    frontier.swap(next);
+    result.end_time += 1.0;
+  }
+  result.contained = !result.hit_infection_cap;
+  return result;
+}
+
+}  // namespace worms::worm

@@ -1,0 +1,45 @@
+// Generation-level epidemic on a graph topology: the network analogue of the
+// paper's branching process, at the same abstraction level as the hit-level
+// simulator (non-events elided, O(touched edges) per run).
+//
+// Model: a discrete SIR cascade.  Every infected node transmits along each
+// incident edge independently with probability φ (`transmit_probability`),
+// then is removed — the per-edge transmission picture of Draief/Ganesh/
+// Massoulié, whose extinction condition is spectral: the outbreak dies out
+// when φ·ρ(A) ≤ 1.  On K_V this is exactly Proposition 1: a budget-M
+// uniform scanner transmits to any given host with probability φ = M/2^bits,
+// and φ·ρ(A) = M·(V−1)/2^bits ≈ M·p, so the knee sits at M = 1/p.  The
+// figT1/figT2 programs sweep φ across topologies against the power-iteration
+// ρ(A) estimate.
+//
+// Determinism: one Rng seeded per run, frontier processed in infection
+// order, neighbors ascending — a (topology, config, seed) triple fully
+// determines the result, so the parallel Monte Carlo engine reproduces
+// bit-identical sweeps for any thread count.
+#pragma once
+
+#include <cstdint>
+
+#include "net/graph/topology.hpp"
+#include "worm/result.hpp"
+#include "worm/scan_target.hpp"
+
+namespace worms::worm {
+
+struct GraphOutbreakConfig {
+  double transmit_probability = 0.0;  ///< φ: per incident edge, in [0, 1]
+  std::uint32_t initial_infected = 1;
+  GraphSeeding seeding = GraphSeeding::FirstIds;
+  /// Stop once this many hosts are infected (0 = run to extinction; finite
+  /// graphs always terminate, so the cap only marks "escaped containment").
+  std::uint64_t stop_at_total_infected = 0;
+};
+
+/// Runs one cascade.  In the result, a "generation" is one frontier wave and
+/// `end_time` counts waves; `total_scans` counts transmission attempts
+/// (edges tried); `contained` means the cascade died before the cap.
+[[nodiscard]] OutbreakResult run_graph_outbreak(const net::GraphTopology& topology,
+                                                const GraphOutbreakConfig& config,
+                                                std::uint64_t seed);
+
+}  // namespace worms::worm

@@ -7,6 +7,19 @@
 
 namespace worms::worm {
 
+namespace {
+
+/// Graph runs address hosts by node id; the registry is a bounds check, not
+/// a table.  Kept out of the constructor so the null-topology precondition
+/// fires before any dereference in the member-init list.
+net::HostRegistry identity_registry_for(const std::shared_ptr<const net::GraphTopology>& t,
+                                        int address_bits) {
+  WORMS_EXPECTS(t != nullptr);
+  return net::HostRegistry::identity(net::AddressSpace(address_bits), t->node_count());
+}
+
+}  // namespace
+
 ScanLevelSimulation::ScanLevelSimulation(const WormConfig& config,
                                          std::unique_ptr<core::ContainmentPolicy> policy,
                                          std::uint64_t seed)
@@ -18,29 +31,46 @@ ScanLevelSimulation::ScanLevelSimulation(const WormConfig& config,
                     ? std::optional(net::ClusterSpec{config.cluster_prefix_length,
                                                      config.cluster_count})
                     : std::nullopt) {
-  WORMS_EXPECTS(config.vulnerable_hosts >= 1);
-  WORMS_EXPECTS(config.initial_infected >= 1);
-  WORMS_EXPECTS(config.initial_infected <= config.vulnerable_hosts);
-  WORMS_EXPECTS(config.scan_rate > 0.0);
   if (config.strategy == ScanStrategy::LocalPreference) {
     WORMS_EXPECTS(config.local_preference_probability >= 0.0 &&
                   config.local_preference_probability <= 1.0);
     WORMS_EXPECTS(config.local_prefix_length >= 32 - config.address_bits &&
                   config.local_prefix_length <= 32);
   }
+  init_common();
+  // FlatScanTarget's constructor performs the permutation-state draws at
+  // exactly this point of the stream, as the pre-seam engine did.
+  scan_target_ = std::make_unique<FlatScanTarget>(config_, registry_, rng_);
+}
 
-  state_.assign(config.vulnerable_hosts, HostState::Susceptible);
-  generation_.assign(config.vulnerable_hosts, 0);
-  infected_at_.assign(config.vulnerable_hosts, 0.0);
+ScanLevelSimulation::ScanLevelSimulation(const WormConfig& config,
+                                         std::shared_ptr<const net::GraphTopology> topology,
+                                         const GraphWormOptions& graph_options,
+                                         std::unique_ptr<core::ContainmentPolicy> policy,
+                                         std::uint64_t seed)
+    : config_(config),
+      policy_(policy ? std::move(policy) : std::make_unique<core::NullPolicy>()),
+      rng_(seed),
+      registry_(identity_registry_for(topology, config.address_bits)),
+      topology_(std::move(topology)),
+      graph_options_(graph_options) {
+  WORMS_EXPECTS(config.vulnerable_hosts == topology_->node_count());
+  WORMS_EXPECTS(config.strategy == ScanStrategy::Uniform);
+  WORMS_EXPECTS(!config.clustered());
+  init_common();
+  scan_target_ = std::make_unique<GraphScanTarget>(*topology_, registry_, graph_options_);
+}
 
-  if (config_.strategy == ScanStrategy::Permutation) {
-    // Random affine permutation x ↦ a·x + c of the universe (a odd ⇒
-    // bijective mod 2^bits); each host starts its walk at a random position.
-    perm_multiplier_ = rng_.u32() | 1u;
-    perm_offset_ = rng_.u32();
-    perm_pos_.resize(config_.vulnerable_hosts);
-    for (auto& pos : perm_pos_) pos = rng_.u32();
-  }
+void ScanLevelSimulation::init_common() {
+  WORMS_EXPECTS(config_.vulnerable_hosts >= 1);
+  WORMS_EXPECTS(config_.initial_infected >= 1);
+  WORMS_EXPECTS(config_.initial_infected <= config_.vulnerable_hosts);
+  WORMS_EXPECTS(config_.scan_rate > 0.0);
+
+  state_.assign(config_.vulnerable_hosts, HostState::Susceptible);
+  generation_.assign(config_.vulnerable_hosts, 0);
+  infected_at_.assign(config_.vulnerable_hosts, 0.0);
+
   if (config_.benign.enabled()) {
     WORMS_EXPECTS(config_.benign.connection_rate > 0.0);
     WORMS_EXPECTS(config_.benign.new_destination_probability >= 0.0 &&
@@ -60,25 +90,6 @@ void ScanLevelSimulation::schedule_next_scan(net::HostId id, sim::SimTime now) {
   const double gap = stats::sample_exponential(rng_, config_.scan_rate);
   engine_.schedule_at(advance_active_time(config_.stealth, infected_at_[id], now, gap),
                       Event{Event::Kind::Scan, id, 0});
-}
-
-net::Ipv4Address ScanLevelSimulation::pick_target(net::HostId source) {
-  if (config_.strategy == ScanStrategy::Permutation) {
-    const std::uint32_t idx = perm_pos_[source]++;
-    const std::uint32_t raw = perm_multiplier_ * idx + perm_offset_;
-    const int bits = config_.address_bits;
-    return net::Ipv4Address(bits == 32 ? raw : raw & ((std::uint32_t{1} << bits) - 1));
-  }
-  if (config_.strategy == ScanStrategy::LocalPreference &&
-      rng_.bernoulli(config_.local_preference_probability)) {
-    const std::uint32_t addr = registry_.address_of(source).value();
-    const std::uint32_t block_mask =
-        config_.local_prefix_length == 0
-            ? 0u
-            : ~std::uint32_t{0} << (32 - config_.local_prefix_length);
-    return net::Ipv4Address((addr & block_mask) | (rng_.u32() & ~block_mask));
-  }
-  return registry_.space().sample(rng_);
 }
 
 void ScanLevelSimulation::infect(net::HostId id, net::HostId parent, std::uint32_t generation,
@@ -129,10 +140,10 @@ void ScanLevelSimulation::deliver_scan(net::HostId source, net::Ipv4Address targ
   if (victim == net::kNoHost) return;
   if (state_[victim] == HostState::Susceptible) {
     infect(victim, source, generation_[source] + 1, now);
-  } else if (config_.strategy == ScanStrategy::Permutation) {
-    // Warhol-worm rule: hitting an already-infected host means another
-    // instance is working this stretch of the permutation — jump elsewhere.
-    perm_pos_[source] = rng_.u32();
+  } else {
+    // Warhol-worm rule, delegated: a permutation scanner that hits an
+    // already-infected host jumps elsewhere; other strategies ignore it.
+    scan_target_->on_duplicate_hit(source, rng_);
   }
 }
 
@@ -140,7 +151,7 @@ void ScanLevelSimulation::handle(sim::SimTime now, const Event& ev) {
   switch (ev.kind) {
     case Event::Kind::Scan: {
       if (state_[ev.host] != HostState::Infected) return;
-      const net::Ipv4Address target = pick_target(ev.host);
+      const net::Ipv4Address target = scan_target_->pick(ev.host, rng_);
       const core::ScanDecision decision = policy_->on_scan(ev.host, now, target);
       switch (decision.action) {
         case core::ScanAction::Allow:
@@ -256,10 +267,20 @@ OutbreakResult ScanLevelSimulation::run(sim::SimTime horizon) {
     engine_.schedule_at(config_.cycle_sweep_interval, Event{Event::Kind::CycleSweep, 0, 0});
   }
 
-  // Seed the outbreak: the first I0 host ids form generation 0 (their
-  // addresses are random, so which ids is immaterial).
-  for (std::uint32_t i = 0; i < config_.initial_infected; ++i) {
-    infect(i, kNoParent, 0, 0.0);
+  if (topology_ != nullptr) {
+    // Graph mode: which nodes seed the outbreak matters (degree, locality),
+    // so the seeding rule is explicit.
+    for (const net::NodeId v :
+         select_seed_hosts(*topology_, graph_options_.seeding, config_.initial_infected)) {
+      if (result_.hit_infection_cap) break;
+      infect(v, kNoParent, 0, 0.0);
+    }
+  } else {
+    // Seed the outbreak: the first I0 host ids form generation 0 (their
+    // addresses are random, so which ids is immaterial).
+    for (std::uint32_t i = 0; i < config_.initial_infected; ++i) {
+      infect(i, kNoParent, 0, 0.0);
+    }
   }
 
   engine_.run([this](sim::SimTime now, const Event& ev) { handle(now, ev); }, horizon);

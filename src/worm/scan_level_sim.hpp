@@ -13,11 +13,13 @@
 #include <vector>
 
 #include "core/containment_policy.hpp"
+#include "net/graph/topology.hpp"
 #include "net/host_registry.hpp"
 #include "sim/engine.hpp"
 #include "worm/config.hpp"
 #include "worm/observer.hpp"
 #include "worm/result.hpp"
+#include "worm/scan_target.hpp"
 
 namespace worms::worm {
 
@@ -29,6 +31,18 @@ class ScanLevelSimulation {
   /// addresses) is built from `seed`; all scan randomness also derives from
   /// it, so equal seeds reproduce runs bit-for-bit.
   ScanLevelSimulation(const WormConfig& config,
+                      std::unique_ptr<core::ContainmentPolicy> policy, std::uint64_t seed);
+
+  /// Topology-aware variant: hosts are the topology's nodes (identity
+  /// addressing, so `config.vulnerable_hosts` must equal the node count and
+  /// fit the configured address width) and scans pick targets per
+  /// `graph_options` through the GraphScanTarget seam.  The topology is
+  /// shared read-only — one instance can back every run of a Monte Carlo
+  /// sweep.  Requires `config.strategy == ScanStrategy::Uniform` (the flat
+  /// strategies don't compose with neighbor scanning) and no clustering.
+  ScanLevelSimulation(const WormConfig& config,
+                      std::shared_ptr<const net::GraphTopology> topology,
+                      const GraphWormOptions& graph_options,
                       std::unique_ptr<core::ContainmentPolicy> policy, std::uint64_t seed);
 
   /// Observers outlive the simulation; not owned.
@@ -57,11 +71,11 @@ class ScanLevelSimulation {
     std::uint32_t target;  // DelayedScan carries the already-chosen target
   };
 
+  void init_common();
   void infect(net::HostId id, net::HostId parent, std::uint32_t generation, sim::SimTime now);
   void remove(net::HostId id, sim::SimTime now);
   void deliver_scan(net::HostId source, net::Ipv4Address target, sim::SimTime now);
   void schedule_next_scan(net::HostId id, sim::SimTime now);
-  [[nodiscard]] net::Ipv4Address pick_target(net::HostId source);
   void handle(sim::SimTime now, const Event& ev);
   void handle_benign_connection(std::uint32_t index, sim::SimTime now);
   void schedule_benign_connection(std::uint32_t index, sim::SimTime now);
@@ -74,18 +88,18 @@ class ScanLevelSimulation {
   std::unique_ptr<core::ContainmentPolicy> policy_;
   support::Rng rng_;
   net::HostRegistry registry_;
+  // Null for flat runs; shared so Monte Carlo sweeps reuse one CSR read-only.
+  std::shared_ptr<const net::GraphTopology> topology_;
+  GraphWormOptions graph_options_;
+  // Target selection seam: FlatScanTarget (the paper's strategies, draw
+  // sequence unchanged) or GraphScanTarget (neighbor scanning).
+  std::unique_ptr<ScanTarget> scan_target_;
   sim::Engine<Event> engine_;
 
   std::vector<HostState> state_;
   std::vector<std::uint32_t> generation_;
   std::vector<sim::SimTime> infected_at_;
   std::vector<OutbreakObserver*> observers_;
-
-  // Permutation scanning: shared affine permutation of the universe plus a
-  // per-host walk position.
-  std::uint32_t perm_multiplier_ = 1;  // odd ⇒ bijective modulo 2^bits
-  std::uint32_t perm_offset_ = 0;
-  std::vector<std::uint32_t> perm_pos_;
 
   // Benign background hosts (indexed 0..benign.host_count-1).
   std::vector<bool> benign_offline_;

@@ -1,0 +1,145 @@
+#include "worm/scan_target.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/check.hpp"
+
+namespace worms::worm {
+
+void ScanTarget::on_duplicate_hit(net::HostId, support::Rng&) {}
+
+FlatScanTarget::FlatScanTarget(const WormConfig& config, const net::HostRegistry& registry,
+                               support::Rng& rng)
+    : config_(config), registry_(registry) {
+  if (config_.strategy == ScanStrategy::Permutation) {
+    // Random affine permutation x ↦ a·x + c of the universe (a odd ⇒
+    // bijective mod 2^bits); each host starts its walk at a random position.
+    perm_multiplier_ = rng.u32() | 1u;
+    perm_offset_ = rng.u32();
+    perm_pos_.resize(config_.vulnerable_hosts);
+    for (auto& pos : perm_pos_) pos = rng.u32();
+  }
+}
+
+net::Ipv4Address FlatScanTarget::pick(net::HostId source, support::Rng& rng) {
+  if (config_.strategy == ScanStrategy::Permutation) {
+    const std::uint32_t idx = perm_pos_[source]++;
+    const std::uint32_t raw = perm_multiplier_ * idx + perm_offset_;
+    const int bits = config_.address_bits;
+    return net::Ipv4Address(bits == 32 ? raw : raw & ((std::uint32_t{1} << bits) - 1));
+  }
+  if (config_.strategy == ScanStrategy::LocalPreference &&
+      rng.bernoulli(config_.local_preference_probability)) {
+    const std::uint32_t addr = registry_.address_of(source).value();
+    const std::uint32_t block_mask =
+        config_.local_prefix_length == 0
+            ? 0u
+            : ~std::uint32_t{0} << (32 - config_.local_prefix_length);
+    return net::Ipv4Address((addr & block_mask) | (rng.u32() & ~block_mask));
+  }
+  return registry_.space().sample(rng);
+}
+
+void FlatScanTarget::on_duplicate_hit(net::HostId source, support::Rng& rng) {
+  if (config_.strategy == ScanStrategy::Permutation) {
+    // Warhol-worm rule: hitting an already-infected host means another
+    // instance is working this stretch of the permutation — jump elsewhere.
+    perm_pos_[source] = rng.u32();
+  }
+}
+
+GraphScanTarget::GraphScanTarget(const net::GraphTopology& topology,
+                                 const net::HostRegistry& registry,
+                                 const GraphWormOptions& options)
+    : topology_(topology), registry_(registry), options_(options) {
+  if (options_.strategy == GraphScanStrategy::LocalSubnet) {
+    WORMS_EXPECTS(options_.local_subnet_probability >= 0.0 &&
+                  options_.local_subnet_probability <= 1.0);
+    // The subnet-range binary search in pick() needs block-structured
+    // subnets: the assignment must be non-decreasing in node id.
+    for (net::NodeId v = 1; v < topology_.node_count(); ++v) {
+      WORMS_EXPECTS(topology_.subnet_of(v - 1) <= topology_.subnet_of(v));
+    }
+  }
+}
+
+net::Ipv4Address GraphScanTarget::pick(net::HostId source, support::Rng& rng) {
+  const std::span<const net::NodeId> all = topology_.neighbors(source);
+  if (all.empty()) {
+    // An isolated node's scans go nowhere infectious; aim at itself so the
+    // policy still charges the host for the packet.
+    return registry_.address_of(source);
+  }
+  std::span<const net::NodeId> pool = all;
+  if (options_.strategy == GraphScanStrategy::LocalSubnet &&
+      rng.bernoulli(options_.local_subnet_probability)) {
+    // Same-subnet neighbors are a contiguous subspan of the ascending
+    // neighbor list (subnets are id blocks) — two binary searches find it.
+    const std::uint32_t subnet = topology_.subnet_of(source);
+    const auto lo = std::partition_point(all.begin(), all.end(), [&](net::NodeId u) {
+      return topology_.subnet_of(u) < subnet;
+    });
+    const auto hi = std::partition_point(lo, all.end(), [&](net::NodeId u) {
+      return topology_.subnet_of(u) <= subnet;
+    });
+    if (lo != hi) pool = {lo, hi};  // fall back to every neighbor when none local
+  }
+  const net::NodeId target = pool[static_cast<std::size_t>(rng.below(pool.size()))];
+  return registry_.address_of(target);
+}
+
+std::vector<net::HostId> select_seed_hosts(const net::GraphTopology& topology,
+                                           GraphSeeding seeding, std::uint32_t count) {
+  const std::uint32_t n = topology.node_count();
+  WORMS_EXPECTS(count >= 1 && count <= n);
+  std::vector<net::HostId> seeds;
+  seeds.reserve(count);
+  switch (seeding) {
+    case GraphSeeding::FirstIds: {
+      for (std::uint32_t v = 0; v < count; ++v) seeds.push_back(v);
+      break;
+    }
+    case GraphSeeding::HighestDegree: {
+      std::vector<net::HostId> order(n);
+      for (std::uint32_t v = 0; v < n; ++v) order[v] = v;
+      std::partial_sort(order.begin(), order.begin() + count, order.end(),
+                        [&](net::HostId a, net::HostId b) {
+                          if (topology.degree(a) != topology.degree(b)) {
+                            return topology.degree(a) > topology.degree(b);
+                          }
+                          return a < b;
+                        });
+      seeds.assign(order.begin(), order.begin() + count);
+      break;
+    }
+    case GraphSeeding::NeighborBfs: {
+      // Node 0 plus breadth-first neighbors; if the component is exhausted,
+      // continue from the lowest unvisited id (deterministic either way).
+      std::vector<bool> visited(n, false);
+      std::deque<net::NodeId> frontier;
+      net::NodeId next_unvisited = 0;
+      while (seeds.size() < count) {
+        if (frontier.empty()) {
+          while (visited[next_unvisited]) ++next_unvisited;
+          visited[next_unvisited] = true;
+          frontier.push_back(next_unvisited);
+        }
+        const net::NodeId v = frontier.front();
+        frontier.pop_front();
+        seeds.push_back(v);
+        for (const net::NodeId u : topology.neighbors(v)) {
+          if (!visited[u]) {
+            visited[u] = true;
+            frontier.push_back(u);
+          }
+        }
+      }
+      break;
+    }
+  }
+  WORMS_ENSURES(seeds.size() == count);
+  return seeds;
+}
+
+}  // namespace worms::worm

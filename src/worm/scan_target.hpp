@@ -1,0 +1,108 @@
+// Target selection seam for the scan-level simulator.
+//
+// The paper's worm scans a flat address space; a topological worm scans the
+// neighbor structure it knows (P2P peer lists, hitlists, subnet maps).  Both
+// plug into ScanLevelSimulation through this interface: the simulator asks
+// for the next target address, the implementation consumes RNG draws.  The
+// flat implementation is the pre-existing uniform / local-preference /
+// permutation logic moved behind the seam verbatim — same draw sequence,
+// same state, so flat runs stay bit-identical to the pre-seam engine (the
+// worm equivalence and determinism suites pin this).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/graph/topology.hpp"
+#include "net/host_registry.hpp"
+#include "support/rng.hpp"
+#include "worm/config.hpp"
+
+namespace worms::worm {
+
+/// How a topology-aware worm picks among its neighbors.
+enum class GraphScanStrategy {
+  UniformNeighbor,  ///< uniform over the source's neighbor list
+  LocalSubnet,      ///< with probability q, uniform over same-subnet
+                    ///< neighbors (graph analogue of /prefix scanning);
+                    ///< otherwise uniform over all neighbors
+};
+
+/// How the initial infected set is chosen on a topology.
+enum class GraphSeeding {
+  FirstIds,       ///< nodes 0..I0−1 (matches the flat engine's convention)
+  HighestDegree,  ///< hitlist seeding: the I0 highest-degree nodes
+                  ///< (ties broken by ascending id — deterministic)
+  NeighborBfs,    ///< neighbor-list seeding: node 0 plus breadth-first
+                  ///< neighbors until I0 hosts — a connected initial patch
+};
+
+struct GraphWormOptions {
+  GraphScanStrategy strategy = GraphScanStrategy::UniformNeighbor;
+  double local_subnet_probability = 0.0;  ///< q (LocalSubnet only)
+  GraphSeeding seeding = GraphSeeding::FirstIds;
+};
+
+/// One scan-target decision.  Implementations may keep per-host state (the
+/// permutation walk) but draw randomness only from the `rng` argument so the
+/// simulator's stream stays the single source of nondeterminism.
+class ScanTarget {
+ public:
+  virtual ~ScanTarget() = default;
+
+  /// Next address host `source` scans.
+  [[nodiscard]] virtual net::Ipv4Address pick(net::HostId source, support::Rng& rng) = 0;
+
+  /// A scan landed on an already-infected host.  Default: ignore (only the
+  /// flat permutation strategy reacts, by jumping its walk elsewhere).
+  virtual void on_duplicate_hit(net::HostId source, support::Rng& rng);
+};
+
+/// The paper's flat-AddressSpace strategies (uniform, local-preference,
+/// permutation), moved out of ScanLevelSimulation unchanged.  Constructing
+/// one performs exactly the permutation-state draws the simulator's
+/// constructor used to perform, in the same order.
+class FlatScanTarget final : public ScanTarget {
+ public:
+  FlatScanTarget(const WormConfig& config, const net::HostRegistry& registry,
+                 support::Rng& rng);
+
+  [[nodiscard]] net::Ipv4Address pick(net::HostId source, support::Rng& rng) override;
+  void on_duplicate_hit(net::HostId source, support::Rng& rng) override;
+
+ private:
+  const WormConfig& config_;
+  const net::HostRegistry& registry_;
+  // Permutation scanning: shared affine permutation of the universe plus a
+  // per-host walk position.
+  std::uint32_t perm_multiplier_ = 1;  // odd ⇒ bijective modulo 2^bits
+  std::uint32_t perm_offset_ = 0;
+  std::vector<std::uint32_t> perm_pos_;
+};
+
+/// Topology-aware scanning: targets come from the source's CSR neighbor
+/// span.  Hosts are identity-addressed (node k ⇔ address k), so the
+/// containment policy sees ordinary per-destination traffic.  The LocalSubnet
+/// strategy requires the topology's subnet assignment to be non-decreasing
+/// in node id (the generators' contiguous blocks), which makes the
+/// same-subnet neighbor range a binary-searchable subspan.
+class GraphScanTarget final : public ScanTarget {
+ public:
+  GraphScanTarget(const net::GraphTopology& topology, const net::HostRegistry& registry,
+                  const GraphWormOptions& options);
+
+  [[nodiscard]] net::Ipv4Address pick(net::HostId source, support::Rng& rng) override;
+
+ private:
+  const net::GraphTopology& topology_;
+  const net::HostRegistry& registry_;
+  GraphWormOptions options_;
+};
+
+/// Initial infected set for a topology run, per the seeding mode.  Returns
+/// exactly `count` distinct node ids; requires count ≤ node_count.
+[[nodiscard]] std::vector<net::HostId> select_seed_hosts(const net::GraphTopology& topology,
+                                                         GraphSeeding seeding,
+                                                         std::uint32_t count);
+
+}  // namespace worms::worm

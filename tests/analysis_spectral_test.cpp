@@ -1,0 +1,80 @@
+// Power-iteration spectral-radius estimator: closed-form graphs, the dense
+// math::spectral_radius reference on random graphs, and convergence
+// reporting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+
+#include "analysis/spectral.hpp"
+#include "math/linalg.hpp"
+#include "net/graph/generators.hpp"
+#include "net/graph/topology.hpp"
+
+namespace {
+
+using namespace worms;
+using net::GraphTopology;
+using net::NodeId;
+
+TEST(Spectral, KnownClosedForms) {
+  // Complete graph K_n: rho = n - 1.
+  const auto complete = analysis::estimate_spectral_radius(net::make_complete(50));
+  EXPECT_TRUE(complete.converged);
+  EXPECT_NEAR(complete.value, 49.0, 1e-6);
+
+  // Star K_{1,k}: rho = sqrt(k).
+  GraphTopology::Builder star(65);
+  for (NodeId leaf = 1; leaf < 65; ++leaf) star.add_edge(0, leaf);
+  const auto star_est = analysis::estimate_spectral_radius(std::move(star).build());
+  EXPECT_TRUE(star_est.converged);
+  EXPECT_NEAR(star_est.value, 8.0, 1e-6);  // sqrt(64); A+I shift handles bipartiteness
+
+  // Cycle C_n: rho = 2.
+  const std::uint32_t n = 30;
+  GraphTopology::Builder cycle(n);
+  for (NodeId v = 0; v < n; ++v) cycle.add_edge(v, (v + 1) % n);
+  const auto cycle_est = analysis::estimate_spectral_radius(std::move(cycle).build());
+  EXPECT_TRUE(cycle_est.converged);
+  EXPECT_NEAR(cycle_est.value, 2.0, 1e-6);
+}
+
+TEST(Spectral, EdgelessGraphIsZero) {
+  const auto est = analysis::estimate_spectral_radius(GraphTopology::Builder(10).build());
+  EXPECT_TRUE(est.converged);
+  EXPECT_EQ(est.value, 0.0);
+  const auto empty = analysis::estimate_spectral_radius(GraphTopology{});
+  EXPECT_TRUE(empty.converged);
+  EXPECT_EQ(empty.value, 0.0);
+}
+
+// Cross-check against the dense power iteration on graphs small enough to
+// materialize as math::Matrix.  The dense routine iterates A itself, the
+// graph routine A + I — same Perron root, independent code paths.
+TEST(Spectral, MatchesDenseReferenceOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const std::uint32_t n = 40;
+    const GraphTopology g = net::make_erdos_renyi(n, 6.0, seed);
+    math::Matrix a(n, n);
+    for (NodeId v = 0; v < n; ++v) {
+      for (const NodeId u : g.neighbors(v)) a.at(v, u) = 1.0;
+    }
+    const double dense = math::spectral_radius(a);
+    const auto sparse = analysis::estimate_spectral_radius(g, {.tolerance = 1e-12});
+    EXPECT_TRUE(sparse.converged) << "seed " << seed;
+    EXPECT_NEAR(sparse.value, dense, 1e-6 * std::max(1.0, dense)) << "seed " << seed;
+  }
+}
+
+TEST(Spectral, HonorsIterationBudget) {
+  const GraphTopology g = net::make_erdos_renyi(500, 8.0, 2);
+  const auto est = analysis::estimate_spectral_radius(g, {.max_iterations = 2});
+  EXPECT_FALSE(est.converged);
+  EXPECT_EQ(est.iterations, 2u);
+  // BA hubs push rho well above the ER mean-degree bound.
+  const auto ba = analysis::estimate_spectral_radius(net::make_barabasi_albert(5'000, 4, 2));
+  const auto er = analysis::estimate_spectral_radius(net::make_erdos_renyi(5'000, 8.0, 2));
+  EXPECT_GT(ba.value, er.value + 2.0);
+}
+
+}  // namespace

@@ -30,8 +30,8 @@ const std::vector<trace::ConnRecord>& sweep_trace() {
   return records;
 }
 
-PipelineConfig sweep_config(CounterBackend backend, unsigned shards) {
-  PipelineConfig cfg;
+PipelineOptions sweep_config(CounterBackend backend, unsigned shards) {
+  PipelineOptions cfg;
   cfg.policy.scan_limit = 500;
   // Shorter than the trace so checkpoints land both mid-cycle and across
   // cycle-boundary counter resets.
@@ -49,14 +49,14 @@ std::string snapshot_path(const char* tag) {
 
 /// Feeds `records[0, boundary)`, snapshots, and "crashes" (destroys the
 /// pipeline with work possibly still queued — the destructor path).
-void checkpoint_prefix(const PipelineConfig& cfg, const std::vector<trace::ConnRecord>& records,
+void checkpoint_prefix(const PipelineOptions& cfg, const std::vector<trace::ConnRecord>& records,
                        std::size_t boundary, const std::string& path) {
   ContainmentPipeline pipeline(cfg);
   for (std::size_t i = 0; i < boundary; ++i) pipeline.feed(records[i]);
   pipeline.write_checkpoint(path);
 }
 
-PipelineResult restore_and_replay(const PipelineConfig& cfg,
+PipelineResult restore_and_replay(const PipelineOptions& cfg,
                                   const std::vector<trace::ConnRecord>& records,
                                   const std::string& path) {
   auto pipeline = ContainmentPipeline::restore(cfg, path);

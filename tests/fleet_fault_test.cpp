@@ -27,8 +27,8 @@ const std::vector<trace::ConnRecord>& fault_trace() {
   return records;
 }
 
-PipelineConfig fault_config(unsigned shards) {
-  PipelineConfig cfg;
+PipelineOptions fault_config(unsigned shards) {
+  PipelineOptions cfg;
   cfg.policy.scan_limit = 500;
   cfg.policy.cycle_length = 30 * sim::kDay;
   cfg.policy.check_fraction = 0.5;
@@ -141,7 +141,7 @@ TEST(FleetFault, DegradeFaultSwitchesExactShardToHll) {
 }
 
 TEST(FleetFault, OutOfOrderAndDuplicateRecordsAreClassified) {
-  PipelineConfig cfg;
+  PipelineOptions cfg;
   cfg.policy.scan_limit = 1'000;
   cfg.policy.cycle_length = 30 * sim::kDay;
   cfg.shards = 1;
@@ -166,7 +166,7 @@ TEST(FleetFault, OutOfOrderAndDuplicateRecordsAreClassified) {
 }
 
 TEST(FleetFault, DeadLetterEntriesCarryStreamPositionsAndReasons) {
-  PipelineConfig cfg;
+  PipelineOptions cfg;
   cfg.policy.scan_limit = 1'000;
   cfg.shards = 1;
   ContainmentPipeline pipeline(cfg);

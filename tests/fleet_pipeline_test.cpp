@@ -31,8 +31,8 @@ const std::vector<trace::ConnRecord>& clean_trace() {
   return records;
 }
 
-PipelineConfig base_config(CounterBackend backend, unsigned shards) {
-  PipelineConfig cfg;
+PipelineOptions base_config(CounterBackend backend, unsigned shards) {
+  PipelineOptions cfg;
   cfg.policy.scan_limit = 500;
   cfg.policy.cycle_length = 30 * sim::kDay;
   cfg.policy.check_fraction = 0.5;
@@ -144,7 +144,7 @@ TEST(FleetPipeline, HllMemoryIsFixedExactMemoryGrowsWithCardinality) {
 TEST(FleetPipeline, HandCraftedVerdictTimeline) {
   // M=3, f=0.5 (flag at count 2), one host: count A,B then a repeat, then C
   // removes at its timestamp; the record after removal is suppressed.
-  PipelineConfig cfg;
+  PipelineOptions cfg;
   cfg.policy.scan_limit = 3;
   cfg.policy.cycle_length = 100.0;
   cfg.policy.check_fraction = 0.5;
@@ -170,7 +170,7 @@ TEST(FleetPipeline, HandCraftedVerdictTimeline) {
 TEST(FleetPipeline, CycleBoundaryResetsCounters) {
   // Two distinct destinations per 100 s cycle never reach M=3: the counter
   // must reset at t=100 exactly like the policy's own cycle bookkeeping.
-  PipelineConfig cfg;
+  PipelineOptions cfg;
   cfg.policy.scan_limit = 3;
   cfg.policy.cycle_length = 100.0;
   cfg.shards = 2;
@@ -242,7 +242,7 @@ TEST(FleetPipeline, EmptyStreamYieldsEmptyReport) {
 TEST(FleetPipeline, OutOfOrderPerHostInputIsQuarantinedNotFatal) {
   // A weeks-long containment cycle must survive a time regression: the bad
   // record routes to the dead-letter channel and the stream keeps flowing.
-  PipelineConfig cfg;
+  PipelineOptions cfg;
   cfg.policy.scan_limit = 10;
   cfg.shards = 1;
   ContainmentPipeline pipeline(cfg);
@@ -282,7 +282,7 @@ TEST(FleetPipeline, VerdictLookupMissesAbsentHostsAtEveryPosition) {
 TEST(FleetPipeline, RemovedHostsListsEveryHostWhenAllAreRemoved) {
   // M=1: the second distinct destination removes each host, so every host
   // ends up removed and the list must be complete and ascending.
-  PipelineConfig cfg;
+  PipelineOptions cfg;
   cfg.policy.scan_limit = 1;
   cfg.policy.cycle_length = 100.0;
   cfg.shards = 2;

@@ -41,8 +41,8 @@ const std::vector<trace::ConnRecord>& small_trace() {
   return records;
 }
 
-PipelineConfig trace_config() {
-  PipelineConfig cfg;
+PipelineOptions trace_config() {
+  PipelineOptions cfg;
   cfg.policy.scan_limit = 300;
   cfg.policy.cycle_length = 30 * sim::kDay;
   cfg.policy.check_fraction = 0.5;

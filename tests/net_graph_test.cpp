@@ -1,0 +1,201 @@
+// CSR topology + generator tests: the builder against a naive adjacency-list
+// reference on random graphs (property test), generator shape invariants, and
+// the BA-vs-ER degree-tail separation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "net/graph/generators.hpp"
+#include "net/graph/topology.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace worms;
+using net::GraphTopology;
+using net::NodeId;
+
+void expect_identical(const GraphTopology& a, const GraphTopology& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  ASSERT_EQ(a.max_degree(), b.max_degree());
+  ASSERT_EQ(a.subnet_count(), b.subnet_count());
+  for (NodeId v = 0; v < a.node_count(); ++v) {
+    ASSERT_EQ(a.degree(v), b.degree(v)) << "node " << v;
+    ASSERT_EQ(a.subnet_of(v), b.subnet_of(v)) << "node " << v;
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end())) << "node " << v;
+  }
+}
+
+TEST(GraphTopology, BuilderBasics) {
+  GraphTopology::Builder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 1);
+  b.add_edge(1, 0);  // duplicate (reversed) — collapsed at build
+  const GraphTopology g = std::move(b).build();
+
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 4u);  // 2 undirected edges
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  ASSERT_EQ(g.neighbors(1).size(), 2u);
+  EXPECT_EQ(g.neighbors(1)[0], 0u);  // sorted ascending
+  EXPECT_EQ(g.neighbors(1)[1], 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(3, 0));
+  EXPECT_EQ(g.subnet_count(), 1u);
+  EXPECT_EQ(g.subnet_of(3), 0u);
+  EXPECT_GT(g.memory_bytes(), 0u);
+}
+
+TEST(GraphTopology, RejectsSelfLoop) {
+  GraphTopology::Builder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), support::PreconditionError);
+}
+
+TEST(GraphTopology, EmptyGraph) {
+  const GraphTopology g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.mean_degree(), 0.0);
+}
+
+// Property test: the CSR must agree with a naive set-based adjacency list on
+// random multigraph-ish inputs (duplicates, both orientations).
+TEST(GraphTopology, MatchesNaiveAdjacencyReference) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    support::Rng rng(seed);
+    const auto n = static_cast<std::uint32_t>(2 + rng.below(80));
+    const auto attempts = static_cast<std::uint32_t>(rng.below(4 * n));
+
+    GraphTopology::Builder builder(n);
+    std::vector<std::set<NodeId>> naive(n);
+    for (std::uint32_t e = 0; e < attempts; ++e) {
+      const auto u = static_cast<NodeId>(rng.below(n));
+      const auto v = static_cast<NodeId>(rng.below(n));
+      if (u == v) continue;
+      builder.add_edge(u, v);
+      naive[u].insert(v);
+      naive[v].insert(u);
+    }
+    const GraphTopology g = std::move(builder).build();
+
+    std::uint64_t slots = 0;
+    std::uint32_t max_degree = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto span = g.neighbors(v);
+      ASSERT_EQ(span.size(), naive[v].size()) << "seed " << seed << " node " << v;
+      ASSERT_TRUE(std::equal(span.begin(), span.end(), naive[v].begin()))
+          << "seed " << seed << " node " << v;
+      ASSERT_EQ(g.degree(v), naive[v].size());
+      slots += span.size();
+      max_degree = std::max(max_degree, g.degree(v));
+    }
+    ASSERT_EQ(g.edge_count(), slots);
+    ASSERT_EQ(g.max_degree(), max_degree);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        ASSERT_EQ(g.has_edge(u, v), naive[u].count(v) == 1)
+            << "seed " << seed << " pair " << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(GraphGenerators, ErdosRenyiShape) {
+  const GraphTopology g = net::make_erdos_renyi(20'000, 8.0, 11);
+  EXPECT_EQ(g.node_count(), 20'000u);
+  // Mean directed degree concentrates around the target.
+  EXPECT_NEAR(g.mean_degree(), 8.0, 0.5);
+  EXPECT_EQ(g.subnet_count(), (20'000u + 255u) / 256u);
+  EXPECT_EQ(g.subnet_of(0), 0u);
+  EXPECT_EQ(g.subnet_of(511), 1u);
+}
+
+TEST(GraphGenerators, ErdosRenyiDeterministicPerSeed) {
+  expect_identical(net::make_erdos_renyi(5'000, 6.0, 3), net::make_erdos_renyi(5'000, 6.0, 3));
+  EXPECT_NE(net::make_erdos_renyi(5'000, 6.0, 3).edge_count(),
+            net::make_erdos_renyi(5'000, 6.0, 4).edge_count());
+}
+
+TEST(GraphGenerators, BarabasiAlbertShape) {
+  const std::uint32_t n = 20'000;
+  const std::uint32_t m = 3;
+  const GraphTopology g = net::make_barabasi_albert(n, m, 17);
+  EXPECT_EQ(g.node_count(), n);
+  // Every attached node brought m distinct edges; the clique seeds more.
+  for (NodeId v = m + 1; v < n; ++v) ASSERT_GE(g.degree(v), m);
+  EXPECT_NEAR(g.mean_degree(), 2.0 * m, 0.1);
+  expect_identical(g, net::make_barabasi_albert(n, m, 17));
+}
+
+// The satellite check: at the same mean degree, the BA degree distribution
+// has a power-law tail (P{d >= K} ~ (m/K)^2) while ER's Poisson tail is
+// super-exponentially small — at K = 4x the mean the separation is stark.
+TEST(GraphGenerators, BarabasiAlbertTailHeavierThanErdosRenyi) {
+  const std::uint32_t n = 20'000;
+  const GraphTopology ba = net::make_barabasi_albert(n, 3, 23);   // mean degree 6
+  const GraphTopology er = net::make_erdos_renyi(n, 6.0, 23);     // mean degree 6
+  ASSERT_NEAR(ba.mean_degree(), er.mean_degree(), 0.5);
+
+  const std::uint32_t threshold = 24;  // 4x mean: Poisson(6) mass ~ 4e-9
+  std::uint32_t ba_tail = 0;
+  std::uint32_t er_tail = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (ba.degree(v) >= threshold) ++ba_tail;
+    if (er.degree(v) >= threshold) ++er_tail;
+  }
+  EXPECT_GT(ba_tail, 50u);  // ~ n * (3/24)^2 / 2 — hundreds of hubs
+  EXPECT_LT(er_tail, 3u);
+  EXPECT_GT(ba.max_degree(), 4 * er.max_degree());
+}
+
+TEST(GraphGenerators, WattsStrogatzShape) {
+  const std::uint32_t n = 2'000;
+  const std::uint32_t k = 6;
+  // beta = 0: the pristine ring lattice, exactly k neighbors each.
+  const GraphTopology ring = net::make_watts_strogatz(n, k, 0.0, 5);
+  for (NodeId v = 0; v < n; ++v) ASSERT_EQ(ring.degree(v), k);
+  EXPECT_TRUE(ring.has_edge(0, 1));
+  EXPECT_TRUE(ring.has_edge(0, n - 1));  // ring wraps
+
+  // Rewiring preserves the edge count up to rare duplicate collapses.
+  const GraphTopology small_world = net::make_watts_strogatz(n, k, 0.1, 5);
+  EXPECT_LE(small_world.edge_count(), ring.edge_count());
+  EXPECT_GE(small_world.edge_count(), ring.edge_count() * 98 / 100);
+  expect_identical(small_world, net::make_watts_strogatz(n, k, 0.1, 5));
+}
+
+TEST(GraphGenerators, CompleteGraph) {
+  const std::uint32_t n = 200;
+  const GraphTopology g = net::make_complete(n);
+  EXPECT_EQ(g.edge_count(), static_cast<std::uint64_t>(n) * (n - 1));
+  for (NodeId v = 0; v < n; ++v) ASSERT_EQ(g.degree(v), n - 1);
+  EXPECT_TRUE(g.has_edge(0, n - 1));
+  EXPECT_EQ(g.subnet_count(), 1u);
+  // Materialization is capped: paper-scale K_V stays on the flat path.
+  EXPECT_THROW(net::make_complete(8'193), support::PreconditionError);
+}
+
+TEST(GraphGenerators, BlockSubnets) {
+  std::uint32_t count = 0;
+  const auto subnet_of = net::block_subnets(1'000, 256, count);
+  EXPECT_EQ(count, 4u);
+  EXPECT_EQ(subnet_of[0], 0u);
+  EXPECT_EQ(subnet_of[255], 0u);
+  EXPECT_EQ(subnet_of[256], 1u);
+  EXPECT_EQ(subnet_of[999], 3u);
+  EXPECT_TRUE(std::is_sorted(subnet_of.begin(), subnet_of.end()));
+}
+
+}  // namespace

@@ -1,0 +1,267 @@
+// Topology-aware worm layer: seed selection, the GraphScanTarget strategies,
+// the scan-level simulator's graph mode, the generation-level cascade, and
+// the determinism suite the TSan build points a dedicated ctest entry at.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "analysis/monte_carlo.hpp"
+#include "net/graph/generators.hpp"
+#include "net/graph/topology.hpp"
+#include "net/host_registry.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "worm/graph_epidemic.hpp"
+#include "worm/scan_level_sim.hpp"
+#include "worm/scan_target.hpp"
+
+namespace {
+
+using namespace worms;
+using net::GraphTopology;
+using net::NodeId;
+
+/// Path 0-1-2-...-(n-1).
+GraphTopology make_path(std::uint32_t n) {
+  GraphTopology::Builder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return std::move(b).build();
+}
+
+/// Two disjoint 5-cliques: {0..4} and {5..9}.
+GraphTopology make_two_cliques() {
+  GraphTopology::Builder b(10);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) {
+      b.add_edge(u, v);
+      b.add_edge(u + 5, v + 5);
+    }
+  }
+  return std::move(b).build();
+}
+
+TEST(SelectSeedHosts, FirstIds) {
+  const auto seeds = worm::select_seed_hosts(make_path(6), worm::GraphSeeding::FirstIds, 3);
+  EXPECT_EQ(seeds, (std::vector<net::HostId>{0, 1, 2}));
+}
+
+TEST(SelectSeedHosts, HighestDegreeIsHitlist) {
+  // Star with center 7 in a 10-node graph: the hitlist leads with the hub.
+  GraphTopology::Builder b(10);
+  for (NodeId v = 0; v < 10; ++v) {
+    if (v != 7) b.add_edge(7, v);
+  }
+  b.add_edge(2, 3);
+  const auto seeds =
+      worm::select_seed_hosts(std::move(b).build(), worm::GraphSeeding::HighestDegree, 3);
+  EXPECT_EQ(seeds[0], 7u);           // degree 9
+  EXPECT_EQ(seeds[1], 2u);           // degree 2, lowest id among the ties
+  EXPECT_EQ(seeds[2], 3u);
+}
+
+TEST(SelectSeedHosts, NeighborBfsIsConnectedPatch) {
+  const auto seeds = worm::select_seed_hosts(make_path(8), worm::GraphSeeding::NeighborBfs, 4);
+  EXPECT_EQ(seeds, (std::vector<net::HostId>{0, 1, 2, 3}));
+  // Component exhausted: continues from the lowest unvisited id.
+  const auto cliques =
+      worm::select_seed_hosts(make_two_cliques(), worm::GraphSeeding::NeighborBfs, 7);
+  EXPECT_EQ(cliques[5], 5u);
+  EXPECT_TRUE(std::is_sorted(cliques.begin(), cliques.end()));
+}
+
+TEST(GraphScanTarget, UniformNeighborPicksOnlyNeighbors) {
+  const GraphTopology g = net::make_erdos_renyi(500, 6.0, 3);
+  const auto registry = net::HostRegistry::identity(net::AddressSpace(32), g.node_count());
+  worm::GraphScanTarget target(g, registry, {});
+  support::Rng rng(9);
+  NodeId source = 0;
+  while (g.degree(source) == 0) ++source;
+  for (int i = 0; i < 500; ++i) {
+    const auto addr = target.pick(source, rng).value();
+    ASSERT_LT(addr, g.node_count());
+    ASSERT_TRUE(g.has_edge(source, addr));
+  }
+}
+
+TEST(GraphScanTarget, IsolatedNodeScansItself) {
+  GraphTopology::Builder b(3);
+  b.add_edge(0, 1);
+  const GraphTopology g = std::move(b).build();
+  const auto registry = net::HostRegistry::identity(net::AddressSpace(32), 3);
+  worm::GraphScanTarget target(g, registry, {});
+  support::Rng rng(1);
+  EXPECT_EQ(target.pick(2, rng).value(), 2u);
+}
+
+TEST(GraphScanTarget, LocalSubnetPrefersOwnBlock) {
+  // Subnet blocks of 4 over a path: node 3's neighbors are 2 (same subnet)
+  // and 4 (next subnet); q = 1 must always stay local.
+  GraphTopology::Builder b(8);
+  for (NodeId v = 0; v + 1 < 8; ++v) b.add_edge(v, v + 1);
+  std::uint32_t count = 0;
+  auto subnet_of = net::block_subnets(8, 4, count);
+  b.set_subnets(std::move(subnet_of), count);
+  const GraphTopology g = std::move(b).build();
+  const auto registry = net::HostRegistry::identity(net::AddressSpace(32), 8);
+
+  worm::GraphWormOptions options;
+  options.strategy = worm::GraphScanStrategy::LocalSubnet;
+  options.local_subnet_probability = 1.0;
+  worm::GraphScanTarget target(g, registry, options);
+  support::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(target.pick(3, rng).value(), 2u);
+  }
+  // Node 4's only same-subnet neighbor is 5; node 0's is 1.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(target.pick(4, rng).value(), 5u);
+    ASSERT_EQ(target.pick(0, rng).value(), 1u);
+  }
+}
+
+TEST(GraphOutbreak, CertainTransmissionSweepsComponentInWaves) {
+  worm::GraphOutbreakConfig cfg;
+  cfg.transmit_probability = 1.0;
+  const worm::OutbreakResult r = worm::run_graph_outbreak(make_path(6), cfg, 1);
+  EXPECT_EQ(r.total_infected, 6u);
+  EXPECT_EQ(r.total_removed, 6u);
+  EXPECT_TRUE(r.contained);
+  // One wave per path hop: generations 1,1,1,1,1,1.
+  EXPECT_EQ(r.generation_sizes.size(), 6u);
+}
+
+TEST(GraphOutbreak, ZeroTransmissionInfectsOnlySeeds) {
+  worm::GraphOutbreakConfig cfg;
+  cfg.transmit_probability = 0.0;
+  cfg.initial_infected = 2;
+  const worm::OutbreakResult r = worm::run_graph_outbreak(make_path(6), cfg, 1);
+  EXPECT_EQ(r.total_infected, 2u);
+  EXPECT_TRUE(r.contained);
+}
+
+TEST(GraphOutbreak, ConfinedToSeedComponent) {
+  worm::GraphOutbreakConfig cfg;
+  cfg.transmit_probability = 1.0;
+  const worm::OutbreakResult r = worm::run_graph_outbreak(make_two_cliques(), cfg, 1);
+  EXPECT_EQ(r.total_infected, 5u);  // the seed's clique, never the other
+}
+
+TEST(GraphOutbreak, CapMarksEscape) {
+  worm::GraphOutbreakConfig cfg;
+  cfg.transmit_probability = 1.0;
+  cfg.stop_at_total_infected = 3;
+  const worm::OutbreakResult r = worm::run_graph_outbreak(make_path(6), cfg, 1);
+  EXPECT_TRUE(r.hit_infection_cap);
+  EXPECT_FALSE(r.contained);
+  EXPECT_EQ(r.total_infected, 3u);
+}
+
+worm::WormConfig graph_worm_config(std::uint32_t nodes) {
+  worm::WormConfig cfg;
+  cfg.label = "graph-test";
+  cfg.vulnerable_hosts = nodes;
+  cfg.initial_infected = 1;
+  cfg.scan_rate = 5.0;
+  return cfg;
+}
+
+TEST(ScanLevelGraph, InfectionStaysInSeedComponent) {
+  auto topology = std::make_shared<const GraphTopology>(make_two_cliques());
+  worm::ScanLevelSimulation sim(graph_worm_config(10), topology, {}, nullptr, 42);
+  const worm::OutbreakResult r = sim.run(50.0);
+  EXPECT_EQ(r.total_infected, 5u);
+  for (net::HostId id = 0; id < 5; ++id) {
+    EXPECT_EQ(sim.state_of(id), worm::HostState::Infected) << id;
+  }
+  for (net::HostId id = 5; id < 10; ++id) {
+    EXPECT_EQ(sim.state_of(id), worm::HostState::Susceptible) << id;
+  }
+}
+
+TEST(ScanLevelGraph, HitlistSeedingStartsAtTheHub) {
+  GraphTopology::Builder b(12);
+  for (NodeId v = 0; v < 12; ++v) {
+    if (v != 6) b.add_edge(6, v);
+  }
+  auto topology = std::make_shared<const GraphTopology>(std::move(b).build());
+  worm::GraphWormOptions options;
+  options.seeding = worm::GraphSeeding::HighestDegree;
+  worm::ScanLevelSimulation sim(graph_worm_config(12), topology, options, nullptr, 7);
+  const worm::OutbreakResult r = sim.run(50.0);
+  EXPECT_EQ(sim.generation_of(6), 0u);  // the hub is generation 0
+  EXPECT_EQ(r.total_infected, 12u);     // star is connected: everyone falls
+}
+
+TEST(ScanLevelGraph, RejectsMismatchedConfig) {
+  auto topology = std::make_shared<const GraphTopology>(make_path(6));
+  auto cfg = graph_worm_config(5);  // != node_count
+  EXPECT_THROW(worm::ScanLevelSimulation(cfg, topology, {}, nullptr, 1),
+               support::PreconditionError);
+  cfg = graph_worm_config(6);
+  cfg.strategy = worm::ScanStrategy::Permutation;  // flat-only strategy
+  EXPECT_THROW(worm::ScanLevelSimulation(cfg, topology, {}, nullptr, 1),
+               support::PreconditionError);
+  EXPECT_THROW(worm::ScanLevelSimulation(graph_worm_config(6), nullptr, {}, nullptr, 1),
+               support::PreconditionError);
+}
+
+// ---- determinism suite (the TSan ctest entry filters GraphDeterminism.*) ----
+
+TEST(GraphDeterminism, ScanLevelGraphRunsReproduce) {
+  auto topology = std::make_shared<const GraphTopology>(net::make_erdos_renyi(400, 6.0, 5));
+  auto run_once = [&] {
+    worm::ScanLevelSimulation sim(graph_worm_config(400), topology, {}, nullptr, 11);
+    return sim.run(20.0);
+  };
+  const worm::OutbreakResult a = run_once();
+  const worm::OutbreakResult b = run_once();
+  EXPECT_EQ(a.total_infected, b.total_infected);
+  EXPECT_EQ(a.total_scans, b.total_scans);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.generation_sizes, b.generation_sizes);
+}
+
+TEST(GraphDeterminism, TopologicalMonteCarloBitIdenticalAcrossThreadCounts) {
+  // One shared read-only CSR backs every worker — the scenario the TSan build
+  // re-runs to prove the sharing is race-free.
+  const GraphTopology g = net::make_erdos_renyi(2'000, 6.0, 9);
+  const auto sweep = [&](unsigned threads) {
+    return analysis::run_monte_carlo(
+        {.runs = 96, .base_seed = 7, .threads = threads},
+        [&](std::uint64_t seed, std::uint64_t) {
+          worm::GraphOutbreakConfig cfg;
+          cfg.transmit_probability = 0.12;
+          cfg.stop_at_total_infected = 500;
+          return worm::run_graph_outbreak(g, cfg, seed).total_infected;
+        });
+  };
+  const auto one = sweep(1);
+  const auto two = sweep(2);
+  const auto four = sweep(4);
+  for (const auto* other : {&two, &four}) {
+    EXPECT_EQ(one.summary.count(), other->summary.count());
+    EXPECT_EQ(one.summary.mean(), other->summary.mean());    // bitwise
+    EXPECT_EQ(one.summary.min(), other->summary.min());
+    EXPECT_EQ(one.summary.max(), other->summary.max());
+    for (const std::uint64_t k : {std::uint64_t{1}, std::uint64_t{5}, std::uint64_t{50},
+                                  std::uint64_t{500}}) {
+      EXPECT_EQ(one.empirical_cdf(k), other->empirical_cdf(k)) << "k=" << k;
+    }
+  }
+}
+
+TEST(GraphDeterminism, GeneratorsArePureFunctionsOfSeed) {
+  const GraphTopology a = net::make_barabasi_albert(3'000, 3, 21);
+  const GraphTopology b = net::make_barabasi_albert(3'000, 3, 21);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (NodeId v = 0; v < a.node_count(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end())) << v;
+  }
+}
+
+}  // namespace

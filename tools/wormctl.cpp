@@ -11,6 +11,14 @@
 //              [--runs 500] [--seed 1] [--threads 0]
 //              (--threads 0 = one worker per hardware thread; any thread
 //              count produces bit-identical results)
+//              graph mode: [--topology er|ba|ws|complete] [--nodes N]
+//              [--avg-degree K] [--phi P]
+//              (runs the per-edge transmission cascade on a generated
+//              topology instead of the flat address space, estimates the
+//              adjacency spectral radius by power iteration, and reports
+//              the outbreak distribution against the phi*rho(A) <= 1
+//              epidemic threshold; --phi is the per-edge transmission
+//              probability, --avg-degree the target mean degree)
 //   multitype  preference-scanning (two-type) criticality and safe budget
 //              [--local-density 5e-3] [--global-density 2e-5]
 //              [--local-share 0.8] [--budget M*]
@@ -81,6 +89,7 @@
 #include <vector>
 
 #include "analysis/monte_carlo.hpp"
+#include "analysis/spectral.hpp"
 #include "analysis/table.hpp"
 #include "core/borel_tanner.hpp"
 #include "core/galton_watson.hpp"
@@ -88,6 +97,7 @@
 #include "core/planner.hpp"
 #include "fleet/pipeline.hpp"
 #include "fleet/worm_injector.hpp"
+#include "net/graph/generators.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
@@ -98,6 +108,7 @@
 #include "trace/record_source.hpp"
 #include "trace/synth.hpp"
 #include "trace/trace_io.hpp"
+#include "worm/graph_epidemic.hpp"
 #include "worm/hit_level_sim.hpp"
 
 namespace {
@@ -159,7 +170,71 @@ int cmd_extinction(const support::CliArgs& args) {
   return 0;
 }
 
+/// `wormctl simulate --topology ...`: the per-edge transmission cascade on a
+/// generated graph, validated against the spectral threshold phi*rho(A) <= 1.
+int cmd_simulate_topology(const support::CliArgs& args, const std::string& topology) {
+  WORMS_EXPECTS((topology == "er" || topology == "ba" || topology == "ws" ||
+                 topology == "complete") &&
+                "--topology must be er, ba, ws, or complete");
+  const std::uint32_t nodes = args.get_u32("nodes", 100'000);
+  const double avg_degree = args.get_double("avg-degree", 8.0);
+  WORMS_EXPECTS(avg_degree > 0.0 && "--avg-degree must be positive");
+  const double phi = args.get_double("phi", 0.1);
+  WORMS_EXPECTS(phi >= 0.0 && phi <= 1.0 && "--phi must be in [0, 1]");
+  const auto i0 = args.get_u32("i0", 1);
+  const auto runs = args.get_u64("runs", 500);
+  const auto seed = args.get_u64("seed", 1);
+  const auto threads = static_cast<unsigned>(args.get_u64("threads", 0));
+
+  const net::GraphTopology graph = [&] {
+    if (topology == "er") return net::make_erdos_renyi(nodes, avg_degree, seed);
+    if (topology == "ba") {
+      const auto m = static_cast<std::uint32_t>(std::max(1.0, avg_degree / 2.0));
+      return net::make_barabasi_albert(nodes, m, seed);
+    }
+    if (topology == "ws") {
+      const auto k = std::max(2u, static_cast<std::uint32_t>(avg_degree) & ~1u);
+      return net::make_watts_strogatz(nodes, k, 0.1, seed);
+    }
+    return net::make_complete(nodes);  // avg-degree is n-1 by construction
+  }();
+
+  const analysis::SpectralEstimate rho = analysis::estimate_spectral_radius(graph);
+  std::printf("topology %s: %u nodes, %llu edges, mean degree %.2f, max degree %u, "
+              "%u subnet(s)\n",
+              topology.c_str(), graph.node_count(),
+              static_cast<unsigned long long>(graph.edge_count() / 2), graph.mean_degree(),
+              graph.max_degree(), graph.subnet_count());
+  std::printf("rho(A) ~= %.4f (%s after %u iterations); spectral threshold phi* = %.6g\n",
+              rho.value, rho.converged ? "converged" : "NOT converged", rho.iterations,
+              rho.value > 0.0 ? 1.0 / rho.value : 0.0);
+  std::printf("phi = %.6g => phi*rho = %.4f (%scritical)\n\n", phi, phi * rho.value,
+              phi * rho.value <= 1.0 ? "sub" : "super");
+
+  const auto mc = analysis::run_monte_carlo(
+      {.runs = runs, .base_seed = seed, .threads = threads},
+      [&](std::uint64_t s, std::uint64_t) {
+        worm::GraphOutbreakConfig cfg;
+        cfg.transmit_probability = phi;
+        cfg.initial_infected = i0;
+        return worm::run_graph_outbreak(graph, cfg, s).total_infected;
+      });
+  std::printf("%llu runs: mean I = %.1f, std %.1f, max %llu\n",
+              static_cast<unsigned long long>(runs), mc.summary.mean(), mc.summary.stddev(),
+              static_cast<unsigned long long>(static_cast<std::uint64_t>(mc.summary.max())));
+  analysis::Table t({"k", "simulated P{I<=k}"});
+  for (const std::uint64_t k : {std::uint64_t{10}, std::uint64_t{100}, std::uint64_t{1'000},
+                                static_cast<std::uint64_t>(graph.node_count())}) {
+    t.add_row({analysis::Table::fmt(k), analysis::Table::fmt(mc.empirical_cdf(k), 4)});
+  }
+  t.print();
+  return 0;
+}
+
 int cmd_simulate(const support::CliArgs& args) {
+  if (args.has("topology")) {
+    return cmd_simulate_topology(args, args.get_string("topology", ""));
+  }
   worm::WormConfig cfg;
   cfg.label = "wormctl";
   cfg.vulnerable_hosts = static_cast<std::uint32_t>(args.get_u64("hosts", 360'000));
@@ -310,7 +385,7 @@ fleet::WormInjectConfig parse_inject_spec(const std::string& spec, std::uint64_t
 }
 
 void print_contain_report(const fleet::PipelineResult& result,
-                          const fleet::PipelineConfig& cfg,
+                          const fleet::PipelineOptions& cfg,
                           const std::vector<std::uint32_t>& infected) {
   const auto& m = result.metrics;
   const auto& v = result.verdicts;
@@ -433,7 +508,7 @@ int cmd_contain(const support::CliArgs& args) {
   const bool synth = args.get_bool("synth", false);
   WORMS_EXPECTS((synth || !path.empty()) && "contain requires --trace FILE or --synth");
 
-  fleet::PipelineConfig cfg;
+  fleet::PipelineOptions cfg;
   cfg.policy.scan_limit = args.get_u64("budget", 5'000);
   cfg.policy.cycle_length = args.get_double("cycle-days", 30.0) * sim::kDay;
   cfg.policy.check_fraction = args.get_double("check-fraction", 1.0);
@@ -623,7 +698,7 @@ int cmd_contain(const support::CliArgs& args) {
     // disagree on — the false-positive cost of approximate counting.  The
     // side runs are measurements, not the operational run: no checkpoints,
     // no faults, no spill-file clobbering.
-    fleet::PipelineConfig exact_cfg = cfg;
+    fleet::PipelineOptions exact_cfg = cfg;
     exact_cfg.backend = fleet::CounterBackend::Exact;
     exact_cfg.checkpoint_path.clear();
     exact_cfg.checkpoint_every = 0;
@@ -633,7 +708,7 @@ int cmd_contain(const support::CliArgs& args) {
     exact_cfg.metrics_export_path.clear();
     exact_cfg.metrics_export_every = 0;
     exact_cfg.tracer = nullptr;
-    fleet::PipelineConfig hll_cfg = exact_cfg;
+    fleet::PipelineOptions hll_cfg = exact_cfg;
     hll_cfg.backend = fleet::CounterBackend::Hll;
     const auto exact = fleet::ContainmentPipeline::run(exact_cfg, records);
     const auto hll = fleet::ContainmentPipeline::run(hll_cfg, records);
