@@ -1,0 +1,153 @@
+// Distributed-fleet wire bench: what does the network layer cost?
+//
+// Two tables.  First, the pure wire path — encode a record batch into a
+// framed .wtrace wire image and decode it back, swept over batch size, so the
+// per-record framing overhead (checksum, header, payload pack/unpack) is
+// visible in isolation.  Second, the end-to-end loopback path — a real
+// ServeNode on 127.0.0.1 fed by a real ingest client over TCP, swept over the
+// same batch sizes, against the in-process pipeline rate as the reference.
+// The gap between the two tables is the transport tax EXPERIMENTS.md quotes
+// for multi-node deployments; the gate is that the hot path stays within a
+// small factor of the local pipeline, not that TCP is free.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fleet/net/node.hpp"
+#include "fleet/net/wire.hpp"
+#include "fleet/pipeline.hpp"
+#include "support/stopwatch.hpp"
+#include "trace/record_source.hpp"
+#include "trace/synth.hpp"
+
+namespace {
+
+using namespace worms;
+
+trace::LblSynthConfig bench_synth_config() {
+  trace::LblSynthConfig cfg;
+  cfg.hosts = 1'200;
+  cfg.duration = 6.0 * sim::kDay;
+  cfg.seed = 99;
+  return cfg;
+}
+
+fleet::PipelineOptions bench_pipeline() {
+  fleet::PipelineOptions cfg;
+  cfg.policy.scan_limit = 2'000;
+  cfg.shards = 2;
+  return cfg;
+}
+
+constexpr int kRepeats = 3;
+
+void bench_wire(const std::vector<trace::ConnRecord>& records) {
+  std::printf("%-8s %-10s %-10s %-10s %-10s\n", "batch", "enc Mrec/s", "dec Mrec/s", "B/rec",
+              "frames");
+  for (const std::size_t batch : {std::size_t{256}, std::size_t{1024}, std::size_t{4096},
+                                  std::size_t{16384}}) {
+    double enc_seconds = 1e300;
+    double dec_seconds = 1e300;
+    std::uint64_t frames = 0;
+    std::uint64_t wire_bytes = 0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      std::vector<std::string> encoded;
+      encoded.reserve(records.size() / batch + 1);
+      support::Stopwatch enc_watch;
+      for (std::size_t at = 0; at < records.size(); at += batch) {
+        const std::span<const trace::ConnRecord> slice(
+            records.data() + at, std::min(batch, records.size() - at));
+        encoded.push_back(
+            fleet::net::encode_frame(fleet::net::FrameType::Records,
+                                     fleet::net::encode_records(slice)));
+      }
+      enc_seconds = std::min(enc_seconds, enc_watch.elapsed_seconds());
+
+      fleet::net::FrameDecoder decoder;
+      std::uint64_t decoded_records = 0;
+      support::Stopwatch dec_watch;
+      for (const auto& frame : encoded) {
+        decoder.append(frame.data(), frame.size());
+        for (;;) {
+          auto result = decoder.next();
+          if (result.status != fleet::net::FrameDecoder::Status::Ready) break;
+          decoded_records += fleet::net::decode_records(result.frame.payload).size();
+        }
+      }
+      dec_seconds = std::min(dec_seconds, dec_watch.elapsed_seconds());
+      if (decoded_records != records.size()) {
+        std::printf("DECODE MISMATCH: %llu != %zu\n",
+                    static_cast<unsigned long long>(decoded_records), records.size());
+        return;
+      }
+      frames = encoded.size();
+      wire_bytes = 0;
+      for (const auto& frame : encoded) wire_bytes += frame.size();
+    }
+    const double n = static_cast<double>(records.size());
+    std::printf("%-8zu %-10.2f %-10.2f %-10.2f %-10llu\n", batch, n / enc_seconds / 1e6,
+                n / dec_seconds / 1e6, static_cast<double>(wire_bytes) / n,
+                static_cast<unsigned long long>(frames));
+  }
+}
+
+void bench_loopback(const std::vector<trace::ConnRecord>& records) {
+  // In-process reference rate: the same records through the same pipeline,
+  // no sockets.
+  double local_seconds = 1e300;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    support::Stopwatch watch;
+    (void)fleet::ContainmentPipeline::run(bench_pipeline(), records);
+    local_seconds = std::min(local_seconds, watch.elapsed_seconds());
+  }
+  const double local_rate = static_cast<double>(records.size()) / local_seconds / 1e6;
+  std::printf("local pipeline (no network): %.2f Mrec/s\n\n", local_rate);
+
+  std::printf("%-8s %-10s %-10s\n", "batch", "Mrec/s", "vs local");
+  for (const std::uint64_t batch : {256ull, 1024ull, 4096ull, 16384ull}) {
+    double seconds = 1e300;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      fleet::net::NodeOptions options;
+      options.listen = fleet::net::Endpoint{"127.0.0.1", 0};
+      options.pipeline = bench_pipeline();
+      fleet::net::ServeNode node(options);
+      fleet::net::IngestOptions client;
+      client.connect = {fleet::net::Endpoint{"127.0.0.1", node.port()}};
+      client.batch_records = batch;
+      support::Stopwatch watch;
+      std::thread ingest([&] {
+        (void)fleet::net::run_ingest(client, [&records] {
+          return std::make_unique<trace::VectorSource>(std::span(records));
+        });
+      });
+      const fleet::net::NodeReport report = node.wait();
+      ingest.join();
+      seconds = std::min(seconds, watch.elapsed_seconds());
+      if (report.records_received != records.size()) {
+        std::printf("INGEST MISMATCH: %llu != %zu\n",
+                    static_cast<unsigned long long>(report.records_received), records.size());
+        return;
+      }
+    }
+    const double rate = static_cast<double>(records.size()) / seconds / 1e6;
+    std::printf("%-8llu %-10.2f %.0f%%\n", static_cast<unsigned long long>(batch), rate,
+                100.0 * rate / local_rate);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto records = trace::synthesize_lbl_trace(bench_synth_config()).records;
+  std::printf("== Fleet net bench: wire framing and loopback ingest ==\n");
+  std::printf("trace: %zu records, 1200 hosts; pipeline: 2 shards\n\n", records.size());
+
+  std::printf("-- frame encode/decode (in memory) --\n");
+  bench_wire(records);
+
+  std::printf("\n-- loopback TCP ingest (serve + 1 client) --\n");
+  bench_loopback(records);
+  return 0;
+}

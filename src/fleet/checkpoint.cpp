@@ -82,7 +82,7 @@ void encode_counter(BinaryWriter& out, const DistinctCounter& counter) {
       const auto& exact = static_cast<const ExactCounter&>(counter);
       out.put_u64(exact.table().size());
       exact.table().for_each(
-          [&out](net::Ipv4Address addr, std::uint32_t) { out.put_u32(addr.value()); });
+          [&out](worms::net::Ipv4Address addr, std::uint32_t) { out.put_u32(addr.value()); });
       break;
     }
     case CounterBackend::Hll: {

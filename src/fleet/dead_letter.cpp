@@ -12,16 +12,44 @@ const char* to_string(DeadLetterReason reason) noexcept {
     case DeadLetterReason::Malformed: return "malformed";
     case DeadLetterReason::OutOfOrder: return "out-of-order";
     case DeadLetterReason::Duplicate: return "duplicate";
+    case DeadLetterReason::FrameBadMagic: return "frame-bad-magic";
+    case DeadLetterReason::FrameTruncated: return "frame-truncated";
+    case DeadLetterReason::FrameChecksum: return "frame-checksum";
+    case DeadLetterReason::FrameOversized: return "frame-oversized";
   }
   return "unknown";
 }
 
+namespace {
+
+/// The stats field backing each reason, so report/preload stay in lockstep
+/// with the enum.
+std::uint64_t& stats_field(DeadLetterStats& stats, DeadLetterReason reason) {
+  switch (reason) {
+    case DeadLetterReason::Malformed: return stats.malformed;
+    case DeadLetterReason::OutOfOrder: return stats.out_of_order;
+    case DeadLetterReason::Duplicate: return stats.duplicate;
+    case DeadLetterReason::FrameBadMagic: return stats.frame_bad_magic;
+    case DeadLetterReason::FrameTruncated: return stats.frame_truncated;
+    case DeadLetterReason::FrameChecksum: return stats.frame_checksum;
+    case DeadLetterReason::FrameOversized: return stats.frame_oversized;
+  }
+  return stats.malformed;  // unreachable
+}
+
+constexpr std::array<DeadLetterReason, kDeadLetterReasonCount> kAllReasons = {
+    DeadLetterReason::Malformed,      DeadLetterReason::OutOfOrder,
+    DeadLetterReason::Duplicate,      DeadLetterReason::FrameBadMagic,
+    DeadLetterReason::FrameTruncated, DeadLetterReason::FrameChecksum,
+    DeadLetterReason::FrameOversized,
+};
+
+}  // namespace
+
 DeadLetterChannel::DeadLetterChannel(const Config& config) : config_(config) {
   WORMS_EXPECTS(config.capacity >= 1);
   if (config_.metrics != nullptr) {
-    for (const DeadLetterReason reason :
-         {DeadLetterReason::Malformed, DeadLetterReason::OutOfOrder,
-          DeadLetterReason::Duplicate}) {
+    for (const DeadLetterReason reason : kAllReasons) {
       reason_counters_[static_cast<std::size_t>(reason)] = &config_.metrics->counter(
           std::string("fleet_dead_letters_total{reason=\"") + to_string(reason) + "\"}");
     }
@@ -36,11 +64,7 @@ DeadLetterChannel::DeadLetterChannel(const Config& config) : config_(config) {
 
 void DeadLetterChannel::report(DeadLetterEntry entry) {
   std::lock_guard lock(mutex_);
-  switch (entry.reason) {
-    case DeadLetterReason::Malformed: ++stats_.malformed; break;
-    case DeadLetterReason::OutOfOrder: ++stats_.out_of_order; break;
-    case DeadLetterReason::Duplicate: ++stats_.duplicate; break;
-  }
+  ++stats_field(stats_, entry.reason);
   if (obs::Counter* c = reason_counters_[static_cast<std::size_t>(entry.reason)]) c->add();
   if (spill_.is_open()) {
     spill_ << entry.stream_index << ',' << to_string(entry.reason) << ','
@@ -62,10 +86,10 @@ void DeadLetterChannel::preload(const DeadLetterStats& stats) {
   WORMS_EXPECTS(stats_ == DeadLetterStats{} && "preload on a channel already in use");
   stats_ = stats;
   if (reason_counters_[0] != nullptr) {
-    reason_counters_[static_cast<std::size_t>(DeadLetterReason::Malformed)]->add(stats.malformed);
-    reason_counters_[static_cast<std::size_t>(DeadLetterReason::OutOfOrder)]
-        ->add(stats.out_of_order);
-    reason_counters_[static_cast<std::size_t>(DeadLetterReason::Duplicate)]->add(stats.duplicate);
+    DeadLetterStats baseline = stats;
+    for (const DeadLetterReason reason : kAllReasons) {
+      reason_counters_[static_cast<std::size_t>(reason)]->add(stats_field(baseline, reason));
+    }
   }
   if (overflow_counter_ != nullptr) overflow_counter_->add(stats.overflow_dropped);
 }

@@ -29,10 +29,16 @@ class Registry;
 namespace worms::fleet {
 
 enum class DeadLetterReason : std::uint8_t {
-  Malformed,   ///< unparseable line or non-finite/negative timestamp
-  OutOfOrder,  ///< timestamp regressed for its source host
-  Duplicate,   ///< identical (timestamp, destination) to the host's previous record
+  Malformed,       ///< unparseable line or non-finite/negative timestamp
+  OutOfOrder,      ///< timestamp regressed for its source host
+  Duplicate,       ///< identical (timestamp, destination) to the host's previous record
+  FrameBadMagic,   ///< wire frame header with wrong magic/version/type bytes
+  FrameTruncated,  ///< connection ended mid-frame (short header or payload)
+  FrameChecksum,   ///< frame payload failed its FNV-1a-64 checksum
+  FrameOversized,  ///< length prefix beyond net::kMaxFramePayload
 };
+
+inline constexpr std::size_t kDeadLetterReasonCount = 7;
 
 [[nodiscard]] const char* to_string(DeadLetterReason reason) noexcept;
 
@@ -52,10 +58,15 @@ struct DeadLetterStats {
   std::uint64_t malformed = 0;
   std::uint64_t out_of_order = 0;
   std::uint64_t duplicate = 0;
+  std::uint64_t frame_bad_magic = 0;
+  std::uint64_t frame_truncated = 0;
+  std::uint64_t frame_checksum = 0;
+  std::uint64_t frame_oversized = 0;
   std::uint64_t overflow_dropped = 0;
 
   [[nodiscard]] std::uint64_t total() const noexcept {
-    return malformed + out_of_order + duplicate;
+    return malformed + out_of_order + duplicate + frame_bad_magic + frame_truncated +
+           frame_checksum + frame_oversized;
   }
 
   friend bool operator==(const DeadLetterStats&, const DeadLetterStats&) = default;
@@ -100,7 +111,7 @@ class DeadLetterChannel {
   std::ofstream spill_;
   /// Per-reason counters (index = DeadLetterReason) plus overflow; null when
   /// the channel is not instrumented.
-  std::array<obs::Counter*, 3> reason_counters_{};
+  std::array<obs::Counter*, kDeadLetterReasonCount> reason_counters_{};
   obs::Counter* overflow_counter_ = nullptr;
 };
 

@@ -5,7 +5,7 @@
 // running distinct count.  The pipeline therefore isolates "how distinctness
 // is judged" behind this interface with two backends:
 //
-//   * Exact — a flat open-addressing set (reusing net::AddressTable, the same
+//   * Exact — a flat open-addressing set (reusing worms::net::AddressTable, the same
 //     robin-hood table the scan-level simulator uses).  O(distinct) memory
 //     per host, zero error: the reference the approximate backend is judged
 //     against.
@@ -60,14 +60,14 @@ class DistinctCounter {
   [[nodiscard]] virtual CounterBackend backend() const noexcept = 0;
 };
 
-/// Exact backend over net::AddressTable.
+/// Exact backend over worms::net::AddressTable.
 class ExactCounter final : public DistinctCounter {
  public:
   std::uint32_t add(std::uint32_t destination) override {
-    return seen_.insert(net::Ipv4Address(destination), 0) ? 1u : 0u;
+    return seen_.insert(worms::net::Ipv4Address(destination), 0) ? 1u : 0u;
   }
   [[nodiscard]] std::uint64_t count() const noexcept override { return seen_.size(); }
-  void reset() override { seen_ = net::AddressTable(16); }
+  void reset() override { seen_ = worms::net::AddressTable(16); }
   [[nodiscard]] std::size_t memory_bytes() const noexcept override {
     return sizeof(*this) + seen_.capacity() * 8;  // 8 bytes per open-addressing slot
   }
@@ -76,10 +76,10 @@ class ExactCounter final : public DistinctCounter {
   }
 
   /// The underlying set — checkpoint serialization and exact→HLL degradation.
-  [[nodiscard]] const net::AddressTable& table() const noexcept { return seen_; }
+  [[nodiscard]] const worms::net::AddressTable& table() const noexcept { return seen_; }
 
  private:
-  net::AddressTable seen_{16};
+  worms::net::AddressTable seen_{16};
 };
 
 /// Approximate backend over trace::HyperLogLog.  The reported count is the
@@ -97,9 +97,9 @@ class HllCounter final : public DistinctCounter {
   /// Overload degradation: absorb an exact counter's set, carrying its exact
   /// tally forward as the reported baseline so the host's spent budget is
   /// neither refunded nor double-charged by the switch.
-  HllCounter(int precision, const net::AddressTable& seen, std::uint64_t reported)
+  HllCounter(int precision, const worms::net::AddressTable& seen, std::uint64_t reported)
       : sketch_(precision), precision_(precision), reported_(reported) {
-    seen.for_each([this](net::Ipv4Address addr, std::uint32_t) { sketch_.add(addr.value()); });
+    seen.for_each([this](worms::net::Ipv4Address addr, std::uint32_t) { sketch_.add(addr.value()); });
   }
 
   std::uint32_t add(std::uint32_t destination) override {

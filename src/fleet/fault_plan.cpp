@@ -69,10 +69,31 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     } else if (kind == "corrupt") {
       plan.corrupt_records.push_back(
           parse_number<std::uint64_t>(body, clause, "INDEX must be a non-negative integer"));
+    } else if (kind == "netkill") {
+      plan.net_kills.push_back(
+          parse_number<std::uint64_t>(body, clause, "FRAMES must be a non-negative integer"));
+    } else if (kind == "netdrop") {
+      plan.net_drops.push_back(
+          parse_number<std::uint64_t>(body, clause, "FRAMES must be a non-negative integer"));
+    } else if (kind == "netcorrupt") {
+      plan.net_corrupt_frames.push_back(
+          parse_number<std::uint64_t>(body, clause, "INDEX must be a non-negative integer"));
+    } else if (kind == "netstall") {
+      const auto comma = body.find(',');
+      if (comma == std::string_view::npos) bad_spec(clause, "expected FRAMES,SECONDS");
+      NetStallFault stall;
+      stall.after_frames = parse_number<std::uint64_t>(
+          body.substr(0, comma), clause, "FRAMES must be a non-negative integer");
+      stall.seconds = parse_number<double>(body.substr(comma + 1), clause,
+                                           "SECONDS must be a number");
+      if (!(stall.seconds >= 0.0)) bad_spec(clause, "SECONDS must be >= 0");
+      plan.net_stalls.push_back(stall);
     } else if (kind == "seed") {
       plan.seed = parse_number<std::uint64_t>(body, clause, "N must be a non-negative integer");
     } else {
-      bad_spec(clause, "unknown kind (want kill, degrade, stall, corrupt, or seed)");
+      bad_spec(clause,
+               "unknown kind (want kill, degrade, stall, corrupt, netkill, netdrop, "
+               "netcorrupt, netstall, or seed)");
     }
   }
   return plan;

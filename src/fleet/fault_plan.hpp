@@ -19,6 +19,19 @@
 //   degrade:SHARD@BATCHES   corrupt:INDEX        seed:N
 //
 // e.g. --fault-plan "kill:0@10;corrupt:500;corrupt:501;stall:1@5,0.25".
+//
+// The fleet/net layer adds network clauses, honoured by `wormctl serve` and
+// `wormctl ingest` (the in-process pipeline ignores them):
+//
+//   netkill:FRAMES            serve: _Exit(9) after receiving FRAMES frames —
+//                             a hard primary crash for failover tests
+//   netdrop:FRAMES            serve: close every live ingest connection once
+//                             FRAMES frames have arrived (clients reconnect)
+//   netcorrupt:INDEX          ingest: flip a payload byte of the INDEX-th
+//                             sent frame AFTER checksumming (receiver must
+//                             dead-letter it as frame-checksum)
+//   netstall:FRAMES,SECONDS   serve: pause the receiving reader SECONDS after
+//                             FRAMES frames (backpressure without data loss)
 #pragma once
 
 #include <cstdint>
@@ -48,16 +61,36 @@ struct FaultPlan {
     friend bool operator==(const StallFault&, const StallFault&) = default;
   };
 
+  /// Pause a serve node's frame reader for `seconds` once `after_frames`
+  /// frames have been received (network-side analogue of StallFault).
+  struct NetStallFault {
+    std::uint64_t after_frames = 0;
+    double seconds = 0.0;
+
+    friend bool operator==(const NetStallFault&, const NetStallFault&) = default;
+  };
+
   std::vector<WorkerFault> kills;
   std::vector<WorkerFault> degrades;
   std::vector<StallFault> stalls;
   /// Stream indices (0-based feed order) of records to corrupt at ingest.
   std::vector<std::uint64_t> corrupt_records;
+  /// serve: frame counts after which the whole process _Exit(9)s (hard crash).
+  std::vector<std::uint64_t> net_kills;
+  /// serve: frame counts after which every live ingest connection is closed.
+  std::vector<std::uint64_t> net_drops;
+  /// ingest: 0-based indices of sent frames whose payload gets one byte
+  /// flipped after checksumming (forcing a frame-checksum dead letter).
+  std::vector<std::uint64_t> net_corrupt_frames;
+  /// serve: reader stalls (frames received, seconds).
+  std::vector<NetStallFault> net_stalls;
   /// Seeds the corruption mode choice (malformed vs duplicate) per index.
   std::uint64_t seed = 0xFA17;
 
   [[nodiscard]] bool empty() const noexcept {
-    return kills.empty() && degrades.empty() && stalls.empty() && corrupt_records.empty();
+    return kills.empty() && degrades.empty() && stalls.empty() && corrupt_records.empty() &&
+           net_kills.empty() && net_drops.empty() && net_corrupt_frames.empty() &&
+           net_stalls.empty();
   }
 
   /// Parses the wormctl SPEC grammar above; throws support::PreconditionError

@@ -1,0 +1,138 @@
+#include "fleet/net/alert_race.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "fleet/net/wire.hpp"
+#include "support/check.hpp"
+
+namespace worms::fleet::net {
+
+namespace {
+
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void AlertRaceConfig::validate() const {
+  WORMS_EXPECTS(hosts > 0 && "alert race: hosts must be nonzero");
+  WORMS_EXPECTS(address_space >= hosts && "alert race: address space must cover the hosts");
+  WORMS_EXPECTS(nodes > 0 && "alert race: need at least one monitor");
+  WORMS_EXPECTS(budget > 0 && "alert race: budget must be nonzero");
+  WORMS_EXPECTS(phi > 0.0 && phi <= 1.0 && "alert race: phi must be in (0, 1]");
+  WORMS_EXPECTS(initial_infected > 0 && initial_infected <= hosts &&
+                "alert race: initial infected must be in [1, hosts]");
+  WORMS_EXPECTS(scan_rate > 0 && "alert race: scan rate must be nonzero");
+  WORMS_EXPECTS(steps > 0 && "alert race: steps must be nonzero");
+}
+
+AlertRaceResult run_alert_race(const AlertRaceConfig& config) {
+  config.validate();
+  const std::uint32_t N = config.hosts;
+  const std::uint32_t K = config.nodes;
+  const std::uint32_t flag_at =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(
+                                     std::ceil(config.phi * static_cast<double>(config.budget))));
+
+  // infected_step[h] < 0: never infected; otherwise the step it was infected
+  // (a host starts scanning the step AFTER its infection).
+  std::vector<std::int64_t> infected_step(N, -1);
+  std::vector<std::uint64_t> rng(N);
+  for (std::uint32_t h = 0; h < N; ++h) {
+    rng[h] = splitmix64(config.seed ^ (0x9E3779B97F4A7C15ULL * (h + 1)));
+  }
+  // observed[k*N + h]: scans from h seen (and not dropped) by monitor k.
+  std::vector<std::uint32_t> observed(static_cast<std::size_t>(K) * N, 0);
+  std::vector<std::uint8_t> blocked(static_cast<std::size_t>(K) * N, 0);
+  std::vector<std::uint8_t> blocked_count(N, 0);  ///< monitors blocking h
+  std::vector<std::uint8_t> alert_sent(N, 0);     ///< fleet-wide alert dedupe
+
+  AlertRaceResult result;
+  result.total_infected = config.initial_infected;
+  for (std::uint32_t h = 0; h < config.initial_infected; ++h) infected_step[h] = 0;
+
+  // Alerts in flight: one batch per send step, delivered gossip_delay later.
+  struct PendingBatch {
+    std::uint32_t deliver_step = 0;
+    std::string payload;  ///< encode_alerts() image, decoded at delivery
+  };
+  std::vector<PendingBatch> in_flight;
+  std::size_t next_delivery = 0;
+
+  for (std::uint32_t step = 1; step <= config.steps; ++step) {
+    // Deliver due alerts: every monitor pre-contains each announced host.
+    // The batch crosses the same wire codec the live gossip path uses.
+    while (next_delivery < in_flight.size() &&
+           in_flight[next_delivery].deliver_step <= step) {
+      const std::vector<AlertEntry> alerts = decode_alerts(in_flight[next_delivery].payload);
+      for (const AlertEntry& alert : alerts) {
+        for (std::uint32_t k = 0; k < K; ++k) {
+          std::uint8_t& b = blocked[static_cast<std::size_t>(k) * N + alert.host];
+          if (b == 0) {
+            b = 1;
+            ++blocked_count[alert.host];
+            ++result.pre_containments;
+          }
+        }
+      }
+      ++next_delivery;
+    }
+
+    std::vector<AlertEntry> outgoing;
+    bool any_active = false;
+    for (std::uint32_t h = 0; h < N; ++h) {
+      if (infected_step[h] < 0 || infected_step[h] >= step) continue;
+      if (blocked_count[h] == K) continue;  // silenced at every monitor
+      any_active = true;
+      for (std::uint32_t s = 0; s < config.scan_rate; ++s) {
+        // Each host draws from its own stream: blocking it (or anyone else)
+        // never shifts another host's scan sequence, so gossip on/off runs
+        // differ only through what the monitors drop.
+        rng[h] = splitmix64(rng[h]);
+        const std::uint64_t address = rng[h] % config.address_space;
+        const std::uint32_t monitor = static_cast<std::uint32_t>(address % K);
+        ++result.scans_attempted;
+        if (blocked[static_cast<std::size_t>(monitor) * N + h] != 0) {
+          ++result.scans_blocked;
+          continue;
+        }
+        std::uint32_t& seen = observed[static_cast<std::size_t>(monitor) * N + h];
+        ++seen;
+        if (address < N && infected_step[address] < 0) {
+          infected_step[address] = step;  // starts scanning next step
+          ++result.new_infections;
+          ++result.total_infected;
+        }
+        if (config.gossip && seen >= flag_at && alert_sent[h] == 0) {
+          alert_sent[h] = 1;
+          outgoing.push_back(AlertEntry{h, static_cast<double>(step)});
+          ++result.alerts_gossiped;
+          if (result.first_alert_step == 0) result.first_alert_step = step;
+        }
+        if (seen >= config.budget &&
+            blocked[static_cast<std::size_t>(monitor) * N + h] == 0) {
+          blocked[static_cast<std::size_t>(monitor) * N + h] = 1;
+          ++blocked_count[h];
+          ++result.local_containments;
+        }
+      }
+    }
+    if (!outgoing.empty()) {
+      in_flight.push_back(PendingBatch{step + config.gossip_delay, encode_alerts(outgoing)});
+    }
+    if (!any_active && next_delivery == in_flight.size()) break;  // epidemic exhausted
+  }
+
+  for (std::uint32_t h = 0; h < N; ++h) {
+    if (blocked_count[h] == K) ++result.hosts_fully_blocked;
+  }
+  return result;
+}
+
+}  // namespace worms::fleet::net

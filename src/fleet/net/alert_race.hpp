@@ -1,0 +1,74 @@
+// Alert-vs-worm race simulation for the distributed containment fleet.
+//
+// The paper's single-monitor analysis assumes one vantage point sees every
+// scan a host makes; a fleet of K monitors sharded by *destination* sees only
+// ~1/K of them each, so any one monitor needs ~K·M observed scans before the
+// local scan-count policy trips — the worm gets a K× longer leash.  Alert
+// gossip closes that gap: the first monitor to flag a host announces it, and
+// every peer pre-contains (administratively blocks) the host in its own
+// slice.  Whether that helps depends on a race — the alert must cross the
+// mesh (gossip_delay steps) before the host's remaining slices infect fresh
+// targets — which is exactly the alert-dissemination race analyzed by
+// Shakkottai & Srikant for P2P patch networks.
+//
+// The model is a deterministic discrete-time epidemic:
+//
+//   * `hosts` vulnerable hosts in an `address_space`-sized space; a scan hits
+//     a vulnerable address with probability hosts/address_space.
+//   * Each infected host makes `scan_rate` scans per step, drawn from its own
+//     splitmix64 stream — blocking one host never perturbs another host's
+//     draw sequence, so gossip on/off runs differ ONLY through blocking.
+//   * Scan to address a is observed by monitor a % nodes; a monitor that has
+//     blocked the source drops the scan (no infection, no observation).
+//   * A monitor flags a source at ceil(phi * budget) observed scans and
+//     gossips one alert (deduplicated fleet-wide); it locally contains the
+//     source at `budget` scans regardless.
+//   * With gossip enabled, alerts are delivered `gossip_delay` steps later to
+//     every monitor, which pre-contains the host.  Alert batches round-trip
+//     through encode_alerts/decode_alerts — the same wire codec the live
+//     ServeNode gossip path uses.
+//
+// At equal phi, enabling gossip must yield strictly fewer total infections —
+// the acceptance experiment for this subsystem (EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace worms::fleet::net {
+
+struct AlertRaceConfig {
+  std::uint32_t hosts = 1000;           ///< vulnerable population
+  std::uint64_t address_space = 4096;   ///< scanned space (>= hosts)
+  std::uint32_t nodes = 4;              ///< monitors, sharded by destination
+  std::uint32_t budget = 10;            ///< per-monitor scan limit M
+  double phi = 0.5;                     ///< alert at ceil(phi*M) observed scans
+  std::uint32_t initial_infected = 2;   ///< patient-zero hosts (lowest ids)
+  std::uint32_t scan_rate = 4;          ///< scans per infected host per step
+  std::uint32_t steps = 200;            ///< simulated steps
+  std::uint32_t gossip_delay = 2;       ///< steps before an alert lands
+  bool gossip = true;                   ///< off = local containment only
+  std::uint64_t seed = 0x5EEDFEEDULL;
+
+  /// Throws support::PreconditionError on an inconsistent configuration.
+  void validate() const;
+};
+
+struct AlertRaceResult {
+  std::uint64_t total_infected = 0;      ///< initial + new infections
+  std::uint64_t new_infections = 0;      ///< infections caused by scanning
+  std::uint64_t scans_attempted = 0;
+  std::uint64_t scans_blocked = 0;       ///< dropped by a blocking monitor
+  std::uint64_t local_containments = 0;  ///< per-monitor budget trips
+  std::uint64_t alerts_gossiped = 0;     ///< deduplicated alerts sent
+  std::uint64_t pre_containments = 0;    ///< (monitor, host) blocks via alerts
+  std::uint32_t first_alert_step = 0;    ///< 0 when no alert fired
+  std::uint32_t hosts_fully_blocked = 0; ///< blocked at every monitor by the end
+};
+
+/// Runs the race to completion (config.steps or epidemic exhaustion).
+/// Deterministic: equal configs give equal results, and configs differing
+/// only in `gossip` share every per-host scan sequence.
+[[nodiscard]] AlertRaceResult run_alert_race(const AlertRaceConfig& config);
+
+}  // namespace worms::fleet::net

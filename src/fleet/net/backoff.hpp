@@ -1,0 +1,74 @@
+// Exponential backoff with deterministic jitter for fleet reconnects.
+//
+// A node whose peer vanishes must neither hammer the address (a thundering
+// herd of monitors reconnecting in lockstep is its own small worm) nor give
+// up while the peer is merely restarting.  The standard answer is exponential
+// backoff with jitter and a retry cap; the fleet twist is that the jitter is
+// *deterministic* — splitmix64 over (seed, stream salt, attempt) — so a test
+// that scripts a netdrop fault observes the exact same reconnect schedule on
+// every run.  Different links get different salts, so a fleet of clients
+// still de-synchronizes.
+//
+// Delay for attempt k (0-based): uniform in [window/2, window] where
+// window = min(cap, base << k).  Half-floor jitter keeps some spacing
+// guarantee (pure full jitter can draw ~0 repeatedly); the deterministic
+// draw keeps reruns identical.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace worms::fleet::net {
+
+struct RetryPolicy {
+  std::chrono::milliseconds base{20};   ///< first-retry window
+  std::chrono::milliseconds cap{2000};  ///< window ceiling
+  /// Consecutive failures tolerated per endpoint before the caller moves on
+  /// (failover) or degrades to local-only containment.
+  unsigned max_retries = 8;
+  std::uint64_t jitter_seed = 0x0BACC0FFULL;
+
+  friend bool operator==(const RetryPolicy&, const RetryPolicy&) = default;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(const RetryPolicy& policy, std::uint64_t stream_salt = 0) noexcept
+      : policy_(policy), salt_(stream_salt) {}
+
+  /// Delay to sleep before the next attempt; advances the attempt counter.
+  [[nodiscard]] std::chrono::milliseconds next_delay() noexcept {
+    const unsigned attempt = attempt_++;
+    std::uint64_t window = static_cast<std::uint64_t>(policy_.base.count());
+    const std::uint64_t cap = static_cast<std::uint64_t>(policy_.cap.count());
+    // Shift with saturation: window doubles per attempt until the cap.
+    for (unsigned i = 0; i < attempt && window < cap; ++i) window <<= 1;
+    if (window > cap) window = cap;
+    if (window == 0) return std::chrono::milliseconds{0};
+    const std::uint64_t half = window / 2;
+    const std::uint64_t jitter = splitmix64(policy_.jitter_seed ^ salt_ ^ attempt);
+    return std::chrono::milliseconds(half + jitter % (window - half + 1));
+  }
+
+  /// True once max_retries delays have been handed out without a reset().
+  [[nodiscard]] bool exhausted() const noexcept { return attempt_ >= policy_.max_retries; }
+
+  [[nodiscard]] unsigned attempts() const noexcept { return attempt_; }
+
+  /// Success: the next failure starts the schedule over.
+  void reset() noexcept { attempt_ = 0; }
+
+ private:
+  [[nodiscard]] static std::uint64_t splitmix64(std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+  RetryPolicy policy_;
+  std::uint64_t salt_;
+  unsigned attempt_ = 0;
+};
+
+}  // namespace worms::fleet::net

@@ -1,0 +1,837 @@
+#include "fleet/net/node.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <future>
+#include <utility>
+
+#include "obs/registry.hpp"
+#include "support/check.hpp"
+
+namespace worms::fleet::net {
+
+namespace {
+
+/// Read/accept slice: short enough that readers notice stop/drop flags and
+/// the accept loop re-checks its exit condition promptly, long enough that
+/// an idle node burns no measurable CPU.
+constexpr std::chrono::milliseconds kPollSlice{100};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PeerLink.
+
+PeerLink::PeerLink(const Config& config) : config_(config) {
+  WORMS_EXPECTS(config_.queue_capacity > 0 && "peer link queue capacity must be nonzero");
+  sender_ = std::thread(&PeerLink::run, this);
+}
+
+PeerLink::~PeerLink() { finish(); }
+
+bool PeerLink::enqueue(std::string frame) {
+  if (dead_.load(std::memory_order_acquire)) {
+    frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || queue_.size() >= config_.queue_capacity) {
+      frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    queue_.push_back(std::move(frame));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void PeerLink::finish() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && !sender_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (sender_.joinable()) sender_.join();
+}
+
+void PeerLink::run() {
+  // Salt the jitter stream with the endpoint + node identity so a fleet of
+  // links retrying the same dead peer still spreads its reconnects.
+  Backoff backoff(config_.retry,
+                  (static_cast<std::uint64_t>(config_.endpoint.port) << 17) ^ config_.node_id);
+  TcpStream stream;
+  bool connected_before = false;
+
+  const auto connect_once = [&]() -> bool {
+    auto attempt = TcpStream::connect(config_.endpoint, config_.timeouts.connect);
+    if (!attempt) return false;
+    // Identify as a peer on every (re)connect; the server routes by Hello.
+    const std::string hello = encode_frame(
+        FrameType::Hello, encode_hello(HelloPayload{config_.node_id, HelloPayload::Kind::Peer}));
+    if (!attempt->write_all(hello, config_.timeouts.write)) return false;
+    stream = std::move(*attempt);
+    if (connected_before) reconnects_.fetch_add(1, std::memory_order_relaxed);
+    connected_before = true;
+    return true;
+  };
+
+  const auto mark_dead = [&] {
+    dead_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(mutex_);
+    frames_dropped_.fetch_add(queue_.size(), std::memory_order_relaxed);
+    queue_.clear();
+  };
+
+  std::string frame;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stopping_ with a drained queue
+      frame = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    bool sent = false;
+    while (!sent && !dead_.load(std::memory_order_relaxed)) {
+      if (stream.valid() && stream.write_all(frame, config_.timeouts.write)) {
+        sent = true;
+        backoff.reset();
+        break;
+      }
+      stream.close();  // the frame is resent whole on the next connection
+      if (backoff.exhausted()) {
+        mark_dead();
+        break;
+      }
+      std::this_thread::sleep_for(backoff.next_delay());
+      if (connect_once()) continue;  // retry the write immediately
+    }
+    if (sent) {
+      frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    frame.clear();
+  }
+  stream.close();
+}
+
+// ---------------------------------------------------------------------------
+// ServeNode plumbing types.
+
+struct ServeNode::NodeTask {
+  enum class Kind : std::uint8_t { ClientHello, Records, Alerts, StoreCheckpoint, ClientDone };
+
+  Kind kind = Kind::Records;
+  std::uint64_t client_id = 0;
+  std::vector<trace::ConnRecord> records;
+  std::vector<AlertEntry> alerts;
+  CheckpointPayload checkpoint;
+  std::uint64_t bye_position = 0;
+  /// Hello/Bye round trip: the reader blocks on the matching future and
+  /// writes the position back to the client as a Welcome frame.
+  std::shared_ptr<std::promise<std::uint64_t>> reply;
+};
+
+struct ServeNode::Connection {
+  std::uint64_t conn_id = 0;
+  TcpStream stream;
+  FrameDecoder decoder;
+  std::thread reader;
+  std::atomic<bool> close_requested{false};  ///< netdrop fault or node shutdown
+  std::atomic<bool> done{false};
+  std::atomic<bool> hello_seen{false};
+  std::atomic<std::uint8_t> kind{static_cast<std::uint8_t>(HelloPayload::Kind::Ingest)};
+  std::uint64_t client_id = 0;  ///< reader thread only
+};
+
+// ---------------------------------------------------------------------------
+// ServeNode.
+
+ServeNode::ServeNode(NodeOptions options)
+    : options_(std::move(options)),
+      wire_dead_letters_(DeadLetterChannel::Config{
+          .capacity = 256, .spill_path = {}, .metrics = options_.pipeline.metrics}) {
+  WORMS_EXPECTS(options_.replicate_to.has_value() == (options_.replicate_every != 0) &&
+                "serve: --replicate-to and --replicate-every must be set together");
+  options_.pipeline.validate();
+
+  std::string error;
+  auto listener = TcpListener::bind(options_.listen, &error);
+  if (!listener) {
+    throw support::PreconditionError("serve: cannot listen on " + options_.listen.to_string() +
+                                     ": " + error);
+  }
+  listener_ = std::move(*listener);
+
+  // Shard workers report removals here; the ingest thread gossips them.
+  options_.pipeline.on_removal = [this](std::uint32_t host, sim::SimTime removal_time) {
+    std::lock_guard<std::mutex> lock(alerts_mutex_);
+    pending_alerts_.push_back(AlertEntry{host, removal_time});
+  };
+
+  if (options_.pipeline.metrics != nullptr) {
+    obs::Registry& reg = *options_.pipeline.metrics;
+    obs_connections_ = &reg.counter("fleet_net_connections_accepted_total");
+    obs_frames_rx_ = &reg.counter("fleet_net_frames_rx_total");
+    obs_frames_tx_ = &reg.counter("fleet_net_frames_tx_total");
+    obs_records_rx_ = &reg.counter("fleet_net_records_rx_total");
+    obs_alerts_rx_ = &reg.counter("fleet_net_alerts_rx_total");
+    obs_alerts_tx_ = &reg.counter("fleet_net_alerts_tx_total");
+    obs_alerts_dropped_ = &reg.counter("fleet_net_alerts_dropped_total");
+    obs_reconnects_ = &reg.counter("fleet_net_reconnects_total");
+    obs_replicated_ = &reg.counter("fleet_net_checkpoints_replicated_total");
+    obs_ckpt_stored_ = &reg.counter("fleet_net_checkpoints_stored_total");
+    obs_replication_lag_ = &reg.gauge("fleet_net_replication_lag_records");
+    obs_peers_degraded_ = &reg.gauge("fleet_net_peers_degraded");
+  }
+
+  PeerLink::Config link_config{
+      .endpoint = {},
+      .timeouts = options_.timeouts,
+      .retry = options_.retry,
+      .node_id = options_.node_id,
+  };
+  for (const Endpoint& peer : options_.peers) {
+    link_config.endpoint = peer;
+    peer_links_.push_back(std::make_unique<PeerLink>(link_config));
+  }
+  if (options_.replicate_to.has_value()) {
+    // Reuse the gossip link when the replica is also a peer; otherwise the
+    // replication stream gets its own connection.
+    for (std::size_t i = 0; i < options_.peers.size(); ++i) {
+      if (options_.peers[i] == *options_.replicate_to) {
+        replicate_link_ = peer_links_[i].get();
+        gossip_to_replica_ = true;
+      }
+    }
+    if (replicate_link_ == nullptr) {
+      link_config.endpoint = *options_.replicate_to;
+      peer_links_.push_back(std::make_unique<PeerLink>(link_config));
+      replicate_link_ = peer_links_.back().get();
+    }
+  }
+
+  // Sort the net fault schedules so a single cursor per kind suffices.
+  std::sort(options_.faults.net_kills.begin(), options_.faults.net_kills.end());
+  std::sort(options_.faults.net_drops.begin(), options_.faults.net_drops.end());
+  std::sort(options_.faults.net_stalls.begin(), options_.faults.net_stalls.end(),
+            [](const FaultPlan::NetStallFault& a, const FaultPlan::NetStallFault& b) {
+              return a.after_frames < b.after_frames;
+            });
+
+  tasks_ = std::make_unique<BoundedMpscQueue<NodeTask>>(options_.ingest_queue_capacity);
+  ingest_thread_ = std::thread(&ServeNode::ingest_loop, this);
+  accept_thread_ = std::thread(&ServeNode::accept_loop, this);
+}
+
+ServeNode::~ServeNode() {
+  if (!waited_) {
+    stop();
+    try {
+      (void)wait();
+    } catch (...) {
+      // Destructor cleanup must not throw; wait() reports errors only when
+      // called explicitly.
+    }
+  }
+}
+
+void ServeNode::stop() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+  }
+  done_cv_.notify_all();
+}
+
+bool ServeNode::exit_condition_met() const {
+  return clients_completed_.load(std::memory_order_acquire) >= options_.expect_clients &&
+         peers_closed_.load(std::memory_order_acquire) >= options_.expect_peers;
+}
+
+void ServeNode::accept_loop() {
+  std::uint64_t next_conn_id = 0;
+  while (!stop_.load(std::memory_order_acquire) && !exit_condition_met()) {
+    auto stream = listener_.accept(kPollSlice);
+    if (!stream) continue;
+    auto conn = std::make_unique<Connection>();
+    conn->conn_id = ++next_conn_id;
+    conn->stream = std::move(*stream);
+    report_.connections_accepted++;
+    if (obs_connections_ != nullptr) obs_connections_->add(1);
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(conn));
+    }
+    raw->reader = std::thread(&ServeNode::reader_loop, this, std::ref(*raw));
+  }
+}
+
+void ServeNode::note_wire_dead_letter(const Connection& conn, DeadLetterReason reason,
+                                      std::string detail) {
+  DeadLetterEntry entry;
+  entry.reason = reason;
+  entry.stream_index = conn.decoder.frames_decoded();
+  entry.detail = "conn " + std::to_string(conn.conn_id) + ": " + std::move(detail);
+  wire_dead_letters_.report(std::move(entry));
+}
+
+void ServeNode::apply_net_faults_after_frame() {
+  const std::uint64_t total = frames_received_.load(std::memory_order_relaxed);
+  std::optional<double> stall_seconds;
+  bool drop = false;
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    const auto& faults = options_.faults;
+    if (next_net_kill_ < faults.net_kills.size() && total >= faults.net_kills[next_net_kill_]) {
+      // A hard primary crash: no destructors, no flushes — exactly what the
+      // failover drill needs the promoted replica to survive.
+      std::_Exit(9);
+    }
+    if (next_net_drop_ < faults.net_drops.size() && total >= faults.net_drops[next_net_drop_]) {
+      ++next_net_drop_;
+      drop = true;
+    }
+    if (next_net_stall_ < faults.net_stalls.size() &&
+        total >= faults.net_stalls[next_net_stall_].after_frames) {
+      stall_seconds = faults.net_stalls[next_net_stall_].seconds;
+      ++next_net_stall_;
+    }
+  }
+  if (drop) {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& conn : connections_) {
+      if (conn->done.load(std::memory_order_relaxed)) continue;
+      if (!conn->hello_seen.load(std::memory_order_acquire)) continue;
+      if (conn->kind.load(std::memory_order_relaxed) !=
+          static_cast<std::uint8_t>(HelloPayload::Kind::Ingest)) {
+        continue;
+      }
+      if (!conn->close_requested.exchange(true, std::memory_order_acq_rel)) {
+        connections_dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (stall_seconds.has_value()) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(*stall_seconds));
+  }
+}
+
+void ServeNode::handle_frame(Connection& conn, Frame frame) {
+  frames_received_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_frames_rx_ != nullptr) obs_frames_rx_->add(1);
+
+  switch (frame.type) {
+    case FrameType::Hello: {
+      const HelloPayload hello = decode_hello(frame.payload);
+      conn.client_id = hello.client_id;
+      conn.kind.store(static_cast<std::uint8_t>(hello.kind), std::memory_order_relaxed);
+      conn.hello_seen.store(true, std::memory_order_release);
+      if (hello.kind == HelloPayload::Kind::Peer) break;  // peers are write-only
+      NodeTask task;
+      task.kind = NodeTask::Kind::ClientHello;
+      task.client_id = hello.client_id;
+      task.reply = std::make_shared<std::promise<std::uint64_t>>();
+      std::future<std::uint64_t> position = task.reply->get_future();
+      tasks_->push(std::move(task));
+      const std::string welcome =
+          encode_frame(FrameType::Welcome, encode_welcome(WelcomePayload{position.get()}));
+      if (!conn.stream.write_all(welcome, options_.timeouts.write)) {
+        conn.close_requested.store(true, std::memory_order_release);
+        break;
+      }
+      frames_sent_direct_.fetch_add(1, std::memory_order_relaxed);
+      if (obs_frames_tx_ != nullptr) obs_frames_tx_->add(1);
+      break;
+    }
+    case FrameType::Records: {
+      NodeTask task;
+      task.kind = NodeTask::Kind::Records;
+      task.client_id = conn.client_id;
+      task.records = decode_records(frame.payload);
+      tasks_->push(std::move(task));
+      break;
+    }
+    case FrameType::Alert: {
+      NodeTask task;
+      task.kind = NodeTask::Kind::Alerts;
+      task.client_id = conn.client_id;
+      task.alerts = decode_alerts(frame.payload);
+      tasks_->push(std::move(task));
+      break;
+    }
+    case FrameType::Checkpoint: {
+      NodeTask task;
+      task.kind = NodeTask::Kind::StoreCheckpoint;
+      task.client_id = conn.client_id;
+      task.checkpoint = decode_checkpoint(frame.payload);
+      tasks_->push(std::move(task));
+      break;
+    }
+    case FrameType::Bye: {
+      NodeTask task;
+      task.kind = NodeTask::Kind::ClientDone;
+      task.client_id = conn.client_id;
+      task.bye_position = decode_bye(frame.payload).records_sent;
+      task.reply = std::make_shared<std::promise<std::uint64_t>>();
+      std::future<std::uint64_t> position = task.reply->get_future();
+      tasks_->push(std::move(task));
+      // Ack with the server-side position: the client compares it against
+      // what it sent, so a dead-lettered tail frame triggers a resend
+      // instead of silent loss.
+      const std::string ack =
+          encode_frame(FrameType::Welcome, encode_welcome(WelcomePayload{position.get()}));
+      if (conn.stream.write_all(ack, options_.timeouts.write)) {
+        frames_sent_direct_.fetch_add(1, std::memory_order_relaxed);
+        if (obs_frames_tx_ != nullptr) obs_frames_tx_->add(1);
+      }
+      break;
+    }
+    case FrameType::Welcome:
+      // Only servers speak Welcome; receiving one is a protocol violation.
+      throw support::PreconditionError("unexpected welcome frame from a client");
+  }
+}
+
+void ServeNode::reader_loop(Connection& conn) {
+  char buffer[64 * 1024];
+  bool orderly = false;
+  bool poisoned = false;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (conn.close_requested.load(std::memory_order_acquire)) break;
+    const TcpStream::ReadResult read = conn.stream.read_some(buffer, sizeof buffer, kPollSlice);
+    if (read.status == IoStatus::Timeout) continue;
+    if (read.status == IoStatus::Eof) {
+      orderly = true;
+      break;
+    }
+    if (read.status == IoStatus::Error) break;
+    bytes_received_.fetch_add(read.bytes, std::memory_order_relaxed);
+    conn.decoder.append(buffer, read.bytes);
+    while (!poisoned) {
+      FrameDecoder::Result result = conn.decoder.next();
+      if (result.status == FrameDecoder::Status::NeedMore) break;
+      if (result.status == FrameDecoder::Status::Error) {
+        note_wire_dead_letter(conn, result.reason, std::move(result.detail));
+        poisoned = true;
+        break;
+      }
+      try {
+        handle_frame(conn, std::move(result.frame));
+      } catch (const std::exception& e) {
+        // The frame passed its checksum but its payload shape is wrong — a
+        // protocol violation, quarantined like any other undecodable frame.
+        note_wire_dead_letter(conn, DeadLetterReason::Malformed, e.what());
+        poisoned = true;
+        break;
+      }
+      apply_net_faults_after_frame();
+    }
+    if (poisoned) break;  // close; the client's resume protocol recovers
+  }
+  if (orderly && !poisoned) {
+    // Orderly EOF: flush the decoder so a trailing partial frame is
+    // accounted as truncation rather than silently vanishing.
+    conn.decoder.finish();
+    FrameDecoder::Result result = conn.decoder.next();
+    if (result.status == FrameDecoder::Status::Error) {
+      note_wire_dead_letter(conn, result.reason, std::move(result.detail));
+    }
+  }
+  conn.stream.close();
+  if (conn.hello_seen.load(std::memory_order_acquire) &&
+      conn.kind.load(std::memory_order_relaxed) ==
+          static_cast<std::uint8_t>(HelloPayload::Kind::Peer)) {
+    {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      peers_closed_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    done_cv_.notify_all();
+  }
+  conn.done.store(true, std::memory_order_release);
+}
+
+void ServeNode::ensure_pipeline() {
+  if (pipeline_ != nullptr) return;
+  maybe_promote();
+  if (pipeline_ == nullptr) pipeline_ = std::make_unique<ContainmentPipeline>(options_.pipeline);
+}
+
+void ServeNode::maybe_promote() {
+  if (pipeline_ != nullptr || !stored_checkpoint_.has_value()) return;
+  // Replica promotion: rebuild the pipeline from the last replicated
+  // snapshot and seed every client's resume position from it.  Clients that
+  // fail over here are welcomed at those positions and replay the suffix —
+  // checkpoint + suffix replay is bit-identical to the uninterrupted run.
+  pipeline_ = ContainmentPipeline::restore_from_blob(options_.pipeline, stored_checkpoint_->snapshot);
+  for (const auto& [client, position] : stored_checkpoint_->client_positions) {
+    client_positions_[client] = position;
+  }
+  promoted_ = true;
+  promoted_position_ = pipeline_->records_fed();
+  last_replicated_position_ = pipeline_->records_fed();
+  stored_checkpoint_.reset();
+}
+
+void ServeNode::ingest_loop() {
+  for (;;) {
+    std::optional<NodeTask> task = tasks_->pop_wait_for(std::chrono::milliseconds(200));
+    if (!task.has_value()) {
+      if (tasks_->drained()) break;
+      continue;
+    }
+    try {
+      switch (task->kind) {
+        case NodeTask::Kind::ClientHello: {
+          ensure_pipeline();
+          const auto [it, inserted] = client_positions_.try_emplace(task->client_id, 0);
+          (void)inserted;
+          task->reply->set_value(it->second);
+          break;
+        }
+        case NodeTask::Kind::Records: {
+          ensure_pipeline();
+          pipeline_->feed(task->records);
+          client_positions_[task->client_id] += task->records.size();
+          records_received_ += task->records.size();
+          records_since_gossip_ += task->records.size();
+          if (obs_records_rx_ != nullptr) obs_records_rx_->add(task->records.size());
+          flush_alerts(false);
+          maybe_replicate(false);
+          break;
+        }
+        case NodeTask::Kind::Alerts: {
+          alerts_received_ += task->alerts.size();
+          if (obs_alerts_rx_ != nullptr) obs_alerts_rx_->add(task->alerts.size());
+          if (!options_.apply_alerts) break;
+          ensure_pipeline();
+          std::vector<std::uint32_t> hosts;
+          hosts.reserve(task->alerts.size());
+          for (const AlertEntry& alert : task->alerts) {
+            if (alerted_.insert(alert.host).second) hosts.push_back(alert.host);
+          }
+          // No re-forwarding: the gossip mesh is full, so every node hears
+          // each alert directly and loops cannot form.
+          if (!hosts.empty()) pipeline_->pre_contain(hosts);
+          break;
+        }
+        case NodeTask::Kind::StoreCheckpoint: {
+          // Replica role: retain only the newest snapshot; promotion (first
+          // pipeline need after the primary dies) consumes it.
+          if (pipeline_ == nullptr) stored_checkpoint_ = std::move(task->checkpoint);
+          ++checkpoints_stored_;
+          if (obs_ckpt_stored_ != nullptr) obs_ckpt_stored_->add(1);
+          break;
+        }
+        case NodeTask::Kind::ClientDone: {
+          ensure_pipeline();
+          const std::uint64_t position = client_positions_[task->client_id];
+          task->reply->set_value(position);
+          // Count the client only when nothing went missing en route — a
+          // short position means a dead-lettered frame; the client will
+          // reconnect, resend, and say Bye again.
+          if (position == task->bye_position) {
+            {
+              std::lock_guard<std::mutex> lock(done_mutex_);
+              clients_completed_.fetch_add(1, std::memory_order_acq_rel);
+            }
+            done_cv_.notify_all();
+          }
+          break;
+        }
+      }
+    } catch (const std::exception& e) {
+      if (ingest_error_.empty()) ingest_error_ = e.what();
+      stop();
+    }
+  }
+}
+
+void ServeNode::flush_alerts(bool force) {
+  if (!force && options_.gossip_every != 0 && records_since_gossip_ < options_.gossip_every) {
+    return;
+  }
+  records_since_gossip_ = 0;
+  std::vector<AlertEntry> batch;
+  {
+    std::lock_guard<std::mutex> lock(alerts_mutex_);
+    batch.swap(pending_alerts_);
+  }
+  if (batch.empty()) return;
+  // Dedupe against everything already announced or heard: a host contained
+  // here after a peer's alert raced in does not get re-announced.
+  std::vector<AlertEntry> fresh;
+  fresh.reserve(batch.size());
+  for (const AlertEntry& alert : batch) {
+    if (alerted_.insert(alert.host).second) fresh.push_back(alert);
+  }
+  if (fresh.empty()) return;
+  const std::string frame = encode_frame(FrameType::Alert, encode_alerts(fresh));
+  for (const auto& link : peer_links_) {
+    if (replicate_link_ == link.get() && !gossip_to_replica_) continue;
+    if (link->enqueue(frame)) {
+      alerts_sent_ += fresh.size();
+      if (obs_alerts_tx_ != nullptr) obs_alerts_tx_->add(fresh.size());
+    } else {
+      alerts_dropped_ += fresh.size();
+      if (obs_alerts_dropped_ != nullptr) obs_alerts_dropped_->add(fresh.size());
+    }
+  }
+}
+
+void ServeNode::maybe_replicate(bool force) {
+  if (replicate_link_ == nullptr) return;
+  if (!force) {
+    if (pipeline_ == nullptr) return;
+    if (pipeline_->records_fed() - last_replicated_position_ < options_.replicate_every) return;
+  }
+  ensure_pipeline();
+  CheckpointPayload checkpoint;
+  checkpoint.client_positions.assign(client_positions_.begin(), client_positions_.end());
+  checkpoint.snapshot = pipeline_->snapshot_blob();
+  last_replicated_position_ = pipeline_->records_fed();
+  if (replicate_link_->enqueue(encode_frame(FrameType::Checkpoint, encode_checkpoint(checkpoint)))) {
+    ++checkpoints_replicated_;
+    if (obs_replicated_ != nullptr) obs_replicated_->add(1);
+  }
+  if (obs_replication_lag_ != nullptr) obs_replication_lag_->set(0.0);
+}
+
+NodeReport ServeNode::wait() {
+  WORMS_EXPECTS(!waited_ && "ServeNode::wait() may be called only once");
+  waited_ = true;
+  {
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    done_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_acquire) || exit_condition_met();
+    });
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& conn : connections_) conn->close_requested.store(true, std::memory_order_release);
+  }
+  // The accept thread is gone, so connections_ is stable from here on.
+  for (auto& conn : connections_) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+  tasks_->close();
+  if (ingest_thread_.joinable()) ingest_thread_.join();
+  if (!ingest_error_.empty()) {
+    throw support::PreconditionError("serve: ingest failed: " + ingest_error_);
+  }
+
+  ensure_pipeline();
+  // Final replication + finish + final alert flush: the snapshot quiesces
+  // the shards, finish() joins the workers, and only then is
+  // pending_alerts_ guaranteed complete.
+  maybe_replicate(/*force=*/true);
+  const std::uint64_t final_position = pipeline_->records_fed();
+  report_.result = pipeline_->finish();
+  flush_alerts(/*force=*/true);
+  for (const auto& link : peer_links_) link->finish();
+
+  report_.frames_received = frames_received_.load(std::memory_order_relaxed);
+  report_.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  report_.records_received = records_received_;
+  report_.alerts_received = alerts_received_;
+  report_.alerts_sent = alerts_sent_;
+  report_.alerts_dropped = alerts_dropped_;
+  report_.checkpoints_replicated = checkpoints_replicated_;
+  report_.checkpoints_stored = checkpoints_stored_;
+  report_.connections_dropped = connections_dropped_.load(std::memory_order_relaxed);
+  report_.promoted_from_replica = promoted_;
+  report_.promoted_position = promoted_position_;
+  report_.replication_lag_records =
+      replicate_link_ != nullptr ? final_position - last_replicated_position_ : 0;
+  report_.wire_dead_letters = wire_dead_letters_.stats();
+  report_.frames_sent = frames_sent_direct_.load(std::memory_order_relaxed);
+  std::uint64_t dead_links = 0;
+  for (const auto& link : peer_links_) {
+    report_.frames_sent += link->frames_sent();
+    report_.peer_reconnects += link->reconnects();
+    if (link->dead()) {
+      ++dead_links;
+      report_.degraded_local_only = true;
+    }
+  }
+  if (obs_frames_tx_ != nullptr) {
+    obs_frames_tx_->add(report_.frames_sent - frames_sent_direct_.load(std::memory_order_relaxed));
+  }
+  if (obs_reconnects_ != nullptr) obs_reconnects_->add(report_.peer_reconnects);
+  if (obs_replication_lag_ != nullptr) {
+    obs_replication_lag_->set(static_cast<double>(report_.replication_lag_records));
+  }
+  if (obs_peers_degraded_ != nullptr) obs_peers_degraded_->set(static_cast<double>(dead_links));
+  return std::move(report_);
+}
+
+// ---------------------------------------------------------------------------
+// Ingest client.
+
+namespace {
+
+/// One connect + Hello + Welcome + stream-from-position session.  Returns
+/// true when the source ran dry AND the server acked the full position.
+struct SessionOutcome {
+  bool welcomed = false;   ///< got a Welcome (counts as progress)
+  bool completed = false;  ///< clean Bye handshake, stream fully delivered
+};
+
+[[nodiscard]] std::optional<Frame> read_one_frame(TcpStream& stream, FrameDecoder& decoder,
+                                                  std::chrono::milliseconds timeout) {
+  char buffer[4096];
+  for (;;) {
+    FrameDecoder::Result result = decoder.next();
+    if (result.status == FrameDecoder::Status::Ready) return std::move(result.frame);
+    if (result.status == FrameDecoder::Status::Error) return std::nullopt;
+    const TcpStream::ReadResult read = stream.read_some(buffer, sizeof buffer, timeout);
+    if (read.status != IoStatus::Ok) return std::nullopt;
+    decoder.append(buffer, read.bytes);
+  }
+}
+
+}  // namespace
+
+IngestReport run_ingest(const IngestOptions& options, const SourceFactory& make_source) {
+  WORMS_EXPECTS(!options.connect.empty() && "ingest: need at least one endpoint");
+  WORMS_EXPECTS(options.batch_records > 0 && "ingest: batch_records must be nonzero");
+  WORMS_EXPECTS(make_source != nullptr && "ingest: need a source factory");
+
+  std::vector<std::uint64_t> corrupt = options.faults.net_corrupt_frames;
+  std::sort(corrupt.begin(), corrupt.end());
+  std::size_t next_corrupt = 0;
+  std::uint64_t record_frames_sent = 0;  ///< netcorrupt index space, across sessions
+
+  IngestReport report;
+  std::uint64_t max_position = 0;  ///< furthest stream position ever reached
+  std::size_t endpoint_index = 0;
+  unsigned exhausted_endpoints = 0;  ///< consecutive endpoints that burned their budget
+  bool first_session = true;
+  Backoff backoff(options.retry, options.client_id);
+
+  const auto run_session = [&](const Endpoint& endpoint) -> SessionOutcome {
+    SessionOutcome outcome;
+    auto maybe_stream = TcpStream::connect(endpoint, options.timeouts.connect);
+    if (!maybe_stream) return outcome;
+    TcpStream stream = std::move(*maybe_stream);
+
+    const std::string hello = encode_frame(
+        FrameType::Hello, encode_hello(HelloPayload{options.client_id, HelloPayload::Kind::Ingest}));
+    if (!stream.write_all(hello, options.timeouts.write)) return outcome;
+
+    FrameDecoder decoder;
+    std::optional<Frame> welcome = read_one_frame(stream, decoder, options.timeouts.read);
+    if (!welcome.has_value() || welcome->type != FrameType::Welcome) return outcome;
+    const std::uint64_t resume = decode_welcome(welcome->payload).resume_position;
+    outcome.welcomed = true;
+    report.endpoint = endpoint.to_string();
+    if (!first_session) ++report.reconnects;
+    first_session = false;
+    if (resume < max_position) report.records_resent += max_position - resume;
+
+    std::unique_ptr<trace::RecordSource> source = make_source();
+    WORMS_EXPECTS(source != nullptr && "ingest: source factory returned null");
+    const std::uint64_t skipped = source->skip(resume);
+    WORMS_EXPECTS(skipped == resume && "ingest: server resume position is beyond the source");
+
+    std::uint64_t position = resume;
+    // A promoted replica can know a position beyond anything this session
+    // sent (its checkpoint covered the stream); the final report still owes
+    // the true stream position.
+    max_position = std::max(max_position, position);
+    std::vector<trace::ConnRecord> batch(options.batch_records);
+    for (;;) {
+      const std::size_t filled = source->next_batch(batch);
+      if (filled == 0) break;
+      std::string frame = encode_frame(
+          FrameType::Records, encode_records(std::span<const trace::ConnRecord>(batch.data(), filled)));
+      if (next_corrupt < corrupt.size() && corrupt[next_corrupt] == record_frames_sent) {
+        // Flip one payload byte AFTER checksumming: the receiver must
+        // quarantine the frame as frame-checksum and drop the connection.
+        frame[kFrameHeaderBytes + (frame.size() - kFrameHeaderBytes) / 2] ^= 0x20;
+        ++next_corrupt;
+      }
+      ++record_frames_sent;
+      ++report.frames_sent;
+      if (!stream.write_all(frame, options.timeouts.write)) return outcome;
+      position += filled;
+      max_position = std::max(max_position, position);
+    }
+
+    // Bye handshake: the ack echoes the server's fed count, which is short
+    // exactly when a frame was dead-lettered — in that case this session
+    // reports incomplete and the next one resends the missing suffix.
+    const std::string bye = encode_frame(FrameType::Bye, encode_bye(ByePayload{position}));
+    if (!stream.write_all(bye, options.timeouts.write)) return outcome;
+    stream.shutdown_send();
+    std::optional<Frame> ack = read_one_frame(stream, decoder, options.timeouts.read);
+    if (!ack.has_value() || ack->type != FrameType::Welcome) return outcome;
+    outcome.completed = decode_welcome(ack->payload).resume_position == position;
+    return outcome;
+  };
+
+  for (;;) {
+    const SessionOutcome outcome = run_session(options.connect[endpoint_index]);
+    report.records_sent = max_position;
+    if (outcome.completed) return report;
+    if (outcome.welcomed) {
+      // The server answered: the endpoint is alive, the session just got cut
+      // (drop fault, dead-lettered frame, server restart).  Start the retry
+      // schedule over and reconnect immediately.
+      backoff.reset();
+      exhausted_endpoints = 0;
+      continue;
+    }
+    if (backoff.exhausted()) {
+      // This endpoint's budget is spent: fail over to the next one.
+      endpoint_index = (endpoint_index + 1) % options.connect.size();
+      ++report.failovers;
+      ++exhausted_endpoints;
+      if (exhausted_endpoints >= options.connect.size()) {
+        throw support::PreconditionError(
+            "ingest: no endpoint reachable after " + std::to_string(options.retry.max_retries) +
+            " retries each across " + std::to_string(options.connect.size()) + " endpoint(s)");
+      }
+      backoff.reset();
+      continue;
+    }
+    std::this_thread::sleep_for(backoff.next_delay());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HostModFilterSource.
+
+HostModFilterSource::HostModFilterSource(std::unique_ptr<trace::RecordSource> inner,
+                                         std::uint32_t modulus, std::uint32_t remainder)
+    : inner_(std::move(inner)), modulus_(modulus), remainder_(remainder) {
+  WORMS_EXPECTS(inner_ != nullptr && "host-mod filter needs a source");
+  WORMS_EXPECTS(modulus_ > 0 && "host-mod filter: modulus must be nonzero");
+  WORMS_EXPECTS(remainder_ < modulus_ && "host-mod filter: remainder must be < modulus");
+}
+
+std::size_t HostModFilterSource::next_batch(std::span<trace::ConnRecord> out) {
+  std::size_t filled = 0;
+  while (filled < out.size()) {
+    if (buffer_pos_ == buffer_.size()) {
+      buffer_.resize(4096);
+      const std::size_t produced = inner_->next_batch(buffer_);
+      buffer_.resize(produced);
+      buffer_pos_ = 0;
+      if (produced == 0) break;
+    }
+    while (buffer_pos_ < buffer_.size() && filled < out.size()) {
+      const trace::ConnRecord& record = buffer_[buffer_pos_++];
+      if (record.source_host % modulus_ == remainder_) out[filled++] = record;
+    }
+  }
+  return filled;
+}
+
+}  // namespace worms::fleet::net

@@ -1,0 +1,351 @@
+// Distributed containment fleet: serve node + ingest client (DESIGN.md §12).
+//
+// The paper's containment cycle assumes one monitor sees every scan; a real
+// deployment shards the view across N monitoring nodes, and the alert about
+// a contained host has to *race the worm* to the other nodes (Shakkottai &
+// Srikant's P2P alert-dissemination analysis is the reference model).  This
+// layer promotes the in-process ContainmentPipeline to that fleet shape:
+//
+//   ingest client ──Records──► ServeNode ──Alert──► peer ServeNodes
+//                               │    ▲                (pre_contain gossip)
+//                               │    └─Alert from peers
+//                               └──Checkpoint──► designated replica
+//
+// Robustness contract (the point of this PR):
+//   * every socket operation carries a bounded timeout (fleet/net/socket.hpp);
+//   * clients reconnect with deterministic exponential backoff + jitter and
+//     fail over through their --connect list; a promoted replica answers the
+//     same Hello/Welcome resume protocol, so failover is just "reconnect
+//     somewhere else";
+//   * peer links degrade to local-only containment when a peer stays
+//     unreachable past the retry cap — alerts are dropped and counted, the
+//     ingest hot path never blocks on a peer;
+//   * undecodable frames (bad magic, truncation, checksum, oversized length)
+//     land in a node-level DeadLetterChannel with per-reason counters, and
+//     the offending connection is closed (the client's resume protocol makes
+//     that lossless);
+//   * periodic checkpoint replication ships the pipeline snapshot plus every
+//     client's stream position to a replica, which promotes itself on the
+//     first ingest Hello it receives after the primary dies.
+//
+// Resume protocol: every record the server feeds its pipeline is counted per
+// client; Welcome returns that count and the client skips exactly that many
+// (post-filter) records of its source.  One mechanism covers initial
+// connect (position 0), reconnect after a drop or a corrupt frame (position
+// = server's fed count, so nothing is double-counted and nothing is lost),
+// and failover to a promoted replica (position = replicated checkpoint's
+// count; the suffix replays and verdicts are bit-identical — the
+// fleet_checkpoint determinism guarantee, now across processes).
+//
+// Threading: accept thread + one reader thread per connection + one ingest
+// thread owning the pipeline (feed()/pre_contain() are single-producer by
+// contract) + one sender thread per peer link.  Readers talk to the ingest
+// thread through a BoundedMpscQueue, so backpressure propagates to TCP.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "fleet/bounded_queue.hpp"
+#include "fleet/dead_letter.hpp"
+#include "fleet/net/backoff.hpp"
+#include "fleet/net/socket.hpp"
+#include "fleet/net/wire.hpp"
+#include "fleet/pipeline.hpp"
+#include "trace/record_source.hpp"
+
+namespace worms::fleet::net {
+
+struct NetTimeouts {
+  std::chrono::milliseconds connect{2000};
+  std::chrono::milliseconds read{5000};   ///< client-side waits (Welcome)
+  std::chrono::milliseconds write{5000};  ///< per-poll write budget
+
+  friend bool operator==(const NetTimeouts&, const NetTimeouts&) = default;
+};
+
+struct NodeOptions {
+  Endpoint listen{"127.0.0.1", 0};  ///< port 0 = ephemeral (tests)
+  /// Alert-gossip mesh: outbound links that receive this node's containment
+  /// alerts.  Unreachable peers degrade to local-only containment.
+  std::vector<Endpoint> peers;
+  /// Designated checkpoint replica (also receives alerts iff listed in
+  /// `peers`).  Replication is useless without a cadence, so replicate_every
+  /// must be nonzero exactly when this is set.
+  std::optional<Endpoint> replicate_to;
+  std::uint64_t replicate_every = 0;  ///< records between checkpoint replications
+  /// Alert flush cadence in fed records; 0 = flush after every record batch.
+  std::uint64_t gossip_every = 0;
+  /// The node exits once this many ingest clients have completed (Bye) ...
+  unsigned expect_clients = 1;
+  /// ... and this many inbound peer/replication connections have closed.
+  /// Gossip-only listeners set expect_clients=0, expect_peers>=1.
+  unsigned expect_peers = 0;
+  /// Apply incoming Alert frames as pre_contain (off replays alerts into
+  /// counters only — used to measure the gossip-off baseline).
+  bool apply_alerts = true;
+  NetTimeouts timeouts;
+  RetryPolicy retry;  ///< peer-link reconnect schedule
+  /// Node identity carried in peer Hello frames (diagnostics only).
+  std::uint64_t node_id = 0;
+  /// Pipeline configuration.  `on_removal` is overwritten by the node (it is
+  /// the alert hook); `metrics`, if set, also instruments the net layer.
+  PipelineOptions pipeline;
+  /// Network fault clauses (netkill/netdrop/netstall) honoured by this node;
+  /// worker/record clauses pass through to the pipeline.
+  FaultPlan faults;
+  std::size_t ingest_queue_capacity = 64;  ///< tasks buffered between readers and ingest
+};
+
+/// Everything a serve run reports: the pipeline result plus net accounting.
+struct NodeReport {
+  PipelineResult result;
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t records_received = 0;
+  std::uint64_t alerts_received = 0;   ///< alert entries decoded from peers
+  std::uint64_t alerts_sent = 0;       ///< entries enqueued to live peer links
+  std::uint64_t alerts_dropped = 0;    ///< entries dropped: dead link / full queue
+  std::uint64_t peer_reconnects = 0;   ///< outbound link re-establishments
+  std::uint64_t checkpoints_replicated = 0;  ///< sent to the replica
+  std::uint64_t checkpoints_stored = 0;      ///< received as a replica
+  std::uint64_t connections_dropped = 0;     ///< netdrop fault closures
+  std::uint64_t replication_lag_records = 0; ///< fed - last replicated position
+  bool promoted_from_replica = false;
+  std::uint64_t promoted_position = 0;  ///< records_fed at promotion
+  bool degraded_local_only = false;     ///< >= 1 peer link gave up for good
+  DeadLetterStats wire_dead_letters;    ///< frame-decode quarantine counters
+};
+
+/// One outbound link (alert gossip or checkpoint replication): a bounded
+/// frame queue drained by a sender thread that connects lazily, reconnects
+/// with backoff, and goes dead — dropping instead of blocking — once the
+/// retry budget is spent.  enqueue() is called from the ingest thread and
+/// never blocks: that is the "never block the hot path" guarantee.
+class PeerLink {
+ public:
+  struct Config {
+    Endpoint endpoint;
+    NetTimeouts timeouts;
+    RetryPolicy retry;
+    std::uint64_t node_id = 0;
+    std::size_t queue_capacity = 256;  ///< frames buffered while (re)connecting
+  };
+
+  explicit PeerLink(const Config& config);
+  ~PeerLink();
+
+  PeerLink(const PeerLink&) = delete;
+  PeerLink& operator=(const PeerLink&) = delete;
+
+  /// False when the frame was dropped (dead link or full queue).
+  [[nodiscard]] bool enqueue(std::string frame);
+
+  /// Drains the queue, closes the connection, joins the sender.  Idempotent.
+  void finish();
+
+  [[nodiscard]] bool dead() const noexcept { return dead_.load(std::memory_order_acquire); }
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept {
+    return frames_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t frames_dropped() const noexcept {
+    return frames_dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t reconnects() const noexcept {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const Endpoint& endpoint() const noexcept { return config_.endpoint; }
+
+ private:
+  void run();
+
+  Config config_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::string> queue_;
+  bool stopping_ = false;
+  std::atomic<bool> dead_{false};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> frames_dropped_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::thread sender_;
+};
+
+/// A containment node: listens, ingests record streams into its pipeline,
+/// gossips alerts, replicates checkpoints, survives its peers dying.
+class ServeNode {
+ public:
+  /// Binds and starts the accept/ingest threads; throws
+  /// support::PreconditionError when the listen endpoint cannot be bound.
+  explicit ServeNode(NodeOptions options);
+  ~ServeNode();
+
+  ServeNode(const ServeNode&) = delete;
+  ServeNode& operator=(const ServeNode&) = delete;
+
+  /// The bound port (== options.listen.port unless that was 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Blocks until the exit condition (expect_clients + expect_peers) is met,
+  /// then finishes the pipeline and returns the full report.  Call once.
+  [[nodiscard]] NodeReport wait();
+
+  /// Early abort (tests): unblocks wait() regardless of the exit condition.
+  void stop();
+
+ private:
+  struct Connection;
+  struct NodeTask;
+
+  void accept_loop();
+  void reader_loop(Connection& conn);
+  void ingest_loop();
+  void handle_frame(Connection& conn, Frame frame);
+  void apply_net_faults_after_frame();
+  void ensure_pipeline();
+  void maybe_promote();
+  void flush_alerts(bool force);
+  void maybe_replicate(bool force);
+  void note_wire_dead_letter(const Connection& conn, DeadLetterReason reason,
+                             std::string detail);
+  [[nodiscard]] bool exit_condition_met() const;
+
+  NodeOptions options_;
+  TcpListener listener_;
+  DeadLetterChannel wire_dead_letters_;
+
+  std::unique_ptr<BoundedMpscQueue<NodeTask>> tasks_;
+  std::unique_ptr<ContainmentPipeline> pipeline_;  ///< ingest thread (then wait())
+  std::optional<CheckpointPayload> stored_checkpoint_;  ///< replica role
+  std::map<std::uint64_t, std::uint64_t> client_positions_;  ///< ingest thread
+  std::unordered_set<std::uint32_t> alerted_;  ///< hosts already pre-contained/announced
+  std::uint64_t records_since_gossip_ = 0;
+  std::uint64_t last_replicated_position_ = 0;
+
+  std::mutex alerts_mutex_;
+  std::vector<AlertEntry> pending_alerts_;  ///< filled by shard workers (on_removal)
+
+  std::vector<std::unique_ptr<PeerLink>> peer_links_;
+  PeerLink* replicate_link_ = nullptr;  ///< points into peer_links_
+  bool gossip_to_replica_ = false;      ///< replica endpoint also listed in peers
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<unsigned> clients_completed_{0};
+  std::atomic<unsigned> peers_closed_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> frames_sent_direct_{0};  ///< Welcome/ack frames from readers
+  std::atomic<std::uint64_t> connections_dropped_{0};  ///< netdrop fault closures
+  mutable std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+
+  /// Cursors into the sorted net fault schedules (guarded by fault_mutex_).
+  std::mutex fault_mutex_;
+  std::size_t next_net_kill_ = 0;
+  std::size_t next_net_drop_ = 0;
+  std::size_t next_net_stall_ = 0;
+
+  NodeReport report_;  ///< net counters folded in by wait()
+  std::string ingest_error_;  ///< first ingest-thread exception; rethrown by wait()
+  std::uint64_t alerts_received_ = 0;  ///< ingest thread
+  std::uint64_t alerts_sent_ = 0;
+  std::uint64_t alerts_dropped_ = 0;
+  std::uint64_t records_received_ = 0;
+  std::uint64_t checkpoints_replicated_ = 0;
+  std::uint64_t checkpoints_stored_ = 0;
+  bool promoted_ = false;
+  std::uint64_t promoted_position_ = 0;
+
+  // Net-layer obs handles (null when uninstrumented).
+  obs::Counter* obs_connections_ = nullptr;   ///< fleet_net_connections_accepted_total
+  obs::Counter* obs_frames_rx_ = nullptr;     ///< fleet_net_frames_rx_total
+  obs::Counter* obs_frames_tx_ = nullptr;     ///< fleet_net_frames_tx_total
+  obs::Counter* obs_records_rx_ = nullptr;    ///< fleet_net_records_rx_total
+  obs::Counter* obs_alerts_rx_ = nullptr;     ///< fleet_net_alerts_rx_total
+  obs::Counter* obs_alerts_tx_ = nullptr;     ///< fleet_net_alerts_tx_total
+  obs::Counter* obs_alerts_dropped_ = nullptr;  ///< fleet_net_alerts_dropped_total
+  obs::Counter* obs_reconnects_ = nullptr;    ///< fleet_net_reconnects_total
+  obs::Counter* obs_replicated_ = nullptr;    ///< fleet_net_checkpoints_replicated_total
+  obs::Counter* obs_ckpt_stored_ = nullptr;   ///< fleet_net_checkpoints_stored_total
+  obs::Gauge* obs_replication_lag_ = nullptr; ///< fleet_net_replication_lag_records
+  obs::Gauge* obs_peers_degraded_ = nullptr;  ///< fleet_net_peers_degraded
+
+  std::thread accept_thread_;
+  std::thread ingest_thread_;
+  bool waited_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Ingest client.
+
+struct IngestOptions {
+  /// Failover list, tried in order: when an endpoint's retry budget is spent
+  /// the client rotates to the next (the promoted replica in the node-kill
+  /// drill).  The whole list exhausting max_retries each, with no Welcome
+  /// anywhere, is a hard error.
+  std::vector<Endpoint> connect;
+  std::uint64_t client_id = 1;
+  std::size_t batch_records = 4096;  ///< records per Records frame
+  NetTimeouts timeouts;
+  RetryPolicy retry;
+  /// Client-side fault clauses (netcorrupt) — INDEX counts this client's
+  /// sent record-batch frames, across reconnects.
+  FaultPlan faults;
+};
+
+struct IngestReport {
+  std::uint64_t records_sent = 0;    ///< final stream position (distinct records)
+  std::uint64_t records_resent = 0;  ///< suffix replays after reconnect/failover
+  std::uint64_t frames_sent = 0;     ///< record-batch frames, including resends
+  unsigned reconnects = 0;           ///< sessions after the first
+  unsigned failovers = 0;            ///< endpoint rotations
+  std::string endpoint;              ///< endpoint that served the final session
+};
+
+/// Sources are single-pass, but resume needs a rewind: the client re-opens
+/// the stream through this factory on every (re)connect and skip()s to the
+/// server's position.
+using SourceFactory = std::function<std::unique_ptr<trace::RecordSource>()>;
+
+/// Streams the source to the first reachable endpoint, resuming/failing over
+/// until the stream completes.  Throws support::PreconditionError when every
+/// endpoint's retry budget is exhausted without progress.
+[[nodiscard]] IngestReport run_ingest(const IngestOptions& options,
+                                      const SourceFactory& make_source);
+
+/// RecordSource adapter keeping only records with
+/// source_host % modulus == remainder — how a fleet splits one trace across
+/// ingest clients (host-affine, so per-host record order is preserved).
+class HostModFilterSource final : public trace::RecordSource {
+ public:
+  HostModFilterSource(std::unique_ptr<trace::RecordSource> inner, std::uint32_t modulus,
+                      std::uint32_t remainder);
+
+  [[nodiscard]] std::size_t next_batch(std::span<trace::ConnRecord> out) override;
+
+ private:
+  std::unique_ptr<trace::RecordSource> inner_;
+  std::uint32_t modulus_;
+  std::uint32_t remainder_;
+  std::vector<trace::ConnRecord> buffer_;
+  std::size_t buffer_pos_ = 0;
+};
+
+}  // namespace worms::fleet::net

@@ -1,0 +1,123 @@
+// Minimal POSIX TCP wrappers with bounded timeouts (DESIGN.md §12).
+//
+// The fleet protocol's robustness contract starts here: every connect, read,
+// and write carries an explicit deadline, enforced with poll() on
+// non-blocking sockets, so a hung peer can stall a connection — never a
+// thread forever.  No DNS (numeric IPv4 plus the "localhost" literal only:
+// monitor fleets are configured by address, and a resolver timeout is a
+// dependency this layer exists to avoid), no TLS, IPv4 only — the protocol
+// above carries its own checksums and the deployments are loopback or
+// lab-internal.
+//
+// Endpoint parsing is strict from_chars, same idiom as every wormctl flag:
+// "10.0.0.1:7070" parses, "10.0.0.1:70x0" or a port > 65535 throws
+// support::PreconditionError with the offending text.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace worms::fleet::net {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";  ///< numeric IPv4 (or "localhost")
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Parses "HOST:PORT".  Strict: numeric IPv4 or "localhost" for HOST, a
+/// from_chars-clean port in [0, 65535].  Throws support::PreconditionError
+/// naming the bad field.
+[[nodiscard]] Endpoint parse_endpoint(std::string_view text);
+
+/// Parses "HOST:PORT,HOST:PORT,..." (at least one entry).
+[[nodiscard]] std::vector<Endpoint> parse_endpoint_list(std::string_view text);
+
+/// Outcome of a read_some() call.
+enum class IoStatus : std::uint8_t {
+  Ok,       ///< >= 1 byte read
+  Eof,      ///< orderly shutdown from the peer
+  Timeout,  ///< deadline expired with nothing to read
+  Error,    ///< socket error (connection reset, etc.)
+};
+
+/// A connected TCP stream.  Move-only; closes on destruction.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(int fd) noexcept : fd_(fd) {}
+  ~TcpStream() { close(); }
+
+  TcpStream(TcpStream&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  /// Non-blocking connect with a poll() deadline.  nullopt on failure or
+  /// timeout; `error` (if non-null) receives a diagnostic.
+  [[nodiscard]] static std::optional<TcpStream> connect(const Endpoint& endpoint,
+                                                        std::chrono::milliseconds timeout,
+                                                        std::string* error = nullptr);
+
+  struct ReadResult {
+    IoStatus status = IoStatus::Error;
+    std::size_t bytes = 0;
+  };
+
+  /// Reads whatever is available (>= 1 byte) within the deadline.
+  [[nodiscard]] ReadResult read_some(char* out, std::size_t capacity,
+                                     std::chrono::milliseconds timeout);
+
+  /// Writes the whole buffer, polling for writability between partial
+  /// writes; `timeout` bounds each poll, not the total.  False on any error
+  /// or expired deadline (the stream should then be abandoned).
+  [[nodiscard]] bool write_all(std::string_view data, std::chrono::milliseconds timeout);
+
+  /// Half-close: signals end-of-stream to the peer, reads still work.
+  void shutdown_send() noexcept;
+
+  void close() noexcept;
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket.  Bind with port 0 for an ephemeral port (tests);
+/// port() reports the actual one.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { close(); }
+
+  TcpListener(TcpListener&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// SO_REUSEADDR bind + listen.  nullopt on failure (port in use, bad host).
+  [[nodiscard]] static std::optional<TcpListener> bind(const Endpoint& endpoint,
+                                                       std::string* error = nullptr);
+
+  /// Accepts one connection within the deadline; nullopt on timeout.
+  [[nodiscard]] std::optional<TcpStream> accept(std::chrono::milliseconds timeout);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace worms::fleet::net

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <span>
@@ -113,6 +114,9 @@ struct ContainmentPipeline::ShardTask {
   std::vector<std::uint64_t> indices;  ///< parallel to records: feed order
   std::shared_ptr<Gate> gate;
   bool degrade_to_hll = false;
+  /// Hosts to administratively remove (fleet alert gossip) — a control task,
+  /// FIFO-ordered against record batches like the gate and degrade tasks.
+  std::vector<std::uint32_t> pre_contain;
 };
 
 /// Overload ladder state for one shard, owned by the ingest thread.
@@ -221,6 +225,10 @@ struct ContainmentPipeline::Shard {
       }
       if (task->degrade_to_hll) {
         degrade();
+        continue;
+      }
+      if (!task->pre_contain.empty()) {
+        for (const std::uint32_t host : task->pre_contain) apply_pre_containment(host);
         continue;
       }
       if (!error) {
@@ -351,8 +359,15 @@ struct ContainmentPipeline::Shard {
           d.action == core::ScanAction::AllowAndRemove) {
         h.verdict.removed = true;
         h.verdict.removal_time = r.timestamp;
-        std::lock_guard lock(removed_mutex);
-        removed.insert(r.source_host);
+        {
+          std::lock_guard lock(removed_mutex);
+          removed.insert(r.source_host);
+        }
+        // Fire the alert hook only for genuine policy removals: restored and
+        // pre-contained verdicts never re-announce, so gossip cannot echo.
+        if (on_removal != nullptr && *on_removal) {
+          (*on_removal)(r.source_host, r.timestamp);
+        }
         break;
       }
       if (flagging_enabled && !h.cycle_flagged &&
@@ -364,6 +379,25 @@ struct ContainmentPipeline::Shard {
         }
       }
     }
+  }
+
+  /// Administrative removal via fleet alert (ShardTask::pre_contain).  A
+  /// never-seen host gets a fresh zero-count state so its verdict reports the
+  /// block; an already-removed host is untouched (the pre_contained flag
+  /// marks only blocks this path performed).
+  void apply_pre_containment(std::uint32_t id) {
+    auto [it, inserted] = hosts.try_emplace(id);
+    HostState& h = it->second;
+    if (inserted) {
+      h.counter = make_distinct_counter(effective_backend, hll_precision);
+      h.counter_backend = effective_backend;
+      h.verdict.host = id;
+    }
+    if (h.verdict.removed) return;
+    h.verdict.removed = true;
+    h.verdict.pre_contained = true;
+    std::lock_guard lock(removed_mutex);
+    removed.insert(id);
   }
 
   /// One-way exact→HLL conversion of this shard's live counters.  The HLL
@@ -403,6 +437,8 @@ struct ContainmentPipeline::Shard {
 
   unsigned index = 0;         ///< this shard's position (labels + obs cell)
   const Obs* obs = nullptr;   ///< non-null only when the pipeline is instrumented
+  /// Alert hook (PipelineOptions::on_removal); null when unset.
+  const std::function<void(std::uint32_t, sim::SimTime)>* on_removal = nullptr;
   obs::TraceRing* trace = nullptr;  ///< this shard worker's flight-recorder ring
   bool trace_wall = false;          ///< tracer in wall-clock mode (timing events on)
 
@@ -464,6 +500,7 @@ ContainmentPipeline::ContainmentPipeline(const PipelineOptions& options, DeferWo
   for (unsigned s = 0; s < config_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(config_));
     shards_[s]->index = s;
+    if (config_.on_removal) shards_[s]->on_removal = &config_.on_removal;
     if (obs_.ingested != nullptr) shards_[s]->obs = &obs_;
     if (tracer != nullptr) {
       // Logical tid s+1 regardless of which pool thread runs the worker, so
@@ -511,6 +548,7 @@ void ContainmentPipeline::setup_metrics() {
   obs_.hosts_seen = &reg.counter("fleet_hosts_seen_total");
   obs_.hosts_flagged = &reg.counter("fleet_hosts_flagged_total");
   obs_.hosts_removed = &reg.counter("fleet_hosts_removed_total");
+  obs_.hosts_pre_contained = &reg.counter("fleet_hosts_pre_contained_total");
   obs_.backend_switches = &reg.counter("fleet_backend_switches_total");
   obs_.workers_killed = &reg.counter("fleet_workers_killed_total");
   obs_.workers_respawned = &reg.counter("fleet_workers_respawned_total");
@@ -904,6 +942,40 @@ void ContainmentPipeline::write_checkpoint(const std::string& path) {
   }
 }
 
+std::string ContainmentPipeline::snapshot_blob() {
+  WORMS_EXPECTS(!finished_);
+  WORMS_TRACE_SPAN(trace_, "checkpoint_write");
+  const support::Stopwatch watch;
+  quiesce();
+  std::string blob = encode_snapshot();
+  ++checkpoints_written_;
+  flush_ingest_counters();
+  if (obs_.checkpoints != nullptr) {
+    obs_.checkpoints->add(1);
+    obs_.checkpoint_seconds->record(watch.elapsed_seconds());
+  }
+  return blob;
+}
+
+void ContainmentPipeline::pre_contain(std::span<const std::uint32_t> hosts) {
+  WORMS_EXPECTS(!finished_);
+  if (hosts.empty()) return;
+  // Flush pending batches first so the control task is ordered exactly at the
+  // current stream position: records fed before this call are processed
+  // before the block lands, records fed after it are suppressed.
+  flush_batches();
+  std::vector<std::vector<std::uint32_t>> per_shard(config_.shards);
+  for (const std::uint32_t host : hosts) {
+    per_shard[host % config_.shards].push_back(host);
+  }
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    if (per_shard[s].empty()) continue;
+    ShardTask task;
+    task.pre_contain = std::move(per_shard[s]);
+    push_shard_task(s, std::move(task), /*sample_overload=*/false);
+  }
+}
+
 std::string ContainmentPipeline::encode_snapshot() const {
   BinaryWriter out;
   out.put_u32(kSnapshotMagic);
@@ -961,6 +1033,7 @@ std::string ContainmentPipeline::encode_snapshot() const {
       if (h.verdict.flagged) flags |= 2u;
       if (h.verdict.removed) flags |= 4u;
       if (h.has_prev) flags |= 8u;
+      if (h.verdict.pre_contained) flags |= 16u;
       out.put_u8(flags);
       out.put_f64(h.last_time);
       out.put_u32(h.last_destination);
@@ -1013,7 +1086,7 @@ void ContainmentPipeline::decode_snapshot(const std::string& payload) {
   has_last_routed_ = in.get_u8() != 0;
   last_routed_.timestamp = in.get_f64();
   last_routed_.source_host = in.get_u32();
-  last_routed_.destination = net::Ipv4Address(in.get_u32());
+  last_routed_.destination = worms::net::Ipv4Address(in.get_u32());
 
   const std::uint32_t degraded_count = in.get_u32();
   for (std::uint32_t i = 0; i < degraded_count; ++i) {
@@ -1042,6 +1115,7 @@ void ContainmentPipeline::decode_snapshot(const std::string& payload) {
     h.verdict.flagged = (flags & 2u) != 0;
     h.verdict.removed = (flags & 4u) != 0;
     h.has_prev = (flags & 8u) != 0;
+    h.verdict.pre_contained = (flags & 16u) != 0;
     h.last_time = in.get_f64();
     h.last_destination = in.get_u32();
     h.verdict.records_seen = in.get_u64();
@@ -1064,11 +1138,16 @@ void ContainmentPipeline::decode_snapshot(const std::string& payload) {
 
 std::unique_ptr<ContainmentPipeline> ContainmentPipeline::restore(const PipelineOptions& config,
                                                                   const std::string& path) {
+  return restore_from_blob(config, read_snapshot_file(path));
+}
+
+std::unique_ptr<ContainmentPipeline> ContainmentPipeline::restore_from_blob(
+    const PipelineOptions& config, const std::string& snapshot) {
   std::unique_ptr<ContainmentPipeline> pipeline(
       new ContainmentPipeline(config, DeferWorkersTag{}));
   {
     WORMS_TRACE_SPAN(pipeline->trace_, "checkpoint_restore");
-    pipeline->decode_snapshot(read_snapshot_file(path));
+    pipeline->decode_snapshot(snapshot);
   }
   pipeline->start_workers();
   return pipeline;
@@ -1130,6 +1209,7 @@ PipelineResult ContainmentPipeline::finish() {
   for (const HostVerdict& v : hosts) {
     if (v.flagged) ++result.verdicts.hosts_flagged;
     if (v.removed) ++result.verdicts.hosts_removed;
+    if (v.pre_contained) ++result.verdicts.hosts_pre_contained;
   }
 
   // Verdict-derived metrics, folded in exactly once.  post_removal is
@@ -1142,6 +1222,7 @@ PipelineResult ContainmentPipeline::finish() {
     obs_.hosts_seen->add(hosts.size());
     obs_.hosts_flagged->add(result.verdicts.hosts_flagged);
     obs_.hosts_removed->add(result.verdicts.hosts_removed);
+    obs_.hosts_pre_contained->add(result.verdicts.hosts_pre_contained);
     obs_.post_removal->add(m.records_suppressed + m.records_shed);
     obs_.backend_switches->add(m.backend_switches);
     obs_.workers_killed->add(m.workers_killed);
@@ -1166,6 +1247,20 @@ PipelineResult ContainmentPipeline::run(const PipelineOptions& options,
   ContainmentPipeline pipeline(options);
   pipeline.feed(source);
   return pipeline.finish();
+}
+
+void write_verdicts_csv(const std::string& path, const ContainmentVerdicts& v) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  WORMS_EXPECTS(f != nullptr && "cannot open verdicts CSV file");
+  std::fprintf(
+      f, "host,records_seen,peak_distinct,flagged,flag_time,removed,removal_time,pre_contained\n");
+  for (const HostVerdict& h : v.hosts) {
+    std::fprintf(f, "%u,%llu,%llu,%d,%.17g,%d,%.17g,%d\n", h.host,
+                 static_cast<unsigned long long>(h.records_seen),
+                 static_cast<unsigned long long>(h.peak_distinct), h.flagged ? 1 : 0,
+                 h.flag_time, h.removed ? 1 : 0, h.removal_time, h.pre_contained ? 1 : 0);
+  }
+  WORMS_ENSURES(std::fclose(f) == 0);
 }
 
 }  // namespace worms::fleet

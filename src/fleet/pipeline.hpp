@@ -55,6 +55,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -174,6 +175,14 @@ struct PipelineOptions {
   /// pipeline.
   obs::Tracer* tracer = nullptr;
 
+  /// Removal hook for the fleet/net alert-gossip layer: invoked by a shard
+  /// worker at the instant a host's removal verdict is decided by the local
+  /// policy (never for restored verdicts or pre-containments, so alerts do
+  /// not echo).  Runs on the worker thread with no pipeline locks held — the
+  /// callee must be thread-safe and cheap (the net layer just appends to a
+  /// mutex-guarded pending-alert list).
+  std::function<void(std::uint32_t host, sim::SimTime removal_time)> on_removal;
+
   /// Throws support::PreconditionError on any invalid combination (zero
   /// batch size or queue capacity, > 1024 shards, inverted overload
   /// watermarks, a cadence without its target path/registry).  shards == 0
@@ -192,6 +201,9 @@ struct HostVerdict {
   sim::SimTime flag_time = 0.0;       ///< first crossing
   bool removed = false;               ///< hit M within a cycle
   sim::SimTime removal_time = 0.0;
+  /// Removed by a fleet alert (pre_contain), not by the local policy —
+  /// removal_time stays 0: the block is administrative, not a trace event.
+  bool pre_contained = false;
 
   friend bool operator==(const HostVerdict&, const HostVerdict&) = default;
 };
@@ -200,6 +212,7 @@ struct ContainmentVerdicts {
   std::vector<HostVerdict> hosts;  ///< every host seen, ascending host id
   std::uint32_t hosts_flagged = 0;
   std::uint32_t hosts_removed = 0;
+  std::uint32_t hosts_pre_contained = 0;  ///< subset of removed: blocked by alerts
 
   [[nodiscard]] const HostVerdict* find(std::uint32_t host) const noexcept;
   [[nodiscard]] std::vector<std::uint32_t> removed_hosts() const;
@@ -271,6 +284,20 @@ class ContainmentPipeline {
   /// may continue immediately after.
   void write_checkpoint(const std::string& path);
 
+  /// Quiesces and returns the raw snapshot image write_checkpoint() would
+  /// have framed into a file — the payload a serve node replicates to its
+  /// checkpoint peer.  Counts toward the checkpoints-written tally exactly
+  /// like a file checkpoint.
+  [[nodiscard]] std::string snapshot_blob();
+
+  /// Administratively removes hosts before (or regardless of) any policy
+  /// decision — the fleet alert-gossip "immunization" path.  Ordered after
+  /// everything fed so far and before everything fed later; hosts never seen
+  /// get a zero-count verdict with removed = pre_contained = true.  Must be
+  /// called from the ingest thread (the feed() thread); already-removed
+  /// hosts are untouched.
+  void pre_contain(std::span<const std::uint32_t> hosts);
+
   /// Rebuilds a pipeline from a snapshot written by write_checkpoint().  The
   /// config's policy/backend/precision must match the snapshot's; the shard
   /// count may differ (state is re-sharded on load).  Resume ingest at
@@ -278,6 +305,12 @@ class ContainmentPipeline {
   /// to the uninterrupted run.
   [[nodiscard]] static std::unique_ptr<ContainmentPipeline> restore(
       const PipelineOptions& options, const std::string& path);
+
+  /// restore() minus the file: rebuilds from a raw snapshot image as returned
+  /// by snapshot_blob() — the replica promotion path, where the snapshot
+  /// arrived over a checksummed wire frame instead of a checksummed file.
+  [[nodiscard]] static std::unique_ptr<ContainmentPipeline> restore_from_blob(
+      const PipelineOptions& options, const std::string& snapshot);
 
   /// Stream position: number of feed() calls so far (snapshot-restored count
   /// included) — the index the next fed record should have.
@@ -318,6 +351,7 @@ class ContainmentPipeline {
     obs::Counter* hosts_seen = nullptr;      ///< fleet_hosts_seen_total
     obs::Counter* hosts_flagged = nullptr;   ///< fleet_hosts_flagged_total
     obs::Counter* hosts_removed = nullptr;   ///< fleet_hosts_removed_total
+    obs::Counter* hosts_pre_contained = nullptr;  ///< fleet_hosts_pre_contained_total
     obs::Counter* backend_switches = nullptr;   ///< fleet_backend_switches_total
     obs::Counter* workers_killed = nullptr;     ///< fleet_workers_killed_total
     obs::Counter* workers_respawned = nullptr;  ///< fleet_workers_respawned_total
@@ -377,5 +411,12 @@ class ContainmentPipeline {
   obs::TraceRing* trace_ = nullptr;  ///< ingest thread's flight-recorder ring
   bool finished_ = false;
 };
+
+/// Deterministic verdict export: one CSV row per host, ascending host id,
+/// times printed with %.17g so equal doubles render identically — two runs
+/// produce byte-identical files exactly when their verdicts are bit-identical
+/// (the cross-format/cross-shard/failover determinism tests compare these).
+/// Shared by `wormctl contain` and `wormctl serve`.
+void write_verdicts_csv(const std::string& path, const ContainmentVerdicts& verdicts);
 
 }  // namespace worms::fleet

@@ -45,7 +45,7 @@ InjectedTrace inject_worm_scans(std::vector<trace::ConnRecord> base,
     while (config.scans_per_host == 0 || scans < config.scans_per_host) {
       t += -std::log(rng.uniform_pos()) / config.scan_rate;
       if (t > end) break;
-      out.records.push_back({t, host, net::Ipv4Address(rng.u32())});
+      out.records.push_back({t, host, worms::net::Ipv4Address(rng.u32())});
       ++scans;
     }
     out.worm_records += scans;

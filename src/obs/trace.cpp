@@ -111,10 +111,27 @@ TraceCollection Tracer::collect() const {
     // older than one capacity have been overwritten and are counted dropped.
     const std::uint64_t head = ring->head_.load(std::memory_order_acquire);
     const std::uint64_t retained = std::min<std::uint64_t>(head, ring->capacity());
+    const std::uint64_t first = head - retained;
+    // Copy raw slots first (a torn slot is safe to copy, not to interpret):
+    // a live writer may lap the drain, clobbering the oldest slots while we
+    // read them.
+    std::vector<TraceEvent> slots(static_cast<std::size_t>(retained));
+    for (std::uint64_t seq = first; seq < head; ++seq) {
+      slots[static_cast<std::size_t>(seq - first)] = ring->events_[seq & ring->mask_];
+    }
+    // Slot `seq` is only rewritten while the writer works on event
+    // `seq + capacity`, and record() announces that work in `started_`
+    // before touching the slot — so every slot the started counter has not
+    // reached within one capacity was stable for the whole drain.  The rest
+    // were (or may have been) overwritten mid-drain: count them dropped
+    // rather than emit a stale seq with a newer lap's payload.
+    const std::uint64_t started = ring->started_.load(std::memory_order_acquire);
+    const std::uint64_t stable_first =
+        started > ring->capacity() ? std::max(first, started - ring->capacity()) : first;
     out.recorded += head;
-    out.dropped += head - retained;
-    for (std::uint64_t seq = head - retained; seq < head; ++seq) {
-      const TraceEvent& ev = ring->events_[seq & ring->mask_];
+    out.dropped += head - retained + (stable_first - first);
+    for (std::uint64_t seq = stable_first; seq < head; ++seq) {
+      const TraceEvent& ev = slots[static_cast<std::size_t>(seq - first)];
       out.events.push_back({ev.tick, seq, ev.name != nullptr ? ev.name : "",
                             ev.value, ring->tid(), ev.kind});
     }

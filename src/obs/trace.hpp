@@ -96,8 +96,12 @@ class TraceRing {
     record(TraceEventKind::Counter, name, value);
   }
 
-  /// Hot path: clock read + 4 plain stores + 1 release store.  Wraparound
-  /// overwrites the oldest slot; nothing ever blocks.
+  /// Hot path: clock read + 4 plain stores + 2 release stores.  Wraparound
+  /// overwrites the oldest slot; nothing ever blocks.  Seqlock-style
+  /// bracket: `started_` announces the overwrite before the field stores,
+  /// `head_` publishes it after — a concurrent collect() discards any slot
+  /// whose overwrite had started, so it never pairs an old sequence number
+  /// with a newer lap's half-written payload.
   void record(TraceEventKind kind, const char* name, double value) noexcept {
     if constexpr (!kEnabled) {
       (void)kind;
@@ -106,6 +110,7 @@ class TraceRing {
       return;
     }
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    started_.store(h + 1, std::memory_order_release);
     TraceEvent& slot = events_[h & mask_];
     slot.tick = synthetic_ ? h : wall_tick();
     slot.name = name;
@@ -138,6 +143,7 @@ class TraceRing {
   std::vector<TraceEvent> events_;
   std::uint64_t mask_ = 0;
   std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> started_{0};  ///< events whose slot write has begun
   std::uint32_t tid_ = 0;
   bool synthetic_ = false;
   std::chrono::steady_clock::time_point start_;

@@ -217,7 +217,9 @@ std::vector<ConnRecord> read_wtrace(std::istream& in) {
 
   std::vector<ConnRecord> records(header.record_count);
   if constexpr (kLittleEndian) {
-    std::memcpy(records.data(), payload.data(), payload.size());
+    // Empty traces are legal and an empty vector's data() may be null, which
+    // memcpy must never receive even with a zero count.
+    if (!payload.empty()) std::memcpy(records.data(), payload.data(), payload.size());
   } else {
     for (std::uint64_t i = 0; i < header.record_count; ++i) {
       records[i] = decode_wtrace_record(payload.data() + i * kWtraceRecordBytes);

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -262,6 +263,74 @@ TEST(FleetCheckpoint, CounterCodecRoundTripsBothBackends) {
   }
   EXPECT_EQ(exact2->count(), exact->count());
   EXPECT_EQ(hll2->count(), hll->count());
+}
+
+TEST(FleetCheckpoint, ReplicationBlobFailoverSweep) {
+  // The replica-promotion path: snapshot_blob() at a boundary (the image a
+  // primary replicates over the wire), "kill the primary", restore_from_blob
+  // on the replica, replay the suffix — verdicts bit-identical to the
+  // uninterrupted run at every boundary, both backends.
+  const auto& records = sweep_trace();
+  for (const CounterBackend backend : {CounterBackend::Exact, CounterBackend::Hll}) {
+    const auto cfg = sweep_config(backend, 2);
+    const auto baseline = ContainmentPipeline::run(cfg, records);
+    const std::size_t step = records.size() / 6;
+    for (std::size_t boundary = step; boundary <= records.size(); boundary += step) {
+      const std::size_t at = std::min(boundary, records.size());
+      std::string blob;
+      {
+        ContainmentPipeline primary(cfg);
+        primary.feed(std::span<const trace::ConnRecord>(records).first(at));
+        blob = primary.snapshot_blob();
+      }  // primary "crashes" here: destroyed without finish()
+      auto replica = ContainmentPipeline::restore_from_blob(cfg, blob);
+      ASSERT_EQ(replica->records_fed(), at);
+      replica->feed(std::span<const trace::ConnRecord>(records).subspan(at));
+      const auto promoted = replica->finish();
+      ASSERT_EQ(promoted.verdicts, baseline.verdicts)
+          << to_string(backend) << " boundary=" << at;
+    }
+  }
+}
+
+TEST(FleetCheckpoint, BlobRestoreThenPreContainKeepsDeterminism) {
+  // Failover composed with gossip: restore from a blob, administratively
+  // pre-contain a few hosts, replay the suffix.  The pre-contained hosts
+  // must come out removed+pre_contained and the run must stay deterministic.
+  const auto& records = sweep_trace();
+  const auto cfg = sweep_config(CounterBackend::Exact, 2);
+  const std::size_t at = records.size() / 2;
+  std::string blob;
+  {
+    ContainmentPipeline primary(cfg);
+    primary.feed(std::span<const trace::ConnRecord>(records).first(at));
+    blob = primary.snapshot_blob();
+  }
+  // Alert hosts the local policy never removes (removal is monotone, so a
+  // host clean at the end of the baseline was clean at the boundary too) —
+  // pre_contain leaves already-removed hosts untouched by contract.
+  std::vector<std::uint32_t> alerted;
+  for (const HostVerdict& v : ContainmentPipeline::run(cfg, records).verdicts.hosts) {
+    if (!v.removed) alerted.push_back(v.host);
+    if (alerted.size() == 3) break;
+  }
+  ASSERT_EQ(alerted.size(), 3u);
+  const auto run_once = [&] {
+    auto replica = ContainmentPipeline::restore_from_blob(cfg, blob);
+    replica->pre_contain(alerted);
+    replica->feed(std::span<const trace::ConnRecord>(records).subspan(at));
+    return replica->finish();
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first.verdicts, second.verdicts);
+  EXPECT_GE(first.verdicts.hosts_pre_contained, 3u);
+  for (const std::uint32_t host : alerted) {
+    const HostVerdict* verdict = first.verdicts.find(host);
+    ASSERT_NE(verdict, nullptr);
+    EXPECT_TRUE(verdict->removed);
+    EXPECT_TRUE(verdict->pre_contained);
+  }
 }
 
 }  // namespace

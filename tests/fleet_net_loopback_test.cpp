@@ -1,0 +1,278 @@
+// In-process loopback tests for the distributed containment fleet: a real
+// ServeNode on 127.0.0.1 with real ingest clients, exercising resume after
+// forced drops, frame-corruption quarantine, checkpoint replication with
+// replica promotion, alert gossip between peers, and — throughout — the
+// determinism contract: the distributed verdicts must equal a local
+// single-pipeline run over the same records, bit for bit.
+//
+// Also home of the alert-race acceptance property (gossip strictly reduces
+// total infections at fixed phi) since it shares the fleet/net target.
+#include "fleet/net/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fleet/fault_plan.hpp"
+#include "fleet/net/alert_race.hpp"
+#include "fleet/pipeline.hpp"
+#include "fleet/worm_injector.hpp"
+#include "trace/record_source.hpp"
+#include "trace/synth.hpp"
+
+namespace worms::fleet::net {
+namespace {
+
+trace::LblSynthConfig loopback_synth_config() {
+  trace::LblSynthConfig cfg;
+  cfg.hosts = 250;
+  cfg.duration = 4.0 * sim::kDay;
+  cfg.seed = 77;
+  return cfg;
+}
+
+/// The trace every loopback test streams (synthesized once).
+const std::vector<trace::ConnRecord>& loopback_trace() {
+  static const std::vector<trace::ConnRecord> records =
+      trace::synthesize_lbl_trace(loopback_synth_config()).records;
+  return records;
+}
+
+PipelineOptions loopback_pipeline(std::uint64_t budget = 500) {
+  PipelineOptions cfg;
+  cfg.policy.scan_limit = budget;
+  cfg.policy.cycle_length = 2 * sim::kDay;
+  cfg.shards = 2;
+  return cfg;
+}
+
+/// Baseline: the same records through a local pipeline, no network.
+ContainmentVerdicts local_verdicts(std::uint64_t budget = 500) {
+  return ContainmentPipeline::run(loopback_pipeline(budget), loopback_trace()).verdicts;
+}
+
+SourceFactory synth_factory() {
+  return [] { return std::make_unique<trace::SynthSource>(loopback_synth_config()); };
+}
+
+NodeOptions loopback_node(std::uint64_t budget = 500) {
+  NodeOptions options;
+  options.listen = Endpoint{"127.0.0.1", 0};
+  options.pipeline = loopback_pipeline(budget);
+  // Fast-failing retries keep the fault tests snappy.
+  options.retry.base = std::chrono::milliseconds(5);
+  options.retry.cap = std::chrono::milliseconds(50);
+  return options;
+}
+
+IngestOptions client_for(const ServeNode& node) {
+  IngestOptions options;
+  options.connect = {Endpoint{"127.0.0.1", node.port()}};
+  options.retry.base = std::chrono::milliseconds(5);
+  options.retry.cap = std::chrono::milliseconds(50);
+  return options;
+}
+
+TEST(FleetNetLoopback, SingleClientMatchesLocalPipeline) {
+  ServeNode node(loopback_node());
+  IngestReport ingest;
+  std::thread client([&] { ingest = run_ingest(client_for(node), synth_factory()); });
+  const NodeReport report = node.wait();
+  client.join();
+
+  EXPECT_EQ(ingest.records_sent, loopback_trace().size());
+  EXPECT_EQ(ingest.reconnects, 0u);
+  EXPECT_EQ(report.records_received, loopback_trace().size());
+  EXPECT_EQ(report.wire_dead_letters.total(), 0u);
+  EXPECT_EQ(report.result.verdicts, local_verdicts());
+}
+
+TEST(FleetNetLoopback, TwoClientsPartitionedByHostModMatchLocal) {
+  NodeOptions options = loopback_node();
+  options.expect_clients = 2;
+  ServeNode node(options);
+  std::vector<std::thread> clients;
+  for (std::uint32_t remainder = 0; remainder < 2; ++remainder) {
+    clients.emplace_back([&, remainder] {
+      IngestOptions client = client_for(node);
+      client.client_id = remainder + 1;
+      (void)run_ingest(client, [remainder]() -> std::unique_ptr<trace::RecordSource> {
+        return std::make_unique<HostModFilterSource>(
+            std::make_unique<trace::SynthSource>(loopback_synth_config()), 2, remainder);
+      });
+    });
+  }
+  const NodeReport report = node.wait();
+  for (auto& t : clients) t.join();
+
+  // Host-affine partitioning: the merged two-client verdicts are the single
+  // pipeline's, bit for bit (per-host record order is all that matters).
+  EXPECT_EQ(report.records_received, loopback_trace().size());
+  EXPECT_EQ(report.result.verdicts, local_verdicts());
+}
+
+TEST(FleetNetLoopback, NetdropForcesReconnectAndLosslessResume) {
+  NodeOptions options = loopback_node();
+  options.faults = FaultPlan::parse("netdrop:5;netdrop:11");
+  ServeNode node(options);
+  IngestReport ingest;
+  IngestOptions client = client_for(node);
+  client.batch_records = 512;  // enough frames for both drops to land
+  std::thread thread([&] { ingest = run_ingest(client, synth_factory()); });
+  const NodeReport report = node.wait();
+  thread.join();
+
+  EXPECT_GE(ingest.reconnects, 1u);
+  EXPECT_GE(report.connections_dropped, 1u);
+  EXPECT_EQ(ingest.records_sent, loopback_trace().size());
+  EXPECT_EQ(report.result.verdicts, local_verdicts());
+}
+
+TEST(FleetNetLoopback, CorruptFrameIsQuarantinedAndResent) {
+  ServeNode node(loopback_node());
+  IngestReport ingest;
+  IngestOptions client = client_for(node);
+  client.batch_records = 512;
+  client.faults = FaultPlan::parse("netcorrupt:4");
+  std::thread thread([&] { ingest = run_ingest(client, synth_factory()); });
+  const NodeReport report = node.wait();
+  thread.join();
+
+  // The flipped byte fails the frame checksum, lands in the dead-letter
+  // channel under its own reason, and the resume protocol resends the
+  // affected suffix — no record lost, no record double-counted.
+  EXPECT_EQ(report.wire_dead_letters.frame_checksum, 1u);
+  EXPECT_GE(ingest.reconnects, 1u);
+  EXPECT_GT(ingest.records_resent, 0u);
+  EXPECT_EQ(report.result.verdicts, local_verdicts());
+}
+
+TEST(FleetNetLoopback, CheckpointReplicationPromotesReplica) {
+  // Replica first (it must be listening before the primary's link connects).
+  NodeOptions replica_options = loopback_node();
+  replica_options.expect_clients = 1;
+  replica_options.expect_peers = 1;
+  ServeNode replica(replica_options);
+
+  NodeOptions primary_options = loopback_node();
+  primary_options.replicate_to = Endpoint{"127.0.0.1", replica.port()};
+  primary_options.replicate_every = 20'000;
+  ServeNode primary(primary_options);
+
+  // The primary only ever sees the first 50k records ("crashes" before the
+  // rest), so the replica's final checkpoint lands mid-stream and the
+  // failover genuinely replays a suffix.
+  static constexpr std::uint64_t kPrefix = 50'000;
+  struct TruncatedSource final : trace::RecordSource {
+    std::unique_ptr<trace::RecordSource> inner;
+    std::uint64_t remaining;
+    TruncatedSource(std::unique_ptr<trace::RecordSource> source, std::uint64_t limit)
+        : inner(std::move(source)), remaining(limit) {}
+    std::size_t next_batch(std::span<trace::ConnRecord> out) override {
+      const std::size_t want =
+          static_cast<std::size_t>(std::min<std::uint64_t>(out.size(), remaining));
+      const std::size_t got = want == 0 ? 0 : inner->next_batch(out.first(want));
+      remaining -= got;
+      return got;
+    }
+  };
+  std::thread primary_client([&] {
+    (void)run_ingest(client_for(primary), []() -> std::unique_ptr<trace::RecordSource> {
+      return std::make_unique<TruncatedSource>(
+          std::make_unique<trace::SynthSource>(loopback_synth_config()), kPrefix);
+    });
+  });
+  const NodeReport primary_report = primary.wait();
+  primary_client.join();
+  EXPECT_GE(primary_report.checkpoints_replicated, 1u);
+
+  // "Failover": the client re-sends the stream to the replica, which promotes
+  // from the stored checkpoint and issues a resume position — the client
+  // skips the checkpointed prefix and replays only the suffix.
+  IngestReport failover_ingest;
+  std::thread replica_client(
+      [&] { failover_ingest = run_ingest(client_for(replica), synth_factory()); });
+  const NodeReport replica_report = replica.wait();
+  replica_client.join();
+
+  EXPECT_GE(replica_report.checkpoints_stored, 1u);
+  EXPECT_TRUE(replica_report.promoted_from_replica);
+  EXPECT_EQ(replica_report.promoted_position, kPrefix);
+  EXPECT_EQ(failover_ingest.records_sent, loopback_trace().size());
+  // Checkpoint state + suffix replay == uninterrupted run, bit for bit.
+  EXPECT_EQ(replica_report.result.verdicts, local_verdicts());
+}
+
+TEST(FleetNetLoopback, AlertGossipPreContainsHostsOnPeer) {
+  // Receiver of the gossip: one client, one inbound peer link.
+  NodeOptions receiver_options = loopback_node(/*budget=*/500);
+  receiver_options.expect_peers = 1;
+  ServeNode receiver(receiver_options);
+
+  // Sender: a tiny budget makes it remove many hosts, each removal gossiped.
+  NodeOptions sender_options = loopback_node(/*budget=*/40);
+  sender_options.peers = {Endpoint{"127.0.0.1", receiver.port()}};
+  sender_options.gossip_every = 10'000;
+  ServeNode sender(sender_options);
+
+  std::thread sender_client([&] { (void)run_ingest(client_for(sender), synth_factory()); });
+  const NodeReport sender_report = sender.wait();  // final flush closes the link
+  sender_client.join();
+  ASSERT_GT(sender_report.result.verdicts.hosts_removed, 0u);
+  EXPECT_GT(sender_report.alerts_sent, 0u);
+
+  std::thread receiver_client(
+      [&] { (void)run_ingest(client_for(receiver), synth_factory()); });
+  const NodeReport receiver_report = receiver.wait();
+  receiver_client.join();
+
+  // Every alerted host is administratively blocked on the receiver before
+  // (or regardless of) its own evidence — the alert-vs-worm race, won.
+  EXPECT_GT(receiver_report.alerts_received, 0u);
+  EXPECT_GT(receiver_report.result.verdicts.hosts_pre_contained, 0u);
+  const ContainmentVerdicts baseline = local_verdicts(500);
+  EXPECT_GT(receiver_report.result.verdicts.hosts_removed, baseline.hosts_removed);
+}
+
+// --- alert-race acceptance property ----------------------------------------
+
+TEST(FleetNetAlertRace, GossipStrictlyReducesInfectionsAtFixedPhi) {
+  // The EXPERIMENTS.md defaults: an epidemic hot enough that local-only
+  // containment loses the whole population and gossip saves a strict slice.
+  AlertRaceConfig config;
+  AlertRaceConfig no_gossip = config;
+  no_gossip.gossip = false;
+
+  const AlertRaceResult with = run_alert_race(config);
+  const AlertRaceResult without = run_alert_race(no_gossip);
+  EXPECT_LT(with.total_infected, without.total_infected);
+  EXPECT_GT(with.alerts_gossiped, 0u);
+  EXPECT_GT(with.pre_containments, 0u);
+  EXPECT_EQ(without.alerts_gossiped, 0u);
+}
+
+TEST(FleetNetAlertRace, DeterministicAcrossReruns) {
+  AlertRaceConfig config;
+  config.steps = 80;
+  const AlertRaceResult a = run_alert_race(config);
+  const AlertRaceResult b = run_alert_race(config);
+  EXPECT_EQ(a.total_infected, b.total_infected);
+  EXPECT_EQ(a.scans_attempted, b.scans_attempted);
+  EXPECT_EQ(a.alerts_gossiped, b.alerts_gossiped);
+  EXPECT_EQ(a.pre_containments, b.pre_containments);
+  EXPECT_EQ(a.hosts_fully_blocked, b.hosts_fully_blocked);
+}
+
+TEST(FleetNetAlertRace, FasterGossipNeverHurts) {
+  AlertRaceConfig slow;
+  slow.steps = 120;
+  slow.gossip_delay = 8;
+  AlertRaceConfig fast = slow;
+  fast.gossip_delay = 1;
+  EXPECT_LE(run_alert_race(fast).total_infected, run_alert_race(slow).total_infected);
+}
+
+}  // namespace
+}  // namespace worms::fleet::net

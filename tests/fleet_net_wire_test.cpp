@@ -1,0 +1,310 @@
+// Wire-protocol layer of the distributed fleet: frame codec roundtrips, the
+// four frame dead-letter reasons (one test per reason — the ISSUE 8 satellite
+// contract), deterministic backoff, endpoint parsing, and the net fault-plan
+// grammar.  All pure: no sockets, no threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fleet/dead_letter.hpp"
+#include "fleet/fault_plan.hpp"
+#include "fleet/net/backoff.hpp"
+#include "fleet/net/socket.hpp"
+#include "fleet/net/wire.hpp"
+#include "support/check.hpp"
+#include "trace/record.hpp"
+
+namespace {
+
+using namespace worms;
+using namespace worms::fleet;
+using namespace worms::fleet::net;
+
+[[nodiscard]] std::vector<trace::ConnRecord> sample_records() {
+  std::vector<trace::ConnRecord> records;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    trace::ConnRecord r{};
+    r.timestamp = 0.25 * i;
+    r.source_host = i % 7;
+    r.destination = worms::net::Ipv4Address(0x0A000000u + i);
+    records.push_back(r);
+  }
+  return records;
+}
+
+/// Decodes `wire` in one gulp and returns the single expected frame.
+[[nodiscard]] Frame decode_one(const std::string& wire) {
+  FrameDecoder decoder;
+  decoder.append(wire);
+  const auto result = decoder.next();
+  EXPECT_EQ(result.status, FrameDecoder::Status::Ready);
+  EXPECT_EQ(decoder.next().status, FrameDecoder::Status::NeedMore);
+  return result.frame;
+}
+
+TEST(FleetNetWire, HeaderConstantsMatchSpec) {
+  const std::string wire = encode_frame(FrameType::Hello, "x");
+  ASSERT_EQ(wire.size(), kFrameHeaderBytes + 1);
+  // 'WFN1' little-endian.
+  EXPECT_EQ(wire[0], 'W');
+  EXPECT_EQ(wire[1], 'F');
+  EXPECT_EQ(wire[2], 'N');
+  EXPECT_EQ(wire[3], '1');
+  EXPECT_EQ(static_cast<std::uint8_t>(wire[4]), kFrameVersion);
+  EXPECT_EQ(static_cast<std::uint8_t>(wire[5]), static_cast<std::uint8_t>(FrameType::Hello));
+}
+
+TEST(FleetNetWire, FrameRoundtripEveryType) {
+  for (const FrameType type : {FrameType::Hello, FrameType::Welcome, FrameType::Records,
+                               FrameType::Alert, FrameType::Checkpoint, FrameType::Bye}) {
+    const std::string payload = "payload for " + std::string(to_string(type));
+    const Frame frame = decode_one(encode_frame(type, payload));
+    EXPECT_EQ(frame.type, type);
+    EXPECT_EQ(frame.payload, payload);
+  }
+}
+
+TEST(FleetNetWire, DecoderHandlesByteAtATimeDelivery) {
+  // TCP makes no delivery-size promises; a frame arriving one byte at a time
+  // must decode identically to a single gulp.
+  const std::string wire =
+      encode_frame(FrameType::Records, encode_records(sample_records())) +
+      encode_frame(FrameType::Bye, encode_bye(ByePayload{100}));
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (const char byte : wire) {
+    decoder.append(&byte, 1);
+    for (auto result = decoder.next(); result.status == FrameDecoder::Status::Ready;
+         result = decoder.next()) {
+      frames.push_back(std::move(result.frame));
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, FrameType::Records);
+  EXPECT_EQ(decode_records(frames[0].payload), sample_records());
+  EXPECT_EQ(frames[1].type, FrameType::Bye);
+  EXPECT_EQ(decode_bye(frames[1].payload).records_sent, 100u);
+}
+
+TEST(FleetNetWire, RecordsPayloadIsWtraceWireImage) {
+  const auto records = sample_records();
+  const std::string payload = encode_records(records);
+  EXPECT_EQ(payload.size(), records.size() * 16);  // packed .wtrace images
+  EXPECT_EQ(decode_records(payload), records);
+}
+
+TEST(FleetNetWire, HelloWelcomeAlertCheckpointByeRoundtrip) {
+  const HelloPayload hello{42, HelloPayload::Kind::Peer};
+  EXPECT_EQ(decode_hello(encode_hello(hello)), hello);
+
+  const WelcomePayload welcome{123456789};
+  EXPECT_EQ(decode_welcome(encode_welcome(welcome)), welcome);
+
+  const std::vector<AlertEntry> alerts{{7, 1.5}, {11, 2.25}, {900, 0.0}};
+  EXPECT_EQ(decode_alerts(encode_alerts(alerts)), alerts);
+
+  CheckpointPayload checkpoint;
+  checkpoint.client_positions = {{1, 5000}, {2, 4800}};
+  checkpoint.snapshot = std::string("\x00\x01snapshot-bytes\xFF", 17);
+  EXPECT_EQ(decode_checkpoint(encode_checkpoint(checkpoint)), checkpoint);
+
+  const ByePayload bye{987654321};
+  EXPECT_EQ(decode_bye(encode_bye(bye)), bye);
+}
+
+TEST(FleetNetWire, MalformedTypedPayloadThrows) {
+  EXPECT_THROW((void)decode_hello("short"), support::PreconditionError);
+  EXPECT_THROW((void)decode_welcome("short"), support::PreconditionError);
+  EXPECT_THROW((void)decode_records(std::string(17, 'x')), support::PreconditionError);
+  EXPECT_THROW((void)decode_bye(""), support::PreconditionError);
+}
+
+// --- one dead-letter reason per frame violation -----------------------------
+
+TEST(FleetNetWire, BadMagicDeadLettersAndPoisons) {
+  std::string wire = encode_frame(FrameType::Hello, "hi");
+  wire[0] = 'X';
+  FrameDecoder decoder;
+  decoder.append(wire);
+  const auto result = decoder.next();
+  ASSERT_EQ(result.status, FrameDecoder::Status::Error);
+  EXPECT_EQ(result.reason, DeadLetterReason::FrameBadMagic);
+  EXPECT_TRUE(decoder.poisoned());
+  // Poisoned: even though valid bytes follow, the decoder stays silent — the
+  // caller must drop the connection, not resynchronize on attacker-supplied
+  // bytes.
+  decoder.append(encode_frame(FrameType::Hello, "hi"));
+  EXPECT_EQ(decoder.next().status, FrameDecoder::Status::NeedMore);
+}
+
+TEST(FleetNetWire, TruncatedFrameDeadLettersOnFinish) {
+  const std::string wire = encode_frame(FrameType::Records, encode_records(sample_records()));
+  FrameDecoder decoder;
+  decoder.append(wire.data(), wire.size() - 7);  // connection died mid-payload
+  EXPECT_EQ(decoder.next().status, FrameDecoder::Status::NeedMore);
+  decoder.finish();
+  const auto result = decoder.next();
+  ASSERT_EQ(result.status, FrameDecoder::Status::Error);
+  EXPECT_EQ(result.reason, DeadLetterReason::FrameTruncated);
+}
+
+TEST(FleetNetWire, ChecksumMismatchDeadLetters) {
+  std::string wire = encode_frame(FrameType::Records, encode_records(sample_records()));
+  wire[kFrameHeaderBytes + 5] ^= 0x01;  // single bit flip in the payload
+  FrameDecoder decoder;
+  decoder.append(wire);
+  const auto result = decoder.next();
+  ASSERT_EQ(result.status, FrameDecoder::Status::Error);
+  EXPECT_EQ(result.reason, DeadLetterReason::FrameChecksum);
+}
+
+TEST(FleetNetWire, OversizedLengthDeadLettersWithoutBuffering) {
+  std::string wire = encode_frame(FrameType::Records, "small");
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(wire.data() + 8, &huge, sizeof huge);  // hostile length prefix
+  FrameDecoder decoder;
+  decoder.append(wire);
+  const auto result = decoder.next();
+  ASSERT_EQ(result.status, FrameDecoder::Status::Error);
+  EXPECT_EQ(result.reason, DeadLetterReason::FrameOversized);
+}
+
+TEST(FleetNetWire, UnknownTypeAndVersionAreBadMagic) {
+  std::string bad_type = encode_frame(FrameType::Hello, "x");
+  bad_type[5] = 99;
+  FrameDecoder type_decoder;
+  type_decoder.append(bad_type);
+  EXPECT_EQ(type_decoder.next().reason, DeadLetterReason::FrameBadMagic);
+
+  std::string bad_version = encode_frame(FrameType::Hello, "x");
+  bad_version[4] = 2;
+  FrameDecoder version_decoder;
+  version_decoder.append(bad_version);
+  EXPECT_EQ(version_decoder.next().reason, DeadLetterReason::FrameBadMagic);
+}
+
+TEST(FleetNetWire, DeadLetterChannelCountsFrameReasonsSeparately) {
+  DeadLetterChannel channel{DeadLetterChannel::Config{}};
+  const auto report = [&](DeadLetterReason reason, std::uint64_t times) {
+    for (std::uint64_t i = 0; i < times; ++i) {
+      DeadLetterEntry entry;
+      entry.reason = reason;
+      entry.detail = to_string(reason);
+      channel.report(std::move(entry));
+    }
+  };
+  report(DeadLetterReason::FrameBadMagic, 1);
+  report(DeadLetterReason::FrameTruncated, 2);
+  report(DeadLetterReason::FrameChecksum, 3);
+  report(DeadLetterReason::FrameOversized, 4);
+  const DeadLetterStats stats = channel.stats();
+  EXPECT_EQ(stats.frame_bad_magic, 1u);
+  EXPECT_EQ(stats.frame_truncated, 2u);
+  EXPECT_EQ(stats.frame_checksum, 3u);
+  EXPECT_EQ(stats.frame_oversized, 4u);
+  EXPECT_EQ(stats.total(), 10u);
+}
+
+// --- backoff ---------------------------------------------------------------
+
+TEST(FleetNetBackoff, DeterministicScheduleAndWindowBounds) {
+  RetryPolicy policy;
+  policy.base = std::chrono::milliseconds(20);
+  policy.cap = std::chrono::milliseconds(2000);
+  policy.max_retries = 8;
+  Backoff a(policy, 17);
+  Backoff b(policy, 17);
+  std::uint64_t window = 20;
+  for (unsigned attempt = 0; attempt < policy.max_retries; ++attempt) {
+    const auto delay_a = a.next_delay();
+    const auto delay_b = b.next_delay();
+    EXPECT_EQ(delay_a, delay_b) << "attempt " << attempt;
+    EXPECT_GE(static_cast<std::uint64_t>(delay_a.count()), window / 2);
+    EXPECT_LE(static_cast<std::uint64_t>(delay_a.count()), window);
+    window = std::min<std::uint64_t>(window * 2, 2000);
+  }
+  EXPECT_TRUE(a.exhausted());
+  a.reset();
+  EXPECT_FALSE(a.exhausted());
+  EXPECT_EQ(a.attempts(), 0u);
+}
+
+TEST(FleetNetBackoff, DifferentSaltsDesynchronize) {
+  RetryPolicy policy;
+  policy.max_retries = 16;
+  Backoff a(policy, 1);
+  Backoff b(policy, 2);
+  bool differed = false;
+  for (unsigned i = 0; i < 16; ++i) {
+    if (a.next_delay() != b.next_delay()) differed = true;
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(FleetNetBackoff, WindowCapsAtPolicyCap) {
+  RetryPolicy policy;
+  policy.base = std::chrono::milliseconds(10);
+  policy.cap = std::chrono::milliseconds(50);
+  policy.max_retries = 32;
+  Backoff backoff(policy, 0);
+  for (unsigned i = 0; i < 32; ++i) {
+    EXPECT_LE(backoff.next_delay().count(), 50);
+  }
+}
+
+// --- endpoint parsing ------------------------------------------------------
+
+TEST(FleetNetSocket, ParsesEndpointsStrictly) {
+  const Endpoint e = parse_endpoint("127.0.0.1:8080");
+  EXPECT_EQ(e.host, "127.0.0.1");
+  EXPECT_EQ(e.port, 8080);
+  EXPECT_EQ(e.to_string(), "127.0.0.1:8080");
+  EXPECT_EQ(parse_endpoint("localhost:0").port, 0);
+
+  const auto list = parse_endpoint_list("127.0.0.1:1,127.0.0.1:2");
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].port, 1);
+  EXPECT_EQ(list[1].port, 2);
+
+  EXPECT_THROW((void)parse_endpoint("127.0.0.1"), support::PreconditionError);
+  EXPECT_THROW((void)parse_endpoint("127.0.0.1:99999"), support::PreconditionError);
+  EXPECT_THROW((void)parse_endpoint("127.0.0.1:80x"), support::PreconditionError);
+  EXPECT_THROW((void)parse_endpoint("not-a-host:80"), support::PreconditionError);
+  EXPECT_THROW((void)parse_endpoint("300.0.0.1:80"), support::PreconditionError);
+  EXPECT_THROW((void)parse_endpoint(":80"), support::PreconditionError);
+  EXPECT_THROW((void)parse_endpoint_list(""), support::PreconditionError);
+  EXPECT_THROW((void)parse_endpoint_list("127.0.0.1:1,,127.0.0.1:2"),
+               support::PreconditionError);
+}
+
+// --- net fault-plan grammar ------------------------------------------------
+
+TEST(FleetNetFaultPlan, ParsesNetworkClauses) {
+  const FaultPlan plan =
+      FaultPlan::parse("netkill:15;netdrop:4;netcorrupt:3;netstall:2,0.25;kill:0@1");
+  ASSERT_EQ(plan.net_kills.size(), 1u);
+  EXPECT_EQ(plan.net_kills[0], 15u);
+  ASSERT_EQ(plan.net_drops.size(), 1u);
+  EXPECT_EQ(plan.net_drops[0], 4u);
+  ASSERT_EQ(plan.net_corrupt_frames.size(), 1u);
+  EXPECT_EQ(plan.net_corrupt_frames[0], 3u);
+  ASSERT_EQ(plan.net_stalls.size(), 1u);
+  EXPECT_EQ(plan.net_stalls[0].after_frames, 2u);
+  EXPECT_DOUBLE_EQ(plan.net_stalls[0].seconds, 0.25);
+  ASSERT_EQ(plan.kills.size(), 1u);  // worker clauses still parse alongside
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FleetNetFaultPlan, RejectsMalformedNetworkClauses) {
+  EXPECT_THROW((void)FaultPlan::parse("netkill:"), support::PreconditionError);
+  EXPECT_THROW((void)FaultPlan::parse("netkill:abc"), support::PreconditionError);
+  EXPECT_THROW((void)FaultPlan::parse("netstall:5"), support::PreconditionError);
+  EXPECT_THROW((void)FaultPlan::parse("netstall:5,fast"), support::PreconditionError);
+  EXPECT_THROW((void)FaultPlan::parse("netfrob:1"), support::PreconditionError);
+}
+
+}  // namespace

@@ -76,6 +76,43 @@
 //              convert IN OUT — CSV ↔ .wtrace binary (direction sniffed from
 //              IN's magic; CSV→binary applies contain's time sort so the
 //              packed stream replays bit-identically)
+//   serve      run a containment node: TCP record ingest, alert gossip,
+//              checkpoint replication, promote-on-failure
+//              --listen HOST:PORT [--peers H:P,...] [--replicate-to H:P
+//              --replicate-every N] [--gossip-every N] [--expect-clients 1]
+//              [--expect-peers 0] [--node-id 0] [--fault-plan SPEC]
+//              + contain's pipeline flags (--budget, --cycle-days,
+//              --check-fraction, --shards, --counter, --hll-precision),
+//              [--verdicts-out FILE] [--metrics FILE], and the shared net
+//              knobs: --connect-timeout-ms/--read-timeout-ms/
+//              --write-timeout-ms, --retry-base-ms/--retry-cap-ms/--retry-max
+//              (--listen PORT 0 binds an ephemeral port; the bound port is
+//              printed — flushed — as "listening on HOST:PORT" so scripts can
+//              synchronize on it; the node exits once --expect-clients ingest
+//              streams complete and --expect-peers peer links close;
+//              --fault-plan adds net clauses: "netkill:F" exits hard after F
+//              frames, "netdrop:F" severs client connections, "netstall:F,S"
+//              sleeps S seconds, "netcorrupt:I" flips a payload byte of
+//              outbound frame I on the ingest side)
+//   ingest     stream a trace to a serve node with resume/failover
+//              --connect H:P[,H:P...] (--trace FILE | --synth [--hosts N]
+//              [--days D] [--synth-seed S]) [--client-id 1]
+//              [--hosts-mod M,R] [--batch-records 4096] [--fault-plan SPEC]
+//              + the shared net timeout/retry knobs
+//              (--trace accepts CSV or .wtrace by magic sniff — CSV is
+//              time-sorted up front like contain's; --hosts-mod M,R keeps
+//              only records with source_host % M == R, so M clients with
+//              remainders 0..M-1 partition one trace host-affinely and the
+//              server's merged verdicts are bit-identical to a single-client
+//              run; on reconnect the client resumes from the server's
+//              position, on a dead endpoint it fails over to the next)
+//   race       deterministic alert-vs-worm race simulation (gossip value)
+//              [--hosts 1000] [--address-space 4096] [--nodes 4]
+//              [--budget 10] [--phi 0.5] [--i0 2] [--scan-rate 4]
+//              [--steps 200] [--gossip-delay 2] [--gossip 0|1] [--compare]
+//              [--seed ...]
+//              (--compare runs gossip on AND off over identical per-host
+//              scan streams and prints both tables plus the infection delta)
 //
 // Every command prints a human-readable table; exit code 0 on success, 1 on
 // usage errors (with a message on stderr).
@@ -98,6 +135,7 @@
 #include "fleet/pipeline.hpp"
 #include "fleet/worm_injector.hpp"
 #include "net/graph/generators.hpp"
+#include "wormctl_net.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
@@ -486,23 +524,6 @@ void print_metrics_summary(const obs::MetricsSnapshot& snap) {
   h.print();
 }
 
-/// Deterministic verdict export: one CSV row per host, ascending host id,
-/// times printed with %.17g so equal doubles render identically — two runs
-/// produce byte-identical files exactly when their verdicts are bit-identical
-/// (the cross-format/cross-shard determinism tests compare these).
-void write_verdicts_csv(const std::string& path, const fleet::ContainmentVerdicts& v) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  WORMS_EXPECTS(f != nullptr && "cannot open --verdicts-out file");
-  std::fprintf(f, "host,records_seen,peak_distinct,flagged,flag_time,removed,removal_time\n");
-  for (const fleet::HostVerdict& h : v.hosts) {
-    std::fprintf(f, "%u,%llu,%llu,%d,%.17g,%d,%.17g\n", h.host,
-                 static_cast<unsigned long long>(h.records_seen),
-                 static_cast<unsigned long long>(h.peak_distinct), h.flagged ? 1 : 0,
-                 h.flag_time, h.removed ? 1 : 0, h.removal_time);
-  }
-  WORMS_ENSURES(std::fclose(f) == 0);
-}
-
 int cmd_contain(const support::CliArgs& args) {
   const std::string path = args.get_string("trace", "");
   const bool synth = args.get_bool("synth", false);
@@ -676,7 +697,7 @@ int cmd_contain(const support::CliArgs& args) {
   }
   print_contain_report(result, cfg, infected);
   if (!verdicts_out.empty()) {
-    write_verdicts_csv(verdicts_out, result.verdicts);
+    fleet::write_verdicts_csv(verdicts_out, result.verdicts);
     std::printf("verdicts written to %s\n", verdicts_out.c_str());
   }
   if (!metrics_path.empty()) {
@@ -789,7 +810,7 @@ int cmd_trace(int argc, char** argv) {
 int usage() {
   std::fprintf(stderr,
                "usage: wormctl <plan|extinction|simulate|multitype|synth|audit|contain"
-               "|trace> [--flag value ...]\n"
+               "|trace|serve|ingest|race> [--flag value ...]\n"
                "see the header of tools/wormctl.cpp or README.md for flags\n");
   return 1;
 }
@@ -815,6 +836,12 @@ int main(int argc, char** argv) {
       rc = cmd_audit(args);
     } else if (args.command() == "contain") {
       rc = cmd_contain(args);
+    } else if (args.command() == "serve") {
+      rc = wormctl::cmd_serve(args);
+    } else if (args.command() == "ingest") {
+      rc = wormctl::cmd_ingest(args);
+    } else if (args.command() == "race") {
+      rc = wormctl::cmd_race(args);
     } else {
       return usage();
     }

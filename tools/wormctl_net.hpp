@@ -1,0 +1,20 @@
+// wormctl fleet-network subcommands (serve / ingest / race), split out of
+// wormctl.cpp to keep the monolith readable.  Flag grammars are documented in
+// the wormctl.cpp header comment and README.md.
+#pragma once
+
+#include "support/cli.hpp"
+
+namespace wormctl {
+
+/// `wormctl serve` — run a containment node: TCP ingest, alert gossip,
+/// checkpoint replication, promote-on-failure.
+int cmd_serve(const worms::support::CliArgs& args);
+
+/// `wormctl ingest` — stream a trace to a serve node with resume/failover.
+int cmd_ingest(const worms::support::CliArgs& args);
+
+/// `wormctl race` — the deterministic alert-vs-worm race simulation.
+int cmd_race(const worms::support::CliArgs& args);
+
+}  // namespace wormctl
