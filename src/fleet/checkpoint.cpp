@@ -96,12 +96,33 @@ void encode_counter(BinaryWriter& out, const DistinctCounter& counter) {
       out.put_bytes(sketch.registers().data(), sketch.registers().size());
       break;
     }
+    case CounterBackend::Compact: {
+      const auto& compact = static_cast<const CompactCounter&>(counter);
+      out.put_u64(compact.epoch());
+      out.put_u64(compact.count());
+      out.put_u64(static_cast<std::uint64_t>(compact.anchor()));
+      break;
+    }
   }
 }
 
-std::unique_ptr<DistinctCounter> decode_counter(BinaryReader& in) {
+std::unique_ptr<DistinctCounter> decode_counter(BinaryReader& in,
+                                                const CompactDecodeContext* compact) {
   const auto tag = in.get_u8();
-  WORMS_EXPECTS(tag <= 1 && "unknown counter backend tag in snapshot");
+  WORMS_EXPECTS(tag <= 2 && "unknown counter backend tag in snapshot");
+  if (static_cast<CounterBackend>(tag) == CounterBackend::Compact) {
+    WORMS_EXPECTS(compact != nullptr && compact->pool != nullptr &&
+                  "compact counter in snapshot but no shared pool to bind it to");
+    const std::uint64_t epoch = in.get_u64();
+    const std::uint64_t reported = in.get_u64();
+    const auto anchor = static_cast<std::int64_t>(in.get_u64());
+    // The anchor offsets a floored estimate; a magnitude beyond ±2^48 cannot
+    // arise from any real run and marks a corrupt offset.
+    WORMS_EXPECTS(anchor <= (std::int64_t{1} << 48) && anchor >= -(std::int64_t{1} << 48) &&
+                  "compact counter anchor out of range in snapshot");
+    SketchBank& bank = compact->pool->bank_for(compact_bank_of(compact->host));
+    return std::make_unique<CompactCounter>(bank, compact->host, epoch, reported, anchor);
+  }
   if (static_cast<CounterBackend>(tag) == CounterBackend::Exact) {
     auto counter = std::make_unique<ExactCounter>();
     const std::uint64_t n = in.get_u64();

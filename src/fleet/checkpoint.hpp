@@ -26,9 +26,11 @@
 
 namespace worms::fleet {
 
-/// 'WFS1' — worms fleet snapshot.
+/// 'WFS1' — worms fleet snapshot.  Version 2 added the shared-pool section,
+/// the compact counter tag, and the failure-policy fields; older snapshots
+/// are rejected (re-run from the trace rather than risk misdecoding state).
 inline constexpr std::uint32_t kSnapshotMagic = 0x31534657u;
-inline constexpr std::uint16_t kSnapshotVersion = 1;
+inline constexpr std::uint16_t kSnapshotVersion = 2;
 
 /// Appends fixed-width little-endian fields to a growing buffer.
 class BinaryWriter {
@@ -99,10 +101,21 @@ void write_snapshot_file(const std::string& path, std::string_view payload);
 /// or checksum mismatch.
 [[nodiscard]] std::string read_snapshot_file(const std::string& path);
 
-/// Serializes one counter (backend tag + payload).
+/// Serializes one counter (backend tag + payload).  A compact counter's
+/// payload is only its per-host offsets (epoch, reported tally, anchor) —
+/// the registers live in the pool section of the pipeline snapshot.
 void encode_counter(BinaryWriter& out, const DistinctCounter& counter);
 
+/// Bank binding for decoding compact counters: which pool to attach to and
+/// which host the counter belongs to (the slice is re-derived from the host
+/// id).  Exact/HLL tags ignore it; a compact tag with no context is rejected.
+struct CompactDecodeContext {
+  SharedSketchPool* pool = nullptr;
+  std::uint32_t host = 0;
+};
+
 /// Rebuilds a counter from its serialized form.
-[[nodiscard]] std::unique_ptr<DistinctCounter> decode_counter(BinaryReader& in);
+[[nodiscard]] std::unique_ptr<DistinctCounter> decode_counter(
+    BinaryReader& in, const CompactDecodeContext* compact = nullptr);
 
 }  // namespace worms::fleet

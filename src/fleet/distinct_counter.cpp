@@ -11,12 +11,21 @@ std::unique_ptr<DistinctCounter> make_distinct_counter(CounterBackend backend,
       return std::make_unique<ExactCounter>();
     case CounterBackend::Hll:
       return std::make_unique<HllCounter>(hll_precision);
+    case CounterBackend::Compact:
+      WORMS_EXPECTS(false &&
+                    "compact counters are bound to a SharedSketchPool bank; "
+                    "construct CompactCounter directly");
   }
   WORMS_EXPECTS(false && "unknown CounterBackend");
 }
 
 const char* to_string(CounterBackend backend) noexcept {
-  return backend == CounterBackend::Exact ? "exact" : "hll";
+  switch (backend) {
+    case CounterBackend::Exact: return "exact";
+    case CounterBackend::Hll: return "hll";
+    case CounterBackend::Compact: return "compact";
+  }
+  return "unknown";
 }
 
 }  // namespace worms::fleet

@@ -523,7 +523,7 @@ void ServeNode::ingest_loop() {
           // Replica role: retain only the newest snapshot; promotion (first
           // pipeline need after the primary dies) consumes it.
           if (pipeline_ == nullptr) stored_checkpoint_ = std::move(task->checkpoint);
-          ++checkpoints_stored_;
+          checkpoints_stored_.fetch_add(1, std::memory_order_release);
           if (obs_ckpt_stored_ != nullptr) obs_ckpt_stored_->add(1);
           break;
         }
@@ -643,7 +643,7 @@ NodeReport ServeNode::wait() {
   report_.alerts_sent = alerts_sent_;
   report_.alerts_dropped = alerts_dropped_;
   report_.checkpoints_replicated = checkpoints_replicated_;
-  report_.checkpoints_stored = checkpoints_stored_;
+  report_.checkpoints_stored = checkpoints_stored_.load(std::memory_order_acquire);
   report_.connections_dropped = connections_dropped_.load(std::memory_order_relaxed);
   report_.promoted_from_replica = promoted_;
   report_.promoted_position = promoted_position_;

@@ -200,6 +200,14 @@ class ServeNode {
   /// The bound port (== options.listen.port unless that was 0).
   [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
 
+  /// Replicated checkpoints stored so far (replica role).  A primary's
+  /// final checkpoint is on the wire when its wait() returns, but a replica
+  /// *processes* it on its ingest thread — a failover client that must land
+  /// on that exact checkpoint polls this before connecting.
+  [[nodiscard]] std::uint64_t checkpoints_stored() const noexcept {
+    return checkpoints_stored_.load(std::memory_order_acquire);
+  }
+
   /// Blocks until the exit condition (expect_clients + expect_peers) is met,
   /// then finishes the pipeline and returns the full report.  Call once.
   [[nodiscard]] NodeReport wait();
@@ -269,7 +277,7 @@ class ServeNode {
   std::uint64_t alerts_dropped_ = 0;
   std::uint64_t records_received_ = 0;
   std::uint64_t checkpoints_replicated_ = 0;
-  std::uint64_t checkpoints_stored_ = 0;
+  std::atomic<std::uint64_t> checkpoints_stored_{0};  ///< ingest thread; polled by tests
   bool promoted_ = false;
   std::uint64_t promoted_position_ = 0;
 

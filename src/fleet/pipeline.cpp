@@ -43,6 +43,7 @@ struct HostState {
   CounterBackend counter_backend = CounterBackend::Exact;
   std::uint64_t cycle = 0;
   bool cycle_flagged = false;  ///< crossed f·M in the current cycle
+  std::uint64_t cycle_failures = 0;  ///< failed connections in the current cycle
   sim::SimTime last_time = 0.0;
   std::uint32_t last_destination = 0;
   bool has_prev = false;  ///< last_time/last_destination hold a processed record
@@ -113,7 +114,9 @@ struct ContainmentPipeline::ShardTask {
   Batch records;
   std::vector<std::uint64_t> indices;  ///< parallel to records: feed order
   std::shared_ptr<Gate> gate;
-  bool degrade_to_hll = false;
+  /// One-rung backend degrade order (exact→HLL→compact) from the overload
+  /// monitor.
+  bool degrade_backend = false;
   /// Hosts to administratively remove (fleet alert gossip) — a control task,
   /// FIFO-ordered against record batches like the gate and degrade tasks.
   std::vector<std::uint32_t> pre_contain;
@@ -199,7 +202,9 @@ struct ContainmentPipeline::Shard {
                                  static_cast<double>(config.policy.scan_limit)
                            : 0.0),
         flagging_enabled(config.policy.check_fraction < 1.0),
-        cycle_length(config.policy.cycle_length) {}
+        cycle_length(config.policy.cycle_length),
+        pool(config.compact),
+        failure_budget(config.failure_budget) {}
 
   void consume(DeadLetterChannel& dead_letters) {
     for (;;) {
@@ -223,7 +228,7 @@ struct ContainmentPipeline::Shard {
         task->gate->arrive();
         continue;
       }
-      if (task->degrade_to_hll) {
+      if (task->degrade_backend) {
         degrade();
         continue;
       }
@@ -280,8 +285,14 @@ struct ContainmentPipeline::Shard {
           std::this_thread::sleep_for(std::chrono::duration<double>(stall.seconds));
         }
       }
-      for (const std::uint64_t after : degrade_after) {
-        if (batches_done >= after) degrade();
+      // Each fault-plan degrade clause walks exactly one rung of the backend
+      // ladder; the fired flag keeps a passed threshold from re-firing every
+      // batch (two clauses = two rungs, never more).
+      for (PendingDegrade& d : degrade_after) {
+        if (!d.fired && batches_done >= d.after) {
+          d.fired = true;
+          degrade();
+        }
       }
     }
   }
@@ -291,7 +302,7 @@ struct ContainmentPipeline::Shard {
     auto [it, inserted] = hosts.try_emplace(r.source_host);
     HostState& h = it->second;
     if (inserted) {
-      h.counter = make_distinct_counter(effective_backend, hll_precision);
+      h.counter = make_counter(r.source_host);
       h.counter_backend = effective_backend;
       h.verdict.host = r.source_host;
       h.cycle = cycle_index(r.timestamp);
@@ -332,6 +343,19 @@ struct ContainmentPipeline::Shard {
       h.counter->reset();
       h.cycle = cycle;
       h.cycle_flagged = false;
+      h.cycle_failures = 0;
+    }
+
+    // Connection-failure tally (always), enforcement (only when budgeted)
+    // after the distinct-destination work below so a record that exhausts
+    // both budgets reports the scan-limit removal — the paper's primary
+    // mechanism — not the failure one.
+    if (r.outcome == trace::kOutcomeFailure) {
+      ++h.verdict.failures_seen;
+      ++h.cycle_failures;
+      if (h.cycle_failures > h.verdict.peak_failures) {
+        h.verdict.peak_failures = h.cycle_failures;
+      }
     }
 
     // Static dispatch for the exact backend (the default): add() and count()
@@ -379,6 +403,21 @@ struct ContainmentPipeline::Shard {
         }
       }
     }
+    if (failure_budget > 0 && !h.verdict.removed && h.cycle_failures >= failure_budget) {
+      h.verdict.removed = true;
+      h.verdict.removed_by_failures = true;
+      h.verdict.removal_time = r.timestamp;
+      if (trace != nullptr) {
+        trace->instant("failure_removal", static_cast<double>(r.source_host));
+      }
+      {
+        std::lock_guard lock(removed_mutex);
+        removed.insert(r.source_host);
+      }
+      if (on_removal != nullptr && *on_removal) {
+        (*on_removal)(r.source_host, r.timestamp);
+      }
+    }
   }
 
   /// Administrative removal via fleet alert (ShardTask::pre_contain).  A
@@ -389,7 +428,7 @@ struct ContainmentPipeline::Shard {
     auto [it, inserted] = hosts.try_emplace(id);
     HostState& h = it->second;
     if (inserted) {
-      h.counter = make_distinct_counter(effective_backend, hll_precision);
+      h.counter = make_counter(id);
       h.counter_backend = effective_backend;
       h.verdict.host = id;
     }
@@ -400,21 +439,49 @@ struct ContainmentPipeline::Shard {
     removed.insert(id);
   }
 
-  /// One-way exact→HLL conversion of this shard's live counters.  The HLL
-  /// inherits each exact set's contents and carries the exact tally forward
-  /// as its reported baseline, so no host's spent budget moves — the policy
-  /// invariant count_of(host) == counter->count() is preserved.
+  /// Counter factory for this shard: the compact backend binds to the
+  /// shard-owned register pool (bank-colocated routing guarantees the host's
+  /// bank lives here); the others go through the plain factory.
+  [[nodiscard]] std::unique_ptr<DistinctCounter> make_counter(std::uint32_t host) {
+    if (effective_backend == CounterBackend::Compact) {
+      return std::make_unique<CompactCounter>(pool.bank_for(compact_bank_of(host)), host);
+    }
+    return make_distinct_counter(effective_backend, hll_precision);
+  }
+
+  /// One-way, one-rung backend degrade: exact → HLL → compact.  Each rung
+  /// converts this shard's live counters, carrying every tally forward as
+  /// the new backend's reported baseline so no host's spent budget is
+  /// refunded or double-charged — the policy invariant count_of(host) ==
+  /// counter->count() is preserved across the switch.  Exact state replays
+  /// into the successor (set contents for HLL, slice registers for compact);
+  /// an HLL sketch cannot be replayed, so HLL→compact is a baseline carry
+  /// over an empty slice (conservative: repeats may charge again).
   void degrade() {
-    if (effective_backend == CounterBackend::Hll) return;
-    effective_backend = CounterBackend::Hll;
-    switched_this_run = true;
+    if (effective_backend == CounterBackend::Compact) return;  // bottom rung
+    const CounterBackend from = effective_backend;
+    effective_backend =
+        from == CounterBackend::Exact ? CounterBackend::Hll : CounterBackend::Compact;
+    ++backend_switches_this_run;
     if (trace != nullptr) trace->instant("backend_degrade", static_cast<double>(index));
     for (auto& [id, h] : hosts) {
       if (h.verdict.removed) continue;  // never counted again
-      if (h.counter->backend() == CounterBackend::Exact) {
-        const auto& exact = static_cast<const ExactCounter&>(*h.counter);
-        h.counter = std::make_unique<HllCounter>(hll_precision, exact.table(), exact.count());
-        h.counter_backend = CounterBackend::Hll;
+      if (effective_backend == CounterBackend::Hll) {
+        if (h.counter_backend == CounterBackend::Exact) {
+          const auto& exact = static_cast<const ExactCounter&>(*h.counter);
+          h.counter = std::make_unique<HllCounter>(hll_precision, exact.table(), exact.count());
+          h.counter_backend = CounterBackend::Hll;
+        }
+      } else {
+        SketchBank& bank = pool.bank_for(compact_bank_of(id));
+        if (h.counter_backend == CounterBackend::Exact) {
+          const auto& exact = static_cast<const ExactCounter&>(*h.counter);
+          h.counter = std::make_unique<CompactCounter>(bank, id, exact.table(), exact.count());
+          h.counter_backend = CounterBackend::Compact;
+        } else if (h.counter_backend == CounterBackend::Hll) {
+          h.counter = std::make_unique<CompactCounter>(bank, id, h.counter->count());
+          h.counter_backend = CounterBackend::Compact;
+        }
       }
     }
   }
@@ -430,6 +497,11 @@ struct ContainmentPipeline::Shard {
   const double flag_threshold;
   const bool flagging_enabled;
   const sim::SimTime cycle_length;
+  /// Shared compact-counter register pool.  Declared before `hosts` so the
+  /// counters' raw bank pointers outlive them at destruction (members are
+  /// destroyed in reverse declaration order).
+  SharedSketchPool pool;
+  const std::uint64_t failure_budget;  ///< 0 = tally failures but never remove
   HostTable<HostState> hosts;
   std::uint64_t suppressed = 0;
   std::uint64_t suppressed_flushed = 0;  ///< portion of `suppressed` already in obs
@@ -446,7 +518,11 @@ struct ContainmentPipeline::Shard {
   bool kill_requested = false;
   std::uint64_t kill_after = 0;
   bool kill_fired = false;
-  std::vector<std::uint64_t> degrade_after;
+  struct PendingDegrade {
+    std::uint64_t after = 0;
+    bool fired = false;
+  };
+  std::vector<PendingDegrade> degrade_after;
   struct PendingStall {
     std::uint64_t after = 0;
     double seconds = 0.0;
@@ -455,8 +531,8 @@ struct ContainmentPipeline::Shard {
   std::vector<PendingStall> stalls;
   std::uint64_t batches_done = 0;
 
-  bool switched_this_run = false;  ///< performed an exact→HLL switch this run
-  bool degrade_sent = false;       ///< ingest-side: degrade control task queued
+  std::uint64_t backend_switches_this_run = 0;  ///< degrade rungs walked this run
+  unsigned degrades_sent = 0;  ///< ingest-side: overload degrade tasks queued
   std::atomic<bool> dead{false};   ///< worker returned via fault injection
 
   std::mutex removed_mutex;
@@ -465,6 +541,7 @@ struct ContainmentPipeline::Shard {
 
 void PipelineOptions::validate() const {
   WORMS_EXPECTS(batch_size >= 1);
+  compact.validate();  // every shard hosts a pool, whatever the start backend
   WORMS_EXPECTS(queue_capacity >= 1);
   WORMS_EXPECTS(shards <= 1024);  // 0 = auto-detect, resolved at construction
   WORMS_EXPECTS(overload.degrade_watermark <= overload.shed_watermark);
@@ -523,7 +600,7 @@ ContainmentPipeline::ContainmentPipeline(const PipelineOptions& options, DeferWo
   }
   for (const FaultPlan::WorkerFault& degrade : config_.faults.degrades) {
     WORMS_EXPECTS(degrade.shard < config_.shards && "fault plan degrade shard out of range");
-    shards_[degrade.shard]->degrade_after.push_back(degrade.after_batches);
+    shards_[degrade.shard]->degrade_after.push_back({degrade.after_batches, false});
   }
   for (const FaultPlan::StallFault& stall : config_.faults.stalls) {
     WORMS_EXPECTS(stall.shard < config_.shards && "fault plan stall shard out of range");
@@ -620,7 +697,7 @@ void ContainmentPipeline::feed(const trace::ConnRecord& record) {
     maybe_auto_export_metrics();
     return;
   }
-  const unsigned s = r.source_host % config_.shards;
+  const unsigned s = shard_of(r.source_host);
   if (monitors_[s].health == ShardHealth::Shedding) {
     // Shed only what the worker would suppress anyway: records of hosts whose
     // removal verdict is already final.  Semantically lossless.
@@ -695,7 +772,7 @@ void ContainmentPipeline::feed(std::span<const trace::ConnRecord> records) {
                               "non-finite or negative timestamp"});
         continue;
       }
-      const unsigned s = r.source_host % config_.shards;
+      const unsigned s = shard_of(r.source_host);
       if (monitors_[s].health == ShardHealth::Shedding) {
         Shard& shard = *shards_[s];
         std::lock_guard lock(shard.removed_mutex);
@@ -844,10 +921,12 @@ void ContainmentPipeline::observe_overload(unsigned shard_index, double fill_fra
     case ShardHealth::Healthy:
       if (m.hot >= p.sustain_pushes) {
         transition(ShardHealth::Degraded);
+        // First ladder rung: a freshly degraded shard steps its counters one
+        // backend down (exact→HLL, or HLL→compact for an HLL-configured run).
         Shard& shard = *shards_[shard_index];
-        if (p.auto_degrade_backend && config_.backend == CounterBackend::Exact &&
-            !shard.degrade_sent) {
-          shard.degrade_sent = true;
+        if (p.auto_degrade_backend && config_.backend != CounterBackend::Compact &&
+            shard.degrades_sent == 0) {
+          shard.degrades_sent = 1;
           push_shard_task(shard_index, ShardTask{{}, {}, nullptr, true},
                           /*sample_overload=*/false);
         }
@@ -856,6 +935,14 @@ void ContainmentPipeline::observe_overload(unsigned shard_index, double fill_fra
     case ShardHealth::Degraded:
       if (m.critical >= p.sustain_pushes) {
         transition(ShardHealth::Shedding);
+        // Second rung: shedding is the last resort, so the shard also takes
+        // the final memory relief step down to the compact pool.
+        Shard& shard = *shards_[shard_index];
+        if (p.auto_degrade_backend && shard.degrades_sent < 2) {
+          shard.degrades_sent = 2;
+          push_shard_task(shard_index, ShardTask{{}, {}, nullptr, true},
+                          /*sample_overload=*/false);
+        }
       } else if (m.cool >= p.sustain_pushes) {
         transition(ShardHealth::Healthy);
       }
@@ -966,7 +1053,7 @@ void ContainmentPipeline::pre_contain(std::span<const std::uint32_t> hosts) {
   flush_batches();
   std::vector<std::vector<std::uint32_t>> per_shard(config_.shards);
   for (const std::uint32_t host : hosts) {
-    per_shard[host % config_.shards].push_back(host);
+    per_shard[shard_of(host)].push_back(host);
   }
   for (unsigned s = 0; s < config_.shards; ++s) {
     if (per_shard[s].empty()) continue;
@@ -982,6 +1069,12 @@ std::string ContainmentPipeline::encode_snapshot() const {
   out.put_u16(kSnapshotVersion);
   out.put_u8(static_cast<std::uint8_t>(config_.backend));
   out.put_u8(static_cast<std::uint8_t>(config_.hll_precision));
+  // v2: pool geometry and failure budget are config-identity fields — a
+  // restore under different values would misdecode slices or change verdicts.
+  out.put_u8(static_cast<std::uint8_t>(config_.compact.bits_per_host));
+  out.put_u32(config_.compact.virtual_registers);
+  out.put_u64(config_.compact.expected_hosts);
+  out.put_u64(config_.failure_budget);
   out.put_u64(config_.policy.scan_limit);
   out.put_f64(config_.policy.cycle_length);
   out.put_f64(config_.policy.check_fraction);
@@ -993,7 +1086,7 @@ std::string ContainmentPipeline::encode_snapshot() const {
   std::uint64_t host_count = 0;
   for (const auto& shard : shards_) {
     suppressed += shard->suppressed;
-    switches += shard->switched_this_run ? 1 : 0;
+    switches += shard->backend_switches_this_run;
     host_count += shard->hosts.size();
   }
   out.put_u64(suppressed);
@@ -1011,17 +1104,40 @@ std::string ContainmentPipeline::encode_snapshot() const {
   out.put_u32(last_routed_.source_host);
   out.put_u32(last_routed_.destination.value());
 
-  // Shards whose effective backend degraded below the configured one; only
-  // meaningful to re-apply when the restoring shard count matches.
+  // Shards whose effective backend degraded below the configured one (with
+  // the rung they sit on); only meaningful to re-apply when the restoring
+  // shard count matches.
   std::vector<std::uint32_t> degraded_shards;
   for (std::uint32_t s = 0; s < config_.shards; ++s) {
-    if (config_.backend == CounterBackend::Exact &&
-        shards_[s]->effective_backend == CounterBackend::Hll) {
+    if (shards_[s]->effective_backend != config_.backend) {
       degraded_shards.push_back(s);
     }
   }
   out.put_u32(static_cast<std::uint32_t>(degraded_shards.size()));
-  for (const std::uint32_t s : degraded_shards) out.put_u32(s);
+  for (const std::uint32_t s : degraded_shards) {
+    out.put_u32(s);
+    out.put_u8(static_cast<std::uint8_t>(shards_[s]->effective_backend));
+  }
+
+  // Shared-pool bank section, ordered by global bank index (bank-colocated
+  // routing puts each bank on exactly one shard, so no index repeats).  The
+  // incrementally maintained inverse_sum travels verbatim: recomputing it on
+  // restore could differ in the last ulp and fork every later estimate.
+  std::vector<const SketchBank*> banks;
+  for (const auto& shard : shards_) {
+    for (const auto& [index, bank] : shard->pool.banks()) banks.push_back(bank.get());
+  }
+  std::sort(banks.begin(), banks.end(), [](const SketchBank* a, const SketchBank* b) {
+    return a->bank_index() < b->bank_index();
+  });
+  out.put_u32(static_cast<std::uint32_t>(banks.size()));
+  for (const SketchBank* bank : banks) {
+    out.put_u32(bank->bank_index());
+    out.put_u32(static_cast<std::uint32_t>(bank->register_count()));
+    out.put_f64(bank->inverse_sum());
+    out.put_u64(bank->zero_registers());
+    out.put_bytes(bank->registers().data(), bank->registers().size());
+  }
 
   out.put_u64(host_count);
   for (const auto& shard : shards_) {
@@ -1034,6 +1150,7 @@ std::string ContainmentPipeline::encode_snapshot() const {
       if (h.verdict.removed) flags |= 4u;
       if (h.has_prev) flags |= 8u;
       if (h.verdict.pre_contained) flags |= 16u;
+      if (h.verdict.removed_by_failures) flags |= 32u;
       out.put_u8(flags);
       out.put_f64(h.last_time);
       out.put_u32(h.last_destination);
@@ -1041,6 +1158,9 @@ std::string ContainmentPipeline::encode_snapshot() const {
       out.put_u64(h.verdict.peak_distinct);
       out.put_f64(h.verdict.flag_time);
       out.put_f64(h.verdict.removal_time);
+      out.put_u64(h.verdict.failures_seen);
+      out.put_u64(h.verdict.peak_failures);
+      out.put_u64(h.cycle_failures);
       encode_counter(out, *h.counter);
     }
   }
@@ -1055,6 +1175,14 @@ void ContainmentPipeline::decode_snapshot(const std::string& payload) {
                 "snapshot counter backend differs from config");
   WORMS_EXPECTS(static_cast<int>(in.get_u8()) == config_.hll_precision &&
                 "snapshot HLL precision differs from config");
+  WORMS_EXPECTS(static_cast<std::uint32_t>(in.get_u8()) == config_.compact.bits_per_host &&
+                "snapshot compact bits-per-host differs from config");
+  WORMS_EXPECTS(in.get_u32() == config_.compact.virtual_registers &&
+                "snapshot compact virtual-register count differs from config");
+  WORMS_EXPECTS(in.get_u64() == config_.compact.expected_hosts &&
+                "snapshot compact expected-host count differs from config");
+  WORMS_EXPECTS(in.get_u64() == config_.failure_budget &&
+                "snapshot failure budget differs from config");
   WORMS_EXPECTS(in.get_u64() == config_.policy.scan_limit &&
                 "snapshot scan limit differs from config");
   WORMS_EXPECTS(in.get_f64() == config_.policy.cycle_length &&
@@ -1092,19 +1220,39 @@ void ContainmentPipeline::decode_snapshot(const std::string& payload) {
   for (std::uint32_t i = 0; i < degraded_count; ++i) {
     const std::uint32_t s = in.get_u32();
     WORMS_EXPECTS(s < snapshot_shards && "degraded shard index out of range in snapshot");
+    const auto rung = in.get_u8();
+    WORMS_EXPECTS(rung <= 2 && "degraded shard backend out of range in snapshot");
     if (snapshot_shards == config_.shards) {
-      // Same sharding: the degraded shard resumes degraded (new hosts get
-      // HLL counters).  Different sharding: per-host counters still restore
-      // exactly, but shard-level degradation does not carry over.
-      shards_[s]->effective_backend = CounterBackend::Hll;
-      shards_[s]->degrade_sent = true;
+      // Same sharding: the degraded shard resumes on its rung (new hosts get
+      // the degraded backend).  Different sharding: per-host counters still
+      // restore exactly, but shard-level degradation does not carry over.
+      shards_[s]->effective_backend = static_cast<CounterBackend>(rung);
+      shards_[s]->degrades_sent = 2;  // the overload ladder never re-degrades
     }
+  }
+
+  // Shared-pool banks restore before any host so a compact counter's decode
+  // can bind to live registers.  Bank-colocated routing decides the owner:
+  // bank b's hosts all route to shard b % shards, whatever the shard count.
+  const std::uint32_t bank_count = in.get_u32();
+  for (std::uint32_t i = 0; i < bank_count; ++i) {
+    const std::uint32_t bank_index = in.get_u32();
+    WORMS_EXPECTS(bank_index < kCompactBanks && "bank index out of range in snapshot");
+    const std::uint32_t register_count = in.get_u32();
+    WORMS_EXPECTS(register_count == config_.compact.registers_per_bank() &&
+                  "snapshot bank register count differs from pool geometry");
+    const double inverse_sum = in.get_f64();
+    const std::uint64_t zero_registers = in.get_u64();
+    std::vector<std::uint8_t> registers(register_count);
+    in.get_bytes(registers.data(), registers.size());
+    Shard& owner = *shards_[bank_index % config_.shards];
+    owner.pool.bank_for(bank_index).restore(registers, inverse_sum, zero_registers);
   }
 
   const std::uint64_t host_count = in.get_u64();
   for (std::uint64_t i = 0; i < host_count; ++i) {
     const std::uint32_t id = in.get_u32();
-    Shard& shard = *shards_[id % config_.shards];
+    Shard& shard = *shards_[shard_of(id)];
     auto [it, inserted] = shard.hosts.try_emplace(id);
     WORMS_EXPECTS(inserted && "duplicate host in snapshot");
     HostState& h = it->second;
@@ -1116,13 +1264,18 @@ void ContainmentPipeline::decode_snapshot(const std::string& payload) {
     h.verdict.removed = (flags & 4u) != 0;
     h.has_prev = (flags & 8u) != 0;
     h.verdict.pre_contained = (flags & 16u) != 0;
+    h.verdict.removed_by_failures = (flags & 32u) != 0;
     h.last_time = in.get_f64();
     h.last_destination = in.get_u32();
     h.verdict.records_seen = in.get_u64();
     h.verdict.peak_distinct = in.get_u64();
     h.verdict.flag_time = in.get_f64();
     h.verdict.removal_time = in.get_f64();
-    h.counter = decode_counter(in);
+    h.verdict.failures_seen = in.get_u64();
+    h.verdict.peak_failures = in.get_u64();
+    h.cycle_failures = in.get_u64();
+    const CompactDecodeContext compact{&shard.pool, id};
+    h.counter = decode_counter(in, &compact);
     h.counter_backend = h.counter->backend();
     if (h.verdict.removed) {
       shard.removed.insert(id);
@@ -1196,7 +1349,7 @@ PipelineResult ContainmentPipeline::finish() {
   auto& hosts = result.verdicts.hosts;
   for (const auto& shard : shards_) {
     m.records_suppressed += shard->suppressed;
-    m.backend_switches += shard->switched_this_run ? 1 : 0;
+    m.backend_switches += shard->backend_switches_this_run;
     if (shard->kill_fired) ++m.workers_killed;
     m.queue_high_water.push_back(shard->queue.high_water());
     for (const auto& [id, state] : shard->hosts) {
@@ -1210,6 +1363,7 @@ PipelineResult ContainmentPipeline::finish() {
     if (v.flagged) ++result.verdicts.hosts_flagged;
     if (v.removed) ++result.verdicts.hosts_removed;
     if (v.pre_contained) ++result.verdicts.hosts_pre_contained;
+    if (v.removed_by_failures) ++result.verdicts.hosts_removed_by_failures;
   }
 
   // Verdict-derived metrics, folded in exactly once.  post_removal is
@@ -1252,13 +1406,17 @@ PipelineResult ContainmentPipeline::run(const PipelineOptions& options,
 void write_verdicts_csv(const std::string& path, const ContainmentVerdicts& v) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   WORMS_EXPECTS(f != nullptr && "cannot open verdicts CSV file");
-  std::fprintf(
-      f, "host,records_seen,peak_distinct,flagged,flag_time,removed,removal_time,pre_contained\n");
+  std::fprintf(f,
+               "host,records_seen,peak_distinct,flagged,flag_time,removed,removal_time,"
+               "pre_contained,failures_seen,peak_failures,removed_by_failures\n");
   for (const HostVerdict& h : v.hosts) {
-    std::fprintf(f, "%u,%llu,%llu,%d,%.17g,%d,%.17g,%d\n", h.host,
+    std::fprintf(f, "%u,%llu,%llu,%d,%.17g,%d,%.17g,%d,%llu,%llu,%d\n", h.host,
                  static_cast<unsigned long long>(h.records_seen),
                  static_cast<unsigned long long>(h.peak_distinct), h.flagged ? 1 : 0,
-                 h.flag_time, h.removed ? 1 : 0, h.removal_time, h.pre_contained ? 1 : 0);
+                 h.flag_time, h.removed ? 1 : 0, h.removal_time, h.pre_contained ? 1 : 0,
+                 static_cast<unsigned long long>(h.failures_seen),
+                 static_cast<unsigned long long>(h.peak_failures),
+                 h.removed_by_failures ? 1 : 0);
   }
   WORMS_ENSURES(std::fclose(f) == 0);
 }

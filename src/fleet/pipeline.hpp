@@ -12,7 +12,10 @@
 // Architecture (DESIGN.md §6):
 //
 //   ingest thread ──feed()──► per-shard batch buffers
-//        │ shard = source_host % shards
+//        │ shard = (source_host % kCompactBanks) % shards — bank-colocated
+//        │ routing: every host of a shared-pool bank lands on one shard, and
+//        │ for the power-of-two shard counts the tests sweep this equals the
+//        │ classic source_host % shards.
 //        ▼
 //   BoundedMpscQueue<batch> × N     (blocking backpressure, high-water gauges)
 //        ▼
@@ -124,6 +127,17 @@ struct PipelineOptions {
   core::ScanCountLimitPolicy::Config policy;
   CounterBackend backend = CounterBackend::Exact;
   int hll_precision = 12;      ///< 2^p bytes/host, ~1.04/sqrt(2^p) rel. error
+  /// Shared register pool geometry for CounterBackend::Compact (a few bits
+  /// per host, DESIGN.md §13).  Ignored by the other backends except as the
+  /// geometry the overload ladder's final rung would degrade into.
+  CompactPoolConfig compact;
+  /// Connection-failure containment budget: a host whose *failed* connection
+  /// attempts (ConnRecord::outcome) reach this count within one containment
+  /// cycle is removed, independent of the distinct-destination budget M —
+  /// the paper's observation that worm scans fail far more often than
+  /// legitimate traffic.  0 disables enforcement; failures are still tallied
+  /// into the verdicts either way.
+  std::uint64_t failure_budget = 0;
   unsigned shards = 0;         ///< worker count; 0 = one per hardware thread
   std::size_t batch_size = 1024;     ///< records per queue item
   std::size_t queue_capacity = 64;   ///< batches per shard queue (backpressure)
@@ -204,6 +218,12 @@ struct HostVerdict {
   /// Removed by a fleet alert (pre_contain), not by the local policy —
   /// removal_time stays 0: the block is administrative, not a trace event.
   bool pre_contained = false;
+  // Connection-failure policy accounting (always tallied; enforced only when
+  // PipelineOptions::failure_budget > 0).
+  std::uint64_t failures_seen = 0;   ///< failed connection records, all cycles
+  std::uint64_t peak_failures = 0;   ///< max failures within any one cycle
+  /// Removal was decided by the failure budget, not the scan-count limit.
+  bool removed_by_failures = false;
 
   friend bool operator==(const HostVerdict&, const HostVerdict&) = default;
 };
@@ -213,6 +233,8 @@ struct ContainmentVerdicts {
   std::uint32_t hosts_flagged = 0;
   std::uint32_t hosts_removed = 0;
   std::uint32_t hosts_pre_contained = 0;  ///< subset of removed: blocked by alerts
+  /// Subset of removed: removal decided by the connection-failure budget.
+  std::uint32_t hosts_removed_by_failures = 0;
 
   [[nodiscard]] const HostVerdict* find(std::uint32_t host) const noexcept;
   [[nodiscard]] std::vector<std::uint32_t> removed_hosts() const;
@@ -232,7 +254,7 @@ struct PipelineMetrics {
   // Fault-tolerance accounting.
   DeadLetterStats dead_letters;         ///< quarantined-record counters
   std::uint64_t records_shed = 0;       ///< removed-host records dropped under shedding
-  std::uint64_t backend_switches = 0;   ///< shards degraded exact→HLL (incl. restored)
+  std::uint64_t backend_switches = 0;   ///< ladder rungs taken, exact→HLL→compact (incl. restored)
   std::uint32_t workers_killed = 0;     ///< fault-injected worker deaths observed
   std::uint32_t workers_respawned = 0;  ///< replacement workers started
   std::uint64_t checkpoints_written = 0;
@@ -377,6 +399,12 @@ class ContainmentPipeline {
   void observe_overload(unsigned shard_index, double fill_fraction);
   void quiesce();
   void flush_batches();
+  /// Bank-colocated routing: all hosts of one shared-pool bank map to the
+  /// same shard, so a bank's register contents are independent of the shard
+  /// count (what makes compact verdicts and snapshots reshard-stable).
+  [[nodiscard]] unsigned shard_of(std::uint32_t host) const noexcept {
+    return compact_bank_of(host) % config_.shards;
+  }
   void maybe_auto_checkpoint();
   void maybe_auto_export_metrics();
   [[nodiscard]] trace::ConnRecord corrupted(const trace::ConnRecord& record,

@@ -14,6 +14,7 @@ InjectedTrace inject_worm_scans(std::vector<trace::ConnRecord> base,
   WORMS_EXPECTS(config.infected_hosts >= 1);
   WORMS_EXPECTS(config.scan_rate > 0.0);
   WORMS_EXPECTS(config.start >= 0.0);
+  WORMS_EXPECTS(config.failure_fraction >= 0.0 && config.failure_fraction <= 1.0);
 
   std::uint32_t host_count = config.host_count;
   sim::SimTime end = config.end;
@@ -38,6 +39,7 @@ InjectedTrace inject_worm_scans(std::vector<trace::ConnRecord> base,
   // Each infected host scans on its own Poisson clock with its own stream, so
   // the overlay is independent of I0's iteration order.
   out.records = std::move(base);
+  const std::uint64_t outcome_key = support::derive_seed(config.seed, 0xFA11u);
   for (const std::uint32_t host : out.infected_hosts) {
     support::Rng rng = support::Rng::for_stream(config.seed, host);
     sim::SimTime t = config.start;
@@ -45,7 +47,15 @@ InjectedTrace inject_worm_scans(std::vector<trace::ConnRecord> base,
     while (config.scans_per_host == 0 || scans < config.scans_per_host) {
       t += -std::log(rng.uniform_pos()) / config.scan_rate;
       if (t > end) break;
-      out.records.push_back({t, host, worms::net::Ipv4Address(rng.u32())});
+      const std::uint32_t addr = rng.u32();
+      // Scan outcome from a hash of the scan itself, not an RNG draw: the
+      // Poisson clock and address sequence stay put for any failure fraction.
+      std::uint64_t s = outcome_key ^ (static_cast<std::uint64_t>(host) << 32) ^ addr ^
+                        (scans * 0x9E3779B97F4A7C15ull);
+      const double u = static_cast<double>(support::splitmix64(s) >> 11) * 0x1.0p-53;
+      const std::uint8_t outcome =
+          u < config.failure_fraction ? trace::kOutcomeFailure : trace::kOutcomeSuccess;
+      out.records.push_back({t, host, worms::net::Ipv4Address(addr), outcome});
       ++scans;
     }
     out.worm_records += scans;

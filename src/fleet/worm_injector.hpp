@@ -31,6 +31,11 @@ struct WormInjectConfig {
   /// Ids are sampled without replacement, so infected hosts carry their
   /// normal background traffic too — the realistic (hardest) case.
   std::uint32_t host_count = 0;
+  /// Fraction of worm scans that fail (uniform random scanning mostly hits
+  /// dead address space — the stealth-worm signal the failure policy keys
+  /// on).  Derived by hashing each scan's fields, never extra RNG draws, so
+  /// scan placement is independent of this knob.
+  double failure_fraction = 0.9;
 };
 
 struct InjectedTrace {

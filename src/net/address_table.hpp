@@ -36,6 +36,15 @@ class AddressTable {
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
+  /// Bytes of one open-addressing slot, from the real layout — footprint
+  /// gauges derive from this instead of hardcoding a width that could drift.
+  [[nodiscard]] static constexpr std::size_t slot_bytes() noexcept { return sizeof(Slot); }
+
+  /// Bytes of slot storage currently allocated (capacity × slot size).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return slots_.size() * sizeof(Slot);
+  }
+
   /// Visits every stored (address, id) pair in slot order — the serialization
   /// hook for checkpointing per-host distinct-destination sets.  Slot order is
   /// deterministic for a given insertion history; consumers that need a

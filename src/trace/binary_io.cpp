@@ -16,7 +16,8 @@ namespace worms::trace {
 namespace {
 
 // The memcpy fast path relies on ConnRecord's memory image matching the wire
-// image on little-endian IEEE hosts: 16 bytes, no padding, f64 + u32 + u32.
+// image on little-endian IEEE hosts: 24 bytes, no implicit padding,
+// f64 + u32 + u32 + u8 outcome + 7 explicit reserved bytes.
 static_assert(sizeof(ConnRecord) == kWtraceRecordBytes);
 static_assert(std::is_trivially_copyable_v<ConnRecord>);
 static_assert(sizeof(double) == 8);
@@ -97,6 +98,8 @@ void encode_wtrace_record(const ConnRecord& record, char out[kWtraceRecordBytes]
     put_le64(out + 0, ts_bits);
     put_le32(out + 8, record.source_host);
     put_le32(out + 12, record.destination.value());
+    out[16] = static_cast<char>(record.outcome);
+    std::memset(out + 17, 0, 7);
   }
 }
 
@@ -109,8 +112,18 @@ ConnRecord decode_wtrace_record(const char* in) noexcept {
     std::memcpy(&rec.timestamp, &ts_bits, 8);
     rec.source_host = get_le32(in + 8);
     rec.destination = net::Ipv4Address(get_le32(in + 12));
+    rec.outcome = static_cast<std::uint8_t>(in[16]);
   }
   return rec;
+}
+
+ConnRecord decode_wtrace_record_v1(const char* in) noexcept {
+  ConnRecord rec;
+  const std::uint64_t ts_bits = get_le64(in + 0);
+  std::memcpy(&rec.timestamp, &ts_bits, 8);
+  rec.source_host = get_le32(in + 8);
+  rec.destination = net::Ipv4Address(get_le32(in + 12));
+  return rec;  // v1 predates the outcome column: every connection "succeeded"
 }
 
 void write_wtrace(std::ostream& out, std::span<const ConnRecord> records) {
@@ -128,6 +141,7 @@ void write_wtrace(std::ostream& out, std::span<const ConnRecord> records) {
       encode_wtrace_record(r, wire);
       h = (h ^ get_le64(wire + 0)) * kFnvPrime;
       h = (h ^ get_le64(wire + 8)) * kFnvPrime;
+      h = (h ^ get_le64(wire + 16)) * kFnvPrime;
     }
     h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
     h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
@@ -171,16 +185,20 @@ WtraceHeader parse_wtrace_header(std::string_view bytes) {
     throw support::PreconditionError("not a .wtrace file (bad magic)");
   }
   const std::uint16_t version = get_le16(bytes.data() + 4);
-  if (version != kWtraceVersion) {
+  if (version != kWtraceVersion && version != kWtraceVersionV1) {
     throw support::PreconditionError("unsupported .wtrace version " + std::to_string(version) +
-                                     " (this build reads version " +
+                                     " (this build reads versions " +
+                                     std::to_string(kWtraceVersionV1) + " and " +
                                      std::to_string(kWtraceVersion) + ")");
   }
+  const std::size_t expected_record_size =
+      version == kWtraceVersionV1 ? kWtraceRecordBytesV1 : kWtraceRecordBytes;
   const std::uint16_t record_size = get_le16(bytes.data() + 6);
-  if (record_size != kWtraceRecordBytes) {
+  if (record_size != expected_record_size) {
     throw support::PreconditionError(".wtrace record size " + std::to_string(record_size) +
                                      " differs from expected " +
-                                     std::to_string(kWtraceRecordBytes));
+                                     std::to_string(expected_record_size) + " for version " +
+                                     std::to_string(version));
   }
   if (get_le64(bytes.data() + 24) != 0) {
     throw support::PreconditionError(".wtrace reserved header field is nonzero");
@@ -188,6 +206,8 @@ WtraceHeader parse_wtrace_header(std::string_view bytes) {
   WtraceHeader header;
   header.record_count = get_le64(bytes.data() + 8);
   header.checksum = get_le64(bytes.data() + 16);
+  header.version = version;
+  header.record_size = expected_record_size;
   return header;
 }
 
@@ -201,7 +221,7 @@ std::vector<ConnRecord> read_wtrace(std::istream& in) {
   const WtraceHeader header =
       parse_wtrace_header(std::string_view(raw_header, kWtraceHeaderBytes));
 
-  std::string payload(header.record_count * kWtraceRecordBytes, '\0');
+  std::string payload(header.record_count * header.record_size, '\0');
   in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
   if (static_cast<std::size_t>(in.gcount()) != payload.size()) {
     throw support::PreconditionError(
@@ -216,7 +236,11 @@ std::vector<ConnRecord> read_wtrace(std::istream& in) {
   }
 
   std::vector<ConnRecord> records(header.record_count);
-  if constexpr (kLittleEndian) {
+  if (header.record_size == kWtraceRecordBytesV1) {
+    for (std::uint64_t i = 0; i < header.record_count; ++i) {
+      records[i] = decode_wtrace_record_v1(payload.data() + i * kWtraceRecordBytesV1);
+    }
+  } else if constexpr (kLittleEndian) {
     // Empty traces are legal and an empty vector's data() may be null, which
     // memcpy must never receive even with a zero count.
     if (!payload.empty()) std::memcpy(records.data(), payload.data(), payload.size());

@@ -9,19 +9,21 @@
 //
 //   offset  size  field
 //        0     4  magic 'WTR1' (0x31525457 when read as a LE u32)
-//        4     2  format version (currently 1)
-//        6     2  record size in bytes (currently 16; readers reject others)
+//        4     2  format version (writers emit 2; readers accept 1 and 2)
+//        6     2  record size in bytes (24 for v2, 16 for v1)
 //        8     8  record count
 //       16     8  payload checksum (wtrace_checksum over the record bytes)
 //       24     8  reserved, must be zero
-//       32   16n  records
+//       32    rn  records (r = record size from the header)
 //
-// Each record is 16 bytes: IEEE-754 f64 timestamp, u32 source host, u32
-// destination address.  On little-endian hosts with IEEE doubles (every
-// platform we build on) a record's wire image is exactly ConnRecord's memory
-// image, so readers and writers move whole blocks with memcpy; a big-endian
-// host falls back to per-field byte shuffling and produces byte-identical
-// files — the golden-fixture test pins this.
+// A v2 record is 24 bytes: IEEE-754 f64 timestamp, u32 source host, u32
+// destination address, u8 connection outcome, 7 reserved zero bytes.  A v1
+// record is the same without the trailing outcome+reserved 8 bytes; v1 files
+// decode with outcome = success.  On little-endian hosts with IEEE doubles
+// (every platform we build on) a v2 record's wire image is exactly
+// ConnRecord's memory image, so readers and writers move whole blocks with
+// memcpy; a big-endian host falls back to per-field byte shuffling and
+// produces byte-identical files — the golden-fixture test pins this.
 //
 // The checksum is FNV-1a-64 folded over 8-byte little-endian words with the
 // payload length mixed into the seed: one multiply per 8 bytes instead of
@@ -40,24 +42,33 @@
 namespace worms::trace {
 
 inline constexpr std::uint32_t kWtraceMagic = 0x31525457u;  // "WTR1"
-inline constexpr std::uint16_t kWtraceVersion = 1;
+inline constexpr std::uint16_t kWtraceVersion = 2;
 inline constexpr std::size_t kWtraceHeaderBytes = 32;
-inline constexpr std::size_t kWtraceRecordBytes = 16;
+inline constexpr std::size_t kWtraceRecordBytes = 24;
+/// v1 records lacked the outcome byte; still readable (outcome = success).
+inline constexpr std::uint16_t kWtraceVersionV1 = 1;
+inline constexpr std::size_t kWtraceRecordBytesV1 = 16;
 
 /// Parsed and validated `.wtrace` header.
 struct WtraceHeader {
   std::uint64_t record_count = 0;
   std::uint64_t checksum = 0;
+  std::uint16_t version = kWtraceVersion;
+  /// Record stride in bytes for this file (24 for v2, 16 for v1).
+  std::size_t record_size = kWtraceRecordBytes;
 };
 
 /// FNV-1a-64 over 8-byte little-endian words, length-seeded.  `size` need not
 /// be a multiple of 8 (the tail is zero-padded into one final word).
 [[nodiscard]] std::uint64_t wtrace_checksum(const void* data, std::size_t size) noexcept;
 
-/// Serializes one record into its 16-byte wire image / back.  Byte-identical
+/// Serializes one record into its 24-byte wire image / back.  Byte-identical
 /// output on every host (the explicit little-endian encode is the guard).
 void encode_wtrace_record(const ConnRecord& record, char out[kWtraceRecordBytes]) noexcept;
 [[nodiscard]] ConnRecord decode_wtrace_record(const char* in) noexcept;
+
+/// Decodes one legacy 16-byte v1 record (outcome = success).
+[[nodiscard]] ConnRecord decode_wtrace_record_v1(const char* in) noexcept;
 
 /// Writes header + records.  The stream must be opened in binary mode.
 void write_wtrace(std::ostream& out, std::span<const ConnRecord> records);

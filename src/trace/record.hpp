@@ -1,5 +1,7 @@
 // Connection-trace records — the shape of LBL-CONN-7 after the paper's
-// preprocessing (it only uses source host, destination address, and time).
+// preprocessing (source host, destination address, time), plus the connection
+// outcome the failure-counting policy consumes (a worm scanning random
+// addresses mostly hits dead space, so its connections mostly fail).
 #pragma once
 
 #include <cstdint>
@@ -9,10 +11,17 @@
 
 namespace worms::trace {
 
+/// ConnRecord::outcome values.  Only these two are valid on the wire.
+inline constexpr std::uint8_t kOutcomeSuccess = 0;
+inline constexpr std::uint8_t kOutcomeFailure = 1;
+
 struct ConnRecord {
   sim::SimTime timestamp = 0.0;  ///< seconds since trace start
   std::uint32_t source_host = 0; ///< anonymized local host index (LBL style)
   net::Ipv4Address destination;  ///< remote address
+  std::uint8_t outcome = kOutcomeSuccess;  ///< kOutcomeSuccess / kOutcomeFailure
+  std::uint8_t reserved[7] = {};  ///< explicit padding so the memory image has
+                                  ///< no indeterminate bytes (memcpy'd to wire)
 
   friend bool operator==(const ConnRecord&, const ConnRecord&) = default;
 };

@@ -84,7 +84,7 @@ CsvSource::CsvSource(const std::string& path, Mode mode)
         "input is a binary .wtrace trace, not CSV; pass it directly (wormctl "
         "auto-detects the format) or run `wormctl trace convert` first");
   }
-  WORMS_EXPECTS(impl_->line == csv_trace_header());
+  WORMS_EXPECTS(is_csv_trace_header(impl_->line) && "unrecognized trace header");
   lines_scanned_ = 1;
 }
 
@@ -159,8 +159,9 @@ BinarySource::BinarySource(const std::string& path, bool verify_checksum) {
   const char* base = mapped_ ? static_cast<const char*>(map_base_) : fallback_.data();
   const std::size_t len = mapped_ ? map_len_ : fallback_.size();
   const WtraceHeader header = parse_wtrace_header(std::string_view(base, len));
+  record_size_ = header.record_size;
   const std::size_t payload_bytes = static_cast<std::size_t>(header.record_count) *
-                                    kWtraceRecordBytes;
+                                    record_size_;
   if (len < kWtraceHeaderBytes + payload_bytes) {
     throw support::PreconditionError(
         "wtrace payload truncated: header promises " + std::to_string(header.record_count) +
@@ -186,8 +187,13 @@ BinarySource::~BinarySource() {
 std::size_t BinarySource::next_batch(std::span<ConnRecord> out) {
   const std::size_t n =
       static_cast<std::size_t>(std::min<std::uint64_t>(out.size(), count_ - cursor_));
-  const char* src = payload_ + cursor_ * kWtraceRecordBytes;
-  if constexpr (std::endian::native == std::endian::little) {
+  const char* src = payload_ + cursor_ * record_size_;
+  if (record_size_ == kWtraceRecordBytesV1) {
+    // Legacy 16-byte records: per-record decode, outcome = success.
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = decode_wtrace_record_v1(src + i * kWtraceRecordBytesV1);
+    }
+  } else if constexpr (std::endian::native == std::endian::little) {
     std::memcpy(out.data(), src, n * kWtraceRecordBytes);
   } else {
     for (std::size_t i = 0; i < n; ++i) {

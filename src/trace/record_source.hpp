@@ -122,6 +122,7 @@ class BinarySource final : public RecordSource {
   const char* payload_ = nullptr;  ///< first record byte
   std::uint64_t count_ = 0;        ///< total records
   std::uint64_t cursor_ = 0;       ///< next record index
+  std::size_t record_size_ = 0;    ///< wire stride from the header (16 or 24)
   bool mapped_ = false;
   void* map_base_ = nullptr;       ///< mmap base (page-aligned), if mapped
   std::size_t map_len_ = 0;

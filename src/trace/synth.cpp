@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <unordered_set>
 
 #include "stats/samplers.hpp"
@@ -60,6 +61,7 @@ SynthTrace synthesize_lbl_trace(const LblSynthConfig& config) {
   WORMS_EXPECTS(config.hosts >= config.heavy_host_targets.size());
   WORMS_EXPECTS(config.duration > 0.0);
   WORMS_EXPECTS(config.mean_revisits >= 0.0);
+  WORMS_EXPECTS(config.failure_fraction >= 0.0 && config.failure_fraction <= 1.0);
 
   support::Rng rng(config.seed);
   SynthTrace out;
@@ -108,6 +110,24 @@ SynthTrace synthesize_lbl_trace(const LblSynthConfig& config) {
   }
 
   std::sort(out.records.begin(), out.records.end(), stream_order);
+
+  // --- Assign connection outcomes ---
+  // A pure hash of (seed, post-sort index, record fields): no RNG draws, so
+  // record placement is bit-identical to a failure-free generation and every
+  // pre-existing verdict golden survives the outcome column's introduction.
+  if (config.failure_fraction > 0.0) {
+    const std::uint64_t outcome_key = support::derive_seed(config.seed, 0xFA11u);
+    for (std::size_t i = 0; i < out.records.size(); ++i) {
+      ConnRecord& r = out.records[i];
+      std::uint64_t ts_bits = 0;
+      std::memcpy(&ts_bits, &r.timestamp, sizeof(ts_bits));
+      std::uint64_t s = outcome_key ^ (static_cast<std::uint64_t>(i) * 0x9E3779B97F4A7C15ull) ^
+                        ts_bits ^ (static_cast<std::uint64_t>(r.source_host) << 32) ^
+                        r.destination.value();
+      const double u = static_cast<double>(support::splitmix64(s) >> 11) * 0x1.0p-53;
+      if (u < config.failure_fraction) r.outcome = kOutcomeFailure;
+    }
+  }
   return out;
 }
 

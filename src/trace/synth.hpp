@@ -48,6 +48,12 @@ struct LblSynthConfig {
 
   /// Mean number of *revisit* connections per distinct destination.
   double mean_revisits = 4.0;
+
+  /// Fraction of connections marked as failed (timeouts, resets, dead
+  /// addresses) — benign background noise for the failure-counting policy.
+  /// Outcomes are a post-hoc hash of each record, not extra RNG draws, so
+  /// changing this (or the default's existence) never moves any record.
+  double failure_fraction = 0.02;
 };
 
 struct SynthTrace {

@@ -12,7 +12,8 @@ namespace worms::trace {
 
 namespace {
 
-constexpr const char* kHeader = "timestamp,source_host,destination";
+constexpr const char* kHeader = "timestamp,source_host,destination,outcome";
+constexpr const char* kHeaderV1 = "timestamp,source_host,destination";
 
 void require_header(std::istream& in, std::string& line) {
   // A trace file without the header line is not a trace file — an empty
@@ -25,19 +26,26 @@ void require_header(std::istream& in, std::string& line) {
         "input is a binary .wtrace trace, not CSV; pass it directly (wormctl "
         "auto-detects the format) or run `wormctl trace convert` first");
   }
-  WORMS_EXPECTS(line == kHeader);
+  WORMS_EXPECTS(is_csv_trace_header(line) && "unrecognized trace header");
 }
 
 }  // namespace
 
 const char* csv_trace_header() noexcept { return kHeader; }
 
+bool is_csv_trace_header(std::string_view line) noexcept {
+  return line == kHeader || line == kHeaderV1;
+}
+
 const char* parse_csv_record_line(const std::string& line, ConnRecord& rec) {
   const std::size_t c1 = line.find(',');
   const std::size_t c2 = line.find(',', c1 == std::string::npos ? 0 : c1 + 1);
   if (c1 == std::string::npos || c2 == std::string::npos) {
-    return "expected timestamp,source_host,destination";
+    return "expected timestamp,source_host,destination[,outcome]";
   }
+  // The outcome column is optional: legacy three-field lines decode with
+  // outcome = success, so pre-existing traces stay readable.
+  const std::size_t c3 = line.find(',', c2 + 1);
   // timestamp (double); from_chars consuming the whole field rejects the
   // trailing-garbage and embedded-whitespace forms std::stod lets through
   // (e.g. "1.0abc" or " 1.0").
@@ -52,16 +60,29 @@ const char* parse_csv_record_line(const std::string& line, ConnRecord& rec) {
   const auto [ptr, ec] = std::from_chars(sb, se, rec.source_host);
   if (ec != std::errc() || ptr != se) return "bad source_host field";
   // destination address
-  const auto addr = net::Ipv4Address::parse(std::string_view(line).substr(c2 + 1));
+  const std::size_t dest_end = c3 == std::string::npos ? line.size() : c3;
+  const auto addr =
+      net::Ipv4Address::parse(std::string_view(line).substr(c2 + 1, dest_end - c2 - 1));
   if (!addr.has_value()) return "bad destination field";
   rec.destination = *addr;
+  // outcome (0 = success, 1 = failure); strict so damaged lines dead-letter
+  rec.outcome = kOutcomeSuccess;
+  if (c3 != std::string::npos) {
+    const char* ob = line.data() + c3 + 1;
+    const char* oe = line.data() + line.size();
+    unsigned outcome = 0;
+    const auto [optr, oec] = std::from_chars(ob, oe, outcome);
+    if (oec != std::errc() || optr != oe || outcome > 1) return "bad outcome field";
+    rec.outcome = static_cast<std::uint8_t>(outcome);
+  }
   return nullptr;
 }
 
 void write_csv(std::ostream& out, const std::vector<ConnRecord>& records) {
   out << kHeader << '\n';
   for (const ConnRecord& r : records) {
-    out << r.timestamp << ',' << r.source_host << ',' << r.destination.to_string() << '\n';
+    out << r.timestamp << ',' << r.source_host << ',' << r.destination.to_string() << ','
+        << static_cast<unsigned>(r.outcome) << '\n';
   }
 }
 

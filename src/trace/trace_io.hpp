@@ -1,6 +1,9 @@
 // CSV serialization for connection traces.
-// Format: one record per line, `timestamp,source_host,destination`, with a
-// single header line.  Destinations are dotted-quad for interoperability.
+// Format: one record per line, `timestamp,source_host,destination,outcome`,
+// with a single header line.  Destinations are dotted-quad for
+// interoperability; outcome is 0 (success) or 1 (failure).  Legacy traces
+// without the outcome column — three-field header and lines — still parse,
+// with outcome defaulting to success.
 //
 // Two parsing modes share one field grammar:
 //   * strict (read_csv) — throws support::PreconditionError on the first
@@ -14,6 +17,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/record.hpp"
@@ -51,7 +55,11 @@ struct RecoveredTrace {
 /// The trace CSV header line (no trailing newline).
 [[nodiscard]] const char* csv_trace_header() noexcept;
 
-/// Parses one `timestamp,source_host,destination` line into `rec`.  Returns
+/// True for any header this parser accepts: the current four-column header or
+/// the legacy three-column one (pre-outcome traces).
+[[nodiscard]] bool is_csv_trace_header(std::string_view line) noexcept;
+
+/// Parses one `timestamp,source_host,destination[,outcome]` line into `rec`.  Returns
 /// nullptr on success, otherwise a static message naming the field that
 /// failed.  The single field grammar shared by read_csv, read_csv_recovering,
 /// and the streaming CsvSource, so the three cannot drift on what counts as

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -187,6 +188,18 @@ TEST(FleetNetLoopback, CheckpointReplicationPromotesReplica) {
   const NodeReport primary_report = primary.wait();
   primary_client.join();
   EXPECT_GE(primary_report.checkpoints_replicated, 1u);
+
+  // The primary's final checkpoint frame is on the wire once wait() returns,
+  // but the replica stores it on its ingest thread — and the failover Hello
+  // below arrives via a *different* reader thread, so on a loaded box it can
+  // otherwise outrun the store and promote from the previous checkpoint.
+  // Wait until every replicated checkpoint has actually landed.
+  for (int spins = 0;
+       replica.checkpoints_stored() < primary_report.checkpoints_replicated && spins < 10'000;
+       ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(replica.checkpoints_stored(), primary_report.checkpoints_replicated);
 
   // "Failover": the client re-sends the stream to the replica, which promotes
   // from the stored checkpoint and issues a resume position — the client

@@ -16,6 +16,7 @@
 #include "fleet/net/socket.hpp"
 #include "fleet/net/wire.hpp"
 #include "support/check.hpp"
+#include "trace/binary_io.hpp"
 #include "trace/record.hpp"
 
 namespace {
@@ -93,7 +94,7 @@ TEST(FleetNetWire, DecoderHandlesByteAtATimeDelivery) {
 TEST(FleetNetWire, RecordsPayloadIsWtraceWireImage) {
   const auto records = sample_records();
   const std::string payload = encode_records(records);
-  EXPECT_EQ(payload.size(), records.size() * 16);  // packed .wtrace images
+  EXPECT_EQ(payload.size(), records.size() * trace::kWtraceRecordBytes);  // packed .wtrace images
   EXPECT_EQ(decode_records(payload), records);
 }
 

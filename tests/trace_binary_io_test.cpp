@@ -127,14 +127,54 @@ TEST(WtraceCodec, RejectsBadMagic) {
 
 TEST(WtraceCodec, RejectsUnsupportedVersion) {
   std::string bytes = encode(sample_records());
-  bytes[4] = 2;
+  bytes[4] = 3;
   EXPECT_THROW((void)decode(bytes), support::PreconditionError);
 }
 
 TEST(WtraceCodec, RejectsForeignRecordSize) {
+  // A v2 header claiming the v1 stride (or any other size) must not parse.
   std::string bytes = encode(sample_records());
-  bytes[6] = 24;
+  bytes[6] = 16;
   EXPECT_THROW((void)decode(bytes), support::PreconditionError);
+}
+
+TEST(WtraceCodec, ReadsLegacyV1FilesWithSuccessOutcome) {
+  // A v1 record is the v2 wire image minus the trailing outcome/reserved
+  // bytes; assemble such a file by hand and decode it — every record must
+  // come back with outcome = success.
+  std::vector<ConnRecord> records = sample_records();
+  for (ConnRecord& r : records) r.outcome = kOutcomeSuccess;
+  std::string payload;
+  for (const ConnRecord& r : records) {
+    char wire[kWtraceRecordBytes];
+    encode_wtrace_record(r, wire);
+    payload.append(wire, kWtraceRecordBytesV1);
+  }
+  const auto put_u64 = [](std::string& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  };
+  std::string bytes = "WTR1";
+  bytes.push_back(static_cast<char>(kWtraceVersionV1));
+  bytes.push_back('\0');
+  bytes.push_back(static_cast<char>(kWtraceRecordBytesV1));
+  bytes.push_back('\0');
+  put_u64(bytes, records.size());
+  put_u64(bytes, wtrace_checksum(payload.data(), payload.size()));
+  put_u64(bytes, 0);  // reserved
+  bytes += payload;
+
+  const WtraceHeader header = parse_wtrace_header(bytes);
+  EXPECT_EQ(header.version, kWtraceVersionV1);
+  EXPECT_EQ(header.record_size, kWtraceRecordBytesV1);
+  EXPECT_EQ(decode(bytes), records);
+}
+
+TEST(WtraceCodec, OutcomeByteSurvivesTheWire) {
+  std::vector<ConnRecord> records = sample_records();
+  bool any_failure = false;
+  for (const ConnRecord& r : records) any_failure |= r.outcome == kOutcomeFailure;
+  EXPECT_TRUE(any_failure) << "synth default failure_fraction should mark some records";
+  EXPECT_EQ(decode(encode(records)), records);
 }
 
 TEST(WtraceCodec, RejectsNonzeroReservedField) {

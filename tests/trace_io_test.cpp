@@ -29,7 +29,7 @@ TEST(TraceIo, RoundTripThroughStreams) {
 TEST(TraceIo, HeaderIsWritten) {
   std::stringstream buf;
   write_csv(buf, {});
-  EXPECT_EQ(buf.str(), "timestamp,source_host,destination\n");
+  EXPECT_EQ(buf.str(), "timestamp,source_host,destination,outcome\n");
 }
 
 TEST(TraceIo, EmptyTraceRoundTrips) {
@@ -120,7 +120,8 @@ TEST(TraceIo, RecoveringParserQuarantinesBadLinesWithDiagnostics) {
   EXPECT_EQ(out.bad_lines[3],
             (TraceParseDiagnostic{7, "5.0,2,299.0.0.1", "bad destination field"}));
   EXPECT_EQ(out.bad_lines[4],
-            (TraceParseDiagnostic{8, "6.0,2", "expected timestamp,source_host,destination"}));
+            (TraceParseDiagnostic{8, "6.0,2",
+                                  "expected timestamp,source_host,destination[,outcome]"}));
 }
 
 TEST(TraceIo, RecoveringParserAgreesWithStrictOnCleanInput) {

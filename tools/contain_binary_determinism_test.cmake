@@ -75,3 +75,38 @@ if(NOT resume_out MATCHES "resumed from .* at record [1-9]")
 endif()
 expect_same(${WORKDIR}/v_base.csv ${WORKDIR}/v_resume.csv
             "resume over binary diverged from the uninterrupted run")
+
+# Compact backend: banks are bucketed by host id independently of the shard
+# count, so compact verdicts (including the failure-policy columns) must be
+# byte-identical at shards {1, 2, 4} and across checkpoint/resume — the same
+# bar the exact backend clears above.
+set(compact_flags --counter compact --compact-bits-per-host 16
+    --compact-expected-hosts 1048576 --failure-budget 2000)
+set(compact_ckpt ${WORKDIR}/bin_determinism_compact.ckpt)
+run(compact_out ${WORMCTL} contain --trace ${bin_file} --budget 400 --shards 1
+    ${compact_flags} --verdicts-out ${WORKDIR}/v_compact_1.csv)
+if(NOT compact_out MATCHES "compact counter")
+  message(FATAL_ERROR "no compact-counter line in output:\n${compact_out}")
+endif()
+foreach(shards 2 4)
+  run(ignored ${WORMCTL} contain --trace ${bin_file} --budget 400
+      --shards ${shards} ${compact_flags}
+      --verdicts-out ${WORKDIR}/v_compact_${shards}.csv)
+  expect_same(${WORKDIR}/v_compact_1.csv ${WORKDIR}/v_compact_${shards}.csv
+              "compact verdicts diverge at shards=${shards}")
+endforeach()
+run(ignored ${WORMCTL} contain --trace ${bin_file} --budget 400 --shards 2
+    ${compact_flags} --checkpoint ${compact_ckpt} --checkpoint-every 20000
+    --verdicts-out ${WORKDIR}/v_compact_ckpt.csv)
+expect_same(${WORKDIR}/v_compact_1.csv ${WORKDIR}/v_compact_ckpt.csv
+            "checkpointing changed compact verdicts")
+# Resume at a different shard count: the snapshot's banks rehome and the
+# verdicts still match the uninterrupted single-shard run.
+run(compact_resume_out ${WORMCTL} contain --trace ${bin_file} --budget 400
+    --shards 4 ${compact_flags} --resume ${compact_ckpt}
+    --verdicts-out ${WORKDIR}/v_compact_resume.csv)
+if(NOT compact_resume_out MATCHES "resumed from .* at record [1-9]")
+  message(FATAL_ERROR "no resume line in output:\n${compact_resume_out}")
+endif()
+expect_same(${WORKDIR}/v_compact_1.csv ${WORKDIR}/v_compact_resume.csv
+            "compact resume diverged from the uninterrupted run")

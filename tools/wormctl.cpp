@@ -29,8 +29,11 @@
 //              --trace FILE --budget M [--cycle-days 30] [--check-fraction 1.0]
 //   contain    stream a trace through the fleet containment pipeline
 //              (--trace FILE | --synth) --budget M [--cycle-days 30]
-//              [--check-fraction 1.0] [--shards 0] [--counter exact|hll]
-//              [--hll-precision 12] [--transport spsc|mpsc]
+//              [--check-fraction 1.0] [--shards 0]
+//              [--counter exact|hll|compact] [--hll-precision 12]
+//              [--compact-bits-per-host 8] [--compact-virtual-registers 128]
+//              [--compact-expected-hosts 1048576] [--failure-budget 0]
+//              [--transport spsc|mpsc]
 //              [--inject-worm RATE,SCANS,I0] [--seed 1]
 //              [--divergence] [--hosts 1645] [--days 30]
 //              [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
@@ -51,6 +54,12 @@
 //              overlays I0 infected hosts scanning at RATE scans/s for up to
 //              SCANS scans each; --divergence runs exact AND hll and reports
 //              the false-positive cost of approximate counting;
+//              --counter compact shares one register pool per shard — a few
+//              bits per host, sized by --compact-bits-per-host /
+//              --compact-virtual-registers / --compact-expected-hosts
+//              (DESIGN.md §13); --failure-budget N removes a host whose
+//              failed connections (the trace's outcome column) reach N in
+//              one containment cycle, 0 = tally only;
 //              --checkpoint-every N snapshots pipeline state every N records,
 //              --resume PATH restarts from a snapshot and replays the record
 //              suffix; --fault-plan scripts worker kills/stalls/degrades and
@@ -435,8 +444,12 @@ void print_contain_report(const fleet::PipelineResult& result,
               static_cast<unsigned long long>(m.records_processed), m.elapsed_seconds,
               m.records_per_second / 1e6,
               static_cast<unsigned long long>(m.records_suppressed));
-  std::printf("verdicts: %zu hosts seen, %u flagged, %u removed\n", v.hosts.size(),
+  std::printf("verdicts: %zu hosts seen, %u flagged, %u removed", v.hosts.size(),
               v.hosts_flagged, v.hosts_removed);
+  if (v.hosts_removed_by_failures > 0) {
+    std::printf(" (%u by failure budget)", v.hosts_removed_by_failures);
+  }
+  std::printf("\n");
   std::printf("counter memory: %.1f KiB; queue high-water (batches):",
               static_cast<double>(m.counter_memory_bytes) / 1024.0);
   for (const std::size_t hw : m.queue_high_water) std::printf(" %zu", hw);
@@ -539,8 +552,19 @@ int cmd_contain(const support::CliArgs& args) {
   WORMS_EXPECTS(cfg.hll_precision >= 4 && cfg.hll_precision <= 16 &&
                 "--hll-precision must be in [4, 16]");
   const std::string counter = args.get_string("counter", "exact");
-  WORMS_EXPECTS((counter == "exact" || counter == "hll") && "--counter must be exact or hll");
-  cfg.backend = counter == "hll" ? fleet::CounterBackend::Hll : fleet::CounterBackend::Exact;
+  WORMS_EXPECTS((counter == "exact" || counter == "hll" || counter == "compact") &&
+                "--counter must be exact, hll, or compact");
+  cfg.backend = counter == "hll"       ? fleet::CounterBackend::Hll
+                : counter == "compact" ? fleet::CounterBackend::Compact
+                                       : fleet::CounterBackend::Exact;
+  cfg.compact.bits_per_host =
+      args.get_u32("compact-bits-per-host", cfg.compact.bits_per_host);
+  cfg.compact.virtual_registers =
+      args.get_u32("compact-virtual-registers", cfg.compact.virtual_registers);
+  cfg.compact.expected_hosts =
+      args.get_u64("compact-expected-hosts", cfg.compact.expected_hosts);
+  cfg.compact.validate();  // bad geometry fails here, at parse time
+  cfg.failure_budget = args.get_u64("failure-budget", 0);
   const std::string transport = args.get_string("transport", "spsc");
   WORMS_EXPECTS((transport == "spsc" || transport == "mpsc") &&
                 "--transport must be spsc or mpsc");

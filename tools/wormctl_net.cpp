@@ -103,8 +103,19 @@ using fleet::net::Endpoint;
   WORMS_EXPECTS(cfg.hll_precision >= 4 && cfg.hll_precision <= 16 &&
                 "--hll-precision must be in [4, 16]");
   const std::string counter = args.get_string("counter", "exact");
-  WORMS_EXPECTS((counter == "exact" || counter == "hll") && "--counter must be exact or hll");
-  cfg.backend = counter == "hll" ? fleet::CounterBackend::Hll : fleet::CounterBackend::Exact;
+  WORMS_EXPECTS((counter == "exact" || counter == "hll" || counter == "compact") &&
+                "--counter must be exact, hll, or compact");
+  cfg.backend = counter == "hll"       ? fleet::CounterBackend::Hll
+                : counter == "compact" ? fleet::CounterBackend::Compact
+                                       : fleet::CounterBackend::Exact;
+  cfg.compact.bits_per_host =
+      args.get_u32("compact-bits-per-host", cfg.compact.bits_per_host);
+  cfg.compact.virtual_registers =
+      args.get_u32("compact-virtual-registers", cfg.compact.virtual_registers);
+  cfg.compact.expected_hosts =
+      args.get_u64("compact-expected-hosts", cfg.compact.expected_hosts);
+  cfg.compact.validate();  // bad geometry fails here, at parse time
+  cfg.failure_budget = args.get_u64("failure-budget", 0);
   return cfg;
 }
 
