@@ -61,7 +61,7 @@ void bench_wire(const std::vector<trace::ConnRecord>& records) {
             records.data() + at, std::min(batch, records.size() - at));
         encoded.push_back(
             fleet::net::encode_frame(fleet::net::FrameType::Records,
-                                     fleet::net::encode_records(slice)));
+                                     fleet::net::encode_records(slice, 1, at)));
       }
       enc_seconds = std::min(enc_seconds, enc_watch.elapsed_seconds());
 
@@ -73,7 +73,7 @@ void bench_wire(const std::vector<trace::ConnRecord>& records) {
         for (;;) {
           auto result = decoder.next();
           if (result.status != fleet::net::FrameDecoder::Status::Ready) break;
-          decoded_records += fleet::net::decode_records(result.frame.payload).size();
+          decoded_records += fleet::net::decode_records(result.frame.payload).records.size();
         }
       }
       dec_seconds = std::min(dec_seconds, dec_watch.elapsed_seconds());

@@ -1,0 +1,169 @@
+// Observability-plane benchmarks with machine-readable output.
+//
+// Times the costs EXPERIMENTS.md quotes for the observability layer: the
+// event-journal append hot path (the ~tens-of-ns budget DESIGN.md §14
+// promises), the JSONL drain, the /metrics render a scrape pays per GET,
+// and the end-to-end pipeline A/B — the same containment run with the full
+// observability plane attached vs bare.  Writes BENCH_obs.json in the same
+// name / records-per-second / ns-per-op shape as BENCH_topology.json so CI
+// can diff overhead across commits.  Usage: obs_bench [output.json].
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fleet/pipeline.hpp"
+#include "obs/event_log.hpp"
+#include "obs/registry.hpp"
+#include "support/stopwatch.hpp"
+#include "trace/synth.hpp"
+
+namespace {
+
+using namespace worms;
+
+struct BenchRecord {
+  std::string name;
+  std::uint64_t records = 0;  ///< work items processed (events, renders, records)
+  double seconds = 0.0;
+};
+
+/// Best-of-`reps` timing, same policy as topology_bench/google-benchmark.
+template <typename Body>
+BenchRecord run_bench(std::string name, int reps, Body&& body) {
+  BenchRecord out;
+  out.name = std::move(name);
+  for (int r = 0; r < reps; ++r) {
+    const support::Stopwatch watch;
+    const std::uint64_t records = body();
+    const double elapsed = watch.elapsed_seconds();
+    if (r == 0 || elapsed < out.seconds) {
+      out.seconds = elapsed;
+      out.records = records;
+    }
+  }
+  return out;
+}
+
+std::vector<trace::ConnRecord> bench_trace() {
+  trace::LblSynthConfig cfg;
+  cfg.hosts = 600;
+  cfg.duration = 4.0 * sim::kDay;
+  cfg.seed = 17;
+  return trace::synthesize_lbl_trace(cfg).records;
+}
+
+fleet::PipelineOptions bench_pipeline() {
+  fleet::PipelineOptions cfg;
+  cfg.policy.scan_limit = 800;
+  cfg.shards = 2;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_obs.json";
+  constexpr int kReps = 3;
+  std::vector<BenchRecord> results;
+
+  // BM_EventEmit: the journal append hot path, one writer, both clocks.
+  // Capacity is a power of two well below the emit count, so wraparound
+  // (the steady-state regime) is what gets measured.
+  for (const bool synthetic : {true, false}) {
+    obs::EventLogOptions options;
+    options.buffer_events = 1u << 12;
+    options.clock = synthetic ? obs::TraceClock::Synthetic : obs::TraceClock::Wall;
+    obs::EventLog log(options);
+    obs::EventWriter& writer = log.writer(0);
+    results.push_back(run_bench(
+        synthetic ? "BM_EventEmit/synthetic" : "BM_EventEmit/wall", kReps, [&writer] {
+          constexpr std::uint64_t kEvents = 4'000'000;
+          for (std::uint64_t i = 0; i < kEvents; ++i) {
+            writer.emit(obs::EventType::HostRemoved, i, i & 0xffff, 0);
+          }
+          return kEvents;
+        }));
+  }
+
+  // BM_EventCollectJsonl: drain + render of a full ring (what the journal
+  // writer pays once at end of run).
+  {
+    obs::EventLogOptions options;
+    options.clock = obs::TraceClock::Synthetic;
+    obs::EventLog log(options);
+    for (std::uint64_t i = 0; i < (1u << 12); ++i) {
+      log.writer(0).emit(obs::EventType::CheckpointWrite, i, i, 4096);
+    }
+    results.push_back(run_bench("BM_EventCollectJsonl", kReps, [&log] {
+      const obs::EventCollection c = log.collect();
+      const std::string text = obs::render_events_jsonl(c);
+      if (text.empty() && obs::kEnabled) std::fputc(' ', stderr);
+      return static_cast<std::uint64_t>(c.events.size()) + 1;
+    }));
+  }
+
+  const auto records = bench_trace();
+
+  // BM_MetricsRender: one /metrics response over a real post-run registry —
+  // the latency a live scrape pays per GET.
+  {
+    obs::Registry registry;
+    fleet::PipelineOptions cfg = bench_pipeline();
+    cfg.metrics = &registry;
+    (void)fleet::ContainmentPipeline::run(cfg, records);
+    results.push_back(run_bench("BM_MetricsRender", kReps, [&registry] {
+      constexpr std::uint64_t kRenders = 2'000;
+      std::size_t bytes = 0;
+      for (std::uint64_t i = 0; i < kRenders; ++i) {
+        bytes += obs::Registry::render_prometheus(registry.snapshot()).size();
+      }
+      if (bytes == 1) std::fputc(' ', stderr);
+      return kRenders;
+    }));
+  }
+
+  // BM_ContainRun A/B: the whole-pipeline overhead of the observability
+  // plane — registry + event journal attached vs bare.  The delta between
+  // these two rows is the number EXPERIMENTS.md's overhead table quotes.
+  results.push_back(run_bench("BM_ContainRun/obs_off", kReps, [&records] {
+    (void)fleet::ContainmentPipeline::run(bench_pipeline(), records);
+    return static_cast<std::uint64_t>(records.size());
+  }));
+  results.push_back(run_bench("BM_ContainRun/obs_on", kReps, [&records] {
+    obs::Registry registry;
+    obs::EventLogOptions log_options;
+    log_options.clock = obs::TraceClock::Synthetic;
+    obs::EventLog events(log_options);
+    fleet::PipelineOptions cfg = bench_pipeline();
+    cfg.metrics = &registry;
+    cfg.events = &events;
+    (void)fleet::ContainmentPipeline::run(cfg, records);
+    return static_cast<std::uint64_t>(records.size());
+  }));
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "obs_bench: cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchRecord& r = results[i];
+    const double rec_per_sec =
+        r.seconds > 0.0 ? static_cast<double>(r.records) / r.seconds : 0.0;
+    const double ns_per_op =
+        r.records > 0 ? r.seconds * 1e9 / static_cast<double>(r.records) : 0.0;
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"records\": %llu, \"records_per_second\": %.6g, "
+                 "\"ns_per_op\": %.6g}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.records), rec_per_sec,
+                 ns_per_op, i + 1 < results.size() ? "," : "");
+    std::printf("%-40s %12llu rec %10.3f ms %12.6g rec/s %10.3f ns/op\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.records), r.seconds * 1e3, rec_per_sec,
+                ns_per_op);
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

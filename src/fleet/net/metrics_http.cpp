@@ -1,0 +1,98 @@
+#include "fleet/net/metrics_http.hpp"
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "obs/registry.hpp"
+#include "support/check.hpp"
+
+namespace worms::fleet::net {
+
+namespace {
+
+constexpr std::chrono::milliseconds kAcceptSlice{100};
+constexpr std::chrono::milliseconds kIoTimeout{2000};
+/// A scrape request line fits in well under 1 KiB; a client that sends more
+/// before its first line break is not speaking HTTP at us.
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+std::string make_response(int status, std::string_view reason, std::string_view content_type,
+                          std::string_view body) {
+  std::string response = "HTTP/1.0 " + std::to_string(status) + " " + std::string(reason) + "\r\n";
+  response += "Content-Type: " + std::string(content_type) + "\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  return response;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(obs::Registry& registry, const Endpoint& listen)
+    : registry_(registry) {
+  std::string error;
+  auto listener = TcpListener::bind(listen, &error);
+  if (!listener) {
+    throw support::PreconditionError("metrics: cannot listen on " + listen.to_string() + ": " +
+                                     error);
+  }
+  listener_ = std::move(*listener);
+  server_ = std::thread(&MetricsHttpServer::serve_loop, this);
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (server_.joinable()) server_.join();
+  listener_.close();
+}
+
+void MetricsHttpServer::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto stream = listener_.accept(kAcceptSlice);
+    if (!stream) continue;
+
+    // Read until the end of the request line; HTTP/1.0 headers that follow
+    // are irrelevant to a one-resource server.
+    std::string request;
+    char buffer[1024];
+    while (request.find('\n') == std::string::npos && request.size() < kMaxRequestBytes) {
+      const TcpStream::ReadResult read = stream->read_some(buffer, sizeof buffer, kIoTimeout);
+      if (read.status != IoStatus::Ok) break;
+      request.append(buffer, read.bytes);
+    }
+    const std::size_t line_end = request.find('\n');
+    if (line_end == std::string::npos) continue;  // no request line: drop silently
+
+    std::string_view line(request.data(), line_end);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    const std::size_t method_end = line.find(' ');
+    const std::size_t target_end =
+        method_end == std::string_view::npos ? std::string_view::npos
+                                             : line.find(' ', method_end + 1);
+    const std::string_view method = line.substr(0, method_end);
+    const std::string_view target = method_end == std::string_view::npos
+                                        ? std::string_view{}
+                                        : line.substr(method_end + 1, target_end - method_end - 1);
+
+    std::string response;
+    if (method_end == std::string_view::npos || target_end == std::string_view::npos) {
+      // Not `METHOD TARGET VERSION` shaped at all.
+      response = make_response(400, "Bad Request", "text/plain", "bad request line\n");
+    } else if (method != "GET") {
+      response = make_response(405, "Method Not Allowed", "text/plain", "method not allowed\n");
+    } else if (target != "/metrics") {
+      response = make_response(404, "Not Found", "text/plain", "only /metrics lives here\n");
+    } else {
+      response = make_response(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                               obs::Registry::render_prometheus(registry_.snapshot()));
+    }
+    (void)stream->write_all(response, kIoTimeout);
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    stream->close();
+  }
+}
+
+}  // namespace worms::fleet::net

@@ -1,0 +1,65 @@
+// Live /metrics scrape endpoint (DESIGN.md §14).
+//
+// A deliberately minimal HTTP/1.0 server with exactly one resource:
+// `GET /metrics` renders the registry's current snapshot in Prometheus text
+// exposition format (text/plain; version=0.0.4).  Everything else is a 404,
+// anything that is not a GET is a 405, and every response closes the
+// connection — no keep-alive, no chunking, no headers parsed beyond the
+// request line.  That is the whole protocol a Prometheus scraper (or
+// `curl`, or cmake's file(DOWNLOAD)) needs, and it reuses the fleet socket
+// layer's bounded-timeout discipline so a stuck scraper can never wedge the
+// serving thread.
+//
+// The snapshot is taken per request from the shared atomic instruments, so
+// scraping is safe while ingest is live — same guarantee as
+// Registry::snapshot() everywhere else.  One serving thread handles
+// requests sequentially; scrape traffic is one request per interval, not a
+// web workload.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "fleet/net/socket.hpp"
+
+namespace worms::obs {
+class Registry;
+}
+
+namespace worms::fleet::net {
+
+/// Serves GET /metrics for one Registry until destroyed.  Binding failures
+/// throw support::PreconditionError (a scrape port that cannot bind is a
+/// configuration error, not something to silently skip).
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer(obs::Registry& registry, const Endpoint& listen);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// The bound port (== listen.port unless that was 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Requests answered so far (any status).
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting and joins the serving thread.  Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+ private:
+  void serve_loop();
+
+  obs::Registry& registry_;
+  TcpListener listener_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::thread server_;
+};
+
+}  // namespace worms::fleet::net

@@ -5,6 +5,7 @@
 #include <future>
 #include <utility>
 
+#include "obs/event_log.hpp"
 #include "obs/registry.hpp"
 #include "support/check.hpp"
 
@@ -122,17 +123,31 @@ void PeerLink::run() {
 // ServeNode plumbing types.
 
 struct ServeNode::NodeTask {
-  enum class Kind : std::uint8_t { ClientHello, Records, Alerts, StoreCheckpoint, ClientDone };
+  enum class Kind : std::uint8_t {
+    ClientHello,
+    Records,
+    Alerts,
+    StoreCheckpoint,
+    ClientDone,
+    StatsQuery,
+  };
 
   Kind kind = Kind::Records;
   std::uint64_t client_id = 0;
   std::vector<trace::ConnRecord> records;
+  /// Provenance stamp carried by a Records frame: the sender's identity and
+  /// the stream position of records.front() in that sender's stream.
+  std::uint64_t origin_node = 0;
+  std::uint64_t stream_position = 0;
   std::vector<AlertEntry> alerts;
   CheckpointPayload checkpoint;
   std::uint64_t bye_position = 0;
   /// Hello/Bye round trip: the reader blocks on the matching future and
   /// writes the position back to the client as a Welcome frame.
   std::shared_ptr<std::promise<std::uint64_t>> reply;
+  /// StatsQuery round trip: the reader blocks on the matching future and
+  /// writes the encoded report back as a StatsReport frame.
+  std::shared_ptr<std::promise<std::string>> stats_reply;
 };
 
 struct ServeNode::Connection {
@@ -156,6 +171,9 @@ ServeNode::ServeNode(NodeOptions options)
           .capacity = 256, .spill_path = {}, .metrics = options_.pipeline.metrics}) {
   WORMS_EXPECTS(options_.replicate_to.has_value() == (options_.replicate_every != 0) &&
                 "serve: --replicate-to and --replicate-every must be set together");
+  // The node's identity is the verdict-provenance stamp unless the caller
+  // gave the pipeline its own.
+  if (options_.pipeline.node_id == 0) options_.pipeline.node_id = options_.node_id;
   options_.pipeline.validate();
 
   std::string error;
@@ -277,6 +295,11 @@ void ServeNode::note_wire_dead_letter(const Connection& conn, DeadLetterReason r
   entry.reason = reason;
   entry.stream_index = conn.decoder.frames_decoded();
   entry.detail = "conn " + std::to_string(conn.conn_id) + ": " + std::move(detail);
+  if (obs::EventLog* log = obs::kEnabled ? options_.pipeline.events : nullptr) {
+    // Reader threads have no logical writer identity; use the thread-local.
+    log->local_writer().emit(obs::EventType::NetQuarantine, entry.stream_index,
+                             static_cast<std::uint64_t>(reason), conn.conn_id);
+  }
   wire_dead_letters_.report(std::move(entry));
 }
 
@@ -302,7 +325,14 @@ void ServeNode::apply_net_faults_after_frame() {
       ++next_net_stall_;
     }
   }
+  obs::EventLog* log = obs::kEnabled ? options_.pipeline.events : nullptr;
   if (drop) {
+    if (log != nullptr) {
+      // Net clauses index frames, not records — `position` here is the
+      // node's received-frame count when the clause fired.
+      log->local_writer().emit(obs::EventType::FaultClauseFired, total,
+                               static_cast<std::uint64_t>(obs::FaultKind::NetDrop), 0);
+    }
     std::lock_guard<std::mutex> lock(connections_mutex_);
     for (auto& conn : connections_) {
       if (conn->done.load(std::memory_order_relaxed)) continue;
@@ -317,6 +347,10 @@ void ServeNode::apply_net_faults_after_frame() {
     }
   }
   if (stall_seconds.has_value()) {
+    if (log != nullptr) {
+      log->local_writer().emit(obs::EventType::FaultClauseFired, total,
+                               static_cast<std::uint64_t>(obs::FaultKind::NetStall), 0);
+    }
     std::this_thread::sleep_for(std::chrono::duration<double>(*stall_seconds));
   }
 }
@@ -349,10 +383,13 @@ void ServeNode::handle_frame(Connection& conn, Frame frame) {
       break;
     }
     case FrameType::Records: {
+      RecordsPayload batch = decode_records(frame.payload);
       NodeTask task;
       task.kind = NodeTask::Kind::Records;
       task.client_id = conn.client_id;
-      task.records = decode_records(frame.payload);
+      task.origin_node = batch.node_id;
+      task.stream_position = batch.stream_position;
+      task.records = std::move(batch.records);
       tasks_->push(std::move(task));
       break;
     }
@@ -391,9 +428,30 @@ void ServeNode::handle_frame(Connection& conn, Frame frame) {
       }
       break;
     }
+    case FrameType::StatsQuery: {
+      // Status probes carry no Hello and no payload; the reply is computed on
+      // the ingest thread (the only thread allowed to read pipeline state)
+      // and round-tripped back through a promise, like Welcome.
+      WORMS_EXPECTS(frame.payload.empty() && "stats query: unexpected payload");
+      NodeTask task;
+      task.kind = NodeTask::Kind::StatsQuery;
+      task.client_id = conn.client_id;
+      task.stats_reply = std::make_shared<std::promise<std::string>>();
+      std::future<std::string> payload = task.stats_reply->get_future();
+      tasks_->push(std::move(task));
+      const std::string reply = encode_frame(FrameType::StatsReport, payload.get());
+      if (conn.stream.write_all(reply, options_.timeouts.write)) {
+        frames_sent_direct_.fetch_add(1, std::memory_order_relaxed);
+        if (obs_frames_tx_ != nullptr) obs_frames_tx_->add(1);
+      }
+      break;
+    }
     case FrameType::Welcome:
-      // Only servers speak Welcome; receiving one is a protocol violation.
-      throw support::PreconditionError("unexpected welcome frame from a client");
+    case FrameType::StatsReport:
+      // Only servers speak Welcome/StatsReport; receiving either is a
+      // protocol violation.
+      throw support::PreconditionError(std::string("unexpected ") + to_string(frame.type) +
+                                       " frame from a client");
   }
 }
 
@@ -475,6 +533,11 @@ void ServeNode::maybe_promote() {
   promoted_position_ = pipeline_->records_fed();
   last_replicated_position_ = pipeline_->records_fed();
   stored_checkpoint_.reset();
+  if (obs::EventLog* log = obs::kEnabled ? options_.pipeline.events : nullptr) {
+    // Ingest thread — shares the pipeline's ingest writer (id 0).
+    log->writer(0).emit(obs::EventType::ReplicaPromotion, promoted_position_, options_.node_id,
+                        promoted_position_);
+  }
 }
 
 void ServeNode::ingest_loop() {
@@ -495,6 +558,22 @@ void ServeNode::ingest_loop() {
         }
         case NodeTask::Kind::Records: {
           ensure_pipeline();
+          // The provenance stamp must agree with the server's fed count for
+          // this client — the resume protocol guarantees it.  A disagreeing
+          // stamp means a sender bug or an impostor stream; quarantine the
+          // batch (the short Bye ack makes the client resend it).
+          if (task->stream_position != client_positions_[task->client_id]) {
+            DeadLetterEntry entry;
+            entry.reason = DeadLetterReason::OutOfOrder;
+            entry.stream_index = task->stream_position;
+            entry.detail = "records stamp from node " + std::to_string(task->origin_node) +
+                           " at position " + std::to_string(task->stream_position) +
+                           " != server position " +
+                           std::to_string(client_positions_[task->client_id]) + " for client " +
+                           std::to_string(task->client_id);
+            wire_dead_letters_.report(std::move(entry));
+            break;
+          }
           pipeline_->feed(task->records);
           client_positions_[task->client_id] += task->records.size();
           records_received_ += task->records.size();
@@ -543,12 +622,52 @@ void ServeNode::ingest_loop() {
           }
           break;
         }
+        case NodeTask::Kind::StatsQuery: {
+          task->stats_reply->set_value(build_stats_report());
+          break;
+        }
       }
     } catch (const std::exception& e) {
       if (ingest_error_.empty()) ingest_error_ = e.what();
       stop();
     }
   }
+}
+
+std::string ServeNode::build_stats_report() {
+  ensure_pipeline();
+  const PipelineStatus status = pipeline_->status();
+  StatsReportPayload report;
+  report.node_id = options_.node_id;
+  report.records_fed = status.records_fed;
+  report.checkpoints_written = status.checkpoints_written;
+  report.checkpoint_position = status.checkpoint_position;
+  report.counter_backend = static_cast<std::uint8_t>(status.configured_backend);
+  report.promoted = promoted_ ? 1 : 0;
+  for (std::size_t s = 0; s < status.shard_backend.size(); ++s) {
+    report.shard_backend.push_back(static_cast<std::uint8_t>(status.shard_backend[s]));
+    report.shard_health.push_back(static_cast<std::uint8_t>(status.shard_health[s]));
+    report.queue_depth.push_back(status.queue_depth[s]);
+  }
+  // Pipeline rejects + wire quarantines fold into one per-reason view; the
+  // frame-level reasons only ever come from the wire channel.
+  const DeadLetterStats wire = wire_dead_letters_.stats();
+  report.dead_letters_malformed = status.dead_letters.malformed + wire.malformed;
+  report.dead_letters_out_of_order = status.dead_letters.out_of_order + wire.out_of_order;
+  report.dead_letters_duplicate = status.dead_letters.duplicate + wire.duplicate;
+  report.dead_letters_overflow = status.dead_letters.overflow_dropped + wire.overflow_dropped;
+  if (options_.pipeline.metrics != nullptr) {
+    const obs::MetricsSnapshot snapshot = options_.pipeline.metrics->snapshot();
+    report.counters.reserve(snapshot.counters.size());
+    for (const obs::CounterSnapshot& c : snapshot.counters) {
+      report.counters.push_back(StatsSample{c.name, static_cast<double>(c.value)});
+    }
+    report.gauges.reserve(snapshot.gauges.size());
+    for (const obs::GaugeSnapshot& g : snapshot.gauges) {
+      report.gauges.push_back(StatsSample{g.name, g.value});
+    }
+  }
+  return encode_stats_report(report);
 }
 
 void ServeNode::flush_alerts(bool force) {
@@ -750,7 +869,9 @@ IngestReport run_ingest(const IngestOptions& options, const SourceFactory& make_
       const std::size_t filled = source->next_batch(batch);
       if (filled == 0) break;
       std::string frame = encode_frame(
-          FrameType::Records, encode_records(std::span<const trace::ConnRecord>(batch.data(), filled)));
+          FrameType::Records,
+          encode_records(std::span<const trace::ConnRecord>(batch.data(), filled),
+                         options.client_id, position));
       if (next_corrupt < corrupt.size() && corrupt[next_corrupt] == record_frames_sent) {
         // Flip one payload byte AFTER checksumming: the receiver must
         // quarantine the frame as frame-checksum and drop the connection.

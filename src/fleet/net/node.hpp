@@ -98,10 +98,13 @@ struct NodeOptions {
   bool apply_alerts = true;
   NetTimeouts timeouts;
   RetryPolicy retry;  ///< peer-link reconnect schedule
-  /// Node identity carried in peer Hello frames (diagnostics only).
+  /// Node identity carried in peer Hello frames, stamped onto StatsReport
+  /// replies, and recorded as the provenance column of merged verdicts.
   std::uint64_t node_id = 0;
   /// Pipeline configuration.  `on_removal` is overwritten by the node (it is
-  /// the alert hook); `metrics`, if set, also instruments the net layer.
+  /// the alert hook); `metrics`, if set, also instruments the net layer;
+  /// `events`, if set, additionally journals node-level transitions
+  /// (ReplicaPromotion, NetQuarantine, net fault clauses).
   PipelineOptions pipeline;
   /// Network fault clauses (netkill/netdrop/netstall) honoured by this node;
   /// worker/record clauses pass through to the pipeline.
@@ -230,6 +233,9 @@ class ServeNode {
   void maybe_replicate(bool force);
   void note_wire_dead_letter(const Connection& conn, DeadLetterReason reason,
                              std::string detail);
+  /// Encoded StatsReport payload for the node's current state.  Ingest
+  /// thread only: reads pipeline/ingest-thread state without quiescing.
+  [[nodiscard]] std::string build_stats_report();
   [[nodiscard]] bool exit_condition_met() const;
 
   NodeOptions options_;

@@ -33,13 +33,15 @@ const char* to_string(FrameType type) noexcept {
     case FrameType::Alert: return "alert";
     case FrameType::Checkpoint: return "checkpoint";
     case FrameType::Bye: return "bye";
+    case FrameType::StatsQuery: return "stats_query";
+    case FrameType::StatsReport: return "stats_report";
   }
   return "unknown";
 }
 
 bool frame_type_known(std::uint8_t raw) noexcept {
   return raw >= static_cast<std::uint8_t>(FrameType::Hello) &&
-         raw <= static_cast<std::uint8_t>(FrameType::Bye);
+         raw <= static_cast<std::uint8_t>(FrameType::StatsReport);
 }
 
 std::string encode_frame(FrameType type, std::string_view payload) {
@@ -182,9 +184,15 @@ WelcomePayload decode_welcome(std::string_view payload) {
   return welcome;
 }
 
-std::string encode_records(std::span<const trace::ConnRecord> records) {
-  std::string payload(records.size() * trace::kWtraceRecordBytes, '\0');
-  char* out = payload.data();
+std::string encode_records(std::span<const trace::ConnRecord> records,
+                           std::uint64_t node_id, std::uint64_t stream_position) {
+  BinaryWriter stamp;
+  stamp.put_u64(node_id);
+  stamp.put_u64(stream_position);
+  std::string payload = stamp.buffer();
+  const std::size_t base = payload.size();
+  payload.resize(base + records.size() * trace::kWtraceRecordBytes);
+  char* out = payload.data() + base;
   for (const trace::ConnRecord& r : records) {
     trace::encode_wtrace_record(r, out);
     out += trace::kWtraceRecordBytes;
@@ -192,16 +200,22 @@ std::string encode_records(std::span<const trace::ConnRecord> records) {
   return payload;
 }
 
-std::vector<trace::ConnRecord> decode_records(std::string_view payload) {
-  WORMS_EXPECTS(payload.size() % trace::kWtraceRecordBytes == 0 &&
+RecordsPayload decode_records(std::string_view payload) {
+  WORMS_EXPECTS(payload.size() >= 16 && "records payload: missing provenance stamp");
+  BinaryReader in(payload.substr(0, 16));
+  RecordsPayload batch;
+  batch.node_id = in.get_u64();
+  batch.stream_position = in.get_u64();
+  const std::string_view images = payload.substr(16);
+  WORMS_EXPECTS(images.size() % trace::kWtraceRecordBytes == 0 &&
                 "records payload is not a whole number of record images");
-  std::vector<trace::ConnRecord> records(payload.size() / trace::kWtraceRecordBytes);
-  const char* in = payload.data();
-  for (trace::ConnRecord& r : records) {
-    r = trace::decode_wtrace_record(in);
-    in += trace::kWtraceRecordBytes;
+  batch.records.resize(images.size() / trace::kWtraceRecordBytes);
+  const char* raw = images.data();
+  for (trace::ConnRecord& r : batch.records) {
+    r = trace::decode_wtrace_record(raw);
+    raw += trace::kWtraceRecordBytes;
   }
-  return records;
+  return batch;
 }
 
 std::string encode_alerts(std::span<const AlertEntry> alerts) {
@@ -269,6 +283,92 @@ ByePayload decode_bye(std::string_view payload) {
   bye.records_sent = in.get_u64();
   WORMS_EXPECTS(in.remaining() == 0 && "bye payload: trailing bytes");
   return bye;
+}
+
+namespace {
+
+void put_samples(BinaryWriter& out, const std::vector<StatsSample>& samples) {
+  out.put_u32(static_cast<std::uint32_t>(samples.size()));
+  for (const StatsSample& s : samples) {
+    WORMS_EXPECTS(s.name.size() <= 0xFFFF && "stats sample name too long");
+    out.put_u16(static_cast<std::uint16_t>(s.name.size()));
+    out.put_bytes(s.name.data(), s.name.size());
+    out.put_f64(s.value);
+  }
+}
+
+[[nodiscard]] std::vector<StatsSample> get_samples(BinaryReader& in) {
+  const std::uint32_t count = in.get_u32();
+  WORMS_EXPECTS(in.remaining() >= static_cast<std::size_t>(count) * 10 &&
+                "stats report: sample count disagrees with payload size");
+  std::vector<StatsSample> samples(count);
+  for (StatsSample& s : samples) {
+    const std::uint16_t len = in.get_u16();
+    WORMS_EXPECTS(in.remaining() >= static_cast<std::size_t>(len) + 8 &&
+                  "stats report: sample name runs past the payload");
+    s.name.resize(len);
+    in.get_bytes(s.name.data(), len);
+    s.value = in.get_f64();
+  }
+  return samples;
+}
+
+}  // namespace
+
+std::string encode_stats_report(const StatsReportPayload& report) {
+  WORMS_EXPECTS(report.shard_backend.size() == report.shard_health.size() &&
+                report.shard_backend.size() == report.queue_depth.size() &&
+                "stats report: per-shard vectors disagree on shard count");
+  BinaryWriter out;
+  out.put_u64(report.node_id);
+  out.put_u64(report.records_fed);
+  out.put_u64(report.checkpoints_written);
+  out.put_u64(report.checkpoint_position);
+  out.put_u8(report.counter_backend);
+  out.put_u8(report.promoted);
+  out.put_u32(static_cast<std::uint32_t>(report.shard_backend.size()));
+  for (std::size_t i = 0; i < report.shard_backend.size(); ++i) {
+    out.put_u8(report.shard_backend[i]);
+    out.put_u8(report.shard_health[i]);
+    out.put_u64(report.queue_depth[i]);
+  }
+  out.put_u64(report.dead_letters_malformed);
+  out.put_u64(report.dead_letters_out_of_order);
+  out.put_u64(report.dead_letters_duplicate);
+  out.put_u64(report.dead_letters_overflow);
+  put_samples(out, report.counters);
+  put_samples(out, report.gauges);
+  return out.buffer();
+}
+
+StatsReportPayload decode_stats_report(std::string_view payload) {
+  BinaryReader in(payload);
+  StatsReportPayload report;
+  report.node_id = in.get_u64();
+  report.records_fed = in.get_u64();
+  report.checkpoints_written = in.get_u64();
+  report.checkpoint_position = in.get_u64();
+  report.counter_backend = in.get_u8();
+  report.promoted = in.get_u8();
+  const std::uint32_t shards = in.get_u32();
+  WORMS_EXPECTS(in.remaining() >= static_cast<std::size_t>(shards) * 10 &&
+                "stats report: shard count disagrees with payload size");
+  report.shard_backend.resize(shards);
+  report.shard_health.resize(shards);
+  report.queue_depth.resize(shards);
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    report.shard_backend[i] = in.get_u8();
+    report.shard_health[i] = in.get_u8();
+    report.queue_depth[i] = in.get_u64();
+  }
+  report.dead_letters_malformed = in.get_u64();
+  report.dead_letters_out_of_order = in.get_u64();
+  report.dead_letters_duplicate = in.get_u64();
+  report.dead_letters_overflow = in.get_u64();
+  report.counters = get_samples(in);
+  report.gauges = get_samples(in);
+  WORMS_EXPECTS(in.remaining() == 0 && "stats report payload: trailing bytes");
+  return report;
 }
 
 }  // namespace worms::fleet::net

@@ -56,10 +56,12 @@ inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
 enum class FrameType : std::uint8_t {
   Hello = 1,       ///< client → server: client id + role, opens every connection
   Welcome = 2,     ///< server → ingest client: resume position for its stream
-  Records = 3,     ///< ingest client → server: batch of .wtrace record images
+  Records = 3,     ///< ingest client → server: stamped batch of record images
   Alert = 4,       ///< node → peers: hosts contained since the last flush
   Checkpoint = 5,  ///< primary → replica: client positions + pipeline snapshot
   Bye = 6,         ///< ingest client → server: stream complete, total records
+  StatsQuery = 7,  ///< status client → node: request a stats snapshot (empty)
+  StatsReport = 8, ///< node → status client: metrics + health snapshot
 };
 
 [[nodiscard]] const char* to_string(FrameType type) noexcept;
@@ -170,15 +172,61 @@ struct ByePayload {
   friend bool operator==(const ByePayload&, const ByePayload&) = default;
 };
 
+/// A record batch plus its provenance stamp: which node shipped it and where
+/// in that node's stream the batch starts.  The stamp is what lets a merged
+/// fleet verdict table say which ingest stream produced each observation.
+struct RecordsPayload {
+  std::uint64_t node_id = 0;
+  std::uint64_t stream_position = 0;  ///< stream index of records.front()
+  std::vector<trace::ConnRecord> records;
+
+  friend bool operator==(const RecordsPayload&, const RecordsPayload&) = default;
+};
+
+/// One named sample inside a StatsReport (counter value or gauge value).
+struct StatsSample {
+  std::string name;  ///< full metric name, labels inline (`fleet_x{k="v"}`)
+  double value = 0.0;
+
+  friend bool operator==(const StatsSample&, const StatsSample&) = default;
+};
+
+/// Node → status client snapshot: identity, checkpoint/failover state,
+/// per-shard health, dead-letter accounting, and the node's whole metric
+/// registry flattened to named samples so `wormctl status` can merge nodes
+/// with MetricsSnapshot::merge semantics (counters add, gauges max).
+struct StatsReportPayload {
+  std::uint64_t node_id = 0;
+  std::uint64_t records_fed = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoint_position = 0;  ///< stream position of last checkpoint
+  std::uint8_t counter_backend = 0;       ///< configured fleet::CounterBackend
+  std::uint8_t promoted = 0;              ///< 1 once a replica took over as primary
+  std::vector<std::uint8_t> shard_backend;  ///< effective degrade rung per shard
+  std::vector<std::uint8_t> shard_health;   ///< fleet::ShardHealth per shard
+  std::vector<std::uint64_t> queue_depth;   ///< live task-queue depth per shard
+  std::uint64_t dead_letters_malformed = 0;
+  std::uint64_t dead_letters_out_of_order = 0;
+  std::uint64_t dead_letters_duplicate = 0;
+  std::uint64_t dead_letters_overflow = 0;
+  std::vector<StatsSample> counters;
+  std::vector<StatsSample> gauges;
+
+  friend bool operator==(const StatsReportPayload&, const StatsReportPayload&) = default;
+};
+
 [[nodiscard]] std::string encode_hello(const HelloPayload& hello);
 [[nodiscard]] HelloPayload decode_hello(std::string_view payload);
 
 [[nodiscard]] std::string encode_welcome(const WelcomePayload& welcome);
 [[nodiscard]] WelcomePayload decode_welcome(std::string_view payload);
 
-/// Record batches are .wtrace record images back to back (16 bytes each).
-[[nodiscard]] std::string encode_records(std::span<const trace::ConnRecord> records);
-[[nodiscard]] std::vector<trace::ConnRecord> decode_records(std::string_view payload);
+/// Record batches are a 16-byte {node id, stream position} provenance stamp
+/// followed by .wtrace record images back to back (16 bytes each).
+[[nodiscard]] std::string encode_records(std::span<const trace::ConnRecord> records,
+                                         std::uint64_t node_id,
+                                         std::uint64_t stream_position);
+[[nodiscard]] RecordsPayload decode_records(std::string_view payload);
 
 [[nodiscard]] std::string encode_alerts(std::span<const AlertEntry> alerts);
 [[nodiscard]] std::vector<AlertEntry> decode_alerts(std::string_view payload);
@@ -188,5 +236,9 @@ struct ByePayload {
 
 [[nodiscard]] std::string encode_bye(const ByePayload& bye);
 [[nodiscard]] ByePayload decode_bye(std::string_view payload);
+
+/// StatsQuery frames carry an empty payload; only the report has a codec.
+[[nodiscard]] std::string encode_stats_report(const StatsReportPayload& report);
+[[nodiscard]] StatsReportPayload decode_stats_report(std::string_view payload);
 
 }  // namespace worms::fleet::net

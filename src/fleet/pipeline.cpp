@@ -18,6 +18,7 @@
 #include "fleet/host_table.hpp"
 #include "fleet/spsc_ring.hpp"
 #include "trace/record_source.hpp"
+#include "obs/event_log.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "support/check.hpp"
@@ -196,6 +197,7 @@ struct ContainmentPipeline::Shard {
                 .check_fraction = config.policy.check_fraction,
                 .counting = core::ScanCountLimitPolicy::CountingMode::Attempts}),
         effective_backend(config.backend),
+        published_backend(static_cast<std::uint8_t>(config.backend)),
         hll_precision(config.hll_precision),
         flag_threshold(config.policy.check_fraction < 1.0
                            ? config.policy.check_fraction *
@@ -213,6 +215,10 @@ struct ContainmentPipeline::Shard {
       if (kill_requested && !kill_fired && batches_done >= kill_after) {
         kill_fired = true;
         if (trace != nullptr) trace->instant("worker_killed", static_cast<double>(index));
+        if (events != nullptr) {
+          events->emit(obs::EventType::FaultClauseFired, last_stream_index,
+                       static_cast<std::uint64_t>(obs::FaultKind::WorkerKill), index);
+        }
         dead.store(true, std::memory_order_release);
         return;
       }
@@ -282,6 +288,10 @@ struct ContainmentPipeline::Shard {
         if (!stall.fired && batches_done >= stall.after) {
           stall.fired = true;
           if (trace != nullptr) trace->instant("fault_stall", stall.seconds);
+          if (events != nullptr) {
+            events->emit(obs::EventType::FaultClauseFired, last_stream_index,
+                         static_cast<std::uint64_t>(obs::FaultKind::WorkerStall), index);
+          }
           std::this_thread::sleep_for(std::chrono::duration<double>(stall.seconds));
         }
       }
@@ -299,6 +309,7 @@ struct ContainmentPipeline::Shard {
 
   void process(const trace::ConnRecord& r, std::uint64_t stream_index,
                DeadLetterChannel& dead_letters) {
+    last_stream_index = stream_index;
     auto [it, inserted] = hosts.try_emplace(r.source_host);
     HostState& h = it->second;
     if (inserted) {
@@ -387,6 +398,9 @@ struct ContainmentPipeline::Shard {
           std::lock_guard lock(removed_mutex);
           removed.insert(r.source_host);
         }
+        if (events != nullptr) {
+          events->emit(obs::EventType::HostRemoved, stream_index, r.source_host, 0);
+        }
         // Fire the alert hook only for genuine policy removals: restored and
         // pre-contained verdicts never re-announce, so gossip cannot echo.
         if (on_removal != nullptr && *on_removal) {
@@ -409,6 +423,9 @@ struct ContainmentPipeline::Shard {
       h.verdict.removal_time = r.timestamp;
       if (trace != nullptr) {
         trace->instant("failure_removal", static_cast<double>(r.source_host));
+      }
+      if (events != nullptr) {
+        events->emit(obs::EventType::HostRemoved, stream_index, r.source_host, 1);
       }
       {
         std::lock_guard lock(removed_mutex);
@@ -435,6 +452,9 @@ struct ContainmentPipeline::Shard {
     if (h.verdict.removed) return;
     h.verdict.removed = true;
     h.verdict.pre_contained = true;
+    if (events != nullptr) {
+      events->emit(obs::EventType::HostRemoved, last_stream_index, id, 2);
+    }
     std::lock_guard lock(removed_mutex);
     removed.insert(id);
   }
@@ -462,8 +482,14 @@ struct ContainmentPipeline::Shard {
     const CounterBackend from = effective_backend;
     effective_backend =
         from == CounterBackend::Exact ? CounterBackend::Hll : CounterBackend::Compact;
+    published_backend.store(static_cast<std::uint8_t>(effective_backend),
+                            std::memory_order_release);
     ++backend_switches_this_run;
     if (trace != nullptr) trace->instant("backend_degrade", static_cast<double>(index));
+    if (events != nullptr) {
+      events->emit(obs::EventType::DegradeStep, last_stream_index, index,
+                   static_cast<std::uint64_t>(effective_backend));
+    }
     for (auto& [id, h] : hosts) {
       if (h.verdict.removed) continue;  // never counted again
       if (effective_backend == CounterBackend::Hll) {
@@ -493,6 +519,10 @@ struct ContainmentPipeline::Shard {
   Channel queue;
   core::ScanCountLimitPolicy policy;
   CounterBackend effective_backend;  ///< what newly seen hosts get
+  /// Mirror of effective_backend readable from the ingest thread (the status
+  /// plane): the worker owns effective_backend and publishes every rung walk
+  /// here with a release store.
+  std::atomic<std::uint8_t> published_backend;
   const int hll_precision;
   const double flag_threshold;
   const bool flagging_enabled;
@@ -513,6 +543,11 @@ struct ContainmentPipeline::Shard {
   const std::function<void(std::uint32_t, sim::SimTime)>* on_removal = nullptr;
   obs::TraceRing* trace = nullptr;  ///< this shard worker's flight-recorder ring
   bool trace_wall = false;          ///< tracer in wall-clock mode (timing events on)
+  obs::EventWriter* events = nullptr;  ///< this shard worker's journal writer
+  /// Stream index of the last record handed to process() — the position a
+  /// control-task event (degrade order, pre-containment) is journalled at.
+  /// FIFO queues make it deterministic per shard.
+  std::uint64_t last_stream_index = 0;
 
   // Fault wiring (configured before workers start, then worker-owned).
   bool kill_requested = false;
@@ -574,6 +609,8 @@ ContainmentPipeline::ContainmentPipeline(const PipelineOptions& options, DeferWo
   monitors_.resize(config_.shards);
   obs::Tracer* tracer = obs::kEnabled ? config_.tracer : nullptr;
   if (tracer != nullptr) trace_ = &tracer->ring(0);  // ingest thread
+  obs::EventLog* events = obs::kEnabled ? config_.events : nullptr;
+  if (events != nullptr) events_ = &events->writer(0);  // ingest thread
   for (unsigned s = 0; s < config_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(config_));
     shards_[s]->index = s;
@@ -586,6 +623,9 @@ ContainmentPipeline::ContainmentPipeline(const PipelineOptions& options, DeferWo
       shards_[s]->trace = &tracer->ring(s + 1);
       shards_[s]->trace_wall = tracer->wall_clock();
     }
+    // Same logical-id discipline as the trace rings: writer s+1 follows the
+    // shard, not the pool thread, so respawned workers continue the stream.
+    if (events != nullptr) shards_[s]->events = &events->writer(s + 1);
     pending_[s].reserve(config_.batch_size);
     pending_indices_[s].reserve(config_.batch_size);
   }
@@ -685,6 +725,11 @@ void ContainmentPipeline::feed(const trace::ConnRecord& record) {
   if (!corrupt_indices_.empty() &&
       std::binary_search(corrupt_indices_.begin(), corrupt_indices_.end(), index)) {
     if (trace_ != nullptr) trace_->instant("fault_corrupt", static_cast<double>(index));
+    if (events_ != nullptr) {
+      events_->emit(obs::EventType::FaultClauseFired, index,
+                    static_cast<std::uint64_t>(obs::FaultKind::RecordCorrupt),
+                    shard_of(record.source_host));
+    }
     r = corrupted(record, index);
   }
   if (!std::isfinite(r.timestamp) || r.timestamp < 0.0) {
@@ -916,6 +961,12 @@ void ContainmentPipeline::observe_overload(unsigned shard_index, double fill_fra
                                                          : "health_shedding";
       trace_->instant(name, static_cast<double>(shard_index));
     }
+    // Overload transitions are queue-timing artifacts: journal them only on
+    // the wall clock, so synthetic journals stay scheduling-independent.
+    if (events_ != nullptr && events_->wall_clock()) {
+      events_->emit(obs::EventType::OverloadTransition, records_fed_, shard_index,
+                    static_cast<std::uint64_t>(next));
+    }
   };
   switch (m.health) {
     case ShardHealth::Healthy:
@@ -959,6 +1010,12 @@ void ContainmentPipeline::respawn(unsigned shard_index) {
   ++workers_respawned_;
   if (obs_.workers_respawned != nullptr) obs_.workers_respawned->add(1);
   if (trace_ != nullptr) trace_->instant("worker_respawned", static_cast<double>(shard_index));
+  // The respawn position depends on when the ingest thread *notices* the dead
+  // flag — wall-clock journals only, like the overload transitions above.
+  if (events_ != nullptr && events_->wall_clock()) {
+    events_->emit(obs::EventType::FaultClauseFired, records_fed_,
+                  static_cast<std::uint64_t>(obs::FaultKind::WorkerRespawn), shard_index);
+  }
   pool_->submit([this, shard_index] { shards_[shard_index]->consume(dead_letters_); });
 }
 
@@ -1020,8 +1077,14 @@ void ContainmentPipeline::write_checkpoint(const std::string& path) {
   WORMS_TRACE_SPAN(trace_, "checkpoint_write");
   const support::Stopwatch watch;
   quiesce();
-  write_snapshot_file(path, encode_snapshot());
+  const std::string blob = encode_snapshot();
+  write_snapshot_file(path, blob);
   ++checkpoints_written_;
+  last_checkpoint_position_ = records_fed_;
+  if (events_ != nullptr) {
+    events_->emit(obs::EventType::CheckpointWrite, records_fed_, checkpoints_written_,
+                  blob.size());
+  }
   flush_ingest_counters();
   if (obs_.checkpoints != nullptr) {
     obs_.checkpoints->add(1);
@@ -1036,6 +1099,11 @@ std::string ContainmentPipeline::snapshot_blob() {
   quiesce();
   std::string blob = encode_snapshot();
   ++checkpoints_written_;
+  last_checkpoint_position_ = records_fed_;
+  if (events_ != nullptr) {
+    events_->emit(obs::EventType::CheckpointWrite, records_fed_, checkpoints_written_,
+                  blob.size());
+  }
   flush_ingest_counters();
   if (obs_.checkpoints != nullptr) {
     obs_.checkpoints->add(1);
@@ -1226,7 +1294,9 @@ void ContainmentPipeline::decode_snapshot(const std::string& payload) {
       // Same sharding: the degraded shard resumes on its rung (new hosts get
       // the degraded backend).  Different sharding: per-host counters still
       // restore exactly, but shard-level degradation does not carry over.
+      // Restored rungs are state, not transitions — no DegradeStep re-emits.
       shards_[s]->effective_backend = static_cast<CounterBackend>(rung);
+      shards_[s]->published_backend.store(rung, std::memory_order_release);
       shards_[s]->degrades_sent = 2;  // the overload ladder never re-degrades
     }
   }
@@ -1287,6 +1357,11 @@ void ContainmentPipeline::decode_snapshot(const std::string& payload) {
     }
   }
   WORMS_EXPECTS(in.remaining() == 0 && "trailing bytes in snapshot");
+  last_checkpoint_position_ = records_fed_;
+  if (events_ != nullptr) {
+    events_->emit(obs::EventType::CheckpointRestore, records_fed_, snapshot_shards,
+                  payload.size());
+  }
 }
 
 std::unique_ptr<ContainmentPipeline> ContainmentPipeline::restore(const PipelineOptions& config,
@@ -1331,6 +1406,7 @@ PipelineResult ContainmentPipeline::finish() {
   }
 
   PipelineResult result;
+  result.verdicts.node_id = config_.node_id;
   PipelineMetrics& m = result.metrics;
   m.records_processed = records_fed_;
   m.elapsed_seconds = elapsed;
@@ -1389,6 +1465,26 @@ PipelineResult ContainmentPipeline::finish() {
   return result;
 }
 
+PipelineStatus ContainmentPipeline::status() const {
+  PipelineStatus s;
+  s.records_fed = records_fed_;
+  s.records_shed = records_shed_;
+  s.checkpoints_written = checkpoints_written_;
+  s.checkpoint_position = last_checkpoint_position_;
+  s.configured_backend = config_.backend;
+  s.dead_letters = dead_letters_.stats();
+  s.shard_backend.reserve(config_.shards);
+  s.shard_health.reserve(config_.shards);
+  s.queue_depth.reserve(config_.shards);
+  for (unsigned i = 0; i < config_.shards; ++i) {
+    s.shard_backend.push_back(static_cast<CounterBackend>(
+        shards_[i]->published_backend.load(std::memory_order_acquire)));
+    s.shard_health.push_back(monitors_[i].health);
+    s.queue_depth.push_back(shards_[i]->queue.size());
+  }
+  return s;
+}
+
 PipelineResult ContainmentPipeline::run(const PipelineOptions& options,
                                         const std::vector<trace::ConnRecord>& records) {
   ContainmentPipeline pipeline(options);
@@ -1408,15 +1504,16 @@ void write_verdicts_csv(const std::string& path, const ContainmentVerdicts& v) {
   WORMS_EXPECTS(f != nullptr && "cannot open verdicts CSV file");
   std::fprintf(f,
                "host,records_seen,peak_distinct,flagged,flag_time,removed,removal_time,"
-               "pre_contained,failures_seen,peak_failures,removed_by_failures\n");
+               "pre_contained,failures_seen,peak_failures,removed_by_failures,node\n");
   for (const HostVerdict& h : v.hosts) {
-    std::fprintf(f, "%u,%llu,%llu,%d,%.17g,%d,%.17g,%d,%llu,%llu,%d\n", h.host,
+    std::fprintf(f, "%u,%llu,%llu,%d,%.17g,%d,%.17g,%d,%llu,%llu,%d,%llu\n", h.host,
                  static_cast<unsigned long long>(h.records_seen),
                  static_cast<unsigned long long>(h.peak_distinct), h.flagged ? 1 : 0,
                  h.flag_time, h.removed ? 1 : 0, h.removal_time, h.pre_contained ? 1 : 0,
                  static_cast<unsigned long long>(h.failures_seen),
                  static_cast<unsigned long long>(h.peak_failures),
-                 h.removed_by_failures ? 1 : 0);
+                 h.removed_by_failures ? 1 : 0,
+                 static_cast<unsigned long long>(v.node_id));
   }
   WORMS_ENSURES(std::fclose(f) == 0);
 }

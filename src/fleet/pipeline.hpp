@@ -77,6 +77,8 @@ class ThreadPool;
 }
 
 namespace worms::obs {
+class EventLog;
+class EventWriter;
 class Registry;
 class Tracer;
 class TraceRing;
@@ -189,6 +191,20 @@ struct PipelineOptions {
   /// pipeline.
   obs::Tracer* tracer = nullptr;
 
+  /// Optional structured event journal (DESIGN.md §14).  Null = no journal.
+  /// When set, the pipeline claims event writers 0 (ingest thread) and
+  /// 1..shards (shard workers) and appends one typed event per state
+  /// transition on the reaction path: DegradeStep, CheckpointWrite/Restore,
+  /// HostRemoved, FaultClauseFired, OverloadTransition.  Unlike the trace
+  /// ring's spans, events are positions in the *stream*, so a synthetic-clock
+  /// journal is byte-stable across runs and shard schedules.  The log must
+  /// outlive the pipeline.  Compiled out entirely under WORMS_OBS=OFF.
+  obs::EventLog* events = nullptr;
+
+  /// Fleet identity stamped into verdicts (the CSV `node` provenance column)
+  /// and the event journal.  0 for single-process runs.
+  std::uint64_t node_id = 0;
+
   /// Removal hook for the fleet/net alert-gossip layer: invoked by a shard
   /// worker at the instant a host's removal verdict is decided by the local
   /// policy (never for restored verdicts or pre-containments, so alerts do
@@ -230,6 +246,9 @@ struct HostVerdict {
 
 struct ContainmentVerdicts {
   std::vector<HostVerdict> hosts;  ///< every host seen, ascending host id
+  /// Provenance: the node that owned the pipeline which decided these
+  /// verdicts (PipelineOptions::node_id; 0 for single-process runs).
+  std::uint64_t node_id = 0;
   std::uint32_t hosts_flagged = 0;
   std::uint32_t hosts_removed = 0;
   std::uint32_t hosts_pre_contained = 0;  ///< subset of removed: blocked by alerts
@@ -265,6 +284,23 @@ struct PipelineMetrics {
 struct PipelineResult {
   ContainmentVerdicts verdicts;
   PipelineMetrics metrics;
+};
+
+/// Live point-in-time health snapshot, readable while the stream flows —
+/// the payload of a fleet StatsReport frame (`wormctl status`).  Must be
+/// taken from the ingest thread (the feed() thread): everything here is
+/// either ingest-owned state or an atomic published by the workers.
+struct PipelineStatus {
+  std::uint64_t records_fed = 0;
+  std::uint64_t records_shed = 0;
+  std::uint64_t checkpoints_written = 0;
+  /// Stream position of the most recent checkpoint/snapshot (0 = none yet).
+  std::uint64_t checkpoint_position = 0;
+  CounterBackend configured_backend = CounterBackend::Exact;
+  std::vector<CounterBackend> shard_backend;  ///< effective rung per shard
+  std::vector<ShardHealth> shard_health;      ///< overload ladder per shard
+  std::vector<std::uint64_t> queue_depth;     ///< live batches queued per shard
+  DeadLetterStats dead_letters;
 };
 
 class ContainmentPipeline {
@@ -340,6 +376,11 @@ class ContainmentPipeline {
 
   /// Live dead-letter accounting (also snapshotted into PipelineMetrics).
   [[nodiscard]] const DeadLetterChannel& dead_letters() const noexcept { return dead_letters_; }
+
+  /// Live health snapshot for the fleet status plane.  Call from the ingest
+  /// thread only (same contract as feed()); cheap enough to answer every
+  /// StatsQuery frame without quiescing.
+  [[nodiscard]] PipelineStatus status() const;
 
   /// Flushes, drains, joins, and reports.  Call exactly once; the pipeline
   /// cannot be fed afterwards.  Rethrows the first worker error, if any.
@@ -427,6 +468,7 @@ class ContainmentPipeline {
   std::uint64_t obs_ingested_flushed_ = 0;
   std::uint64_t obs_shed_flushed_ = 0;
   std::uint64_t checkpoints_written_ = 0;
+  std::uint64_t last_checkpoint_position_ = 0;  ///< records_fed_ at last snapshot
   std::uint64_t metrics_exports_written_ = 0;
   std::uint32_t workers_respawned_ = 0;
   // Restored-from-snapshot baselines, folded into finish()'s metrics.
@@ -437,6 +479,7 @@ class ContainmentPipeline {
   support::Stopwatch stopwatch_;
   Obs obs_;
   obs::TraceRing* trace_ = nullptr;  ///< ingest thread's flight-recorder ring
+  obs::EventWriter* events_ = nullptr;  ///< ingest thread's event-journal writer
   bool finished_ = false;
 };
 

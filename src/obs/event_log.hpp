@@ -1,0 +1,259 @@
+// Structured event journal for fleet state transitions (DESIGN.md §14).
+//
+// Metrics answer *how many*, traces answer *where time goes*; this layer
+// answers *what happened*: the discrete state transitions an operator (or
+// the ROADMAP item-2 inference stage) needs to reconstruct a containment
+// run — degrade-rung walks, checkpoint writes and restores, replica
+// promotions, host removals, fault-clause firings, wire quarantines, and
+// overload transitions.  The paper's automated-containment loop is only
+// auditable if these transitions leave a durable, ordered record.
+//
+// Model: one typed fixed-size record per transition.  Every event carries
+// the absolute stream position (records fed) at which it fired, so journals
+// from different nodes — and trace spans, which share the same position
+// stamps on record batches — can be joined fleet-wide.  The `a`/`b` payload
+// fields are type-specific:
+//
+//   type               a                        b
+//   DegradeStep        shard index              new backend (CounterBackend)
+//   CheckpointWrite    checkpoint ordinal       snapshot bytes
+//   CheckpointRestore  snapshot shard count     snapshot bytes
+//   ReplicaPromotion   node id                  promoted-from position
+//   HostRemoved        host address             0 = scan budget, 1 = failures,
+//                                               2 = pre-contained (fleet alert)
+//   FaultClauseFired   clause kind (FaultKind)  shard/worker index
+//   NetQuarantine      DeadLetterReason         connection id
+//   OverloadTransition shard index              new ShardHealth rung
+//
+// Recording discipline mirrors the flight recorder (obs/trace.hpp): every
+// writer owns an EventWriter — a fixed-capacity ring that overwrites its own
+// oldest slots and never blocks, locks, or allocates on the hot path (a
+// record is a clock read plus five plain stores and two release stores,
+// ~tens of ns).  Writers are single-writer by contract: the pipeline claims
+// ids 0 = ingest, 1..S = shard workers; threads without a logical identity
+// (net reader threads) use the thread-local `local_writer()`.
+//
+// Clock: wall mode stamps steady-clock nanoseconds since log construction;
+// synthetic mode stamps each writer's own event sequence number, so exports
+// are byte-reproducible for golden tests.  collect() orders the merged
+// stream by (position, writer, seq) — a key that is deterministic under the
+// synthetic clock regardless of thread scheduling.
+//
+// Export is JSONL (one event object per line; see event_log.cpp) readable
+// by `wormctl events FILE [--type T] [--since POS]`.  Zero cost when
+// disabled: under WORMS_OBS_DISABLED emit() compiles to an empty inline
+// function; parsing and filtering stay available so the tooling works on
+// journals produced by enabled builds.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"  // kEnabled
+#include "obs/trace.hpp"    // TraceClock
+
+namespace worms::obs {
+
+enum class EventType : std::uint8_t {
+  DegradeStep = 1,
+  CheckpointWrite = 2,
+  CheckpointRestore = 3,
+  ReplicaPromotion = 4,
+  HostRemoved = 5,
+  FaultClauseFired = 6,
+  NetQuarantine = 7,
+  OverloadTransition = 8,
+};
+
+/// FaultClauseFired `a` field: which fault/recovery clause fired.
+enum class FaultKind : std::uint8_t {
+  WorkerKill = 0,
+  WorkerStall = 1,
+  RecordCorrupt = 2,
+  WorkerRespawn = 3,
+  NetDrop = 4,
+  NetStall = 5,
+};
+
+[[nodiscard]] const char* to_string(EventType type) noexcept;
+
+/// Name → type for `wormctl events --type`; false on an unknown name.
+[[nodiscard]] bool parse_event_type(std::string_view name, EventType& out) noexcept;
+
+/// One fixed-size slot in a writer ring.
+struct Event {
+  std::uint64_t tick = 0;      ///< wall: ns since log start; synthetic: writer seq
+  std::uint64_t position = 0;  ///< absolute stream position when the event fired
+  std::uint64_t a = 0;         ///< type-specific (see table above)
+  std::uint64_t b = 0;         ///< type-specific
+  EventType type = EventType::DegradeStep;
+};
+
+struct EventLogOptions {
+  /// Ring capacity in events per writer (rounded up to a power of two,
+  /// minimum 64).  State transitions are rare — 4096 slots retain every
+  /// event of any realistic run while costing ~160 KiB per writer.
+  std::size_t buffer_events = 1u << 12;
+  TraceClock clock = TraceClock::Wall;
+  /// Stamped onto every exported line so journals from different nodes can
+  /// be distinguished after a fleet-wide join.
+  std::uint64_t node_id = 0;
+};
+
+/// Single-writer event ring.  Obtain via EventLog::writer / local_writer; at
+/// most one thread may emit into a given writer at a time (handoffs must be
+/// externally synchronized, e.g. the pipeline's worker-respawn handshake).
+class EventWriter {
+ public:
+  /// Hot path: clock read + 5 plain stores + 2 release stores.  Wraparound
+  /// overwrites the oldest slot; nothing ever blocks.  Seqlock-style
+  /// bracket, same as TraceRing: `started_` announces the overwrite before
+  /// the field stores, `head_` publishes it after, so a concurrent
+  /// collect() never pairs an old sequence number with a newer lap's
+  /// half-written payload.
+  void emit(EventType type, std::uint64_t position, std::uint64_t a = 0,
+            std::uint64_t b = 0) noexcept {
+    if constexpr (!kEnabled) {
+      (void)type;
+      (void)position;
+      (void)a;
+      (void)b;
+      return;
+    }
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    started_.store(h + 1, std::memory_order_release);
+    Event& slot = events_[h & mask_];
+    slot.tick = synthetic_ ? h : wall_tick();
+    slot.position = position;
+    slot.a = a;
+    slot.b = b;
+    slot.type = type;
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return events_.size(); }
+
+  /// False in synthetic-clock mode.  Emission sites whose firing position
+  /// depends on thread timing (overload transitions, worker respawns) gate
+  /// on this so synthetic journals stay byte-reproducible.
+  [[nodiscard]] bool wall_clock() const noexcept { return !synthetic_; }
+
+  /// Events emitted over this writer's lifetime (retained + overwritten).
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class EventLog;
+
+  EventWriter(std::uint32_t id, std::size_t capacity, bool synthetic,
+              std::chrono::steady_clock::time_point start);
+
+  [[nodiscard]] std::uint64_t wall_tick() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+  std::vector<Event> events_;
+  std::uint64_t mask_ = 0;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> started_{0};  ///< events whose slot write has begun
+  std::uint32_t id_ = 0;
+  bool synthetic_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One event as drained by collect(), with its writer identity and ring
+/// position kept for the stable (position, writer, seq) order.
+struct CollectedEvent {
+  std::uint64_t tick = 0;
+  std::uint64_t position = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t seq = 0;  ///< position within the writer's lifetime stream
+  std::uint32_t writer = 0;
+  EventType type = EventType::DegradeStep;
+
+  friend bool operator==(const CollectedEvent&, const CollectedEvent&) = default;
+};
+
+/// All writers drained into one stream ordered by (position, writer, seq).
+struct EventCollection {
+  std::vector<CollectedEvent> events;
+  std::uint64_t recorded = 0;  ///< events ever emitted, across all writers
+  std::uint64_t dropped = 0;   ///< of those, overwritten before collection
+  TraceClock clock = TraceClock::Wall;
+  std::uint64_t node_id = 0;
+};
+
+/// Owns the writer rings.  No global instance — each pipeline/node is handed
+/// one explicitly, like obs::Registry and obs::Tracer.  The log must outlive
+/// every thread still emitting into its writers.
+class EventLog {
+ public:
+  explicit EventLog(const EventLogOptions& options = {});
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// The writer for logical id `id`, created on first use.  The caller
+  /// guarantees a single concurrent emitter per id (the pipeline uses
+  /// 0 = ingest, 1..S = shard workers).  Handles stay valid for the log's
+  /// lifetime.
+  [[nodiscard]] EventWriter& writer(std::uint32_t id);
+
+  /// The calling thread's own auto-registered writer (ids from
+  /// kEventAutoWriterBase up), cached thread-locally — for emission sites
+  /// without a logical writer identity (net reader threads).
+  [[nodiscard]] EventWriter& local_writer();
+
+  /// False in synthetic-clock mode; timing-dependent emission sites may
+  /// skip recording when this is false so synthetic journals stay
+  /// scheduling-independent.
+  [[nodiscard]] bool wall_clock() const noexcept {
+    return options_.clock == TraceClock::Wall;
+  }
+
+  [[nodiscard]] const EventLogOptions& options() const noexcept { return options_; }
+
+  /// Drains every writer into one (position, writer, seq)-ordered stream.
+  /// Safe to call while emitters are quiescent; a concurrently emitting
+  /// writer yields a consistent prefix of its stream.
+  [[nodiscard]] EventCollection collect() const;
+
+ private:
+  [[nodiscard]] EventWriter& writer_locked(std::uint32_t id);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<EventWriter>> writers_;
+  EventLogOptions options_;
+  std::size_t ring_capacity_ = 0;  ///< options_.buffer_events, normalized
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t epoch_ = 0;  ///< process-unique id validating TLS caches
+  std::uint32_t next_auto_id_;
+};
+
+/// First auto-assigned writer id for local_writer(); explicit writer() ids
+/// should stay below it.
+inline constexpr std::uint32_t kEventAutoWriterBase = 4096;
+
+/// JSONL rendering: one event object per line, in collection order —
+/// {"node":0,"type":"HostRemoved","position":41,"writer":2,"seq":3,
+///  "tick":3,"a":1072,"b":0} — byte-stable under the synthetic clock.
+[[nodiscard]] std::string render_events_jsonl(const EventCollection& collection);
+
+/// Parses render_events_jsonl output back.  Strict about the fields this
+/// exporter writes; throws support::PreconditionError on anything else.
+[[nodiscard]] EventCollection parse_events_jsonl(const std::string& text);
+
+}  // namespace worms::obs

@@ -71,6 +71,47 @@ void split_labels(const std::string& full, std::string& base, std::string& label
   labels = full.substr(brace + 1, full.size() - brace - 2);
 }
 
+/// Escapes one label *value* per the Prometheus text exposition format:
+/// backslash, double quote, and line feed become \\, \", and \n.
+void append_escaped_label_value(std::string& out, std::string_view value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+/// Rewrites an inner label block (`k="v",k2="v2"`) with every value escaped.
+/// Registered names store raw values (a raw value must not itself contain a
+/// double quote — the inline-name encoding could not round-trip one), so
+/// escaping happens here, once, at render time.
+[[nodiscard]] std::string escape_label_block(const std::string& labels) {
+  std::string out;
+  out.reserve(labels.size());
+  std::size_t i = 0;
+  while (i < labels.size()) {
+    // key=
+    while (i < labels.size() && labels[i] != '=') out += labels[i++];
+    WORMS_EXPECTS(i < labels.size() && "label block must be k=\"v\" pairs");
+    out += labels[i++];  // '='
+    WORMS_EXPECTS(i < labels.size() && labels[i] == '"' && "label value must be quoted");
+    out += labels[i++];  // opening quote
+    const std::size_t close = labels.find('"', i);
+    WORMS_EXPECTS(close != std::string::npos && "label value must close");
+    append_escaped_label_value(out, std::string_view(labels).substr(i, close - i));
+    i = close;
+    out += labels[i++];  // closing quote
+    if (i < labels.size()) {
+      WORMS_EXPECTS(labels[i] == ',' && "label pairs must be comma-separated");
+      out += labels[i++];
+    }
+  }
+  return out;
+}
+
 /// `base` + optional suffix + merged label block (existing labels first).
 [[nodiscard]] std::string spliced(const std::string& base, const char* suffix,
                                   const std::string& labels, const std::string& extra = {}) {
@@ -86,10 +127,73 @@ void split_labels(const std::string& full, std::string& base, std::string& label
   return out;
 }
 
-void type_line(std::string& out, std::string& last_base, const std::string& base,
-               const char* kind) {
+/// Help text per metric family.  Known families get a real description; the
+/// deterministic fallback keeps the exposition conformant (# HELP on every
+/// family) for ad-hoc instruments too.
+[[nodiscard]] const char* help_text(const std::string& base) {
+  struct Entry {
+    const char* name;
+    const char* help;
+  };
+  static constexpr Entry kHelp[] = {
+      {"fleet_records_ingested_total", "records accepted into the containment pipeline"},
+      {"fleet_records_shed_total", "records dropped by overload shedding"},
+      {"fleet_records_suppressed_total", "records suppressed after host removal"},
+      {"fleet_records_post_removal_total", "records observed from already-removed hosts"},
+      {"fleet_checkpoints_written_total", "pipeline checkpoints written"},
+      {"fleet_hosts_seen_total", "distinct hosts observed"},
+      {"fleet_hosts_flagged_total", "hosts flagged for early checking"},
+      {"fleet_hosts_removed_total", "hosts removed by the containment policy"},
+      {"fleet_hosts_pre_contained_total", "hosts pre-contained from gossip alerts"},
+      {"fleet_backend_switches_total", "per-shard counter backend degrade switches"},
+      {"fleet_workers_killed_total", "shard workers killed by fault injection"},
+      {"fleet_workers_respawned_total", "shard workers respawned after a kill"},
+      {"fleet_health_transitions_total", "shard health-state transitions by target state"},
+      {"fleet_checkpoint_seconds", "checkpoint write latency"},
+      {"fleet_batch_records", "records per shard batch"},
+      {"fleet_batch_seconds", "shard batch processing latency"},
+      {"fleet_counter_memory_bytes", "distinct-counter memory footprint"},
+      {"fleet_queue_depth", "shard queue depth in batches"},
+      {"fleet_queue_high_water", "shard queue depth high-water mark"},
+      {"fleet_shard_health", "shard health rung (0 healthy, 1 degraded, 2 shedding)"},
+      {"fleet_dead_letters_total", "quarantined records by reason"},
+      {"fleet_dead_letters_overflow_total", "dead letters dropped at capacity"},
+      {"fleet_pool_tasks_total", "thread-pool tasks executed"},
+      {"fleet_pool_waits_total", "thread-pool idle waits"},
+      {"fleet_pool_task_seconds", "thread-pool task latency"},
+      {"fleet_net_connections_accepted_total", "TCP connections accepted"},
+      {"fleet_net_frames_rx_total", "wire frames received"},
+      {"fleet_net_frames_tx_total", "wire frames sent"},
+      {"fleet_net_records_rx_total", "records received over the wire"},
+      {"fleet_net_alerts_rx_total", "gossip alerts received"},
+      {"fleet_net_alerts_tx_total", "gossip alerts sent"},
+      {"fleet_net_alerts_dropped_total", "gossip alerts dropped on degraded peers"},
+      {"fleet_net_reconnects_total", "client reconnect attempts"},
+      {"fleet_net_checkpoints_replicated_total", "checkpoints replicated to a replica"},
+      {"fleet_net_checkpoints_stored_total", "replica checkpoints stored"},
+      {"fleet_net_replication_lag_records", "records between head and last replicated checkpoint"},
+      {"fleet_net_peers_degraded", "peer links currently degraded to local-only"},
+      {"mc_runs_total", "Monte Carlo runs completed"},
+      {"mc_chunks_stolen_total", "Monte Carlo chunks stolen by idle workers"},
+      {"mc_chunk_seconds", "Monte Carlo chunk latency"},
+  };
+  for (const Entry& e : kHelp) {
+    if (base == e.name) return e.help;
+  }
+  return "worms metric";
+}
+
+/// `# HELP` + `# TYPE` header, once per family (consecutive label variants
+/// of one base share a header).
+void family_header(std::string& out, std::string& last_base, const std::string& base,
+                   const char* kind) {
   if (base == last_base) return;
   last_base = base;
+  out += "# HELP ";
+  out += base;
+  out += ' ';
+  out += help_text(base);
+  out += '\n';
   out += "# TYPE ";
   out += base;
   out += ' ';
@@ -101,6 +205,10 @@ void type_line(std::string& out, std::string& last_base, const std::string& base
   std::string out;
   out.reserve(s.size());
   for (const char c : s) {
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
     if (c == '"' || c == '\\') out += '\\';
     out += c;
   }
@@ -114,8 +222,9 @@ std::string Registry::render_prometheus(const MetricsSnapshot& snapshot) {
   std::string base, labels, last_base;
   for (const CounterSnapshot& c : snapshot.counters) {
     split_labels(c.name, base, labels);
-    type_line(out, last_base, base, "counter");
-    out += c.name;
+    labels = escape_label_block(labels);
+    family_header(out, last_base, base, "counter");
+    out += spliced(base, "", labels);
     out += ' ';
     out += fmt_u64(c.value);
     out += '\n';
@@ -123,8 +232,9 @@ std::string Registry::render_prometheus(const MetricsSnapshot& snapshot) {
   last_base.clear();
   for (const GaugeSnapshot& g : snapshot.gauges) {
     split_labels(g.name, base, labels);
-    type_line(out, last_base, base, "gauge");
-    out += g.name;
+    labels = escape_label_block(labels);
+    family_header(out, last_base, base, "gauge");
+    out += spliced(base, "", labels);
     out += ' ';
     out += fmt_f64(g.value);
     out += '\n';
@@ -132,7 +242,8 @@ std::string Registry::render_prometheus(const MetricsSnapshot& snapshot) {
   last_base.clear();
   for (const HistogramSnapshot& h : snapshot.histograms) {
     split_labels(h.name, base, labels);
-    type_line(out, last_base, base, "histogram");
+    labels = escape_label_block(labels);
+    family_header(out, last_base, base, "histogram");
     std::uint64_t cumulative = 0;
     for (std::size_t b = 0; b < h.counts.size(); ++b) {
       cumulative += h.counts[b];
@@ -196,6 +307,14 @@ std::string Registry::render_json(const MetricsSnapshot& snapshot) {
 
 void write_metrics_file(const std::string& path, const std::string& content) {
   WORMS_EXPECTS(!path.empty());
+  if (path == "-") {
+    // Stream to stdout instead of publishing a file — `wormctl contain
+    // --metrics -`.  Periodic exports append, so each snapshot is a
+    // self-delimiting exposition page on the stream.
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    std::fflush(stdout);
+    return;
+  }
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);

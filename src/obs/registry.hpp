@@ -14,7 +14,8 @@
 // into the right place (`_bucket{...,le="..."}` for histograms).
 //
 // Two renderings of one snapshot:
-//   * render_prometheus — text exposition: `# TYPE` headers, cumulative
+//   * render_prometheus — text exposition: `# HELP`/`# TYPE` headers per
+//     family, label values escaped per the text-format spec, cumulative
 //     `le` buckets, `_sum`/`_count` — scrapable by anything Prometheus-ish.
 //   * render_json — machine-readable dump, one metric object per line (the
 //     golden-file tests filter deterministic metrics line-wise).
@@ -60,7 +61,8 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
-/// Writes `content` to `path` atomically (temp file + rename).
+/// Writes `content` to `path` atomically (temp file + rename).  A path of
+/// "-" streams to stdout instead (no temp file, flushed immediately).
 void write_metrics_file(const std::string& path, const std::string& content);
 
 }  // namespace worms::obs

@@ -1,0 +1,128 @@
+// Crash-at-boundary semantics for the event journal: a run interrupted at a
+// checkpoint boundary and resumed from the snapshot must journal exactly the
+// events an uninterrupted run journals — no duplicated removals or
+// checkpoint writes, none lost, checkpoint ordinals aligned — plus exactly
+// one CheckpointRestore marking the splice point.  seq/tick are writer-local
+// and shift across the process boundary, so the comparison key is
+// (type, position, a, b), the fields with cross-run meaning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "fleet/pipeline.hpp"
+#include "obs/event_log.hpp"
+#include "trace/synth.hpp"
+
+namespace {
+
+using namespace worms;
+
+using EventKey = std::tuple<int, std::uint64_t, std::uint64_t, std::uint64_t>;
+
+std::vector<EventKey> keys_of(const obs::EventCollection& c, bool drop_restore) {
+  std::vector<EventKey> keys;
+  keys.reserve(c.events.size());
+  for (const obs::CollectedEvent& ev : c.events) {
+    if (drop_restore && ev.type == obs::EventType::CheckpointRestore) continue;
+    keys.emplace_back(static_cast<int>(ev.type), ev.position, ev.a, ev.b);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::size_t count_type(const obs::EventCollection& c, obs::EventType type) {
+  std::size_t n = 0;
+  for (const obs::CollectedEvent& ev : c.events) n += ev.type == type ? 1 : 0;
+  return n;
+}
+
+TEST(FleetEventsResume, CheckpointResumeLosesAndDuplicatesNothing) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with WORMS_OBS=OFF";
+  trace::LblSynthConfig synth;
+  synth.hosts = 200;
+  synth.duration = 2.0 * sim::kDay;
+  synth.seed = 3;
+  const auto records = trace::synthesize_lbl_trace(synth).records;
+  constexpr std::uint64_t kEvery = 8'192;
+  const std::uint64_t boundary = 2 * kEvery;
+  ASSERT_GT(records.size(), boundary + kEvery)
+      << "trace too short for a meaningful prefix/suffix split";
+
+  const std::string snapshot = testing::TempDir() + "/events_resume.ckpt";
+  obs::EventLogOptions log_options;
+  log_options.clock = obs::TraceClock::Synthetic;
+
+  fleet::PipelineOptions cfg;
+  cfg.policy.scan_limit = 300;
+  cfg.shards = 2;
+  cfg.checkpoint_path = snapshot;
+  cfg.checkpoint_every = kEvery;
+
+  // Uninterrupted reference run.
+  obs::EventLog full_log(log_options);
+  cfg.events = &full_log;
+  const auto full = fleet::ContainmentPipeline::run(cfg, records);
+  const obs::EventCollection full_events = full_log.collect();
+  EXPECT_EQ(full_events.dropped, 0u);
+  EXPECT_GT(count_type(full_events, obs::EventType::CheckpointWrite), 2u);
+  EXPECT_GT(count_type(full_events, obs::EventType::HostRemoved), 0u);
+  EXPECT_EQ(count_type(full_events, obs::EventType::CheckpointRestore), 0u);
+
+  // "Crash": a run that stops dead at the checkpoint boundary.  Its last
+  // snapshot lands exactly at `boundary`.
+  obs::EventLog prefix_log(log_options);
+  cfg.events = &prefix_log;
+  {
+    fleet::ContainmentPipeline prefix(cfg);
+    prefix.feed(std::span<const trace::ConnRecord>(records).first(boundary));
+    (void)prefix.finish();
+  }
+  const obs::EventCollection prefix_events = prefix_log.collect();
+  EXPECT_EQ(count_type(prefix_events, obs::EventType::CheckpointRestore), 0u);
+  for (const obs::CollectedEvent& ev : prefix_events.events) {
+    EXPECT_LE(ev.position, boundary);
+  }
+
+  // Resume from the snapshot with a fresh journal, feed the suffix.
+  obs::EventLog resume_log(log_options);
+  cfg.events = &resume_log;
+  auto resumed = fleet::ContainmentPipeline::restore(cfg, snapshot);
+  ASSERT_EQ(resumed->records_fed(), boundary);
+  resumed->feed(std::span<const trace::ConnRecord>(records).subspan(boundary));
+  const auto resumed_result = resumed->finish();
+  const obs::EventCollection resume_events = resume_log.collect();
+
+  // Exactly one restore marker, first in the journal, at the splice point.
+  ASSERT_EQ(count_type(resume_events, obs::EventType::CheckpointRestore), 1u);
+  ASSERT_FALSE(resume_events.events.empty());
+  EXPECT_EQ(resume_events.events.front().type, obs::EventType::CheckpointRestore);
+  EXPECT_EQ(resume_events.events.front().position, boundary);
+  EXPECT_EQ(resume_events.events.front().a, 2u);  // snapshot shard count
+  // Restoring replays no state transitions: nothing else at or before the
+  // boundary, in particular no re-journaled removals or degrade steps.
+  for (std::size_t i = 1; i < resume_events.events.size(); ++i) {
+    EXPECT_GT(resume_events.events[i].position, boundary);
+  }
+
+  // The splice equals the uninterrupted journal on (type, position, a, b):
+  // prefix events ∪ resume events (restore marker aside), nothing lost,
+  // nothing doubled, checkpoint ordinals continuous across the splice.
+  std::vector<EventKey> spliced = keys_of(prefix_events, false);
+  const std::vector<EventKey> suffix = keys_of(resume_events, true);
+  spliced.insert(spliced.end(), suffix.begin(), suffix.end());
+  std::sort(spliced.begin(), spliced.end());
+  EXPECT_EQ(spliced, keys_of(full_events, false));
+
+  // And the operational outcome matches too.
+  EXPECT_EQ(resumed_result.verdicts.hosts_removed, full.verdicts.hosts_removed);
+  EXPECT_EQ(resumed_result.verdicts.hosts.size(), full.verdicts.hosts.size());
+
+  std::remove(snapshot.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+// MetricsHttpServer over real loopback sockets: GET /metrics serves the
+// exact render_prometheus bytes of a fresh snapshot, and every other
+// request shape gets its precise error status — 404 off-path, 405 wrong
+// verb, 400 malformed request line — with the connection closed after one
+// response either way.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "fleet/net/metrics_http.hpp"
+#include "fleet/net/socket.hpp"
+#include "obs/registry.hpp"
+
+namespace {
+
+using namespace worms;
+using namespace worms::fleet::net;
+using namespace std::chrono_literals;
+
+/// One request/response exchange: connect, send `request`, read to EOF.
+[[nodiscard]] std::string exchange(std::uint16_t port, const std::string& request) {
+  std::string error;
+  auto stream = TcpStream::connect(Endpoint{"127.0.0.1", port}, 2000ms, &error);
+  EXPECT_TRUE(stream.has_value()) << error;
+  if (!stream.has_value()) return "";
+  EXPECT_TRUE(stream->write_all(request, 2000ms));
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const auto read = stream->read_some(buffer, sizeof buffer, 2000ms);
+    if (read.status != IoStatus::Ok) {
+      EXPECT_EQ(read.status, IoStatus::Eof) << "server must close after one response";
+      break;
+    }
+    response.append(buffer, read.bytes);
+  }
+  return response;
+}
+
+TEST(MetricsHttp, GetMetricsServesFreshSnapshotBytes) {
+  obs::Registry registry;
+  registry.counter("http_test_total").add(7);
+  registry.gauge("http_test_depth").set(2.5);
+  MetricsHttpServer server(registry, Endpoint{"127.0.0.1", 0});
+  ASSERT_NE(server.port(), 0);
+
+  const std::string response = exchange(server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(response.rfind("HTTP/1.0 200 OK\r\n", 0) == 0) << response;
+  const std::size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  // The body is exactly what the file export would have written for the
+  // same snapshot — one render path, byte-for-byte.
+  EXPECT_EQ(response.substr(body_at + 4),
+            obs::Registry::render_prometheus(registry.snapshot()));
+
+  // A second scrape observes counter movement: fresh snapshot per GET.
+  registry.counter("http_test_total").add(5);
+  const std::string again = exchange(server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  if (obs::kEnabled) {
+    EXPECT_NE(again.find("http_test_total 12\n"), std::string::npos) << again;
+  }
+  EXPECT_EQ(server.requests_served(), 2u);
+}
+
+TEST(MetricsHttp, NonMetricsTargetGets404) {
+  obs::Registry registry;
+  MetricsHttpServer server(registry, Endpoint{"127.0.0.1", 0});
+  const std::string response = exchange(server.port(), "GET /favicon.ico HTTP/1.0\r\n\r\n");
+  EXPECT_TRUE(response.rfind("HTTP/1.0 404 Not Found\r\n", 0) == 0) << response;
+}
+
+TEST(MetricsHttp, NonGetVerbGets405) {
+  obs::Registry registry;
+  MetricsHttpServer server(registry, Endpoint{"127.0.0.1", 0});
+  const std::string response = exchange(server.port(), "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_TRUE(response.rfind("HTTP/1.0 405 Method Not Allowed\r\n", 0) == 0) << response;
+}
+
+TEST(MetricsHttp, MalformedRequestLineGets400) {
+  obs::Registry registry;
+  MetricsHttpServer server(registry, Endpoint{"127.0.0.1", 0});
+  const std::string response = exchange(server.port(), "not-http-at-all\r\n\r\n");
+  EXPECT_TRUE(response.rfind("HTTP/1.0 400 Bad Request\r\n", 0) == 0) << response;
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+}  // namespace

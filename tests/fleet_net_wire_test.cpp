@@ -73,7 +73,7 @@ TEST(FleetNetWire, DecoderHandlesByteAtATimeDelivery) {
   // TCP makes no delivery-size promises; a frame arriving one byte at a time
   // must decode identically to a single gulp.
   const std::string wire =
-      encode_frame(FrameType::Records, encode_records(sample_records())) +
+      encode_frame(FrameType::Records, encode_records(sample_records(), 3, 900)) +
       encode_frame(FrameType::Bye, encode_bye(ByePayload{100}));
   FrameDecoder decoder;
   std::vector<Frame> frames;
@@ -86,16 +86,23 @@ TEST(FleetNetWire, DecoderHandlesByteAtATimeDelivery) {
   }
   ASSERT_EQ(frames.size(), 2u);
   EXPECT_EQ(frames[0].type, FrameType::Records);
-  EXPECT_EQ(decode_records(frames[0].payload), sample_records());
+  const RecordsPayload batch = decode_records(frames[0].payload);
+  EXPECT_EQ(batch.node_id, 3u);
+  EXPECT_EQ(batch.stream_position, 900u);
+  EXPECT_EQ(batch.records, sample_records());
   EXPECT_EQ(frames[1].type, FrameType::Bye);
   EXPECT_EQ(decode_bye(frames[1].payload).records_sent, 100u);
 }
 
-TEST(FleetNetWire, RecordsPayloadIsWtraceWireImage) {
+TEST(FleetNetWire, RecordsPayloadIsStampPlusWtraceWireImage) {
   const auto records = sample_records();
-  const std::string payload = encode_records(records);
-  EXPECT_EQ(payload.size(), records.size() * trace::kWtraceRecordBytes);  // packed .wtrace images
-  EXPECT_EQ(decode_records(payload), records);
+  const std::string payload = encode_records(records, 7, 4096);
+  // 16-byte provenance stamp, then packed .wtrace images.
+  EXPECT_EQ(payload.size(), 16 + records.size() * trace::kWtraceRecordBytes);
+  const RecordsPayload decoded = decode_records(payload);
+  EXPECT_EQ(decoded.node_id, 7u);
+  EXPECT_EQ(decoded.stream_position, 4096u);
+  EXPECT_EQ(decoded.records, records);
 }
 
 TEST(FleetNetWire, HelloWelcomeAlertCheckpointByeRoundtrip) {
@@ -120,8 +127,66 @@ TEST(FleetNetWire, HelloWelcomeAlertCheckpointByeRoundtrip) {
 TEST(FleetNetWire, MalformedTypedPayloadThrows) {
   EXPECT_THROW((void)decode_hello("short"), support::PreconditionError);
   EXPECT_THROW((void)decode_welcome("short"), support::PreconditionError);
+  // Too short for the 16-byte provenance stamp.
+  EXPECT_THROW((void)decode_records(std::string(9, 'x')), support::PreconditionError);
+  // Stamp present but the remainder is not a whole number of record images.
   EXPECT_THROW((void)decode_records(std::string(17, 'x')), support::PreconditionError);
   EXPECT_THROW((void)decode_bye(""), support::PreconditionError);
+}
+
+TEST(FleetNetWire, StatsReportRoundtrip) {
+  StatsReportPayload report;
+  report.node_id = 12;
+  report.records_fed = 100000;
+  report.checkpoints_written = 4;
+  report.checkpoint_position = 96000;
+  report.counter_backend = 1;
+  report.promoted = 1;
+  report.shard_backend = {0, 1, 2};
+  report.shard_health = {0, 0, 2};
+  report.queue_depth = {5, 0, 131};
+  report.dead_letters_malformed = 3;
+  report.dead_letters_out_of_order = 1;
+  report.dead_letters_duplicate = 7;
+  report.dead_letters_overflow = 2;
+  report.counters = {{"fleet_net_frames_rx_total", 512.0},
+                     {"fleet_queue_high_water{shard=\"2\"}", 131.0}};
+  report.gauges = {{"fleet_net_replication_lag_records", 4000.0}};
+  EXPECT_EQ(decode_stats_report(encode_stats_report(report)), report);
+}
+
+TEST(FleetNetWire, StatsReportEmptyShardsAndSamplesRoundtrip) {
+  const StatsReportPayload report;
+  EXPECT_EQ(decode_stats_report(encode_stats_report(report)), report);
+}
+
+TEST(FleetNetWire, StatsReportRejectsMalformedPayloads) {
+  // Truncated fixed section.
+  EXPECT_THROW((void)decode_stats_report(std::string(10, '\0')), support::PreconditionError);
+  // Shard count pointing past the payload.
+  StatsReportPayload report;
+  report.shard_backend = {0};
+  report.shard_health = {0};
+  report.queue_depth = {0};
+  std::string payload = encode_stats_report(report);
+  EXPECT_THROW((void)decode_stats_report(payload.substr(0, payload.size() - 4)),
+               support::PreconditionError);
+  // Trailing garbage after a well-formed report.
+  EXPECT_THROW((void)decode_stats_report(payload + "x"), support::PreconditionError);
+  // Sample name length running past the payload.
+  StatsReportPayload with_sample;
+  with_sample.counters = {{"abcdef", 1.0}};
+  std::string sampled = encode_stats_report(with_sample);
+  EXPECT_THROW((void)decode_stats_report(sampled.substr(0, sampled.size() - 2)),
+               support::PreconditionError);
+}
+
+TEST(FleetNetWire, StatsFrameTypesAreKnown) {
+  EXPECT_TRUE(frame_type_known(static_cast<std::uint8_t>(FrameType::StatsQuery)));
+  EXPECT_TRUE(frame_type_known(static_cast<std::uint8_t>(FrameType::StatsReport)));
+  EXPECT_FALSE(frame_type_known(static_cast<std::uint8_t>(FrameType::StatsReport) + 1));
+  EXPECT_EQ(std::string(to_string(FrameType::StatsQuery)), "stats_query");
+  EXPECT_EQ(std::string(to_string(FrameType::StatsReport)), "stats_report");
 }
 
 // --- one dead-letter reason per frame violation -----------------------------
@@ -143,7 +208,7 @@ TEST(FleetNetWire, BadMagicDeadLettersAndPoisons) {
 }
 
 TEST(FleetNetWire, TruncatedFrameDeadLettersOnFinish) {
-  const std::string wire = encode_frame(FrameType::Records, encode_records(sample_records()));
+  const std::string wire = encode_frame(FrameType::Records, encode_records(sample_records(), 1, 0));
   FrameDecoder decoder;
   decoder.append(wire.data(), wire.size() - 7);  // connection died mid-payload
   EXPECT_EQ(decoder.next().status, FrameDecoder::Status::NeedMore);
@@ -154,7 +219,7 @@ TEST(FleetNetWire, TruncatedFrameDeadLettersOnFinish) {
 }
 
 TEST(FleetNetWire, ChecksumMismatchDeadLetters) {
-  std::string wire = encode_frame(FrameType::Records, encode_records(sample_records()));
+  std::string wire = encode_frame(FrameType::Records, encode_records(sample_records(), 1, 0));
   wire[kFrameHeaderBytes + 5] ^= 0x01;  // single bit flip in the payload
   FrameDecoder decoder;
   decoder.append(wire);

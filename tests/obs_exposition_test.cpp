@@ -1,0 +1,179 @@
+// Prometheus text-exposition conformance, checked as a property over the
+// rendered output of a *real* containment run's registry — not a toy
+// fixture: every family has exactly one adjacent `# HELP` + `# TYPE` pair
+// ahead of its samples, no family appears twice, every sample belongs to a
+// declared family with a suffix legal for its type, every value parses, and
+// label values are escaped per the text format.
+#include <gtest/gtest.h>
+
+#include <charconv>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fleet/pipeline.hpp"
+#include "obs/registry.hpp"
+#include "trace/synth.hpp"
+
+namespace {
+
+using namespace worms;
+
+struct ExpositionCheck {
+  std::map<std::string, std::string> family_type;  // family -> counter|gauge|histogram
+  std::size_t samples = 0;
+};
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    EXPECT_NE(eol, std::string::npos) << "exposition must end in a newline";
+    if (eol == std::string::npos) break;
+    lines.push_back(text.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  return lines;
+}
+
+/// Sample name -> owning family, honouring histogram series suffixes.
+std::string family_of(const std::string& name,
+                      const std::map<std::string, std::string>& family_type) {
+  if (family_type.count(name) != 0) return name;
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s(suffix);
+    if (name.size() > s.size() &&
+        name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      const std::string base = name.substr(0, name.size() - s.size());
+      const auto it = family_type.find(base);
+      if (it != family_type.end() && it->second == "histogram") return base;
+    }
+  }
+  return "";
+}
+
+/// Runs every conformance property over one rendered exposition.  Out-param
+/// rather than a return value because ASSERT_* needs a void function.
+void check_exposition(const std::string& text, ExpositionCheck& out) {
+  std::set<std::string> helped;
+  std::string last_help;  // family named by the immediately preceding # HELP
+  // Families may interleave samples only within their own block; track the
+  // block owner so a family never reappears after another family started.
+  std::set<std::string> closed_families;
+  std::string open_family;
+
+  for (const std::string& line : split_lines(text)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::size_t sp = line.find(' ', 7);
+      ASSERT_NE(sp, std::string::npos) << line;
+      const std::string family = line.substr(7, sp - 7);
+      EXPECT_EQ(helped.count(family), 0u) << "duplicate # HELP for " << family;
+      helped.insert(family);
+      last_help = family;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::size_t sp = line.find(' ', 7);
+      ASSERT_NE(sp, std::string::npos) << line;
+      const std::string family = line.substr(7, sp - 7);
+      const std::string type = line.substr(sp + 1);
+      EXPECT_EQ(family, last_help) << "# TYPE not adjacent to its # HELP";
+      EXPECT_EQ(out.family_type.count(family), 0u)
+          << "duplicate # TYPE for " << family;
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram")
+          << family << " has unknown type " << type;
+      out.family_type[family] = type;
+      if (!open_family.empty()) closed_families.insert(open_family);
+      EXPECT_EQ(closed_families.count(family), 0u)
+          << family << " reopened after another family started";
+      open_family = family;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment line: " << line;
+
+    // Sample line: name[{labels}] value.  The value starts after the last
+    // space; a label block may not contain an unescaped newline by
+    // construction (lines were split on '\n' already).
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    std::string name = line.substr(0, sp);
+    const std::string value = line.substr(sp + 1);
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      ASSERT_EQ(name.back(), '}') << line;
+      name = name.substr(0, brace);
+    }
+    const std::string family = family_of(name, out.family_type);
+    ASSERT_FALSE(family.empty()) << name << " has no preceding # TYPE";
+    EXPECT_EQ(family, open_family)
+        << name << " sample outside its family's block";
+    if (out.family_type[family] != "histogram") {
+      EXPECT_EQ(name, family) << "suffixed sample in non-histogram family";
+    }
+    double parsed = 0.0;
+    const auto [p, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    EXPECT_TRUE(ec == std::errc() && p == value.data() + value.size())
+        << "unparseable value in: " << line;
+    ++out.samples;
+  }
+}
+
+TEST(ObsExposition, RealContainRunRendersConformantText) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with WORMS_OBS=OFF";
+  trace::LblSynthConfig synth;
+  synth.hosts = 200;
+  synth.duration = 3.0 * sim::kDay;
+  synth.seed = 5;
+  const auto records = trace::synthesize_lbl_trace(synth).records;
+
+  obs::Registry registry;
+  fleet::PipelineOptions cfg;
+  cfg.policy.scan_limit = 300;
+  cfg.shards = 2;
+  cfg.metrics = &registry;
+  (void)fleet::ContainmentPipeline::run(cfg, records);
+
+  const std::string text = obs::Registry::render_prometheus(registry.snapshot());
+  ExpositionCheck check;
+  check_exposition(text, check);
+  // The fleet pipeline publishes all three metric kinds; a conformant but
+  // empty exposition would be a silent regression.
+  EXPECT_GT(check.samples, 20u);
+  bool saw_counter = false;
+  bool saw_gauge = false;
+  bool saw_histogram = false;
+  for (const auto& [family, type] : check.family_type) {
+    saw_counter |= type == "counter";
+    saw_gauge |= type == "gauge";
+    saw_histogram |= type == "histogram";
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_histogram);
+  EXPECT_NE(check.family_type.count("fleet_records_ingested_total"), 0u);
+}
+
+TEST(ObsExposition, LabelValuesAreEscaped) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with WORMS_OBS=OFF";
+  obs::Registry registry;
+  // Raw backslash and raw newline in the label value; the renderer must
+  // emit the two-character escapes \\ and \n, never the raw bytes.
+  registry.counter("esc_total{path=\"a\\b\nc\"}").add(3);
+  registry.counter("esc_total{path=\"plain\"}").add(1);
+  const std::string text = obs::Registry::render_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("esc_total{path=\"a\\\\b\\nc\"} 3\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("esc_total{path=\"plain\"} 1\n"), std::string::npos);
+  // Conformance holds on the escaped output too (in particular: one family,
+  // one HELP/TYPE, two samples, both lines parse).
+  ExpositionCheck check;
+  check_exposition(text, check);
+  EXPECT_EQ(check.samples, 2u);
+  EXPECT_EQ(check.family_type.size(), 1u);
+}
+
+}  // namespace

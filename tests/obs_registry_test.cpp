@@ -23,10 +23,13 @@ namespace {
   if (!kEnabled) GTEST_SKIP() << "built with WORMS_OBS=OFF"
 
 /// Minimal Prometheus text parser: sample lines are `name[{labels}] value`;
-/// `# TYPE base kind` lines fill `types`.
+/// `# TYPE base kind` lines fill `types`, `# HELP base text` lines fill
+/// `helps` (conformance of the HELP/TYPE structure itself is
+/// obs_exposition_test's job; here they just must name the same families).
 struct ParsedExposition {
   std::map<std::string, std::string> samples;  ///< full name (incl labels) -> value text
   std::map<std::string, std::string> types;    ///< base name -> kind
+  std::map<std::string, std::string> helps;    ///< base name -> help text
 };
 
 [[nodiscard]] ParsedExposition parse_prometheus(const std::string& text) {
@@ -40,6 +43,13 @@ struct ParsedExposition {
       const std::size_t space = rest.find(' ');
       EXPECT_NE(space, std::string::npos) << "bad TYPE line: " << line;
       parsed.types[rest.substr(0, space)] = rest.substr(space + 1);
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      EXPECT_NE(space, std::string::npos) << "bad HELP line: " << line;
+      parsed.helps[rest.substr(0, space)] = rest.substr(space + 1);
       continue;
     }
     EXPECT_NE(line.front(), '#') << "unexpected comment: " << line;
@@ -103,6 +113,12 @@ TEST(ObsRegistry, PrometheusRoundTripsNamesLabelsAndValues) {
   EXPECT_EQ(parsed.types.at("verdicts_total"), "counter");
   EXPECT_EQ(parsed.types.at("queue_depth"), "gauge");
   EXPECT_EQ(parsed.types.at("op_seconds"), "histogram");
+  // HELP headers pair TYPE one-for-one over the same families.
+  EXPECT_EQ(parsed.helps.size(), parsed.types.size());
+  for (const auto& [family, kind] : parsed.types) {
+    (void)kind;
+    EXPECT_TRUE(parsed.helps.contains(family)) << family << " has TYPE but no HELP";
+  }
 }
 
 TEST(ObsRegistry, PrometheusHistogramBucketsAreCumulative) {

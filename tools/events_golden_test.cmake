@@ -1,0 +1,73 @@
+# Golden determinism of the event journal: the same contain run — fixed
+# synth seed, synthetic event clock, a fault plan that exercises worker
+# kills, corruption, and a scripted degrade, plus periodic checkpoints and a
+# removal-heavy budget — must produce a byte-identical JSONL journal on
+# every rerun, and that journal must actually contain every transition
+# family the run was scripted to hit.  `wormctl events` must load it, both
+# raw and filtered.
+#
+# Expects -DWORMCTL=<path> -DWORKDIR=<dir>.
+
+set(journal_a ${WORKDIR}/events_golden_a.jsonl)
+set(journal_b ${WORKDIR}/events_golden_b.jsonl)
+
+function(run_contain journal)
+  execute_process(
+    COMMAND ${WORMCTL} contain --synth --hosts 250 --days 3 --synth-seed 9
+      --budget 300 --shards 2 --node-id 6
+      --checkpoint ${WORKDIR}/events_golden.ckpt --checkpoint-every 8192
+      --fault-plan "kill:0@3;corrupt:120;corrupt:7500;degrade:1@5"
+      --events ${journal} --events-clock synthetic
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "contain --events failed (${rc}): ${out}${err}")
+  endif()
+  if(NOT out MATCHES "events: [1-9][0-9]* event\\(s\\) retained")
+    message(FATAL_ERROR "contain never reported the journal write:\n${out}")
+  endif()
+endfunction()
+
+run_contain(${journal_a})
+run_contain(${journal_b})
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${journal_a} ${journal_b}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "event journals differ across identical synthetic-clock runs: "
+    "${journal_a} vs ${journal_b}")
+endif()
+
+# The run was scripted to hit each of these transition families; a journal
+# that is stable but silent would be a vacuous golden.
+file(READ ${journal_a} journal)
+foreach(needle
+    "\"type\":\"FaultClauseFired\""
+    "\"type\":\"DegradeStep\""
+    "\"type\":\"HostRemoved\""
+    "\"type\":\"CheckpointWrite\"")
+  if(NOT journal MATCHES "${needle}")
+    message(FATAL_ERROR "journal missing expected event ${needle}:\n${journal}")
+  endif()
+endforeach()
+if(NOT journal MATCHES "\"schema\":\"worms-events-v1\",\"node\":6,\"clock\":\"synthetic\"")
+  message(FATAL_ERROR "journal meta line missing node/clock stamps:\n${journal}")
+endif()
+
+# The reader loads it, whole and filtered.
+execute_process(
+  COMMAND ${WORMCTL} events ${journal_a}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "node 6, synthetic clock")
+  message(FATAL_ERROR "wormctl events failed to load the journal (${rc}): ${out}${err}")
+endif()
+execute_process(
+  COMMAND ${WORMCTL} events ${journal_a} --type CheckpointWrite --since 8192
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "CheckpointWrite +8192")
+  message(FATAL_ERROR "filtered wormctl events missed the boundary checkpoint (${rc}): ${out}${err}")
+endif()
+if(out MATCHES "HostRemoved")
+  message(FATAL_ERROR "--type CheckpointWrite leaked other event types: ${out}")
+endif()

@@ -1,0 +1,173 @@
+# Fleet observability reconciliation, multi-process: a real `wormctl serve`
+# node with a live --metrics-listen scrape endpoint, fed by two `wormctl
+# ingest` clients.  Between the clients, `wormctl status` queries the node
+# twice over StatsQuery/StatsReport and an HTTP GET /metrics scrape runs via
+# file(DOWNLOAD) — the sample lines must reconcile byte-for-byte:
+#
+#   * the node's fleet_net_records_rx_total line in the scrape is the exact
+#     line `status` printed for that node (same rendering, same value), and
+#   * the merged rollup line is exactly 2x it (same endpoint queried twice,
+#     counters add).
+#
+# fleet_net_records_rx_total is the right series for the byte check: a
+# StatsQuery is itself a frame, so frames_rx moves between the two status
+# queries, but records_rx only moves when ingest feeds records.
+#
+# Expects -DWORMCTL=<path> -DWORKDIR=<dir>.
+
+set(trace_file ${WORKDIR}/obs_scrape_trace.csv)
+set(serve_log ${WORKDIR}/obs_scrape_serve.log)
+set(pid_file ${WORKDIR}/obs_scrape_serve.pid)
+set(port_file ${WORKDIR}/obs_scrape_serve.port)
+set(mport_file ${WORKDIR}/obs_scrape_serve.mport)
+set(scrape_file ${WORKDIR}/obs_scrape.prom)
+set(journal ${WORKDIR}/obs_scrape_events.jsonl)
+set(starter ${WORKDIR}/obs_scrape_start.sh)
+
+execute_process(
+  COMMAND ${WORMCTL} synth --out ${trace_file} --hosts 250 --days 3 --seed 21
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "wormctl synth failed: ${rc}")
+endif()
+
+# Starter script: launch serve detached (log to a file so no pipe keeps
+# execute_process alive), retry over candidate scrape ports until one binds,
+# and report PID + both ports through files.
+# Args: wormctl workdir trace log pidfile portfile mportfile journal
+file(WRITE ${starter} [=[
+#!/bin/sh
+WORMCTL=$1; WORKDIR=$2; TRACE=$3; LOG=$4; PIDFILE=$5; PORTFILE=$6; MPORTFILE=$7; JOURNAL=$8
+for MP in 29613 29679 29741 29807 29873; do
+  rm -f "$LOG"
+  "$WORMCTL" serve --listen 127.0.0.1:0 --expect-clients 2 --budget 400 \
+    --shards 2 --node-id 4 --metrics-listen $MP \
+    --events "$JOURNAL" --events-clock synthetic > "$LOG" 2>&1 &
+  PID=$!
+  i=0
+  while [ $i -lt 100 ]; do
+    grep -q "^listening on " "$LOG" 2>/dev/null && break
+    kill -0 $PID 2>/dev/null || break
+    i=$((i+1)); sleep 0.05
+  done
+  if grep -q "^listening on " "$LOG" 2>/dev/null; then
+    echo $PID > "$PIDFILE"
+    echo $MP > "$MPORTFILE"
+    sed -n 's/^listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' "$LOG" > "$PORTFILE"
+    exit 0
+  fi
+  wait $PID 2>/dev/null
+done
+echo "no candidate scrape port was bindable"
+exit 1
+]=])
+
+execute_process(
+  COMMAND sh ${starter} ${WORMCTL} ${WORKDIR} ${trace_file} ${serve_log}
+    ${pid_file} ${port_file} ${mport_file} ${journal}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve never came up (${rc}): ${out}${err}")
+endif()
+file(STRINGS ${pid_file} serve_pid)
+file(STRINGS ${port_file} serve_port)
+file(STRINGS ${mport_file} metrics_port)
+file(READ ${serve_log} boot_log)
+if(NOT boot_log MATCHES "metrics on 127.0.0.1:${metrics_port}")
+  message(FATAL_ERROR "serve never announced its scrape endpoint:\n${boot_log}")
+endif()
+
+# Everything below must kill the serve process on failure, or the ctest run
+# leaks a listener.
+function(fail_with_cleanup msg)
+  execute_process(COMMAND sh -c "kill ${serve_pid} 2>/dev/null")
+  message(FATAL_ERROR "${msg}")
+endfunction()
+
+# Client A feeds half the hosts, then the node goes quiet: records_rx is
+# frozen until client B, which is exactly when status + scrape reconcile.
+execute_process(
+  COMMAND ${WORMCTL} ingest --connect 127.0.0.1:${serve_port} --trace ${trace_file}
+    --hosts-mod 2,0 --client-id 1 --batch-records 1024
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  fail_with_cleanup("ingest client A failed (${rc}): ${out}${err}")
+endif()
+
+# Status first (the StatsQuery frame is counted into its own report), then
+# the HTTP scrape — records_rx is untouched by either, so all three views
+# (status node section, status rollup, scrape body) must agree bytewise.
+execute_process(
+  COMMAND ${WORMCTL} status --connect 127.0.0.1:${serve_port},127.0.0.1:${serve_port}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE status_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  fail_with_cleanup("wormctl status failed (${rc}): ${status_out}${err}")
+endif()
+if(NOT status_out MATCHES "fleet rollup \\(2 nodes")
+  fail_with_cleanup("status printed no merged rollup:\n${status_out}")
+endif()
+if(NOT status_out MATCHES "127.0.0.1:${serve_port} +4 ")
+  fail_with_cleanup("status table missing node id 4:\n${status_out}")
+endif()
+
+file(DOWNLOAD http://127.0.0.1:${metrics_port}/metrics ${scrape_file}
+  STATUS dl_status TIMEOUT 30)
+list(GET dl_status 0 dl_rc)
+if(NOT dl_rc EQUAL 0)
+  fail_with_cleanup("GET /metrics failed: ${dl_status}")
+endif()
+file(READ ${scrape_file} scrape)
+
+# Exposition headers present while the node is live mid-fleet.
+if(NOT scrape MATCHES "# HELP fleet_net_records_rx_total ")
+  fail_with_cleanup("scrape missing # HELP for records_rx:\n${scrape}")
+endif()
+if(NOT scrape MATCHES "# TYPE fleet_net_records_rx_total counter")
+  fail_with_cleanup("scrape missing # TYPE for records_rx:\n${scrape}")
+endif()
+
+# The byte reconciliation.
+if(NOT scrape MATCHES "fleet_net_records_rx_total ([0-9]+)\n")
+  fail_with_cleanup("scrape has no records_rx sample:\n${scrape}")
+endif()
+set(records_rx ${CMAKE_MATCH_1})
+if(records_rx EQUAL 0)
+  fail_with_cleanup("records_rx is zero after client A — ingest never landed")
+endif()
+string(FIND "${status_out}" "fleet_net_records_rx_total ${records_rx}\n" hit)
+if(hit EQUAL -1)
+  fail_with_cleanup(
+    "status node section does not carry the scrape's exact records_rx line "
+    "(fleet_net_records_rx_total ${records_rx}):\n${status_out}")
+endif()
+math(EXPR records_rx_2x "2 * ${records_rx}")
+string(FIND "${status_out}" "fleet_net_records_rx_total ${records_rx_2x}\n" hit)
+if(hit EQUAL -1)
+  fail_with_cleanup(
+    "rollup is not 2x records_rx (${records_rx_2x}):\n${status_out}")
+endif()
+
+# Client B completes the fleet; the node exits on its own.
+execute_process(
+  COMMAND ${WORMCTL} ingest --connect 127.0.0.1:${serve_port} --trace ${trace_file}
+    --hosts-mod 2,1 --client-id 2 --batch-records 1024
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  fail_with_cleanup("ingest client B failed (${rc}): ${out}${err}")
+endif()
+execute_process(
+  COMMAND sh -c "i=0; while kill -0 ${serve_pid} 2>/dev/null; do i=$((i+1)); [ $i -gt 600 ] && exit 1; sleep 0.05; done; exit 0"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  fail_with_cleanup("serve did not exit after both clients completed")
+endif()
+file(READ ${serve_log} final_log)
+if(NOT final_log MATCHES "hosts seen")
+  message(FATAL_ERROR "serve exited without its final report:\n${final_log}")
+endif()
+if(NOT final_log MATCHES "events: [0-9]+ event\\(s\\) retained")
+  message(FATAL_ERROR "serve exited without writing its journal:\n${final_log}")
+endif()
+if(NOT EXISTS ${journal})
+  message(FATAL_ERROR "serve journal ${journal} was never written")
+endif()

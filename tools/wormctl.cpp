@@ -43,6 +43,8 @@
 //              [--metrics-format prometheus|json]
 //              [--trace-out FILE] [--trace-buffer-events N]
 //              [--trace-clock wall|synthetic]
+//              [--metrics-listen PORT] [--events FILE]
+//              [--events-clock wall|synthetic] [--node-id N]
 //              (--trace FILE accepts CSV or .wtrace — the format is sniffed
 //              from the file's magic, and a binary trace streams zero-copy
 //              from an mmap; --transport selects the shard-queue
@@ -79,7 +81,19 @@
 //              vacant).  --trace-buffer-events bounds the per-thread ring
 //              (oldest events are overwritten); --trace-clock synthetic
 //              stamps logical sequence numbers instead of nanoseconds, for
-//              byte-reproducible traces)
+//              byte-reproducible traces.  --metrics - streams the export to
+//              stdout instead of a file; --metrics-listen PORT serves live
+//              HTTP/1.0 `GET /metrics` scrapes on 127.0.0.1:PORT for the
+//              whole run — every response is a fresh atomic Registry
+//              snapshot, so a Prometheus scraper watches the containment run
+//              in flight.  --events FILE turns on the structured event
+//              journal: every degrade step, checkpoint write/restore,
+//              host removal, and fault-clause firing is appended (wait-free,
+//              a few tens of ns) and exported as JSONL; --events-clock
+//              synthetic stamps logical sequence numbers so two identical
+//              runs produce byte-identical journals; --node-id N stamps the
+//              journal and the verdict provenance column for multi-node
+//              runs)
 //   trace      summarize FILE — per-span count/total/p50/p99 plus instant and
 //              counter tables from a trace written by contain --trace-out
 //              convert IN OUT — CSV ↔ .wtrace binary (direction sniffed from
@@ -122,6 +136,18 @@
 //              [--seed ...]
 //              (--compare runs gossip on AND off over identical per-host
 //              scan streams and prints both tables plus the infection delta)
+//   status     query live serve nodes over StatsQuery/StatsReport
+//              --connect H:P[,H:P...] [--watch N] + the shared net
+//              timeout knobs
+//              (per-node health table, per-shard degrade detail, each node's
+//              counters/gauges as Prometheus-format sample lines — byte-
+//              identical to that node's own /metrics export — and a merged
+//              fleet rollup: counters add, gauges max; --watch N repeats
+//              every N seconds until interrupted)
+//   events     print a journal written by contain/serve --events
+//              wormctl events FILE [--type TYPE] [--since POS]
+//              (--type keeps one event type, --since keeps events at stream
+//              position >= POS; both parse strictly)
 //
 // Every command prints a human-readable table; exit code 0 on success, 1 on
 // usage errors (with a message on stderr).
@@ -130,6 +156,7 @@
 #include <cmath>
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -141,10 +168,12 @@
 #include "core/galton_watson.hpp"
 #include "core/multitype.hpp"
 #include "core/planner.hpp"
+#include "fleet/net/metrics_http.hpp"
 #include "fleet/pipeline.hpp"
 #include "fleet/worm_injector.hpp"
 #include "net/graph/generators.hpp"
 #include "wormctl_net.hpp"
+#include "obs/event_log.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
@@ -596,15 +625,30 @@ int cmd_contain(const support::CliArgs& args) {
   const std::string metrics_format = args.get_string("metrics-format", "prometheus");
   WORMS_EXPECTS((metrics_format == "prometheus" || metrics_format == "json") &&
                 "--metrics-format must be prometheus or json");
+  const std::uint16_t metrics_listen = wormctl::parse_metrics_listen(args);
   obs::Registry registry;
+  if (!metrics_path.empty() || metrics_listen != 0) cfg.metrics = &registry;
   if (!metrics_path.empty()) {
-    cfg.metrics = &registry;
     // Periodic exports live in the pipeline, keyed on absolute stream
     // position, so resumed runs export at the same cadence points.
     cfg.metrics_export_path = metrics_path;
     cfg.metrics_export_every = metrics_every;
     cfg.metrics_export_json = metrics_format == "json";
   }
+  // Live scrape endpoint: up before the first record, torn down after the
+  // run, serving fresh Registry snapshots the whole time.
+  std::unique_ptr<fleet::net::MetricsHttpServer> scrape;
+  if (metrics_listen != 0) {
+    scrape = std::make_unique<fleet::net::MetricsHttpServer>(
+        registry, fleet::net::Endpoint{"127.0.0.1", metrics_listen});
+    std::printf("metrics on 127.0.0.1:%u\n", static_cast<unsigned>(scrape->port()));
+    std::fflush(stdout);
+  }
+
+  const std::string events_path = wormctl::parse_events_path(args);
+  obs::EventLog events(wormctl::parse_event_log_options(args));
+  if (!events_path.empty()) cfg.events = &events;
+  cfg.node_id = args.get_u64("node-id", 0);
   const auto export_metrics = [&] {
     const obs::MetricsSnapshot snap = registry.snapshot();
     obs::write_metrics_file(metrics_path, metrics_format == "json"
@@ -737,6 +781,8 @@ int cmd_contain(const support::CliArgs& args) {
                 static_cast<unsigned long long>(collection.dropped),
                 obs::to_string(collection.clock), trace_out.c_str());
   }
+  if (!events_path.empty()) wormctl::write_event_journal(events, events_path);
+  scrape.reset();
 
   if (divergence) {
     // Exact-vs-HLL divergence: same stream, both backends, hosts they
@@ -753,6 +799,7 @@ int cmd_contain(const support::CliArgs& args) {
     exact_cfg.metrics_export_path.clear();
     exact_cfg.metrics_export_every = 0;
     exact_cfg.tracer = nullptr;
+    exact_cfg.events = nullptr;
     fleet::PipelineOptions hll_cfg = exact_cfg;
     hll_cfg.backend = fleet::CounterBackend::Hll;
     const auto exact = fleet::ContainmentPipeline::run(exact_cfg, records);
@@ -831,10 +878,72 @@ int cmd_trace(int argc, char** argv) {
   return 1;
 }
 
+/// `wormctl events FILE [--type T] [--since POS]` — positional like `trace`,
+/// parsed by hand.  Renders an --events journal as a table, optionally
+/// filtered to one event type and/or a minimum stream position.
+int cmd_events(int argc, char** argv) {
+  const auto events_usage = [] {
+    std::fprintf(stderr, "usage: wormctl events FILE [--type TYPE] [--since POS]\n");
+    return 1;
+  };
+  if (argc < 3) return events_usage();
+  const std::string path = argv[2];
+  bool filter_type = false;
+  obs::EventType type = obs::EventType::DegradeStep;
+  std::uint64_t since = 0;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--type" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (!obs::parse_event_type(name, type)) {
+        throw support::PreconditionError(
+            "--type '" + name + "' is not an event type (expected DegradeStep, "
+            "CheckpointWrite, CheckpointRestore, ReplicaPromotion, HostRemoved, "
+            "FaultClauseFired, NetQuarantine, or OverloadTransition)");
+      }
+      filter_type = true;
+    } else if (flag == "--since" && i + 1 < argc) {
+      const std::string text = argv[++i];
+      const char* first = text.data();
+      const char* last = first + text.size();
+      const auto [p, ec] = std::from_chars(first, last, since);
+      if (ec != std::errc() || p != last) {
+        throw support::PreconditionError("--since '" + text +
+                                         "' must be a non-negative integer position");
+      }
+    } else {
+      return events_usage();
+    }
+  }
+
+  const obs::EventCollection collection =
+      obs::parse_events_jsonl(obs::read_trace_file(path));
+  std::printf("node %llu, %s clock: %llu event(s) recorded, %llu dropped, %zu retained\n",
+              static_cast<unsigned long long>(collection.node_id),
+              obs::to_string(collection.clock),
+              static_cast<unsigned long long>(collection.recorded),
+              static_cast<unsigned long long>(collection.dropped),
+              collection.events.size());
+  analysis::Table t({"type", "position", "writer", "seq", "tick", "a", "b"});
+  std::size_t shown = 0;
+  for (const obs::CollectedEvent& ev : collection.events) {
+    if (filter_type && ev.type != type) continue;
+    if (ev.position < since) continue;
+    ++shown;
+    t.add_row({obs::to_string(ev.type), analysis::Table::fmt(ev.position),
+               analysis::Table::fmt(static_cast<std::uint64_t>(ev.writer)),
+               analysis::Table::fmt(ev.seq), analysis::Table::fmt(ev.tick),
+               analysis::Table::fmt(ev.a), analysis::Table::fmt(ev.b)});
+  }
+  t.print();
+  std::printf("%zu event(s) shown\n", shown);
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: wormctl <plan|extinction|simulate|multitype|synth|audit|contain"
-               "|trace|serve|ingest|race> [--flag value ...]\n"
+               "|trace|events|serve|ingest|race|status> [--flag value ...]\n"
                "see the header of tools/wormctl.cpp or README.md for flags\n");
   return 1;
 }
@@ -844,6 +953,7 @@ int usage() {
 int main(int argc, char** argv) {
   try {
     if (argc >= 2 && std::string(argv[1]) == "trace") return cmd_trace(argc, argv);
+    if (argc >= 2 && std::string(argv[1]) == "events") return cmd_events(argc, argv);
     const auto args = support::CliArgs::parse(argc, argv);
     int rc;
     if (args.command() == "plan") {
@@ -866,6 +976,8 @@ int main(int argc, char** argv) {
       rc = wormctl::cmd_ingest(args);
     } else if (args.command() == "race") {
       rc = wormctl::cmd_race(args);
+    } else if (args.command() == "status") {
+      rc = wormctl::cmd_status(args);
     } else {
       return usage();
     }

@@ -16,20 +16,32 @@
 //   race    [--hosts N] [--address-space A] [--nodes K] [--budget M]
 //           [--phi F] [--i0 N] [--scan-rate S] [--steps T]
 //           [--gossip-delay D] [--gossip 0|1] [--compare] [--seed N]
+//
+//   status  --connect H:P[,H:P...] [--watch N] + the shared timeout knobs
+//           (queries each node over StatsQuery/StatsReport, prints a per-node
+//           table, each node's counters/gauges as Prometheus-format sample
+//           lines, and a merged fleet rollup — counters add, gauges max,
+//           exactly MetricsSnapshot::merge; --watch N repeats every N
+//           seconds until interrupted)
 #include "wormctl_net.hpp"
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "analysis/table.hpp"
 #include "fleet/net/alert_race.hpp"
+#include "fleet/net/metrics_http.hpp"
 #include "fleet/net/node.hpp"
+#include "obs/event_log.hpp"
 #include "obs/registry.hpp"
+#include "obs/trace_export.hpp"
 #include "support/check.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/record_source.hpp"
@@ -159,6 +171,42 @@ void print_node_report(const fleet::net::NodeReport& report) {
 
 }  // namespace
 
+std::uint16_t parse_metrics_listen(const support::CliArgs& args) {
+  if (!args.has("metrics-listen")) return 0;
+  // Port 0 is rejected — an ephemeral scrape port is useless (nothing could
+  // find it) and almost certainly a typo.
+  const std::uint64_t port = args.get_u64("metrics-listen", 0);
+  WORMS_EXPECTS(port >= 1 && port <= 65535 &&
+                "--metrics-listen must be a port in [1, 65535]");
+  return static_cast<std::uint16_t>(port);
+}
+
+std::string parse_events_path(const support::CliArgs& args) {
+  const std::string path = args.get_string("events", "");
+  WORMS_EXPECTS(!(args.has("events") && path == "true") && "--events requires a file path");
+  WORMS_EXPECTS((!path.empty() || !args.has("events-clock")) &&
+                "--events-clock requires --events FILE");
+  return path;
+}
+
+obs::EventLogOptions parse_event_log_options(const support::CliArgs& args) {
+  obs::EventLogOptions options;
+  const std::string clock = args.get_string("events-clock", "wall");
+  WORMS_EXPECTS((clock == "wall" || clock == "synthetic") &&
+                "--events-clock must be wall or synthetic");
+  options.clock = clock == "synthetic" ? obs::TraceClock::Synthetic : obs::TraceClock::Wall;
+  options.node_id = args.get_u64("node-id", 0);
+  return options;
+}
+
+void write_event_journal(const obs::EventLog& events, const std::string& path) {
+  const obs::EventCollection collection = events.collect();
+  obs::write_trace_file(path, obs::render_events_jsonl(collection));
+  std::printf("events: %zu event(s) retained (%llu overwritten), %s clock, written to %s\n",
+              collection.events.size(), static_cast<unsigned long long>(collection.dropped),
+              obs::to_string(collection.clock), path.c_str());
+}
+
 int cmd_serve(const support::CliArgs& args) {
   fleet::net::NodeOptions options;
   const std::string listen = args.get_string("listen", "");
@@ -193,15 +241,30 @@ int cmd_serve(const support::CliArgs& args) {
   const std::string metrics_path = args.get_string("metrics", "");
   WORMS_EXPECTS(!(args.has("metrics") && metrics_path == "true") &&
                 "--metrics requires a file path");
+  const std::uint16_t metrics_listen = parse_metrics_listen(args);
   obs::Registry registry;
-  if (!metrics_path.empty()) options.pipeline.metrics = &registry;
+  if (!metrics_path.empty() || metrics_listen != 0) options.pipeline.metrics = &registry;
+
+  const std::string events_path = parse_events_path(args);
+  obs::EventLog events(parse_event_log_options(args));
+  if (!events_path.empty()) options.pipeline.events = &events;
 
   const std::string listen_host = options.listen.host;
   fleet::net::ServeNode node(std::move(options));
+  // Live scrape endpoint: up before the "listening" line so anything that
+  // synchronizes on that line can scrape immediately.
+  std::unique_ptr<fleet::net::MetricsHttpServer> scrape;
+  if (metrics_listen != 0) {
+    scrape = std::make_unique<fleet::net::MetricsHttpServer>(
+        registry, Endpoint{listen_host, metrics_listen});
+    std::printf("metrics on %s:%u\n", listen_host.c_str(),
+                static_cast<unsigned>(scrape->port()));
+  }
   // Flush eagerly: multi-process tests (and humans) synchronize on this line.
   std::printf("listening on %s:%u\n", listen_host.c_str(), static_cast<unsigned>(node.port()));
   std::fflush(stdout);
   const fleet::net::NodeReport report = node.wait();
+  scrape.reset();
   if (report.promoted_from_replica) {
     std::printf("promoted from replica checkpoint at position %llu\n",
                 static_cast<unsigned long long>(report.promoted_position));
@@ -216,6 +279,7 @@ int cmd_serve(const support::CliArgs& args) {
                             obs::Registry::render_prometheus(registry.snapshot()));
     std::printf("metrics written to %s\n", metrics_path.c_str());
   }
+  if (!events_path.empty()) write_event_journal(events, events_path);
   return 0;
 }
 
@@ -345,6 +409,160 @@ int cmd_race(const support::CliArgs& args) {
   }
   const auto result = fleet::net::run_alert_race(cfg);
   print_result(cfg.gossip ? "gossip on" : "gossip off", result);
+  return 0;
+}
+
+namespace {
+
+/// One StatsQuery round trip: connect, query, read the StatsReport, close.
+/// Status probes send no Hello/Bye, so they never disturb the node's
+/// --expect-clients/--expect-peers exit accounting.
+[[nodiscard]] fleet::net::StatsReportPayload query_stats(const Endpoint& endpoint,
+                                                         const fleet::net::NetTimeouts& timeouts) {
+  std::string error;
+  auto maybe_stream = fleet::net::TcpStream::connect(endpoint, timeouts.connect, &error);
+  if (!maybe_stream) {
+    throw support::PreconditionError("status: cannot connect to " + endpoint.to_string() + ": " +
+                                     error);
+  }
+  fleet::net::TcpStream stream = std::move(*maybe_stream);
+  const std::string query = fleet::net::encode_frame(fleet::net::FrameType::StatsQuery, "");
+  WORMS_EXPECTS(stream.write_all(query, timeouts.write) && "status: query write failed");
+
+  fleet::net::FrameDecoder decoder;
+  char buffer[4096];
+  for (;;) {
+    fleet::net::FrameDecoder::Result result = decoder.next();
+    if (result.status == fleet::net::FrameDecoder::Status::Ready) {
+      WORMS_EXPECTS(result.frame.type == fleet::net::FrameType::StatsReport &&
+                    "status: node replied with an unexpected frame type");
+      return fleet::net::decode_stats_report(result.frame.payload);
+    }
+    WORMS_EXPECTS(result.status != fleet::net::FrameDecoder::Status::Error &&
+                  "status: undecodable reply from node");
+    const auto read = stream.read_some(buffer, sizeof buffer, timeouts.read);
+    WORMS_EXPECTS(read.status == fleet::net::IoStatus::Ok &&
+                  "status: no StatsReport reply from node");
+    decoder.append(buffer, read.bytes);
+  }
+}
+
+/// Sample lines byte-identical to the ones render_prometheus emits (counters
+/// as integers, gauges as %.17g) — the scrape-vs-status reconciliation test
+/// compares them verbatim.
+void print_samples(const std::vector<fleet::net::StatsSample>& counters,
+                   const std::vector<fleet::net::StatsSample>& gauges) {
+  for (const auto& sample : counters) {
+    std::printf("%s %llu\n", sample.name.c_str(),
+                static_cast<unsigned long long>(sample.value));
+  }
+  for (const auto& sample : gauges) {
+    std::printf("%s %.17g\n", sample.name.c_str(), sample.value);
+  }
+}
+
+/// Rebuilds a MetricsSnapshot from a report's flattened samples so the fleet
+/// rollup uses the exact merge semantics (counters add, gauges max) every
+/// other multi-node path uses.
+[[nodiscard]] obs::MetricsSnapshot snapshot_from_report(
+    const fleet::net::StatsReportPayload& report) {
+  obs::MetricsSnapshot snapshot;
+  for (const auto& sample : report.counters) {
+    snapshot.counters.push_back(
+        obs::CounterSnapshot{sample.name, static_cast<std::uint64_t>(sample.value)});
+  }
+  for (const auto& sample : report.gauges) {
+    snapshot.gauges.push_back(obs::GaugeSnapshot{sample.name, sample.value});
+  }
+  return snapshot;
+}
+
+void print_status_round(const std::vector<Endpoint>& endpoints,
+                        const std::vector<fleet::net::StatsReportPayload>& reports) {
+  analysis::Table t({"endpoint", "node", "records", "ckpts", "ckpt pos", "backend", "promoted",
+                     "shards", "dead letters"});
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& r = reports[i];
+    unsigned healthy = 0;
+    for (const std::uint8_t h : r.shard_health) {
+      if (h == static_cast<std::uint8_t>(fleet::ShardHealth::Healthy)) ++healthy;
+    }
+    const std::uint64_t dead = r.dead_letters_malformed + r.dead_letters_out_of_order +
+                               r.dead_letters_duplicate + r.dead_letters_overflow;
+    t.add_row({endpoints[i].to_string(), analysis::Table::fmt(r.node_id),
+               analysis::Table::fmt(r.records_fed), analysis::Table::fmt(r.checkpoints_written),
+               analysis::Table::fmt(r.checkpoint_position),
+               fleet::to_string(static_cast<fleet::CounterBackend>(r.counter_backend)),
+               r.promoted != 0 ? "yes" : "no",
+               std::to_string(healthy) + "/" + std::to_string(r.shard_health.size()) +
+                   " healthy",
+               analysis::Table::fmt(dead)});
+  }
+  t.print();
+
+  // Per-shard detail only where something degraded — a healthy fleet stays
+  // one line per node.
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& r = reports[i];
+    for (std::size_t s = 0; s < r.shard_health.size(); ++s) {
+      const bool degraded =
+          r.shard_backend[s] != r.counter_backend ||
+          r.shard_health[s] != static_cast<std::uint8_t>(fleet::ShardHealth::Healthy);
+      if (!degraded) continue;
+      std::printf("node %llu shard %zu: backend %s, health %s, queue depth %llu\n",
+                  static_cast<unsigned long long>(r.node_id), s,
+                  fleet::to_string(static_cast<fleet::CounterBackend>(r.shard_backend[s])),
+                  fleet::to_string(static_cast<fleet::ShardHealth>(r.shard_health[s])),
+                  static_cast<unsigned long long>(r.queue_depth[s]));
+    }
+  }
+
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    std::printf("\nnode %llu metrics (%s):\n",
+                static_cast<unsigned long long>(reports[i].node_id),
+                endpoints[i].to_string().c_str());
+    print_samples(reports[i].counters, reports[i].gauges);
+  }
+
+  if (reports.size() > 1) {
+    obs::MetricsSnapshot rollup = snapshot_from_report(reports[0]);
+    for (std::size_t i = 1; i < reports.size(); ++i) {
+      rollup.merge(snapshot_from_report(reports[i]));
+    }
+    std::printf("\nfleet rollup (%zu nodes, counters add / gauges max):\n", reports.size());
+    for (const auto& c : rollup.counters) {
+      std::printf("%s %llu\n", c.name.c_str(), static_cast<unsigned long long>(c.value));
+    }
+    for (const auto& g : rollup.gauges) {
+      std::printf("%s %.17g\n", g.name.c_str(), g.value);
+    }
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int cmd_status(const support::CliArgs& args) {
+  const std::string connect = args.get_string("connect", "");
+  WORMS_EXPECTS(!connect.empty() && connect != "true" &&
+                "status requires --connect HOST:PORT[,HOST:PORT...]");
+  const std::vector<Endpoint> endpoints = fleet::net::parse_endpoint_list(connect);
+  const fleet::net::NetTimeouts timeouts = parse_timeouts(args);
+  std::uint64_t watch_seconds = 0;
+  if (args.has("watch")) {
+    watch_seconds = args.get_u64("watch", 0);
+    WORMS_EXPECTS(watch_seconds >= 1 && "--watch requires an interval of >= 1 second(s)");
+  }
+
+  for (std::uint64_t round = 0;; ++round) {
+    if (round > 0) std::printf("\n-- round %llu --\n", static_cast<unsigned long long>(round));
+    std::vector<fleet::net::StatsReportPayload> reports;
+    reports.reserve(endpoints.size());
+    for (const Endpoint& endpoint : endpoints) reports.push_back(query_stats(endpoint, timeouts));
+    print_status_round(endpoints, reports);
+    if (watch_seconds == 0) break;
+    std::this_thread::sleep_for(std::chrono::seconds(watch_seconds));
+  }
   return 0;
 }
 
